@@ -1,0 +1,76 @@
+// Reproduces Fig. 7: the proportion of highly sensitive circuit nodes in
+// the Memory / Bus / CPU-logic groups, measured by fault-injection
+// simulation at flux 4e8..8e8 and predicted by the SVM classifier.
+//
+// Expected shape vs the paper: the per-module ordering is consistent
+// between every simulation series and the SVM column (the paper finds
+// bus >= memory >= CPU logic).
+#include "bench_common.h"
+
+#include "fi/sensitivity.h"
+#include "util/error.h"
+
+using namespace ssresf;
+
+int main() {
+  const auto scale = bench::bench_scale();
+  std::printf("SSRESF Fig. 7 reproduction (scale: %s)\n", scale.name);
+  std::printf("benchmark: PULP SoC1\n\n");
+
+  const auto rows = soc::pulp_soc_table();
+  const soc::SocModel model = bench::build_row_soc(rows[0]);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+
+  util::Table table({"Series", "Memory", "Bus", "CPU Logic", "Peripheral"});
+  auto add_series = [&](const std::string& name,
+                        const std::array<double, 5>& percents) {
+    table.add_row(
+        {name,
+         util::format("%.2f%%", percents[static_cast<int>(netlist::ModuleClass::kMemory)]),
+         util::format("%.2f%%", percents[static_cast<int>(netlist::ModuleClass::kBus)]),
+         util::format("%.2f%%", percents[static_cast<int>(netlist::ModuleClass::kCpu)]),
+         util::format("%.2f%%",
+                      percents[static_cast<int>(netlist::ModuleClass::kPeripheral)])});
+  };
+
+  int n = 0;
+  for (const double flux : {4e8, 5e8, 6e8, 7e8, 8e8}) {
+    fi::CampaignConfig cfg = bench::row_campaign(0, 555 + n);
+    cfg.environment.flux = flux;
+    cfg.sampling.fraction = std::max(cfg.sampling.fraction, 0.03);
+    cfg.sampling.min_per_cluster = std::max(cfg.sampling.min_per_cluster, 12);
+    const auto campaign = fi::run_campaign(model, cfg, db);
+    add_series(util::format("Simulation-%.0e", flux),
+               fi::high_sensitivity_percent_by_class(campaign));
+    ++n;
+    std::fflush(stdout);
+  }
+
+  // SVM prediction series over the fault-injection-list nodes.
+  core::PipelineConfig pcfg;
+  pcfg.campaign = bench::row_campaign(0, 556);  // the flux-5e8 series seed
+  pcfg.campaign.sampling.fraction =
+      std::max(pcfg.campaign.sampling.fraction, 0.03);
+  pcfg.campaign.sampling.min_per_cluster =
+      std::max(pcfg.campaign.sampling.min_per_cluster, 16);
+  pcfg.campaign.sampling.memory_macro_draws =
+      std::max(pcfg.campaign.sampling.memory_macro_draws, 24);
+  pcfg.cv_folds = scale.cv_folds;
+  pcfg.svm.kernel.gamma = 0.5;
+  pcfg.svm.c = 4.0;
+  try {
+    const auto pipeline = core::run_pipeline(model, pcfg, db);
+    add_series("SVM Classifier", pipeline.predicted_class_percent);
+  } catch (const ssresf::Error& e) {
+    std::printf("SVM series unavailable at this scale: %s\n", e.what());
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper reference (Fig. 7): the distribution of highly sensitive\n"
+      "nodes across bus / memory / CPU logic is consistent between the\n"
+      "five simulation series and the SVM prediction. Note: the SVM series\n"
+      "labels nodes by the cluster-level rule, so its absolute level sits\n"
+      "above the per-injection simulation ratios; compare the ordering.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the design choices DESIGN.md
+// calls out:
+//  - Eq. 1 clustering: scope-level fast path vs the naive cell-level
+//    algorithm;
+//  - simulation engines: event-driven vs levelized throughput on the same
+//    SoC workload;
+//  - SMO training cost vs dataset size.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kcluster.h"
+#include "ml/svm.h"
+#include "netlist/builder.h"
+#include "soc/assembler.h"
+#include "soc/programs.h"
+#include "soc/run.h"
+#include "soc/soc.h"
+
+namespace {
+
+using namespace ssresf;
+
+netlist::Netlist clustering_design(int leaves, int cells_per_leaf) {
+  netlist::NetlistBuilder b("t");
+  const auto in = b.input("in");
+  std::vector<netlist::NetId> outs;
+  for (int m = 0; m < leaves; ++m) {
+    const auto outer = b.scope("mod" + std::to_string(m / 4));
+    const auto inner = b.scope("leaf" + std::to_string(m));
+    auto x = in;
+    for (int i = 0; i < cells_per_leaf; ++i) x = b.inv(x);
+    outs.push_back(x);
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    b.output(outs[i], "o" + std::to_string(i));
+  }
+  return b.finish();
+}
+
+void BM_ClusteringScopeLevel(benchmark::State& state) {
+  const auto nl = clustering_design(16, static_cast<int>(state.range(0)));
+  cluster::ClusteringConfig cfg;
+  cfg.num_clusters = 6;
+  cfg.expand_memory_weight = false;
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(cluster::cluster_cells(nl, cfg, rng));
+  }
+  state.SetLabel(std::to_string(nl.num_cells()) + " cells");
+}
+BENCHMARK(BM_ClusteringScopeLevel)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ClusteringNaive(benchmark::State& state) {
+  const auto nl = clustering_design(16, static_cast<int>(state.range(0)));
+  cluster::ClusteringConfig cfg;
+  cfg.num_clusters = 6;
+  cfg.expand_memory_weight = false;
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(cluster::naive_cluster_cells(nl, cfg, rng));
+  }
+  state.SetLabel(std::to_string(nl.num_cells()) + " cells");
+}
+BENCHMARK(BM_ClusteringNaive)->Arg(8)->Arg(32);
+
+const soc::SocModel& shared_soc() {
+  static const soc::SocModel model = [] {
+    soc::SocConfig cfg;
+    cfg.mem_bytes = 16 * 1024;
+    cfg.cpu_isa = "RV32I";
+    cfg.bus_width_bits = 64;
+    cfg.bus = soc::BusProtocol::kAhb;
+    const soc::Program programs[] = {
+        soc::assemble(soc::checksum_workload(8).source)};
+    return soc::build_soc(cfg, programs);
+  }();
+  return model;
+}
+
+void BM_EventEngineRun(benchmark::State& state) {
+  const auto& model = shared_soc();
+  soc::SocRunner runner(model, sim::EngineKind::kEvent);
+  for (auto _ : state) {
+    runner.engine().reset_state();
+    sim::TestbenchConfig cfg;
+    cfg.clk = model.clk;
+    cfg.rstn = model.rstn;
+    cfg.monitored = model.monitored;
+    cfg.clock_period_ps = soc::pick_clock_period(model.netlist);
+    sim::Testbench tb(runner.engine(), cfg);
+    tb.reset();
+    tb.run_cycles(static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventEngineRun)->Arg(64)->Arg(256);
+
+void BM_LevelizedEngineRun(benchmark::State& state) {
+  const auto& model = shared_soc();
+  auto engine = sim::make_engine(sim::EngineKind::kLevelized, model.netlist);
+  for (auto _ : state) {
+    engine->reset_state();
+    sim::TestbenchConfig cfg;
+    cfg.clk = model.clk;
+    cfg.rstn = model.rstn;
+    cfg.monitored = model.monitored;
+    cfg.clock_period_ps = soc::pick_clock_period(model.netlist);
+    sim::Testbench tb(*engine, cfg);
+    tb.reset();
+    tb.run_cycles(static_cast<int>(state.range(0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LevelizedEngineRun)->Arg(64)->Arg(256);
+
+void BM_SmoTraining(benchmark::State& state) {
+  util::Rng rng(5);
+  ml::Dataset d({"x", "y"});
+  for (int i = 0; i < state.range(0); ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    d.add({rng.uniform(-1, 1) + label, rng.uniform(-1, 1)}, label);
+  }
+  ml::SvmConfig cfg;
+  cfg.kernel.gamma = 0.7;
+  for (auto _ : state) {
+    ml::SvmClassifier model(cfg);
+    model.train(d);
+    benchmark::DoNotOptimize(model.num_support_vectors());
+  }
+}
+BENCHMARK(BM_SmoTraining)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

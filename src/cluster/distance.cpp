@@ -1,0 +1,43 @@
+#include "cluster/distance.h"
+
+#include "util/error.h"
+
+namespace ssresf::cluster {
+
+using netlist::Netlist;
+using netlist::ScopeId;
+
+HierarchyDistance::HierarchyDistance(const Netlist& netlist, int layer_depth)
+    : netlist_(&netlist),
+      layer_depth_(layer_depth > 0 ? layer_depth : netlist.max_depth()) {
+  if (layer_depth_ <= 0) layer_depth_ = 1;  // flat designs still work
+  if (layer_depth_ > 62) {
+    throw InvalidArgument("layer depth too large for 2^(LN-Li) weights");
+  }
+}
+
+ScopeId HierarchyDistance::module_at_layer(ScopeId scope, int layer) const {
+  const auto depth = netlist_->scope(scope).depth;
+  if (depth < layer) return netlist::kNoScope;  // absent at this layer
+  return netlist_->ancestor_at_depth(scope,
+                                     static_cast<std::uint16_t>(layer));
+}
+
+std::uint64_t HierarchyDistance::between_scopes(ScopeId a, ScopeId b) const {
+  std::uint64_t distance = 0;
+  for (int li = 1; li <= layer_depth_; ++li) {
+    const ScopeId ma = module_at_layer(a, li);
+    const ScopeId mb = module_at_layer(b, li);
+    if (ma != mb) {
+      distance += std::uint64_t{1} << (layer_depth_ - li);
+    }
+  }
+  return distance;
+}
+
+std::uint64_t HierarchyDistance::between_cells(netlist::CellId a,
+                                               netlist::CellId b) const {
+  return between_scopes(netlist_->cell(a).scope, netlist_->cell(b).scope);
+}
+
+}  // namespace ssresf::cluster

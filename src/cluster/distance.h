@@ -1,0 +1,47 @@
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace ssresf::cluster {
+
+/// The hierarchical distance of Eq. 1:
+///
+///   D(A,B) = sum over layers Li = 1..LN of
+///              Compare(Module_A_Li, Module_B_Li) * 2^(LN - Li)
+///
+/// where Module_X_Li is the module instance containing X at hierarchy depth
+/// Li and Compare is 0 for identical instances, 1 otherwise. Cells deeper
+/// than a layer keep comparing their ancestors; a cell shallower than a
+/// layer compares as "absent" (equal only if both are absent).
+///
+/// Divergence at a shallow layer therefore dominates: once two cells differ
+/// at layer Li they differ at every deeper layer, so the distance is a
+/// suffix sum of powers of two — cells in the same leaf module have
+/// distance 0, cells diverging at the top layer have the maximum
+/// 2^LN - 1.
+class HierarchyDistance {
+ public:
+  /// `layer_depth` is the paper's LN; 0 selects the netlist's maximum
+  /// hierarchy depth.
+  HierarchyDistance(const netlist::Netlist& netlist, int layer_depth = 0);
+
+  [[nodiscard]] int layer_depth() const { return layer_depth_; }
+
+  /// Distance between the scopes containing two cells.
+  [[nodiscard]] std::uint64_t between_cells(netlist::CellId a,
+                                            netlist::CellId b) const;
+
+  /// Distance between two scopes (all cells of a scope are equidistant to
+  /// everything, which is what makes the scope-level optimization exact).
+  [[nodiscard]] std::uint64_t between_scopes(netlist::ScopeId a,
+                                             netlist::ScopeId b) const;
+
+ private:
+  [[nodiscard]] netlist::ScopeId module_at_layer(netlist::ScopeId scope,
+                                                 int layer) const;
+
+  const netlist::Netlist* netlist_;
+  int layer_depth_;
+};
+
+}  // namespace ssresf::cluster

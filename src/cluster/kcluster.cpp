@@ -1,0 +1,238 @@
+#include "cluster/kcluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace ssresf::cluster {
+
+using netlist::CellId;
+using netlist::Netlist;
+using netlist::ScopeId;
+
+namespace {
+
+/// Per-cell weight: a memory macro counts as its word count when expansion
+/// is enabled, everything else as one cell.
+std::uint64_t cell_weight(const Netlist& netlist, CellId id, bool expand) {
+  const netlist::Cell& cell = netlist.cell(id);
+  if (expand && cell.kind == netlist::CellKind::kMemory) {
+    return netlist.memory(cell.memory_index).words;
+  }
+  return 1;
+}
+
+/// Draw `count` distinct cells as the initial cluster centers
+/// (random_select of Algorithm 1); `cum_weights` makes the draw uniform
+/// over weighted pseudo-cells (empty = uniform over cells).
+std::vector<CellId> random_centers(std::size_t num_cells, int count,
+                                   util::Rng& rng,
+                                   std::span<const std::uint64_t> cum_weights = {}) {
+  std::vector<CellId> centers;
+  centers.reserve(static_cast<std::size_t>(count));
+  while (centers.size() < static_cast<std::size_t>(count)) {
+    CellId candidate;
+    if (cum_weights.empty()) {
+      candidate = CellId{static_cast<std::uint32_t>(rng.below(num_cells))};
+    } else {
+      const std::uint64_t pick = rng.below(cum_weights.back());
+      const auto it =
+          std::upper_bound(cum_weights.begin(), cum_weights.end(), pick);
+      candidate = CellId{
+          static_cast<std::uint32_t>(it - cum_weights.begin())};
+    }
+    if (std::find(centers.begin(), centers.end(), candidate) == centers.end()) {
+      centers.push_back(candidate);
+    }
+  }
+  return centers;
+}
+
+ClusteringResult finish_result(const Netlist& netlist,
+                               std::vector<int> cluster_of, int num_clusters,
+                               int iterations, int layer_depth, bool expand) {
+  ClusteringResult result;
+  result.cluster_of = std::move(cluster_of);
+  result.iterations = iterations;
+  result.layer_depth = layer_depth;
+  result.clusters.resize(static_cast<std::size_t>(num_clusters));
+  result.cluster_weight.assign(static_cast<std::size_t>(num_clusters), 0);
+  for (std::uint32_t ci = 0; ci < netlist.num_cells(); ++ci) {
+    const auto k = static_cast<std::size_t>(result.cluster_of[ci]);
+    result.clusters[k].push_back(CellId{ci});
+    result.cluster_weight[k] += cell_weight(netlist, CellId{ci}, expand);
+  }
+  return result;
+}
+
+}  // namespace
+
+ClusteringResult naive_cluster_cells(const Netlist& netlist,
+                                     const ClusteringConfig& config,
+                                     util::Rng& rng) {
+  const std::size_t n = netlist.num_cells();
+  if (n == 0) throw InvalidArgument("clustering an empty netlist");
+  const int kn = std::min<int>(config.num_clusters, static_cast<int>(n));
+  const HierarchyDistance dist(netlist, config.layer_depth);
+
+  std::vector<CellId> centers = random_centers(n, kn, rng);
+  std::vector<int> assignment(n, 0);
+  int iterations = 0;
+
+  for (; iterations < config.max_iterations; ++iterations) {
+    // assign_cells: nearest center, ties to the first center.
+    for (std::uint32_t ci = 0; ci < n; ++ci) {
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      int best_cluster = 0;
+      for (int k = 0; k < kn; ++k) {
+        const std::uint64_t d = dist.between_cells(CellId{ci}, centers[static_cast<std::size_t>(k)]);
+        if (d < best) {
+          best = d;
+          best_cluster = k;
+        }
+      }
+      assignment[ci] = best_cluster;
+    }
+    // update_centers: medoid = first cell minimizing the within-cluster
+    // distance sum; an empty cluster keeps its previous center.
+    std::vector<CellId> new_centers = centers;
+    for (int k = 0; k < kn; ++k) {
+      std::uint64_t best_sum = std::numeric_limits<std::uint64_t>::max();
+      CellId best_cell = netlist::kNoCell;
+      for (std::uint32_t ci = 0; ci < n; ++ci) {
+        if (assignment[ci] != k) continue;
+        std::uint64_t sum = 0;
+        for (std::uint32_t cj = 0; cj < n; ++cj) {
+          if (assignment[cj] != k) continue;
+          sum += dist.between_cells(CellId{ci}, CellId{cj});
+        }
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_cell = CellId{ci};
+        }
+      }
+      if (best_cell.valid()) new_centers[static_cast<std::size_t>(k)] = best_cell;
+    }
+    if (new_centers == centers) {
+      ++iterations;
+      break;
+    }
+    centers = std::move(new_centers);
+  }
+  return finish_result(netlist, std::move(assignment), kn, iterations,
+                       dist.layer_depth(), /*expand=*/false);
+}
+
+ClusteringResult cluster_cells(const Netlist& netlist,
+                               const ClusteringConfig& config,
+                               util::Rng& rng) {
+  const std::size_t n = netlist.num_cells();
+  if (n == 0) throw InvalidArgument("clustering an empty netlist");
+  const int kn = std::min<int>(config.num_clusters, static_cast<int>(n));
+  const HierarchyDistance dist(netlist, config.layer_depth);
+
+  // Group cells by scope: Eq. 1 only sees scopes, so clustering over
+  // cell-count-weighted scopes is exact. Items are ordered by first cell
+  // occurrence so tie-breaking matches the naive cell-order scan.
+  std::unordered_map<std::uint32_t, std::size_t> item_of_scope;
+  struct Item {
+    ScopeId scope;
+    std::uint64_t weight = 0;        // number of (pseudo-)cells
+    std::uint32_t first_cell = 0;    // smallest cell index in this scope
+  };
+  std::vector<Item> items;
+  std::vector<std::size_t> item_of_cell(n);
+  std::vector<std::uint64_t> cum_weights(n);
+  std::uint64_t running = 0;
+  for (std::uint32_t ci = 0; ci < n; ++ci) {
+    const ScopeId scope = netlist.cell(CellId{ci}).scope;
+    auto [it, inserted] = item_of_scope.try_emplace(scope.index(), items.size());
+    if (inserted) items.push_back(Item{scope, 0, ci});
+    const std::uint64_t w =
+        cell_weight(netlist, CellId{ci}, config.expand_memory_weight);
+    items[it->second].weight += w;
+    item_of_cell[ci] = it->second;
+    running += w;
+    cum_weights[ci] = running;
+  }
+  const std::size_t m = items.size();
+
+  // Pairwise scope distances (m is small: one entry per leaf module).
+  std::vector<std::uint64_t> d(m * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      const std::uint64_t v = dist.between_scopes(items[i].scope, items[j].scope);
+      d[i * m + j] = v;
+      d[j * m + i] = v;
+    }
+  }
+
+  // Centers remain cell ids to mirror the naive algorithm exactly (weighted
+  // draw degenerates to uniform when expansion is off).
+  std::vector<CellId> centers =
+      config.expand_memory_weight
+          ? random_centers(n, kn, rng, cum_weights)
+          : random_centers(n, kn, rng);
+  std::vector<int> item_assignment(m, 0);
+  int iterations = 0;
+
+  for (; iterations < config.max_iterations; ++iterations) {
+    for (std::size_t i = 0; i < m; ++i) {
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      int best_cluster = 0;
+      for (int k = 0; k < kn; ++k) {
+        const std::size_t center_item =
+            item_of_cell[centers[static_cast<std::size_t>(k)].index()];
+        const std::uint64_t dv = d[i * m + center_item];
+        if (dv < best) {
+          best = dv;
+          best_cluster = k;
+        }
+      }
+      item_assignment[i] = best_cluster;
+    }
+
+    std::vector<CellId> new_centers = centers;
+    for (int k = 0; k < kn; ++k) {
+      std::uint64_t best_sum = std::numeric_limits<std::uint64_t>::max();
+      std::uint32_t best_first_cell = std::numeric_limits<std::uint32_t>::max();
+      ScopeId best_scope = netlist::kNoScope;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (item_assignment[i] != k) continue;
+        std::uint64_t sum = 0;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (item_assignment[j] != k) continue;
+          sum += items[j].weight * d[i * m + j];
+        }
+        // The naive scan keeps the first minimal cell in cell order: prefer
+        // strictly smaller sums, then the scope seen earliest.
+        if (sum < best_sum ||
+            (sum == best_sum && items[i].first_cell < best_first_cell)) {
+          best_sum = sum;
+          best_first_cell = items[i].first_cell;
+          best_scope = items[i].scope;
+        }
+      }
+      if (best_scope.valid()) {
+        new_centers[static_cast<std::size_t>(k)] = CellId{best_first_cell};
+      }
+    }
+    if (new_centers == centers) {
+      ++iterations;
+      break;
+    }
+    centers = std::move(new_centers);
+  }
+
+  std::vector<int> assignment(n);
+  for (std::uint32_t ci = 0; ci < n; ++ci) {
+    assignment[ci] = item_assignment[item_of_cell[ci]];
+  }
+  return finish_result(netlist, std::move(assignment), kn, iterations,
+                       dist.layer_depth(), config.expand_memory_weight);
+}
+
+}  // namespace ssresf::cluster

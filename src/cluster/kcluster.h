@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/distance.h"
+#include "util/rng.h"
+
+namespace ssresf::cluster {
+
+/// Output of Algorithm 1 (clustering analysis for internal cells).
+struct ClusteringResult {
+  /// clusters[k] lists the member cells of cluster k (creation order).
+  std::vector<std::vector<netlist::CellId>> clusters;
+  /// cluster_of[cell.index()] = cluster index.
+  std::vector<int> cluster_of;
+  /// Weighted cell count per cluster (memory macros expand to their word
+  /// count when ClusteringConfig::expand_memory_weight is set) — the
+  /// CellN_Cluster term of Eq. 2.
+  std::vector<std::uint64_t> cluster_weight;
+  int iterations = 0;
+  int layer_depth = 0;
+};
+
+struct ClusteringConfig {
+  int num_clusters = 8;   // the paper's KN
+  int layer_depth = 0;    // the paper's LN; 0 = netlist max depth
+  int max_iterations = 64;
+  /// Count a memory macro as `words` cells. The paper's netlists represent
+  /// RAMs as word/bitcell arrays, so memory regions carry enough cell mass
+  /// to anchor their own clusters; a behavioural macro must be re-expanded
+  /// to keep that property.
+  bool expand_memory_weight = true;
+};
+
+/// Algorithm 1 of the paper: k-medoids-style clustering under the Eq. 1
+/// hierarchy distance. Random initial centers, nearest-center assignment,
+/// medoid update (cell minimizing the within-cluster distance sum), iterate
+/// until the centers stop moving.
+///
+/// Implementation note: all cells sharing a scope are equivalent under
+/// Eq. 1, so the solver clusters cell-count-weighted *scopes* and expands
+/// the result back to cells — bit-identical to the naive cell-level
+/// algorithm (which naive_cluster_cells implements for cross-checking) but
+/// O(scopes^2) instead of O(cells^2) per iteration.
+[[nodiscard]] ClusteringResult cluster_cells(const netlist::Netlist& netlist,
+                                             const ClusteringConfig& config,
+                                             util::Rng& rng);
+
+/// Direct cell-level implementation of Algorithm 1, for testing and for the
+/// ablation bench. Quadratic in the cell count — use on small designs only.
+[[nodiscard]] ClusteringResult naive_cluster_cells(
+    const netlist::Netlist& netlist, const ClusteringConfig& config,
+    util::Rng& rng);
+
+}  // namespace ssresf::cluster

@@ -1,0 +1,105 @@
+#include "cluster/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ssresf::cluster {
+
+using netlist::CellId;
+using netlist::CellKind;
+
+namespace {
+
+/// Draw `count` entries from `pool` without replacement, probability
+/// proportional to `weight(cell)`; drawn cells are moved to the front.
+void weighted_partial_sample(std::vector<CellId>& pool, std::size_t begin,
+                             std::size_t count,
+                             std::span<const double> weights, util::Rng& rng) {
+  for (std::size_t i = begin; i < begin + count && i < pool.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t j = i; j < pool.size(); ++j) {
+      total += weights[pool[j].index()];
+    }
+    std::size_t chosen = i;
+    if (total > 0.0) {
+      double pick = rng.uniform() * total;
+      for (std::size_t j = i; j < pool.size(); ++j) {
+        pick -= weights[pool[j].index()];
+        if (pick <= 0.0) {
+          chosen = j;
+          break;
+        }
+      }
+    } else {
+      chosen = i + static_cast<std::size_t>(rng.below(pool.size() - i));
+    }
+    std::swap(pool[i], pool[chosen]);
+  }
+}
+
+}  // namespace
+
+std::vector<ClusterSample> sample_clusters(const netlist::Netlist& netlist,
+                                           const ClusteringResult& clustering,
+                                           const SamplingConfig& config,
+                                           util::Rng& rng,
+                                           std::span<const double> cell_weights) {
+  if (config.fraction <= 0.0 || config.fraction > 1.0) {
+    throw InvalidArgument("sampling fraction must be in (0, 1]");
+  }
+  if (config.weighting != SampleWeighting::kUniform &&
+      cell_weights.size() != netlist.num_cells()) {
+    throw InvalidArgument("weighted sampling needs per-cell weights");
+  }
+  std::vector<ClusterSample> out;
+  for (std::size_t k = 0; k < clustering.clusters.size(); ++k) {
+    std::vector<CellId> eligible;
+    for (const CellId id : clustering.clusters[k]) {
+      const CellKind kind = netlist.cell(id).kind;
+      if (kind == CellKind::kConst0 || kind == CellKind::kConst1) continue;
+      if (kind == CellKind::kMemory) {
+        // One entry per allowed strike; duplicates are distinct strikes.
+        for (int r = 0; r < config.memory_macro_draws; ++r) {
+          eligible.push_back(id);
+        }
+        continue;
+      }
+      eligible.push_back(id);
+    }
+    if (eligible.empty()) continue;
+    const auto want = static_cast<std::size_t>(std::clamp<long long>(
+        static_cast<long long>(
+            std::ceil(config.fraction * static_cast<double>(eligible.size()))),
+        config.min_per_cluster, config.max_per_cluster));
+    const std::size_t count = std::min(want, eligible.size());
+
+    std::size_t uniform_count = count;
+    std::size_t weighted_count = 0;
+    if (config.weighting == SampleWeighting::kXsectWeighted) {
+      uniform_count = 0;
+      weighted_count = count;
+    } else if (config.weighting == SampleWeighting::kMixed) {
+      uniform_count = count / 2;
+      weighted_count = count - uniform_count;
+    }
+
+    // Uniform part: partial Fisher-Yates over [0, uniform_count).
+    for (std::size_t i = 0; i < uniform_count; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(eligible.size() - i));
+      std::swap(eligible[i], eligible[j]);
+    }
+    // Weighted part continues from the uniform prefix, excluding drawn cells.
+    if (weighted_count > 0) {
+      weighted_partial_sample(eligible, uniform_count, weighted_count,
+                              cell_weights, rng);
+    }
+    eligible.resize(count);
+    out.push_back(ClusterSample{static_cast<int>(k), std::move(eligible)});
+  }
+  return out;
+}
+
+}  // namespace ssresf::cluster

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "cluster/kcluster.h"
+
+namespace ssresf::cluster {
+
+/// How strike locations are drawn within a cluster:
+///  - kUniform: every cell equally likely (pure equal-proportion sampling);
+///  - kXsectWeighted: probability proportional to the cell's soft-error
+///    cross-section — importance sampling of where particles physically
+///    land (a memory macro is hit far more often than an inverter);
+///  - kMixed: half uniform, half cross-section weighted (covers both the
+///    populous logic and the large-area structures).
+enum class SampleWeighting { kUniform, kXsectWeighted, kMixed };
+
+/// Equal-proportional random sampling within clusters (Sec. III-B): from
+/// every cluster draw ceil(fraction * size) cells without replacement,
+/// clamped to [min_per_cluster, max_per_cluster]. Tie cells (constants) are
+/// not injectable and are excluded up front.
+struct SamplingConfig {
+  double fraction = 0.05;
+  int min_per_cluster = 2;
+  int max_per_cluster = 1 << 30;
+  SampleWeighting weighting = SampleWeighting::kUniform;
+  /// A memory macro stands for a whole array, so it may be drawn up to this
+  /// many times per campaign — each draw is an independent (word, bit)
+  /// strike.
+  int memory_macro_draws = 16;
+};
+
+struct ClusterSample {
+  int cluster = 0;
+  std::vector<netlist::CellId> cells;
+};
+
+/// `cell_weights` (indexed by cell id) is required for the weighted modes;
+/// pass an empty span for kUniform.
+[[nodiscard]] std::vector<ClusterSample> sample_clusters(
+    const netlist::Netlist& netlist, const ClusteringResult& clustering,
+    const SamplingConfig& config, util::Rng& rng,
+    std::span<const double> cell_weights = {});
+
+}  // namespace ssresf::cluster

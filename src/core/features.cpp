@@ -1,0 +1,164 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "netlist/stats.h"
+
+namespace ssresf::core {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::Netlist;
+
+const std::vector<std::string>& node_feature_names() {
+  static const std::vector<std::string> names = {
+      "top_mod_type",     // module class of the containing hierarchy
+      "reg_type",         // cell family (comb kinds / FF variants / memory)
+      "delay_unit_count", // combinational logic depth of the node
+      "signal_type",      // role of the output net (state / data / output)
+      "layer_depth",      // hierarchy depth of the containing scope
+      "signal_bit",       // bus bit index parsed from the instance name
+      "fanout_count",     // sinks of the output net
+      "fanin_count",      // input pin count
+      "scope_cell_count", // size of the containing leaf module
+      "intrinsic_delay",  // library cell delay
+  };
+  return names;
+}
+
+namespace {
+
+double reg_type_code(CellKind kind) {
+  switch (kind) {
+    case CellKind::kDff:
+      return 1;
+    case CellKind::kDffR:
+      return 2;
+    case CellKind::kDffE:
+      return 3;
+    case CellKind::kMemory:
+      return 4;
+    case CellKind::kInv:
+    case CellKind::kBuf:
+      return 5;
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+      return 6;
+    case CellKind::kMux2:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+      return 7;
+    default:
+      return 8;  // simple AND/OR family
+  }
+}
+
+/// Trailing "_<digits>" of an instance name, e.g. pc_17 -> 17.
+double signal_bit_of(const std::string& name) {
+  const auto pos = name.find_last_of('_');
+  if (pos == std::string::npos || pos + 1 >= name.size()) return 0;
+  int value = 0;
+  for (std::size_t i = pos + 1; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return 0;
+    value = value * 10 + (name[i] - '0');
+    if (value > 1 << 20) return 0;
+  }
+  return value;
+}
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const Netlist& netlist)
+    : netlist_(&netlist), logic_depths_(netlist::compute_logic_depths(netlist)) {
+  scope_cell_count_.assign(netlist.num_scopes(), 0);
+  for (const CellId id : netlist.all_cells()) {
+    ++scope_cell_count_[netlist.cell(id).scope.index()];
+  }
+}
+
+std::vector<double> FeatureExtractor::extract(CellId id) const {
+  const Netlist& nl = *netlist_;
+  const Cell& cell = nl.cell(id);
+  std::vector<double> f(kNumNodeFeatures, 0.0);
+  f[0] = static_cast<double>(nl.cell_class(id));
+  f[1] = reg_type_code(cell.kind);
+  f[2] = logic_depths_[id.index()];
+  // signal_type: classify the output net by what it feeds.
+  double signal_type = 0;  // plain combinational
+  if (!cell.outputs.empty()) {
+    bool feeds_state = false;
+    bool feeds_clock_or_ctrl = false;
+    for (const netlist::Fanout& fo : nl.fanout(cell.outputs[0])) {
+      const Cell& sink = nl.cell(fo.cell);
+      if (netlist::is_flip_flop(sink.kind)) {
+        if (fo.input_index == 0) {
+          feeds_state = true;  // next-state data
+        } else {
+          feeds_clock_or_ctrl = true;  // clock / reset / enable
+        }
+      } else if (sink.kind == CellKind::kMemory && fo.input_index < 3) {
+        feeds_clock_or_ctrl = true;
+      }
+    }
+    if (feeds_clock_or_ctrl) {
+      signal_type = 3;
+    } else if (feeds_state) {
+      signal_type = 2;
+    }
+    // Primary-output cones rank highest.
+    for (const auto& [net, name] : nl.primary_outputs()) {
+      if (net == cell.outputs[0]) {
+        signal_type = 4;
+        break;
+      }
+    }
+  }
+  f[3] = signal_type;
+  f[4] = nl.scope(cell.scope).depth;
+  f[5] = signal_bit_of(cell.name);
+  f[6] = cell.outputs.empty()
+             ? 0.0
+             : static_cast<double>(nl.fanout(cell.outputs[0]).size());
+  f[7] = static_cast<double>(cell.inputs.size());
+  f[8] = static_cast<double>(scope_cell_count_[cell.scope.index()]);
+  f[9] = static_cast<double>(netlist::spec(cell.kind).delay_ps);
+  return f;
+}
+
+ml::Dataset build_dataset(const soc::SocModel& model,
+                          const fi::CampaignResult& campaign) {
+  // Label rule (Sec. III-D/E): clusters sorted by soft-error probability;
+  // nodes of the high-probability half form the sensitive-node list. A node
+  // whose own injection produced a soft error is sensitive regardless of
+  // its cluster.
+  std::vector<const fi::ClusterStats*> sampled;
+  for (const fi::ClusterStats& c : campaign.clusters) {
+    if (c.samples > 0) sampled.push_back(&c);
+  }
+  std::sort(sampled.begin(), sampled.end(),
+            [](const fi::ClusterStats* a, const fi::ClusterStats* b) {
+              return a->ser_percent > b->ser_percent;
+            });
+  std::vector<bool> cluster_high(campaign.clusters.size(), false);
+  const std::size_t high_count = (sampled.size() + 1) / 2;
+  for (std::size_t i = 0; i < high_count; ++i) {
+    // Clusters with zero SER are never "high", even in the top half.
+    if (sampled[i]->ser_percent > 0.0) {
+      cluster_high[static_cast<std::size_t>(sampled[i]->cluster)] = true;
+    }
+  }
+
+  const FeatureExtractor extractor(model.netlist);
+  ml::Dataset dataset(node_feature_names());
+  for (const fi::InjectionRecord& record : campaign.records) {
+    const bool high =
+        record.soft_error ||
+        cluster_high[static_cast<std::size_t>(record.cluster)];
+    dataset.add(extractor.extract(record.event.target.cell), high ? 1 : -1);
+  }
+  return dataset;
+}
+
+}  // namespace ssresf::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "cluster/kcluster.h"
+#include "fi/campaign.h"
+#include "ml/dataset.h"
+
+namespace ssresf::core {
+
+/// The candidate structural node features. The first six are the features
+/// shown in the paper's Fig. 4 example (top_mod_type, reg_type,
+/// delay_unit_count, signal_type, layer_depth, signal_bit); the remaining
+/// four are additional engineered candidates that the Fig. 5 selection
+/// experiment sweeps over.
+inline constexpr int kNumNodeFeatures = 10;
+[[nodiscard]] const std::vector<std::string>& node_feature_names();
+
+/// Precomputed per-netlist context so feature extraction is O(1) per node.
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const netlist::Netlist& netlist);
+
+  /// Structural features of a circuit node (a cell instance).
+  [[nodiscard]] std::vector<double> extract(netlist::CellId cell) const;
+
+ private:
+  const netlist::Netlist* netlist_;
+  std::vector<int> logic_depths_;
+  std::vector<std::size_t> scope_cell_count_;
+};
+
+/// Builds the labeled sensitivity dataset from campaign records: features
+/// from the injected node, label +1 when the injection produced a soft
+/// error (highly sensitive node), -1 otherwise.
+[[nodiscard]] ml::Dataset build_dataset(const soc::SocModel& model,
+                                        const fi::CampaignResult& campaign);
+
+}  // namespace ssresf::core

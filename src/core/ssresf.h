@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/features.h"
+#include "fi/sensitivity.h"
+#include "ml/cross_validation.h"
+#include "ml/feature_selection.h"
+
+namespace ssresf::core {
+
+/// Configuration of the full SSRESF flow (Fig. 1): dynamic-simulation phase
+/// (campaign) followed by the machine-learning phase (SVM training and
+/// sensitive-node classification).
+struct PipelineConfig {
+  fi::CampaignConfig campaign;
+  ml::SvmConfig svm;               // starting point; grid search can refine
+  int cv_folds = 10;
+  bool run_grid_search = false;    // optimize (C, gamma) before training
+  std::vector<double> grid_c = {0.5, 1, 4, 16};
+  std::vector<double> grid_gamma = {0.05, 0.2, 1.0, 4.0};
+  std::uint64_t ml_seed = 7;
+};
+
+/// Everything the evaluation section needs from one SoC.
+struct PipelineResult {
+  fi::CampaignResult campaign;
+  ml::Dataset dataset;           // labeled, unscaled node features
+  ml::CvResult cv;               // 10-fold CV metrics (Table II row)
+  ml::SvmConfig chosen_svm;      // after optional grid search
+  ml::SvmClassifier model;       // trained on the full scaled dataset
+  ml::MinMaxScaler scaler;
+  double train_seconds = 0.0;
+  double predict_seconds = 0.0;  // classifying every injectable node
+  /// Predicted high-sensitivity percentage per module class (SVM series of
+  /// Fig. 7), indexed by ModuleClass.
+  std::array<double, 5> predicted_class_percent{};
+  /// Fraction of held-out CV predictions agreeing with simulation (the
+  /// "Model Accuracy" column of Table III).
+  [[nodiscard]] double model_accuracy() const { return cv.aggregate.accuracy(); }
+};
+
+/// Runs campaign -> dataset -> (grid search) -> cross-validation -> final
+/// model -> whole-netlist prediction.
+[[nodiscard]] PipelineResult run_pipeline(
+    const soc::SocModel& model, const PipelineConfig& config,
+    const radiation::SoftErrorDatabase& database);
+
+/// Classifies every injectable cell of the netlist with a trained model;
+/// returns +1/-1 per cell in `cells`.
+[[nodiscard]] std::vector<int> predict_nodes(
+    const soc::SocModel& model, const ml::SvmClassifier& classifier,
+    const ml::MinMaxScaler& scaler, std::span<const netlist::CellId> cells);
+
+}  // namespace ssresf::core

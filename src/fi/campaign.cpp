@@ -1,0 +1,191 @@
+#include "fi/campaign.h"
+
+#include "netlist/stats.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ssresf::fi {
+
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::ModuleClass;
+using radiation::FaultKind;
+
+double chip_ser_percent(const std::vector<ClusterStats>& clusters) {
+  double weighted = 0.0;
+  double total_cells = 0.0;
+  for (const ClusterStats& c : clusters) {
+    weighted += static_cast<double>(c.num_cells) * c.ser_percent;
+    total_cells += static_cast<double>(c.num_cells);
+  }
+  return total_cells > 0 ? weighted / total_cells : 0.0;
+}
+
+namespace {
+
+/// Cross-section of one cell at the campaign LET; memory macros contribute
+/// their whole array.
+double cell_xsect(const netlist::Netlist& netlist,
+                  const radiation::SoftErrorDatabase& db, CellId id,
+                  double let) {
+  const netlist::Cell& cell = netlist.cell(id);
+  if (cell.kind == CellKind::kConst0 || cell.kind == CellKind::kConst1) {
+    return 0.0;
+  }
+  if (cell.kind == CellKind::kMemory) {
+    const auto& mi = netlist.memory(cell.memory_index);
+    return db.mem_bit_xsect(mi.tech, let) *
+           static_cast<double>(mi.total_bits());
+  }
+  return db.cell_xsect(cell.kind, let);
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const soc::SocModel& model,
+                            const CampaignConfig& config,
+                            const radiation::SoftErrorDatabase& db) {
+  util::Rng rng(config.seed);
+  util::Rng cluster_rng = rng.fork();
+  util::Rng sample_rng = rng.fork();
+  util::Rng inject_rng = rng.fork();
+
+  CampaignResult result;
+  result.clock_period_ps = soc::pick_clock_period(model.netlist);
+  util::Timer sim_timer;
+
+  // --- golden run -------------------------------------------------------------
+  soc::SocRunner golden(model, config.engine, result.clock_period_ps);
+  golden.reset();
+  int run_cycles = config.run_cycles;
+  if (run_cycles == 0) {
+    golden.run_until_halt(config.max_cycles);
+    if (!golden.halted()) {
+      SSRESF_WARN << "golden run did not halt within " << config.max_cycles
+                  << " cycles";
+    }
+    // Fixed total length for every faulty run (a fault may delay the halt).
+    run_cycles = static_cast<int>(golden.testbench().cycles_run()) + 8;
+  }
+  soc::SocRunner golden_fixed(model, config.engine, result.clock_period_ps);
+  golden_fixed.reset();
+  golden_fixed.run(run_cycles);
+  const sim::OutputTrace& golden_trace = golden_fixed.trace();
+  result.golden_cycles = run_cycles;
+
+  // --- clustering + sampling -----------------------------------------------------
+  result.clustering =
+      cluster::cluster_cells(model.netlist, config.clustering, cluster_rng);
+  std::vector<double> strike_weights(model.netlist.num_cells(), 0.0);
+  for (const CellId id : model.netlist.all_cells()) {
+    strike_weights[id.index()] =
+        cell_xsect(model.netlist, db, id, config.environment.let);
+  }
+  const auto samples =
+      cluster::sample_clusters(model.netlist, result.clustering,
+                               config.sampling, sample_rng, strike_weights);
+
+  // --- injections ------------------------------------------------------------------
+  const radiation::Injector injector(model.netlist);
+  const std::uint64_t window_ps =
+      static_cast<std::uint64_t>(run_cycles) * result.clock_period_ps;
+  // Inject after reset has settled and early enough to observe propagation.
+  const std::uint64_t t0 = 5 * result.clock_period_ps;
+  const std::uint64_t t1 = window_ps * 3 / 4;
+
+  std::vector<std::size_t> cluster_samples(result.clustering.clusters.size(), 0);
+  std::vector<std::size_t> cluster_errors(result.clustering.clusters.size(), 0);
+
+  // One engine, reset per injection; a fresh testbench owns each timeline.
+  const auto engine = sim::make_engine(config.engine, model.netlist);
+  sim::TestbenchConfig tb_config;
+  tb_config.clk = model.clk;
+  tb_config.rstn = model.rstn;
+  tb_config.monitored = model.monitored;
+  tb_config.clock_period_ps = result.clock_period_ps;
+  for (const cluster::ClusterSample& cs : samples) {
+    for (const CellId cell : cs.cells) {
+      const radiation::FaultTarget target =
+          injector.target_for_cell(cell, inject_rng);
+      const radiation::FaultEvent event = injector.random_event(
+          target, t0, t1, config.environment, inject_rng);
+
+      engine->reset_state();
+      sim::Testbench tb(*engine, tb_config);
+      injector.schedule(tb, event);
+      tb.reset();
+      tb.run_cycles(run_cycles);
+
+      InjectionRecord record;
+      record.event = event;
+      record.cluster = cs.cluster;
+      record.module_class = model.netlist.cell_class(cell);
+      const auto mismatch =
+          sim::OutputTrace::first_mismatch(golden_trace, tb.trace());
+      record.soft_error = mismatch.has_value();
+      record.first_mismatch_cycle = mismatch.value_or(0);
+      result.records.push_back(record);
+
+      ++cluster_samples[static_cast<std::size_t>(cs.cluster)];
+      if (record.soft_error) {
+        ++cluster_errors[static_cast<std::size_t>(cs.cluster)];
+      }
+    }
+  }
+  result.simulation_seconds = sim_timer.seconds();
+
+  // --- aggregation -------------------------------------------------------------------
+  const double let = config.environment.let;
+  const auto total = db.netlist_xsect(model.netlist, let);
+  result.set_xsect_cm2 = total.set_cm2;
+  result.seu_xsect_cm2 = total.seu_cm2;
+
+  for (std::size_t k = 0; k < result.clustering.clusters.size(); ++k) {
+    ClusterStats stats;
+    stats.cluster = static_cast<int>(k);
+    // Weighted count (memory macros expand to words): the CellN of Eq. 2.
+    stats.num_cells =
+        static_cast<std::size_t>(result.clustering.cluster_weight[k]);
+    stats.samples = cluster_samples[k];
+    stats.errors = cluster_errors[k];
+    stats.propagation_ratio =
+        stats.samples > 0
+            ? static_cast<double>(stats.errors) / static_cast<double>(stats.samples)
+            : 0.0;
+    for (const CellId id : result.clustering.clusters[k]) {
+      stats.xsect_cm2 += cell_xsect(model.netlist, db, id, let);
+    }
+    stats.ser_percent =
+        stats.propagation_ratio *
+        config.environment.upset_probability(stats.xsect_cm2, window_ps) * 100.0;
+    result.clusters.push_back(stats);
+  }
+  result.chip_ser_percent = chip_ser_percent(result.clusters);
+
+  // Per-module-class aggregation for Table I / Fig. 7.
+  std::array<double, 5> class_xsect{};
+  for (const CellId id : model.netlist.all_cells()) {
+    class_xsect[static_cast<std::size_t>(model.netlist.cell_class(id))] +=
+        cell_xsect(model.netlist, db, id, let);
+  }
+  for (const InjectionRecord& r : result.records) {
+    auto& cls = result.per_class[static_cast<std::size_t>(r.module_class)];
+    ++cls.samples;
+    if (r.soft_error) ++cls.errors;
+  }
+  for (std::size_t c = 0; c < result.per_class.size(); ++c) {
+    auto& cls = result.per_class[c];
+    cls.xsect_cm2 = class_xsect[c];
+    const double ratio =
+        cls.samples > 0
+            ? static_cast<double>(cls.errors) / static_cast<double>(cls.samples)
+            : 0.0;
+    cls.ser_percent =
+        ratio *
+        config.environment.upset_probability(cls.xsect_cm2, window_ps) * 100.0;
+  }
+  return result;
+}
+
+}  // namespace ssresf::fi

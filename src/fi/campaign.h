@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+
+#include "cluster/sampling.h"
+#include "radiation/injector.h"
+#include "radiation/soft_error_db.h"
+#include "soc/run.h"
+
+namespace ssresf::fi {
+
+/// Configuration of a fault-injection campaign (Sec. III-D of the paper).
+struct CampaignConfig {
+  sim::EngineKind engine = sim::EngineKind::kEvent;
+  radiation::Environment environment;      // flux + LET
+  cluster::ClusteringConfig clustering;    // KN, LN
+  cluster::SamplingConfig sampling{
+      .fraction = 0.05,
+      .min_per_cluster = 8,
+      .max_per_cluster = 64,
+      .weighting = cluster::SampleWeighting::kMixed};
+  int run_cycles = 0;     // 0: golden run length = cycles-to-halt + margin
+  int max_cycles = 4000;  // bound for the golden run
+  std::uint64_t seed = 1;
+};
+
+/// One injection and its observed outcome.
+struct InjectionRecord {
+  radiation::FaultEvent event;
+  int cluster = 0;
+  netlist::ModuleClass module_class = netlist::ModuleClass::kOther;
+  bool soft_error = false;
+  std::size_t first_mismatch_cycle = 0;  // valid when soft_error
+};
+
+/// Per-cluster soft-error statistics: the propagation ratio measured by
+/// injection, the cluster's total cross-section, and the resulting SER.
+struct ClusterStats {
+  int cluster = 0;
+  std::size_t num_cells = 0;
+  std::size_t samples = 0;
+  std::size_t errors = 0;
+  double propagation_ratio = 0.0;  // errors / samples
+  double xsect_cm2 = 0.0;          // sum of member cross-sections at the LET
+  double ser_percent = 0.0;        // propagation * P(upset in window) * 100
+};
+
+/// Per-module-class aggregation (the Memory / Bus / CPU columns of Table I
+/// and the groups of Fig. 7).
+struct ClassStats {
+  std::size_t samples = 0;
+  std::size_t errors = 0;
+  double xsect_cm2 = 0.0;
+  double ser_percent = 0.0;
+};
+
+struct CampaignResult {
+  cluster::ClusteringResult clustering;
+  std::vector<InjectionRecord> records;
+  std::vector<ClusterStats> clusters;
+  std::array<ClassStats, 5> per_class;  // indexed by ModuleClass
+  double chip_ser_percent = 0.0;        // Eq. 2
+  double set_xsect_cm2 = 0.0;           // Table I "SET Xsect"
+  double seu_xsect_cm2 = 0.0;           // Table I "SEU Xsect"
+  int golden_cycles = 0;
+  std::uint64_t clock_period_ps = 0;
+  double simulation_seconds = 0.0;      // wall-clock spent simulating
+};
+
+/// Runs the full flow: golden run, clustering, equal-proportion sampling,
+/// one fault injection + re-simulation per sampled cell, golden-vs-faulty
+/// trace comparison, and SER aggregation per Eq. 2.
+[[nodiscard]] CampaignResult run_campaign(
+    const soc::SocModel& model, const CampaignConfig& config,
+    const radiation::SoftErrorDatabase& database);
+
+/// Chip-level SER per Eq. 2: the cell-count-weighted mean of cluster SERs.
+[[nodiscard]] double chip_ser_percent(const std::vector<ClusterStats>& clusters);
+
+}  // namespace ssresf::fi

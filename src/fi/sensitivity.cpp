@@ -1,0 +1,28 @@
+#include "fi/sensitivity.h"
+
+#include <algorithm>
+
+namespace ssresf::fi {
+
+std::array<double, 5> high_sensitivity_percent_by_class(
+    const CampaignResult& result) {
+  std::array<double, 5> out{};
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    const ClassStats& cls = result.per_class[c];
+    out[c] = cls.samples > 0 ? 100.0 * static_cast<double>(cls.errors) /
+                                   static_cast<double>(cls.samples)
+                             : 0.0;
+  }
+  return out;
+}
+
+std::vector<ClusterStats> clusters_by_ser(const CampaignResult& result) {
+  std::vector<ClusterStats> sorted = result.clusters;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ClusterStats& a, const ClusterStats& b) {
+              return a.ser_percent > b.ser_percent;
+            });
+  return sorted;
+}
+
+}  // namespace ssresf::fi

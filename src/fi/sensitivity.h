@@ -1,0 +1,17 @@
+#pragma once
+
+#include "fi/campaign.h"
+
+namespace ssresf::fi {
+
+/// Per-module-class percentage of sampled nodes whose injection produced a
+/// soft error (the Fig. 7 series). Indexed by ModuleClass.
+[[nodiscard]] std::array<double, 5> high_sensitivity_percent_by_class(
+    const CampaignResult& result);
+
+/// Clusters ordered by descending SER (the paper sorts clusters by soft-
+/// error probability to form the sensitive-node list).
+[[nodiscard]] std::vector<ClusterStats> clusters_by_ser(
+    const CampaignResult& result);
+
+}  // namespace ssresf::fi

@@ -1,0 +1,84 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ssresf::ml {
+
+CvResult cross_validate(const Dataset& dataset, const SvmConfig& config,
+                        int folds, util::Rng& rng) {
+  const auto fold_indices = stratified_kfold(dataset, folds, rng);
+  CvResult result;
+  for (int k = 0; k < folds; ++k) {
+    std::vector<std::size_t> train_idx;
+    for (int j = 0; j < folds; ++j) {
+      if (j == k) continue;
+      train_idx.insert(train_idx.end(), fold_indices[static_cast<std::size_t>(j)].begin(),
+                       fold_indices[static_cast<std::size_t>(j)].end());
+    }
+    const auto& test_idx = fold_indices[static_cast<std::size_t>(k)];
+    if (test_idx.empty() || train_idx.empty()) continue;
+
+    Dataset train = dataset.subset(train_idx);
+    if (train.count_label(1) == 0 || train.count_label(-1) == 0) continue;
+    MinMaxScaler scaler;
+    scaler.fit_transform(train);
+
+    SvmClassifier model(config);
+    model.train(train);
+
+    ConfusionMatrix cm;
+    for (const std::size_t i : test_idx) {
+      const auto x = scaler.transform_row(dataset.row(i));
+      const double score = model.decision_value(x);
+      cm.add(dataset.label(i), score >= 0 ? 1 : -1);
+      result.decision_values.push_back(score);
+      result.labels.push_back(dataset.label(i));
+    }
+    result.fold_accuracies.push_back(cm.accuracy());
+    result.aggregate += cm;
+  }
+  if (result.fold_accuracies.empty()) {
+    throw InvalidArgument("cross-validation produced no usable folds");
+  }
+  double sum = 0.0;
+  for (const double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(result.fold_accuracies.size());
+  double var = 0.0;
+  for (const double a : result.fold_accuracies) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev_accuracy =
+      std::sqrt(var / static_cast<double>(result.fold_accuracies.size()));
+  return result;
+}
+
+GridSearchResult grid_search(const Dataset& dataset, const SvmConfig& base,
+                             std::span<const double> c_values,
+                             std::span<const double> gamma_values, int folds,
+                             util::Rng& rng) {
+  if (c_values.empty() || gamma_values.empty()) {
+    throw InvalidArgument("grid_search needs candidate values");
+  }
+  GridSearchResult result;
+  result.best = base;
+  result.best_score = -1.0;
+  for (const double c : c_values) {
+    for (const double gamma : gamma_values) {
+      SvmConfig config = base;
+      config.c = c;
+      config.kernel.gamma = gamma;
+      util::Rng fold_rng = rng.fork();
+      const CvResult cv = cross_validate(dataset, config, folds, fold_rng);
+      result.grid.push_back({c, gamma, cv.mean_accuracy});
+      if (cv.mean_accuracy > result.best_score) {
+        result.best_score = cv.mean_accuracy;
+        result.best = config;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ssresf::ml

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "ml/metrics.h"
+#include "ml/scaler.h"
+
+namespace ssresf::ml {
+
+/// Result of a k-fold cross-validation run.
+struct CvResult {
+  std::vector<double> fold_accuracies;
+  ConfusionMatrix aggregate;  // summed over held-out folds
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  /// Held-out decision values + labels, for ROC plotting (Fig. 6).
+  std::vector<double> decision_values;
+  std::vector<int> labels;
+};
+
+/// Stratified k-fold cross-validation: per fold, fit a MinMaxScaler and the
+/// SVM on the training split, evaluate on the held-out split.
+[[nodiscard]] CvResult cross_validate(const Dataset& dataset,
+                                      const SvmConfig& config, int folds,
+                                      util::Rng& rng);
+
+/// Grid search over (C, gamma) with k-fold CV, as in Sec. IV-B.
+struct GridPoint {
+  double c = 0.0;
+  double gamma = 0.0;
+  double score = 0.0;
+};
+
+struct GridSearchResult {
+  SvmConfig best;
+  double best_score = 0.0;
+  std::vector<GridPoint> grid;
+};
+
+[[nodiscard]] GridSearchResult grid_search(const Dataset& dataset,
+                                           const SvmConfig& base,
+                                           std::span<const double> c_values,
+                                           std::span<const double> gamma_values,
+                                           int folds, util::Rng& rng);
+
+}  // namespace ssresf::ml

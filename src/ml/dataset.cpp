@@ -1,0 +1,77 @@
+#include "ml/dataset.h"
+
+#include "util/error.h"
+
+namespace ssresf::ml {
+
+void Dataset::add(std::vector<double> row, int label) {
+  if (label != 1 && label != -1) {
+    throw InvalidArgument("labels must be +1 or -1");
+  }
+  if (!rows_.empty() && row.size() != rows_[0].size()) {
+    throw InvalidArgument("inconsistent feature count");
+  }
+  rows_.push_back(std::move(row));
+  labels_.push_back(label);
+}
+
+std::size_t Dataset::count_label(int label) const {
+  std::size_t count = 0;
+  for (const int y : labels_) count += y == label;
+  return count;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_names_);
+  for (const std::size_t i : indices) {
+    if (i >= rows_.size()) throw InvalidArgument("subset index out of range");
+    out.add(rows_[i], labels_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::project(std::span<const int> features) const {
+  std::vector<std::string> names;
+  for (const int f : features) {
+    if (f < 0 || static_cast<std::size_t>(f) >= num_features()) {
+      throw InvalidArgument("projected feature out of range");
+    }
+    names.push_back(f < static_cast<int>(feature_names_.size())
+                        ? feature_names_[static_cast<std::size_t>(f)]
+                        : "f" + std::to_string(f));
+  }
+  Dataset out(std::move(names));
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::vector<double> row;
+    row.reserve(features.size());
+    for (const int f : features) {
+      row.push_back(rows_[i][static_cast<std::size_t>(f)]);
+    }
+    out.add(std::move(row), labels_[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> stratified_kfold(const Dataset& dataset,
+                                                       int folds,
+                                                       util::Rng& rng) {
+  if (folds < 2) throw InvalidArgument("need at least 2 folds");
+  std::vector<std::size_t> positives;
+  std::vector<std::size_t> negatives;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    (dataset.label(i) == 1 ? positives : negatives).push_back(i);
+  }
+  util::shuffle(positives, rng);
+  util::shuffle(negatives, rng);
+
+  std::vector<std::vector<std::size_t>> out(static_cast<std::size_t>(folds));
+  for (std::size_t i = 0; i < positives.size(); ++i) {
+    out[i % static_cast<std::size_t>(folds)].push_back(positives[i]);
+  }
+  for (std::size_t i = 0; i < negatives.size(); ++i) {
+    out[i % static_cast<std::size_t>(folds)].push_back(negatives[i]);
+  }
+  return out;
+}
+
+}  // namespace ssresf::ml

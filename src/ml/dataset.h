@@ -1,0 +1,58 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ssresf::ml {
+
+/// A dense labeled dataset with +1 / -1 labels (high / low sensitivity).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  void add(std::vector<double> row, int label);
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_features() const {
+    return rows_.empty() ? feature_names_.size() : rows_[0].size();
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    return rows_[i];
+  }
+  [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  [[nodiscard]] std::size_t count_label(int label) const;
+
+  /// Rows at `indices`, preserving order.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Keeps only the listed feature columns (projection for feature
+  /// selection).
+  [[nodiscard]] Dataset project(std::span<const int> features) const;
+
+  /// Mutable access for in-place scaling.
+  [[nodiscard]] std::vector<std::vector<double>>& mutable_rows() {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+/// Stratified k-fold split: each fold receives a proportional share of both
+/// classes, shuffled deterministically by `rng`. Returns k index lists.
+[[nodiscard]] std::vector<std::vector<std::size_t>> stratified_kfold(
+    const Dataset& dataset, int folds, util::Rng& rng);
+
+}  // namespace ssresf::ml

@@ -1,0 +1,105 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ssresf::ml {
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth == 1) {
+    predicted == 1 ? ++tp : ++fn;
+  } else {
+    predicted == 1 ? ++fp : ++tn;
+  }
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  tp += other.tp;
+  tn += other.tn;
+  fp += other.fp;
+  fn += other.fn;
+  return *this;
+}
+
+double ConfusionMatrix::tpr() const {
+  return tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                     : 0.0;
+}
+
+double ConfusionMatrix::tnr() const {
+  return tn + fp > 0 ? static_cast<double>(tn) / static_cast<double>(tn + fp)
+                     : 0.0;
+}
+
+double ConfusionMatrix::precision() const {
+  return tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                     : 0.0;
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total() > 0 ? static_cast<double>(tp + tn) / static_cast<double>(total())
+                     : 0.0;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = tpr();
+  return p + r > 0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ConfusionMatrix evaluate(const SvmClassifier& model, const Dataset& dataset) {
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    cm.add(dataset.label(i), model.predict(dataset.row(i)));
+  }
+  return cm;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> decision_values,
+                                std::span<const int> labels) {
+  if (decision_values.size() != labels.size() || labels.empty()) {
+    throw InvalidArgument("roc_curve: bad inputs");
+  }
+  std::size_t positives = 0;
+  std::size_t negatives = 0;
+  for (const int y : labels) (y == 1 ? positives : negatives) += 1;
+  if (positives == 0 || negatives == 0) {
+    throw InvalidArgument("roc_curve needs both classes");
+  }
+
+  std::vector<std::size_t> order(labels.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return decision_values[a] > decision_values[b];
+  });
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    const std::size_t i = order[idx];
+    (labels[i] == 1 ? tp : fp) += 1;
+    // Emit a point after each group of equal scores.
+    if (idx + 1 < order.size() &&
+        decision_values[order[idx + 1]] == decision_values[i]) {
+      continue;
+    }
+    curve.push_back({static_cast<double>(fp) / static_cast<double>(negatives),
+                     static_cast<double>(tp) / static_cast<double>(positives),
+                     decision_values[i]});
+  }
+  return curve;
+}
+
+double roc_auc(std::span<const RocPoint> curve) {
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    area += (curve[i].fpr - curve[i - 1].fpr) *
+            (curve[i].tpr + curve[i - 1].tpr) * 0.5;
+  }
+  return area;
+}
+
+}  // namespace ssresf::ml

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+
+#include "ml/svm.h"
+
+namespace ssresf::ml {
+
+/// Binary confusion matrix and the derived indicators the paper reports in
+/// Table II (TNR, TPR, precision, accuracy, F1).
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t tn = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  void add(int truth, int predicted);
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other);
+
+  [[nodiscard]] std::size_t total() const { return tp + tn + fp + fn; }
+  [[nodiscard]] double tpr() const;        // recall / sensitivity
+  [[nodiscard]] double tnr() const;        // specificity
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double f1() const;
+};
+
+/// Confusion matrix of a trained classifier over a dataset.
+[[nodiscard]] ConfusionMatrix evaluate(const SvmClassifier& model,
+                                       const Dataset& dataset);
+
+/// One point of a ROC curve.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC curve from decision values: thresholds sweep the sorted scores;
+/// points are ordered by increasing FPR (Fig. 6).
+[[nodiscard]] std::vector<RocPoint> roc_curve(
+    std::span<const double> decision_values, std::span<const int> labels);
+
+/// Area under the ROC curve (trapezoidal).
+[[nodiscard]] double roc_auc(std::span<const RocPoint> curve);
+
+}  // namespace ssresf::ml

@@ -1,0 +1,85 @@
+#include "ml/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ssresf::ml {
+
+void MinMaxScaler::fit(const Dataset& dataset) {
+  if (dataset.size() == 0) throw InvalidArgument("fit on empty dataset");
+  const std::size_t nf = dataset.num_features();
+  min_.assign(nf, std::numeric_limits<double>::infinity());
+  max_.assign(nf, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto row = dataset.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      min_[f] = std::min(min_[f], row[f]);
+      max_[f] = std::max(max_[f], row[f]);
+    }
+  }
+}
+
+std::vector<double> MinMaxScaler::transform_row(
+    std::span<const double> row) const {
+  if (row.size() != min_.size()) {
+    throw InvalidArgument("scaler/row feature count mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    const double range = max_[f] - min_[f];
+    out[f] = range > 0 ? (row[f] - min_[f]) / range : 0.0;
+  }
+  return out;
+}
+
+void MinMaxScaler::transform(Dataset& dataset) const {
+  for (auto& row : dataset.mutable_rows()) {
+    const auto scaled = transform_row(row);
+    row.assign(scaled.begin(), scaled.end());
+  }
+}
+
+void StandardScaler::fit(const Dataset& dataset) {
+  if (dataset.size() == 0) throw InvalidArgument("fit on empty dataset");
+  const std::size_t nf = dataset.num_features();
+  mean_.assign(nf, 0.0);
+  stddev_.assign(nf, 0.0);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto row = dataset.row(i);
+    for (std::size_t f = 0; f < nf; ++f) mean_[f] += row[f];
+  }
+  for (double& m : mean_) m /= static_cast<double>(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const auto row = dataset.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double d = row[f] - mean_[f];
+      stddev_[f] += d * d;
+    }
+  }
+  for (double& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(dataset.size()));
+  }
+}
+
+std::vector<double> StandardScaler::transform_row(
+    std::span<const double> row) const {
+  if (row.size() != mean_.size()) {
+    throw InvalidArgument("scaler/row feature count mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    out[f] = stddev_[f] > 0 ? (row[f] - mean_[f]) / stddev_[f] : 0.0;
+  }
+  return out;
+}
+
+void StandardScaler::transform(Dataset& dataset) const {
+  for (auto& row : dataset.mutable_rows()) {
+    const auto scaled = transform_row(row);
+    row.assign(scaled.begin(), scaled.end());
+  }
+}
+
+}  // namespace ssresf::ml

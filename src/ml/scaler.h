@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace ssresf::ml {
+
+/// Min-max normalization to [0, 1] per feature (the paper's preprocessing
+/// step "cleaning, coding, normalization"). Constant features map to 0.
+class MinMaxScaler {
+ public:
+  void fit(const Dataset& dataset);
+  [[nodiscard]] std::vector<double> transform_row(
+      std::span<const double> row) const;
+  void transform(Dataset& dataset) const;
+  void fit_transform(Dataset& dataset) {
+    fit(dataset);
+    transform(dataset);
+  }
+
+  [[nodiscard]] bool fitted() const { return !min_.empty(); }
+  [[nodiscard]] const std::vector<double>& minimums() const { return min_; }
+  [[nodiscard]] const std::vector<double>& maximums() const { return max_; }
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+/// Z-score standardization (zero mean, unit variance) — the alternative
+/// normalizer, used by the preprocessing ablation bench.
+class StandardScaler {
+ public:
+  void fit(const Dataset& dataset);
+  [[nodiscard]] std::vector<double> transform_row(
+      std::span<const double> row) const;
+  void transform(Dataset& dataset) const;
+  void fit_transform(Dataset& dataset) {
+    fit(dataset);
+    transform(dataset);
+  }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace ssresf::ml

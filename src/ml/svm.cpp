@@ -1,0 +1,146 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ssresf::ml {
+
+double kernel_eval(const KernelConfig& kernel, std::span<const double> a,
+                   std::span<const double> b) {
+  if (a.size() != b.size()) throw InvalidArgument("kernel operand size mismatch");
+  switch (kernel.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return dot;
+    }
+    case KernelType::kRbf: {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        dist2 += d * d;
+      }
+      return std::exp(-kernel.gamma * dist2);
+    }
+    case KernelType::kPoly: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+      return std::pow(kernel.gamma * dot + kernel.coef0, kernel.degree);
+    }
+  }
+  throw InvalidArgument("unknown kernel type");
+}
+
+void SvmClassifier::train(const Dataset& dataset) {
+  const std::size_t n = dataset.size();
+  if (n < 2) throw InvalidArgument("SVM needs at least two samples");
+  if (dataset.count_label(1) == 0 || dataset.count_label(-1) == 0) {
+    throw InvalidArgument("SVM needs both classes present");
+  }
+
+  // Full kernel matrix cache (n is at most a few thousand in SSRESF).
+  if (n > 8192) throw InvalidArgument("dataset too large for the kernel cache");
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel_eval(config_.kernel, dataset.row(i), dataset.row(j));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+  const auto y = [&](std::size_t i) {
+    return static_cast<double>(dataset.label(i));
+  };
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  const double c = config_.c;
+  const double tol = config_.tolerance;
+  util::Rng rng(config_.seed);
+
+  auto f = [&](std::size_t i) {
+    double sum = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) sum += alpha[j] * y(j) * k[j * n + i];
+    }
+    return sum;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < config_.max_passes && iterations < config_.max_iterations) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n && iterations < config_.max_iterations; ++i) {
+      ++iterations;
+      const double ei = f(i) - y(i);
+      const bool violates = (y(i) * ei < -tol && alpha[i] < c) ||
+                            (y(i) * ei > tol && alpha[i] > 0);
+      if (!violates) continue;
+      std::size_t j = static_cast<std::size_t>(rng.below(n - 1));
+      if (j >= i) ++j;
+      const double ej = f(j) - y(j);
+      const double ai_old = alpha[i];
+      const double aj_old = alpha[j];
+      double lo;
+      double hi;
+      if (dataset.label(i) != dataset.label(j)) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(c, c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - c);
+        hi = std::min(c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      const double eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      if (eta >= 0) continue;
+      double aj = aj_old - y(j) * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-6) continue;
+      const double ai = ai_old + y(i) * y(j) * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+      const double b1 = b - ei - y(i) * (ai - ai_old) * k[i * n + i] -
+                        y(j) * (aj - aj_old) * k[i * n + j];
+      const double b2 = b - ej - y(i) * (ai - ai_old) * k[i * n + j] -
+                        y(j) * (aj - aj_old) * k[j * n + j];
+      if (ai > 0 && ai < c) {
+        b = b1;
+      } else if (aj > 0 && aj < c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  support_x_.clear();
+  support_alpha_y_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      support_x_.emplace_back(dataset.row(i).begin(), dataset.row(i).end());
+      support_alpha_y_.push_back(alpha[i] * y(i));
+    }
+  }
+  bias_ = b;
+  if (support_x_.empty()) {
+    // Degenerate convergence: fall back to a majority-vote bias.
+    bias_ = dataset.count_label(1) >= dataset.count_label(-1) ? 1.0 : -1.0;
+  }
+}
+
+double SvmClassifier::decision_value(std::span<const double> x) const {
+  if (!trained() && support_x_.empty()) {
+    return bias_;  // degenerate majority model
+  }
+  double sum = bias_;
+  for (std::size_t i = 0; i < support_x_.size(); ++i) {
+    sum += support_alpha_y_[i] * kernel_eval(config_.kernel, support_x_[i], x);
+  }
+  return sum;
+}
+
+}  // namespace ssresf::ml

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace ssresf::ml {
+
+enum class KernelType { kLinear, kRbf, kPoly };
+
+struct KernelConfig {
+  KernelType type = KernelType::kRbf;
+  double gamma = 1.0;  // RBF / poly scale
+  int degree = 3;      // poly only
+  double coef0 = 1.0;  // poly only
+};
+
+[[nodiscard]] double kernel_eval(const KernelConfig& kernel,
+                                 std::span<const double> a,
+                                 std::span<const double> b);
+
+struct SvmConfig {
+  KernelConfig kernel;
+  double c = 1.0;          // soft-margin penalty
+  double tolerance = 1e-3;
+  int max_passes = 8;      // convergence: passes without alpha updates
+  int max_iterations = 20000;
+  std::uint64_t seed = 42;
+};
+
+/// Soft-margin SVM trained with Platt's SMO (simplified heuristics, full
+/// kernel-matrix cache for the dataset sizes SSRESF produces). Decision
+/// value f(x) = sum_i alpha_i y_i K(x_i, x) + b; predict = sign(f).
+class SvmClassifier {
+ public:
+  explicit SvmClassifier(SvmConfig config = {}) : config_(std::move(config)) {}
+
+  void train(const Dataset& dataset);
+
+  [[nodiscard]] bool trained() const { return !support_x_.empty(); }
+  [[nodiscard]] double decision_value(std::span<const double> x) const;
+  [[nodiscard]] int predict(std::span<const double> x) const {
+    return decision_value(x) >= 0 ? 1 : -1;
+  }
+
+  [[nodiscard]] std::size_t num_support_vectors() const {
+    return support_x_.size();
+  }
+  [[nodiscard]] double bias() const { return bias_; }
+  [[nodiscard]] const SvmConfig& config() const { return config_; }
+
+ private:
+  SvmConfig config_;
+  std::vector<std::vector<double>> support_x_;
+  std::vector<double> support_alpha_y_;  // alpha_i * y_i
+  double bias_ = 0.0;
+};
+
+}  // namespace ssresf::ml

@@ -1,0 +1,267 @@
+#include "netlist/builder.h"
+
+#include "util/error.h"
+
+namespace ssresf::netlist {
+
+NetlistBuilder::NetlistBuilder(std::string top_name) {
+  netlist_.set_name(std::move(top_name));
+  scope_stack_.push_back(netlist_.root_scope());
+}
+
+NetlistBuilder::ScopeGuard NetlistBuilder::scope(std::string name,
+                                                 ModuleClass mclass) {
+  const ScopeId id =
+      netlist_.add_scope(std::move(name), scope_stack_.back(), mclass);
+  scope_stack_.push_back(id);
+  return ScopeGuard(this);
+}
+
+void NetlistBuilder::pop_scope() {
+  if (scope_stack_.size() <= 1) {
+    throw InternalError("scope stack underflow");
+  }
+  scope_stack_.pop_back();
+}
+
+NetId NetlistBuilder::input(std::string name) {
+  const NetId net = netlist_.add_net(name);
+  netlist_.mark_primary_input(net, std::move(name));
+  return net;
+}
+
+std::vector<NetId> NetlistBuilder::input_bus(const std::string& name,
+                                             int width) {
+  if (width <= 0) throw InvalidArgument("input_bus width must be positive");
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+void NetlistBuilder::output(NetId net, std::string name) {
+  netlist_.mark_primary_output(net, std::move(name));
+}
+
+void NetlistBuilder::output_bus(std::span<const NetId> bus,
+                                const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    netlist_.mark_primary_output(bus[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+NetId NetlistBuilder::wire(std::string name) {
+  return netlist_.add_net(std::move(name));
+}
+
+std::vector<NetId> NetlistBuilder::wire_bus(int width, const std::string& name) {
+  if (width <= 0) throw InvalidArgument("wire_bus width must be positive");
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(wire(name.empty() ? std::string()
+                                    : name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+void NetlistBuilder::drive(NetId dst, NetId src) {
+  netlist_.add_cell(CellKind::kBuf, scope_stack_.back(), unique_name("drv"),
+                    {src}, {dst});
+}
+
+void NetlistBuilder::drive_bus(std::span<const NetId> dst,
+                               std::span<const NetId> src) {
+  if (dst.size() != src.size()) {
+    throw InvalidArgument("drive_bus width mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) drive(dst[i], src[i]);
+}
+
+NetId NetlistBuilder::zero() {
+  if (!zero_net_.valid()) {
+    zero_net_ = netlist_.add_net("const0");
+    netlist_.add_cell(CellKind::kConst0, netlist_.root_scope(), "tie_lo", {},
+                      {zero_net_});
+  }
+  return zero_net_;
+}
+
+NetId NetlistBuilder::one() {
+  if (!one_net_.valid()) {
+    one_net_ = netlist_.add_net("const1");
+    netlist_.add_cell(CellKind::kConst1, netlist_.root_scope(), "tie_hi", {},
+                      {one_net_});
+  }
+  return one_net_;
+}
+
+NetId NetlistBuilder::gate(CellKind kind, std::vector<NetId> inputs,
+                           std::string name) {
+  if (is_sequential(kind)) {
+    throw InvalidArgument("gate() cannot create sequential cells");
+  }
+  if (name.empty()) name = unique_name(spec(kind).lib_name);
+  const NetId out = netlist_.add_net();
+  netlist_.add_cell(kind, scope_stack_.back(), std::move(name),
+                    std::move(inputs), {out});
+  return out;
+}
+
+NetId NetlistBuilder::and_reduce(std::span<const NetId> nets) {
+  if (nets.empty()) throw InvalidArgument("and_reduce of empty span");
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    // Prefer 4- and 3-input gates to keep tree depth low, like a mapper.
+    while (level.size() - i >= 4) {
+      next.push_back(gate(CellKind::kAnd4,
+                          {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+      i += 4;
+    }
+    if (level.size() - i == 3) {
+      next.push_back(gate(CellKind::kAnd3, {level[i], level[i + 1], level[i + 2]}));
+      i += 3;
+    } else if (level.size() - i == 2) {
+      next.push_back(and2(level[i], level[i + 1]));
+      i += 2;
+    } else if (level.size() - i == 1) {
+      next.push_back(level[i]);
+      i += 1;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId NetlistBuilder::or_reduce(std::span<const NetId> nets) {
+  if (nets.empty()) throw InvalidArgument("or_reduce of empty span");
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (level.size() - i >= 4) {
+      next.push_back(gate(CellKind::kOr4,
+                          {level[i], level[i + 1], level[i + 2], level[i + 3]}));
+      i += 4;
+    }
+    if (level.size() - i == 3) {
+      next.push_back(gate(CellKind::kOr3, {level[i], level[i + 1], level[i + 2]}));
+      i += 3;
+    } else if (level.size() - i == 2) {
+      next.push_back(or2(level[i], level[i + 1]));
+      i += 2;
+    } else if (level.size() - i == 1) {
+      next.push_back(level[i]);
+      i += 1;
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetlistBuilder::FlopOut NetlistBuilder::dff(NetId d, NetId clk,
+                                            std::string name) {
+  if (name.empty()) name = unique_name("dff");
+  const NetId q = netlist_.add_net();
+  const NetId qn = netlist_.add_net();
+  const CellId cell = netlist_.add_cell(CellKind::kDff, scope_stack_.back(),
+                                        std::move(name), {d, clk}, {q, qn});
+  return {q, qn, cell};
+}
+
+NetlistBuilder::FlopOut NetlistBuilder::dffr(NetId d, NetId clk, NetId rstn,
+                                             std::string name) {
+  if (name.empty()) name = unique_name("dffr");
+  const NetId q = netlist_.add_net();
+  const NetId qn = netlist_.add_net();
+  const CellId cell =
+      netlist_.add_cell(CellKind::kDffR, scope_stack_.back(), std::move(name),
+                        {d, clk, rstn}, {q, qn});
+  return {q, qn, cell};
+}
+
+NetlistBuilder::FlopOut NetlistBuilder::dffe(NetId d, NetId clk, NetId rstn,
+                                             NetId en, std::string name) {
+  if (name.empty()) name = unique_name("dffe");
+  const NetId q = netlist_.add_net();
+  const NetId qn = netlist_.add_net();
+  const CellId cell =
+      netlist_.add_cell(CellKind::kDffE, scope_stack_.back(), std::move(name),
+                        {d, clk, rstn, en}, {q, qn});
+  return {q, qn, cell};
+}
+
+std::vector<NetId> NetlistBuilder::register_bus(std::span<const NetId> d,
+                                                NetId clk, NetId rstn,
+                                                const std::string& name) {
+  std::vector<NetId> q;
+  q.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q.push_back(dffr(d[i], clk, rstn, name + "_" + std::to_string(i)).q);
+  }
+  return q;
+}
+
+std::vector<NetId> NetlistBuilder::register_bus_en(std::span<const NetId> d,
+                                                   NetId clk, NetId rstn,
+                                                   NetId en,
+                                                   const std::string& name) {
+  std::vector<NetId> q;
+  q.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q.push_back(dffe(d[i], clk, rstn, en, name + "_" + std::to_string(i)).q);
+  }
+  return q;
+}
+
+NetlistBuilder::MemOut NetlistBuilder::memory(MemoryInfo info, NetId clk,
+                                              NetId en, NetId we,
+                                              std::span<const NetId> raddr,
+                                              std::span<const NetId> waddr,
+                                              std::span<const NetId> wdata,
+                                              std::string name) {
+  const std::int32_t mem_index = netlist_.add_memory(std::move(info));
+  const MemoryInfo& mi = netlist_.memory(mem_index);
+  if (raddr.size() != mi.addr_bits || waddr.size() != mi.addr_bits) {
+    throw InvalidArgument("memory addr bus width mismatch");
+  }
+  if (wdata.size() != mi.width) {
+    throw InvalidArgument("memory wdata bus width mismatch");
+  }
+  std::vector<NetId> inputs;
+  inputs.reserve(3 + raddr.size() + waddr.size() + wdata.size());
+  inputs.push_back(clk);
+  inputs.push_back(en);
+  inputs.push_back(we);
+  inputs.insert(inputs.end(), raddr.begin(), raddr.end());
+  inputs.insert(inputs.end(), waddr.begin(), waddr.end());
+  inputs.insert(inputs.end(), wdata.begin(), wdata.end());
+  std::vector<NetId> rdata;
+  rdata.reserve(mi.width);
+  for (int i = 0; i < mi.width; ++i) rdata.push_back(netlist_.add_net());
+  if (name.empty()) name = unique_name("mem");
+  const CellId cell =
+      netlist_.add_cell(CellKind::kMemory, scope_stack_.back(),
+                        std::move(name), std::move(inputs), rdata, mem_index);
+  return {cell, std::move(rdata)};
+}
+
+Netlist NetlistBuilder::finish() {
+  if (finished_) throw InternalError("NetlistBuilder::finish called twice");
+  finished_ = true;
+  netlist_.finalize();
+  return std::move(netlist_);
+}
+
+std::string NetlistBuilder::unique_name(std::string_view base) {
+  std::string name(base);
+  name += '_';
+  name += std::to_string(name_counter_++);
+  return name;
+}
+
+}  // namespace ssresf::netlist

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace ssresf::netlist {
+
+/// Convenience layer for constructing gate-level netlists programmatically.
+/// Tracks a scope stack (RAII via ScopeGuard), generates unique instance and
+/// net names, caches constant cells, and offers one helper per gate type.
+///
+/// Buses are plain vectors of single-bit nets, least-significant bit first.
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string top_name = "top");
+
+  NetlistBuilder(const NetlistBuilder&) = delete;
+  NetlistBuilder& operator=(const NetlistBuilder&) = delete;
+
+  // --- hierarchy ------------------------------------------------------------
+  class ScopeGuard {
+   public:
+    ~ScopeGuard() { builder_->pop_scope(); }
+    ScopeGuard(const ScopeGuard&) = delete;
+    ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+   private:
+    friend class NetlistBuilder;
+    explicit ScopeGuard(NetlistBuilder* b) : builder_(b) {}
+    NetlistBuilder* builder_;
+  };
+
+  /// Enter a child scope; leaves automatically when the guard dies.
+  [[nodiscard]] ScopeGuard scope(std::string name,
+                                 ModuleClass mclass = ModuleClass::kOther);
+  [[nodiscard]] ScopeId current_scope() const { return scope_stack_.back(); }
+
+  // --- ports and wires ------------------------------------------------------
+  NetId input(std::string name);
+  std::vector<NetId> input_bus(const std::string& name, int width);
+  void output(NetId net, std::string name);
+  void output_bus(std::span<const NetId> bus, const std::string& name);
+  NetId wire(std::string name = "");
+  std::vector<NetId> wire_bus(int width, const std::string& name = "");
+
+  /// Drives an existing (so far undriven) net from `src` through a buffer.
+  /// Enables forward references: create wires, consume them, drive later.
+  void drive(NetId dst, NetId src);
+  void drive_bus(std::span<const NetId> dst, std::span<const NetId> src);
+
+  // --- constants (shared cells, created on first use) ------------------------
+  NetId zero();
+  NetId one();
+  NetId constant(bool value) { return value ? one() : zero(); }
+
+  // --- single gates -----------------------------------------------------------
+  NetId gate(CellKind kind, std::vector<NetId> inputs, std::string name = "");
+  NetId buf(NetId a) { return gate(CellKind::kBuf, {a}); }
+  NetId inv(NetId a) { return gate(CellKind::kInv, {a}); }
+  NetId and2(NetId a, NetId b) { return gate(CellKind::kAnd2, {a, b}); }
+  NetId or2(NetId a, NetId b) { return gate(CellKind::kOr2, {a, b}); }
+  NetId nand2(NetId a, NetId b) { return gate(CellKind::kNand2, {a, b}); }
+  NetId nor2(NetId a, NetId b) { return gate(CellKind::kNor2, {a, b}); }
+  NetId xor2(NetId a, NetId b) { return gate(CellKind::kXor2, {a, b}); }
+  NetId xnor2(NetId a, NetId b) { return gate(CellKind::kXnor2, {a, b}); }
+  /// mux2(s, a, b) = a when s == 0, b when s == 1.
+  NetId mux2(NetId s, NetId a, NetId b) {
+    return gate(CellKind::kMux2, {s, a, b});
+  }
+  NetId aoi21(NetId a, NetId b, NetId c) {
+    return gate(CellKind::kAoi21, {a, b, c});
+  }
+  NetId oai21(NetId a, NetId b, NetId c) {
+    return gate(CellKind::kOai21, {a, b, c});
+  }
+
+  /// Balanced AND / OR reduction trees over any number of nets (>= 1).
+  NetId and_reduce(std::span<const NetId> nets);
+  NetId or_reduce(std::span<const NetId> nets);
+
+  // --- sequential -------------------------------------------------------------
+  struct FlopOut {
+    NetId q;
+    NetId qn;
+    CellId cell;
+  };
+  /// Plain DFF (no reset). Starts as X in event simulation.
+  FlopOut dff(NetId d, NetId clk, std::string name = "");
+  /// DFF with asynchronous active-low reset to 0.
+  FlopOut dffr(NetId d, NetId clk, NetId rstn, std::string name = "");
+  /// DFF with async reset and clock enable.
+  FlopOut dffe(NetId d, NetId clk, NetId rstn, NetId en,
+               std::string name = "");
+
+  /// Registers a whole bus with dffr; returns the Q bus.
+  std::vector<NetId> register_bus(std::span<const NetId> d, NetId clk,
+                                  NetId rstn, const std::string& name);
+  std::vector<NetId> register_bus_en(std::span<const NetId> d, NetId clk,
+                                     NetId rstn, NetId en,
+                                     const std::string& name);
+
+  // --- memory macro -------------------------------------------------------------
+  struct MemOut {
+    CellId cell;
+    std::vector<NetId> rdata;
+  };
+  /// Instantiates a behavioural 1R1W memory macro. `raddr` and `waddr` must
+  /// have exactly info.addr_bits nets each and `wdata` info.width nets (all
+  /// LSB first). For a classic single-port RAM pass the same nets to both
+  /// address buses.
+  MemOut memory(MemoryInfo info, NetId clk, NetId en, NetId we,
+                std::span<const NetId> raddr, std::span<const NetId> waddr,
+                std::span<const NetId> wdata, std::string name);
+
+  // --- finish ---------------------------------------------------------------------
+  /// Validates and returns the completed netlist; the builder is spent.
+  [[nodiscard]] Netlist finish();
+
+  /// Access to the netlist under construction (e.g. for memory init).
+  [[nodiscard]] Netlist& netlist() { return netlist_; }
+
+ private:
+  void pop_scope();
+  std::string unique_name(std::string_view base);
+
+  Netlist netlist_;
+  std::vector<ScopeId> scope_stack_;
+  std::uint64_t name_counter_ = 0;
+  NetId zero_net_;
+  NetId one_net_;
+  bool finished_ = false;
+};
+
+}  // namespace ssresf::netlist

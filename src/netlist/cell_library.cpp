@@ -1,0 +1,135 @@
+#include "netlist/cell_library.h"
+
+#include <array>
+
+#include "util/error.h"
+
+namespace ssresf::netlist {
+
+namespace {
+
+constexpr std::array<CellSpec, kNumCellKinds> kSpecs = {{
+    {"TIELO", CellKind::kConst0, 0, 1, false, 0},
+    {"TIEHI", CellKind::kConst1, 0, 1, false, 0},
+    {"BUFX1", CellKind::kBuf, 1, 1, false, 12},
+    {"INVX1", CellKind::kInv, 1, 1, false, 8},
+    {"AND2X1", CellKind::kAnd2, 2, 1, false, 16},
+    {"AND3X1", CellKind::kAnd3, 3, 1, false, 18},
+    {"AND4X1", CellKind::kAnd4, 4, 1, false, 20},
+    {"NAND2X1", CellKind::kNand2, 2, 1, false, 10},
+    {"NAND3X1", CellKind::kNand3, 3, 1, false, 12},
+    {"NAND4X1", CellKind::kNand4, 4, 1, false, 14},
+    {"OR2X1", CellKind::kOr2, 2, 1, false, 16},
+    {"OR3X1", CellKind::kOr3, 3, 1, false, 18},
+    {"OR4X1", CellKind::kOr4, 4, 1, false, 20},
+    {"NOR2X1", CellKind::kNor2, 2, 1, false, 10},
+    {"NOR3X1", CellKind::kNor3, 3, 1, false, 12},
+    {"NOR4X1", CellKind::kNor4, 4, 1, false, 14},
+    {"XOR2X1", CellKind::kXor2, 2, 1, false, 22},
+    {"XNOR2X1", CellKind::kXnor2, 2, 1, false, 22},
+    {"MUX2X1", CellKind::kMux2, 3, 1, false, 20},
+    {"AOI21X1", CellKind::kAoi21, 3, 1, false, 14},
+    {"OAI21X1", CellKind::kOai21, 3, 1, false, 14},
+    {"DFFX1", CellKind::kDff, 2, 2, true, 40},
+    {"DFFRX1", CellKind::kDffR, 3, 2, true, 40},
+    {"DFFREX1", CellKind::kDffE, 4, 2, true, 40},
+    {"SSRESF_MEM", CellKind::kMemory, 0, 0, true, 60},
+}};
+
+constexpr std::string_view kDffInputs[] = {"D", "CK", "RN", "EN"};
+constexpr std::string_view kDffOutputs[] = {"Q", "QN"};
+constexpr std::string_view kGateInputs[] = {"A", "B", "C", "D"};
+constexpr std::string_view kMuxInputs[] = {"S", "A", "B"};
+
+}  // namespace
+
+const CellSpec& spec(CellKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  if (index >= kSpecs.size()) {
+    throw InvalidArgument("unknown cell kind");
+  }
+  return kSpecs[index];
+}
+
+std::optional<CellKind> kind_from_name(std::string_view name) {
+  for (const auto& s : kSpecs) {
+    if (s.lib_name == name) return s.kind;
+  }
+  return std::nullopt;
+}
+
+std::string_view input_port_name(CellKind kind, int index) {
+  const auto& s = spec(kind);
+  if (index < 0 || index >= s.num_inputs) {
+    throw InvalidArgument("input port index out of range");
+  }
+  if (is_flip_flop(kind)) return kDffInputs[index];
+  if (kind == CellKind::kMux2) return kMuxInputs[index];
+  return kGateInputs[index];
+}
+
+std::string_view output_port_name(CellKind kind, int index) {
+  const auto& s = spec(kind);
+  if (index < 0 || index >= s.num_outputs) {
+    throw InvalidArgument("output port index out of range");
+  }
+  if (is_flip_flop(kind)) return kDffOutputs[index];
+  return "Y";
+}
+
+Logic eval_cell(CellKind kind, std::span<const Logic> in) {
+  switch (kind) {
+    case CellKind::kConst0:
+      return Logic::L0;
+    case CellKind::kConst1:
+      return Logic::L1;
+    case CellKind::kBuf:
+      return logic_not(logic_not(in[0]));
+    case CellKind::kInv:
+      return logic_not(in[0]);
+    case CellKind::kAnd2:
+      return logic_and(in[0], in[1]);
+    case CellKind::kAnd3:
+      return logic_and(logic_and(in[0], in[1]), in[2]);
+    case CellKind::kAnd4:
+      return logic_and(logic_and(in[0], in[1]), logic_and(in[2], in[3]));
+    case CellKind::kNand2:
+      return logic_not(logic_and(in[0], in[1]));
+    case CellKind::kNand3:
+      return logic_not(logic_and(logic_and(in[0], in[1]), in[2]));
+    case CellKind::kNand4:
+      return logic_not(
+          logic_and(logic_and(in[0], in[1]), logic_and(in[2], in[3])));
+    case CellKind::kOr2:
+      return logic_or(in[0], in[1]);
+    case CellKind::kOr3:
+      return logic_or(logic_or(in[0], in[1]), in[2]);
+    case CellKind::kOr4:
+      return logic_or(logic_or(in[0], in[1]), logic_or(in[2], in[3]));
+    case CellKind::kNor2:
+      return logic_not(logic_or(in[0], in[1]));
+    case CellKind::kNor3:
+      return logic_not(logic_or(logic_or(in[0], in[1]), in[2]));
+    case CellKind::kNor4:
+      return logic_not(
+          logic_or(logic_or(in[0], in[1]), logic_or(in[2], in[3])));
+    case CellKind::kXor2:
+      return logic_xor(in[0], in[1]);
+    case CellKind::kXnor2:
+      return logic_not(logic_xor(in[0], in[1]));
+    case CellKind::kMux2:
+      return logic_mux(in[0], in[1], in[2]);
+    case CellKind::kAoi21:
+      return logic_not(logic_or(logic_and(in[0], in[1]), in[2]));
+    case CellKind::kOai21:
+      return logic_not(logic_and(logic_or(in[0], in[1]), in[2]));
+    case CellKind::kDff:
+    case CellKind::kDffR:
+    case CellKind::kDffE:
+    case CellKind::kMemory:
+      throw InvalidArgument("eval_cell called on sequential cell");
+  }
+  throw InvalidArgument("eval_cell: unknown cell kind");
+}
+
+}  // namespace ssresf::netlist

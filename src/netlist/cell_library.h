@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "netlist/logic.h"
+
+namespace ssresf::netlist {
+
+/// The standard-cell vocabulary of generated and parsed netlists. Mirrors a
+/// small industrial library: basic combinational gates, a mux, two
+/// AOI/OAI complex gates, D flip-flop variants, and a behavioural memory
+/// macro (real synthesized netlists instantiate SRAM macros, not bitcells).
+enum class CellKind : std::uint8_t {
+  kConst0,
+  kConst1,
+  kBuf,
+  kInv,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kNand2,
+  kNand3,
+  kNand4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kXor2,
+  kXnor2,
+  kMux2,   // inputs: S, A (sel=0), B (sel=1)
+  kAoi21,  // Y = !((A & B) | C)
+  kOai21,  // Y = !((A | B) & C)
+  kDff,    // inputs: D, CK           outputs: Q, QN
+  kDffR,   // inputs: D, CK, RN       outputs: Q, QN   (async, active-low)
+  kDffE,   // inputs: D, CK, RN, EN   outputs: Q, QN
+  kMemory, // behavioural macro; see MemoryInfo
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kMemory) + 1;
+
+struct CellSpec {
+  std::string_view lib_name;  // library cell name used in structural Verilog
+  CellKind kind;
+  std::uint8_t num_inputs;    // fixed input count (0 for kMemory: variable)
+  std::uint8_t num_outputs;   // fixed output count (0 for kMemory: variable)
+  bool sequential;            // holds state across clock edges
+  int delay_ps;               // intrinsic propagation (or clk->q) delay
+};
+
+/// Static description of a cell kind.
+[[nodiscard]] const CellSpec& spec(CellKind kind);
+
+/// Reverse lookup from a library cell name (e.g. "NAND2X1").
+[[nodiscard]] std::optional<CellKind> kind_from_name(std::string_view name);
+
+/// Port name for structural Verilog, e.g. kNand2 input 0 is "A", the DFF
+/// output 1 is "QN". Memory macros use generated per-bit names instead.
+[[nodiscard]] std::string_view input_port_name(CellKind kind, int index);
+[[nodiscard]] std::string_view output_port_name(CellKind kind, int index);
+
+[[nodiscard]] constexpr bool is_sequential(CellKind kind) {
+  return kind == CellKind::kDff || kind == CellKind::kDffR ||
+         kind == CellKind::kDffE || kind == CellKind::kMemory;
+}
+
+[[nodiscard]] constexpr bool is_flip_flop(CellKind kind) {
+  return kind == CellKind::kDff || kind == CellKind::kDffR ||
+         kind == CellKind::kDffE;
+}
+
+/// Evaluate a purely combinational cell on its inputs. Precondition: `kind`
+/// is combinational and `inputs.size() == spec(kind).num_inputs`.
+[[nodiscard]] Logic eval_cell(CellKind kind, std::span<const Logic> inputs);
+
+}  // namespace ssresf::netlist

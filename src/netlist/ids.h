@@ -1,0 +1,41 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ssresf::netlist {
+
+/// Strongly typed index. Prevents accidentally mixing net/cell/scope indices,
+/// which plain integers invite.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = UINT32_MAX;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != UINT32_MAX; }
+  [[nodiscard]] constexpr std::uint32_t index() const { return value; }
+
+  friend constexpr auto operator<=>(const Id&, const Id&) = default;
+};
+
+using NetId = Id<struct NetTag>;
+using CellId = Id<struct CellTag>;
+using ScopeId = Id<struct ScopeTag>;
+
+inline constexpr NetId kNoNet{};
+inline constexpr CellId kNoCell{};
+inline constexpr ScopeId kNoScope{};
+
+}  // namespace ssresf::netlist
+
+namespace std {
+template <typename Tag>
+struct hash<ssresf::netlist::Id<Tag>> {
+  std::size_t operator()(const ssresf::netlist::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ssresf::netlist {
+
+/// Four-valued logic per IEEE 1364: 0, 1, unknown (X), high-impedance (Z).
+/// Z behaves as X when consumed by a gate input.
+enum class Logic : std::uint8_t { L0 = 0, L1 = 1, X = 2, Z = 3 };
+
+[[nodiscard]] constexpr bool is_known(Logic v) {
+  return v == Logic::L0 || v == Logic::L1;
+}
+
+[[nodiscard]] constexpr Logic from_bool(bool b) {
+  return b ? Logic::L1 : Logic::L0;
+}
+
+/// Converts a consumed value: Z reads as X at a gate input.
+[[nodiscard]] constexpr Logic as_input(Logic v) {
+  return v == Logic::Z ? Logic::X : v;
+}
+
+[[nodiscard]] constexpr Logic logic_not(Logic a) {
+  a = as_input(a);
+  if (a == Logic::L0) return Logic::L1;
+  if (a == Logic::L1) return Logic::L0;
+  return Logic::X;
+}
+
+[[nodiscard]] constexpr Logic logic_and(Logic a, Logic b) {
+  a = as_input(a);
+  b = as_input(b);
+  if (a == Logic::L0 || b == Logic::L0) return Logic::L0;
+  if (a == Logic::L1 && b == Logic::L1) return Logic::L1;
+  return Logic::X;
+}
+
+[[nodiscard]] constexpr Logic logic_or(Logic a, Logic b) {
+  a = as_input(a);
+  b = as_input(b);
+  if (a == Logic::L1 || b == Logic::L1) return Logic::L1;
+  if (a == Logic::L0 && b == Logic::L0) return Logic::L0;
+  return Logic::X;
+}
+
+[[nodiscard]] constexpr Logic logic_xor(Logic a, Logic b) {
+  a = as_input(a);
+  b = as_input(b);
+  if (!is_known(a) || !is_known(b)) return Logic::X;
+  return from_bool(a != b);
+}
+
+/// 2:1 multiplexer with the standard X-pessimism relaxation: when the select
+/// is unknown but both data inputs agree on a known value, that value wins.
+[[nodiscard]] constexpr Logic logic_mux(Logic sel, Logic a0, Logic a1) {
+  sel = as_input(sel);
+  a0 = as_input(a0);
+  a1 = as_input(a1);
+  if (sel == Logic::L0) return a0;
+  if (sel == Logic::L1) return a1;
+  if (a0 == a1 && is_known(a0)) return a0;
+  return Logic::X;
+}
+
+[[nodiscard]] constexpr char to_char(Logic v) {
+  switch (v) {
+    case Logic::L0:
+      return '0';
+    case Logic::L1:
+      return '1';
+    case Logic::X:
+      return 'x';
+    case Logic::Z:
+      return 'z';
+  }
+  return '?';
+}
+
+[[nodiscard]] constexpr Logic logic_from_char(char c) {
+  switch (c) {
+    case '0':
+      return Logic::L0;
+    case '1':
+      return Logic::L1;
+    case 'z':
+    case 'Z':
+      return Logic::Z;
+    default:
+      return Logic::X;
+  }
+}
+
+/// Inverts known values, maps unknowns to X. Used by SEU/SET fault models.
+[[nodiscard]] constexpr Logic logic_flip(Logic v) { return logic_not(v); }
+
+}  // namespace ssresf::netlist

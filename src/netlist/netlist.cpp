@@ -1,0 +1,326 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ssresf::netlist {
+
+std::string_view module_class_name(ModuleClass c) {
+  switch (c) {
+    case ModuleClass::kOther:
+      return "other";
+    case ModuleClass::kCpu:
+      return "cpu";
+    case ModuleClass::kMemory:
+      return "memory";
+    case ModuleClass::kBus:
+      return "bus";
+    case ModuleClass::kPeripheral:
+      return "peripheral";
+  }
+  return "?";
+}
+
+std::string_view mem_tech_name(MemTech tech) {
+  switch (tech) {
+    case MemTech::kSram:
+      return "SRAM";
+    case MemTech::kDram:
+      return "DRAM";
+    case MemTech::kRadHardSram:
+      return "RadHardSRAM";
+  }
+  return "?";
+}
+
+Netlist::Netlist() {
+  scopes_.push_back(Scope{"top", kNoScope, 0, ModuleClass::kOther});
+}
+
+ScopeId Netlist::add_scope(std::string name, ScopeId parent,
+                           ModuleClass mclass) {
+  if (!parent.valid() || parent.index() >= scopes_.size()) {
+    throw InvalidArgument("add_scope: invalid parent scope");
+  }
+  Scope s;
+  s.name = std::move(name);
+  s.parent = parent;
+  s.depth = static_cast<std::uint16_t>(scopes_[parent.index()].depth + 1);
+  s.mclass = mclass;
+  scopes_.push_back(std::move(s));
+  finalized_ = false;
+  return ScopeId{static_cast<std::uint32_t>(scopes_.size() - 1)};
+}
+
+NetId Netlist::add_net(std::string name) {
+  Net n;
+  n.name = std::move(name);
+  n.driver = kNoCell;
+  nets_.push_back(std::move(n));
+  finalized_ = false;
+  return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+}
+
+CellId Netlist::add_cell(CellKind kind, ScopeId scope, std::string name,
+                         std::vector<NetId> inputs, std::vector<NetId> outputs,
+                         std::int32_t memory_index) {
+  if (!scope.valid() || scope.index() >= scopes_.size()) {
+    throw InvalidArgument("add_cell: invalid scope");
+  }
+  const CellSpec& s = spec(kind);
+  if (kind == CellKind::kMemory) {
+    if (memory_index < 0 ||
+        static_cast<std::size_t>(memory_index) >= memories_.size()) {
+      throw InvalidArgument("add_cell: memory cell requires memory_index");
+    }
+    const MemoryInfo& mi = memories_[static_cast<std::size_t>(memory_index)];
+    const std::size_t want_in = 3u + 2u * mi.addr_bits + mi.width;
+    if (inputs.size() != want_in || outputs.size() != mi.width) {
+      throw InvalidArgument("add_cell: memory port arity mismatch");
+    }
+  } else {
+    if (inputs.size() != s.num_inputs || outputs.size() != s.num_outputs) {
+      throw InvalidArgument("add_cell: arity mismatch for " +
+                            std::string(s.lib_name) + " '" + name + "'");
+    }
+  }
+  for (NetId in : inputs) check_net(in);
+  const CellId id{static_cast<std::uint32_t>(cells_.size())};
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    check_net(outputs[i]);
+    Net& out = nets_[outputs[i].index()];
+    if (out.driver.valid()) {
+      throw InvalidArgument("add_cell: net '" + net_name(outputs[i]) +
+                            "' already driven");
+    }
+    if (out.is_primary_input) {
+      throw InvalidArgument("add_cell: cannot drive primary input net");
+    }
+    out.driver = id;
+    out.driver_port = static_cast<std::uint16_t>(i);
+  }
+  Cell c;
+  c.name = std::move(name);
+  c.kind = kind;
+  c.scope = scope;
+  c.inputs = std::move(inputs);
+  c.outputs = std::move(outputs);
+  c.memory_index = memory_index;
+  cells_.push_back(std::move(c));
+  finalized_ = false;
+  return id;
+}
+
+std::int32_t Netlist::add_memory(MemoryInfo info) {
+  if (info.width == 0 || info.width > 64) {
+    throw InvalidArgument("memory width must be in [1, 64]");
+  }
+  if (info.words == 0 || (info.words & (info.words - 1)) != 0) {
+    throw InvalidArgument("memory word count must be a power of two");
+  }
+  std::uint32_t bits = 0;
+  while ((1u << bits) < info.words) ++bits;
+  info.addr_bits = static_cast<std::uint8_t>(bits == 0 ? 1 : bits);
+  if (!info.init.empty() && info.init.size() != info.words) {
+    throw InvalidArgument("memory init size mismatch");
+  }
+  memories_.push_back(std::move(info));
+  finalized_ = false;
+  return static_cast<std::int32_t>(memories_.size() - 1);
+}
+
+const MemoryInfo& Netlist::memory(std::int32_t index) const {
+  if (index < 0 || static_cast<std::size_t>(index) >= memories_.size()) {
+    throw InvalidArgument("invalid memory index");
+  }
+  return memories_[static_cast<std::size_t>(index)];
+}
+
+MemoryInfo& Netlist::mutable_memory(std::int32_t index) {
+  if (index < 0 || static_cast<std::size_t>(index) >= memories_.size()) {
+    throw InvalidArgument("invalid memory index");
+  }
+  return memories_[static_cast<std::size_t>(index)];
+}
+
+void Netlist::mark_primary_input(NetId net, std::string name) {
+  check_net(net);
+  Net& n = nets_[net.index()];
+  if (n.driver.valid()) {
+    throw InvalidArgument("primary input '" + name + "' already driven");
+  }
+  if (n.is_primary_input) {
+    throw InvalidArgument("net already marked as primary input");
+  }
+  n.is_primary_input = true;
+  if (n.name.empty()) n.name = name;
+  primary_inputs_.emplace_back(net, std::move(name));
+  finalized_ = false;
+}
+
+void Netlist::mark_primary_output(NetId net, std::string name) {
+  check_net(net);
+  primary_outputs_.emplace_back(net, std::move(name));
+  finalized_ = false;
+}
+
+void Netlist::set_scope_class(ScopeId id, ModuleClass mclass) {
+  if (!id.valid() || id.index() >= scopes_.size()) {
+    throw InvalidArgument("invalid scope id");
+  }
+  scopes_[id.index()].mclass = mclass;
+}
+
+void Netlist::finalize() {
+  // Every net must be driven or be a primary input.
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (!n.driver.valid() && !n.is_primary_input) {
+      throw Error("net '" + net_name(NetId{static_cast<std::uint32_t>(i)}) +
+                  "' is neither driven nor a primary input");
+    }
+  }
+  // Fanout CSR.
+  std::vector<std::uint32_t> counts(nets_.size() + 1, 0);
+  for (const Cell& c : cells_) {
+    for (NetId in : c.inputs) ++counts[in.index() + 1];
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+  fanout_offsets_ = counts;
+  fanout_entries_.assign(counts.back(), Fanout{});
+  std::vector<std::uint32_t> cursor(fanout_offsets_.begin(),
+                                    fanout_offsets_.end() - 1);
+  for (std::size_t ci = 0; ci < cells_.size(); ++ci) {
+    const Cell& c = cells_[ci];
+    for (std::size_t k = 0; k < c.inputs.size(); ++k) {
+      const auto net_index = c.inputs[k].index();
+      fanout_entries_[cursor[net_index]++] =
+          Fanout{CellId{static_cast<std::uint32_t>(ci)},
+                 static_cast<std::uint16_t>(k)};
+    }
+  }
+  // Name lookup tables.
+  net_by_name_.clear();
+  net_by_name_.reserve(nets_.size());
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (!nets_[i].name.empty()) {
+      net_by_name_.emplace(nets_[i].name, NetId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  cell_by_path_.clear();
+  cell_by_path_.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cell_by_path_.emplace(cell_path(CellId{static_cast<std::uint32_t>(i)}),
+                          CellId{static_cast<std::uint32_t>(i)});
+  }
+  finalized_ = true;
+}
+
+std::span<const Fanout> Netlist::fanout(NetId id) const {
+  if (!finalized_) throw InternalError("fanout() before finalize()");
+  check_net(id);
+  const auto begin = fanout_offsets_[id.index()];
+  const auto end = fanout_offsets_[id.index() + 1];
+  return {fanout_entries_.data() + begin, end - begin};
+}
+
+std::vector<CellId> Netlist::all_cells() const {
+  std::vector<CellId> out;
+  out.reserve(cells_.size());
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) out.push_back(CellId{i});
+  return out;
+}
+
+std::string Netlist::scope_path(ScopeId id) const {
+  if (!id.valid() || id.index() >= scopes_.size()) {
+    throw InvalidArgument("invalid scope id");
+  }
+  if (id.index() == 0) return scopes_[0].name;
+  std::vector<const Scope*> chain;
+  ScopeId cur = id;
+  while (cur.valid()) {
+    chain.push_back(&scopes_[cur.index()]);
+    cur = scopes_[cur.index()].parent;
+  }
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += '/';
+    out += (*it)->name;
+  }
+  return out;
+}
+
+std::string Netlist::cell_path(CellId id) const {
+  if (!id.valid() || id.index() >= cells_.size()) {
+    throw InvalidArgument("invalid cell id");
+  }
+  const Cell& c = cells_[id.index()];
+  return scope_path(c.scope) + '/' + c.name;
+}
+
+ScopeId Netlist::ancestor_at_depth(ScopeId scope, std::uint16_t depth) const {
+  if (!scope.valid() || scope.index() >= scopes_.size()) {
+    throw InvalidArgument("invalid scope id");
+  }
+  ScopeId cur = scope;
+  while (scopes_[cur.index()].depth > depth) {
+    cur = scopes_[cur.index()].parent;
+  }
+  if (scopes_[cur.index()].depth != depth) {
+    throw InvalidArgument("scope shallower than requested depth");
+  }
+  return cur;
+}
+
+ModuleClass Netlist::effective_class(ScopeId scope) const {
+  ScopeId cur = scope;
+  while (cur.valid()) {
+    const Scope& s = scopes_[cur.index()];
+    if (s.mclass != ModuleClass::kOther) return s.mclass;
+    cur = s.parent;
+  }
+  return ModuleClass::kOther;
+}
+
+std::string Netlist::net_name(NetId id) const {
+  check_net(id);
+  const Net& n = nets_[id.index()];
+  if (!n.name.empty()) return n.name;
+  return "n" + std::to_string(id.index());
+}
+
+NetId Netlist::find_net(std::string_view name) const {
+  const auto it = net_by_name_.find(std::string(name));
+  return it == net_by_name_.end() ? kNoNet : it->second;
+}
+
+CellId Netlist::find_cell(std::string_view path) const {
+  const auto it = cell_by_path_.find(std::string(path));
+  return it == cell_by_path_.end() ? kNoCell : it->second;
+}
+
+std::size_t Netlist::num_sequential_cells() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells_.begin(), cells_.end(), [](const Cell& c) {
+        return is_sequential(c.kind);
+      }));
+}
+
+std::size_t Netlist::num_combinational_cells() const {
+  return cells_.size() - num_sequential_cells();
+}
+
+std::uint16_t Netlist::max_depth() const {
+  std::uint16_t depth = 0;
+  for (const Scope& s : scopes_) depth = std::max(depth, s.depth);
+  return depth;
+}
+
+void Netlist::check_net(NetId id) const {
+  if (!id.valid() || id.index() >= nets_.size()) {
+    throw InvalidArgument("invalid net id");
+  }
+}
+
+}  // namespace ssresf::netlist

@@ -1,0 +1,196 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "netlist/ids.h"
+
+namespace ssresf::netlist {
+
+/// Functional grouping of a module, used by the Fig. 7 experiment (Memory /
+/// Bus / CPU-logic proportions) and as a node feature for the SVM.
+enum class ModuleClass : std::uint8_t {
+  kOther = 0,
+  kCpu = 1,
+  kMemory = 2,
+  kBus = 3,
+  kPeripheral = 4,
+};
+
+[[nodiscard]] std::string_view module_class_name(ModuleClass c);
+
+/// A node in the design hierarchy. Cells reference their scope; the chain of
+/// parents yields the hierarchical instance path used by the clustering
+/// distance (Eq. 1) and by the layer-depth feature.
+struct Scope {
+  std::string name;
+  ScopeId parent;          // kNoScope for the root
+  std::uint16_t depth = 0; // root is depth 0
+  ModuleClass mclass = ModuleClass::kOther;
+};
+
+/// Memory technology of a macro; functionally identical, but each technology
+/// carries different per-bit upset cross-sections in the soft-error database
+/// (SRAM > DRAM >> rad-hard SRAM, per the paper's Table I discussion).
+enum class MemTech : std::uint8_t {
+  kSram = 0,
+  kDram = 1,
+  kRadHardSram = 2,
+};
+
+[[nodiscard]] std::string_view mem_tech_name(MemTech tech);
+
+/// Parameters of a behavioural memory macro instance (1R1W).
+/// Port convention: inputs = [CLK, EN, WE, RADDR(addr_bits),
+/// WADDR(addr_bits), WDATA(width)], outputs = [RDATA(width)].
+/// Read is asynchronous on RADDR; write happens on posedge CLK at WADDR.
+struct MemoryInfo {
+  std::uint32_t words = 0;
+  std::uint8_t width = 0;  // bits per word, <= 64
+  std::uint8_t addr_bits = 0;
+  MemTech tech = MemTech::kSram;
+  std::vector<std::uint64_t> init;  // initial contents; empty means zeros
+
+  [[nodiscard]] std::uint64_t total_bits() const {
+    return static_cast<std::uint64_t>(words) * width;
+  }
+};
+
+struct Cell {
+  std::string name;  // leaf instance name, unique within its scope
+  CellKind kind = CellKind::kBuf;
+  ScopeId scope;
+  std::vector<NetId> inputs;
+  std::vector<NetId> outputs;
+  std::int32_t memory_index = -1;  // into Netlist::memories() for kMemory
+};
+
+struct Net {
+  std::string name;  // may be empty; generated on demand
+  CellId driver;     // kNoCell when primary input
+  std::uint16_t driver_port = 0;
+  bool is_primary_input = false;
+};
+
+/// One fanout destination of a net.
+struct Fanout {
+  CellId cell;
+  std::uint16_t input_index;
+};
+
+/// A flat gate-level netlist with hierarchical instance paths.
+///
+/// The netlist is mutated through add_* during construction (by
+/// NetlistBuilder or the Verilog parser) and becomes usable for simulation
+/// after finalize(), which validates structural invariants and builds the
+/// fanout index. Mutating after finalize() requires calling finalize() again.
+class Netlist {
+ public:
+  Netlist();
+
+  // --- construction --------------------------------------------------------
+  ScopeId add_scope(std::string name, ScopeId parent,
+                    ModuleClass mclass = ModuleClass::kOther);
+  NetId add_net(std::string name = "");
+  CellId add_cell(CellKind kind, ScopeId scope, std::string name,
+                  std::vector<NetId> inputs, std::vector<NetId> outputs,
+                  std::int32_t memory_index = -1);
+  std::int32_t add_memory(MemoryInfo info);
+
+  void mark_primary_input(NetId net, std::string name);
+  void mark_primary_output(NetId net, std::string name);
+  /// Renames the design (and its root scope, which heads every instance
+  /// path).
+  void set_name(std::string name) {
+    name_ = name;
+    scopes_[0].name = std::move(name);
+  }
+  void set_scope_class(ScopeId id, ModuleClass mclass);
+
+  /// Validates invariants (all nets driven or primary inputs, arities match
+  /// cell specs, memory parameters sane) and builds the fanout index and
+  /// name lookup tables. Throws Error on violation.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  // --- access ---------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
+  [[nodiscard]] std::size_t num_scopes() const { return scopes_.size(); }
+
+  [[nodiscard]] const Net& net(NetId id) const { return nets_[id.index()]; }
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_[id.index()]; }
+  [[nodiscard]] const Scope& scope(ScopeId id) const { return scopes_[id.index()]; }
+  [[nodiscard]] const MemoryInfo& memory(std::int32_t index) const;
+  [[nodiscard]] MemoryInfo& mutable_memory(std::int32_t index);
+
+  [[nodiscard]] ScopeId root_scope() const { return ScopeId{0}; }
+
+  [[nodiscard]] std::span<const Fanout> fanout(NetId id) const;
+
+  [[nodiscard]] const std::vector<std::pair<NetId, std::string>>&
+  primary_inputs() const {
+    return primary_inputs_;
+  }
+  [[nodiscard]] const std::vector<std::pair<NetId, std::string>>&
+  primary_outputs() const {
+    return primary_outputs_;
+  }
+
+  /// All cell ids, in creation order.
+  [[nodiscard]] std::vector<CellId> all_cells() const;
+
+  /// Hierarchical instance path, e.g. "soc/cpu0/alu/add_7".
+  [[nodiscard]] std::string cell_path(CellId id) const;
+  [[nodiscard]] std::string scope_path(ScopeId id) const;
+
+  /// Ancestor of `scope` at hierarchy depth `depth` (<= scope depth);
+  /// returns the scope itself when depth equals its own depth.
+  [[nodiscard]] ScopeId ancestor_at_depth(ScopeId scope,
+                                          std::uint16_t depth) const;
+
+  /// Effective module class: the cell's scope class, or the nearest ancestor
+  /// with a non-kOther class.
+  [[nodiscard]] ModuleClass effective_class(ScopeId scope) const;
+  [[nodiscard]] ModuleClass cell_class(CellId id) const {
+    return effective_class(cell(id).scope);
+  }
+
+  /// Net name; generates "n<id>" for anonymous nets.
+  [[nodiscard]] std::string net_name(NetId id) const;
+
+  /// Lookup by name (available after finalize()); kNoNet / kNoCell if absent.
+  [[nodiscard]] NetId find_net(std::string_view name) const;
+  [[nodiscard]] CellId find_cell(std::string_view path) const;
+
+  [[nodiscard]] std::size_t num_sequential_cells() const;
+  [[nodiscard]] std::size_t num_combinational_cells() const;
+
+  /// Maximum scope depth in the design (the paper's "layer depth" LN).
+  [[nodiscard]] std::uint16_t max_depth() const;
+
+ private:
+  void check_net(NetId id) const;
+
+  std::string name_ = "top";
+  std::vector<Scope> scopes_;
+  std::vector<Net> nets_;
+  std::vector<Cell> cells_;
+  std::vector<MemoryInfo> memories_;
+  std::vector<std::pair<NetId, std::string>> primary_inputs_;
+  std::vector<std::pair<NetId, std::string>> primary_outputs_;
+
+  // CSR fanout index, built by finalize().
+  std::vector<std::uint32_t> fanout_offsets_;
+  std::vector<Fanout> fanout_entries_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::unordered_map<std::string, CellId> cell_by_path_;
+  bool finalized_ = false;
+};
+
+}  // namespace ssresf::netlist

@@ -1,0 +1,180 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ssresf::netlist {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.num_cells = netlist.num_cells();
+  stats.num_nets = netlist.num_nets();
+  for (const CellId id : netlist.all_cells()) {
+    const Cell& cell = netlist.cell(id);
+    ++stats.per_kind[static_cast<std::size_t>(cell.kind)];
+    ++stats.per_class[static_cast<std::size_t>(netlist.cell_class(id))];
+    if (is_sequential(cell.kind)) {
+      ++stats.num_sequential;
+    } else {
+      ++stats.num_combinational;
+    }
+    if (cell.kind == CellKind::kMemory) {
+      ++stats.num_memory_macros;
+      const MemoryInfo& mi = netlist.memory(cell.memory_index);
+      stats.memory_bits += static_cast<std::uint64_t>(mi.words) * mi.width;
+    }
+  }
+  const auto depths = compute_logic_depths(netlist);
+  for (int d : depths) stats.max_logic_depth = std::max(stats.max_logic_depth, d);
+  return stats;
+}
+
+std::vector<int> compute_logic_depths(const Netlist& netlist) {
+  // Kahn-style topological sweep over combinational cells only. Net depth =
+  // depth of its driving cell (0 for primary inputs and sequential outputs);
+  // cell depth = 1 + max over input net depths.
+  const std::size_t num_cells = netlist.num_cells();
+  std::vector<int> cell_depth(num_cells, 0);
+  std::vector<int> net_depth(netlist.num_nets(), 0);
+  std::vector<std::uint32_t> pending(num_cells, 0);
+  std::vector<CellId> ready;
+
+  for (std::uint32_t ci = 0; ci < num_cells; ++ci) {
+    const Cell& cell = netlist.cell(CellId{ci});
+    if (is_sequential(cell.kind)) continue;
+    std::uint32_t unresolved = 0;
+    for (const NetId in : cell.inputs) {
+      const Net& net = netlist.net(in);
+      if (net.is_primary_input) continue;
+      const Cell& driver = netlist.cell(net.driver);
+      if (!is_sequential(driver.kind)) ++unresolved;
+    }
+    pending[ci] = unresolved;
+    if (unresolved == 0) ready.push_back(CellId{ci});
+  }
+
+  std::size_t processed = 0;
+  std::size_t num_combinational = 0;
+  for (std::uint32_t ci = 0; ci < num_cells; ++ci) {
+    if (!is_sequential(netlist.cell(CellId{ci}).kind)) ++num_combinational;
+  }
+
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    ++processed;
+    const Cell& cell = netlist.cell(id);
+    int depth = 0;
+    for (const NetId in : cell.inputs) {
+      depth = std::max(depth, net_depth[in.index()]);
+    }
+    // Constants contribute no logic level.
+    const bool is_const =
+        cell.kind == CellKind::kConst0 || cell.kind == CellKind::kConst1;
+    cell_depth[id.index()] = is_const ? 0 : depth + 1;
+    for (const NetId out : cell.outputs) {
+      net_depth[out.index()] = cell_depth[id.index()];
+      for (const Fanout& fo : netlist.fanout(out)) {
+        const Cell& sink = netlist.cell(fo.cell);
+        if (is_sequential(sink.kind)) continue;
+        if (--pending[fo.cell.index()] == 0) ready.push_back(fo.cell);
+      }
+    }
+  }
+
+  if (processed != num_combinational) {
+    throw Error("netlist contains a combinational cycle");
+  }
+  return cell_depth;
+}
+
+std::int64_t estimate_critical_path_ps(const Netlist& netlist) {
+  // Topological arrival-time sweep over "evaluation nodes": combinational
+  // cells (all pins are timing inputs) and memory macros (asynchronous read
+  // path RADDR -> RDATA only; writes are sampled, not combinational).
+  const std::size_t n = netlist.num_cells();
+  const std::int64_t clk_to_q = spec(CellKind::kDff).delay_ps;
+  const std::int64_t mem_access = spec(CellKind::kMemory).delay_ps;
+  constexpr std::int64_t kSetupPs = 30;
+
+  auto timing_inputs = [&](const Cell& cell) {
+    std::vector<NetId> ins;
+    if (cell.kind == CellKind::kMemory) {
+      const MemoryInfo& mi = netlist.memory(cell.memory_index);
+      for (int i = 0; i < mi.addr_bits; ++i) ins.push_back(cell.inputs[3u + i]);
+    } else {
+      ins = cell.inputs;
+    }
+    return ins;
+  };
+  auto is_eval_node = [&](const Cell& cell) {
+    return !is_sequential(cell.kind) || cell.kind == CellKind::kMemory;
+  };
+  auto net_is_source = [&](NetId id) {
+    const Net& net = netlist.net(id);
+    if (net.is_primary_input) return true;
+    return is_flip_flop(netlist.cell(net.driver).kind);
+  };
+
+  std::vector<std::int64_t> arrival(netlist.num_nets(), 0);
+  for (std::uint32_t i = 0; i < netlist.num_nets(); ++i) {
+    const Net& net = netlist.net(NetId{i});
+    if (!net.is_primary_input && net.driver.valid() &&
+        is_flip_flop(netlist.cell(net.driver).kind)) {
+      arrival[i] = clk_to_q;
+    }
+  }
+
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<CellId> ready;
+  std::size_t num_nodes = 0;
+  for (std::uint32_t ci = 0; ci < n; ++ci) {
+    const Cell& cell = netlist.cell(CellId{ci});
+    if (!is_eval_node(cell)) continue;
+    ++num_nodes;
+    std::uint32_t unresolved = 0;
+    for (const NetId in : timing_inputs(cell)) {
+      if (!net_is_source(in)) ++unresolved;
+    }
+    pending[ci] = unresolved;
+    if (unresolved == 0) ready.push_back(CellId{ci});
+  }
+
+  std::int64_t worst = clk_to_q;  // at minimum one FF launches somewhere
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    ++processed;
+    const Cell& cell = netlist.cell(id);
+    std::int64_t in_arrival = 0;
+    for (const NetId in : timing_inputs(cell)) {
+      in_arrival = std::max(in_arrival, arrival[in.index()]);
+    }
+    const std::int64_t out_time =
+        in_arrival +
+        (cell.kind == CellKind::kMemory ? mem_access : spec(cell.kind).delay_ps);
+    worst = std::max(worst, out_time);
+    for (const NetId out : cell.outputs) {
+      arrival[out.index()] = out_time;
+      for (const Fanout& fo : netlist.fanout(out)) {
+        const Cell& sink = netlist.cell(fo.cell);
+        if (!is_eval_node(sink)) continue;
+        if (sink.kind == CellKind::kMemory) {
+          const MemoryInfo& mi = netlist.memory(sink.memory_index);
+          if (fo.input_index < 3 || fo.input_index >= 3u + mi.addr_bits) {
+            continue;
+          }
+        }
+        if (--pending[fo.cell.index()] == 0) ready.push_back(fo.cell);
+      }
+    }
+  }
+  if (processed != num_nodes) {
+    throw Error("estimate_critical_path_ps: combinational cycle");
+  }
+  return worst + kSetupPs;
+}
+
+}  // namespace ssresf::netlist

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace ssresf::netlist {
+
+/// Aggregate design statistics, used by reports and by Table I accounting.
+struct NetlistStats {
+  std::size_t num_cells = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_sequential = 0;
+  std::size_t num_combinational = 0;
+  std::size_t num_memory_macros = 0;
+  std::uint64_t memory_bits = 0;
+  std::array<std::size_t, kNumCellKinds> per_kind{};
+  std::array<std::size_t, 5> per_class{};  // indexed by ModuleClass
+  int max_logic_depth = 0;
+};
+
+[[nodiscard]] NetlistStats compute_stats(const Netlist& netlist);
+
+/// Combinational logic depth of every cell: number of combinational cells on
+/// the longest path from any sequential output / primary input / constant to
+/// that cell, inclusive. Sequential cells have depth 0. This is the
+/// "delay_unit_count" node feature of the paper's SVM.
+///
+/// Throws Error if the netlist contains a combinational cycle.
+[[nodiscard]] std::vector<int> compute_logic_depths(const Netlist& netlist);
+
+/// Static timing estimate of the longest register-to-register (or pin-to-
+/// register) path in picoseconds, using the per-kind intrinsic delays, the
+/// flip-flop clk->q delay as launch time, and the memory macro access time
+/// for asynchronous reads. Clocking a design faster than this violates
+/// setup and the event-driven engine will visibly mis-sample — exactly like
+/// real hardware.
+[[nodiscard]] std::int64_t estimate_critical_path_ps(const Netlist& netlist);
+
+}  // namespace ssresf::netlist

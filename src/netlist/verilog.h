@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace ssresf::netlist {
+
+/// Emits a flat, structural gate-level Verilog module (one module per
+/// netlist). Hierarchical instance paths are preserved in escaped
+/// identifiers ("\cpu/alu/g1 "); module-class tags and memory contents are
+/// carried in "// SSRESF_*" annotation comments so that write -> parse is a
+/// lossless round trip.
+[[nodiscard]] std::string write_verilog(const Netlist& netlist);
+
+/// Parses the structural subset emitted by write_verilog: one module,
+/// input/output/wire declarations, named-port cell instances from the SSRESF
+/// cell library, and SSRESF annotation comments. Throws ParseError with a
+/// line number on malformed input. The returned netlist is finalized.
+[[nodiscard]] Netlist parse_verilog(std::string_view text);
+
+}  // namespace ssresf::netlist

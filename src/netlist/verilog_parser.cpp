@@ -1,0 +1,495 @@
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+#include "netlist/verilog.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ssresf::netlist {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kPunct, kNumber, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+/// Tokenizer for the structural subset. Captures SSRESF annotation comments
+/// separately; all other comments are skipped.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_space_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) {
+      t.kind = Token::Kind::kEnd;
+      return t;
+    }
+    const char c = text_[pos_];
+    if (c == '\\') {
+      // Escaped identifier: up to whitespace.
+      ++pos_;
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      t.kind = Token::Kind::kIdent;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '$')) {
+        ++pos_;
+      }
+      t.kind = Token::Kind::kIdent;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '\'')) {
+        ++pos_;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    t.kind = Token::Kind::kPunct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+  [[nodiscard]] const std::vector<std::pair<int, std::string>>& annotations()
+      const {
+    return annotations_;
+  }
+
+ private:
+  void skip_space_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        std::size_t eol = text_.find('\n', pos_);
+        if (eol == std::string_view::npos) eol = text_.size();
+        std::string_view comment = text_.substr(pos_ + 2, eol - pos_ - 2);
+        comment = util::trim(comment);
+        if (util::starts_with(comment, "SSRESF_")) {
+          annotations_.emplace_back(line_, std::string(comment));
+        }
+        pos_ = eol;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        const std::size_t close = text_.find("*/", pos_ + 2);
+        if (close == std::string_view::npos) {
+          throw ParseError("unterminated block comment", line_);
+        }
+        for (std::size_t i = pos_; i < close; ++i) {
+          if (text_[i] == '\n') ++line_;
+        }
+        pos_ = close + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::vector<std::pair<int, std::string>> annotations_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  Netlist parse() {
+    expect_ident("module");
+    netlist_.set_name(expect_any_ident());
+    expect_punct("(");
+    // Port list: names only; direction comes from the declarations.
+    if (!at_punct(")")) {
+      for (;;) {
+        expect_any_ident();
+        if (at_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect_punct(")");
+    expect_punct(";");
+
+    while (!at_ident("endmodule")) {
+      if (cur_.kind == Token::Kind::kEnd) {
+        throw ParseError("unexpected end of file; missing endmodule", cur_.line);
+      }
+      if (at_ident("input")) {
+        advance();
+        parse_decl_list(DeclKind::kInput);
+      } else if (at_ident("output")) {
+        advance();
+        parse_decl_list(DeclKind::kOutput);
+      } else if (at_ident("wire")) {
+        advance();
+        parse_decl_list(DeclKind::kWire);
+      } else if (cur_.kind == Token::Kind::kIdent) {
+        parse_instance();
+      } else {
+        throw ParseError("unexpected token '" + cur_.text + "'", cur_.line);
+      }
+    }
+    advance();  // endmodule
+
+    apply_annotations();
+    // Mark outputs now that all nets exist.
+    for (const auto& [name, line] : pending_outputs_) {
+      const NetId net = find_net_or_throw(name, line);
+      netlist_.mark_primary_output(net, name);
+    }
+    netlist_.finalize();
+    return std::move(netlist_);
+  }
+
+ private:
+  enum class DeclKind { kInput, kOutput, kWire };
+
+  void parse_decl_list(DeclKind kind) {
+    for (;;) {
+      const Token name_tok = cur_;
+      const std::string name = expect_any_ident();
+      switch (kind) {
+        case DeclKind::kInput: {
+          if (nets_.count(name)) {
+            throw ParseError("duplicate declaration of '" + name + "'",
+                             name_tok.line);
+          }
+          const NetId net = netlist_.add_net(name);
+          netlist_.mark_primary_input(net, name);
+          nets_.emplace(name, net);
+          break;
+        }
+        case DeclKind::kOutput: {
+          get_or_create_net(name);
+          pending_outputs_.emplace_back(name, name_tok.line);
+          break;
+        }
+        case DeclKind::kWire: {
+          get_or_create_net(name);
+          break;
+        }
+      }
+      if (at_punct(",")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect_punct(";");
+  }
+
+  void parse_instance() {
+    const Token cell_tok = cur_;
+    const std::string cell_name = expect_any_ident();
+    const auto kind = kind_from_name(cell_name);
+    if (!kind) {
+      throw ParseError("unknown cell type '" + cell_name + "'", cell_tok.line);
+    }
+
+    std::uint32_t mem_words = 0;
+    std::uint32_t mem_width = 0;
+    std::uint32_t mem_tech = 0;
+    if (at_punct("#")) {
+      advance();
+      expect_punct("(");
+      for (;;) {
+        expect_punct(".");
+        const std::string param = expect_any_ident();
+        expect_punct("(");
+        const Token val_tok = cur_;
+        const std::string value = expect_number();
+        expect_punct(")");
+        if (param == "WORDS") {
+          mem_words = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+        } else if (param == "WIDTH") {
+          mem_width = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+        } else if (param == "TECH") {
+          mem_tech = static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+        } else {
+          throw ParseError("unknown parameter '" + param + "'", val_tok.line);
+        }
+        if (at_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect_punct(")");
+    }
+
+    const Token inst_tok = cur_;
+    const std::string inst_path = expect_any_ident();
+    expect_punct("(");
+    std::map<std::string, std::string> connections;  // port -> net name
+    if (!at_punct(")")) {
+      for (;;) {
+        expect_punct(".");
+        const std::string port = expect_any_ident();
+        expect_punct("(");
+        const std::string net = expect_any_ident();
+        expect_punct(")");
+        if (!connections.emplace(port, net).second) {
+          throw ParseError("duplicate connection to port '" + port + "'",
+                           inst_tok.line);
+        }
+        if (at_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    expect_punct(")");
+    expect_punct(";");
+
+    // Split the hierarchical instance path into scope chain + leaf name.
+    const auto segments = util::split(inst_path, '/');
+    ScopeId scope = netlist_.root_scope();
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+      scope = get_or_create_scope(scope, segments[i]);
+    }
+    const std::string& leaf = segments.back();
+
+    auto net_for = [&](const std::string& port) {
+      const auto it = connections.find(port);
+      if (it == connections.end()) {
+        throw ParseError(
+            "missing connection for port '" + port + "' on " + inst_path,
+            inst_tok.line);
+      }
+      return get_or_create_net(it->second);
+    };
+
+    if (*kind == CellKind::kMemory) {
+      if (mem_words == 0 || mem_width == 0 || mem_width > 64) {
+        throw ParseError("memory instance needs WORDS/WIDTH parameters",
+                         inst_tok.line);
+      }
+      if (mem_tech > 2) {
+        throw ParseError("invalid TECH parameter", inst_tok.line);
+      }
+      MemoryInfo info;
+      info.words = mem_words;
+      info.width = static_cast<std::uint8_t>(mem_width);
+      info.tech = static_cast<netlist::MemTech>(mem_tech);
+      const std::int32_t mem_index = netlist_.add_memory(std::move(info));
+      const MemoryInfo& mi = netlist_.memory(mem_index);
+      std::vector<NetId> inputs;
+      inputs.push_back(net_for("CLK"));
+      inputs.push_back(net_for("EN"));
+      inputs.push_back(net_for("WE"));
+      for (int i = 0; i < mi.addr_bits; ++i) {
+        inputs.push_back(net_for("RADDR" + std::to_string(i)));
+      }
+      for (int i = 0; i < mi.addr_bits; ++i) {
+        inputs.push_back(net_for("WADDR" + std::to_string(i)));
+      }
+      for (int i = 0; i < mi.width; ++i) {
+        inputs.push_back(net_for("WDATA" + std::to_string(i)));
+      }
+      std::vector<NetId> outputs;
+      for (int i = 0; i < mi.width; ++i) {
+        outputs.push_back(net_for("RDATA" + std::to_string(i)));
+      }
+      const CellId cell = netlist_.add_cell(*kind, scope, leaf, std::move(inputs),
+                                            std::move(outputs), mem_index);
+      mem_cells_by_path_.emplace(inst_path, cell);
+      const std::size_t expected = 3u + 2u * mi.addr_bits + 2u * mi.width;
+      if (connections.size() != expected) {
+        throw ParseError("memory instance has extra connections", inst_tok.line);
+      }
+    } else {
+      const CellSpec& cs = spec(*kind);
+      std::vector<NetId> inputs;
+      for (int i = 0; i < cs.num_inputs; ++i) {
+        inputs.push_back(net_for(std::string(input_port_name(*kind, i))));
+      }
+      std::vector<NetId> outputs;
+      for (int i = 0; i < cs.num_outputs; ++i) {
+        outputs.push_back(net_for(std::string(output_port_name(*kind, i))));
+      }
+      if (connections.size() !=
+          static_cast<std::size_t>(cs.num_inputs) + cs.num_outputs) {
+        throw ParseError("instance '" + inst_path + "' has extra connections",
+                         inst_tok.line);
+      }
+      netlist_.add_cell(*kind, scope, leaf, std::move(inputs),
+                        std::move(outputs));
+    }
+  }
+
+  void apply_annotations() {
+    for (const auto& [line, text] : lexer_.annotations()) {
+      const auto fields = util::split_ws(text);
+      if (fields.empty()) continue;
+      if (fields[0] == "SSRESF_SCOPE") {
+        if (fields.size() != 3) {
+          throw ParseError("malformed SSRESF_SCOPE annotation", line);
+        }
+        apply_scope_class(fields[1], fields[2], line);
+      } else if (fields[0] == "SSRESF_MEM_INIT") {
+        if (fields.size() < 2) {
+          throw ParseError("malformed SSRESF_MEM_INIT annotation", line);
+        }
+        const auto it = mem_cells_by_path_.find(fields[1]);
+        if (it == mem_cells_by_path_.end()) {
+          throw ParseError("SSRESF_MEM_INIT for unknown memory '" + fields[1] + "'",
+                           line);
+        }
+        const Cell& cell = netlist_.cell(it->second);
+        MemoryInfo& mi = netlist_.mutable_memory(cell.memory_index);
+        if (mi.init.empty()) mi.init.assign(mi.words, 0);
+        for (std::size_t i = 2; i < fields.size(); ++i) {
+          const auto colon = fields[i].find(':');
+          if (colon == std::string::npos) {
+            throw ParseError("malformed init word '" + fields[i] + "'", line);
+          }
+          const auto index = std::strtoull(fields[i].c_str(), nullptr, 10);
+          const auto value =
+              std::strtoull(fields[i].c_str() + colon + 1, nullptr, 16);
+          if (index >= mi.words) {
+            throw ParseError("init word index out of range", line);
+          }
+          mi.init[index] = value;
+        }
+      }
+    }
+  }
+
+  void apply_scope_class(const std::string& path, const std::string& cls,
+                         int line) {
+    // Path starts with the top module name.
+    const auto segments = util::split(path, '/');
+    ScopeId scope = netlist_.root_scope();
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      scope = get_or_create_scope(scope, segments[i]);
+    }
+    ModuleClass mclass;
+    if (cls == "cpu") {
+      mclass = ModuleClass::kCpu;
+    } else if (cls == "memory") {
+      mclass = ModuleClass::kMemory;
+    } else if (cls == "bus") {
+      mclass = ModuleClass::kBus;
+    } else if (cls == "peripheral") {
+      mclass = ModuleClass::kPeripheral;
+    } else {
+      throw ParseError("unknown module class '" + cls + "'", line);
+    }
+    netlist_.set_scope_class(scope, mclass);
+  }
+
+  ScopeId get_or_create_scope(ScopeId parent, const std::string& name) {
+    const auto key = std::to_string(parent.index()) + "/" + name;
+    const auto it = scopes_.find(key);
+    if (it != scopes_.end()) return it->second;
+    const ScopeId id = netlist_.add_scope(name, parent);
+    scopes_.emplace(key, id);
+    return id;
+  }
+
+  NetId get_or_create_net(const std::string& name) {
+    const auto it = nets_.find(name);
+    if (it != nets_.end()) return it->second;
+    const NetId id = netlist_.add_net(name);
+    nets_.emplace(name, id);
+    return id;
+  }
+
+  NetId find_net_or_throw(const std::string& name, int line) {
+    const auto it = nets_.find(name);
+    if (it == nets_.end()) {
+      throw ParseError("undeclared net '" + name + "'", line);
+    }
+    return it->second;
+  }
+
+  // --- token helpers ---------------------------------------------------------
+  void advance() { cur_ = lexer_.next(); }
+
+  [[nodiscard]] bool at_ident(std::string_view text) const {
+    return cur_.kind == Token::Kind::kIdent && cur_.text == text;
+  }
+  [[nodiscard]] bool at_punct(std::string_view text) const {
+    return cur_.kind == Token::Kind::kPunct && cur_.text == text;
+  }
+
+  void expect_ident(std::string_view text) {
+    if (!at_ident(text)) {
+      throw ParseError("expected '" + std::string(text) + "', found '" +
+                           cur_.text + "'",
+                       cur_.line);
+    }
+    advance();
+  }
+
+  std::string expect_any_ident() {
+    if (cur_.kind != Token::Kind::kIdent) {
+      throw ParseError("expected identifier, found '" + cur_.text + "'",
+                       cur_.line);
+    }
+    std::string text = cur_.text;
+    advance();
+    return text;
+  }
+
+  std::string expect_number() {
+    if (cur_.kind != Token::Kind::kNumber) {
+      throw ParseError("expected number, found '" + cur_.text + "'", cur_.line);
+    }
+    std::string text = cur_.text;
+    advance();
+    return text;
+  }
+
+  void expect_punct(std::string_view text) {
+    if (!at_punct(text)) {
+      throw ParseError("expected '" + std::string(text) + "', found '" +
+                           cur_.text + "'",
+                       cur_.line);
+    }
+    advance();
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  Netlist netlist_;
+  std::unordered_map<std::string, NetId> nets_;
+  std::unordered_map<std::string, ScopeId> scopes_;  // "parent_index/name"
+  std::unordered_map<std::string, CellId> mem_cells_by_path_;
+  std::vector<std::pair<std::string, int>> pending_outputs_;
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace ssresf::netlist

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ssresf::radiation {
+
+/// Heavy-ion beam substitute: a rate-based single-event environment with a
+/// particle flux and a (discrete) LET. The upset probability of a structure
+/// with cross-section sigma over an observation window T follows the
+/// standard Poisson model p = 1 - exp(-flux * sigma * T).
+struct Environment {
+  double flux = 5e8;  // particles / (cm^2 * s)
+  double let = 37.0;  // MeV * cm^2 / mg
+
+  [[nodiscard]] static double window_seconds(std::uint64_t window_ps) {
+    return static_cast<double>(window_ps) * 1e-12;
+  }
+
+  /// Expected number of upsets in a structure of total cross-section
+  /// `xsect_cm2` over a window of `window_ps` picoseconds.
+  [[nodiscard]] double expected_upsets(double xsect_cm2,
+                                       std::uint64_t window_ps) const {
+    return flux * xsect_cm2 * window_seconds(window_ps);
+  }
+
+  /// Poisson probability of at least one upset.
+  [[nodiscard]] double upset_probability(double xsect_cm2,
+                                         std::uint64_t window_ps) const;
+
+  /// SET transient pulse width for this LET (ps). Empirical logarithmic
+  /// charge-to-width model: wider pulses for higher deposited charge.
+  [[nodiscard]] std::uint32_t set_pulse_width_ps() const;
+};
+
+}  // namespace ssresf::radiation

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/ids.h"
+
+namespace ssresf::radiation {
+
+/// The paper's two single-particle fault models (Fig. 2) plus the memory-
+/// array variant of the SEU:
+///  - kSeu: state flip of a sequential cell, healed at the next capture;
+///  - kSet: equivalent square-wave transient forced onto a combinational
+///    cell's output net for a LET-dependent width;
+///  - kMemBit: flip of one stored bit in a memory macro.
+enum class FaultKind : std::uint8_t { kSeu, kSet, kMemBit };
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
+
+/// A physical location a particle can strike.
+struct FaultTarget {
+  FaultKind kind = FaultKind::kSeu;
+  netlist::CellId cell;     // FF (kSeu), combinational cell (kSet), or macro
+  std::uint32_t word = 0;   // kMemBit only
+  std::uint32_t bit = 0;    // kMemBit only
+};
+
+/// A concrete injection: a target plus strike time (and pulse width for
+/// SET).
+struct FaultEvent {
+  FaultTarget target;
+  std::uint64_t time_ps = 0;
+  std::uint32_t set_width_ps = 0;
+};
+
+}  // namespace ssresf::radiation

@@ -1,0 +1,90 @@
+#include "radiation/injector.h"
+
+#include "util/error.h"
+
+namespace ssresf::radiation {
+
+using netlist::CellKind;
+using netlist::Logic;
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSeu:
+      return "SEU";
+    case FaultKind::kSet:
+      return "SET";
+    case FaultKind::kMemBit:
+      return "MEM-SEU";
+  }
+  return "?";
+}
+
+FaultTarget Injector::target_for_cell(netlist::CellId cell,
+                                      util::Rng& rng) const {
+  const netlist::Cell& c = netlist_->cell(cell);
+  FaultTarget target;
+  target.cell = cell;
+  if (netlist::is_flip_flop(c.kind)) {
+    target.kind = FaultKind::kSeu;
+  } else if (c.kind == CellKind::kMemory) {
+    const auto& mi = netlist_->memory(c.memory_index);
+    target.kind = FaultKind::kMemBit;
+    target.word = static_cast<std::uint32_t>(rng.below(mi.words));
+    target.bit = static_cast<std::uint32_t>(rng.below(mi.width));
+  } else if (c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1) {
+    throw InvalidArgument("cannot target a tie cell");
+  } else {
+    target.kind = FaultKind::kSet;
+  }
+  return target;
+}
+
+FaultEvent Injector::random_event(const FaultTarget& target,
+                                  std::uint64_t t0_ps, std::uint64_t t1_ps,
+                                  const Environment& env,
+                                  util::Rng& rng) const {
+  if (t1_ps <= t0_ps) throw InvalidArgument("empty injection window");
+  FaultEvent event;
+  event.target = target;
+  event.time_ps = t0_ps + rng.below(t1_ps - t0_ps);
+  if (target.kind == FaultKind::kSet) {
+    event.set_width_ps = env.set_pulse_width_ps();
+  }
+  return event;
+}
+
+void Injector::schedule(sim::Testbench& testbench,
+                        const FaultEvent& event) const {
+  const FaultTarget target = event.target;
+  switch (target.kind) {
+    case FaultKind::kSeu: {
+      testbench.at(event.time_ps, [target](sim::Engine& engine) {
+        const Logic flipped = netlist::logic_flip(engine.ff_state(target.cell));
+        // An X state flips to X: deposit it anyway so Q/QN stay consistent.
+        engine.deposit_ff(target.cell, flipped);
+      });
+      break;
+    }
+    case FaultKind::kSet: {
+      const netlist::NetId victim = netlist_->cell(target.cell).outputs[0];
+      testbench.at(event.time_ps, [victim](sim::Engine& engine) {
+        engine.force_net(victim, netlist::logic_flip(engine.value(victim)));
+      });
+      testbench.at(event.time_ps + event.set_width_ps,
+                   [victim](sim::Engine& engine) {
+                     engine.release_net(victim);
+                   });
+      break;
+    }
+    case FaultKind::kMemBit: {
+      testbench.at(event.time_ps, [target](sim::Engine& engine) {
+        const std::uint64_t old = engine.read_mem_word(target.cell, target.word);
+        engine.write_mem_word(target.cell, target.word,
+                              old ^ (std::uint64_t{1} << target.bit));
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace ssresf::radiation

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "netlist/netlist.h"
+#include "radiation/environment.h"
+#include "radiation/fault.h"
+#include "sim/testbench.h"
+#include "util/rng.h"
+
+namespace ssresf::radiation {
+
+/// Schedules fault events into a testbench through the VPI-style injection
+/// primitives (Sec. III-D of the paper: "single-particle soft errors are
+/// automatically injected ... through linkage with the VPI hardware
+/// interface").
+class Injector {
+ public:
+  explicit Injector(const netlist::Netlist& netlist) : netlist_(&netlist) {}
+
+  /// Derives an injectable target from a cell: SEU for flip-flops, SET for
+  /// combinational cells, and a uniformly random (word, bit) strike for
+  /// memory macros.
+  [[nodiscard]] FaultTarget target_for_cell(netlist::CellId cell,
+                                            util::Rng& rng) const;
+
+  /// Places a strike on `target` at a uniformly random time within
+  /// [t0_ps, t1_ps), with the SET width drawn from the environment.
+  [[nodiscard]] FaultEvent random_event(const FaultTarget& target,
+                                        std::uint64_t t0_ps,
+                                        std::uint64_t t1_ps,
+                                        const Environment& env,
+                                        util::Rng& rng) const;
+
+  /// Registers the event's actions on the testbench timeline.
+  void schedule(sim::Testbench& testbench, const FaultEvent& event) const;
+
+ private:
+  const netlist::Netlist* netlist_;
+};
+
+}  // namespace ssresf::radiation

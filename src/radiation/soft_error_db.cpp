@@ -1,0 +1,270 @@
+#include "radiation/soft_error_db.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/yaml_lite.h"
+
+namespace ssresf::radiation {
+
+using netlist::CellKind;
+using netlist::MemTech;
+
+double LetEntry::total() const {
+  double sum = 0.0;
+  for (const SubCrossSection& s : sub) sum += s.xsect_cm2;
+  return sum;
+}
+
+double CellEntry::xsect_at(double let) const {
+  if (lets.empty()) return 0.0;
+  if (let <= lets.front().let) return lets.front().total();
+  if (let >= lets.back().let) return lets.back().total();
+  for (std::size_t i = 1; i < lets.size(); ++i) {
+    if (let <= lets[i].let) {
+      // Log-linear interpolation in LET (cross-section curves are concave
+      // and span decades, so interpolate the log of sigma).
+      const double l0 = lets[i - 1].let;
+      const double l1 = lets[i].let;
+      const double x0 = lets[i - 1].total();
+      const double x1 = lets[i].total();
+      if (x0 <= 0.0 || x1 <= 0.0) {
+        const double t = (let - l0) / (l1 - l0);
+        return x0 + t * (x1 - x0);
+      }
+      const double t = (let - l0) / (l1 - l0);
+      return std::exp(std::log(x0) + t * (std::log(x1) - std::log(x0)));
+    }
+  }
+  return lets.back().total();
+}
+
+std::string mem_bit_entry_name(MemTech tech) {
+  return "MEM_" + std::string(netlist::mem_tech_name(tech)) + "_BIT";
+}
+
+namespace {
+
+/// Relative SET sensitivity per combinational kind (roughly proportional to
+/// diffusion area / drive strength of the library cell).
+double comb_area_factor(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kInv:
+      return 0.6;
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+      return 0.8;
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+      return 1.0;
+    case CellKind::kNand3:
+    case CellKind::kNor3:
+    case CellKind::kAnd3:
+    case CellKind::kOr3:
+      return 1.2;
+    case CellKind::kNand4:
+    case CellKind::kNor4:
+    case CellKind::kAnd4:
+    case CellKind::kOr4:
+      return 1.5;
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+      return 1.6;
+    case CellKind::kMux2:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+      return 1.4;
+    default:
+      return 1.0;
+  }
+}
+
+LetEntry set_entry(double let, double base) {
+  LetEntry e;
+  e.let = let;
+  e.sub.push_back({"SET pulse", "always", base});
+  return e;
+}
+
+LetEntry seu_entry(double let, double x10, double x01) {
+  LetEntry e;
+  e.let = let;
+  e.sub.push_back({"SEU 1->0", "(q==1) & (qn==0)", x10});
+  e.sub.push_back({"SEU 0->1", "(q==0) & (qn==1)", x01});
+  return e;
+}
+
+}  // namespace
+
+SoftErrorDatabase SoftErrorDatabase::default_database() {
+  SoftErrorDatabase db;
+  // Combinational cells: SET cross-sections growing with LET (saturating
+  // Weibull-like shape sampled at the three table points).
+  for (int k = 0; k < netlist::kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (netlist::is_sequential(kind)) continue;
+    if (kind == CellKind::kConst0 || kind == CellKind::kConst1) continue;
+    const double f = comb_area_factor(kind);
+    CellEntry entry;
+    entry.cell_name = std::string(netlist::spec(kind).lib_name);
+    entry.model = "SET-COMB";
+    entry.lets.push_back(set_entry(1.0, 6.0e-10 * f));
+    entry.lets.push_back(set_entry(37.0, 8.0e-9 * f));
+    entry.lets.push_back(set_entry(100.0, 1.2e-8 * f));
+    db.add(std::move(entry));
+  }
+  // Flip-flops: asymmetric 1->0 / 0->1 sub-cross-sections as in Fig. 3.
+  for (const CellKind kind :
+       {CellKind::kDff, CellKind::kDffR, CellKind::kDffE}) {
+    CellEntry entry;
+    entry.cell_name = std::string(netlist::spec(kind).lib_name);
+    entry.model = "SEU-DFF";
+    entry.lets.push_back(seu_entry(1.0, 1.2e-9, 1.6e-9));
+    entry.lets.push_back(seu_entry(37.0, 1.5e-8, 2.0e-8));
+    entry.lets.push_back(seu_entry(100.0, 2.2e-8, 2.9e-8));
+    db.add(std::move(entry));
+  }
+  // Memory bits: SRAM most sensitive, DRAM less (capacitive cell, higher
+  // operating charge), rad-hard SRAM orders of magnitude below.
+  struct MemRow {
+    MemTech tech;
+    double x1, x37, x100;
+  };
+  for (const MemRow row : {MemRow{MemTech::kSram, 1.0e-9, 1.1e-8, 1.6e-8},
+                           MemRow{MemTech::kDram, 2.5e-10, 3.5e-9, 5.5e-9},
+                           MemRow{MemTech::kRadHardSram, 2.0e-13, 4.0e-12,
+                                  9.0e-12}}) {
+    CellEntry entry;
+    entry.cell_name = mem_bit_entry_name(row.tech);
+    entry.model = "SEU-MEM";
+    entry.lets.push_back(seu_entry(1.0, row.x1 * 0.45, row.x1 * 0.55));
+    entry.lets.push_back(seu_entry(37.0, row.x37 * 0.45, row.x37 * 0.55));
+    entry.lets.push_back(seu_entry(100.0, row.x100 * 0.45, row.x100 * 0.55));
+    db.add(std::move(entry));
+  }
+  return db;
+}
+
+void SoftErrorDatabase::add(CellEntry entry) {
+  for (const CellEntry& e : entries_) {
+    if (e.cell_name == entry.cell_name) {
+      throw InvalidArgument("duplicate soft-error entry '" + entry.cell_name +
+                            "'");
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const CellEntry* SoftErrorDatabase::find(std::string_view cell_name) const {
+  for (const CellEntry& e : entries_) {
+    if (e.cell_name == cell_name) return &e;
+  }
+  return nullptr;
+}
+
+double SoftErrorDatabase::cell_xsect(CellKind kind, double let) const {
+  if (kind == CellKind::kConst0 || kind == CellKind::kConst1) return 0.0;
+  if (kind == CellKind::kMemory) {
+    throw InvalidArgument("memory cross-sections are per bit; use mem_bit_xsect");
+  }
+  const CellEntry* entry = find(netlist::spec(kind).lib_name);
+  if (entry == nullptr) {
+    throw InvalidArgument("no soft-error entry for cell kind '" +
+                          std::string(netlist::spec(kind).lib_name) + "'");
+  }
+  return entry->xsect_at(let);
+}
+
+double SoftErrorDatabase::mem_bit_xsect(MemTech tech, double let) const {
+  const CellEntry* entry = find(mem_bit_entry_name(tech));
+  if (entry == nullptr) {
+    throw InvalidArgument("no soft-error entry for memory technology");
+  }
+  return entry->xsect_at(let);
+}
+
+SoftErrorDatabase::NetlistXsect SoftErrorDatabase::netlist_xsect(
+    const netlist::Netlist& netlist, double let) const {
+  NetlistXsect out;
+  for (const netlist::CellId id : netlist.all_cells()) {
+    const netlist::Cell& cell = netlist.cell(id);
+    if (cell.kind == CellKind::kConst0 || cell.kind == CellKind::kConst1) {
+      continue;
+    }
+    if (cell.kind == CellKind::kMemory) {
+      const auto& mi = netlist.memory(cell.memory_index);
+      out.seu_cm2 +=
+          mem_bit_xsect(mi.tech, let) * static_cast<double>(mi.total_bits());
+    } else if (netlist::is_sequential(cell.kind)) {
+      out.seu_cm2 += cell_xsect(cell.kind, let);
+    } else {
+      out.set_cm2 += cell_xsect(cell.kind, let);
+    }
+  }
+  return out;
+}
+
+std::string SoftErrorDatabase::to_yaml() const {
+  using util::YamlNode;
+  YamlNode root = YamlNode::map();
+  YamlNode cells = YamlNode::list();
+  for (const CellEntry& e : entries_) {
+    YamlNode cell = YamlNode::map();
+    cell.set("CellName", YamlNode::scalar(e.cell_name));
+    cell.set("Model", YamlNode::scalar(e.model));
+    YamlNode lets = YamlNode::list();
+    for (const LetEntry& le : e.lets) {
+      YamlNode ln = YamlNode::map();
+      ln.set("LET", YamlNode::scalar(util::format("%g", le.let)));
+      YamlNode subs = YamlNode::list();
+      for (const SubCrossSection& s : le.sub) {
+        YamlNode sn = YamlNode::map();
+        sn.set("name", YamlNode::scalar(s.name));
+        sn.set("cond", YamlNode::scalar(s.cond));
+        sn.set("xsect", YamlNode::scalar(util::format("%.6g", s.xsect_cm2)));
+        subs.push_back(std::move(sn));
+      }
+      ln.set("subXsect", std::move(subs));
+      lets.push_back(std::move(ln));
+    }
+    cell.set("SoftErrors", std::move(lets));
+    cells.push_back(std::move(cell));
+  }
+  root.set("Cells", std::move(cells));
+  return root.dump();
+}
+
+SoftErrorDatabase SoftErrorDatabase::from_yaml(std::string_view text) {
+  using util::YamlNode;
+  const YamlNode root = YamlNode::parse(text);
+  SoftErrorDatabase db;
+  const YamlNode& cells = root.at("Cells");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const YamlNode& cell = cells.at(i);
+    CellEntry entry;
+    entry.cell_name = cell.at("CellName").as_string();
+    entry.model = cell.at("Model").as_string();
+    const YamlNode& lets = cell.at("SoftErrors");
+    for (std::size_t j = 0; j < lets.size(); ++j) {
+      const YamlNode& ln = lets.at(j);
+      LetEntry le;
+      le.let = ln.at("LET").as_double();
+      const YamlNode& subs = ln.at("subXsect");
+      for (std::size_t k = 0; k < subs.size(); ++k) {
+        const YamlNode& sn = subs.at(k);
+        SubCrossSection s;
+        s.name = sn.at("name").as_string();
+        s.cond = sn.at("cond").as_string();
+        s.xsect_cm2 = sn.at("xsect").as_double();
+        le.sub.push_back(std::move(s));
+      }
+      entry.lets.push_back(std::move(le));
+    }
+    db.add(std::move(entry));
+  }
+  return db;
+}
+
+}  // namespace ssresf::radiation

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/cell_library.h"
+#include "netlist/netlist.h"
+
+namespace ssresf::radiation {
+
+/// The discrete LET points (MeV·cm²/mg) the paper's database covers.
+inline constexpr double kLetValues[] = {1.0, 37.0, 100.0};
+
+/// One conditional sub-cross-section of a cell (Fig. 3): e.g. "SEU 1->0"
+/// applies when (q==1) & (qn==0) and contributes 1.5e-8 cm².
+struct SubCrossSection {
+  std::string name;
+  std::string cond;
+  double xsect_cm2 = 0.0;
+};
+
+/// Cross-sections of a cell at one LET value.
+struct LetEntry {
+  double let = 0.0;
+  std::vector<SubCrossSection> sub;
+
+  [[nodiscard]] double total() const;
+};
+
+/// Database record for one library cell (or memory technology).
+struct CellEntry {
+  std::string cell_name;  // library name ("DFFRX1") or "MEM_<TECH>_BIT"
+  std::string model;      // "SEU-DFF", "SET-COMB", or "SEU-MEM"
+  std::vector<LetEntry> lets;
+
+  /// Total cross-section at `let`, with log-linear interpolation between
+  /// table points and clamping outside the covered range.
+  [[nodiscard]] double xsect_at(double let) const;
+};
+
+/// The SET and SEU single-particle soft-error database of the paper
+/// (Sec. III-C / Fig. 3): per-cell-type, per-LET conditional
+/// cross-sections, serializable to the YAML schema shown in the paper.
+class SoftErrorDatabase {
+ public:
+  /// Built-in database covering every cell kind of the SSRESF library and
+  /// all three memory technologies, at LET 1.0 / 37.0 / 100.0.
+  [[nodiscard]] static SoftErrorDatabase default_database();
+
+  [[nodiscard]] static SoftErrorDatabase from_yaml(std::string_view text);
+  [[nodiscard]] std::string to_yaml() const;
+
+  void add(CellEntry entry);
+  [[nodiscard]] const CellEntry* find(std::string_view cell_name) const;
+
+  /// Cross-section of a gate-level cell kind at `let` (SEU for sequential
+  /// cells, SET for combinational). Throws if the kind is not covered.
+  [[nodiscard]] double cell_xsect(netlist::CellKind kind, double let) const;
+
+  /// Per-bit upset cross-section of a memory technology at `let`.
+  [[nodiscard]] double mem_bit_xsect(netlist::MemTech tech, double let) const;
+
+  /// Total SET and SEU cross-sections of a whole netlist at `let` (the
+  /// "Xsect Info" columns of Table I). Memory macros contribute their
+  /// per-bit SEU cross-section times the stored bit count.
+  struct NetlistXsect {
+    double set_cm2 = 0.0;
+    double seu_cm2 = 0.0;
+  };
+  [[nodiscard]] NetlistXsect netlist_xsect(const netlist::Netlist& netlist,
+                                           double let) const;
+
+  [[nodiscard]] const std::vector<CellEntry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<CellEntry> entries_;
+};
+
+/// Database key for a memory technology's per-bit entry.
+[[nodiscard]] std::string mem_bit_entry_name(netlist::MemTech tech);
+
+}  // namespace ssresf::radiation

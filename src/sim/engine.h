@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "netlist/netlist.h"
+
+namespace ssresf::sim {
+
+using netlist::CellId;
+using netlist::Logic;
+using netlist::Netlist;
+using netlist::NetId;
+
+/// Change-notification hook (used by the VCD writer): (net, time_ps, value).
+using ChangeObserver = std::function<void(NetId, std::uint64_t, Logic)>;
+
+/// Common interface of the two simulation engines.
+///
+/// EventSimulator is the timing-accurate reference (the role Synopsys VCS
+/// plays in the paper); LevelizedSimulator is the second, oblivious engine
+/// (the role of OSS-CVC). Both expose the same VPI-style injection
+/// primitives — force/release/deposit — that the paper drives through the
+/// IEEE 1364 VPI.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  [[nodiscard]] virtual const Netlist& design() const = 0;
+
+  /// Restore power-on state: FFs unknown (or reset), memories re-initialised,
+  /// time zero.
+  virtual void reset_state() = 0;
+
+  /// Drive a primary input at the current time.
+  virtual void set_input(NetId net, Logic value) = 0;
+
+  /// Process activity up to (and including) absolute time `time_ps`.
+  virtual void advance_to(std::uint64_t time_ps) = 0;
+
+  [[nodiscard]] virtual std::uint64_t now() const = 0;
+
+  /// Effective (consumer-visible) value of a net.
+  [[nodiscard]] virtual Logic value(NetId net) const = 0;
+
+  // --- VPI-style injection ---------------------------------------------------
+  /// Overrides a net with a value until release_net. Models a SET transient
+  /// when applied for a bounded window.
+  virtual void force_net(NetId net, Logic value) = 0;
+  virtual void release_net(NetId net) = 0;
+
+  /// Rewrites a flip-flop's stored state (SEU) and propagates Q/QN.
+  virtual void deposit_ff(CellId ff, Logic q) = 0;
+  [[nodiscard]] virtual Logic ff_state(CellId ff) const = 0;
+
+  /// Direct access to a memory macro's array (SEU in a RAM bit).
+  virtual void write_mem_word(CellId mem, std::uint32_t word,
+                              std::uint64_t value) = 0;
+  [[nodiscard]] virtual std::uint64_t read_mem_word(CellId mem,
+                                                    std::uint32_t word) const = 0;
+
+  /// Value-change observer (may be empty). Only the event engine reports
+  /// per-ps changes; the levelized engine reports once per settle.
+  virtual void set_observer(ChangeObserver observer) = 0;
+
+  /// Human-readable engine name for reports ("event" / "levelized").
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Which engine to instantiate (the two baselines of Table III).
+enum class EngineKind { kEvent, kLevelized };
+
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
+                                                  const Netlist& netlist);
+
+}  // namespace ssresf::sim

@@ -1,0 +1,18 @@
+#include "sim/engine.h"
+#include "sim/event_sim.h"
+#include "sim/levelized_sim.h"
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+std::unique_ptr<Engine> make_engine(EngineKind kind, const Netlist& netlist) {
+  switch (kind) {
+    case EngineKind::kEvent:
+      return std::make_unique<EventSimulator>(netlist);
+    case EngineKind::kLevelized:
+      return std::make_unique<LevelizedSimulator>(netlist);
+  }
+  throw InvalidArgument("unknown engine kind");
+}
+
+}  // namespace ssresf::sim

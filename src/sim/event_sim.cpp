@@ -1,0 +1,386 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+
+#include "netlist/stats.h"
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+using netlist::as_input;
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::eval_cell;
+using netlist::Fanout;
+using netlist::from_bool;
+using netlist::is_flip_flop;
+using netlist::is_known;
+using netlist::logic_not;
+using netlist::MemoryInfo;
+using netlist::spec;
+
+EventSimulator::EventSimulator(const Netlist& netlist) : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw InvalidArgument("EventSimulator requires a finalized netlist");
+  }
+  const auto depths = netlist::compute_logic_depths(netlist_);
+  init_order_ = netlist_.all_cells();
+  std::stable_sort(init_order_.begin(), init_order_.end(),
+                   [&](CellId a, CellId b) {
+                     return depths[a.index()] < depths[b.index()];
+                   });
+  reset_state();
+}
+
+void EventSimulator::reset_state() {
+  now_ = 0;
+  seq_ = 0;
+  events_processed_ = 0;
+  driven_.assign(netlist_.num_nets(), Logic::X);
+  forced_val_.assign(netlist_.num_nets(), Logic::X);
+  forced_.assign(netlist_.num_nets(), false);
+  pending_gen_.assign(netlist_.num_nets(), 0);
+  has_pending_.assign(netlist_.num_nets(), false);
+  ff_q_.assign(netlist_.num_cells(), Logic::X);
+  queue_ = {};
+
+  mems_.clear();
+  init_constants_and_memories();
+}
+
+void EventSimulator::init_constants_and_memories() {
+  // Memory arrays from the netlist's initial contents.
+  std::vector<std::int32_t> mem_count;
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind != CellKind::kMemory) continue;
+    const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+    if (mems_.size() <= static_cast<std::size_t>(cell.memory_index)) {
+      mems_.resize(static_cast<std::size_t>(cell.memory_index) + 1);
+    }
+    auto& array = mems_[static_cast<std::size_t>(cell.memory_index)];
+    if (mi.init.empty()) {
+      array.assign(mi.words, 0);
+    } else {
+      array = mi.init;
+    }
+  }
+
+  // Constants drive their outputs from time zero.
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind == CellKind::kConst0) {
+      driven_[cell.outputs[0].index()] = Logic::L0;
+    } else if (cell.kind == CellKind::kConst1) {
+      driven_[cell.outputs[0].index()] = Logic::L1;
+    }
+  }
+
+  // One settling sweep in topological order so constant cones start resolved
+  // (everything else is X until inputs arrive).
+  for (const CellId id : init_order_) {
+    const Cell& cell = netlist_.cell(id);
+    if (netlist::is_sequential(cell.kind)) {
+      if (cell.kind == CellKind::kMemory) {
+        // Async read with X address yields X — already the default.
+      }
+      continue;
+    }
+    if (cell.kind == CellKind::kConst0 || cell.kind == CellKind::kConst1) {
+      continue;
+    }
+    std::vector<Logic> ins;
+    ins.reserve(cell.inputs.size());
+    for (const NetId in : cell.inputs) ins.push_back(driven_[in.index()]);
+    driven_[cell.outputs[0].index()] = eval_cell(cell.kind, ins);
+  }
+}
+
+Logic EventSimulator::effective(NetId net) const {
+  return forced_[net.index()] ? forced_val_[net.index()]
+                              : driven_[net.index()];
+}
+
+Logic EventSimulator::value(NetId net) const { return effective(net); }
+
+void EventSimulator::set_input(NetId net, Logic v) {
+  if (!netlist_.net(net).is_primary_input) {
+    throw InvalidArgument("set_input on non-primary-input net '" +
+                          netlist_.net_name(net) + "'");
+  }
+  const Logic old_driven = driven_[net.index()];
+  if (old_driven == v) return;
+  driven_[net.index()] = v;
+  if (!forced_[net.index()]) propagate_change(net, old_driven, v);
+}
+
+void EventSimulator::advance_to(std::uint64_t time_ps) {
+  while (!queue_.empty() && queue_.top().time <= time_ps) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (ev.gen != pending_gen_[ev.net.index()]) continue;  // cancelled
+    now_ = ev.time;
+    apply_event(ev);
+  }
+  now_ = std::max(now_, time_ps);
+}
+
+void EventSimulator::schedule(NetId net, Logic v, std::uint64_t time) {
+  const auto n = net.index();
+  if (has_pending_[n]) {
+    ++pending_gen_[n];  // cancel the pending transition (inertial behaviour)
+    if (v == driven_[n]) {
+      has_pending_[n] = false;  // glitch collapsed entirely
+      return;
+    }
+    queue_.push(Event{time, ++seq_, net, v, pending_gen_[n]});
+    return;
+  }
+  if (v == driven_[n]) return;  // no change
+  ++pending_gen_[n];
+  has_pending_[n] = true;
+  queue_.push(Event{time, ++seq_, net, v, pending_gen_[n]});
+}
+
+void EventSimulator::apply_event(const Event& event) {
+  const auto n = event.net.index();
+  has_pending_[n] = false;
+  ++events_processed_;
+  const Logic old_driven = driven_[n];
+  if (old_driven == event.value) return;
+  driven_[n] = event.value;
+  if (forced_[n]) return;  // hidden behind the force overlay
+  propagate_change(event.net, old_driven, event.value);
+}
+
+void EventSimulator::propagate_change(NetId net, Logic old_effective,
+                                      Logic new_effective) {
+  if (observer_) observer_(net, now_, new_effective);
+  for (const Fanout& fo : netlist_.fanout(net)) {
+    const Cell& cell = netlist_.cell(fo.cell);
+    switch (cell.kind) {
+      case CellKind::kDff:
+      case CellKind::kDffR:
+      case CellKind::kDffE: {
+        if (fo.input_index == 1) {  // CK
+          const bool posedge =
+              old_effective == Logic::L0 && new_effective == Logic::L1;
+          const bool maybe_edge =
+              (old_effective == Logic::X && new_effective == Logic::L1) ||
+              (old_effective == Logic::L0 && new_effective == Logic::X);
+          if (posedge) {
+            on_clock_edge(fo.cell);
+          } else if (maybe_edge) {
+            // An edge may or may not have happened: degrade to X if capturing
+            // would change the state.
+            const Logic d = as_input(effective(cell.inputs[0]));
+            if (d != ff_q_[fo.cell.index()]) {
+              set_ff_state(fo.cell, Logic::X, /*immediate=*/false);
+            }
+          }
+        } else if (fo.input_index == 2 && cell.kind != CellKind::kDff) {
+          on_async_pin_change(fo.cell);
+        }
+        // D and EN changes are sampled at the next clock edge.
+        break;
+      }
+      case CellKind::kMemory: {
+        if (fo.input_index == 0) {  // CLK
+          const bool posedge =
+              old_effective == Logic::L0 && new_effective == Logic::L1;
+          if (posedge) on_clock_edge(fo.cell);
+        } else if (fo.input_index >= 3) {
+          const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+          if (fo.input_index < 3u + mi.addr_bits) {
+            evaluate_memory_read(fo.cell);  // async read path
+          }
+          // WDATA is sampled at the write edge.
+        }
+        break;
+      }
+      default:
+        evaluate_comb(fo.cell);
+        break;
+    }
+  }
+}
+
+void EventSimulator::evaluate_comb(CellId id) {
+  const Cell& cell = netlist_.cell(id);
+  Logic ins[4];
+  for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+    ins[i] = effective(cell.inputs[i]);
+  }
+  const Logic out =
+      eval_cell(cell.kind, std::span<const Logic>(ins, cell.inputs.size()));
+  schedule(cell.outputs[0], out,
+           now_ + static_cast<std::uint64_t>(spec(cell.kind).delay_ps));
+}
+
+void EventSimulator::on_clock_edge(CellId id) {
+  const Cell& cell = netlist_.cell(id);
+  if (is_flip_flop(cell.kind)) {
+    if (cell.kind != CellKind::kDff) {
+      const Logic rn = as_input(effective(cell.inputs[2]));
+      if (rn == Logic::L0) return;  // held in reset by the async path
+      if (rn == Logic::X) {
+        if (ff_q_[id.index()] != Logic::L0) {
+          set_ff_state(id, Logic::X, /*immediate=*/false);
+        }
+        return;
+      }
+    }
+    if (cell.kind == CellKind::kDffE) {
+      const Logic en = as_input(effective(cell.inputs[3]));
+      if (en == Logic::L0) return;  // hold
+      if (en == Logic::X) {
+        const Logic d = as_input(effective(cell.inputs[0]));
+        if (d != ff_q_[id.index()]) {
+          set_ff_state(id, Logic::X, /*immediate=*/false);
+        }
+        return;
+      }
+    }
+    const Logic d = as_input(effective(cell.inputs[0]));
+    if (d != ff_q_[id.index()]) set_ff_state(id, d, /*immediate=*/false);
+    return;
+  }
+
+  // Memory write port: WADDR sits after RADDR, WDATA after both.
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  const Logic en = as_input(effective(cell.inputs[1]));
+  const Logic we = as_input(effective(cell.inputs[2]));
+  if (en != Logic::L1 || we != Logic::L1) return;
+  std::uint64_t addr = 0;
+  for (int i = 0; i < mi.addr_bits; ++i) {
+    const Logic bit =
+        as_input(effective(cell.inputs[3u + mi.addr_bits + i]));
+    if (!is_known(bit)) return;  // write to unknown address: dropped
+    if (bit == Logic::L1) addr |= 1ull << i;
+  }
+  if (addr >= mi.words) return;
+  std::uint64_t word = 0;
+  bool word_known = true;
+  for (int i = 0; i < mi.width; ++i) {
+    const Logic bit =
+        as_input(effective(cell.inputs[3u + 2u * mi.addr_bits + i]));
+    if (!is_known(bit)) {
+      word_known = false;
+      break;
+    }
+    if (bit == Logic::L1) word |= 1ull << i;
+  }
+  if (!word_known) return;
+  mems_[static_cast<std::size_t>(cell.memory_index)][addr] = word;
+  evaluate_memory_read(id);  // write-through visibility
+}
+
+void EventSimulator::on_async_pin_change(CellId id) {
+  const Cell& cell = netlist_.cell(id);
+  const Logic rn = as_input(effective(cell.inputs[2]));
+  if (rn == Logic::L0) {
+    if (ff_q_[id.index()] != Logic::L0) {
+      set_ff_state(id, Logic::L0, /*immediate=*/false);
+    }
+  } else if (rn == Logic::X && ff_q_[id.index()] != Logic::L0) {
+    set_ff_state(id, Logic::X, /*immediate=*/false);
+  }
+}
+
+void EventSimulator::evaluate_memory_read(CellId id) {
+  const Cell& cell = netlist_.cell(id);
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  std::uint64_t addr = 0;
+  bool addr_known = true;
+  for (int i = 0; i < mi.addr_bits; ++i) {
+    const Logic bit = as_input(effective(cell.inputs[3u + i]));
+    if (!is_known(bit)) {
+      addr_known = false;
+      break;
+    }
+    if (bit == Logic::L1) addr |= 1ull << i;
+  }
+  const std::uint64_t delay =
+      static_cast<std::uint64_t>(spec(CellKind::kMemory).delay_ps);
+  if (!addr_known || addr >= mi.words) {
+    for (int i = 0; i < mi.width; ++i) {
+      schedule(cell.outputs[i], Logic::X, now_ + delay);
+    }
+    return;
+  }
+  const std::uint64_t word =
+      mems_[static_cast<std::size_t>(cell.memory_index)][addr];
+  for (int i = 0; i < mi.width; ++i) {
+    schedule(cell.outputs[i], from_bool((word >> i) & 1), now_ + delay);
+  }
+}
+
+void EventSimulator::set_ff_state(CellId id, Logic q, bool immediate) {
+  const Cell& cell = netlist_.cell(id);
+  ff_q_[id.index()] = q;
+  const std::uint64_t delay =
+      immediate ? 0 : static_cast<std::uint64_t>(spec(cell.kind).delay_ps);
+  schedule(cell.outputs[0], q, now_ + delay);
+  schedule(cell.outputs[1], logic_not(q), now_ + delay);
+}
+
+void EventSimulator::force_net(NetId net, Logic v) {
+  const auto n = net.index();
+  const Logic old_effective = effective(net);
+  forced_[n] = true;
+  forced_val_[n] = v;
+  if (old_effective != v) propagate_change(net, old_effective, v);
+}
+
+void EventSimulator::release_net(NetId net) {
+  const auto n = net.index();
+  if (!forced_[n]) return;
+  const Logic old_effective = forced_val_[n];
+  forced_[n] = false;
+  if (driven_[n] != old_effective) {
+    propagate_change(net, old_effective, driven_[n]);
+  }
+}
+
+void EventSimulator::deposit_ff(CellId ff, Logic q) {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("deposit_ff on non-flip-flop cell");
+  }
+  set_ff_state(ff, q, /*immediate=*/true);
+  advance_to(now_);  // apply the Q/QN updates right away
+}
+
+Logic EventSimulator::ff_state(CellId ff) const {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("ff_state on non-flip-flop cell");
+  }
+  return ff_q_[ff.index()];
+}
+
+void EventSimulator::write_mem_word(CellId mem, std::uint32_t word,
+                                    std::uint64_t v) {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("write_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  mems_[static_cast<std::size_t>(cell.memory_index)][word] = v;
+  evaluate_memory_read(mem);
+  advance_to(now_);
+}
+
+std::uint64_t EventSimulator::read_mem_word(CellId mem,
+                                            std::uint32_t word) const {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("read_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  return mems_[static_cast<std::size_t>(cell.memory_index)][word];
+}
+
+}  // namespace ssresf::sim

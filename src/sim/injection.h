@@ -1,0 +1,34 @@
+#pragma once
+
+#include "sim/engine.h"
+
+namespace ssresf::sim {
+
+/// VPI-style access facade (the role IEEE 1364 VPI plays in the paper's
+/// flow): a narrow, simulator-agnostic handle that fault models use to
+/// force/release nets and rewrite sequential state, independent of which
+/// engine runs underneath.
+class InjectionPort {
+ public:
+  explicit InjectionPort(Engine& engine) : engine_(&engine) {}
+
+  /// Force a net to a value (SET transient start).
+  void force(NetId net, Logic value) { engine_->force_net(net, value); }
+  /// Release a forced net (SET transient end).
+  void release(NetId net) { engine_->release_net(net); }
+  /// Rewrite a flip-flop's state (SEU).
+  void deposit(CellId ff, Logic q) { engine_->deposit_ff(ff, q); }
+  /// Flip one stored bit of a memory macro (SEU in RAM).
+  void flip_mem_bit(CellId mem, std::uint32_t word, std::uint32_t bit) {
+    const std::uint64_t old = engine_->read_mem_word(mem, word);
+    engine_->write_mem_word(mem, word, old ^ (1ull << bit));
+  }
+
+  [[nodiscard]] Logic probe(NetId net) const { return engine_->value(net); }
+  [[nodiscard]] Logic probe_ff(CellId ff) const { return engine_->ff_state(ff); }
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace ssresf::sim

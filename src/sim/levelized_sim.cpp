@@ -1,0 +1,364 @@
+#include "sim/levelized_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+using netlist::as_input;
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::eval_cell;
+using netlist::from_bool;
+using netlist::is_flip_flop;
+using netlist::is_known;
+using netlist::is_sequential;
+using netlist::logic_not;
+using netlist::MemoryInfo;
+
+LevelizedSimulator::LevelizedSimulator(const Netlist& netlist)
+    : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw InvalidArgument("LevelizedSimulator requires a finalized netlist");
+  }
+  build_eval_order();
+  // Clock nets: primary inputs connected to any CK/CLK pin.
+  is_clock_net_.assign(netlist_.num_nets(), false);
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (is_flip_flop(cell.kind)) {
+      is_clock_net_[cell.inputs[1].index()] = true;
+      if (cell.kind != CellKind::kDff) reset_ffs_.push_back(id);
+    } else if (cell.kind == CellKind::kMemory) {
+      is_clock_net_[cell.inputs[0].index()] = true;
+    }
+  }
+  reset_state();
+}
+
+void LevelizedSimulator::build_eval_order() {
+  // Topological order over "evaluation nodes": combinational cells (inputs =
+  // all pins) and memory macros (inputs = ADDR pins only; their read output
+  // is combinational in a levelized model, everything else is sampled).
+  const std::size_t n = netlist_.num_cells();
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<CellId> ready;
+
+  auto eval_inputs = [&](const Cell& cell) {
+    std::vector<NetId> ins;
+    if (cell.kind == CellKind::kMemory) {
+      const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+      for (int i = 0; i < mi.addr_bits; ++i) ins.push_back(cell.inputs[3u + i]);
+    } else {
+      ins = cell.inputs;
+    }
+    return ins;
+  };
+  auto is_eval_node = [&](const Cell& cell) {
+    return !is_sequential(cell.kind) || cell.kind == CellKind::kMemory;
+  };
+  // A net is a "source" if it is a primary input or driven by a flip-flop.
+  auto net_is_source = [&](NetId id) {
+    const auto& net = netlist_.net(id);
+    if (net.is_primary_input) return true;
+    return is_flip_flop(netlist_.cell(net.driver).kind);
+  };
+
+  std::size_t num_eval_nodes = 0;
+  for (std::uint32_t ci = 0; ci < n; ++ci) {
+    const Cell& cell = netlist_.cell(CellId{ci});
+    if (!is_eval_node(cell)) continue;
+    ++num_eval_nodes;
+    std::uint32_t unresolved = 0;
+    for (const NetId in : eval_inputs(cell)) {
+      if (!net_is_source(in)) ++unresolved;
+    }
+    pending[ci] = unresolved;
+    if (unresolved == 0) ready.push_back(CellId{ci});
+  }
+
+  eval_order_.clear();
+  eval_order_.reserve(num_eval_nodes);
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    eval_order_.push_back(id);
+    const Cell& cell = netlist_.cell(id);
+    for (const NetId out : cell.outputs) {
+      for (const netlist::Fanout& fo : netlist_.fanout(out)) {
+        const Cell& sink = netlist_.cell(fo.cell);
+        if (!is_eval_node(sink)) continue;
+        // Only count edges that the sink's eval-input set contains.
+        if (sink.kind == CellKind::kMemory) {
+          const MemoryInfo& mi = netlist_.memory(sink.memory_index);
+          if (fo.input_index < 3 || fo.input_index >= 3u + mi.addr_bits) {
+            continue;
+          }
+        }
+        if (--pending[fo.cell.index()] == 0) ready.push_back(fo.cell);
+      }
+    }
+  }
+  if (eval_order_.size() != num_eval_nodes) {
+    throw Error("levelized engine: combinational cycle in netlist");
+  }
+}
+
+void LevelizedSimulator::reset_state() {
+  now_ = 0;
+  evals_ = 0;
+  driven_.assign(netlist_.num_nets(), Logic::X);
+  forced_val_.assign(netlist_.num_nets(), Logic::X);
+  forced_.assign(netlist_.num_nets(), false);
+  ff_q_.assign(netlist_.num_cells(), Logic::X);
+  mems_.clear();
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind == CellKind::kMemory) {
+      const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+      if (mems_.size() <= static_cast<std::size_t>(cell.memory_index)) {
+        mems_.resize(static_cast<std::size_t>(cell.memory_index) + 1);
+      }
+      auto& array = mems_[static_cast<std::size_t>(cell.memory_index)];
+      array = mi.init.empty() ? std::vector<std::uint64_t>(mi.words, 0)
+                              : mi.init;
+    } else if (cell.kind == CellKind::kConst0) {
+      driven_[cell.outputs[0].index()] = Logic::L0;
+    } else if (cell.kind == CellKind::kConst1) {
+      driven_[cell.outputs[0].index()] = Logic::L1;
+    }
+  }
+  settle();
+}
+
+Logic LevelizedSimulator::effective(NetId net) const {
+  return forced_[net.index()] ? forced_val_[net.index()]
+                              : driven_[net.index()];
+}
+
+Logic LevelizedSimulator::value(NetId net) const { return effective(net); }
+
+void LevelizedSimulator::write_net(NetId net, Logic v) {
+  const auto n = net.index();
+  if (driven_[n] == v) return;
+  driven_[n] = v;
+  if (observer_ && !forced_[n]) observer_(net, now_, v);
+}
+
+bool LevelizedSimulator::mem_addr(const Cell& cell, std::uint64_t& addr) const {
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  addr = 0;
+  for (int i = 0; i < mi.addr_bits; ++i) {
+    const Logic bit = as_input(effective(cell.inputs[3u + i]));
+    if (!is_known(bit)) return false;
+    if (bit == Logic::L1) addr |= 1ull << i;
+  }
+  return addr < mi.words;
+}
+
+void LevelizedSimulator::settle() {
+  // Asynchronous reset acts level-sensitively, independent of the clock.
+  for (const CellId id : reset_ffs_) {
+    const Cell& cell = netlist_.cell(id);
+    const Logic rn = as_input(effective(cell.inputs[2]));
+    if (rn == Logic::L0 && ff_q_[id.index()] != Logic::L0) {
+      ff_q_[id.index()] = Logic::L0;
+      write_net(cell.outputs[0], Logic::L0);
+      write_net(cell.outputs[1], Logic::L1);
+    } else if (rn == Logic::X && ff_q_[id.index()] != Logic::L0 &&
+               ff_q_[id.index()] != Logic::X) {
+      ff_q_[id.index()] = Logic::X;
+      write_net(cell.outputs[0], Logic::X);
+      write_net(cell.outputs[1], Logic::X);
+    }
+  }
+  Logic ins[4];
+  for (const CellId id : eval_order_) {
+    const Cell& cell = netlist_.cell(id);
+    ++evals_;
+    if (cell.kind == CellKind::kMemory) {
+      const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+      std::uint64_t addr = 0;
+      if (!mem_addr(cell, addr)) {
+        for (int i = 0; i < mi.width; ++i) write_net(cell.outputs[i], Logic::X);
+      } else {
+        const std::uint64_t word =
+            mems_[static_cast<std::size_t>(cell.memory_index)][addr];
+        for (int i = 0; i < mi.width; ++i) {
+          write_net(cell.outputs[i], from_bool((word >> i) & 1));
+        }
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      ins[i] = effective(cell.inputs[i]);
+    }
+    write_net(cell.outputs[0],
+              eval_cell(cell.kind, std::span<const Logic>(ins, cell.inputs.size())));
+  }
+}
+
+void LevelizedSimulator::clock_edge() {
+  settle();  // make sure D pins are current
+
+  // Capture phase: compute every sequential element's next state from the
+  // pre-edge values, then commit — mirrors nonblocking assignment semantics.
+  struct FfUpdate {
+    CellId cell;
+    Logic q;
+  };
+  std::vector<FfUpdate> ff_updates;
+  struct MemWrite {
+    std::int32_t mem_index;
+    std::uint64_t addr;
+    std::uint64_t word;
+  };
+  std::vector<MemWrite> mem_writes;
+
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (is_flip_flop(cell.kind)) {
+      if (cell.kind != CellKind::kDff) {
+        const Logic rn = as_input(effective(cell.inputs[2]));
+        if (rn == Logic::L0) {
+          if (ff_q_[id.index()] != Logic::L0) {
+            ff_updates.push_back({id, Logic::L0});
+          }
+          continue;
+        }
+        if (rn == Logic::X) {
+          if (ff_q_[id.index()] != Logic::L0) ff_updates.push_back({id, Logic::X});
+          continue;
+        }
+      }
+      if (cell.kind == CellKind::kDffE) {
+        const Logic en = as_input(effective(cell.inputs[3]));
+        if (en == Logic::L0) continue;
+        if (en == Logic::X) {
+          const Logic d = as_input(effective(cell.inputs[0]));
+          if (d != ff_q_[id.index()]) ff_updates.push_back({id, Logic::X});
+          continue;
+        }
+      }
+      const Logic d = as_input(effective(cell.inputs[0]));
+      if (d != ff_q_[id.index()]) ff_updates.push_back({id, d});
+    } else if (cell.kind == CellKind::kMemory) {
+      const Logic en = as_input(effective(cell.inputs[1]));
+      const Logic we = as_input(effective(cell.inputs[2]));
+      if (en != Logic::L1 || we != Logic::L1) continue;
+      const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+      std::uint64_t addr = 0;
+      bool addr_known = true;
+      for (int i = 0; i < mi.addr_bits; ++i) {
+        const Logic bit =
+            as_input(effective(cell.inputs[3u + mi.addr_bits + i]));
+        if (!is_known(bit)) {
+          addr_known = false;
+          break;
+        }
+        if (bit == Logic::L1) addr |= 1ull << i;
+      }
+      if (!addr_known || addr >= mi.words) continue;
+      std::uint64_t word = 0;
+      bool known = true;
+      for (int i = 0; i < mi.width; ++i) {
+        const Logic bit =
+            as_input(effective(cell.inputs[3u + 2u * mi.addr_bits + i]));
+        if (!is_known(bit)) {
+          known = false;
+          break;
+        }
+        if (bit == Logic::L1) word |= 1ull << i;
+      }
+      if (known) mem_writes.push_back({cell.memory_index, addr, word});
+    }
+  }
+
+  for (const auto& up : ff_updates) {
+    ff_q_[up.cell.index()] = up.q;
+    const Cell& cell = netlist_.cell(up.cell);
+    write_net(cell.outputs[0], up.q);
+    write_net(cell.outputs[1], logic_not(up.q));
+  }
+  for (const auto& wr : mem_writes) {
+    mems_[static_cast<std::size_t>(wr.mem_index)][wr.addr] = wr.word;
+  }
+
+  settle();  // propagate the new state
+}
+
+void LevelizedSimulator::set_input(NetId net, Logic v) {
+  if (!netlist_.net(net).is_primary_input) {
+    throw InvalidArgument("set_input on non-primary-input net");
+  }
+  const Logic old = driven_[net.index()];
+  if (old == v) return;
+  driven_[net.index()] = v;
+  if (is_clock_net_[net.index()] && old == Logic::L0 && v == Logic::L1 &&
+      !forced_[net.index()]) {
+    clock_edge();
+  } else {
+    settle();
+  }
+}
+
+void LevelizedSimulator::advance_to(std::uint64_t time_ps) {
+  now_ = std::max(now_, time_ps);
+}
+
+void LevelizedSimulator::force_net(NetId net, Logic v) {
+  forced_[net.index()] = true;
+  forced_val_[net.index()] = v;
+  settle();
+}
+
+void LevelizedSimulator::release_net(NetId net) {
+  if (!forced_[net.index()]) return;
+  forced_[net.index()] = false;
+  settle();
+}
+
+void LevelizedSimulator::deposit_ff(CellId ff, Logic q) {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("deposit_ff on non-flip-flop cell");
+  }
+  ff_q_[ff.index()] = q;
+  write_net(cell.outputs[0], q);
+  write_net(cell.outputs[1], logic_not(q));
+  settle();
+}
+
+Logic LevelizedSimulator::ff_state(CellId ff) const {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("ff_state on non-flip-flop cell");
+  }
+  return ff_q_[ff.index()];
+}
+
+void LevelizedSimulator::write_mem_word(CellId mem, std::uint32_t word,
+                                        std::uint64_t v) {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("write_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  mems_[static_cast<std::size_t>(cell.memory_index)][word] = v;
+  settle();
+}
+
+std::uint64_t LevelizedSimulator::read_mem_word(CellId mem,
+                                                std::uint32_t word) const {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("read_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  return mems_[static_cast<std::size_t>(cell.memory_index)][word];
+}
+
+}  // namespace ssresf::sim

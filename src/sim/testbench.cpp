@@ -1,0 +1,64 @@
+#include "sim/testbench.h"
+
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+Testbench::Testbench(Engine& engine, TestbenchConfig config)
+    : engine_(engine), config_(std::move(config)), trace_(config_.monitored) {
+  if (!config_.clk.valid()) throw InvalidArgument("testbench needs a clock");
+  if (config_.clock_period_ps < 4) {
+    throw InvalidArgument("clock period too small");
+  }
+  engine_.set_input(config_.clk, Logic::L0);
+  if (config_.rstn.valid()) engine_.set_input(config_.rstn, Logic::L1);
+}
+
+void Testbench::reset() {
+  if (config_.rstn.valid()) engine_.set_input(config_.rstn, Logic::L0);
+  run_cycles(config_.reset_cycles);
+  if (config_.rstn.valid()) engine_.set_input(config_.rstn, Logic::L1);
+}
+
+void Testbench::run_cycles(int n) {
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t start = cycles_ * config_.clock_period_ps;
+    const std::uint64_t rise = start + config_.clock_period_ps / 2;
+    const std::uint64_t end = start + config_.clock_period_ps;
+
+    drain_actions_until(rise);
+    engine_.advance_to(rise);
+    sample();  // settled values of this cycle, just before the capturing edge
+    engine_.set_input(config_.clk, Logic::L1);
+
+    drain_actions_until(end);
+    engine_.advance_to(end);
+    engine_.set_input(config_.clk, Logic::L0);
+    ++cycles_;
+  }
+}
+
+void Testbench::at(std::uint64_t time_ps, std::function<void(Engine&)> action) {
+  actions_.emplace(time_ps, std::move(action));
+}
+
+void Testbench::drain_actions_until(std::uint64_t time_ps) {
+  while (!actions_.empty() && actions_.begin()->first < time_ps) {
+    auto it = actions_.begin();
+    engine_.advance_to(std::max(it->first, engine_.now()));
+    auto action = std::move(it->second);
+    actions_.erase(it);
+    action(engine_);
+  }
+}
+
+void Testbench::sample() {
+  std::vector<Logic> sample;
+  sample.reserve(config_.monitored.size());
+  for (const NetId net : config_.monitored) {
+    sample.push_back(engine_.value(net));
+  }
+  trace_.append_cycle(std::move(sample));
+}
+
+}  // namespace ssresf::sim

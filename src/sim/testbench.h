@@ -1,0 +1,62 @@
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace ssresf::sim {
+
+/// Clock/reset driver and sampling harness around an Engine.
+///
+/// The testbench owns the timeline: it toggles the clock, holds reset for the
+/// configured number of cycles, samples the monitored nets just before every
+/// rising edge, and interleaves scheduled actions (fault injections) at their
+/// exact picosecond times.
+struct TestbenchConfig {
+  NetId clk;
+  NetId rstn;  // active-low reset input; kNoNet if the design has none
+  std::vector<NetId> monitored;
+  std::uint64_t clock_period_ps = 1000;
+  int reset_cycles = 4;
+};
+
+class Testbench {
+ public:
+  Testbench(Engine& engine, TestbenchConfig config);
+
+  /// Apply the reset sequence: rstn low for reset_cycles cycles, then high.
+  /// Counts towards the trace like normal cycles.
+  void reset();
+
+  /// Run `n` full clock cycles, sampling once per cycle.
+  void run_cycles(int n);
+
+  /// Schedule a callback at an absolute time (ps). Actions scheduled in the
+  /// past run at the start of the next run_cycles call.
+  void at(std::uint64_t time_ps, std::function<void(Engine&)> action);
+
+  [[nodiscard]] const OutputTrace& trace() const { return trace_; }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] std::uint64_t cycles_run() const { return cycles_; }
+  [[nodiscard]] const TestbenchConfig& config() const { return config_; }
+
+  /// Time of the sampling point of cycle index `c` (0-based, counting every
+  /// cycle the testbench has or will run, including reset cycles).
+  [[nodiscard]] std::uint64_t sample_time(std::uint64_t c) const {
+    return c * config_.clock_period_ps + config_.clock_period_ps / 2;
+  }
+
+ private:
+  void drain_actions_until(std::uint64_t time_ps);
+  void sample();
+
+  Engine& engine_;
+  TestbenchConfig config_;
+  OutputTrace trace_;
+  std::uint64_t cycles_ = 0;
+  std::multimap<std::uint64_t, std::function<void(Engine&)>> actions_;
+};
+
+}  // namespace ssresf::sim

@@ -1,0 +1,50 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+void OutputTrace::append_cycle(std::vector<netlist::Logic> sample) {
+  if (sample.size() != nets_.size()) {
+    throw InvalidArgument("trace sample width mismatch");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+const std::vector<netlist::Logic>& OutputTrace::cycle(std::size_t i) const {
+  if (i >= samples_.size()) throw InvalidArgument("trace cycle out of range");
+  return samples_[i];
+}
+
+std::optional<std::size_t> OutputTrace::first_mismatch(const OutputTrace& a,
+                                                       const OutputTrace& b) {
+  const std::size_t common = std::min(a.num_cycles(), b.num_cycles());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.samples_[i] != b.samples_[i]) return i;
+  }
+  if (a.num_cycles() != b.num_cycles()) return common;
+  return std::nullopt;
+}
+
+std::size_t OutputTrace::mismatch_count(const OutputTrace& a,
+                                        const OutputTrace& b) {
+  const std::size_t common = std::min(a.num_cycles(), b.num_cycles());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a.samples_[i] != b.samples_[i]) ++count;
+  }
+  count += std::max(a.num_cycles(), b.num_cycles()) - common;
+  return count;
+}
+
+std::string OutputTrace::cycle_string(std::size_t i) const {
+  const auto& sample = cycle(i);
+  std::string out;
+  out.reserve(sample.size());
+  for (const netlist::Logic v : sample) out += netlist::to_char(v);
+  return out;
+}
+
+}  // namespace ssresf::sim

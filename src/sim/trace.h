@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "netlist/ids.h"
+
+namespace ssresf::sim {
+
+/// Cycle-by-cycle samples of a set of monitored nets ("the chip's main
+/// output signals" in the paper). Golden-vs-faulty trace comparison is the
+/// soft-error detector of the fault-injection campaign.
+class OutputTrace {
+ public:
+  OutputTrace() = default;
+  explicit OutputTrace(std::vector<netlist::NetId> nets)
+      : nets_(std::move(nets)) {}
+
+  [[nodiscard]] const std::vector<netlist::NetId>& nets() const { return nets_; }
+
+  void append_cycle(std::vector<netlist::Logic> sample);
+
+  [[nodiscard]] std::size_t num_cycles() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<netlist::Logic>& cycle(std::size_t i) const;
+
+  /// First cycle where the traces differ, if any. Traces of different length
+  /// differ at the first cycle beyond the shorter one.
+  [[nodiscard]] static std::optional<std::size_t> first_mismatch(
+      const OutputTrace& a, const OutputTrace& b);
+
+  /// Number of cycles whose samples differ (for severity metrics).
+  [[nodiscard]] static std::size_t mismatch_count(const OutputTrace& a,
+                                                  const OutputTrace& b);
+
+  /// Render a cycle's sample as a string of 0/1/x/z characters.
+  [[nodiscard]] std::string cycle_string(std::size_t i) const;
+
+ private:
+  std::vector<netlist::NetId> nets_;
+  std::vector<std::vector<netlist::Logic>> samples_;
+};
+
+}  // namespace ssresf::sim

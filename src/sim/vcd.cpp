@@ -1,0 +1,66 @@
+#include "sim/vcd.h"
+
+namespace ssresf::sim {
+
+VcdWriter::VcdWriter(std::ostream& out, const Netlist& netlist,
+                     std::vector<NetId> nets)
+    : out_(out), netlist_(netlist), nets_(std::move(nets)) {
+  if (nets_.empty()) {
+    for (std::uint32_t i = 0; i < netlist_.num_nets(); ++i) {
+      if (!netlist_.net(NetId{i}).name.empty()) nets_.push_back(NetId{i});
+    }
+  }
+  out_ << "$timescale 1ps $end\n";
+  out_ << "$scope module " << netlist_.name() << " $end\n";
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const std::string code = id_code(i);
+    codes_.emplace(nets_[i].index(), code);
+    out_ << "$var wire 1 " << code << " " << netlist_.net_name(nets_[i])
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+void VcdWriter::attach(Engine& engine) {
+  emit_time(engine.now());
+  for (const NetId net : nets_) {
+    out_ << netlist::to_char(engine.value(net)) << codes_.at(net.index())
+         << "\n";
+  }
+  engine.set_observer([this](NetId net, std::uint64_t t, Logic v) {
+    on_change(net, t, v);
+  });
+}
+
+void VcdWriter::on_change(NetId net, std::uint64_t time_ps, Logic value) {
+  const auto it = codes_.find(net.index());
+  if (it == codes_.end()) return;
+  emit_time(time_ps);
+  out_ << netlist::to_char(value) << it->second << "\n";
+}
+
+void VcdWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+}
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // Printable-ASCII identifier codes, base 94 starting at '!'.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+void VcdWriter::emit_time(std::uint64_t time_ps) {
+  if (time_ps == last_time_) return;
+  last_time_ = time_ps;
+  out_ << "#" << time_ps << "\n";
+}
+
+}  // namespace ssresf::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace ssresf::sim {
+
+/// IEEE 1364 VCD (value change dump) writer. Attach to an engine via
+/// attach(); remember to call finish() (or destroy the writer) before
+/// reading the stream. The paper's flow compares VCD files of golden and
+/// faulty runs; we keep the writer for waveform inspection and debugging
+/// while the campaign itself compares OutputTraces directly.
+class VcdWriter {
+ public:
+  /// Dumps the given nets; when `nets` is empty, dumps all named nets.
+  VcdWriter(std::ostream& out, const Netlist& netlist,
+            std::vector<NetId> nets = {});
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Registers this writer as the engine's change observer and records
+  /// current values as time-zero initial values.
+  void attach(Engine& engine);
+
+  /// Record a value change (called by the engine observer).
+  void on_change(NetId net, std::uint64_t time_ps, Logic value);
+
+  void finish();
+
+ private:
+  [[nodiscard]] static std::string id_code(std::size_t index);
+  void emit_time(std::uint64_t time_ps);
+
+  std::ostream& out_;
+  const Netlist& netlist_;
+  std::vector<NetId> nets_;
+  std::unordered_map<std::uint32_t, std::string> codes_;
+  std::uint64_t last_time_ = UINT64_MAX;
+  bool finished_ = false;
+};
+
+}  // namespace ssresf::sim

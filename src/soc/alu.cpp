@@ -1,0 +1,39 @@
+#include "soc/alu.h"
+
+#include "util/error.h"
+
+namespace ssresf::soc {
+
+Bus build_alu(Builder& b, const Bus& a, const Bus& bb, const Bus& op_sel) {
+  if (a.size() != bb.size()) throw InvalidArgument("alu operand width mismatch");
+  if (op_sel.size() != kAluOpBits) {
+    throw InvalidArgument("alu op select must be kAluOpBits wide");
+  }
+  const int w = static_cast<int>(a.size());
+  int shamt_bits = 0;
+  while ((1 << shamt_bits) < w) ++shamt_bits;
+  const Bus shamt = slice(bb, 0, shamt_bits);
+
+  const auto scope = b.scope("alu");
+
+  const Bus sum = add(b, a, bb);
+  const Bus diff = subtract(b, a, bb).sum;
+  const Bus and_r = bus_and(b, a, bb);
+  const Bus or_r = bus_or(b, a, bb);
+  const Bus xor_r = bus_xor(b, a, bb);
+  const NetId lt_s = less_signed(b, a, bb);
+  const NetId lt_u = less_unsigned(b, a, bb);
+  Bus slt = bus_constant(b, w, 0);
+  slt[0] = lt_s;
+  Bus sltu = bus_constant(b, w, 0);
+  sltu[0] = lt_u;
+  const Bus sll = shift_left(b, a, shamt);
+  const Bus srl = shift_right(b, a, shamt, b.zero());
+  const Bus sra = shift_right(b, a, shamt, a.back());
+
+  const Bus options[kNumAluOps] = {sum, diff, and_r, or_r,  xor_r, slt,
+                                   sltu, sll, srl,  sra, bb};
+  return bus_mux_tree(b, op_sel, options);
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "soc/datapath.h"
+
+namespace ssresf::soc {
+
+/// ALU operation select values (index into the result mux tree).
+enum class AluOp : std::uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kSlt = 5,
+  kSltu = 6,
+  kSll = 7,
+  kSrl = 8,
+  kSra = 9,
+  kPassB = 10,  // for LUI
+};
+inline constexpr int kNumAluOps = 11;
+inline constexpr int kAluOpBits = 4;
+
+/// Builds a single-cycle RISC-V ALU. All kNumAluOps results are computed and
+/// a mux tree picks the one addressed by `op_sel` (kAluOpBits wide), like a
+/// synthesized single-cycle datapath. Shift amounts come from the low
+/// log2(width) bits of `b`.
+[[nodiscard]] Bus build_alu(Builder& builder, const Bus& a, const Bus& b,
+                            const Bus& op_sel);
+
+}  // namespace ssresf::soc

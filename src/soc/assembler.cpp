@@ -1,0 +1,627 @@
+#include "soc/assembler.h"
+
+#include <array>
+#include <cstdlib>
+#include <optional>
+
+#include "soc/encoding.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ssresf::soc {
+
+namespace {
+
+using namespace rv;
+
+const std::array<std::string_view, 32> kAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+std::optional<int> try_register(std::string_view name) {
+  if (name.size() >= 2 && name[0] == 'x') {
+    int value = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') return std::nullopt;
+      value = value * 10 + (name[i] - '0');
+    }
+    if (value < 32) return value;
+    return std::nullopt;
+  }
+  if (name == "fp") return 8;
+  for (int i = 0; i < 32; ++i) {
+    if (kAbiNames[static_cast<std::size_t>(i)] == name) return i;
+  }
+  return std::nullopt;
+}
+
+struct Operand {
+  enum class Kind { kReg, kFpReg, kImm, kSymbol, kMem };  // kMem: imm(reg)
+  Kind kind;
+  int reg = 0;
+  std::int64_t imm = 0;
+  std::string symbol;
+};
+
+struct SourceLine {
+  std::string mnemonic;
+  std::vector<Operand> operands;
+  int line_number = 0;
+};
+
+bool is_number(std::string_view s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  if (s.size() > i + 1 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    return s.size() > i + 2;
+  }
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+std::int64_t parse_number(std::string_view s, int line) {
+  errno = 0;
+  char* end = nullptr;
+  const std::string text(s);
+  const long long v = std::strtoll(text.c_str(), &end, 0);
+  if (end != text.c_str() + text.size()) {
+    throw ParseError("bad number '" + text + "'", line);
+  }
+  return v;
+}
+
+Operand parse_operand(std::string_view text, int line) {
+  text = util::trim(text);
+  Operand op;
+  // imm(reg) address form
+  const auto open = text.find('(');
+  if (open != std::string_view::npos && text.back() == ')') {
+    op.kind = Operand::Kind::kMem;
+    const std::string_view imm_part = util::trim(text.substr(0, open));
+    op.imm = imm_part.empty() ? 0 : parse_number(imm_part, line);
+    const auto reg = try_register(
+        util::trim(text.substr(open + 1, text.size() - open - 2)));
+    if (!reg) throw ParseError("bad base register in '" + std::string(text) + "'", line);
+    op.reg = *reg;
+    return op;
+  }
+  if (const auto reg = try_register(text)) {
+    op.kind = Operand::Kind::kReg;
+    op.reg = *reg;
+    return op;
+  }
+  if (text.size() >= 2 && text[0] == 'f' && text[1] >= '0' && text[1] <= '9') {
+    int value = 0;
+    bool ok = true;
+    for (std::size_t i = 1; i < text.size(); ++i) {
+      if (text[i] < '0' || text[i] > '9') {
+        ok = false;
+        break;
+      }
+      value = value * 10 + (text[i] - '0');
+    }
+    if (ok && value < 32) {
+      op.kind = Operand::Kind::kFpReg;
+      op.reg = value;
+      return op;
+    }
+  }
+  if (is_number(text)) {
+    op.kind = Operand::Kind::kImm;
+    op.imm = parse_number(text, line);
+    return op;
+  }
+  op.kind = Operand::Kind::kSymbol;
+  op.symbol = std::string(text);
+  return op;
+}
+
+struct InstrSpec {
+  enum class Format {
+    kR,       // rd, rs1, rs2
+    kI,       // rd, rs1, imm
+    kILoad,   // rd, imm(rs1)
+    kShift,   // rd, rs1, shamt
+    kS,       // rs2, imm(rs1)
+    kB,       // rs1, rs2, label
+    kU,       // rd, imm20
+    kJ,       // rd, label
+    kJalr,    // rd, imm(rs1) | rd, rs1, imm
+    kNone,    // no operands
+    kAmo,     // rd, rs2, (rs1)
+    kFpR,     // frd, frs1, frs2
+    kFpLoad,  // frd, imm(rs1)
+    kFpStore, // frs2, imm(rs1)
+    kFpMvToF, // frd, rs1
+    kFpMvToX, // rd, frs1
+  };
+  Format format;
+  std::uint32_t opcode;
+  std::uint32_t funct3;
+  std::uint32_t funct7;
+};
+
+const std::map<std::string, InstrSpec>& instr_table() {
+  using F = InstrSpec::Format;
+  static const std::map<std::string, InstrSpec> table = {
+      {"lui", {F::kU, kOpLui, 0, 0}},
+      {"auipc", {F::kU, kOpAuipc, 0, 0}},
+      {"jal", {F::kJ, kOpJal, 0, 0}},
+      {"jalr", {F::kJalr, kOpJalr, 0, 0}},
+      {"beq", {F::kB, kOpBranch, 0, 0}},
+      {"bne", {F::kB, kOpBranch, 1, 0}},
+      {"blt", {F::kB, kOpBranch, 4, 0}},
+      {"bge", {F::kB, kOpBranch, 5, 0}},
+      {"bltu", {F::kB, kOpBranch, 6, 0}},
+      {"bgeu", {F::kB, kOpBranch, 7, 0}},
+      {"lb", {F::kILoad, kOpLoad, 0, 0}},
+      {"lh", {F::kILoad, kOpLoad, 1, 0}},
+      {"lw", {F::kILoad, kOpLoad, 2, 0}},
+      {"ld", {F::kILoad, kOpLoad, 3, 0}},
+      {"lbu", {F::kILoad, kOpLoad, 4, 0}},
+      {"lhu", {F::kILoad, kOpLoad, 5, 0}},
+      {"lwu", {F::kILoad, kOpLoad, 6, 0}},
+      {"sb", {F::kS, kOpStore, 0, 0}},
+      {"sh", {F::kS, kOpStore, 1, 0}},
+      {"sw", {F::kS, kOpStore, 2, 0}},
+      {"sd", {F::kS, kOpStore, 3, 0}},
+      {"addi", {F::kI, kOpImm, 0, 0}},
+      {"slti", {F::kI, kOpImm, 2, 0}},
+      {"sltiu", {F::kI, kOpImm, 3, 0}},
+      {"xori", {F::kI, kOpImm, 4, 0}},
+      {"ori", {F::kI, kOpImm, 6, 0}},
+      {"andi", {F::kI, kOpImm, 7, 0}},
+      {"slli", {F::kShift, kOpImm, 1, 0x00}},
+      {"srli", {F::kShift, kOpImm, 5, 0x00}},
+      {"srai", {F::kShift, kOpImm, 5, 0x20}},
+      {"add", {F::kR, kOp, 0, 0x00}},
+      {"sub", {F::kR, kOp, 0, 0x20}},
+      {"sll", {F::kR, kOp, 1, 0x00}},
+      {"slt", {F::kR, kOp, 2, 0x00}},
+      {"sltu", {F::kR, kOp, 3, 0x00}},
+      {"xor", {F::kR, kOp, 4, 0x00}},
+      {"srl", {F::kR, kOp, 5, 0x00}},
+      {"sra", {F::kR, kOp, 5, 0x20}},
+      {"or", {F::kR, kOp, 6, 0x00}},
+      {"and", {F::kR, kOp, 7, 0x00}},
+      {"addiw", {F::kI, kOpImm32, 0, 0}},
+      {"slliw", {F::kShift, kOpImm32, 1, 0x00}},
+      {"srliw", {F::kShift, kOpImm32, 5, 0x00}},
+      {"sraiw", {F::kShift, kOpImm32, 5, 0x20}},
+      {"addw", {F::kR, kOp32, 0, 0x00}},
+      {"subw", {F::kR, kOp32, 0, 0x20}},
+      {"sllw", {F::kR, kOp32, 1, 0x00}},
+      {"srlw", {F::kR, kOp32, 5, 0x00}},
+      {"sraw", {F::kR, kOp32, 5, 0x20}},
+      {"mul", {F::kR, kOp, 0, 0x01}},
+      {"mulh", {F::kR, kOp, 1, 0x01}},
+      {"mulhsu", {F::kR, kOp, 2, 0x01}},
+      {"mulhu", {F::kR, kOp, 3, 0x01}},
+      {"div", {F::kR, kOp, 4, 0x01}},
+      {"divu", {F::kR, kOp, 5, 0x01}},
+      {"rem", {F::kR, kOp, 6, 0x01}},
+      {"remu", {F::kR, kOp, 7, 0x01}},
+      {"lr.w", {F::kAmo, kOpAmo, 2, kAmoLr << 2}},
+      {"sc.w", {F::kAmo, kOpAmo, 2, kAmoSc << 2}},
+      {"amoswap.w", {F::kAmo, kOpAmo, 2, kAmoSwap << 2}},
+      {"amoadd.w", {F::kAmo, kOpAmo, 2, kAmoAdd << 2}},
+      {"amoxor.w", {F::kAmo, kOpAmo, 2, kAmoXor << 2}},
+      {"amoor.w", {F::kAmo, kOpAmo, 2, kAmoOr << 2}},
+      {"amoand.w", {F::kAmo, kOpAmo, 2, kAmoAnd << 2}},
+      {"flw", {F::kFpLoad, kOpLoadFp, 2, 0}},
+      {"fsw", {F::kFpStore, kOpStoreFp, 2, 0}},
+      {"fadd.s", {F::kFpR, kOpFp, 0, kFpAddS}},
+      {"fmul.s", {F::kFpR, kOpFp, 0, kFpMulS}},
+      {"fadd.d", {F::kFpR, kOpFp, 0, kFpAddD}},
+      {"fmul.d", {F::kFpR, kOpFp, 0, kFpMulD}},
+      {"fmv.w.x", {F::kFpMvToF, kOpFp, 0, kFpMvWX}},
+      {"fmv.x.w", {F::kFpMvToX, kOpFp, 0, kFpMvXW}},
+      {"ecall", {F::kNone, kOpSystem, 0, 0}},
+      {"ebreak", {F::kNone, kOpSystem, 0, 1}},
+  };
+  return table;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) { parse_lines(source); }
+
+  Program run() {
+    // Pass 1: lay out addresses (pseudo-expansion sizes are known up front).
+    std::uint32_t pc = 0;
+    for (const SourceLine& line : lines_) {
+      for (const std::string& label : pending_labels_per_line_[&line - lines_.data()]) {
+        program_.symbols[label] = pc;
+      }
+      pc += 4 * size_in_words(line);
+    }
+    // Pass 2: encode.
+    pc = 0;
+    for (const SourceLine& line : lines_) {
+      encode(line, pc);
+    }
+    return std::move(program_);
+  }
+
+ private:
+  void parse_lines(std::string_view source) {
+    int number = 0;
+    std::vector<std::string> labels;
+    for (std::string_view raw : split_lines(source)) {
+      ++number;
+      std::string_view text = raw;
+      const auto hash = text.find('#');
+      if (hash != std::string_view::npos) text = text.substr(0, hash);
+      const auto slashes = text.find("//");
+      if (slashes != std::string_view::npos) text = text.substr(0, slashes);
+      text = util::trim(text);
+      while (!text.empty()) {
+        const auto colon = text.find(':');
+        // Leading "label:" prefixes.
+        if (colon != std::string_view::npos) {
+          const std::string_view head = util::trim(text.substr(0, colon));
+          if (!head.empty() && head.find(' ') == std::string_view::npos &&
+              !is_number(head)) {
+            labels.emplace_back(head);
+            text = util::trim(text.substr(colon + 1));
+            continue;
+          }
+        }
+        break;
+      }
+      if (text.empty()) continue;
+
+      SourceLine line;
+      line.line_number = number;
+      const auto space = text.find_first_of(" \t");
+      line.mnemonic = util::to_lower(
+          space == std::string_view::npos ? text : text.substr(0, space));
+      if (space != std::string_view::npos) {
+        for (const auto& field : util::split(text.substr(space + 1), ',')) {
+          line.operands.push_back(parse_operand(field, number));
+        }
+      }
+      pending_labels_per_line_.push_back(std::move(labels));
+      labels.clear();
+      lines_.push_back(std::move(line));
+    }
+    if (!labels.empty()) {
+      // Trailing labels point at the end of the image; attach a nop.
+      SourceLine line;
+      line.mnemonic = "nop";
+      line.line_number = number;
+      pending_labels_per_line_.push_back(std::move(labels));
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  static std::vector<std::string_view> split_lines(std::string_view s) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+      if (i == s.size() || s[i] == '\n') {
+        out.push_back(s.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::uint32_t size_in_words(const SourceLine& line) const {
+    if (line.mnemonic == "li") {
+      check_operands(line, 2);
+      const std::int64_t imm = line.operands[1].imm;
+      return (imm >= -2048 && imm < 2048) ? 1 : 2;
+    }
+    return 1;
+  }
+
+  static void check_operands(const SourceLine& line, std::size_t count) {
+    if (line.operands.size() != count) {
+      throw ParseError("'" + line.mnemonic + "' expects " +
+                           std::to_string(count) + " operands",
+                       line.line_number);
+    }
+  }
+
+  [[nodiscard]] std::int64_t resolve(const Operand& op, int line) const {
+    if (op.kind == Operand::Kind::kImm) return op.imm;
+    if (op.kind == Operand::Kind::kSymbol) {
+      const auto it = program_.symbols.find(op.symbol);
+      if (it == program_.symbols.end()) {
+        throw ParseError("undefined label '" + op.symbol + "'", line);
+      }
+      return it->second;
+    }
+    throw ParseError("expected immediate or label", line);
+  }
+
+  static int reg_of(const Operand& op, const SourceLine& line) {
+    if (op.kind != Operand::Kind::kReg) {
+      throw ParseError("expected integer register", line.line_number);
+    }
+    return op.reg;
+  }
+  static int fpreg_of(const Operand& op, const SourceLine& line) {
+    if (op.kind != Operand::Kind::kFpReg) {
+      throw ParseError("expected FP register", line.line_number);
+    }
+    return op.reg;
+  }
+
+  void emit(std::uint32_t word) { program_.words.push_back(word); }
+
+  void encode(const SourceLine& line, std::uint32_t& pc) {
+    const int ln = line.line_number;
+    auto branch_offset = [&](const Operand& op) {
+      const std::int64_t target = resolve(op, ln);
+      const std::int64_t offset = target - static_cast<std::int64_t>(pc);
+      if (offset % 2 != 0) throw ParseError("misaligned branch target", ln);
+      return static_cast<std::int32_t>(offset);
+    };
+
+    // Pseudo-instructions first.
+    if (line.mnemonic == "nop") {
+      emit(i_type(kOpImm, 0, 0, 0, 0));
+      pc += 4;
+      return;
+    }
+    if (line.mnemonic == "li") {
+      check_operands(line, 2);
+      const int rd = reg_of(line.operands[0], line);
+      const std::int64_t imm = line.operands[1].imm;
+      if (imm >= -2048 && imm < 2048) {
+        emit(i_type(kOpImm, static_cast<std::uint32_t>(rd), 0, 0,
+                    static_cast<std::int32_t>(imm)));
+        pc += 4;
+      } else {
+        // lui + addi pair; adjust for addi sign extension.
+        const auto v = static_cast<std::uint32_t>(imm);
+        std::uint32_t hi = (v + 0x800) >> 12;
+        const std::int32_t lo =
+            static_cast<std::int32_t>(v) - static_cast<std::int32_t>(hi << 12);
+        emit(u_type(kOpLui, static_cast<std::uint32_t>(rd), hi & 0xFFFFF));
+        emit(i_type(kOpImm, static_cast<std::uint32_t>(rd), 0,
+                    static_cast<std::uint32_t>(rd), lo));
+        pc += 8;
+      }
+      return;
+    }
+    if (line.mnemonic == "mv") {
+      check_operands(line, 2);
+      emit(i_type(kOpImm, static_cast<std::uint32_t>(reg_of(line.operands[0], line)), 0,
+                  static_cast<std::uint32_t>(reg_of(line.operands[1], line)), 0));
+      pc += 4;
+      return;
+    }
+    if (line.mnemonic == "j") {
+      check_operands(line, 1);
+      emit(j_type(kOpJal, 0, branch_offset(line.operands[0])));
+      pc += 4;
+      return;
+    }
+    if (line.mnemonic == "ret") {
+      emit(i_type(kOpJalr, 0, 0, 1, 0));
+      pc += 4;
+      return;
+    }
+    if (line.mnemonic == "beqz" || line.mnemonic == "bnez") {
+      check_operands(line, 2);
+      const std::uint32_t funct3 = line.mnemonic == "beqz" ? 0 : 1;
+      emit(b_type(kOpBranch, funct3,
+                  static_cast<std::uint32_t>(reg_of(line.operands[0], line)), 0,
+                  branch_offset(line.operands[1])));
+      pc += 4;
+      return;
+    }
+    if (line.mnemonic == ".word") {
+      check_operands(line, 1);
+      emit(static_cast<std::uint32_t>(resolve(line.operands[0], ln)));
+      pc += 4;
+      return;
+    }
+
+    const auto it = instr_table().find(line.mnemonic);
+    if (it == instr_table().end()) {
+      throw ParseError("unknown mnemonic '" + line.mnemonic + "'", ln);
+    }
+    const InstrSpec& spec = it->second;
+    using F = InstrSpec::Format;
+    switch (spec.format) {
+      case F::kR: {
+        check_operands(line, 3);
+        emit(r_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    spec.funct3,
+                    static_cast<std::uint32_t>(reg_of(line.operands[1], line)),
+                    static_cast<std::uint32_t>(reg_of(line.operands[2], line)),
+                    spec.funct7));
+        break;
+      }
+      case F::kI: {
+        check_operands(line, 3);
+        emit(i_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    spec.funct3,
+                    static_cast<std::uint32_t>(reg_of(line.operands[1], line)),
+                    static_cast<std::int32_t>(resolve(line.operands[2], ln))));
+        break;
+      }
+      case F::kShift: {
+        check_operands(line, 3);
+        const auto shamt =
+            static_cast<std::uint32_t>(resolve(line.operands[2], ln));
+        emit(i_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    spec.funct3,
+                    static_cast<std::uint32_t>(reg_of(line.operands[1], line)),
+                    static_cast<std::int32_t>(shamt | (spec.funct7 << 5))));
+        break;
+      }
+      case F::kILoad: {
+        check_operands(line, 2);
+        const Operand& mem = line.operands[1];
+        if (mem.kind != Operand::Kind::kMem) {
+          throw ParseError("expected imm(reg) operand", ln);
+        }
+        emit(i_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    spec.funct3, static_cast<std::uint32_t>(mem.reg),
+                    static_cast<std::int32_t>(mem.imm)));
+        break;
+      }
+      case F::kS: {
+        check_operands(line, 2);
+        const Operand& mem = line.operands[1];
+        if (mem.kind != Operand::Kind::kMem) {
+          throw ParseError("expected imm(reg) operand", ln);
+        }
+        emit(s_type(spec.opcode, spec.funct3,
+                    static_cast<std::uint32_t>(mem.reg),
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    static_cast<std::int32_t>(mem.imm)));
+        break;
+      }
+      case F::kB: {
+        check_operands(line, 3);
+        emit(b_type(spec.opcode, spec.funct3,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    static_cast<std::uint32_t>(reg_of(line.operands[1], line)),
+                    branch_offset(line.operands[2])));
+        break;
+      }
+      case F::kU: {
+        check_operands(line, 2);
+        emit(u_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    static_cast<std::uint32_t>(resolve(line.operands[1], ln)) &
+                        0xFFFFF));
+        break;
+      }
+      case F::kJ: {
+        check_operands(line, 2);
+        emit(j_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    branch_offset(line.operands[1])));
+        break;
+      }
+      case F::kJalr: {
+        check_operands(line, 2);
+        const Operand& mem = line.operands[1];
+        if (mem.kind != Operand::Kind::kMem) {
+          throw ParseError("jalr expects rd, imm(rs1)", ln);
+        }
+        emit(i_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)), 0,
+                    static_cast<std::uint32_t>(mem.reg),
+                    static_cast<std::int32_t>(mem.imm)));
+        break;
+      }
+      case F::kNone: {
+        emit(i_type(spec.opcode, 0, 0, 0,
+                    static_cast<std::int32_t>(spec.funct7)));
+        break;
+      }
+      case F::kAmo: {
+        check_operands(line, 3);
+        const Operand& mem = line.operands[2];
+        if (mem.kind != Operand::Kind::kMem || mem.imm != 0) {
+          throw ParseError("amo expects rd, rs2, (rs1)", ln);
+        }
+        emit(r_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    spec.funct3, static_cast<std::uint32_t>(mem.reg),
+                    static_cast<std::uint32_t>(reg_of(line.operands[1], line)),
+                    spec.funct7));
+        break;
+      }
+      case F::kFpR: {
+        check_operands(line, 3);
+        emit(r_type(spec.opcode,
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[0], line)),
+                    spec.funct3,
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[1], line)),
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[2], line)),
+                    spec.funct7));
+        break;
+      }
+      case F::kFpLoad: {
+        check_operands(line, 2);
+        const Operand& mem = line.operands[1];
+        if (mem.kind != Operand::Kind::kMem) {
+          throw ParseError("expected imm(reg) operand", ln);
+        }
+        emit(i_type(spec.opcode,
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[0], line)),
+                    spec.funct3, static_cast<std::uint32_t>(mem.reg),
+                    static_cast<std::int32_t>(mem.imm)));
+        break;
+      }
+      case F::kFpStore: {
+        check_operands(line, 2);
+        const Operand& mem = line.operands[1];
+        if (mem.kind != Operand::Kind::kMem) {
+          throw ParseError("expected imm(reg) operand", ln);
+        }
+        emit(s_type(spec.opcode, spec.funct3,
+                    static_cast<std::uint32_t>(mem.reg),
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[0], line)),
+                    static_cast<std::int32_t>(mem.imm)));
+        break;
+      }
+      case F::kFpMvToF: {
+        check_operands(line, 2);
+        emit(r_type(spec.opcode,
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[0], line)),
+                    0,
+                    static_cast<std::uint32_t>(reg_of(line.operands[1], line)),
+                    0, spec.funct7));
+        break;
+      }
+      case F::kFpMvToX: {
+        check_operands(line, 2);
+        emit(r_type(spec.opcode,
+                    static_cast<std::uint32_t>(reg_of(line.operands[0], line)),
+                    0,
+                    static_cast<std::uint32_t>(fpreg_of(line.operands[1], line)),
+                    0, spec.funct7));
+        break;
+      }
+    }
+    pc += 4;
+  }
+
+  std::vector<SourceLine> lines_;
+  std::vector<std::vector<std::string>> pending_labels_per_line_;
+  Program program_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) { return Assembler(source).run(); }
+
+int parse_register(std::string_view name) {
+  const auto reg = try_register(name);
+  if (!reg) throw ParseError("unknown register '" + std::string(name) + "'");
+  return *reg;
+}
+
+int parse_fp_register(std::string_view name) {
+  if (name.size() >= 2 && name[0] == 'f') {
+    int value = 0;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        throw ParseError("unknown FP register '" + std::string(name) + "'");
+      }
+      value = value * 10 + (name[i] - '0');
+    }
+    if (value < 32) return value;
+  }
+  throw ParseError("unknown FP register '" + std::string(name) + "'");
+}
+
+}  // namespace ssresf::soc

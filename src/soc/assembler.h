@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssresf::soc {
+
+/// A small two-pass RISC-V assembler covering the subset the SSRESF cores
+/// execute: RV32I/RV64I base, M, A (word forms), and the F/D move/add/mul
+/// instructions, plus common pseudo-instructions (li, mv, j, nop, beqz,
+/// bnez, ret) and the `.word` directive.
+///
+/// Syntax: one instruction per line; `label:` definitions; `#` or `//`
+/// comments; operands are registers (x0..x31 or ABI names, f0..f31),
+/// immediates (decimal or 0x hex), `imm(reg)` address forms, and label
+/// references for branch/jump targets.
+struct Program {
+  std::vector<std::uint32_t> words;            // text image, word per instr
+  std::map<std::string, std::uint32_t> symbols;  // label -> byte address
+};
+
+[[nodiscard]] Program assemble(std::string_view source);
+
+/// Register name -> index (x-names and ABI names); throws ParseError on
+/// unknown names. Exposed for tests.
+[[nodiscard]] int parse_register(std::string_view name);
+[[nodiscard]] int parse_fp_register(std::string_view name);
+
+}  // namespace ssresf::soc

@@ -1,0 +1,148 @@
+#include "soc/bus.h"
+
+#include "util/error.h"
+
+namespace ssresf::soc {
+
+std::string_view bus_protocol_name(BusProtocol p) {
+  switch (p) {
+    case BusProtocol::kApb:
+      return "APB";
+    case BusProtocol::kAhb:
+      return "AHB";
+    case BusProtocol::kAxi:
+      return "AXI";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Spread an xlen-bit word across `width` lanes (rotating copies), through
+/// buffers so the lanes are real cells, not aliases.
+Bus spread_lanes(Builder& b, const Bus& word, int width) {
+  Bus lanes;
+  lanes.reserve(static_cast<std::size_t>(width));
+  for (int k = 0; k < width; ++k) {
+    lanes.push_back(b.buf(word[static_cast<std::size_t>(k) % word.size()]));
+  }
+  return lanes;
+}
+
+/// Select the lane group addressed by `group_sel` and collapse back to xlen.
+Bus collapse_lanes(Builder& b, const Bus& lanes, const Bus& group_sel,
+                   int xlen) {
+  const int groups = static_cast<int>(lanes.size()) / xlen;
+  std::vector<Bus> options;
+  options.reserve(static_cast<std::size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    options.push_back(slice(lanes, g * xlen, xlen));
+  }
+  if (groups == 1) return options[0];
+  return bus_mux_tree(b, group_sel, options);
+}
+
+}  // namespace
+
+BusSegmentIO build_bus_segment(Builder& b, BusProtocol protocol,
+                               int fabric_width, NetId clk, NetId rstn,
+                               const CoreIO& core, int xlen,
+                               const Bus& dmem_rdata, const Bus& dmem_raddr,
+                               const Bus& dmem_waddr, const Bus& dmem_wdata,
+                               NetId dmem_we, const std::string& name) {
+  if (fabric_width % xlen != 0) {
+    throw InvalidArgument("bus fabric width must be a multiple of xlen");
+  }
+  const int groups = fabric_width / xlen;
+  int group_bits = 0;
+  while ((1 << group_bits) < groups) ++group_bits;
+  const int woff = xlen == 64 ? 3 : 2;  // byte -> word address shift
+  const int abits = static_cast<int>(dmem_raddr.size());
+
+  const auto scope = b.scope(name, netlist::ModuleClass::kBus);
+
+  // --- address decode ----------------------------------------------------------
+  const NetId is_mmio = core.data_addr[30];
+  const NetId is_dmem = b.inv(is_mmio);
+  const Bus word_addr = slice(core.data_addr, woff, abits);
+  const Bus group_sel =
+      group_bits > 0 ? slice(word_addr, 0, group_bits) : Bus{};
+
+  // --- write lane fabric ----------------------------------------------------------
+  const Bus wlanes = spread_lanes(b, core.data_wdata, fabric_width);
+  const NetId store_req = b.and2(core.data_we, is_dmem);
+
+  Bus commit_wdata;   // xlen bits handed to the memory write port
+  Bus commit_waddr;   // abits
+  NetId commit_we;
+  NetId fwd_hit = b.zero();
+  Bus fwd_data;
+
+  switch (protocol) {
+    case BusProtocol::kApb: {
+      // Direct write: commits on the edge ending the store cycle.
+      commit_we = store_req;
+      commit_waddr = word_addr;
+      commit_wdata = collapse_lanes(b, wlanes, group_sel, xlen);
+      break;
+    }
+    case BusProtocol::kAhb: {
+      // One posted stage: address-phase/data-phase registers.
+      const Bus lane_q = b.register_bus(wlanes, clk, rstn, "ahb_lane");
+      const Bus waddr_q = b.register_bus(word_addr, clk, rstn, "ahb_waddr");
+      const NetId we_q = b.dffr(store_req, clk, rstn, "ahb_we").q;
+      commit_we = we_q;
+      commit_waddr = waddr_q;
+      const Bus commit_group =
+          group_bits > 0 ? slice(waddr_q, 0, group_bits) : Bus{};
+      commit_wdata = collapse_lanes(b, lane_q, commit_group, xlen);
+      fwd_hit = b.and2(we_q, equal(b, waddr_q, word_addr));
+      fwd_data = commit_wdata;
+      break;
+    }
+    case BusProtocol::kAxi: {
+      // Two stages: AW/W channel registers, then the commit stage.
+      const Bus lane1 = b.register_bus(wlanes, clk, rstn, "axi_w1");
+      const Bus addr1 = b.register_bus(word_addr, clk, rstn, "axi_aw1");
+      const NetId we1 = b.dffr(store_req, clk, rstn, "axi_v1").q;
+      const Bus lane2 = b.register_bus(lane1, clk, rstn, "axi_w2");
+      const Bus addr2 = b.register_bus(addr1, clk, rstn, "axi_aw2");
+      const NetId we2 = b.dffr(we1, clk, rstn, "axi_v2").q;
+      commit_we = we2;
+      commit_waddr = addr2;
+      const Bus g2 = group_bits > 0 ? slice(addr2, 0, group_bits) : Bus{};
+      commit_wdata = collapse_lanes(b, lane2, g2, xlen);
+      // Forwarding: newest store wins.
+      const Bus g1 = group_bits > 0 ? slice(addr1, 0, group_bits) : Bus{};
+      const Bus data1 = collapse_lanes(b, lane1, g1, xlen);
+      const NetId hit1 = b.and2(we1, equal(b, addr1, word_addr));
+      const NetId hit2 = b.and2(we2, equal(b, addr2, word_addr));
+      fwd_hit = b.or2(hit1, hit2);
+      fwd_data = bus_mux(b, hit1, commit_wdata, data1);
+      break;
+    }
+    default:
+      throw InvalidArgument("unknown bus protocol");
+  }
+
+  b.drive_bus(dmem_waddr, commit_waddr);
+  b.drive_bus(dmem_wdata, commit_wdata);
+  b.drive(dmem_we, commit_we);
+  b.drive_bus(dmem_raddr, word_addr);
+
+  // --- read lane fabric + forwarding ------------------------------------------------
+  const Bus rlanes = spread_lanes(b, dmem_rdata, fabric_width);
+  Bus rdata = collapse_lanes(b, rlanes, group_sel, xlen);
+  if (protocol != BusProtocol::kApb) {
+    rdata = bus_mux(b, fwd_hit, rdata, fwd_data);
+  }
+
+  BusSegmentIO io;
+  io.rdata_to_core = std::move(rdata);
+  io.is_mmio = is_mmio;
+  io.mmio_we = b.and2(core.data_we, is_mmio);
+  io.mmio_wdata = slice(core.data_wdata, 0, 32);
+  return io;
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "soc/core.h"
+
+namespace ssresf::soc {
+
+/// Interconnect protocol of a SoC configuration (the bus-type axis of
+/// Table I). All three route reads combinationally (the single-cycle cores
+/// need zero-latency loads); they differ in the write path:
+///  - APB: writes commit directly at the end of the store cycle;
+///  - AHB: one pipeline stage (address/data phase registers) — writes are
+///    posted and commit one cycle later, with store-to-load forwarding;
+///  - AXI: two pipeline stages (write-address/write-data channel registers
+///    then a commit stage), forwarding from both stages.
+enum class BusProtocol { kApb, kAhb, kAxi };
+
+[[nodiscard]] std::string_view bus_protocol_name(BusProtocol p);
+
+/// Per-core bus segment outputs.
+struct BusSegmentIO {
+  Bus rdata_to_core;  // xlen bits: dmem read data after lane fabric +
+                      // forwarding (MMIO reads are muxed in by the SoC)
+  NetId is_mmio;      // address decodes to the MMIO window (bit 30)
+  NetId mmio_we;      // MMIO store request this cycle
+  Bus mmio_wdata;     // low 32 bits of the store data
+};
+
+/// Builds one core's bus segment: address decode, a `fabric_width`-lane
+/// data fabric (lanes carry rotating copies of the xlen-bit word; the lane
+/// group actually consumed is steered by low word-address bits, so every
+/// lane is architecturally live), protocol pipeline registers, and
+/// store-to-load forwarding for the posted-write protocols.
+///
+/// `dmem_*` wires are driven by this function and must connect to the data
+/// memory macro; `dmem_rdata` is the macro's read port.
+[[nodiscard]] BusSegmentIO build_bus_segment(
+    Builder& builder, BusProtocol protocol, int fabric_width, NetId clk,
+    NetId rstn, const CoreIO& core, int xlen, const Bus& dmem_rdata,
+    const Bus& dmem_raddr, const Bus& dmem_waddr, const Bus& dmem_wdata,
+    NetId dmem_we, const std::string& name);
+
+}  // namespace ssresf::soc

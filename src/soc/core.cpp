@@ -1,0 +1,446 @@
+#include "soc/core.h"
+
+#include "soc/alu.h"
+#include "soc/encoding.h"
+#include "soc/fpu.h"
+#include "soc/regfile.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ssresf::soc {
+
+using namespace rv;
+
+std::string CoreConfig::isa_string() const {
+  std::string isa = xlen == 64 ? "RV64I" : "RV32I";
+  if (ext_m) isa += 'M';
+  if (ext_a) isa += 'A';
+  if (ext_f) isa += 'F';
+  if (ext_d) isa += 'D';
+  return isa;
+}
+
+CoreConfig CoreConfig::from_isa(std::string_view isa) {
+  CoreConfig cfg;
+  const std::string s = util::to_lower(isa);
+  if (util::starts_with(s, "rv64")) {
+    cfg.xlen = 64;
+  } else if (util::starts_with(s, "rv32")) {
+    cfg.xlen = 32;
+  } else {
+    throw InvalidArgument("unknown ISA string '" + std::string(isa) + "'");
+  }
+  for (const char c : s.substr(4)) {
+    switch (c) {
+      case 'i':
+        break;
+      case 'm':
+        cfg.ext_m = true;
+        break;
+      case 'a':
+        cfg.ext_a = true;
+        break;
+      case 'f':
+        cfg.ext_f = true;
+        break;
+      case 'd':
+        cfg.ext_d = true;
+        break;
+      default:
+        throw InvalidArgument("unknown ISA extension '" + std::string(1, c) + "'");
+    }
+  }
+  if (cfg.ext_d) cfg.ext_f = true;
+  return cfg;
+}
+
+namespace {
+
+/// Binary-encode a set of one-hot lines: bit k of the output is the OR of
+/// every one-hot whose index has bit k set.
+Bus encode_onehot(Builder& b, std::span<const NetId> one_hot, int out_bits) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(out_bits));
+  for (int k = 0; k < out_bits; ++k) {
+    std::vector<NetId> terms;
+    for (std::size_t i = 0; i < one_hot.size(); ++i) {
+      if ((i >> k) & 1) terms.push_back(one_hot[i]);
+    }
+    out.push_back(terms.empty() ? b.zero() : b.or_reduce(terms));
+  }
+  return out;
+}
+
+}  // namespace
+
+CoreIO build_core(Builder& b, const CoreConfig& cfg, NetId clk, NetId rstn,
+                  const Bus& instr, const Bus& data_rdata,
+                  const std::string& name) {
+  if (cfg.xlen != 32 && cfg.xlen != 64) {
+    throw InvalidArgument("core xlen must be 32 or 64");
+  }
+  if (instr.size() != 32) throw InvalidArgument("instr bus must be 32 bits");
+  const int W = cfg.xlen;
+  if (data_rdata.size() != static_cast<std::size_t>(W)) {
+    throw InvalidArgument("data_rdata bus must be xlen bits");
+  }
+
+  const auto core_scope = b.scope(name, netlist::ModuleClass::kCpu);
+
+  // --- program counter (next value driven at the end) ------------------------
+  const Bus next_pc = b.wire_bus(W);
+  Bus pc;
+  {
+    const auto s = b.scope("fetch");
+    pc = b.register_bus(next_pc, clk, rstn, "pc");
+  }
+
+  // --- instruction fields ------------------------------------------------------
+  const Bus opcode = slice(instr, 0, 7);
+  const Bus rd_sel = slice(instr, 7, 5);
+  const Bus funct3 = slice(instr, 12, 3);
+  const Bus rs1_sel = slice(instr, 15, 5);
+  const Bus rs2_sel = slice(instr, 20, 5);
+  const Bus funct7 = slice(instr, 25, 7);
+  const Bus funct5 = slice(instr, 27, 5);
+
+  // --- decode ---------------------------------------------------------------------
+  const auto dec_scope_token = b.scope("decode");
+  auto opcode_is = [&](std::uint32_t code) {
+    return equal(b, opcode, bus_constant(b, 7, code));
+  };
+  const NetId is_load = opcode_is(kOpLoad);
+  const NetId is_store = opcode_is(kOpStore);
+  const NetId is_opimm = opcode_is(kOpImm);
+  const NetId is_opr = opcode_is(kOp);
+  const NetId is_lui = opcode_is(kOpLui);
+  const NetId is_auipc = opcode_is(kOpAuipc);
+  const NetId is_branch = opcode_is(kOpBranch);
+  const NetId is_jal = opcode_is(kOpJal);
+  const NetId is_jalr = opcode_is(kOpJalr);
+  const NetId is_system = opcode_is(kOpSystem);
+  const NetId is_opimm32 = W == 64 ? opcode_is(kOpImm32) : b.zero();
+  const NetId is_op32 = W == 64 ? opcode_is(kOp32) : b.zero();
+  const NetId is_amo = cfg.ext_a ? opcode_is(kOpAmo) : b.zero();
+  const NetId is_loadfp = cfg.ext_f ? opcode_is(kOpLoadFp) : b.zero();
+  const NetId is_storefp = cfg.ext_f ? opcode_is(kOpStoreFp) : b.zero();
+  const NetId is_opfp = cfg.ext_f ? opcode_is(kOpFp) : b.zero();
+
+  const std::vector<NetId> f3 = decode(b, funct3);
+  const NetId funct7_b5 = funct7[5];
+  const NetId is_mul =
+      cfg.ext_m ? b.and2(is_opr, equal(b, funct7, bus_constant(b, 7, 1)))
+                : b.zero();
+
+  // Sticky halt on ecall/ebreak.
+  const NetId halt_w = b.wire("halt_d");
+  const NetId halt_q = b.dffr(halt_w, clk, rstn, "halt_ff").q;
+  b.drive(halt_w, b.or2(halt_q, is_system));
+  const NetId running = b.and2(b.inv(halt_q), rstn);
+
+  // --- immediates -------------------------------------------------------------------
+  const Bus imm_i = sign_extend(slice(instr, 20, 12), W);
+  const Bus imm_s = sign_extend(concat(slice(instr, 7, 5), slice(instr, 25, 7)), W);
+  Bus imm_b_raw;
+  imm_b_raw.push_back(b.zero());
+  for (int i = 8; i <= 11; ++i) imm_b_raw.push_back(instr[static_cast<std::size_t>(i)]);
+  for (int i = 25; i <= 30; ++i) imm_b_raw.push_back(instr[static_cast<std::size_t>(i)]);
+  imm_b_raw.push_back(instr[7]);
+  imm_b_raw.push_back(instr[31]);
+  const Bus imm_b = sign_extend(imm_b_raw, W);
+  Bus imm_u_raw = bus_constant(b, 12, 0);
+  for (int i = 12; i <= 31; ++i) imm_u_raw.push_back(instr[static_cast<std::size_t>(i)]);
+  const Bus imm_u = sign_extend(imm_u_raw, W);
+  Bus imm_j_raw;
+  imm_j_raw.push_back(b.zero());
+  for (int i = 21; i <= 30; ++i) imm_j_raw.push_back(instr[static_cast<std::size_t>(i)]);
+  imm_j_raw.push_back(instr[20]);
+  for (int i = 12; i <= 19; ++i) imm_j_raw.push_back(instr[static_cast<std::size_t>(i)]);
+  imm_j_raw.push_back(instr[31]);
+  const Bus imm_j = sign_extend(imm_j_raw, W);
+
+  // --- register file -----------------------------------------------------------------
+  const NetId is_fmv_to_x =
+      cfg.ext_f
+          ? b.and2(is_opfp, equal(b, funct7, bus_constant(b, 7, kFpMvXW)))
+          : b.zero();
+  const NetId is_fmv_to_f =
+      cfg.ext_f
+          ? b.and2(is_opfp, equal(b, funct7, bus_constant(b, 7, kFpMvWX)))
+          : b.zero();
+  const NetId reg_we = b.and2(
+      running,
+      b.or_reduce(std::vector<NetId>{is_load, is_opimm, is_opr, is_lui,
+                                     is_auipc, is_jal, is_jalr, is_opimm32,
+                                     is_op32, is_amo, is_fmv_to_x}));
+  const Bus rd_wdata = b.wire_bus(W);
+  const Bus read_sels[2] = {rs1_sel, rs2_sel};
+  const auto reads =
+      build_register_file(b, clk, rstn, reg_we, rd_sel, rd_wdata, read_sels,
+                          /*reg0_is_zero=*/true, "regfile");
+  const Bus& rs1_data = reads[0];
+  const Bus& rs2_data = reads[1];
+
+  // --- ALU ----------------------------------------------------------------------------
+  const NetId is_alu_funct = b.or2(is_opimm, b.and2(is_opr, b.inv(is_mul)));
+  const NetId arith_sub = b.and2(is_opr, funct7_b5);
+  std::vector<NetId> oh(kNumAluOps, b.zero());
+  oh[static_cast<int>(AluOp::kAdd)] = b.or_reduce(std::vector<NetId>{
+      is_load, is_store, is_auipc, is_jalr, is_amo, is_loadfp, is_storefp,
+      b.and2(is_alu_funct, b.and2(f3[0], b.inv(arith_sub)))});
+  oh[static_cast<int>(AluOp::kSub)] =
+      b.and2(is_alu_funct, b.and2(f3[0], arith_sub));
+  oh[static_cast<int>(AluOp::kSll)] = b.and2(is_alu_funct, f3[1]);
+  oh[static_cast<int>(AluOp::kSlt)] = b.and2(is_alu_funct, f3[2]);
+  oh[static_cast<int>(AluOp::kSltu)] = b.and2(is_alu_funct, f3[3]);
+  oh[static_cast<int>(AluOp::kXor)] = b.and2(is_alu_funct, f3[4]);
+  oh[static_cast<int>(AluOp::kSrl)] =
+      b.and2(is_alu_funct, b.and2(f3[5], b.inv(funct7_b5)));
+  oh[static_cast<int>(AluOp::kSra)] =
+      b.and2(is_alu_funct, b.and2(f3[5], funct7_b5));
+  oh[static_cast<int>(AluOp::kOr)] = b.and2(is_alu_funct, f3[6]);
+  oh[static_cast<int>(AluOp::kAnd)] = b.and2(is_alu_funct, f3[7]);
+  oh[static_cast<int>(AluOp::kPassB)] = is_lui;
+  const Bus alu_op = encode_onehot(b, oh, kAluOpBits);
+
+  const Bus alu_a = bus_mux(b, is_auipc, rs1_data, pc);
+  Bus imm_sel = bus_mux(b, is_store, imm_i, imm_s);
+  const NetId use_u = b.or2(is_lui, is_auipc);
+  imm_sel = bus_mux(b, use_u, imm_sel, imm_u);
+  Bus alu_b = bus_mux(b, b.or2(is_opr, is_op32), imm_sel, rs2_data);
+  if (cfg.ext_a) {
+    alu_b = bus_mux(b, is_amo, alu_b, bus_constant(b, W, 0));  // addr = rs1
+  }
+  const Bus alu_result = build_alu(b, alu_a, alu_b, alu_op);
+
+  // --- M extension -----------------------------------------------------------------------
+  Bus mul_result;
+  if (cfg.ext_m) {
+    const auto s = b.scope("muldiv");
+    // Operand isolation: the array multiplier and restoring divider are the
+    // largest combinational blocks in the core; masking their operands to
+    // zero unless the matching instruction executes keeps them electrically
+    // quiet (standard low-power practice, and it keeps event-driven
+    // simulation activity proportional to real work). funct3 bit 2 selects
+    // the divide group within the M opcodes.
+    const NetId is_div_group = b.and2(is_mul, funct3[2]);
+    const NetId is_mul_group = b.and2(is_mul, b.inv(funct3[2]));
+    const Bus m_rs1 = bus_mask(b, rs1_data, is_mul_group);
+    const Bus m_rs2 = bus_mask(b, rs2_data, is_mul_group);
+    const Bus d_rs1 = bus_mask(b, rs1_data, is_div_group);
+    const Bus d_rs2 = bus_mask(b, rs2_data, is_div_group);
+    const Bus product = multiply(b, m_rs1, m_rs2);
+    const Bus mul_lo = slice(product, 0, W);
+    const Bus mulhu = slice(product, W, W);
+    const Bus corr1 = bus_mask(b, m_rs2, m_rs1.back());
+    const Bus corr2 = bus_mask(b, m_rs1, m_rs2.back());
+    const Bus mulh = subtract(b, subtract(b, mulhu, corr1).sum, corr2).sum;
+    const Bus mulhsu = subtract(b, mulhu, corr1).sum;
+    const DivResult div_s = divide_signed(b, d_rs1, d_rs2);
+    const DivResult div_u = divide_unsigned(b, d_rs1, d_rs2);
+    const Bus options[8] = {mul_lo,         mulh,           mulhsu,
+                            mulhu,          div_s.quotient, div_u.quotient,
+                            div_s.remainder, div_u.remainder};
+    mul_result = bus_mux_tree(b, funct3, options);
+  }
+
+  // --- RV64 W-ops ---------------------------------------------------------------------------
+  Bus w_result;
+  if (W == 64) {
+    const auto s = b.scope("aluw");
+    const Bus a32 = slice(rs1_data, 0, 32);
+    const Bus b32 =
+        bus_mux(b, is_op32, slice(imm_i, 0, 32), slice(rs2_data, 0, 32));
+    const NetId w_sub = b.and2(is_op32, funct7_b5);
+    std::vector<NetId> ohw(kNumAluOps, b.zero());
+    ohw[static_cast<int>(AluOp::kAdd)] = b.and2(f3[0], b.inv(w_sub));
+    ohw[static_cast<int>(AluOp::kSub)] = b.and2(f3[0], w_sub);
+    ohw[static_cast<int>(AluOp::kSll)] = f3[1];
+    ohw[static_cast<int>(AluOp::kSrl)] = b.and2(f3[5], b.inv(funct7_b5));
+    ohw[static_cast<int>(AluOp::kSra)] = b.and2(f3[5], funct7_b5);
+    const Bus w_op = encode_onehot(b, ohw, kAluOpBits);
+    const Bus out32 = build_alu(b, a32, b32, w_op);
+    w_result = sign_extend(out32, 64);
+  }
+
+  // --- branches ----------------------------------------------------------------------------------
+  const NetId br_eq = equal(b, rs1_data, rs2_data);
+  const NetId br_lt = less_signed(b, rs1_data, rs2_data);
+  const NetId br_ltu = less_unsigned(b, rs1_data, rs2_data);
+  const NetId take = b.or_reduce(std::vector<NetId>{
+      b.and2(f3[0], br_eq), b.and2(f3[1], b.inv(br_eq)),
+      b.and2(f3[4], br_lt), b.and2(f3[5], b.inv(br_lt)),
+      b.and2(f3[6], br_ltu), b.and2(f3[7], b.inv(br_ltu))});
+  const NetId branch_taken = b.and2(is_branch, take);
+
+  // --- next PC -----------------------------------------------------------------------------------
+  const Bus pc_plus4 = add(b, pc, bus_constant(b, W, 4));
+  const Bus pc_branch = add(b, pc, imm_b);
+  const Bus pc_jal = add(b, pc, imm_j);
+  Bus jalr_target = alu_result;
+  jalr_target[0] = b.zero();
+  Bus npc = pc_plus4;
+  npc = bus_mux(b, branch_taken, npc, pc_branch);
+  npc = bus_mux(b, is_jal, npc, pc_jal);
+  npc = bus_mux(b, is_jalr, npc, jalr_target);
+  const NetId hold = b.inv(running);
+  npc = bus_mux(b, hold, npc, pc);
+  b.drive_bus(next_pc, npc);
+
+  // --- data memory interface ------------------------------------------------------------------------
+  const auto mem_scope_token = b.scope("lsu");
+  const int off_bits = W == 64 ? 3 : 2;
+  const Bus byte_off = slice(alu_result, 0, off_bits);
+  Bus shamt = bus_constant(b, 3, 0);
+  shamt.insert(shamt.end(), byte_off.begin(), byte_off.end());
+  const Bus shifted_r = shift_right(b, data_rdata, shamt, b.zero());
+
+  const Bus lb = sign_extend(slice(shifted_r, 0, 8), W);
+  const Bus lbu = zero_extend(b, slice(shifted_r, 0, 8), W);
+  const Bus lh = sign_extend(slice(shifted_r, 0, 16), W);
+  const Bus lhu = zero_extend(b, slice(shifted_r, 0, 16), W);
+  Bus lw, lwu, ld_r;
+  if (W == 64) {
+    lw = sign_extend(slice(shifted_r, 0, 32), W);
+    lwu = zero_extend(b, slice(shifted_r, 0, 32), W);
+    ld_r = shifted_r;
+  } else {
+    lw = shifted_r;
+    lwu = shifted_r;
+    ld_r = shifted_r;
+  }
+  const Bus load_options[8] = {lb, lh, lw, ld_r, lbu, lhu, lwu, lhu};
+  const Bus load_result = bus_mux_tree(b, funct3, load_options);
+
+  // FP register file and units (operands needed for store data below).
+  Bus fp_rs1, fp_rs2;
+  Bus fp_wdata;
+  NetId fp_we = b.zero();
+  const int fpw = cfg.ext_d ? 64 : 32;
+  if (cfg.ext_f) {
+    const NetId is_fadd_s =
+        b.and2(is_opfp, equal(b, funct7, bus_constant(b, 7, kFpAddS)));
+    const NetId is_fmul_s =
+        b.and2(is_opfp, equal(b, funct7, bus_constant(b, 7, kFpMulS)));
+    NetId is_fadd_d = b.zero();
+    NetId is_fmul_d = b.zero();
+    if (cfg.ext_d) {
+      is_fadd_d = b.and2(is_opfp, equal(b, funct7, bus_constant(b, 7, kFpAddD)));
+      is_fmul_d = b.and2(is_opfp, equal(b, funct7, bus_constant(b, 7, kFpMulD)));
+    }
+    fp_we = b.and2(running,
+                   b.or_reduce(std::vector<NetId>{is_loadfp, is_fmv_to_f,
+                                                  is_fadd_s, is_fmul_s,
+                                                  is_fadd_d, is_fmul_d}));
+    const Bus fp_wdata_w = b.wire_bus(fpw);
+    const Bus fp_read_sels[2] = {rs1_sel, rs2_sel};
+    const auto fp_reads =
+        build_register_file(b, clk, rstn, fp_we, rd_sel, fp_wdata_w,
+                            fp_read_sels, /*reg0_is_zero=*/false, "fpregfile");
+    fp_rs1 = fp_reads[0];
+    fp_rs2 = fp_reads[1];
+
+    const auto fpu_scope = b.scope("fpu");
+    // Operand isolation per precision, as in the muldiv unit: the single-
+    // and double-precision datapaths only see operands when their own
+    // arithmetic executes (moves and loads leave both quiet).
+    const NetId fp_s_active = b.or2(is_fadd_s, is_fmul_s);
+    const Bus fp_a32 = bus_mask(b, slice(fp_rs1, 0, 32), fp_s_active);
+    const Bus fp_b32 = bus_mask(b, slice(fp_rs2, 0, 32), fp_s_active);
+    const Bus fadd_s = build_fp_adder(b, fp_a32, fp_b32, FpFormat::single());
+    const Bus fmul_s =
+        build_fp_multiplier(b, fp_a32, fp_b32, FpFormat::single());
+    Bus result = zero_extend(b, slice(load_result, 0, 32), fpw);  // flw
+    result = bus_mux(b, is_fmv_to_f,
+                     result, zero_extend(b, slice(rs1_data, 0, 32), fpw));
+    result = bus_mux(b, is_fadd_s, result, zero_extend(b, fadd_s, fpw));
+    result = bus_mux(b, is_fmul_s, result, zero_extend(b, fmul_s, fpw));
+    if (cfg.ext_d) {
+      const NetId fp_d_active = b.or2(is_fadd_d, is_fmul_d);
+      const Bus fp_a64 = bus_mask(b, fp_rs1, fp_d_active);
+      const Bus fp_b64 = bus_mask(b, fp_rs2, fp_d_active);
+      const Bus fadd_d = build_fp_adder(b, fp_a64, fp_b64, FpFormat::double_());
+      const Bus fmul_d =
+          build_fp_multiplier(b, fp_a64, fp_b64, FpFormat::double_());
+      result = bus_mux(b, is_fadd_d, result, fadd_d);
+      result = bus_mux(b, is_fmul_d, result, fmul_d);
+    }
+    b.drive_bus(fp_wdata_w, result);
+    fp_wdata = fp_wdata_w;
+  }
+
+  // Store path: sub-word read-modify-write merge on the full word.
+  Bus store_src = rs2_data;
+  if (cfg.ext_f) {
+    store_src = bus_mux(b, is_storefp, store_src,
+                        zero_extend(b, slice(fp_rs2, 0, 32), W));
+  }
+  const Bus shifted_w = shift_left(b, store_src, shamt);
+  const Bus mask8 = bus_constant(b, W, 0xFF);
+  const Bus mask16 = bus_constant(b, W, 0xFFFF);
+  const Bus mask32 = bus_constant(b, W, 0xFFFFFFFFull);
+  const Bus mask64 = bus_constant(b, W, ~std::uint64_t{0});
+  const Bus mask_options[4] = {mask8, mask16, mask32,
+                               W == 64 ? mask64 : mask32};
+  const Bus mask_base = bus_mux_tree(b, slice(funct3, 0, 2), mask_options);
+  const Bus shifted_mask = shift_left(b, mask_base, shamt);
+  const Bus merged =
+      bus_or(b, bus_and(b, data_rdata, bus_not(b, shifted_mask)),
+             bus_and(b, shifted_w, shifted_mask));
+
+  // AMO data path (full-word operations).
+  Bus data_wdata = merged;
+  NetId amo_writes = b.zero();
+  Bus amo_rd;
+  if (cfg.ext_a) {
+    const auto amo_scope = b.scope("amo");
+    const NetId is_lr = equal(b, funct5, bus_constant(b, 5, kAmoLr));
+    const NetId is_sc = equal(b, funct5, bus_constant(b, 5, kAmoSc));
+    const NetId is_swap = equal(b, funct5, bus_constant(b, 5, kAmoSwap));
+    const NetId is_add_a = equal(b, funct5, bus_constant(b, 5, kAmoAdd));
+    const NetId is_xor_a = equal(b, funct5, bus_constant(b, 5, kAmoXor));
+    const NetId is_or_a = equal(b, funct5, bus_constant(b, 5, kAmoOr));
+    const NetId is_and_a = equal(b, funct5, bus_constant(b, 5, kAmoAnd));
+    Bus amo_new = add(b, data_rdata, rs2_data);  // amoadd default
+    amo_new = bus_mux(b, is_swap, amo_new, rs2_data);
+    amo_new = bus_mux(b, is_sc, amo_new, rs2_data);
+    amo_new = bus_mux(b, is_xor_a, amo_new, bus_xor(b, data_rdata, rs2_data));
+    amo_new = bus_mux(b, is_or_a, amo_new, bus_or(b, data_rdata, rs2_data));
+    amo_new = bus_mux(b, is_and_a, amo_new, bus_and(b, data_rdata, rs2_data));
+    data_wdata = bus_mux(b, is_amo, merged, amo_new);
+    amo_writes = b.and2(is_amo, b.inv(is_lr));
+    (void)is_add_a;
+    // rd value: loaded word, except sc.w returns 0 (always succeeds).
+    amo_rd = bus_mask(b, data_rdata, b.inv(is_sc));
+  }
+
+  const NetId data_we = b.and2(
+      running, b.or_reduce(std::vector<NetId>{is_store, is_storefp, amo_writes}));
+  const NetId data_re = b.and2(
+      running, b.or_reduce(std::vector<NetId>{is_load, is_store, is_amo,
+                                              is_loadfp, is_storefp}));
+
+  // --- writeback ---------------------------------------------------------------------------------------
+  Bus wb = alu_result;
+  wb = bus_mux(b, is_load, wb, load_result);
+  wb = bus_mux(b, b.or2(is_jal, is_jalr), wb, pc_plus4);
+  if (cfg.ext_m) wb = bus_mux(b, is_mul, wb, mul_result);
+  if (W == 64) wb = bus_mux(b, b.or2(is_op32, is_opimm32), wb, w_result);
+  if (cfg.ext_a) wb = bus_mux(b, is_amo, wb, amo_rd);
+  if (cfg.ext_f) {
+    wb = bus_mux(b, is_fmv_to_x, wb,
+                 zero_extend(b, slice(fp_rs1, 0, 32), W));
+  }
+  b.drive_bus(rd_wdata, wb);
+
+  CoreIO io;
+  io.imem_addr = pc;
+  io.data_addr = alu_result;
+  io.data_re = data_re;
+  io.data_we = data_we;
+  io.data_wdata = data_wdata;
+  io.halt = halt_q;
+  return io;
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "soc/datapath.h"
+
+namespace ssresf::soc {
+
+/// ISA selection for a core instance (the CPU-type axis of Table I).
+struct CoreConfig {
+  int xlen = 32;        // 32 or 64
+  bool ext_m = false;   // integer multiply/divide
+  bool ext_a = false;   // atomics (word forms)
+  bool ext_f = false;   // single-precision FP (add/mul/moves/loads/stores)
+  bool ext_d = false;   // double-precision FP (register-register add/mul)
+
+  [[nodiscard]] std::string isa_string() const;
+
+  static CoreConfig from_isa(std::string_view isa);  // e.g. "RV32IMAFD"
+};
+
+/// Nets exposed by a generated core.
+///
+/// The data port is word-granular: the core performs sub-word extraction and
+/// read-modify-write merging internally, so `data_wdata` is always a full
+/// word and `data_addr` a byte address whose word part selects the location.
+/// `data_rdata` must be driven by the surrounding fabric (create the nets
+/// before calling build_core and drive them afterwards).
+struct CoreIO {
+  Bus imem_addr;   // byte address of the fetch (PC), xlen bits
+  Bus data_addr;   // byte address for loads/stores, xlen bits
+  NetId data_re;   // load or store in flight (read used for merging too)
+  NetId data_we;   // store commit request
+  Bus data_wdata;  // merged full word, xlen bits
+  NetId halt;      // sticky; raised by ecall/ebreak
+};
+
+/// Builds a single-cycle RV32/RV64 core under a scope named `name` (module
+/// class kCpu). `instr` is the 32-bit fetched instruction bus and
+/// `data_rdata` the word at data_addr; both are consumed as inputs.
+[[nodiscard]] CoreIO build_core(Builder& builder, const CoreConfig& config,
+                                NetId clk, NetId rstn, const Bus& instr,
+                                const Bus& data_rdata,
+                                const std::string& name);
+
+}  // namespace ssresf::soc

@@ -1,0 +1,327 @@
+#include "soc/datapath.h"
+
+#include "util/error.h"
+
+namespace ssresf::soc {
+
+using ssresf::InvalidArgument;
+
+namespace {
+void check_same_width(const Bus& a, const Bus& b, const char* what) {
+  if (a.size() != b.size()) {
+    throw InvalidArgument(std::string(what) + ": width mismatch (" +
+                          std::to_string(a.size()) + " vs " +
+                          std::to_string(b.size()) + ")");
+  }
+}
+}  // namespace
+
+Bus bus_constant(Builder& b, int width, std::uint64_t value) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    out.push_back(b.constant(i < 64 && ((value >> i) & 1)));
+  }
+  return out;
+}
+
+Bus replicate_net(int width, NetId net) {
+  return Bus(static_cast<std::size_t>(width), net);
+}
+
+Bus slice(const Bus& a, int lo, int len) {
+  if (lo < 0 || len < 0 ||
+      static_cast<std::size_t>(lo + len) > a.size()) {
+    throw InvalidArgument("slice out of range");
+  }
+  return Bus(a.begin() + lo, a.begin() + lo + len);
+}
+
+Bus concat(const Bus& low, const Bus& high) {
+  Bus out = low;
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
+Bus zero_extend(Builder& b, const Bus& a, int width) {
+  if (static_cast<std::size_t>(width) < a.size()) {
+    throw InvalidArgument("zero_extend: target narrower than source");
+  }
+  Bus out = a;
+  while (out.size() < static_cast<std::size_t>(width)) out.push_back(b.zero());
+  return out;
+}
+
+Bus sign_extend(const Bus& a, int width) {
+  if (a.empty() || static_cast<std::size_t>(width) < a.size()) {
+    throw InvalidArgument("sign_extend: bad widths");
+  }
+  Bus out = a;
+  while (out.size() < static_cast<std::size_t>(width)) {
+    out.push_back(a.back());
+  }
+  return out;
+}
+
+Bus bus_not(Builder& b, const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NetId n : a) out.push_back(b.inv(n));
+  return out;
+}
+
+Bus bus_and(Builder& b, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "bus_and");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.and2(a[i], c[i]));
+  return out;
+}
+
+Bus bus_or(Builder& b, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "bus_or");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.or2(a[i], c[i]));
+  return out;
+}
+
+Bus bus_xor(Builder& b, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "bus_xor");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.xor2(a[i], c[i]));
+  return out;
+}
+
+Bus bus_mask(Builder& b, const Bus& a, NetId m) {
+  Bus out;
+  out.reserve(a.size());
+  for (const NetId n : a) out.push_back(b.and2(n, m));
+  return out;
+}
+
+Bus bus_mux(Builder& b, NetId sel, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "bus_mux");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(b.mux2(sel, a[i], c[i]));
+  }
+  return out;
+}
+
+Bus bus_mux_tree(Builder& b, const Bus& sel, std::span<const Bus> options) {
+  if (options.empty()) throw InvalidArgument("bus_mux_tree: no options");
+  std::vector<Bus> level(options.begin(), options.end());
+  for (const NetId s : sel) {
+    if (level.size() == 1) break;
+    std::vector<Bus> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      if (i + 1 < level.size()) {
+        next.push_back(bus_mux(b, s, level[i], level[i + 1]));
+      } else {
+        next.push_back(level[i]);  // out-of-range selects fall through
+      }
+    }
+    level = std::move(next);
+  }
+  if (level.size() != 1) {
+    throw InvalidArgument("bus_mux_tree: select too narrow for option count");
+  }
+  return level[0];
+}
+
+std::vector<NetId> decode(Builder& b, const Bus& sel) {
+  const std::size_t n = sel.size();
+  std::vector<NetId> outputs(std::size_t{1} << n);
+  Bus inverted;
+  inverted.reserve(n);
+  for (const NetId s : sel) inverted.push_back(b.inv(s));
+  for (std::size_t v = 0; v < outputs.size(); ++v) {
+    std::vector<NetId> terms;
+    terms.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      terms.push_back(((v >> i) & 1) ? sel[i] : inverted[i]);
+    }
+    outputs[v] = b.and_reduce(terms);
+  }
+  return outputs;
+}
+
+AddResult ripple_add(Builder& b, const Bus& a, const Bus& c, NetId carry_in) {
+  check_same_width(a, c, "ripple_add");
+  Bus sum;
+  sum.reserve(a.size());
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Full adder: sum = a ^ b ^ cin; cout = ab | cin(a ^ b).
+    const NetId axb = b.xor2(a[i], c[i]);
+    sum.push_back(b.xor2(axb, carry));
+    const NetId and_ab = b.and2(a[i], c[i]);
+    const NetId and_cx = b.and2(carry, axb);
+    carry = b.or2(and_ab, and_cx);
+  }
+  return {std::move(sum), carry};
+}
+
+Bus add(Builder& b, const Bus& a, const Bus& c) {
+  return ripple_add(b, a, c, b.zero()).sum;
+}
+
+AddResult subtract(Builder& b, const Bus& a, const Bus& c) {
+  return ripple_add(b, a, bus_not(b, c), b.one());
+}
+
+Bus negate(Builder& b, const Bus& a) {
+  return subtract(b, bus_constant(b, static_cast<int>(a.size()), 0), a).sum;
+}
+
+NetId equal(Builder& b, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "equal");
+  std::vector<NetId> eq_bits;
+  eq_bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_bits.push_back(b.xnor2(a[i], c[i]));
+  }
+  return b.and_reduce(eq_bits);
+}
+
+NetId is_zero(Builder& b, const Bus& a) {
+  return b.inv(b.or_reduce(a));
+}
+
+NetId less_unsigned(Builder& b, const Bus& a, const Bus& c) {
+  // a < c  <=>  a - c borrows  <=>  carry out of (a + ~c + 1) is 0.
+  return b.inv(subtract(b, a, c).carry);
+}
+
+NetId less_signed(Builder& b, const Bus& a, const Bus& c) {
+  const AddResult diff = subtract(b, a, c);
+  // lt = (sign(a) ^ sign(c)) ? sign(a) : sign(diff)
+  const NetId signs_differ = b.xor2(a.back(), c.back());
+  return b.mux2(signs_differ, diff.sum.back(), a.back());
+}
+
+Bus shift_left(Builder& b, const Bus& a, const Bus& amount) {
+  Bus value = a;
+  for (std::size_t k = 0; k < amount.size(); ++k) {
+    const std::size_t dist = std::size_t{1} << k;
+    Bus shifted;
+    shifted.reserve(value.size());
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      shifted.push_back(i < dist ? b.zero() : value[i - dist]);
+    }
+    value = bus_mux(b, amount[k], value, shifted);
+  }
+  return value;
+}
+
+Bus shift_right(Builder& b, const Bus& a, const Bus& amount, NetId fill) {
+  Bus value = a;
+  for (std::size_t k = 0; k < amount.size(); ++k) {
+    const std::size_t dist = std::size_t{1} << k;
+    Bus shifted;
+    shifted.reserve(value.size());
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      shifted.push_back(i + dist < value.size() ? value[i + dist] : fill);
+    }
+    value = bus_mux(b, amount[k], value, shifted);
+  }
+  return value;
+}
+
+Bus multiply(Builder& b, const Bus& a, const Bus& c) {
+  if (a.empty() || c.empty()) throw InvalidArgument("multiply: empty operand");
+  const int out_width = static_cast<int>(a.size() + c.size());
+  Bus acc = bus_constant(b, out_width, 0);
+  // Row-by-row accumulation: after row i the accumulator occupies bits
+  // [0, a.size() + i]; each row adds the partial product at offset i and
+  // deposits its carry one bit above the row's top.
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    Bus pp = bus_mask(b, a, c[i]);
+    pp.push_back(b.zero());  // widen to a.size() + 1 to absorb the row carry
+    Bus window = slice(acc, static_cast<int>(i), static_cast<int>(a.size()) + 1);
+    const AddResult r = ripple_add(b, window, pp, b.zero());
+    for (std::size_t j = 0; j < r.sum.size(); ++j) acc[i + j] = r.sum[j];
+    if (i + a.size() + 1 < static_cast<std::size_t>(out_width)) {
+      acc[i + a.size() + 1] = r.carry;
+    }
+  }
+  return acc;
+}
+
+DivResult divide_unsigned(Builder& b, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "divide_unsigned");
+  const int w = static_cast<int>(a.size());
+  const Bus divisor = zero_extend(b, c, w + 1);
+  Bus remainder = bus_constant(b, w + 1, 0);
+  Bus quotient(static_cast<std::size_t>(w), b.zero());
+  for (int i = w - 1; i >= 0; --i) {
+    // remainder = (remainder << 1) | a[i]
+    Bus shifted;
+    shifted.reserve(static_cast<std::size_t>(w) + 1);
+    shifted.push_back(a[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < w; ++j) shifted.push_back(remainder[static_cast<std::size_t>(j)]);
+    const AddResult diff = subtract(b, shifted, divisor);
+    const NetId fits = diff.carry;  // 1 when shifted >= divisor
+    remainder = bus_mux(b, fits, shifted, diff.sum);
+    quotient[static_cast<std::size_t>(i)] = fits;
+  }
+  // Division by zero: RISC-V defines q = all ones, r = dividend.
+  const NetId div_zero = is_zero(b, c);
+  Bus ones = bus_constant(b, w, ~std::uint64_t{0});
+  DivResult out;
+  out.quotient = bus_mux(b, div_zero, quotient, ones);
+  out.remainder = bus_mux(b, div_zero, slice(remainder, 0, w), a);
+  return out;
+}
+
+DivResult divide_signed(Builder& b, const Bus& a, const Bus& c) {
+  check_same_width(a, c, "divide_signed");
+  const int w = static_cast<int>(a.size());
+  const NetId sign_a = a.back();
+  const NetId sign_c = c.back();
+  const Bus abs_a = bus_mux(b, sign_a, a, negate(b, a));
+  const Bus abs_c = bus_mux(b, sign_c, c, negate(b, c));
+  const DivResult u = divide_unsigned(b, abs_a, abs_c);
+  const NetId q_neg = b.xor2(sign_a, sign_c);
+  const NetId div_zero = is_zero(b, c);
+  // q = (signs differ) ? -uq : uq, except q = -1 on div-by-zero.
+  Bus q = bus_mux(b, q_neg, u.quotient, negate(b, u.quotient));
+  q = bus_mux(b, div_zero, q, bus_constant(b, w, ~std::uint64_t{0}));
+  // r takes the dividend's sign; r = dividend on div-by-zero.
+  Bus r = bus_mux(b, sign_a, u.remainder, negate(b, u.remainder));
+  r = bus_mux(b, div_zero, r, a);
+  return {std::move(q), std::move(r)};
+}
+
+NormalizeResult normalize_left(Builder& b, const Bus& a) {
+  if (a.empty()) throw InvalidArgument("normalize_left: empty bus");
+  const int w = static_cast<int>(a.size());
+  int stages = 0;
+  while ((1 << stages) < w) ++stages;
+  Bus value = a;
+  Bus amount;
+  for (int k = stages - 1; k >= 0; --k) {
+    const int dist = 1 << k;
+    // If the top `dist` bits are all zero, shift left by dist.
+    const int top_len = std::min(dist, w);
+    const Bus top = slice(value, w - top_len, top_len);
+    const NetId top_zero = is_zero(b, top);
+    Bus shifted;
+    shifted.reserve(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      shifted.push_back(i < dist ? b.zero() : value[static_cast<std::size_t>(i - dist)]);
+    }
+    value = bus_mux(b, top_zero, value, shifted);
+    amount.push_back(top_zero);
+  }
+  std::reverse(amount.begin(), amount.end());  // LSB-first shift amount
+  // One more bit: all-zero input (never normalizes).
+  amount.push_back(is_zero(b, value));
+  return {std::move(value), std::move(amount)};
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace ssresf::soc {
+
+using netlist::NetId;
+using Builder = netlist::NetlistBuilder;
+
+/// A bus is a vector of single-bit nets, least-significant bit first.
+using Bus = std::vector<NetId>;
+
+// --- constants and wiring ------------------------------------------------------
+[[nodiscard]] Bus bus_constant(Builder& b, int width, std::uint64_t value);
+[[nodiscard]] Bus replicate_net(int width, NetId net);
+[[nodiscard]] Bus slice(const Bus& a, int lo, int len);
+[[nodiscard]] Bus concat(const Bus& low, const Bus& high);
+[[nodiscard]] Bus zero_extend(Builder& b, const Bus& a, int width);
+[[nodiscard]] Bus sign_extend(const Bus& a, int width);
+
+// --- bitwise ---------------------------------------------------------------------
+[[nodiscard]] Bus bus_not(Builder& b, const Bus& a);
+[[nodiscard]] Bus bus_and(Builder& b, const Bus& a, const Bus& c);
+[[nodiscard]] Bus bus_or(Builder& b, const Bus& a, const Bus& c);
+[[nodiscard]] Bus bus_xor(Builder& b, const Bus& a, const Bus& c);
+/// AND every bit of `a` with the single net `m` (bus masking).
+[[nodiscard]] Bus bus_mask(Builder& b, const Bus& a, NetId m);
+
+// --- selection ----------------------------------------------------------------------
+/// Per-bit 2:1 mux: sel == 0 -> a, sel == 1 -> c.
+[[nodiscard]] Bus bus_mux(Builder& b, NetId sel, const Bus& a, const Bus& c);
+/// N-way mux tree: options[i] is selected when sel == i. Options beyond the
+/// provided count return the last option (callers pad when that matters).
+[[nodiscard]] Bus bus_mux_tree(Builder& b, const Bus& sel,
+                               std::span<const Bus> options);
+/// One-hot decoder: 2^sel.size() outputs.
+[[nodiscard]] std::vector<NetId> decode(Builder& b, const Bus& sel);
+
+// --- arithmetic ------------------------------------------------------------------------
+struct AddResult {
+  Bus sum;
+  NetId carry;
+};
+/// Ripple-carry adder; operands must have equal width.
+[[nodiscard]] AddResult ripple_add(Builder& b, const Bus& a, const Bus& c,
+                                   NetId carry_in);
+[[nodiscard]] Bus add(Builder& b, const Bus& a, const Bus& c);
+/// a - c via two's complement; carry == 1 means no borrow (a >= c unsigned).
+[[nodiscard]] AddResult subtract(Builder& b, const Bus& a, const Bus& c);
+[[nodiscard]] Bus negate(Builder& b, const Bus& a);
+
+// --- comparison -------------------------------------------------------------------------
+[[nodiscard]] NetId equal(Builder& b, const Bus& a, const Bus& c);
+[[nodiscard]] NetId is_zero(Builder& b, const Bus& a);
+[[nodiscard]] NetId less_unsigned(Builder& b, const Bus& a, const Bus& c);
+[[nodiscard]] NetId less_signed(Builder& b, const Bus& a, const Bus& c);
+
+// --- shifts (barrel, log stages; amount width selects up to 2^k - 1) ---------------------
+[[nodiscard]] Bus shift_left(Builder& b, const Bus& a, const Bus& amount);
+/// Logical/arithmetic right shift: vacated bits take `fill`.
+[[nodiscard]] Bus shift_right(Builder& b, const Bus& a, const Bus& amount,
+                              NetId fill);
+
+// --- wide arithmetic ------------------------------------------------------------------------
+/// Unsigned array multiplier: product has a.size() + c.size() bits.
+[[nodiscard]] Bus multiply(Builder& b, const Bus& a, const Bus& c);
+
+struct DivResult {
+  Bus quotient;
+  Bus remainder;
+};
+/// Unsigned restoring divider (fully combinational). Division by zero yields
+/// the RISC-V result: quotient all-ones, remainder = dividend.
+[[nodiscard]] DivResult divide_unsigned(Builder& b, const Bus& a, const Bus& c);
+/// Signed division with RISC-V semantics (including INT_MIN / -1).
+[[nodiscard]] DivResult divide_signed(Builder& b, const Bus& a, const Bus& c);
+
+/// Normalizing left-shifter: shifts `a` left until its MSB is 1 (or the bus
+/// is exhausted) and reports the shift amount. Used by the FP adder.
+struct NormalizeResult {
+  Bus value;
+  Bus amount;  // ceil(log2(width)) + 1 bits
+};
+[[nodiscard]] NormalizeResult normalize_left(Builder& b, const Bus& a);
+
+}  // namespace ssresf::soc

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ssresf::soc::rv {
+
+// RISC-V base opcodes (bits [6:0]).
+inline constexpr std::uint32_t kOpLoad = 0x03;
+inline constexpr std::uint32_t kOpLoadFp = 0x07;
+inline constexpr std::uint32_t kOpImm = 0x13;
+inline constexpr std::uint32_t kOpAuipc = 0x17;
+inline constexpr std::uint32_t kOpImm32 = 0x1B;
+inline constexpr std::uint32_t kOpStore = 0x23;
+inline constexpr std::uint32_t kOpStoreFp = 0x27;
+inline constexpr std::uint32_t kOpAmo = 0x2F;
+inline constexpr std::uint32_t kOp = 0x33;
+inline constexpr std::uint32_t kOpLui = 0x37;
+inline constexpr std::uint32_t kOp32 = 0x3B;
+inline constexpr std::uint32_t kOpBranch = 0x63;
+inline constexpr std::uint32_t kOpJalr = 0x67;
+inline constexpr std::uint32_t kOpJal = 0x6F;
+inline constexpr std::uint32_t kOpSystem = 0x73;
+inline constexpr std::uint32_t kOpFp = 0x53;
+
+// AMO funct5 values (bits [31:27]).
+inline constexpr std::uint32_t kAmoAdd = 0x00;
+inline constexpr std::uint32_t kAmoSwap = 0x01;
+inline constexpr std::uint32_t kAmoLr = 0x02;
+inline constexpr std::uint32_t kAmoSc = 0x03;
+inline constexpr std::uint32_t kAmoXor = 0x04;
+inline constexpr std::uint32_t kAmoOr = 0x08;
+inline constexpr std::uint32_t kAmoAnd = 0x0C;
+
+// OP-FP funct7 values.
+inline constexpr std::uint32_t kFpAddS = 0x00;
+inline constexpr std::uint32_t kFpAddD = 0x01;
+inline constexpr std::uint32_t kFpMulS = 0x08;
+inline constexpr std::uint32_t kFpMulD = 0x09;
+inline constexpr std::uint32_t kFpMvXW = 0x70;  // fmv.x.w
+inline constexpr std::uint32_t kFpMvWX = 0x78;  // fmv.w.x
+
+// Field packers.
+[[nodiscard]] constexpr std::uint32_t r_type(std::uint32_t opcode,
+                                             std::uint32_t rd,
+                                             std::uint32_t funct3,
+                                             std::uint32_t rs1,
+                                             std::uint32_t rs2,
+                                             std::uint32_t funct7) {
+  return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         (funct7 << 25);
+}
+
+[[nodiscard]] constexpr std::uint32_t i_type(std::uint32_t opcode,
+                                             std::uint32_t rd,
+                                             std::uint32_t funct3,
+                                             std::uint32_t rs1,
+                                             std::int32_t imm) {
+  return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) |
+         (static_cast<std::uint32_t>(imm & 0xFFF) << 20);
+}
+
+[[nodiscard]] constexpr std::uint32_t s_type(std::uint32_t opcode,
+                                             std::uint32_t funct3,
+                                             std::uint32_t rs1,
+                                             std::uint32_t rs2,
+                                             std::int32_t imm) {
+  const auto u = static_cast<std::uint32_t>(imm & 0xFFF);
+  return opcode | ((u & 0x1F) << 7) | (funct3 << 12) | (rs1 << 15) |
+         (rs2 << 20) | ((u >> 5) << 25);
+}
+
+[[nodiscard]] constexpr std::uint32_t b_type(std::uint32_t opcode,
+                                             std::uint32_t funct3,
+                                             std::uint32_t rs1,
+                                             std::uint32_t rs2,
+                                             std::int32_t offset) {
+  const auto u = static_cast<std::uint32_t>(offset);
+  return opcode | (((u >> 11) & 1) << 7) | (((u >> 1) & 0xF) << 8) |
+         (funct3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         (((u >> 5) & 0x3F) << 25) | (((u >> 12) & 1) << 31);
+}
+
+[[nodiscard]] constexpr std::uint32_t u_type(std::uint32_t opcode,
+                                             std::uint32_t rd,
+                                             std::uint32_t imm20) {
+  return opcode | (rd << 7) | (imm20 << 12);
+}
+
+[[nodiscard]] constexpr std::uint32_t j_type(std::uint32_t opcode,
+                                             std::uint32_t rd,
+                                             std::int32_t offset) {
+  const auto u = static_cast<std::uint32_t>(offset);
+  return opcode | (rd << 7) | (((u >> 12) & 0xFF) << 12) |
+         (((u >> 11) & 1) << 20) | (((u >> 1) & 0x3FF) << 21) |
+         (((u >> 20) & 1) << 31);
+}
+
+}  // namespace ssresf::soc::rv

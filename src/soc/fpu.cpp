@@ -1,0 +1,157 @@
+#include "soc/fpu.h"
+
+#include "util/error.h"
+
+namespace ssresf::soc {
+
+namespace {
+
+struct Unpacked {
+  NetId sign;
+  Bus exp;       // exp_bits
+  Bus mant;      // man_bits + 1 (hidden bit at top)
+  NetId is_zero; // exponent == 0 (subnormals treated as zero)
+};
+
+Unpacked unpack(Builder& b, const Bus& v, const FpFormat& fmt) {
+  Unpacked u;
+  u.sign = v[static_cast<std::size_t>(fmt.width() - 1)];
+  u.exp = slice(v, fmt.man_bits, fmt.exp_bits);
+  u.is_zero = is_zero(b, u.exp);
+  u.mant = slice(v, 0, fmt.man_bits);
+  u.mant.push_back(b.inv(u.is_zero));  // hidden 1 for normals
+  return u;
+}
+
+Bus pack(Builder& b, NetId sign, const Bus& exp, const Bus& mant_no_hidden,
+         NetId zero, const FpFormat& fmt) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(fmt.width()));
+  const NetId not_zero = b.inv(zero);
+  for (int i = 0; i < fmt.man_bits; ++i) {
+    out.push_back(b.and2(mant_no_hidden[static_cast<std::size_t>(i)], not_zero));
+  }
+  for (int i = 0; i < fmt.exp_bits; ++i) {
+    out.push_back(b.and2(exp[static_cast<std::size_t>(i)], not_zero));
+  }
+  out.push_back(b.and2(sign, not_zero));
+  return out;
+}
+
+}  // namespace
+
+Bus build_fp_adder(Builder& b, const Bus& a, const Bus& c, FpFormat fmt) {
+  if (a.size() != static_cast<std::size_t>(fmt.width()) || a.size() != c.size()) {
+    throw InvalidArgument("fp adder operand width mismatch");
+  }
+  const auto scope = b.scope("fpadd");
+  const Unpacked ua = unpack(b, a, fmt);
+  const Unpacked uc = unpack(b, c, fmt);
+
+  // Order operands by magnitude: compare {exp, mant} as one unsigned word.
+  const Bus mag_a = concat(ua.mant, ua.exp);
+  const Bus mag_c = concat(uc.mant, uc.exp);
+  const NetId a_smaller = less_unsigned(b, mag_a, mag_c);
+  const NetId sign_big = b.mux2(a_smaller, ua.sign, uc.sign);
+  const NetId sign_small = b.mux2(a_smaller, uc.sign, ua.sign);
+  const Bus exp_big = bus_mux(b, a_smaller, ua.exp, uc.exp);
+  const Bus exp_small = bus_mux(b, a_smaller, uc.exp, ua.exp);
+  const Bus mant_big = bus_mux(b, a_smaller, ua.mant, uc.mant);
+  const Bus mant_small = bus_mux(b, a_smaller, uc.mant, ua.mant);
+
+  // Working mantissas: two guard bits below, hidden bit at the top.
+  const int mw = fmt.man_bits + 3;
+  auto widen = [&](const Bus& mant) {
+    Bus out;
+    out.push_back(b.zero());
+    out.push_back(b.zero());
+    out.insert(out.end(), mant.begin(), mant.end());
+    return out;  // width mw
+  };
+  const Bus big_w = widen(mant_big);
+  const Bus exp_diff = subtract(b, exp_big, exp_small).sum;
+  const Bus small_aligned = shift_right(b, widen(mant_small), exp_diff, b.zero());
+
+  // Add or subtract depending on sign agreement.
+  const NetId effective_sub = b.xor2(sign_big, sign_small);
+  const Bus big_ext = zero_extend(b, big_w, mw + 1);
+  const Bus small_ext = zero_extend(b, small_aligned, mw + 1);
+  const Bus sum_add = add(b, big_ext, small_ext);
+  const Bus sum_sub = subtract(b, big_ext, small_ext).sum;
+  const Bus raw = bus_mux(b, effective_sub, sum_add, sum_sub);
+
+  // Normalize: bring the leading 1 to the top bit (position mw) and adjust
+  // the exponent: new_exp = exp_big + 1 - shift_amount.
+  const NormalizeResult norm = normalize_left(b, raw);
+  const NetId result_zero_mag = norm.amount.back();  // raw sum was zero
+  const Bus mant_out =
+      slice(norm.value, mw + 1 - (fmt.man_bits + 1), fmt.man_bits);
+
+  const int ew = fmt.exp_bits + 2;  // room for overflow/underflow detection
+  const Bus exp_big_ext = zero_extend(b, exp_big, ew);
+  const Bus one_ext = bus_constant(b, ew, 1);
+  Bus amount_only = norm.amount;
+  amount_only.pop_back();  // strip the all-zero flag, keep the shift count
+  const Bus shift_ext = zero_extend(b, amount_only, ew);
+  const Bus exp_plus1 = add(b, exp_big_ext, one_ext);
+  const AddResult exp_adj = subtract(b, exp_plus1, shift_ext);
+  const NetId exp_underflow = b.inv(exp_adj.carry);  // went negative
+  const NetId exp_nonpos = is_zero(b, slice(exp_adj.sum, 0, fmt.exp_bits));
+
+  const NetId result_zero = b.or_reduce(std::vector<NetId>{
+      result_zero_mag, exp_underflow, exp_nonpos,
+      b.and2(ua.is_zero, uc.is_zero)});
+  // Either input zero: pass the other operand through unchanged.
+  const Bus exp_out = slice(exp_adj.sum, 0, fmt.exp_bits);
+  Bus packed = pack(b, sign_big, exp_out, mant_out, result_zero, fmt);
+  packed = bus_mux(b, ua.is_zero, packed, c);
+  packed = bus_mux(b, uc.is_zero, packed, a);
+  const NetId both_zero = b.and2(ua.is_zero, uc.is_zero);
+  packed = bus_mux(b, both_zero, packed,
+                   bus_constant(b, fmt.width(), 0));
+  return packed;
+}
+
+Bus build_fp_multiplier(Builder& b, const Bus& a, const Bus& c, FpFormat fmt) {
+  if (a.size() != static_cast<std::size_t>(fmt.width()) || a.size() != c.size()) {
+    throw InvalidArgument("fp multiplier operand width mismatch");
+  }
+  const auto scope = b.scope("fpmul");
+  const Unpacked ua = unpack(b, a, fmt);
+  const Unpacked uc = unpack(b, c, fmt);
+  const NetId sign = b.xor2(ua.sign, uc.sign);
+  const NetId any_zero = b.or2(ua.is_zero, uc.is_zero);
+
+  // Mantissa product: (1.m_a) * (1.m_c), 2*(man_bits+1) bits; the leading 1
+  // lands in one of the top two bit positions.
+  const Bus product = multiply(b, ua.mant, uc.mant);
+  const int pw = static_cast<int>(product.size());
+  const NetId top = product[static_cast<std::size_t>(pw - 1)];
+  // If top bit set: mantissa = product[pw-2 .. pw-1-man_bits], exp += 1.
+  const Bus mant_hi = slice(product, pw - 1 - fmt.man_bits, fmt.man_bits);
+  const Bus mant_lo = slice(product, pw - 2 - fmt.man_bits, fmt.man_bits);
+  const Bus mant_out = bus_mux(b, top, mant_lo, mant_hi);
+
+  const int ew = fmt.exp_bits + 2;
+  const Bus ea = zero_extend(b, ua.exp, ew);
+  const Bus ec = zero_extend(b, uc.exp, ew);
+  const Bus bias = bus_constant(b, ew, static_cast<std::uint64_t>(fmt.bias()));
+  Bus exp_sum = add(b, ea, ec);
+  Bus top_ext = bus_constant(b, ew, 0);
+  top_ext[0] = top;
+  exp_sum = add(b, exp_sum, top_ext);
+  const AddResult exp_adj = subtract(b, exp_sum, bias);
+  const NetId underflow = b.inv(exp_adj.carry);
+  const NetId exp_nonpos = is_zero(b, slice(exp_adj.sum, 0, fmt.exp_bits));
+  const NetId overflow = exp_adj.sum[static_cast<std::size_t>(fmt.exp_bits)];
+
+  const NetId result_zero =
+      b.or_reduce(std::vector<NetId>{any_zero, underflow, exp_nonpos});
+  Bus exp_out = slice(exp_adj.sum, 0, fmt.exp_bits);
+  // Saturate the exponent on overflow (documented: no inf/NaN).
+  exp_out = bus_mux(b, overflow, exp_out,
+                    bus_constant(b, fmt.exp_bits, ~std::uint64_t{0}));
+  return pack(b, sign, exp_out, mant_out, result_zero, fmt);
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "soc/datapath.h"
+
+namespace ssresf::soc {
+
+/// Floating-point format descriptor (IEEE-754 field layout).
+struct FpFormat {
+  int exp_bits;
+  int man_bits;
+  [[nodiscard]] int width() const { return 1 + exp_bits + man_bits; }
+  [[nodiscard]] int bias() const { return (1 << (exp_bits - 1)) - 1; }
+
+  static FpFormat single() { return {8, 23}; }
+  static FpFormat double_() { return {11, 52}; }
+};
+
+/// Structural floating-point adder.
+///
+/// Fidelity note (documented substitution): supports normal numbers and
+/// zero; subnormal results flush to zero, rounding is truncation, and
+/// inf/NaN are not special-cased (overflow saturates at max exponent). The
+/// gate structure — magnitude compare, alignment barrel shifter, wide adder,
+/// leading-zero normalizer, exponent adjust — matches a real FP datapath,
+/// which is what the radiation campaign exercises.
+[[nodiscard]] Bus build_fp_adder(Builder& builder, const Bus& a, const Bus& b,
+                                 FpFormat fmt);
+
+/// Structural floating-point multiplier (same fidelity notes; mantissa
+/// product comes from the array multiplier).
+[[nodiscard]] Bus build_fp_multiplier(Builder& builder, const Bus& a,
+                                      const Bus& b, FpFormat fmt);
+
+}  // namespace ssresf::soc

@@ -1,0 +1,344 @@
+#include "soc/programs.h"
+
+#include <bit>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ssresf::soc {
+
+namespace {
+constexpr const char* kOutportLoad = "  li a0, 0x40000000\n";
+}
+
+Workload checksum_workload(int n) {
+  if (n < 1 || n > 64) throw InvalidArgument("checksum n out of range");
+  Workload w;
+  w.name = "checksum";
+  std::string s = kOutportLoad;
+  s += util::format(
+      "  li t0, 0\n"
+      "  li t1, %d\n"
+      "  li t2, 0\n"
+      "  li t3, 0x100\n"
+      "init:\n"
+      "  slli t4, t0, 2\n"
+      "  add  t4, t4, t3\n"
+      "  add  t5, t0, t0\n"
+      "  add  t5, t5, t0\n"
+      "  addi t5, t5, 1\n"
+      "  sw   t5, 0(t4)\n"
+      "  addi t0, t0, 1\n"
+      "  blt  t0, t1, init\n"
+      "  li t0, 0\n"
+      "loop:\n"
+      "  slli t4, t0, 2\n"
+      "  add  t4, t4, t3\n"
+      "  lw   t5, 0(t4)\n"
+      "  add  t2, t2, t5\n"
+      "  sw   t2, 0(a0)\n"
+      "  addi t0, t0, 1\n"
+      "  blt  t0, t1, loop\n"
+      "  ecall\n",
+      n);
+  w.source = std::move(s);
+  std::uint32_t sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<std::uint32_t>(3 * i + 1);
+    w.expected_outputs.push_back(sum);
+  }
+  return w;
+}
+
+Workload fibonacci_workload(int terms) {
+  if (terms < 1 || terms > 40) throw InvalidArgument("fibonacci terms out of range");
+  Workload w;
+  w.name = "fibonacci";
+  w.source = std::string(kOutportLoad) +
+             util::format(
+                 "  li t0, 0\n"
+                 "  li t1, 1\n"
+                 "  li t2, %d\n"
+                 "fib:\n"
+                 "  add t3, t0, t1\n"
+                 "  mv t0, t1\n"
+                 "  mv t1, t3\n"
+                 "  sw t3, 0(a0)\n"
+                 "  addi t2, t2, -1\n"
+                 "  bnez t2, fib\n"
+                 "  ecall\n",
+                 terms);
+  std::uint32_t a = 0;
+  std::uint32_t b = 1;
+  for (int i = 0; i < terms; ++i) {
+    const std::uint32_t c = a + b;
+    w.expected_outputs.push_back(c);
+    a = b;
+    b = c;
+  }
+  return w;
+}
+
+Workload sort_workload() {
+  Workload w;
+  w.name = "bubble_sort";
+  // Seeds the array with ((i * 7) ^ 5) & 0xFF via byte stores, bubble-sorts
+  // with word accesses, then emits each element with halfword loads.
+  constexpr int kN = 8;
+  w.source = std::string(kOutportLoad) +
+             util::format(
+                 "  li t0, 0\n"
+                 "  li t1, %d\n"
+                 "  li t3, 0x200\n"
+                 "seed:\n"
+                 "  slli t4, t0, 2\n"
+                 "  add  t4, t4, t3\n"
+                 "  li   t5, 7\n"
+                 "  mv   t6, t0\n"
+                 "  li   s0, 0\n"
+                 "mul7:\n"            // s0 = t6 * 7 by repeated addition
+                 "  beqz t6, mul7d\n"
+                 "  add  s0, s0, t5\n"
+                 "  addi t6, t6, -1\n"
+                 "  j mul7\n"
+                 "mul7d:\n"
+                 "  xori s0, s0, 5\n"
+                 "  andi s0, s0, 255\n"
+                 "  sb   s0, 0(t4)\n"
+                 "  sw   s0, 0(t4)\n"
+                 "  addi t0, t0, 1\n"
+                 "  blt  t0, t1, seed\n"
+                 // bubble sort
+                 "  li s1, 0\n"       // pass counter
+                 "outer:\n"
+                 "  li t0, 0\n"
+                 "inner:\n"
+                 "  addi s2, t1, -1\n"
+                 "  bge  t0, s2, innerd\n"
+                 "  slli t4, t0, 2\n"
+                 "  add  t4, t4, t3\n"
+                 "  lw   t5, 0(t4)\n"
+                 "  lw   t6, 4(t4)\n"
+                 "  bge  t6, t5, noswap\n"
+                 "  sw   t6, 0(t4)\n"
+                 "  sw   t5, 4(t4)\n"
+                 "noswap:\n"
+                 "  addi t0, t0, 1\n"
+                 "  j inner\n"
+                 "innerd:\n"
+                 "  addi s1, s1, 1\n"
+                 "  blt  s1, t1, outer\n"
+                 // emit sorted elements via halfword loads
+                 "  li t0, 0\n"
+                 "emit:\n"
+                 "  slli t4, t0, 2\n"
+                 "  add  t4, t4, t3\n"
+                 "  lhu  t5, 0(t4)\n"
+                 "  sw   t5, 0(a0)\n"
+                 "  addi t0, t0, 1\n"
+                 "  blt  t0, t1, emit\n"
+                 "  ecall\n",
+                 kN);
+  std::vector<std::uint32_t> values;
+  for (int i = 0; i < kN; ++i) {
+    values.push_back(static_cast<std::uint32_t>(((i * 7) ^ 5) & 0xFF));
+  }
+  std::sort(values.begin(), values.end());
+  w.expected_outputs = values;
+  return w;
+}
+
+Workload matmul_workload() {
+  Workload w;
+  w.name = "matmul2x2";
+  // C = A * B with A = [[3, 5], [7, 11]] and B = [[13, 17], [19, 23]].
+  w.source = std::string(kOutportLoad) +
+             "  li t0, 3\n  li t1, 5\n  li t2, 7\n  li t3, 11\n"
+             "  li t4, 13\n  li t5, 17\n  li t6, 19\n  li s0, 23\n"
+             // c00 = a00*b00 + a01*b10
+             "  mul s1, t0, t4\n  mul s2, t1, t6\n  add s1, s1, s2\n"
+             "  sw s1, 0(a0)\n"
+             // c01 = a00*b01 + a01*b11
+             "  mul s1, t0, t5\n  mul s2, t1, s0\n  add s1, s1, s2\n"
+             "  sw s1, 0(a0)\n"
+             // c10 = a10*b00 + a11*b10
+             "  mul s1, t2, t4\n  mul s2, t3, t6\n  add s1, s1, s2\n"
+             "  sw s1, 0(a0)\n"
+             // c11 = a10*b01 + a11*b11
+             "  mul s1, t2, t5\n  mul s2, t3, s0\n  add s1, s1, s2\n"
+             "  sw s1, 0(a0)\n"
+             "  ecall\n";
+  w.expected_outputs = {3 * 13 + 5 * 19, 3 * 17 + 5 * 23, 7 * 13 + 11 * 19,
+                        7 * 17 + 11 * 23};
+  return w;
+}
+
+Workload divider_workload() {
+  Workload w;
+  w.name = "divider";
+  w.source = std::string(kOutportLoad) +
+             "  li t0, 1000003\n"
+             "  li t1, 97\n"
+             "  div t2, t0, t1\n  sw t2, 0(a0)\n"
+             "  rem t3, t0, t1\n  sw t3, 0(a0)\n"
+             "  li t4, -1000003\n"
+             "  div t5, t4, t1\n  sw t5, 0(a0)\n"
+             "  rem t6, t4, t1\n  sw t6, 0(a0)\n"
+             "  divu s0, t0, t1\n  sw s0, 0(a0)\n"
+             "  remu s1, t0, t1\n  sw s1, 0(a0)\n"
+             "  li t1, 0\n"
+             "  div s2, t0, t1\n  sw s2, 0(a0)\n"
+             "  ecall\n";
+  w.expected_outputs = {
+      1000003 / 97,
+      1000003 % 97,
+      static_cast<std::uint32_t>(-1000003 / 97),
+      static_cast<std::uint32_t>(-1000003 % 97),
+      1000003u / 97u,
+      1000003u % 97u,
+      0xFFFFFFFFu,  // division by zero
+  };
+  return w;
+}
+
+Workload atomic_workload() {
+  Workload w;
+  w.name = "atomics";
+  w.source = std::string(kOutportLoad) +
+             "  li t3, 0x300\n"
+             "  li t0, 100\n"
+             "  sw t0, 0(t3)\n"
+             "  li t1, 23\n"
+             "  amoadd.w t2, t1, (t3)\n"   // t2 = 100, mem = 123
+             "  sw t2, 0(a0)\n"
+             "  lw t4, 0(t3)\n"
+             "  sw t4, 0(a0)\n"
+             "  li t5, 555\n"
+             "  amoswap.w t6, t5, (t3)\n"  // t6 = 123, mem = 555
+             "  sw t6, 0(a0)\n"
+             "  li s0, 0x0F0\n"
+             "  amoand.w s1, s0, (t3)\n"   // s1 = 555, mem = 555 & 0xF0 = 0x20
+             "  sw s1, 0(a0)\n"
+             "  lw s2, 0(t3)\n"
+             "  sw s2, 0(a0)\n"
+             "  ecall\n";
+  w.expected_outputs = {100, 123, 123, 555, 555 & 0x0F0};
+  return w;
+}
+
+Workload fp_dot_workload() {
+  Workload w;
+  w.name = "fp_dot";
+  // dot({1, 2, 3, 4}, {2, 2, 2, 2}) = 20.0; every intermediate value is
+  // exactly representable, so truncation rounding agrees with IEEE.
+  auto bits = [](float f) { return std::bit_cast<std::uint32_t>(f); };
+  w.source = std::string(kOutportLoad) +
+             util::format(
+                 "  li t0, 0x%08x\n  fmv.w.x f1, t0\n"   // 1.0
+                 "  li t0, 0x%08x\n  fmv.w.x f2, t0\n"   // 2.0
+                 "  li t0, 0x%08x\n  fmv.w.x f3, t0\n"   // 3.0
+                 "  li t0, 0x%08x\n  fmv.w.x f4, t0\n"   // 4.0
+                 "  fmv.w.x f5, zero\n"                   // acc = 0
+                 "  fmul.s f6, f1, f2\n  fadd.s f5, f5, f6\n"
+                 "  fmul.s f6, f2, f2\n  fadd.s f5, f5, f6\n"
+                 "  fmul.s f6, f3, f2\n  fadd.s f5, f5, f6\n"
+                 "  fmul.s f6, f4, f2\n  fadd.s f5, f5, f6\n"
+                 "  fmv.x.w t1, f5\n"
+                 "  sw t1, 0(a0)\n"
+                 "  ecall\n",
+                 bits(1.0f), bits(2.0f), bits(3.0f), bits(4.0f));
+  w.expected_outputs = {std::bit_cast<std::uint32_t>(20.0f)};
+  return w;
+}
+
+Workload benchmark_workload(const CoreConfig& cfg, bool light) {
+  // Compose the base phases plus one per extension into a single program
+  // with a combined expected-output stream.
+  Workload combined;
+  combined.name = "benchmark_" + util::to_lower(cfg.isa_string());
+  std::vector<Workload> phases =
+      light ? std::vector<Workload>{checksum_workload(6)}
+            : std::vector<Workload>{checksum_workload(8),
+                                    fibonacci_workload(8)};
+  if (cfg.ext_m) {
+    phases.push_back(matmul_workload());
+    // A short division phase so the restoring divider sees live operands
+    // during campaigns without dominating the cycle budget.
+    Workload div_mini;
+    div_mini.name = "div_mini";
+    div_mini.source = std::string(kOutportLoad) +
+                      "  li t0, 9177\n"
+                      "  li t1, 53\n"
+                      "  div t2, t0, t1\n"
+                      "  sw t2, 0(a0)\n"
+                      "  rem t3, t0, t1\n"
+                      "  sw t3, 0(a0)\n"
+                      "  ecall\n";
+    div_mini.expected_outputs = {9177 / 53, 9177 % 53};
+    phases.push_back(std::move(div_mini));
+  }
+  if (cfg.ext_a) phases.push_back(atomic_workload());
+  if (cfg.ext_f) phases.push_back(fp_dot_workload());
+
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    // Re-label each phase so label names don't collide, and replace the
+    // final ecall with a jump to the next phase.
+    std::string body = phases[p].source;
+    const std::string tag = "_p" + std::to_string(p);
+    for (const char* label :
+         {"init", "loop", "fib", "seed", "mul7", "mul7d", "outer", "inner",
+          "innerd", "noswap", "emit"}) {
+      std::string from = label;
+      std::string to = label + tag;
+      std::string out;
+      std::size_t pos = 0;
+      while (pos < body.size()) {
+        const std::size_t hit = body.find(from, pos);
+        if (hit == std::string::npos) {
+          out += body.substr(pos);
+          break;
+        }
+        // Only replace whole-word occurrences.
+        const bool left_ok = hit == 0 || !std::isalnum(static_cast<unsigned char>(body[hit - 1]));
+        const std::size_t end = hit + from.size();
+        const bool right_ok =
+            end >= body.size() ||
+            (!std::isalnum(static_cast<unsigned char>(body[end])) && body[end] != '7');
+        out += body.substr(pos, hit - pos);
+        if (left_ok && right_ok) {
+          out += to;
+        } else {
+          out += from;
+        }
+        pos = end;
+      }
+      body = std::move(out);
+    }
+    if (p + 1 < phases.size()) {
+      const std::size_t ecall_pos = body.rfind("ecall");
+      if (ecall_pos == std::string::npos) {
+        throw InternalError("phase program lacks ecall");
+      }
+      body = body.substr(0, ecall_pos) + "nop" + body.substr(ecall_pos + 5);
+    }
+    combined.source += body;
+    combined.expected_outputs.insert(combined.expected_outputs.end(),
+                                     phases[p].expected_outputs.begin(),
+                                     phases[p].expected_outputs.end());
+  }
+  return combined;
+}
+
+std::vector<Workload> workloads_for(const CoreConfig& cfg) {
+  std::vector<Workload> out = {checksum_workload(), fibonacci_workload(),
+                               sort_workload()};
+  if (cfg.ext_m) {
+    out.push_back(matmul_workload());
+    out.push_back(divider_workload());
+  }
+  if (cfg.ext_a) out.push_back(atomic_workload());
+  if (cfg.ext_f) out.push_back(fp_dot_workload());
+  return out;
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/core.h"
+
+namespace ssresf::soc {
+
+/// A self-contained workload: assembly source plus the output-port words a
+/// correct run must emit (in order). The golden-run tests assert the
+/// sequence; the fault-injection campaign compares full output traces.
+struct Workload {
+  std::string name;
+  std::string source;
+  std::vector<std::uint32_t> expected_outputs;
+};
+
+/// Array checksum with per-iteration partial sums (base ISA only).
+[[nodiscard]] Workload checksum_workload(int n = 12);
+
+/// Iterative Fibonacci, emitting each term (base ISA only).
+[[nodiscard]] Workload fibonacci_workload(int terms = 16);
+
+/// Bubble sort of a small array, emitting the sorted elements; exercises
+/// sub-word loads/stores (base ISA only).
+[[nodiscard]] Workload sort_workload();
+
+/// 2x2 integer matrix multiply using MUL (requires M).
+[[nodiscard]] Workload matmul_workload();
+
+/// Quotient/remainder chain using DIV/REM (requires M).
+[[nodiscard]] Workload divider_workload();
+
+/// Atomic add/swap sequence (requires A).
+[[nodiscard]] Workload atomic_workload();
+
+/// Single-precision dot product on exactly-representable values
+/// (requires F). Values are chosen so truncation-rounding hardware matches
+/// IEEE results exactly.
+[[nodiscard]] Workload fp_dot_workload();
+
+/// A composite workload matched to the core's ISA: base phases plus one
+/// phase per available extension. This is the campaign's default software
+/// stack. `light` drops the Fibonacci phase and shortens the checksum for
+/// large-SoC campaigns where wall-clock matters more than cycle volume.
+[[nodiscard]] Workload benchmark_workload(const CoreConfig& config,
+                                          bool light = false);
+
+/// All workloads runnable on `config`, for sweep-style tests.
+[[nodiscard]] std::vector<Workload> workloads_for(const CoreConfig& config);
+
+}  // namespace ssresf::soc

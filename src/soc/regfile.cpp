@@ -1,0 +1,41 @@
+#include "soc/regfile.h"
+
+#include "util/error.h"
+
+namespace ssresf::soc {
+
+std::vector<Bus> build_register_file(Builder& b, NetId clk, NetId rstn,
+                                     NetId we, const Bus& rd_sel,
+                                     const Bus& wdata,
+                                     std::span<const Bus> read_sels,
+                                     bool reg0_is_zero,
+                                     const std::string& name) {
+  const auto scope = b.scope(name);
+  const std::size_t num_regs = std::size_t{1} << rd_sel.size();
+  const int width = static_cast<int>(wdata.size());
+
+  const std::vector<NetId> select = decode(b, rd_sel);
+  std::vector<Bus> regs;
+  regs.reserve(num_regs);
+  for (std::size_t r = 0; r < num_regs; ++r) {
+    if (r == 0 && reg0_is_zero) {
+      regs.push_back(bus_constant(b, width, 0));
+      continue;
+    }
+    const NetId wen = b.and2(we, select[r]);
+    regs.push_back(
+        b.register_bus_en(wdata, clk, rstn, wen, "x" + std::to_string(r)));
+  }
+
+  std::vector<Bus> reads;
+  reads.reserve(read_sels.size());
+  for (const Bus& sel : read_sels) {
+    if (sel.size() != rd_sel.size()) {
+      throw InvalidArgument("regfile read select width mismatch");
+    }
+    reads.push_back(bus_mux_tree(b, sel, regs));
+  }
+  return reads;
+}
+
+}  // namespace ssresf::soc

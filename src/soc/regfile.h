@@ -1,0 +1,18 @@
+#pragma once
+
+#include "soc/datapath.h"
+
+namespace ssresf::soc {
+
+/// Builds a register file out of DFFE cells with one synchronous write port
+/// and `read_sels.size()` combinational read ports (mux trees).
+///
+/// When `reg0_is_zero` is set, register 0 is hard-wired to zero (the RISC-V
+/// integer register file); otherwise all 2^sel registers are real (the FP
+/// register file).
+[[nodiscard]] std::vector<Bus> build_register_file(
+    Builder& builder, NetId clk, NetId rstn, NetId we, const Bus& rd_sel,
+    const Bus& wdata, std::span<const Bus> read_sels, bool reg0_is_zero,
+    const std::string& name);
+
+}  // namespace ssresf::soc

@@ -1,0 +1,73 @@
+#include "soc/run.h"
+
+#include "netlist/stats.h"
+#include "util/error.h"
+
+namespace ssresf::soc {
+
+std::uint64_t pick_clock_period(const netlist::Netlist& netlist) {
+  const auto crit =
+      static_cast<std::uint64_t>(netlist::estimate_critical_path_ps(netlist));
+  std::uint64_t period = crit + crit / 4 + 100;  // 25% margin + jitter pad
+  period += period % 2;                          // even, for clean half-periods
+  return period;
+}
+
+namespace {
+sim::TestbenchConfig make_tb_config(const SocModel& model,
+                                    std::uint64_t period) {
+  sim::TestbenchConfig cfg;
+  cfg.clk = model.clk;
+  cfg.rstn = model.rstn;
+  cfg.monitored = model.monitored;
+  cfg.clock_period_ps = period == 0 ? pick_clock_period(model.netlist) : period;
+  cfg.reset_cycles = 4;
+  return cfg;
+}
+}  // namespace
+
+SocRunner::SocRunner(const SocModel& model, sim::EngineKind kind,
+                     std::uint64_t clock_period_ps)
+    : model_(&model),
+      engine_(sim::make_engine(kind, model.netlist)),
+      testbench_(*engine_, make_tb_config(model, clock_period_ps)) {}
+
+int SocRunner::run_until_halt(int max_cycles, int check_every) {
+  int run_cycles = 0;
+  while (run_cycles < max_cycles) {
+    const int step = std::min(check_every, max_cycles - run_cycles);
+    testbench_.run_cycles(step);
+    run_cycles += step;
+    if (halted()) break;
+  }
+  return run_cycles;
+}
+
+bool SocRunner::halted() const {
+  return engine_->value(model_->monitored[0]) == netlist::Logic::L1;
+}
+
+std::vector<std::uint32_t> SocRunner::emitted_words() const {
+  return decode_outputs(testbench_.trace());
+}
+
+std::vector<std::uint32_t> SocRunner::decode_outputs(
+    const sim::OutputTrace& trace) {
+  // Monitored layout: [halt, out_valid, out_core, out_data[0..31]].
+  std::vector<std::uint32_t> words;
+  for (std::size_t c = 0; c < trace.num_cycles(); ++c) {
+    const auto& sample = trace.cycle(c);
+    if (sample.size() < 35) throw InvalidArgument("trace is not a SoC trace");
+    if (sample[1] != netlist::Logic::L1) continue;
+    std::uint32_t word = 0;
+    for (int i = 0; i < 32; ++i) {
+      if (sample[static_cast<std::size_t>(3 + i)] == netlist::Logic::L1) {
+        word |= 1u << i;
+      }
+    }
+    words.push_back(word);
+  }
+  return words;
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/engine.h"
+#include "sim/testbench.h"
+#include "soc/soc.h"
+
+namespace ssresf::soc {
+
+/// Convenience wrapper: engine + testbench for a built SoC, with helpers to
+/// run programs and decode the output-port stream from the trace.
+/// Clock period for a netlist: estimated critical path plus margin (a
+/// single-cycle core's longest path — e.g. the restoring divider — bounds
+/// its frequency, exactly as in hardware). Clocking faster than this makes
+/// the event-driven engine mis-sample unsettled data: a setup violation.
+[[nodiscard]] std::uint64_t pick_clock_period(const netlist::Netlist& netlist);
+
+class SocRunner {
+ public:
+  /// clock_period_ps == 0 selects pick_clock_period(model.netlist).
+  SocRunner(const SocModel& model, sim::EngineKind kind,
+            std::uint64_t clock_period_ps = 0);
+
+  /// Apply the reset sequence (counts toward the trace).
+  void reset() { testbench_.reset(); }
+  void run(int cycles) { testbench_.run_cycles(cycles); }
+
+  /// Runs until every core has halted or `max_cycles` have elapsed
+  /// (post-reset); returns the number of cycles actually run.
+  int run_until_halt(int max_cycles, int check_every = 32);
+
+  [[nodiscard]] bool halted() const;
+  [[nodiscard]] const sim::OutputTrace& trace() const {
+    return testbench_.trace();
+  }
+
+  /// Words captured by the output port, in emission order (cycles where
+  /// out_valid sampled 1).
+  [[nodiscard]] std::vector<std::uint32_t> emitted_words() const;
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] sim::Testbench& testbench() { return testbench_; }
+  [[nodiscard]] const SocModel& model() const { return *model_; }
+
+  /// Decodes the output words of a finished trace (same layout as
+  /// emitted_words) — usable on traces from other runners.
+  [[nodiscard]] static std::vector<std::uint32_t> decode_outputs(
+      const sim::OutputTrace& trace);
+
+ private:
+  const SocModel* model_;
+  std::unique_ptr<sim::Engine> engine_;
+  sim::Testbench testbench_;
+};
+
+}  // namespace ssresf::soc

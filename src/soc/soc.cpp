@@ -1,0 +1,241 @@
+#include "soc/soc.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ssresf::soc {
+
+using netlist::MemoryInfo;
+using netlist::MemTech;
+using netlist::ModuleClass;
+
+std::string SocConfig::mem_size_string() const {
+  if (mem_bytes >= 1024 * 1024) {
+    return std::to_string(mem_bytes / (1024 * 1024)) + "MB";
+  }
+  return std::to_string(mem_bytes / 1024) + "KB";
+}
+
+std::vector<SocConfig> pulp_soc_table() {
+  auto row = [](int index, MemTech tech, std::uint64_t mem_bytes,
+                BusProtocol bus, int width, const char* isa, int cores) {
+    SocConfig cfg;
+    cfg.name = "PULP SoC" + std::to_string(index);
+    cfg.mem_tech = tech;
+    cfg.mem_bytes = mem_bytes;
+    cfg.bus = bus;
+    cfg.bus_width_bits = width;
+    cfg.cpu_isa = isa;
+    cfg.num_cores = cores;
+    return cfg;
+  };
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = 1024 * 1024;
+  return {
+      row(1, MemTech::kSram, 64 * kKiB, BusProtocol::kApb, 8, "RV32I", 1),
+      row(2, MemTech::kDram, 64 * kKiB, BusProtocol::kApb, 16, "RV32I", 2),
+      row(3, MemTech::kSram, 256 * kKiB, BusProtocol::kAhb, 32, "RV32IM", 1),
+      row(4, MemTech::kDram, 256 * kKiB, BusProtocol::kAhb, 64, "RV32IM", 2),
+      row(5, MemTech::kSram, 1 * kMiB, BusProtocol::kAxi, 128, "RV32IMF", 1),
+      row(6, MemTech::kDram, 1 * kMiB, BusProtocol::kAxi, 256, "RV32IMF", 2),
+      row(7, MemTech::kSram, 2 * kMiB, BusProtocol::kApb, 512, "RV32IMAFD", 1),
+      row(8, MemTech::kDram, 2 * kMiB, BusProtocol::kApb, 1024, "RV32IMAFD", 2),
+      row(9, MemTech::kSram, 4 * kMiB, BusProtocol::kAhb, 2048, "RV64I", 1),
+      row(10, MemTech::kRadHardSram, 4 * kMiB, BusProtocol::kAhb, 4096, "RV64I",
+          2),
+  };
+}
+
+SocModel build_soc(const SocConfig& cfg, std::span<const Program> programs) {
+  if (cfg.num_cores < 1 || cfg.num_cores > 4) {
+    throw InvalidArgument("num_cores must be in [1, 4]");
+  }
+  if (programs.empty()) throw InvalidArgument("need at least one program");
+  const CoreConfig core_cfg = CoreConfig::from_isa(cfg.cpu_isa);
+  const int W = core_cfg.xlen;
+  const int fabric_width = std::max(cfg.bus_width_bits, W);
+  const std::uint64_t dmem_bytes =
+      cfg.mem_bytes / static_cast<std::uint64_t>(cfg.num_cores);
+  const std::uint64_t dmem_words = dmem_bytes / static_cast<std::uint64_t>(W / 8);
+  if (dmem_words == 0 || (dmem_words & (dmem_words - 1)) != 0) {
+    throw InvalidArgument("per-core data memory must be a power-of-two words");
+  }
+  int dmem_abits = 0;
+  while ((1ull << dmem_abits) < dmem_words) ++dmem_abits;
+  int imem_abits = 0;
+  while ((1u << imem_abits) < cfg.imem_words) ++imem_abits;
+
+  Builder b("soc");
+  SocModel model;
+  model.config = cfg;
+  model.xlen = W;
+  model.clk = b.input("clk");
+  model.rstn = b.input("rstn");
+
+  std::vector<CoreIO> cores;
+  std::vector<BusSegmentIO> segments;
+  std::vector<Bus> core_rdata_wires;
+
+  for (int i = 0; i < cfg.num_cores; ++i) {
+    const std::string suffix = std::to_string(i);
+    const Bus instr = b.wire_bus(32, "instr" + suffix);
+    const Bus rdata = b.wire_bus(W, "rdata" + suffix);
+    core_rdata_wires.push_back(rdata);
+    const CoreIO core = build_core(b, core_cfg, model.clk, model.rstn, instr,
+                                   rdata, "cpu" + suffix);
+
+    // Instruction memory: read-only SRAM macro initialised with the program.
+    {
+      const auto scope = b.scope("imem" + suffix, ModuleClass::kMemory);
+      const Program& prog =
+          programs[static_cast<std::size_t>(i) < programs.size()
+                       ? static_cast<std::size_t>(i)
+                       : programs.size() - 1];
+      if (prog.words.size() > cfg.imem_words) {
+        throw InvalidArgument("program does not fit in instruction memory");
+      }
+      MemoryInfo info;
+      info.words = cfg.imem_words;
+      info.width = 32;
+      info.tech = MemTech::kSram;
+      info.init.assign(cfg.imem_words, 0);
+      for (std::size_t w = 0; w < prog.words.size(); ++w) {
+        info.init[w] = prog.words[w];
+      }
+      const Bus iaddr = slice(core.imem_addr, 2, imem_abits);
+      const Bus zero_w = bus_constant(b, 32, 0);
+      const auto mem = b.memory(std::move(info), model.clk, b.one(), b.zero(),
+                                iaddr, iaddr, zero_w, "imem");
+      b.drive_bus(instr, mem.rdata);
+      model.imem_cells.push_back(mem.cell);
+    }
+
+    // Data memory macro, fed by the bus segment through forward-declared
+    // wires.
+    const Bus dmem_raddr = b.wire_bus(dmem_abits);
+    const Bus dmem_waddr = b.wire_bus(dmem_abits);
+    const Bus dmem_wdata = b.wire_bus(W);
+    const NetId dmem_we = b.wire("dmem_we" + suffix);
+    Bus dmem_rdata;
+    {
+      const auto scope = b.scope("dmem" + suffix, ModuleClass::kMemory);
+      MemoryInfo info;
+      info.words = static_cast<std::uint32_t>(dmem_words);
+      info.width = static_cast<std::uint8_t>(W);
+      info.tech = cfg.mem_tech;
+      const auto mem = b.memory(std::move(info), model.clk, b.one(), dmem_we,
+                                dmem_raddr, dmem_waddr, dmem_wdata, "dmem");
+      dmem_rdata = mem.rdata;
+      model.dmem_cells.push_back(mem.cell);
+    }
+
+    segments.push_back(build_bus_segment(
+        b, cfg.bus, fabric_width, model.clk, model.rstn, core, W, dmem_rdata,
+        dmem_raddr, dmem_waddr, dmem_wdata, dmem_we, "bus" + suffix));
+    cores.push_back(core);
+  }
+
+  // --- MMIO posting buffers + arbiter (part of the bus fabric) -----------------
+  std::vector<NetId> grant(static_cast<std::size_t>(cfg.num_cores));
+  std::vector<Bus> mmio_data(static_cast<std::size_t>(cfg.num_cores));
+  {
+    const auto scope = b.scope("busmmio", ModuleClass::kBus);
+    std::vector<NetId> valid(static_cast<std::size_t>(cfg.num_cores));
+    std::vector<NetId> valid_d(static_cast<std::size_t>(cfg.num_cores));
+    for (int i = 0; i < cfg.num_cores; ++i) {
+      const std::string suffix = std::to_string(i);
+      valid_d[static_cast<std::size_t>(i)] = b.wire("mmio_v_d" + suffix);
+      valid[static_cast<std::size_t>(i)] =
+          b.dffr(valid_d[static_cast<std::size_t>(i)], model.clk, model.rstn,
+                 "mmio_v" + suffix)
+              .q;
+      mmio_data[static_cast<std::size_t>(i)] = b.register_bus_en(
+          segments[static_cast<std::size_t>(i)].mmio_wdata, model.clk,
+          model.rstn, segments[static_cast<std::size_t>(i)].mmio_we,
+          "mmio_d" + suffix);
+    }
+    if (cfg.num_cores == 1) {
+      grant[0] = valid[0];
+    } else {
+      // Rotating-priority arbiter between the (up to 4) requesters; with two
+      // requesters this is classic round robin.
+      const NetId turn_d = b.wire("mmio_turn_d");
+      const NetId turn = b.dffr(turn_d, model.clk, model.rstn, "mmio_turn").q;
+      b.drive(turn_d, b.inv(turn));
+      const NetId v0 = valid[0];
+      const NetId v1 = b.or_reduce(std::vector<NetId>(valid.begin() + 1,
+                                                      valid.end()));
+      const NetId g0 = b.and2(v0, b.or2(b.inv(turn), b.inv(v1)));
+      grant[0] = g0;
+      // Remaining requesters share the non-core0 slot with fixed priority.
+      NetId others_taken = g0;
+      for (std::size_t i = 1; i < valid.size(); ++i) {
+        grant[i] = b.and2(valid[i], b.inv(others_taken));
+        others_taken = b.or2(others_taken, grant[i]);
+      }
+    }
+    for (int i = 0; i < cfg.num_cores; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      b.drive(valid_d[idx],
+              b.or2(segments[idx].mmio_we,
+                    b.and2(valid[idx], b.inv(grant[idx]))));
+    }
+  }
+
+  // --- peripherals --------------------------------------------------------------
+  Bus timer_value;
+  NetId out_valid, out_core;
+  Bus out_data;
+  {
+    const auto scope = b.scope("periph", ModuleClass::kPeripheral);
+    // Free-running 32-bit cycle counter, readable at any MMIO load address.
+    const Bus cnt_d = b.wire_bus(32);
+    timer_value = b.register_bus(cnt_d, model.clk, model.rstn, "timer");
+    b.drive_bus(cnt_d, add(b, timer_value, bus_constant(b, 32, 1)));
+
+    // Output port: captures granted MMIO stores.
+    const NetId any_grant = b.or_reduce(grant);
+    Bus sel_data = mmio_data[0];
+    for (std::size_t i = 1; i < mmio_data.size(); ++i) {
+      sel_data = bus_mux(b, grant[i], sel_data, mmio_data[i]);
+    }
+    out_data = b.register_bus_en(sel_data, model.clk, model.rstn, any_grant,
+                                 "out_data");
+    NetId from_other = b.zero();
+    for (std::size_t i = 1; i < grant.size(); ++i) {
+      from_other = b.or2(from_other, grant[i]);
+    }
+    out_core = b.dffe(from_other, model.clk, model.rstn, any_grant, "out_core").q;
+    out_valid = b.dffr(any_grant, model.clk, model.rstn, "out_valid").q;
+  }
+
+  // --- core read-data return: dmem path or timer --------------------------------
+  for (int i = 0; i < cfg.num_cores; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const Bus timer_ext = zero_extend(b, timer_value, W);
+    const Bus rdata = bus_mux(b, segments[idx].is_mmio,
+                              segments[idx].rdata_to_core, timer_ext);
+    b.drive_bus(core_rdata_wires[idx], rdata);
+  }
+
+  // --- primary outputs ------------------------------------------------------------
+  std::vector<NetId> halts;
+  halts.reserve(cores.size());
+  for (const CoreIO& core : cores) halts.push_back(core.halt);
+  const NetId halt_all = b.and_reduce(halts);
+  b.output(halt_all, "halt");
+  b.output(out_valid, "out_valid");
+  b.output(out_core, "out_core");
+  b.output_bus(out_data, "out_data");
+
+  model.monitored.push_back(halt_all);
+  model.monitored.push_back(out_valid);
+  model.monitored.push_back(out_core);
+  model.monitored.insert(model.monitored.end(), out_data.begin(),
+                         out_data.end());
+
+  model.netlist = b.finish();
+  return model;
+}
+
+}  // namespace ssresf::soc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "soc/assembler.h"
+#include "soc/bus.h"
+#include "soc/core.h"
+
+namespace ssresf::soc {
+
+/// One row of the paper's Table I benchmark axis: a PULP-style SoC
+/// configuration (memory technology/size, bus protocol/width, CPU ISA and
+/// core count).
+struct SocConfig {
+  std::string name;                // e.g. "PULP SoC1"
+  netlist::MemTech mem_tech = netlist::MemTech::kSram;
+  std::uint64_t mem_bytes = 64 * 1024;  // total data memory, split per core
+  BusProtocol bus = BusProtocol::kApb;
+  int bus_width_bits = 32;         // fabric lane count (>= xlen)
+  std::string cpu_isa = "RV32I";
+  int num_cores = 1;
+  std::uint32_t imem_words = 1024;  // per-core instruction memory
+
+  [[nodiscard]] std::string mem_size_string() const;
+};
+
+/// The 10 SoC compositions evaluated in the paper (Table I rows).
+[[nodiscard]] std::vector<SocConfig> pulp_soc_table();
+
+/// A built SoC: the gate-level netlist plus the handles the fault-injection
+/// campaign and testbench need.
+struct SocModel {
+  netlist::Netlist netlist;
+  SocConfig config;
+  int xlen = 32;
+  netlist::NetId clk;
+  netlist::NetId rstn;
+  /// Monitored primary outputs: halt, out_valid, out_core, out_data[0..31].
+  std::vector<netlist::NetId> monitored;
+  std::vector<netlist::CellId> imem_cells;  // per core
+  std::vector<netlist::CellId> dmem_cells;  // per core
+};
+
+/// Builds a SoC running `programs[i]` on core i (a single program is
+/// replicated across cores when fewer are given than num_cores).
+[[nodiscard]] SocModel build_soc(const SocConfig& config,
+                                 std::span<const Program> programs);
+
+}  // namespace ssresf::soc

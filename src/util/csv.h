@@ -1,0 +1,27 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssresf::util {
+
+/// Minimal CSV writer used by benches to dump series (e.g. ROC points,
+/// Fig. 5 sweeps) alongside the human-readable tables.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(const std::vector<std::string>& columns) { row(columns); }
+
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles with enough digits to round-trip.
+  static std::string num(double v);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream& out_;
+};
+
+}  // namespace ssresf::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ssresf {
+
+/// Root of all errors thrown by the SSRESF libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input (netlist text, YAML database, assembly source, ...).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line = 0)
+      : Error(line > 0 ? "line " + std::to_string(line) + ": " + what : what),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_ = 0;
+};
+
+/// A request that violates an API precondition (unknown net, bad width, ...).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ssresf

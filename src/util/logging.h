@@ -1,0 +1,51 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ssresf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kWarn
+/// so library users (and tests) are quiet unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line to stderr with a level prefix. Prefer the SSRESF_LOG
+/// macro, which skips message formatting when the level is filtered out.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_message(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ssresf::util
+
+#define SSRESF_LOG(level)                                  \
+  if (static_cast<int>(level) <                            \
+      static_cast<int>(::ssresf::util::log_level())) {     \
+  } else                                                   \
+    ::ssresf::util::detail::LogStream(level)
+
+#define SSRESF_DEBUG SSRESF_LOG(::ssresf::util::LogLevel::kDebug)
+#define SSRESF_INFO SSRESF_LOG(::ssresf::util::LogLevel::kInfo)
+#define SSRESF_WARN SSRESF_LOG(::ssresf::util::LogLevel::kWarn)
+#define SSRESF_ERROR SSRESF_LOG(::ssresf::util::LogLevel::kError)

@@ -1,0 +1,56 @@
+#include "util/table.h"
+
+#include "util/error.h"
+
+namespace ssresf::util {
+
+void Table::add_row(std::vector<std::string> fields) {
+  if (fields.size() != columns_.size()) {
+    throw InvalidArgument("table row has " + std::to_string(fields.size()) +
+                          " fields, expected " +
+                          std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(fields));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule();
+  out += emit_row(columns_);
+  out += rule();
+  for (const auto& row : rows_) out += emit_row(row);
+  out += rule();
+  return out;
+}
+
+}  // namespace ssresf::util

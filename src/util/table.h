@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssresf::util {
+
+/// ASCII table renderer for the benchmark harnesses, so each bench prints
+/// rows in the same layout as the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> fields);
+
+  /// Render with column alignment, a header rule, and an outer border.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssresf::util

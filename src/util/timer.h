@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace ssresf::util {
+
+/// Simple wall-clock stopwatch used by the benchmark harnesses to report
+/// runtimes in the same units as the paper's Table III (seconds).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ssresf::util

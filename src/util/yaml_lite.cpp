@@ -1,0 +1,354 @@
+#include "util/yaml_lite.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace ssresf::util {
+
+YamlNode YamlNode::scalar(std::string value) {
+  YamlNode n;
+  n.kind_ = Kind::kScalar;
+  n.scalar_ = std::move(value);
+  return n;
+}
+
+YamlNode YamlNode::list() {
+  YamlNode n;
+  n.kind_ = Kind::kList;
+  return n;
+}
+
+YamlNode YamlNode::map() {
+  YamlNode n;
+  n.kind_ = Kind::kMap;
+  return n;
+}
+
+const std::string& YamlNode::as_string() const {
+  if (!is_scalar()) throw InvalidArgument("yaml: node is not a scalar");
+  return scalar_;
+}
+
+double YamlNode::as_double() const {
+  const std::string& s = as_string();
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || !trim(std::string_view(end)).empty()) {
+    throw InvalidArgument("yaml: '" + s + "' is not a number");
+  }
+  return v;
+}
+
+long long YamlNode::as_int() const {
+  const std::string& s = as_string();
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 0);
+  if (end == s.c_str() || !trim(end).empty()) {
+    throw InvalidArgument("yaml: '" + s + "' is not an integer");
+  }
+  return v;
+}
+
+std::size_t YamlNode::size() const {
+  if (is_list()) return list_.size();
+  if (is_map()) return map_.size();
+  return 0;
+}
+
+const YamlNode& YamlNode::at(std::size_t index) const {
+  if (!is_list()) throw InvalidArgument("yaml: node is not a list");
+  if (index >= list_.size()) throw InvalidArgument("yaml: list index out of range");
+  return list_[index];
+}
+
+void YamlNode::push_back(YamlNode child) {
+  if (!is_list()) throw InvalidArgument("yaml: node is not a list");
+  list_.push_back(std::move(child));
+}
+
+bool YamlNode::has(std::string_view key) const {
+  if (!is_map()) return false;
+  for (const auto& [k, v] : map_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const YamlNode& YamlNode::at(std::string_view key) const {
+  if (!is_map()) throw InvalidArgument("yaml: node is not a map");
+  for (const auto& [k, v] : map_) {
+    if (k == key) return v;
+  }
+  throw InvalidArgument("yaml: missing key '" + std::string(key) + "'");
+}
+
+const std::vector<std::pair<std::string, YamlNode>>& YamlNode::entries() const {
+  if (!is_map()) throw InvalidArgument("yaml: node is not a map");
+  return map_;
+}
+
+void YamlNode::set(std::string key, YamlNode value) {
+  if (!is_map()) throw InvalidArgument("yaml: node is not a map");
+  for (auto& [k, v] : map_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  map_.emplace_back(std::move(key), std::move(value));
+}
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string text;  // content with indentation stripped
+  int number = 0;    // 1-based source line for diagnostics
+};
+
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view raw = text.substr(pos, eol - pos);
+    ++number;
+    pos = eol + 1;
+
+    // Strip comments that begin a token (not inside values containing '#').
+    std::string_view body = raw;
+    int indent = 0;
+    while (!body.empty() && body.front() == ' ') {
+      ++indent;
+      body.remove_prefix(1);
+    }
+    if (!body.empty() && body.front() == '\t') {
+      throw ParseError("yaml: tab indentation is not supported", number);
+    }
+    body = trim(body);
+    if (body.empty() || body.front() == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+    lines.push_back(Line{indent, std::string(body), number});
+    if (pos > text.size()) break;
+  }
+  return lines;
+}
+
+std::string unquote(std::string_view s) {
+  if (s.size() >= 2 &&
+      ((s.front() == '"' && s.back() == '"') ||
+       (s.front() == '\'' && s.back() == '\''))) {
+    return std::string(s.substr(1, s.size() - 2));
+  }
+  return std::string(s);
+}
+
+/// Parse an inline value: flow list of scalars or plain scalar.
+YamlNode parse_inline(std::string_view value, int line_number) {
+  value = trim(value);
+  if (!value.empty() && value.front() == '[') {
+    if (value.back() != ']') {
+      throw ParseError("yaml: unterminated flow list", line_number);
+    }
+    YamlNode node = YamlNode::list();
+    std::string_view inner = value.substr(1, value.size() - 2);
+    if (!trim(inner).empty()) {
+      for (const auto& item : split(inner, ',')) {
+        node.push_back(YamlNode::scalar(unquote(trim(item))));
+      }
+    }
+    return node;
+  }
+  return YamlNode::scalar(unquote(value));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  YamlNode parse_document() {
+    if (lines_.empty()) return YamlNode::map();
+    YamlNode root = parse_block(lines_[0].indent);
+    if (pos_ != lines_.size()) {
+      throw ParseError("yaml: unexpected content after document",
+                       lines_[pos_].number);
+    }
+    return root;
+  }
+
+ private:
+  YamlNode parse_block(int indent) {
+    if (starts_list(lines_[pos_].text)) return parse_list(indent);
+    return parse_map(indent);
+  }
+
+  static bool starts_list(const std::string& text) {
+    return text == "-" || starts_with(text, "- ");
+  }
+
+  YamlNode parse_map(int indent) {
+    YamlNode node = YamlNode::map();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           !starts_list(lines_[pos_].text)) {
+      const Line& line = lines_[pos_];
+      const std::size_t colon = line.text.find(':');
+      if (colon == std::string::npos) {
+        throw ParseError("yaml: expected 'key: value'", line.number);
+      }
+      std::string key(trim(std::string_view(line.text).substr(0, colon)));
+      std::string_view rest = trim(std::string_view(line.text).substr(colon + 1));
+      ++pos_;
+      if (!rest.empty()) {
+        node.set(std::move(key), parse_inline(rest, line.number));
+        continue;
+      }
+      // Block value: nested content with greater indent, or a list whose
+      // dashes sit at the same indent as the key (YAML allows this).
+      if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        node.set(std::move(key), parse_block(lines_[pos_].indent));
+      } else if (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+                 starts_list(lines_[pos_].text)) {
+        node.set(std::move(key), parse_list(indent));
+      } else {
+        node.set(std::move(key), YamlNode::scalar(""));
+      }
+    }
+    return node;
+  }
+
+  YamlNode parse_list(int indent) {
+    YamlNode node = YamlNode::list();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           starts_list(lines_[pos_].text)) {
+      Line& line = lines_[pos_];
+      std::string rest =
+          line.text == "-" ? "" : std::string(trim(std::string_view(line.text).substr(2)));
+      if (rest.empty()) {
+        // "-" alone: nested block on following, deeper-indented lines.
+        ++pos_;
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          node.push_back(parse_block(lines_[pos_].indent));
+        } else {
+          node.push_back(YamlNode::scalar(""));
+        }
+        continue;
+      }
+      const std::size_t colon = rest.find(':');
+      const bool item_is_map =
+          colon != std::string::npos &&
+          (colon + 1 == rest.size() || rest[colon + 1] == ' ');
+      if (item_is_map) {
+        // Rewrite "- key: v" as a virtual "key: v" line at indent+2 and let
+        // parse_map pick up the rest of the item's keys at that indent.
+        line.indent = indent + 2;
+        line.text = rest;
+        node.push_back(parse_map(indent + 2));
+      } else {
+        ++pos_;
+        node.push_back(parse_inline(rest, line.number));
+      }
+    }
+    return node;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+bool scalar_needs_quotes(const std::string& s) {
+  if (s.empty()) return false;
+  if (s.front() == ' ' || s.back() == ' ') return true;
+  return s.find_first_of("[]{}#\"'\n") != std::string::npos;
+}
+
+}  // namespace
+
+YamlNode YamlNode::parse(std::string_view text) {
+  return Parser(tokenize(text)).parse_document();
+}
+
+std::string YamlNode::dump() const {
+  std::string out;
+  dump_into(out, 0);
+  return out;
+}
+
+void YamlNode::dump_into(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  switch (kind_) {
+    case Kind::kScalar: {
+      out += scalar_needs_quotes(scalar_) ? "\"" + scalar_ + "\"" : scalar_;
+      out += '\n';
+      break;
+    }
+    case Kind::kList: {
+      // Flow style when every element is a scalar; block style otherwise.
+      bool all_scalar = true;
+      for (const auto& item : list_) all_scalar &= item.is_scalar();
+      if (all_scalar) {
+        out += '[';
+        for (std::size_t i = 0; i < list_.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += list_[i].scalar_;
+        }
+        out += "]\n";
+      } else {
+        if (!out.empty() && out.back() != '\n') out += '\n';
+        for (const auto& item : list_) {
+          out += pad;
+          out += "- ";
+          if (item.is_map()) {
+            // First entry inline after the dash, remaining entries indented.
+            bool first = true;
+            for (const auto& [k, v] : item.map_) {
+              if (!first) {
+                out += pad;
+                out += "  ";
+              }
+              out += k;
+              out += ": ";
+              if (v.is_map() || (v.is_list() && v.dump().front() != '[')) {
+                out += '\n';
+                v.dump_into(out, indent + 4);
+              } else {
+                v.dump_into(out, indent + 4);
+              }
+              first = false;
+            }
+          } else {
+            item.dump_into(out, indent + 2);
+          }
+        }
+      }
+      break;
+    }
+    case Kind::kMap: {
+      if (!out.empty() && out.back() != '\n') out += '\n';
+      for (const auto& [k, v] : map_) {
+        out += pad;
+        out += k;
+        out += ':';
+        if (v.is_scalar() || (v.is_list() && [&] {
+              bool all = true;
+              for (const auto& item : v.list_) all &= item.is_scalar();
+              return all;
+            }())) {
+          out += ' ';
+          v.dump_into(out, indent + 2);
+        } else {
+          out += '\n';
+          v.dump_into(out, indent + 2);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ssresf::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ssresf::util {
+
+/// A small YAML subset sufficient for the SSRESF soft-error database format
+/// (Fig. 3 of the paper): block maps, block lists ("- " items), flow lists of
+/// scalars ("[D, CK, Q, QN]"), and scalars. Comments start with '#'.
+///
+/// This is intentionally not a general YAML implementation — no anchors,
+/// multi-line scalars, or type tags — but it parses and re-emits the exact
+/// schema the paper's database uses, and rejects malformed input with
+/// ParseError carrying the line number.
+class YamlNode {
+ public:
+  enum class Kind { kScalar, kList, kMap };
+
+  YamlNode() : kind_(Kind::kScalar) {}
+  static YamlNode scalar(std::string value);
+  static YamlNode list();
+  static YamlNode map();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_scalar() const { return kind_ == Kind::kScalar; }
+  [[nodiscard]] bool is_list() const { return kind_ == Kind::kList; }
+  [[nodiscard]] bool is_map() const { return kind_ == Kind::kMap; }
+
+  // --- scalar access -------------------------------------------------------
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] long long as_int() const;
+
+  // --- list access ---------------------------------------------------------
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const YamlNode& at(std::size_t index) const;
+  void push_back(YamlNode child);
+
+  // --- map access (ordered) ------------------------------------------------
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] const YamlNode& at(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, YamlNode>>& entries()
+      const;
+  void set(std::string key, YamlNode value);
+
+  /// Parse a document. Throws ParseError on malformed input.
+  static YamlNode parse(std::string_view text);
+
+  /// Serialize back to text in the same subset.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_;
+  std::string scalar_;
+  std::vector<YamlNode> list_;
+  std::vector<std::pair<std::string, YamlNode>> map_;
+
+  void dump_into(std::string& out, int indent) const;
+};
+
+}  // namespace ssresf::util

@@ -1,0 +1,283 @@
+// Clustering tests: Eq. 1 distance properties, Algorithm 1 behaviour, the
+// scope-level optimization vs the naive reference, and sampling invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/distance.h"
+#include "cluster/kcluster.h"
+#include "cluster/sampling.h"
+#include "netlist/builder.h"
+#include "util/error.h"
+
+namespace ssresf::cluster {
+namespace {
+
+using netlist::CellId;
+using netlist::ModuleClass;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+/// A three-module design: cpu (2 sub-blocks), mem, bus.
+Netlist hierarchical_design(int cells_per_leaf = 4) {
+  NetlistBuilder b("chip");
+  const auto in = b.input("in");
+  auto chain = [&](int n) {
+    auto x = in;
+    for (int i = 0; i < n; ++i) x = b.inv(x);
+    return x;
+  };
+  std::vector<netlist::NetId> outs;
+  {
+    const auto cpu = b.scope("cpu", ModuleClass::kCpu);
+    {
+      const auto alu = b.scope("alu");
+      outs.push_back(chain(cells_per_leaf));
+    }
+    {
+      const auto reg = b.scope("regfile");
+      outs.push_back(chain(cells_per_leaf));
+    }
+  }
+  {
+    const auto mem = b.scope("mem", ModuleClass::kMemory);
+    outs.push_back(chain(cells_per_leaf));
+  }
+  {
+    const auto bus = b.scope("bus", ModuleClass::kBus);
+    outs.push_back(chain(cells_per_leaf));
+  }
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    b.output(outs[i], "o" + std::to_string(i));
+  }
+  return b.finish();
+}
+
+TEST(Distance, SameScopeIsZero) {
+  const Netlist nl = hierarchical_design();
+  const HierarchyDistance dist(nl);
+  const CellId a = nl.find_cell("chip/cpu/alu/INVX1_0");
+  const CellId b = nl.find_cell("chip/cpu/alu/INVX1_1");
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_EQ(dist.between_cells(a, b), 0u);
+  EXPECT_EQ(dist.between_cells(a, a), 0u);
+}
+
+TEST(Distance, DeeperDivergenceIsCloser) {
+  const Netlist nl = hierarchical_design();
+  const HierarchyDistance dist(nl);
+  const CellId alu = nl.find_cell("chip/cpu/alu/INVX1_0");
+  const CellId reg = nl.find_cell("chip/cpu/regfile/INVX1_4");
+  const CellId mem = nl.find_cell("chip/mem/INVX1_8");
+  ASSERT_TRUE(alu.valid() && reg.valid() && mem.valid());
+  // alu vs regfile diverge at layer 2; alu vs mem diverge at layer 1.
+  EXPECT_LT(dist.between_cells(alu, reg), dist.between_cells(alu, mem));
+}
+
+TEST(Distance, MatchesEq1Weights) {
+  const Netlist nl = hierarchical_design();
+  // Max depth is 2 -> LN = 2; weights are 2^(2-1)=2 at layer 1, 2^0=1 at
+  // layer 2.
+  const HierarchyDistance dist(nl, 2);
+  const CellId alu = nl.find_cell("chip/cpu/alu/INVX1_0");
+  const CellId reg = nl.find_cell("chip/cpu/regfile/INVX1_4");
+  const CellId mem = nl.find_cell("chip/mem/INVX1_8");
+  EXPECT_EQ(dist.between_cells(alu, reg), 1u);   // differ at layer 2 only
+  EXPECT_EQ(dist.between_cells(alu, mem), 3u);   // differ at layers 1 and 2
+}
+
+TEST(Distance, SymmetryAndTriangle) {
+  const Netlist nl = hierarchical_design();
+  const HierarchyDistance dist(nl);
+  const auto cells = nl.all_cells();
+  for (std::size_t i = 0; i < cells.size(); i += 3) {
+    for (std::size_t j = 0; j < cells.size(); j += 3) {
+      EXPECT_EQ(dist.between_cells(cells[i], cells[j]),
+                dist.between_cells(cells[j], cells[i]));
+      for (std::size_t k = 0; k < cells.size(); k += 5) {
+        EXPECT_LE(dist.between_cells(cells[i], cells[j]),
+                  dist.between_cells(cells[i], cells[k]) +
+                      dist.between_cells(cells[k], cells[j]));
+      }
+    }
+  }
+}
+
+TEST(Distance, RejectsHugeLayerDepth) {
+  const Netlist nl = hierarchical_design();
+  EXPECT_THROW(HierarchyDistance(nl, 70), InvalidArgument);
+}
+
+TEST(Clustering, PartitionsAllCells) {
+  const Netlist nl = hierarchical_design(6);
+  ClusteringConfig cfg;
+  cfg.num_clusters = 3;
+  util::Rng rng(5);
+  const ClusteringResult result = cluster_cells(nl, cfg, rng);
+  EXPECT_EQ(result.clusters.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& c : result.clusters) total += c.size();
+  EXPECT_EQ(total, nl.num_cells());
+  for (std::uint32_t ci = 0; ci < nl.num_cells(); ++ci) {
+    const int k = result.cluster_of[ci];
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 3);
+    const auto& members = result.clusters[static_cast<std::size_t>(k)];
+    EXPECT_NE(std::find(members.begin(), members.end(), CellId{ci}),
+              members.end());
+  }
+}
+
+TEST(Clustering, SameScopeCellsStayTogether) {
+  const Netlist nl = hierarchical_design(8);
+  ClusteringConfig cfg;
+  cfg.num_clusters = 4;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const ClusteringResult result = cluster_cells(nl, cfg, rng);
+    for (std::uint32_t ci = 1; ci < nl.num_cells(); ++ci) {
+      for (std::uint32_t cj = 0; cj < ci; ++cj) {
+        if (nl.cell(CellId{ci}).scope == nl.cell(CellId{cj}).scope) {
+          EXPECT_EQ(result.cluster_of[ci], result.cluster_of[cj])
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(Clustering, OptimizedMatchesNaive) {
+  const Netlist nl = hierarchical_design(5);
+  ClusteringConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.expand_memory_weight = false;  // naive has no memory expansion
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng_a(seed);
+    util::Rng rng_b(seed);
+    const ClusteringResult fast = cluster_cells(nl, cfg, rng_a);
+    const ClusteringResult slow = naive_cluster_cells(nl, cfg, rng_b);
+    EXPECT_EQ(fast.cluster_of, slow.cluster_of) << "seed " << seed;
+  }
+}
+
+TEST(Clustering, DeterministicForSeed) {
+  const Netlist nl = hierarchical_design(7);
+  ClusteringConfig cfg;
+  cfg.num_clusters = 4;
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  EXPECT_EQ(cluster_cells(nl, cfg, rng_a).cluster_of,
+            cluster_cells(nl, cfg, rng_b).cluster_of);
+}
+
+TEST(Clustering, ConvergesWithinIterationBudget) {
+  const Netlist nl = hierarchical_design(9);
+  ClusteringConfig cfg;
+  cfg.num_clusters = 4;
+  util::Rng rng(3);
+  const ClusteringResult result = cluster_cells(nl, cfg, rng);
+  EXPECT_LE(result.iterations, cfg.max_iterations);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(Clustering, MemoryWeightExpansion) {
+  // A design with a memory macro: with expansion, the macro's words make
+  // its cluster weight dominate.
+  NetlistBuilder b("m");
+  const auto clk = b.input("clk");
+  const auto a = b.input("a");
+  {
+    const auto cpu = b.scope("cpu", ModuleClass::kCpu);
+    auto x = a;
+    for (int i = 0; i < 10; ++i) x = b.inv(x);
+    b.output(x, "y");
+  }
+  {
+    const auto mem = b.scope("mem", ModuleClass::kMemory);
+    netlist::MemoryInfo info;
+    info.words = 1024;
+    info.width = 8;
+    std::vector<netlist::NetId> addr(10, a);
+    std::vector<netlist::NetId> wdata(8, a);
+    const auto m = b.memory(std::move(info), clk, b.one(), b.zero(), addr,
+                            addr, wdata, "u_mem");
+    b.output(m.rdata[0], "r");
+  }
+  const Netlist nl = b.finish();
+  ClusteringConfig cfg;
+  cfg.num_clusters = 2;
+  util::Rng rng(1);
+  const ClusteringResult result = cluster_cells(nl, cfg, rng);
+  std::uint64_t max_weight = 0;
+  for (const auto w : result.cluster_weight) max_weight = std::max(max_weight, w);
+  EXPECT_GE(max_weight, 1024u);
+}
+
+TEST(Sampling, EqualProportionBounds) {
+  const Netlist nl = hierarchical_design(16);
+  ClusteringConfig ccfg;
+  ccfg.num_clusters = 4;
+  util::Rng rng(2);
+  const ClusteringResult clustering = cluster_cells(nl, ccfg, rng);
+  SamplingConfig scfg;
+  scfg.fraction = 0.25;
+  scfg.min_per_cluster = 2;
+  scfg.max_per_cluster = 6;
+  const auto samples = sample_clusters(nl, clustering, scfg, rng);
+  for (const ClusterSample& cs : samples) {
+    const auto cluster_size =
+        clustering.clusters[static_cast<std::size_t>(cs.cluster)].size();
+    EXPECT_GE(cs.cells.size(), std::min<std::size_t>(2, cluster_size));
+    EXPECT_LE(cs.cells.size(), 6u);
+    // No duplicates (no memory macros in this design).
+    std::set<std::uint32_t> unique;
+    for (const CellId id : cs.cells) unique.insert(id.index());
+    EXPECT_EQ(unique.size(), cs.cells.size());
+    // All members belong to the right cluster.
+    for (const CellId id : cs.cells) {
+      EXPECT_EQ(clustering.cluster_of[id.index()], cs.cluster);
+    }
+  }
+}
+
+TEST(Sampling, RejectsBadFraction) {
+  const Netlist nl = hierarchical_design();
+  ClusteringConfig ccfg;
+  util::Rng rng(1);
+  const ClusteringResult clustering = cluster_cells(nl, ccfg, rng);
+  SamplingConfig scfg;
+  scfg.fraction = 0.0;
+  EXPECT_THROW(sample_clusters(nl, clustering, scfg, rng), InvalidArgument);
+  scfg.fraction = 0.5;
+  scfg.weighting = SampleWeighting::kXsectWeighted;
+  EXPECT_THROW(sample_clusters(nl, clustering, scfg, rng), InvalidArgument);
+}
+
+TEST(Sampling, WeightedModePrefersHeavyCells) {
+  const Netlist nl = hierarchical_design(12);
+  ClusteringConfig ccfg;
+  ccfg.num_clusters = 1;
+  util::Rng rng(7);
+  const ClusteringResult clustering = cluster_cells(nl, ccfg, rng);
+  // Give one specific cell an overwhelming weight.
+  std::vector<double> weights(nl.num_cells(), 1e-12);
+  weights[5] = 1.0;
+  SamplingConfig scfg;
+  scfg.fraction = 0.02;
+  scfg.min_per_cluster = 1;
+  scfg.max_per_cluster = 1;
+  scfg.weighting = SampleWeighting::kXsectWeighted;
+  int hits = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng r(seed);
+    const auto samples = sample_clusters(nl, clustering, scfg, r, weights);
+    ASSERT_EQ(samples.size(), 1u);
+    ASSERT_EQ(samples[0].cells.size(), 1u);
+    hits += samples[0].cells[0].index() == 5;
+  }
+  EXPECT_GE(hits, 19);  // ~always the heavy cell
+}
+
+}  // namespace
+}  // namespace ssresf::cluster

@@ -1,0 +1,347 @@
+// Unit tests for the width-generic datapath builders, evaluated through the
+// levelized engine on small combinational netlists.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "sim/levelized_sim.h"
+#include "soc/datapath.h"
+#include "soc/alu.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ssresf::soc {
+namespace {
+
+using netlist::Logic;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+/// Builds a combinational function with the given input widths, evaluates it
+/// for arbitrary input values through the levelized engine.
+class CombHarness {
+ public:
+  template <typename Fn>
+  CombHarness(std::vector<int> widths, Fn&& build) {
+    NetlistBuilder b("comb");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      inputs_.push_back(b.input_bus("in" + std::to_string(i), widths[i]));
+    }
+    output_ = build(b, inputs_);
+    b.output_bus(output_, "out");
+    netlist_ = std::make_unique<Netlist>(b.finish());
+    sim_ = std::make_unique<sim::LevelizedSimulator>(*netlist_);
+  }
+
+  std::uint64_t eval(const std::vector<std::uint64_t>& values) {
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      for (std::size_t k = 0; k < inputs_[i].size(); ++k) {
+        sim_->set_input(inputs_[i][k],
+                        netlist::from_bool((values[i] >> k) & 1));
+      }
+    }
+    std::uint64_t out = 0;
+    for (std::size_t k = 0; k < output_.size(); ++k) {
+      const Logic v = sim_->value(output_[k]);
+      EXPECT_TRUE(netlist::is_known(v)) << "output bit " << k << " is X/Z";
+      if (v == Logic::L1) out |= std::uint64_t{1} << k;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t num_cells() const { return netlist_->num_cells(); }
+
+ private:
+  std::unique_ptr<Netlist> netlist_;
+  std::unique_ptr<sim::LevelizedSimulator> sim_;
+  std::vector<Bus> inputs_;
+  Bus output_;
+};
+
+std::uint64_t mask_of(int width) {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+TEST(Datapath, RippleAddExhaustive4Bit) {
+  CombHarness h({4, 4}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    auto r = ripple_add(b, in[0], in[1], b.zero());
+    Bus out = r.sum;
+    out.push_back(r.carry);
+    return out;
+  });
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t c = 0; c < 16; ++c) {
+      EXPECT_EQ(h.eval({a, c}), a + c) << a << " + " << c;
+    }
+  }
+}
+
+TEST(Datapath, AddRandom32Bit) {
+  CombHarness h({32, 32}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    return add(b, in[0], in[1]);
+  });
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next() & 0xFFFFFFFF;
+    const std::uint64_t c = rng.next() & 0xFFFFFFFF;
+    EXPECT_EQ(h.eval({a, c}), (a + c) & 0xFFFFFFFF);
+  }
+}
+
+TEST(Datapath, SubtractAndBorrow) {
+  CombHarness h({8, 8}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    auto r = subtract(b, in[0], in[1]);
+    Bus out = r.sum;
+    out.push_back(r.carry);
+    return out;
+  });
+  for (std::uint64_t a = 0; a < 256; a += 7) {
+    for (std::uint64_t c = 0; c < 256; c += 5) {
+      const std::uint64_t got = h.eval({a, c});
+      EXPECT_EQ(got & 0xFF, (a - c) & 0xFF);
+      EXPECT_EQ((got >> 8) & 1, a >= c ? 1u : 0u) << a << " - " << c;
+    }
+  }
+}
+
+TEST(Datapath, NegateTwosComplement) {
+  CombHarness h({8}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    return negate(b, in[0]);
+  });
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    EXPECT_EQ(h.eval({a}), (0 - a) & 0xFF);
+  }
+}
+
+TEST(Datapath, CompareOps) {
+  CombHarness h({6, 6}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    Bus out;
+    out.push_back(equal(b, in[0], in[1]));
+    out.push_back(less_unsigned(b, in[0], in[1]));
+    out.push_back(less_signed(b, in[0], in[1]));
+    out.push_back(is_zero(b, in[0]));
+    return out;
+  });
+  for (std::uint64_t a = 0; a < 64; a += 3) {
+    for (std::uint64_t c = 0; c < 64; c += 5) {
+      const std::uint64_t got = h.eval({a, c});
+      const auto sa = static_cast<std::int64_t>(a << 58) >> 58;
+      const auto sc = static_cast<std::int64_t>(c << 58) >> 58;
+      EXPECT_EQ(got & 1, a == c ? 1u : 0u);
+      EXPECT_EQ((got >> 1) & 1, a < c ? 1u : 0u);
+      EXPECT_EQ((got >> 2) & 1, sa < sc ? 1u : 0u) << sa << " <s " << sc;
+      EXPECT_EQ((got >> 3) & 1, a == 0 ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Datapath, ShiftsExhaustive8Bit) {
+  CombHarness h({8, 3}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    Bus out = shift_left(b, in[0], in[1]);
+    const Bus srl = shift_right(b, in[0], in[1], b.zero());
+    const Bus sra = shift_right(b, in[0], in[1], in[0].back());
+    out.insert(out.end(), srl.begin(), srl.end());
+    out.insert(out.end(), sra.begin(), sra.end());
+    return out;
+  });
+  for (std::uint64_t a = 0; a < 256; a += 3) {
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      const std::uint64_t got = h.eval({a, s});
+      EXPECT_EQ(got & 0xFF, (a << s) & 0xFF);
+      EXPECT_EQ((got >> 8) & 0xFF, a >> s);
+      const auto sa = static_cast<std::int8_t>(a);
+      EXPECT_EQ((got >> 16) & 0xFF,
+                static_cast<std::uint8_t>(sa >> s)) << a << ">>s" << s;
+    }
+  }
+}
+
+TEST(Datapath, MultiplyExhaustive6x6) {
+  CombHarness h({6, 6}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    return multiply(b, in[0], in[1]);
+  });
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t c = 0; c < 64; ++c) {
+      EXPECT_EQ(h.eval({a, c}), a * c) << a << " * " << c;
+    }
+  }
+}
+
+TEST(Datapath, MultiplyRandom32x32) {
+  CombHarness h({32, 32}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    return multiply(b, in[0], in[1]);
+  });
+  util::Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t a = rng.next() & 0xFFFFFFFF;
+    const std::uint64_t c = rng.next() & 0xFFFFFFFF;
+    EXPECT_EQ(h.eval({a, c}), a * c);
+  }
+}
+
+TEST(Datapath, DivideUnsigned) {
+  CombHarness h({8, 8}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    auto r = divide_unsigned(b, in[0], in[1]);
+    Bus out = r.quotient;
+    out.insert(out.end(), r.remainder.begin(), r.remainder.end());
+    return out;
+  });
+  for (std::uint64_t a = 0; a < 256; a += 3) {
+    for (std::uint64_t c = 0; c < 256; c += 11) {
+      const std::uint64_t got = h.eval({a, c});
+      if (c == 0) {
+        EXPECT_EQ(got & 0xFF, 0xFFu);          // RISC-V: q = all ones
+        EXPECT_EQ((got >> 8) & 0xFF, a);       // r = dividend
+      } else {
+        EXPECT_EQ(got & 0xFF, a / c);
+        EXPECT_EQ((got >> 8) & 0xFF, a % c);
+      }
+    }
+  }
+}
+
+TEST(Datapath, DivideSignedRiscvSemantics) {
+  CombHarness h({8, 8}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    auto r = divide_signed(b, in[0], in[1]);
+    Bus out = r.quotient;
+    out.insert(out.end(), r.remainder.begin(), r.remainder.end());
+    return out;
+  });
+  auto s8 = [](std::uint64_t v) { return static_cast<std::int8_t>(v); };
+  for (std::uint64_t a = 0; a < 256; a += 5) {
+    for (std::uint64_t c = 0; c < 256; c += 7) {
+      const std::uint64_t got = h.eval({a, c});
+      const int sa = s8(a);
+      const int sc = s8(c);
+      int expect_q;
+      int expect_r;
+      if (sc == 0) {
+        expect_q = -1;
+        expect_r = sa;
+      } else if (sa == -128 && sc == -1) {
+        expect_q = -128;  // overflow case per the spec
+        expect_r = 0;
+      } else {
+        expect_q = sa / sc;
+        expect_r = sa % sc;
+      }
+      EXPECT_EQ(got & 0xFF, static_cast<std::uint64_t>(expect_q) & 0xFF)
+          << sa << " / " << sc;
+      EXPECT_EQ((got >> 8) & 0xFF, static_cast<std::uint64_t>(expect_r) & 0xFF)
+          << sa << " % " << sc;
+    }
+  }
+}
+
+TEST(Datapath, MuxTreeSelectsOptions) {
+  CombHarness h({3, 8, 8, 8, 8, 8},
+                [](NetlistBuilder& b, const std::vector<Bus>& in) {
+                  const Bus options[5] = {in[1], in[2], in[3], in[4], in[5]};
+                  return bus_mux_tree(b, in[0], options);
+                });
+  // 5 options with a 3-bit select; out-of-range selects fall through to the
+  // last option at each level.
+  EXPECT_EQ(h.eval({0, 10, 20, 30, 40, 50}), 10u);
+  EXPECT_EQ(h.eval({1, 10, 20, 30, 40, 50}), 20u);
+  EXPECT_EQ(h.eval({2, 10, 20, 30, 40, 50}), 30u);
+  EXPECT_EQ(h.eval({3, 10, 20, 30, 40, 50}), 40u);
+  EXPECT_EQ(h.eval({4, 10, 20, 30, 40, 50}), 50u);
+}
+
+TEST(Datapath, DecodeOneHot) {
+  CombHarness h({3}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    auto lines = decode(b, in[0]);
+    return Bus(lines.begin(), lines.end());
+  });
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(h.eval({v}), std::uint64_t{1} << v);
+  }
+}
+
+TEST(Datapath, NormalizeLeft) {
+  CombHarness h({8}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    auto r = normalize_left(b, in[0]);
+    Bus out = r.value;
+    out.insert(out.end(), r.amount.begin(), r.amount.end());
+    return out;
+  });
+  for (std::uint64_t a = 1; a < 256; ++a) {
+    const std::uint64_t got = h.eval({a});
+    const std::uint64_t value = got & 0xFF;
+    const std::uint64_t amount = (got >> 8) & 0x7;  // 3 shift bits for w=8
+    const std::uint64_t zero_flag = (got >> 11) & 1;
+    EXPECT_EQ(value, (a << amount) & 0xFF);
+    EXPECT_TRUE(value & 0x80) << "not normalized for " << a;
+    EXPECT_EQ(zero_flag, 0u);
+  }
+  // All-zero input sets the zero flag.
+  const std::uint64_t got = h.eval({0});
+  EXPECT_EQ((got >> 11) & 1, 1u);
+}
+
+TEST(Datapath, SignZeroExtendAndSlice) {
+  CombHarness h({4}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    Bus out = sign_extend(in[0], 8);
+    const Bus z = zero_extend(b, in[0], 8);
+    out.insert(out.end(), z.begin(), z.end());
+    return out;
+  });
+  EXPECT_EQ(h.eval({0x5}), 0x05u | (0x05u << 8));
+  EXPECT_EQ(h.eval({0xC}), 0xFCu | (0x0Cu << 8));
+}
+
+TEST(Datapath, WidthMismatchThrows) {
+  EXPECT_THROW(
+      CombHarness({4, 5},
+                  [](NetlistBuilder& b, const std::vector<Bus>& in) {
+                    return add(b, in[0], in[1]);
+                  }),
+      InvalidArgument);
+}
+
+// --- ALU --------------------------------------------------------------------
+
+struct AluCase {
+  AluOp op;
+  std::uint64_t a, b, expected;
+};
+
+class AluTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluTest, Computes16Bit) {
+  const AluCase c = GetParam();
+  CombHarness h({16, 16, 4}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    return build_alu(b, in[0], in[1], in[2]);
+  });
+  EXPECT_EQ(h.eval({c.a, c.b, static_cast<std::uint64_t>(c.op)}),
+            c.expected & mask_of(16));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluTest,
+    ::testing::Values(
+        AluCase{AluOp::kAdd, 0x1234, 0x0FF1, 0x2225},
+        AluCase{AluOp::kSub, 0x1000, 0x0001, 0x0FFF},
+        AluCase{AluOp::kSub, 3, 5, 0xFFFE},
+        AluCase{AluOp::kAnd, 0xF0F0, 0xFF00, 0xF000},
+        AluCase{AluOp::kOr, 0xF0F0, 0x0F00, 0xFFF0},
+        AluCase{AluOp::kXor, 0xFFFF, 0x0F0F, 0xF0F0},
+        AluCase{AluOp::kSlt, 0xFFFF, 1, 1},      // -1 < 1 signed
+        AluCase{AluOp::kSlt, 1, 0xFFFF, 0},
+        AluCase{AluOp::kSltu, 0xFFFF, 1, 0},     // unsigned
+        AluCase{AluOp::kSltu, 1, 0xFFFF, 1},
+        AluCase{AluOp::kSll, 0x0001, 12, 0x1000},
+        AluCase{AluOp::kSrl, 0x8000, 15, 0x0001},
+        AluCase{AluOp::kSra, 0x8000, 15, 0xFFFF},
+        AluCase{AluOp::kPassB, 0xAAAA, 0x1234, 0x1234}));
+
+TEST(Alu, ShiftAmountUsesLowBitsOnly) {
+  CombHarness h({16, 16, 4}, [](NetlistBuilder& b, const std::vector<Bus>& in) {
+    return build_alu(b, in[0], in[1], in[2]);
+  });
+  // Shift amount 0x12 on a 16-bit ALU uses the low 4 bits: shift by 2.
+  EXPECT_EQ(h.eval({0x0001, 0x12, static_cast<std::uint64_t>(AluOp::kSll)}),
+            0x4u);
+}
+
+}  // namespace
+}  // namespace ssresf::soc

@@ -1,0 +1,285 @@
+// ML library tests: dataset handling, scalers, kernels, SMO SVM training on
+// separable and XOR data, metrics math, ROC properties, cross-validation,
+// grid search, and feature selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/cross_validation.h"
+#include "ml/feature_selection.h"
+#include "util/error.h"
+
+namespace ssresf::ml {
+namespace {
+
+Dataset linearly_separable(int n, util::Rng& rng, double margin = 1.0) {
+  Dataset d({"x", "y"});
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(-3, 3);
+    const double noise = rng.uniform(-0.3, 0.3);
+    // Separator: y = x; positives above by at least `margin`.
+    const int label = i % 2 == 0 ? 1 : -1;
+    d.add({x, x + label * (margin + std::abs(noise))}, label);
+  }
+  return d;
+}
+
+Dataset xor_dataset(int per_quadrant, util::Rng& rng) {
+  Dataset d({"x", "y"});
+  for (int i = 0; i < per_quadrant; ++i) {
+    for (const double sx : {-1.0, 1.0}) {
+      for (const double sy : {-1.0, 1.0}) {
+        const double x = sx * rng.uniform(0.5, 1.5);
+        const double y = sy * rng.uniform(0.5, 1.5);
+        d.add({x, y}, sx * sy > 0 ? 1 : -1);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(Dataset, AddAndSubsetAndProject) {
+  Dataset d({"a", "b", "c"});
+  d.add({1, 2, 3}, 1);
+  d.add({4, 5, 6}, -1);
+  d.add({7, 8, 9}, 1);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.count_label(1), 2u);
+  const std::size_t idx[] = {2, 0};
+  const Dataset sub = d.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.row(0)[0], 7);
+  const int features[] = {2, 0};
+  const Dataset proj = d.project(features);
+  EXPECT_EQ(proj.num_features(), 2u);
+  EXPECT_EQ(proj.row(1)[0], 6);
+  EXPECT_EQ(proj.feature_names()[0], "c");
+  EXPECT_THROW(d.add({1, 2}, 1), InvalidArgument);
+  EXPECT_THROW(d.add({1, 2, 3}, 0), InvalidArgument);
+}
+
+TEST(Dataset, StratifiedKFoldBalanced) {
+  util::Rng rng(1);
+  Dataset d({"x"});
+  for (int i = 0; i < 50; ++i) d.add({static_cast<double>(i)}, 1);
+  for (int i = 0; i < 100; ++i) d.add({static_cast<double>(i)}, -1);
+  const auto folds = stratified_kfold(d, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& fold : folds) {
+    std::size_t pos = 0;
+    for (const std::size_t i : fold) pos += d.label(i) == 1;
+    EXPECT_EQ(pos, 10u);            // 50 positives / 5 folds
+    EXPECT_EQ(fold.size(), 30u);    // 150 / 5
+    total += fold.size();
+  }
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(Scaler, MinMaxMapsToUnitInterval) {
+  Dataset d({"a", "b"});
+  d.add({0, 100}, 1);
+  d.add({10, 200}, -1);
+  d.add({5, 150}, 1);
+  MinMaxScaler scaler;
+  scaler.fit_transform(d);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.row(2)[0], 0.5);
+  EXPECT_DOUBLE_EQ(d.row(2)[1], 0.5);
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  Dataset d({"a"});
+  d.add({7}, 1);
+  d.add({7}, -1);
+  MinMaxScaler scaler;
+  scaler.fit_transform(d);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 0.0);
+}
+
+TEST(Scaler, StandardizeZeroMeanUnitVar) {
+  Dataset d({"a"});
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) d.add({v}, 1);
+  d.add({6.0}, -1);
+  StandardScaler scaler;
+  scaler.fit_transform(d);
+  double mean = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) mean += d.row(i)[0];
+  EXPECT_NEAR(mean / static_cast<double>(d.size()), 0.0, 1e-12);
+}
+
+TEST(Kernel, Values) {
+  const double a[] = {1.0, 0.0};
+  const double b[] = {0.0, 1.0};
+  KernelConfig linear{KernelType::kLinear};
+  EXPECT_DOUBLE_EQ(kernel_eval(linear, a, a), 1.0);
+  EXPECT_DOUBLE_EQ(kernel_eval(linear, a, b), 0.0);
+  KernelConfig rbf{KernelType::kRbf, 0.5};
+  EXPECT_DOUBLE_EQ(kernel_eval(rbf, a, a), 1.0);
+  EXPECT_NEAR(kernel_eval(rbf, a, b), std::exp(-1.0), 1e-12);
+  KernelConfig poly{KernelType::kPoly, 1.0, 2, 1.0};
+  EXPECT_DOUBLE_EQ(kernel_eval(poly, a, a), 4.0);  // (1*1+1)^2
+}
+
+TEST(Svm, LearnsLinearlySeparableData) {
+  util::Rng rng(42);
+  const Dataset train = linearly_separable(120, rng);
+  SvmConfig config;
+  config.kernel.type = KernelType::kLinear;
+  config.c = 10.0;
+  SvmClassifier model(config);
+  model.train(train);
+  EXPECT_GT(model.num_support_vectors(), 0u);
+  const Dataset test = linearly_separable(60, rng);
+  EXPECT_GE(evaluate(model, test).accuracy(), 0.95);
+}
+
+TEST(Svm, RbfSolvesXor) {
+  util::Rng rng(7);
+  const Dataset train = xor_dataset(25, rng);
+  SvmConfig config;
+  config.kernel.type = KernelType::kRbf;
+  config.kernel.gamma = 1.0;
+  config.c = 10.0;
+  SvmClassifier model(config);
+  model.train(train);
+  const Dataset test = xor_dataset(10, rng);
+  EXPECT_GE(evaluate(model, test).accuracy(), 0.95)
+      << "RBF SVM should separate XOR";
+}
+
+TEST(Svm, LinearCannotSolveXor) {
+  util::Rng rng(7);
+  const Dataset train = xor_dataset(25, rng);
+  SvmConfig config;
+  config.kernel.type = KernelType::kLinear;
+  SvmClassifier model(config);
+  model.train(train);
+  EXPECT_LE(evaluate(model, train).accuracy(), 0.75);
+}
+
+TEST(Svm, DecisionValueSignMatchesMargin) {
+  util::Rng rng(3);
+  const Dataset train = linearly_separable(80, rng, 2.0);
+  SvmConfig config;
+  config.kernel.type = KernelType::kLinear;
+  config.c = 5.0;
+  SvmClassifier model(config);
+  model.train(train);
+  const double far_pos[] = {0.0, 10.0};
+  const double far_neg[] = {0.0, -10.0};
+  EXPECT_GT(model.decision_value(far_pos), 1.0);
+  EXPECT_LT(model.decision_value(far_neg), -1.0);
+}
+
+TEST(Svm, RequiresBothClasses) {
+  Dataset d({"x"});
+  d.add({1}, 1);
+  d.add({2}, 1);
+  SvmClassifier model;
+  EXPECT_THROW(model.train(d), InvalidArgument);
+}
+
+TEST(Metrics, ConfusionMathAndF1) {
+  ConfusionMatrix cm;
+  // 8 TP, 2 FN, 85 TN, 5 FP.
+  for (int i = 0; i < 8; ++i) cm.add(1, 1);
+  for (int i = 0; i < 2; ++i) cm.add(1, -1);
+  for (int i = 0; i < 85; ++i) cm.add(-1, -1);
+  for (int i = 0; i < 5; ++i) cm.add(-1, 1);
+  EXPECT_DOUBLE_EQ(cm.tpr(), 0.8);
+  EXPECT_NEAR(cm.tnr(), 85.0 / 90.0, 1e-12);
+  EXPECT_NEAR(cm.precision(), 8.0 / 13.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.93);
+  const double p = 8.0 / 13.0;
+  const double r = 0.8;
+  EXPECT_NEAR(cm.f1(), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(Metrics, RocPerfectAndRandom) {
+  // Perfectly ranked scores -> AUC 1.
+  const double perfect[] = {0.9, 0.8, 0.2, 0.1};
+  const int labels[] = {1, 1, -1, -1};
+  const auto curve = roc_curve(perfect, labels);
+  EXPECT_DOUBLE_EQ(roc_auc(curve), 1.0);
+  // Inverted scores -> AUC 0.
+  const double inverted[] = {0.1, 0.2, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(roc_curve(inverted, labels)), 0.0);
+}
+
+TEST(Metrics, RocMonotonicAndEndsAtOne) {
+  util::Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const int y = rng.chance(0.4) ? 1 : -1;
+    scores.push_back(y * 0.3 + rng.uniform(-1, 1));
+    labels.push_back(y);
+  }
+  const auto curve = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+  const double auc = roc_auc(curve);
+  EXPECT_GT(auc, 0.5);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(CrossValidation, ReportsReasonableAccuracy) {
+  util::Rng rng(11);
+  const Dataset d = linearly_separable(150, rng);
+  SvmConfig config;
+  config.kernel.type = KernelType::kLinear;
+  config.c = 5.0;
+  util::Rng cv_rng(1);
+  const CvResult cv = cross_validate(d, config, 5, cv_rng);
+  EXPECT_EQ(cv.fold_accuracies.size(), 5u);
+  EXPECT_GE(cv.mean_accuracy, 0.9);
+  EXPECT_EQ(cv.aggregate.total(), d.size());
+  EXPECT_EQ(cv.decision_values.size(), d.size());
+}
+
+TEST(GridSearch, FindsWorkingHyperparameters) {
+  util::Rng rng(13);
+  const Dataset d = xor_dataset(20, rng);
+  SvmConfig base;
+  base.kernel.type = KernelType::kRbf;
+  const double cs[] = {0.01, 1.0, 10.0};
+  const double gammas[] = {0.001, 1.0};
+  util::Rng gs_rng(2);
+  const auto result = grid_search(d, base, cs, gammas, 4, gs_rng);
+  EXPECT_EQ(result.grid.size(), 6u);
+  EXPECT_GE(result.best_score, 0.9);
+  EXPECT_GT(result.best.kernel.gamma, 0.001);  // tiny gamma can't fit XOR
+}
+
+TEST(FeatureSelection, FisherRanksDiscriminativeFirst) {
+  util::Rng rng(17);
+  Dataset d({"signal", "noise1", "noise2"});
+  for (int i = 0; i < 200; ++i) {
+    const int y = i % 2 == 0 ? 1 : -1;
+    d.add({y * 2.0 + rng.uniform(-0.5, 0.5), rng.uniform(-1, 1),
+           rng.uniform(-1, 1)},
+          y);
+  }
+  const auto scores = fisher_scores(d);
+  EXPECT_GT(scores[0], scores[1] * 10);
+  EXPECT_GT(scores[0], scores[2] * 10);
+
+  SvmConfig config;
+  config.kernel.type = KernelType::kLinear;
+  util::Rng fs_rng(3);
+  const auto sel = select_features(d, config, 4, fs_rng);
+  EXPECT_EQ(sel.ranked[0], 0);
+  EXPECT_EQ(sel.cv_score_by_count.size(), 3u);
+  // The single informative feature should already reach peak accuracy.
+  EXPECT_LE(sel.best_count, 2);
+  EXPECT_GE(sel.cv_score_by_count[0], 0.9);
+}
+
+}  // namespace
+}  // namespace ssresf::ml

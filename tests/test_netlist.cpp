@@ -1,0 +1,296 @@
+// Unit tests for the netlist data model, builder, cell library, stats, and
+// the structural Verilog writer/parser round trip.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/stats.h"
+#include "netlist/verilog.h"
+#include "util/error.h"
+
+namespace ssresf::netlist {
+namespace {
+
+TEST(Logic, TruthTables) {
+  EXPECT_EQ(logic_and(Logic::L0, Logic::X), Logic::L0);
+  EXPECT_EQ(logic_and(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logic_and(Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_or(Logic::L1, Logic::X), Logic::L1);
+  EXPECT_EQ(logic_or(Logic::L0, Logic::X), Logic::X);
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_xor(Logic::L1, Logic::X), Logic::X);
+  EXPECT_EQ(logic_not(Logic::Z), Logic::X);
+  EXPECT_EQ(logic_mux(Logic::X, Logic::L1, Logic::L1), Logic::L1);
+  EXPECT_EQ(logic_mux(Logic::X, Logic::L0, Logic::L1), Logic::X);
+  EXPECT_EQ(logic_mux(Logic::L0, Logic::L1, Logic::L0), Logic::L1);
+  EXPECT_EQ(logic_mux(Logic::L1, Logic::L1, Logic::L0), Logic::L0);
+}
+
+TEST(CellLibrary, SpecsAndNames) {
+  EXPECT_EQ(spec(CellKind::kNand2).num_inputs, 2);
+  EXPECT_EQ(spec(CellKind::kDffR).num_inputs, 3);
+  EXPECT_EQ(spec(CellKind::kDffR).num_outputs, 2);
+  EXPECT_TRUE(spec(CellKind::kDff).sequential);
+  EXPECT_FALSE(spec(CellKind::kXor2).sequential);
+  EXPECT_EQ(kind_from_name("NAND2X1"), CellKind::kNand2);
+  EXPECT_EQ(kind_from_name("SSRESF_MEM"), CellKind::kMemory);
+  EXPECT_EQ(kind_from_name("BOGUS"), std::nullopt);
+  EXPECT_EQ(input_port_name(CellKind::kDff, 1), "CK");
+  EXPECT_EQ(output_port_name(CellKind::kDff, 1), "QN");
+  EXPECT_EQ(input_port_name(CellKind::kMux2, 0), "S");
+}
+
+TEST(CellLibrary, EvalAllCombKinds) {
+  const Logic l0 = Logic::L0;
+  const Logic l1 = Logic::L1;
+  const Logic in2[] = {l1, l0};
+  EXPECT_EQ(eval_cell(CellKind::kAnd2, in2), l0);
+  EXPECT_EQ(eval_cell(CellKind::kNand2, in2), l1);
+  EXPECT_EQ(eval_cell(CellKind::kOr2, in2), l1);
+  EXPECT_EQ(eval_cell(CellKind::kNor2, in2), l0);
+  EXPECT_EQ(eval_cell(CellKind::kXor2, in2), l1);
+  EXPECT_EQ(eval_cell(CellKind::kXnor2, in2), l0);
+  const Logic in3[] = {l1, l1, l0};
+  EXPECT_EQ(eval_cell(CellKind::kAnd3, in3), l0);
+  EXPECT_EQ(eval_cell(CellKind::kAoi21, in3), l0);   // !((1&1)|0) = 0
+  EXPECT_EQ(eval_cell(CellKind::kOai21, in3), l1);   // !((1|1)&0) = 1
+  const Logic mux_in[] = {l0, l1, l0};               // S=0 -> A
+  EXPECT_EQ(eval_cell(CellKind::kMux2, mux_in), l1);
+  EXPECT_THROW(eval_cell(CellKind::kDff, in2), InvalidArgument);
+}
+
+TEST(Netlist, BuilderProducesValidDesign) {
+  NetlistBuilder b("t");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId clk = b.input("clk");
+  const NetId rstn = b.input("rstn");
+  NetId q;
+  {
+    const auto scope = b.scope("sub", ModuleClass::kCpu);
+    const NetId x = b.xor2(a, c);
+    q = b.dffr(x, clk, rstn, "ff").q;
+  }
+  b.output(q, "q");
+  const Netlist nl = b.finish();
+  EXPECT_TRUE(nl.finalized());
+  EXPECT_EQ(nl.primary_inputs().size(), 4u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.num_sequential_cells(), 1u);
+  const CellId ff = nl.find_cell("t/sub/ff");
+  ASSERT_TRUE(ff.valid());
+  EXPECT_EQ(nl.cell_class(ff), ModuleClass::kCpu);
+  EXPECT_EQ(nl.cell_path(ff), "t/sub/ff");
+}
+
+TEST(Netlist, UndrivenNetRejected) {
+  NetlistBuilder b("t");
+  const NetId w = b.wire("floating");
+  b.output(w, "out");
+  EXPECT_THROW(b.finish(), Error);
+}
+
+TEST(Netlist, DoubleDriverRejected) {
+  NetlistBuilder b("t");
+  const NetId a = b.input("a");
+  const NetId y = b.inv(a);
+  EXPECT_THROW(b.drive(y, a), InvalidArgument);
+}
+
+TEST(Netlist, FanoutIndex) {
+  NetlistBuilder b("t");
+  const NetId a = b.input("a");
+  const NetId x = b.inv(a);
+  const NetId y = b.and2(a, x);
+  b.output(y, "y");
+  const Netlist nl = b.finish();
+  // 'a' feeds the inverter and the AND gate.
+  EXPECT_EQ(nl.fanout(a).size(), 2u);
+  EXPECT_EQ(nl.fanout(x).size(), 1u);
+}
+
+TEST(Netlist, EffectiveClassInherits) {
+  NetlistBuilder b("t");
+  const NetId a = b.input("a");
+  NetId out;
+  {
+    const auto outer = b.scope("mem_block", ModuleClass::kMemory);
+    const auto inner = b.scope("decoder");  // inherits kMemory
+    out = b.inv(a);
+  }
+  b.output(out, "y");
+  const Netlist nl = b.finish();
+  const CellId inv_cell = nl.net(out).driver;
+  EXPECT_EQ(nl.cell_class(inv_cell), ModuleClass::kMemory);
+}
+
+TEST(Netlist, AncestorAtDepth) {
+  NetlistBuilder b("t");
+  const NetId a = b.input("a");
+  ScopeId leaf;
+  {
+    const auto s1 = b.scope("l1");
+    const auto s2 = b.scope("l2");
+    const auto s3 = b.scope("l3");
+    leaf = b.current_scope();
+    b.output(b.inv(a), "y");
+  }
+  const Netlist nl = b.finish();
+  EXPECT_EQ(nl.scope(leaf).depth, 3);
+  EXPECT_EQ(nl.scope_path(nl.ancestor_at_depth(leaf, 1)), "t/l1");
+  EXPECT_EQ(nl.scope_path(nl.ancestor_at_depth(leaf, 3)), "t/l1/l2/l3");
+  EXPECT_THROW(nl.ancestor_at_depth(leaf, 9), InvalidArgument);
+}
+
+TEST(Stats, CountsAndDepth) {
+  NetlistBuilder b("t");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId clk = b.input("clk");
+  const NetId x = b.and2(a, c);      // depth 1
+  const NetId y = b.xor2(x, a);      // depth 2
+  const NetId q = b.dff(y, clk).q;
+  const NetId z = b.inv(q);          // depth 1 (starts from FF output)
+  b.output(z, "z");
+  const Netlist nl = b.finish();
+  const NetlistStats stats = compute_stats(nl);
+  EXPECT_EQ(stats.num_sequential, 1u);
+  EXPECT_EQ(stats.num_combinational, 3u);
+  EXPECT_EQ(stats.max_logic_depth, 2);
+  const auto depths = compute_logic_depths(nl);
+  EXPECT_EQ(depths[nl.net(z).driver.index()], 1);
+  EXPECT_EQ(depths[nl.net(y).driver.index()], 2);
+}
+
+TEST(Stats, CombinationalCycleDetected) {
+  // Hand-build a loop: two inverters feeding each other.
+  Netlist nl;
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  nl.add_cell(CellKind::kInv, nl.root_scope(), "i1", {n1}, {n2});
+  nl.add_cell(CellKind::kInv, nl.root_scope(), "i2", {n2}, {n1});
+  nl.finalize();
+  EXPECT_THROW(compute_logic_depths(nl), Error);
+}
+
+Netlist example_design() {
+  NetlistBuilder b("chip");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b_in");
+  const NetId clk = b.input("clk");
+  const NetId rstn = b.input("rstn");
+  NetId q;
+  {
+    const auto cpu = b.scope("cpu0", ModuleClass::kCpu);
+    const NetId x = b.nand2(a, c);
+    const NetId y = b.mux2(a, x, c);
+    q = b.dffr(y, clk, rstn, "state").q;
+  }
+  {
+    const auto mem = b.scope("ram", ModuleClass::kMemory);
+    MemoryInfo info;
+    info.words = 16;
+    info.width = 4;
+    info.tech = MemTech::kDram;
+    std::vector<NetId> addr = {a, c, q, a};
+    std::vector<NetId> wdata = {c, q, a, c};
+    const auto m = b.memory(std::move(info), clk, b.one(), a, addr, addr,
+                            wdata, "u_ram");
+    b.output(m.rdata[0], "r0");
+  }
+  b.output(q, "q");
+  return b.finish();
+}
+
+TEST(Verilog, WriteParseRoundTrip) {
+  const Netlist original = example_design();
+  const std::string text = write_verilog(original);
+  const Netlist parsed = parse_verilog(text);
+
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.num_cells(), original.num_cells());
+  EXPECT_EQ(parsed.primary_inputs().size(), original.primary_inputs().size());
+  EXPECT_EQ(parsed.primary_outputs().size(),
+            original.primary_outputs().size());
+  EXPECT_EQ(parsed.num_sequential_cells(), original.num_sequential_cells());
+
+  // Scope classes survive the round trip via annotations.
+  const CellId ff = parsed.find_cell("chip/cpu0/state");
+  ASSERT_TRUE(ff.valid());
+  EXPECT_EQ(parsed.cell_class(ff), ModuleClass::kCpu);
+  const CellId ram = parsed.find_cell("chip/ram/u_ram");
+  ASSERT_TRUE(ram.valid());
+  EXPECT_EQ(parsed.cell_class(ram), ModuleClass::kMemory);
+  EXPECT_EQ(parsed.memory(parsed.cell(ram).memory_index).tech, MemTech::kDram);
+  EXPECT_EQ(parsed.memory(parsed.cell(ram).memory_index).words, 16u);
+}
+
+TEST(Verilog, MemInitSurvivesRoundTrip) {
+  NetlistBuilder b("t");
+  const NetId clk = b.input("clk");
+  const NetId a0 = b.input("a0");
+  MemoryInfo info;
+  info.words = 8;
+  info.width = 16;
+  info.init = {0, 0xBEEF, 0, 0, 0x1234, 0, 0, 0xFFFF};
+  std::vector<NetId> addr = {a0, a0, a0};
+  std::vector<NetId> wdata(16, a0);
+  const auto m =
+      b.memory(std::move(info), clk, b.one(), b.zero(), addr, addr, wdata, "rom");
+  b.output(m.rdata[0], "r0");
+  const Netlist nl = b.finish();
+  const Netlist parsed = parse_verilog(write_verilog(nl));
+  const CellId mem = parsed.find_cell("t/rom");
+  ASSERT_TRUE(mem.valid());
+  const MemoryInfo& mi = parsed.memory(parsed.cell(mem).memory_index);
+  ASSERT_EQ(mi.init.size(), 8u);
+  EXPECT_EQ(mi.init[1], 0xBEEFu);
+  EXPECT_EQ(mi.init[4], 0x1234u);
+  EXPECT_EQ(mi.init[7], 0xFFFFu);
+  EXPECT_EQ(mi.init[0], 0u);
+}
+
+TEST(Verilog, ParserRejectsMalformed) {
+  EXPECT_THROW(parse_verilog("module m (a; endmodule"), ParseError);
+  EXPECT_THROW(parse_verilog("module m (); BOGUS g (.A(x)); endmodule"),
+               ParseError);
+  EXPECT_THROW(
+      parse_verilog("module m (); INVX1 g (.A(x)); endmodule"),
+      Error);  // y missing -> undriven/undeclared somewhere
+  EXPECT_THROW(parse_verilog("module m ()"), ParseError);
+  // Duplicate port connection.
+  EXPECT_THROW(
+      parse_verilog("module m (a, y); input a; output y;\n"
+                    "INVX1 g (.A(a), .A(a), .Y(y)); endmodule"),
+      ParseError);
+}
+
+TEST(Verilog, EscapedIdentifiers) {
+  NetlistBuilder b("top");
+  const NetId a = b.input("data[0]");  // needs escaping
+  NetId y;
+  {
+    const auto s = b.scope("u0");
+    y = b.inv(a);
+  }
+  b.output(y, "out[0]");
+  const Netlist nl = b.finish();
+  const std::string text = write_verilog(nl);
+  EXPECT_NE(text.find("\\data[0] "), std::string::npos);
+  const Netlist parsed = parse_verilog(text);
+  EXPECT_TRUE(parsed.find_cell("top/u0/INVX1_0").valid());
+}
+
+TEST(Netlist, MemoryValidation) {
+  Netlist nl;
+  MemoryInfo bad_width;
+  bad_width.words = 8;
+  bad_width.width = 65;
+  EXPECT_THROW(nl.add_memory(std::move(bad_width)), InvalidArgument);
+  MemoryInfo bad_words;
+  bad_words.words = 7;  // not a power of two
+  bad_words.width = 8;
+  EXPECT_THROW(nl.add_memory(std::move(bad_words)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ssresf::netlist

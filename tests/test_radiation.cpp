@@ -1,0 +1,245 @@
+// Radiation model tests: the soft-error database (defaults, YAML round
+// trip, interpolation), environment math, and fault injection semantics.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "radiation/environment.h"
+#include "radiation/injector.h"
+#include "radiation/soft_error_db.h"
+#include "sim/event_sim.h"
+#include "sim/testbench.h"
+#include "util/error.h"
+
+namespace ssresf::radiation {
+namespace {
+
+using netlist::CellKind;
+using netlist::MemTech;
+
+TEST(SoftErrorDb, DefaultCoversAllKinds) {
+  const auto db = SoftErrorDatabase::default_database();
+  for (int k = 0; k < netlist::kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    if (kind == CellKind::kConst0 || kind == CellKind::kConst1) {
+      EXPECT_DOUBLE_EQ(db.cell_xsect(kind, 37.0), 0.0);
+      continue;
+    }
+    if (kind == CellKind::kMemory) continue;
+    EXPECT_GT(db.cell_xsect(kind, 37.0), 0.0) << "kind " << k;
+  }
+  for (const MemTech tech :
+       {MemTech::kSram, MemTech::kDram, MemTech::kRadHardSram}) {
+    EXPECT_GT(db.mem_bit_xsect(tech, 37.0), 0.0);
+  }
+}
+
+TEST(SoftErrorDb, CrossSectionsGrowWithLet) {
+  const auto db = SoftErrorDatabase::default_database();
+  for (const CellKind kind : {CellKind::kDff, CellKind::kNand2, CellKind::kXor2}) {
+    EXPECT_LT(db.cell_xsect(kind, 1.0), db.cell_xsect(kind, 37.0));
+    EXPECT_LT(db.cell_xsect(kind, 37.0), db.cell_xsect(kind, 100.0));
+  }
+}
+
+TEST(SoftErrorDb, TechOrderingSramDramRadhard) {
+  const auto db = SoftErrorDatabase::default_database();
+  for (const double let : {1.0, 37.0, 100.0}) {
+    EXPECT_GT(db.mem_bit_xsect(MemTech::kSram, let),
+              db.mem_bit_xsect(MemTech::kDram, let));
+    EXPECT_GT(db.mem_bit_xsect(MemTech::kDram, let),
+              100 * db.mem_bit_xsect(MemTech::kRadHardSram, let));
+  }
+}
+
+TEST(SoftErrorDb, InterpolationIsMonotoneAndClamped) {
+  const auto db = SoftErrorDatabase::default_database();
+  const CellEntry* entry = db.find("DFFX1");
+  ASSERT_NE(entry, nullptr);
+  const double at_1 = entry->xsect_at(1.0);
+  const double at_20 = entry->xsect_at(20.0);
+  const double at_37 = entry->xsect_at(37.0);
+  EXPECT_GT(at_20, at_1);
+  EXPECT_LT(at_20, at_37);
+  EXPECT_DOUBLE_EQ(entry->xsect_at(0.1), at_1);      // clamp low
+  EXPECT_DOUBLE_EQ(entry->xsect_at(500.0), entry->xsect_at(100.0));
+}
+
+TEST(SoftErrorDb, YamlRoundTrip) {
+  const auto db = SoftErrorDatabase::default_database();
+  const std::string yaml = db.to_yaml();
+  const auto parsed = SoftErrorDatabase::from_yaml(yaml);
+  EXPECT_EQ(parsed.entries().size(), db.entries().size());
+  for (const double let : {1.0, 37.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(parsed.cell_xsect(CellKind::kDffR, let),
+                     db.cell_xsect(CellKind::kDffR, let));
+    EXPECT_DOUBLE_EQ(parsed.mem_bit_xsect(MemTech::kDram, let),
+                     db.mem_bit_xsect(MemTech::kDram, let));
+  }
+  // The dump uses the Fig. 3 schema.
+  EXPECT_NE(yaml.find("CellName:"), std::string::npos);
+  EXPECT_NE(yaml.find("subXsect:"), std::string::npos);
+  EXPECT_NE(yaml.find("SEU 1->0"), std::string::npos);
+  EXPECT_NE(yaml.find("(q==1) & (qn==0)"), std::string::npos);
+}
+
+TEST(SoftErrorDb, DuplicateEntryRejected) {
+  auto db = SoftErrorDatabase::default_database();
+  CellEntry dup;
+  dup.cell_name = "DFFX1";
+  EXPECT_THROW(db.add(std::move(dup)), InvalidArgument);
+}
+
+TEST(SoftErrorDb, NetlistXsectAggregates) {
+  netlist::NetlistBuilder b("t");
+  const auto clk = b.input("clk");
+  const auto a = b.input("a");
+  const auto x = b.nand2(a, a);
+  const auto q = b.dff(x, clk).q;
+  b.output(q, "q");
+  const auto nl = b.finish();
+  const auto db = SoftErrorDatabase::default_database();
+  const auto xsect = db.netlist_xsect(nl, 37.0);
+  EXPECT_DOUBLE_EQ(xsect.set_cm2, db.cell_xsect(CellKind::kNand2, 37.0));
+  EXPECT_DOUBLE_EQ(xsect.seu_cm2, db.cell_xsect(CellKind::kDff, 37.0));
+}
+
+TEST(Environment, PoissonMath) {
+  Environment env;
+  env.flux = 1e9;
+  // Expected upsets = flux * sigma * T.
+  EXPECT_NEAR(env.expected_upsets(1e-8, 1'000'000), 1e9 * 1e-8 * 1e-6, 1e-15);
+  // Small-rate regime: p ~ rate.
+  EXPECT_NEAR(env.upset_probability(1e-12, 1000), 1e9 * 1e-12 * 1e-9, 1e-15);
+  // Large-rate regime saturates below 1.
+  env.flux = 1e15;
+  const double p = env.upset_probability(1e-5, 1'000'000'000);
+  EXPECT_GT(p, 0.99);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(Environment, PulseWidthGrowsWithLet) {
+  Environment low;
+  low.let = 1.0;
+  Environment mid;
+  mid.let = 37.0;
+  Environment high;
+  high.let = 100.0;
+  EXPECT_LT(low.set_pulse_width_ps(), mid.set_pulse_width_ps());
+  EXPECT_LT(mid.set_pulse_width_ps(), high.set_pulse_width_ps());
+  EXPECT_GT(low.set_pulse_width_ps(), 30u);   // wider than a gate delay
+  EXPECT_LT(high.set_pulse_width_ps(), 1000u);
+}
+
+TEST(Injector, TargetKindsFollowCellKinds) {
+  netlist::NetlistBuilder b("t");
+  const auto clk = b.input("clk");
+  const auto a = b.input("a");
+  const auto x = b.xor2(a, a);
+  const auto ff = b.dff(x, clk);
+  netlist::MemoryInfo info;
+  info.words = 16;
+  info.width = 8;
+  std::vector<netlist::NetId> addr(4, a);
+  std::vector<netlist::NetId> wdata(8, a);
+  const auto mem =
+      b.memory(std::move(info), clk, b.one(), b.zero(), addr, addr, wdata, "m");
+  b.output(ff.q, "q");
+  b.output(mem.rdata[0], "r");
+  const auto nl = b.finish();
+
+  const Injector injector(nl);
+  util::Rng rng(1);
+  const auto xor_cell = nl.net(x).driver;
+  EXPECT_EQ(injector.target_for_cell(xor_cell, rng).kind, FaultKind::kSet);
+  EXPECT_EQ(injector.target_for_cell(ff.cell, rng).kind, FaultKind::kSeu);
+  const auto mem_target = injector.target_for_cell(mem.cell, rng);
+  EXPECT_EQ(mem_target.kind, FaultKind::kMemBit);
+  EXPECT_LT(mem_target.word, 16u);
+  EXPECT_LT(mem_target.bit, 8u);
+}
+
+TEST(Injector, RandomEventWithinWindow) {
+  netlist::NetlistBuilder b("t");
+  const auto a = b.input("a");
+  b.output(b.inv(a), "y");
+  const auto nl = b.finish();
+  const Injector injector(nl);
+  util::Rng rng(9);
+  Environment env;
+  FaultTarget target;
+  target.kind = FaultKind::kSet;
+  target.cell = netlist::CellId{0};
+  for (int i = 0; i < 100; ++i) {
+    const auto event = injector.random_event(target, 1000, 5000, env, rng);
+    EXPECT_GE(event.time_ps, 1000u);
+    EXPECT_LT(event.time_ps, 5000u);
+    EXPECT_EQ(event.set_width_ps, env.set_pulse_width_ps());
+  }
+  EXPECT_THROW(injector.random_event(target, 100, 100, env, rng),
+               InvalidArgument);
+}
+
+TEST(Injector, ScheduledSeuFlipsAndHeals) {
+  netlist::NetlistBuilder b("t");
+  const auto clk = b.input("clk");
+  const auto rstn = b.input("rstn");
+  const auto ff = b.dffr(b.zero(), clk, rstn, "u_ff");  // always captures 0
+  b.output(ff.q, "q");
+  const auto nl = b.finish();
+
+  sim::EventSimulator engine(nl);
+  sim::TestbenchConfig cfg;
+  cfg.clk = nl.find_net("clk");
+  cfg.rstn = nl.find_net("rstn");
+  cfg.monitored = {ff.q};
+  sim::Testbench tb(engine, cfg);
+
+  const Injector injector(nl);
+  FaultEvent event;
+  event.target.kind = FaultKind::kSeu;
+  event.target.cell = ff.cell;
+  event.time_ps = tb.sample_time(6) + 100;  // just after cycle 6's sample
+  injector.schedule(tb, event);
+
+  tb.reset();
+  tb.run_cycles(8);
+  const auto& trace = tb.trace();
+  // Cycle 7 samples the flipped state; cycle 8+ has recaptured 0. (4 reset
+  // cycles + indices: flip lands between samples 6 and 7.)
+  EXPECT_EQ(trace.cycle(6)[0], netlist::Logic::L0);
+  EXPECT_EQ(trace.cycle(7)[0], netlist::Logic::L1);
+  EXPECT_EQ(trace.cycle(8)[0], netlist::Logic::L0);
+}
+
+TEST(Injector, ScheduledSetIsTransient) {
+  netlist::NetlistBuilder b("t");
+  const auto clk = b.input("clk");
+  const auto a = b.input("a");
+  const auto x = b.buf(a);
+  b.output(x, "y");
+  (void)clk;
+  const auto nl = b.finish();
+
+  sim::EventSimulator engine(nl);
+  sim::TestbenchConfig cfg;
+  cfg.clk = nl.find_net("clk");
+  cfg.rstn = netlist::kNoNet;
+  cfg.monitored = {x};
+  sim::Testbench tb(engine, cfg);
+  engine.set_input(nl.find_net("a"), netlist::Logic::L0);
+
+  const Injector injector(nl);
+  FaultEvent event;
+  event.target.kind = FaultKind::kSet;
+  event.target.cell = nl.net(x).driver;
+  event.time_ps = tb.sample_time(2) - 100;
+  event.set_width_ps = 400;  // covers the cycle-2 sample, gone by cycle 3
+  injector.schedule(tb, event);
+  tb.run_cycles(5);
+  EXPECT_EQ(tb.trace().cycle(1)[0], netlist::Logic::L0);
+  EXPECT_EQ(tb.trace().cycle(2)[0], netlist::Logic::L1);  // pulse visible
+  EXPECT_EQ(tb.trace().cycle(3)[0], netlist::Logic::L0);  // released
+}
+
+}  // namespace
+}  // namespace ssresf::radiation

@@ -1,0 +1,285 @@
+// SoC-level tests: engine trace equivalence, configuration table sanity,
+// assembler behaviour, FPU blocks, and structural properties of generated
+// netlists.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "netlist/stats.h"
+#include "netlist/verilog.h"
+#include "sim/levelized_sim.h"
+#include "soc/assembler.h"
+#include "util/error.h"
+#include "soc/encoding.h"
+#include "soc/fpu.h"
+#include "soc/programs.h"
+#include "soc/run.h"
+#include "soc/soc.h"
+
+namespace ssresf::soc {
+namespace {
+
+TEST(Assembler, BasicEncodings) {
+  const Program p = assemble(
+      "start:\n"
+      "  addi x1, x0, 5\n"
+      "  add  x2, x1, x1\n"
+      "  lw   x3, 8(x1)\n"
+      "  sw   x3, 12(x2)\n"
+      "  beq  x1, x2, start\n"
+      "  lui  x4, 0xFFFFF\n"
+      "  jal  x5, start\n"
+      "  ecall\n");
+  ASSERT_EQ(p.words.size(), 8u);
+  EXPECT_EQ(p.words[0], 0x00500093u);  // addi x1, x0, 5
+  EXPECT_EQ(p.words[1], 0x00108133u);  // add x2, x1, x1
+  EXPECT_EQ(p.words[2], 0x0080A183u);  // lw x3, 8(x1)
+  EXPECT_EQ(p.words[3], 0x00312623u);  // sw x3, 12(x2)
+  EXPECT_EQ(p.words[4], 0xFE2088E3u);  // beq x1, x2, -16
+  EXPECT_EQ(p.words[5], 0xFFFFF237u);  // lui x4, 0xFFFFF
+  EXPECT_EQ(p.words[6], 0xFE9FF2EFu);  // jal x5, -24
+  EXPECT_EQ(p.words[7], 0x00000073u);  // ecall
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const Program p = assemble(
+      "  li t0, 100\n"         // one word
+      "  li t1, 0x12345\n"     // lui + addi
+      "  mv a0, t0\n"
+      "  nop\n"
+      "  ret\n");
+  EXPECT_EQ(p.words.size(), 6u);
+  EXPECT_EQ(p.words[0], 0x06400293u);  // addi t0, x0, 100
+}
+
+TEST(Assembler, LiLargeValuesRoundTrip) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{2047},
+        std::int64_t{-2048}, std::int64_t{0x7FFFF000}, std::int64_t{0x12345678},
+        std::int64_t{-0x12345678}}) {
+    const Program p =
+        assemble("  li t0, " + std::to_string(v) + "\n  ecall\n");
+    // Decode the li expansion manually.
+    std::int64_t result = 0;
+    std::size_t i = 0;
+    if ((p.words[0] & 0x7F) == rv::kOpLui) {
+      result = static_cast<std::int32_t>(p.words[0] & 0xFFFFF000u);
+      ++i;
+    }
+    const auto addi = p.words[i];
+    ASSERT_EQ(addi & 0x7F, rv::kOpImm);
+    result += static_cast<std::int32_t>(addi) >> 20;
+    EXPECT_EQ(static_cast<std::int32_t>(result), static_cast<std::int32_t>(v))
+        << "li " << v;
+  }
+}
+
+TEST(Assembler, ErrorsOnBadInput) {
+  EXPECT_THROW(assemble("  bogus x1, x2\n"), ParseError);
+  EXPECT_THROW(assemble("  addi x1, x2\n"), ParseError);     // missing operand
+  EXPECT_THROW(assemble("  addi x99, x0, 1\n"), ParseError); // bad register
+  EXPECT_THROW(assemble("  beq x1, x2, nowhere\n"), ParseError);
+  EXPECT_THROW(assemble("  lw x1, 4[x2]\n"), ParseError);
+}
+
+TEST(Assembler, RegisterNames) {
+  EXPECT_EQ(parse_register("zero"), 0);
+  EXPECT_EQ(parse_register("ra"), 1);
+  EXPECT_EQ(parse_register("sp"), 2);
+  EXPECT_EQ(parse_register("a0"), 10);
+  EXPECT_EQ(parse_register("t6"), 31);
+  EXPECT_EQ(parse_register("x17"), 17);
+  EXPECT_EQ(parse_register("fp"), 8);
+  EXPECT_THROW(parse_register("q7"), ParseError);
+  EXPECT_EQ(parse_fp_register("f31"), 31);
+  EXPECT_THROW(parse_fp_register("f32"), ParseError);
+}
+
+TEST(SocTable, HasTenRowsMatchingPaper) {
+  const auto table = pulp_soc_table();
+  ASSERT_EQ(table.size(), 10u);
+  EXPECT_EQ(table[0].cpu_isa, "RV32I");
+  EXPECT_EQ(table[0].bus_width_bits, 8);
+  EXPECT_EQ(table[9].mem_tech, netlist::MemTech::kRadHardSram);
+  EXPECT_EQ(table[9].bus_width_bits, 4096);
+  EXPECT_EQ(table[9].num_cores, 2);
+  // Monotone growth axes from the paper.
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    EXPECT_GE(table[i].mem_bytes, table[i - 1].mem_bytes);
+  }
+}
+
+TEST(Soc, EngineTraceEquivalenceOnChecksum) {
+  SocConfig cfg;
+  cfg.mem_bytes = 16 * 1024;
+  cfg.bus = BusProtocol::kAhb;
+  cfg.bus_width_bits = 64;
+  cfg.cpu_isa = "RV32I";
+  cfg.num_cores = 1;
+  const Workload w = checksum_workload(6);
+  const Program programs[] = {assemble(w.source)};
+  const SocModel model = build_soc(cfg, programs);
+
+  SocRunner event_runner(model, sim::EngineKind::kEvent);
+  SocRunner level_runner(model, sim::EngineKind::kLevelized);
+  for (SocRunner* r : {&event_runner, &level_runner}) {
+    r->reset();
+    r->run(400);
+  }
+  EXPECT_EQ(sim::OutputTrace::first_mismatch(event_runner.trace(),
+                                             level_runner.trace()),
+            std::nullopt)
+      << "engines disagree";
+  EXPECT_EQ(event_runner.emitted_words(), w.expected_outputs);
+}
+
+TEST(Soc, ModuleClassesCoverAllGroups) {
+  SocConfig cfg;
+  cfg.mem_bytes = 16 * 1024;
+  cfg.cpu_isa = "RV32I";
+  cfg.bus_width_bits = 32;
+  const Program programs[] = {assemble(checksum_workload(4).source)};
+  const SocModel model = build_soc(cfg, programs);
+  const auto stats = netlist::compute_stats(model.netlist);
+  EXPECT_GT(stats.per_class[static_cast<int>(netlist::ModuleClass::kCpu)], 0u);
+  EXPECT_GT(stats.per_class[static_cast<int>(netlist::ModuleClass::kMemory)], 0u);
+  EXPECT_GT(stats.per_class[static_cast<int>(netlist::ModuleClass::kBus)], 0u);
+  EXPECT_GT(
+      stats.per_class[static_cast<int>(netlist::ModuleClass::kPeripheral)], 0u);
+  EXPECT_EQ(stats.num_memory_macros, 2u);  // imem + dmem
+}
+
+TEST(Soc, GateCountGrowsAcrossTable) {
+  // Build the first and last Table I SoCs (smallest/largest) and check the
+  // structural-complexity ordering the paper reports.
+  const auto table = pulp_soc_table();
+  const Program programs[] = {assemble(checksum_workload(4).source)};
+  const SocModel small = build_soc(table[0], programs);
+  const SocModel large = build_soc(table[7], programs);
+  EXPECT_GT(large.netlist.num_cells(), 2 * small.netlist.num_cells());
+}
+
+TEST(Soc, BusWidthScalesBusCells) {
+  SocConfig narrow;
+  narrow.mem_bytes = 16 * 1024;
+  narrow.cpu_isa = "RV32I";
+  narrow.bus_width_bits = 32;
+  SocConfig wide = narrow;
+  wide.bus_width_bits = 256;
+  const Program programs[] = {assemble(checksum_workload(4).source)};
+  const auto count_bus = [&](const SocModel& m) {
+    return netlist::compute_stats(m.netlist)
+        .per_class[static_cast<int>(netlist::ModuleClass::kBus)];
+  };
+  const SocModel nm = build_soc(narrow, programs);
+  const SocModel wm = build_soc(wide, programs);
+  EXPECT_GT(count_bus(wm), 4 * count_bus(nm));
+}
+
+TEST(Fpu, SingleAddAndMulExactCases) {
+  using netlist::NetlistBuilder;
+  NetlistBuilder b("fpu");
+  const auto a = b.input_bus("a", 32);
+  const auto c = b.input_bus("c", 32);
+  const auto sum = build_fp_adder(b, a, c, FpFormat::single());
+  const auto prod = build_fp_multiplier(b, a, c, FpFormat::single());
+  b.output_bus(sum, "sum");
+  b.output_bus(prod, "prod");
+  const auto nl = b.finish();
+  sim::LevelizedSimulator sim(nl);
+  auto eval = [&](float x, float y, const Bus& out) {
+    const auto xb = std::bit_cast<std::uint32_t>(x);
+    const auto yb = std::bit_cast<std::uint32_t>(y);
+    for (int i = 0; i < 32; ++i) {
+      sim.set_input(a[static_cast<std::size_t>(i)],
+                    netlist::from_bool((xb >> i) & 1));
+      sim.set_input(c[static_cast<std::size_t>(i)],
+                    netlist::from_bool((yb >> i) & 1));
+    }
+    std::uint32_t r = 0;
+    for (int i = 0; i < 32; ++i) {
+      if (sim.value(out[static_cast<std::size_t>(i)]) == netlist::Logic::L1) {
+        r |= 1u << i;
+      }
+    }
+    return std::bit_cast<float>(r);
+  };
+  // Exactly-representable cases where truncation matches IEEE.
+  EXPECT_EQ(eval(1.0f, 2.0f, sum), 3.0f);
+  EXPECT_EQ(eval(1.5f, 2.5f, sum), 4.0f);
+  EXPECT_EQ(eval(-1.0f, 3.0f, sum), 2.0f);
+  EXPECT_EQ(eval(5.0f, -2.0f, sum), 3.0f);
+  EXPECT_EQ(eval(2.0f, -2.0f, sum), 0.0f);
+  EXPECT_EQ(eval(0.0f, 7.25f, sum), 7.25f);
+  EXPECT_EQ(eval(7.25f, 0.0f, sum), 7.25f);
+  EXPECT_EQ(eval(1.0f, 2.0f, prod), 2.0f);
+  EXPECT_EQ(eval(1.5f, 3.0f, prod), 4.5f);
+  EXPECT_EQ(eval(-2.0f, 2.5f, prod), -5.0f);
+  EXPECT_EQ(eval(0.0f, 123.0f, prod), 0.0f);
+  EXPECT_EQ(eval(0.125f, 8.0f, prod), 1.0f);
+}
+
+TEST(Fpu, DoubleAddExactCases) {
+  using netlist::NetlistBuilder;
+  NetlistBuilder b("fpu64");
+  const auto a = b.input_bus("a", 64);
+  const auto c = b.input_bus("c", 64);
+  const auto sum = build_fp_adder(b, a, c, FpFormat::double_());
+  b.output_bus(sum, "sum");
+  const auto nl = b.finish();
+  sim::LevelizedSimulator sim(nl);
+  auto eval = [&](double x, double y) {
+    const auto xb = std::bit_cast<std::uint64_t>(x);
+    const auto yb = std::bit_cast<std::uint64_t>(y);
+    for (int i = 0; i < 64; ++i) {
+      sim.set_input(a[static_cast<std::size_t>(i)],
+                    netlist::from_bool((xb >> i) & 1));
+      sim.set_input(c[static_cast<std::size_t>(i)],
+                    netlist::from_bool((yb >> i) & 1));
+    }
+    std::uint64_t r = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (sim.value(sum[static_cast<std::size_t>(i)]) == netlist::Logic::L1) {
+        r |= std::uint64_t{1} << i;
+      }
+    }
+    return std::bit_cast<double>(r);
+  };
+  EXPECT_EQ(eval(1.0, 2.0), 3.0);
+  EXPECT_EQ(eval(-4.5, 1.5), -3.0);
+  EXPECT_EQ(eval(1024.0, 0.5), 1024.5);
+}
+
+TEST(Soc, RejectsBadConfigs) {
+  SocConfig cfg;
+  cfg.cpu_isa = "RV32I";
+  cfg.num_cores = 0;
+  const Program programs[] = {assemble("  ecall\n")};
+  EXPECT_THROW(build_soc(cfg, programs), InvalidArgument);
+  cfg.num_cores = 1;
+  EXPECT_THROW(build_soc(cfg, {}), InvalidArgument);
+  SocConfig big = cfg;
+  big.imem_words = 4;  // program won't fit
+  const Program long_prog[] = {assemble(checksum_workload(8).source)};
+  EXPECT_THROW(build_soc(big, long_prog), InvalidArgument);
+  EXPECT_THROW(CoreConfig::from_isa("RV128I"), InvalidArgument);
+  EXPECT_THROW(CoreConfig::from_isa("RV32IXQ"), InvalidArgument);
+}
+
+TEST(Soc, VerilogExportOfSocParsesBack) {
+  SocConfig cfg;
+  cfg.mem_bytes = 4 * 1024;
+  cfg.cpu_isa = "RV32I";
+  cfg.bus_width_bits = 32;
+  cfg.imem_words = 256;
+  const Program programs[] = {assemble(fibonacci_workload(4).source)};
+  const SocModel model = build_soc(cfg, programs);
+  const std::string text = netlist::write_verilog(model.netlist);
+  const netlist::Netlist parsed = netlist::parse_verilog(text);
+  EXPECT_EQ(parsed.num_cells(), model.netlist.num_cells());
+  EXPECT_EQ(parsed.num_sequential_cells(),
+            model.netlist.num_sequential_cells());
+}
+
+}  // namespace
+}  // namespace ssresf::soc
