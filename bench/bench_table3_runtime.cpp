@@ -6,6 +6,12 @@
 // Expected shape vs the paper: simulation runtime grows with flux (more
 // injections to simulate), prediction time is flat and far smaller; the
 // paper reports 11.44x / 12.78x average speed-ups at 94.58% accuracy.
+//
+// Also benchmarks the campaign execution engine itself: a throughput matrix
+// over {engine} x {threads 1/2/4/8} x {checkpoint on/off}, in injections
+// per second and speedup against the serial seed path (1 thread, no
+// checkpoint, no early exit). SSRESF_BENCH_SMOKE=1 runs a trimmed matrix
+// and skips the flux/ML table (the CI smoke mode).
 #include "bench_common.h"
 
 using namespace ssresf;
@@ -24,6 +30,77 @@ double campaign_runtime(const soc::SocModel& model, sim::EngineKind engine,
   return seconds;
 }
 
+const char* engine_name(sim::EngineKind kind) {
+  return kind == sim::EngineKind::kEvent ? "event" : "levelized";
+}
+
+void run_throughput_matrix(const soc::SocModel& model,
+                           const radiation::SoftErrorDatabase& db,
+                           bool smoke) {
+  std::printf(
+      "campaign throughput matrix (baseline: 1 thread, checkpoint off,\n"
+      "early exit off = the serial seed path)\n");
+  util::Table table({"Engine", "Threads", "Checkpoint", "Injections",
+                     "Sim (s)", "Inj/s", "Speedup", "Identical"});
+  const std::vector<sim::EngineKind> engines =
+      smoke ? std::vector<sim::EngineKind>{sim::EngineKind::kEvent}
+            : std::vector<sim::EngineKind>{sim::EngineKind::kEvent,
+                                           sim::EngineKind::kLevelized};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
+  for (const sim::EngineKind engine : engines) {
+    double base_rate = 0.0;
+    bool have_reference = false;
+    fi::CampaignResult reference;
+    for (const bool checkpoint : {false, true}) {
+      for (const int threads : thread_counts) {
+        fi::CampaignConfig cfg = bench::row_campaign(0, 90210);
+        cfg.engine = engine;
+        cfg.threads = threads;
+        cfg.use_checkpoint = checkpoint;
+        // "Checkpoint off" disables the whole fast path: the seed execution
+        // model of one full re-simulation per fault.
+        cfg.early_exit = checkpoint;
+        cfg.masked_exit = checkpoint;
+        const auto result = fi::run_campaign(model, cfg, db);
+
+        // Bit-identical results across every cell of the matrix.
+        bool identical = true;
+        if (!have_reference) {
+          reference = result;
+          have_reference = true;
+        } else {
+          identical = result.records.size() == reference.records.size() &&
+                      result.chip_ser_percent == reference.chip_ser_percent;
+          for (std::size_t i = 0; identical && i < result.records.size(); ++i) {
+            identical = result.records[i].soft_error ==
+                            reference.records[i].soft_error &&
+                        result.records[i].event.time_ps ==
+                            reference.records[i].event.time_ps &&
+                        result.records[i].first_mismatch_cycle ==
+                            reference.records[i].first_mismatch_cycle;
+          }
+        }
+
+        const double rate =
+            static_cast<double>(result.records.size()) /
+            std::max(result.simulation_seconds, 1e-9);
+        if (!checkpoint && threads == 1) base_rate = rate;
+        table.add_row({engine_name(engine), std::to_string(threads),
+                       checkpoint ? "on" : "off",
+                       std::to_string(result.records.size()),
+                       util::format("%.2f", result.simulation_seconds),
+                       util::format("%.1f", rate),
+                       util::format("%.2fx", rate / base_rate),
+                       identical ? "yes" : "NO"});
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -34,6 +111,11 @@ int main() {
   const auto rows = soc::pulp_soc_table();
   const soc::SocModel model = bench::build_row_soc(rows[0]);
   const auto db = radiation::SoftErrorDatabase::default_database();
+
+  const char* smoke_env = std::getenv("SSRESF_BENCH_SMOKE");
+  const bool smoke = smoke_env != nullptr && std::string(smoke_env) == "1";
+  run_throughput_matrix(model, db, smoke);
+  if (smoke) return 0;
 
   util::Table table({"Flux", "Event sim (s)", "Levelized sim (s)",
                      "Model pred (s)", "Speedup(evt)", "Speedup(lvl)",

@@ -1,8 +1,13 @@
 #include "fi/campaign.h"
 
+#include <atomic>
+#include <future>
+#include <optional>
+
 #include "netlist/stats.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ssresf::fi {
@@ -41,6 +46,14 @@ double cell_xsect(const netlist::Netlist& netlist,
   return db.cell_xsect(cell.kind, let);
 }
 
+/// One entry of the flattened injection plan. The global index i is the
+/// entry's position: it names the RNG stream and the record slot, so the
+/// outcome of entry i is independent of which worker simulates it and when.
+struct PlannedInjection {
+  int cluster = 0;
+  CellId cell;
+};
+
 }  // namespace
 
 CampaignResult run_campaign(const soc::SocModel& model,
@@ -49,7 +62,6 @@ CampaignResult run_campaign(const soc::SocModel& model,
   util::Rng rng(config.seed);
   util::Rng cluster_rng = rng.fork();
   util::Rng sample_rng = rng.fork();
-  util::Rng inject_rng = rng.fork();
 
   CampaignResult result;
   result.clock_period_ps = soc::pick_clock_period(model.netlist);
@@ -68,78 +80,219 @@ CampaignResult run_campaign(const soc::SocModel& model,
     // Fixed total length for every faulty run (a fault may delay the halt).
     run_cycles = static_cast<int>(golden.testbench().cycles_run()) + 8;
   }
-  soc::SocRunner golden_fixed(model, config.engine, result.clock_period_ps);
-  golden_fixed.reset();
-  golden_fixed.run(run_cycles);
-  const sim::OutputTrace& golden_trace = golden_fixed.trace();
   result.golden_cycles = run_cycles;
 
   // --- clustering + sampling -----------------------------------------------------
   result.clustering =
       cluster::cluster_cells(model.netlist, config.clustering, cluster_rng);
-  std::vector<double> strike_weights(model.netlist.num_cells(), 0.0);
+  // Per-cell cross-section at the campaign LET, computed once and reused for
+  // strike weighting and the per-cluster / per-class aggregation below.
+  const double let = config.environment.let;
+  std::vector<double> cell_xsects(model.netlist.num_cells(), 0.0);
   for (const CellId id : model.netlist.all_cells()) {
-    strike_weights[id.index()] =
-        cell_xsect(model.netlist, db, id, config.environment.let);
+    cell_xsects[id.index()] = cell_xsect(model.netlist, db, id, let);
   }
   const auto samples =
       cluster::sample_clusters(model.netlist, result.clustering,
-                               config.sampling, sample_rng, strike_weights);
+                               config.sampling, sample_rng, cell_xsects);
 
   // --- injections ------------------------------------------------------------------
   const radiation::Injector injector(model.netlist);
-  const std::uint64_t window_ps =
-      static_cast<std::uint64_t>(run_cycles) * result.clock_period_ps;
+  const std::uint64_t period = result.clock_period_ps;
+  const std::uint64_t window_ps = static_cast<std::uint64_t>(run_cycles) * period;
   // Inject after reset has settled and early enough to observe propagation.
-  const std::uint64_t t0 = 5 * result.clock_period_ps;
+  const std::uint64_t t0 = 5 * period;
   const std::uint64_t t1 = window_ps * 3 / 4;
 
-  std::vector<std::size_t> cluster_samples(result.clustering.clusters.size(), 0);
-  std::vector<std::size_t> cluster_errors(result.clustering.clusters.size(), 0);
+  std::vector<PlannedInjection> plan;
+  {
+    std::size_t total = 0;
+    for (const cluster::ClusterSample& cs : samples) total += cs.cells.size();
+    plan.reserve(total);
+  }
+  for (const cluster::ClusterSample& cs : samples) {
+    for (const CellId cell : cs.cells) plan.push_back({cs.cluster, cell});
+  }
+  result.records.resize(plan.size());
 
-  // One engine, reset per injection; a fresh testbench owns each timeline.
-  const auto engine = sim::make_engine(config.engine, model.netlist);
   sim::TestbenchConfig tb_config;
   tb_config.clk = model.clk;
   tb_config.rstn = model.rstn;
   tb_config.monitored = model.monitored;
-  tb_config.clock_period_ps = result.clock_period_ps;
-  for (const cluster::ClusterSample& cs : samples) {
-    for (const CellId cell : cs.cells) {
+  tb_config.clock_period_ps = period;
+  // Every faulty timeline spans reset + run_cycles, like the golden trace.
+  const int total_cycles = tb_config.reset_cycles + run_cycles;
+
+  // Golden replay with a checkpoint ladder: simulate reset + workload once,
+  // snapshotting the engine every `stride` cycles across the injection
+  // window. A faulty run then resumes from the last checkpoint at or before
+  // its strike time instead of re-simulating from power-on — the restored
+  // state and the spliced golden trace prefix are exactly what an
+  // uninterrupted run would have produced, so results are unchanged.
+  struct Checkpoint {
+    int cycle = 0;
+    std::unique_ptr<sim::EngineState> state;
+  };
+  std::vector<Checkpoint> ladder;
+  // Cycles fully simulated by t0 are fault-free in every run; that is the
+  // earliest (and in the single-checkpoint limit, the only) rung.
+  const int warm_cycles = static_cast<int>(std::min<std::uint64_t>(
+      t0 / period, static_cast<std::uint64_t>(total_cycles)));
+  const int stride = config.checkpoint_stride_cycles > 0
+                         ? config.checkpoint_stride_cycles
+                         : std::max(8, total_cycles / 32);
+  const auto master = sim::make_engine(config.engine, model.netlist);
+  sim::Testbench golden_tb(*master, tb_config);
+  golden_tb.reset();
+  int golden_done = tb_config.reset_cycles;
+  const bool ladder_usable =
+      (config.use_checkpoint || config.masked_exit) &&
+      warm_cycles >= tb_config.reset_cycles;
+  // Rungs past t1 are never restore targets (no injection is that late) but
+  // still serve masked_exit as reconvergence witnesses.
+  const auto maybe_snapshot = [&]() {
+    const std::uint64_t cycle_start_ps =
+        static_cast<std::uint64_t>(golden_done) * period;
+    if (ladder_usable && golden_done < total_cycles &&
+        (config.masked_exit || cycle_start_ps <= t1)) {
+      ladder.push_back({golden_done, master->save_state()});
+    }
+  };
+  if (warm_cycles > golden_done) {
+    golden_tb.run_cycles(warm_cycles - golden_done);
+    golden_done = warm_cycles;
+  }
+  maybe_snapshot();
+  while (golden_done < total_cycles) {
+    const int step = std::min(stride, total_cycles - golden_done);
+    golden_tb.run_cycles(step);
+    golden_done += step;
+    maybe_snapshot();
+  }
+  const sim::OutputTrace& golden_trace = golden_tb.trace();
+
+  // Fan-out: workers claim global indices from a shared counter; each owns a
+  // private engine replica and writes only its own record slots, so the only
+  // shared mutable state is the counter. Outcomes depend on the index alone
+  // (RNG stream, checkpoint choice, golden comparison), never on which
+  // worker ran them or in what order — that is the determinism guarantee.
+  std::atomic<std::size_t> next_index{0};
+  const auto run_shard = [&]() {
+    const auto engine = sim::make_engine(config.engine, model.netlist);
+    for (std::size_t i; (i = next_index.fetch_add(1)) < plan.size();) {
+      const PlannedInjection& pi = plan[i];
+      util::Rng inject_rng = util::Rng::from_stream(config.seed, i);
       const radiation::FaultTarget target =
-          injector.target_for_cell(cell, inject_rng);
+          injector.target_for_cell(pi.cell, inject_rng);
       const radiation::FaultEvent event = injector.random_event(
           target, t0, t1, config.environment, inject_rng);
 
-      engine->reset_state();
-      sim::Testbench tb(*engine, tb_config);
-      injector.schedule(tb, event);
-      tb.reset();
-      tb.run_cycles(run_cycles);
+      // Latest checkpoint whose cycle starts at or before the strike.
+      const Checkpoint* checkpoint = nullptr;
+      if (config.use_checkpoint) {
+        for (const Checkpoint& c : ladder) {
+          if (static_cast<std::uint64_t>(c.cycle) * period > event.time_ps) {
+            break;
+          }
+          checkpoint = &c;
+        }
+      }
 
-      InjectionRecord record;
+      if (checkpoint != nullptr) {
+        engine->restore_state(*checkpoint->state);
+      } else {
+        engine->reset_state();
+      }
+      sim::Testbench tb(*engine, tb_config);
+      if (checkpoint != nullptr) {
+        tb.resume_at(static_cast<std::uint64_t>(checkpoint->cycle),
+                     golden_trace.prefix(
+                         static_cast<std::size_t>(checkpoint->cycle)));
+      }
+      // Always stream-compare; a negative confirmation window means "track
+      // the divergence but simulate to the end" (the full-fidelity mode).
+      tb.compare_against(
+          &golden_trace,
+          config.early_exit ? config.early_exit_confirm_cycles : -1);
+      injector.schedule(tb, event);
+      if (checkpoint == nullptr) tb.reset();
+
+      // All injection actions have been applied strictly before this time.
+      const std::uint64_t fault_end_ps =
+          event.time_ps + (target.kind == FaultKind::kSet
+                               ? static_cast<std::uint64_t>(event.set_width_ps)
+                               : 0);
+      // Run in rung-sized chunks when hunting for reconvergence, else in one
+      // go. At a rung whose state matches the golden snapshot, the remaining
+      // simulation would replay the golden run exactly — stop there.
+      std::size_t rung = 0;
+      while (static_cast<int>(tb.cycles_run()) < total_cycles) {
+        int run_to = total_cycles;
+        const Checkpoint* witness = nullptr;
+        if (config.masked_exit) {
+          while (rung < ladder.size() &&
+                 (ladder[rung].cycle <= static_cast<int>(tb.cycles_run()) ||
+                  static_cast<std::uint64_t>(ladder[rung].cycle) * period <=
+                      fault_end_ps)) {
+            ++rung;
+          }
+          if (rung < ladder.size()) {
+            run_to = ladder[rung].cycle;
+            witness = &ladder[rung];
+          }
+        }
+        tb.run_cycles(run_to - static_cast<int>(tb.cycles_run()));
+        if (tb.stopped_early()) break;
+        if (witness != nullptr && engine->state_matches(*witness->state)) {
+          break;
+        }
+      }
+      const std::optional<std::size_t> mismatch = tb.first_divergence();
+
+      InjectionRecord& record = result.records[i];
       record.event = event;
-      record.cluster = cs.cluster;
-      record.module_class = model.netlist.cell_class(cell);
-      const auto mismatch =
-          sim::OutputTrace::first_mismatch(golden_trace, tb.trace());
+      record.cluster = pi.cluster;
+      record.module_class = model.netlist.cell_class(pi.cell);
       record.soft_error = mismatch.has_value();
       record.first_mismatch_cycle = mismatch.value_or(0);
-      result.records.push_back(record);
-
-      ++cluster_samples[static_cast<std::size_t>(cs.cluster)];
-      if (record.soft_error) {
-        ++cluster_errors[static_cast<std::size_t>(cs.cluster)];
-      }
     }
+  };
+
+  const int requested_threads = config.threads > 0
+                                    ? config.threads
+                                    : util::ThreadPool::hardware_threads();
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(requested_threads),
+      std::max<std::size_t>(plan.size(), 1)));
+  if (workers <= 1) {
+    run_shard();
+  } else {
+    util::ThreadPool pool(workers);
+    std::vector<std::future<void>> shards;
+    shards.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) shards.push_back(pool.submit(run_shard));
+    for (auto& shard : shards) shard.get();
   }
   result.simulation_seconds = sim_timer.seconds();
 
   // --- aggregation -------------------------------------------------------------------
-  const double let = config.environment.let;
   const auto total = db.netlist_xsect(model.netlist, let);
   result.set_xsect_cm2 = total.set_cm2;
   result.seu_xsect_cm2 = total.seu_cm2;
+
+  // Merge per-cluster and per-class counters from the records: index order is
+  // plan order, so the aggregation is identical for every thread count.
+  std::vector<std::size_t> cluster_samples(result.clustering.clusters.size(), 0);
+  std::vector<std::size_t> cluster_errors(result.clustering.clusters.size(), 0);
+  for (const InjectionRecord& r : result.records) {
+    ++cluster_samples[static_cast<std::size_t>(r.cluster)];
+    auto& cls = result.per_class[static_cast<std::size_t>(r.module_class)];
+    ++cls.samples;
+    if (r.soft_error) {
+      ++cluster_errors[static_cast<std::size_t>(r.cluster)];
+      ++cls.errors;
+    }
+  }
 
   for (std::size_t k = 0; k < result.clustering.clusters.size(); ++k) {
     ClusterStats stats;
@@ -154,7 +307,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
             ? static_cast<double>(stats.errors) / static_cast<double>(stats.samples)
             : 0.0;
     for (const CellId id : result.clustering.clusters[k]) {
-      stats.xsect_cm2 += cell_xsect(model.netlist, db, id, let);
+      stats.xsect_cm2 += cell_xsects[id.index()];
     }
     stats.ser_percent =
         stats.propagation_ratio *
@@ -167,12 +320,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
   std::array<double, 5> class_xsect{};
   for (const CellId id : model.netlist.all_cells()) {
     class_xsect[static_cast<std::size_t>(model.netlist.cell_class(id))] +=
-        cell_xsect(model.netlist, db, id, let);
-  }
-  for (const InjectionRecord& r : result.records) {
-    auto& cls = result.per_class[static_cast<std::size_t>(r.module_class)];
-    ++cls.samples;
-    if (r.soft_error) ++cls.errors;
+        cell_xsects[id.index()];
   }
   for (std::size_t c = 0; c < result.per_class.size(); ++c) {
     auto& cls = result.per_class[c];

@@ -22,6 +22,26 @@ struct CampaignConfig {
   int run_cycles = 0;     // 0: golden run length = cycles-to-halt + margin
   int max_cycles = 4000;  // bound for the golden run
   std::uint64_t seed = 1;
+
+  // --- execution model --------------------------------------------------------
+  // Results are bit-identical across all combinations of these knobs: each
+  // injection's randomness derives from (seed, global injection index), the
+  // checkpoint replays the exact reset + warm-up prefix, and early exit only
+  // truncates runs whose outcome is already decided.
+  int threads = 1;             // campaign workers; <= 0 picks hardware threads
+  bool use_checkpoint = true;  // restore golden checkpoints instead of re-running
+  bool early_exit = true;      // stop diverged runs after a confirmation window
+  int early_exit_confirm_cycles = 8;
+  /// Stop a run once the faulty engine state is semantically identical to
+  /// the golden checkpoint of the same cycle: from that point the two
+  /// futures provably coincide, so healed SEUs and electrically masked SETs
+  /// need not simulate to the end of the workload.
+  bool masked_exit = true;
+  /// Spacing of the golden checkpoint ladder: the golden replay snapshots the
+  /// engine every this many cycles across the injection window, and each
+  /// faulty run resumes from the last checkpoint before its strike time.
+  /// 0 picks a stride automatically from the run length.
+  int checkpoint_stride_cycles = 0;
 };
 
 /// One injection and its observed outcome.

@@ -40,7 +40,25 @@ CvResult cross_validate(const Dataset& dataset, const SvmConfig& config,
     result.aggregate += cm;
   }
   if (result.fold_accuracies.empty()) {
-    throw InvalidArgument("cross-validation produced no usable folds");
+    const bool single_class =
+        dataset.size() > 0 &&
+        (dataset.count_label(1) == 0 || dataset.count_label(-1) == 0);
+    if (!single_class) {
+      throw InvalidArgument("cross-validation produced no usable folds");
+    }
+    // Single-class dataset: every fold degenerates, and the constant
+    // majority classifier is trivially right on all held-out samples.
+    // Campaigns on robust designs can legitimately observe zero soft
+    // errors, so report that instead of failing the whole pipeline.
+    const int label = dataset.count_label(1) > 0 ? 1 : -1;
+    ConfusionMatrix cm;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      cm.add(dataset.label(i), label);
+      result.decision_values.push_back(static_cast<double>(label));
+      result.labels.push_back(dataset.label(i));
+    }
+    result.fold_accuracies.push_back(cm.accuracy());
+    result.aggregate += cm;
   }
   double sum = 0.0;
   for (const double a : result.fold_accuracies) sum += a;

@@ -35,10 +35,17 @@ double kernel_eval(const KernelConfig& kernel, std::span<const double> a,
 
 void SvmClassifier::train(const Dataset& dataset) {
   const std::size_t n = dataset.size();
-  if (n < 2) throw InvalidArgument("SVM needs at least two samples");
+  if (n == 0) throw InvalidArgument("SVM needs at least one sample");
   if (dataset.count_label(1) == 0 || dataset.count_label(-1) == 0) {
-    throw InvalidArgument("SVM needs both classes present");
+    // Single-class dataset (e.g. a campaign that observed no soft errors):
+    // the constant majority classifier, reusing the degenerate-convergence
+    // representation (no support vectors, bias carries the vote).
+    support_x_.clear();
+    support_alpha_y_.clear();
+    bias_ = dataset.count_label(1) >= dataset.count_label(-1) ? 1.0 : -1.0;
+    return;
   }
+  if (n < 2) throw InvalidArgument("SVM needs at least two samples");
 
   // Full kernel matrix cache (n is at most a few thousand in SSRESF).
   if (n > 8192) throw InvalidArgument("dataset too large for the kernel cache");

@@ -16,6 +16,16 @@ using netlist::NetId;
 /// Change-notification hook (used by the VCD writer): (net, time_ps, value).
 using ChangeObserver = std::function<void(NetId, std::uint64_t, Logic)>;
 
+/// Opaque snapshot of an engine's complete dynamic state (net values, FF
+/// state, memory arrays, pending events, time). Produced by
+/// Engine::save_state and consumed by Engine::restore_state of an engine of
+/// the same concrete type over the same netlist; immutable once taken, so
+/// one snapshot can seed any number of engines (including concurrently).
+class EngineState {
+ public:
+  virtual ~EngineState() = default;
+};
+
 /// Common interface of the two simulation engines.
 ///
 /// EventSimulator is the timing-accurate reference (the role Synopsys VCS
@@ -32,6 +42,25 @@ class Engine {
   /// Restore power-on state: FFs unknown (or reset), memories re-initialised,
   /// time zero.
   virtual void reset_state() = 0;
+
+  /// Snapshot the complete dynamic state. The snapshot stays valid for the
+  /// lifetime of the netlist and may be restored into any engine of the same
+  /// concrete type built over the same netlist.
+  [[nodiscard]] virtual std::unique_ptr<EngineState> save_state() const = 0;
+
+  /// Resume from a snapshot taken by save_state on a compatible engine.
+  /// Throws InvalidArgument if the snapshot came from a different engine
+  /// type or a differently sized design. The observer is not part of the
+  /// state and is left untouched.
+  virtual void restore_state(const EngineState& state) = 0;
+
+  /// True when the engine's dynamic state is semantically identical to the
+  /// snapshot — same time, net values, forces, sequential state, memories,
+  /// and pending activity (bookkeeping counters excluded) — so the two
+  /// futures coincide under identical stimulus. The campaign uses this to
+  /// prove a faulty run has reconverged with the golden run and stop it.
+  /// Returns false (never throws) for a foreign snapshot.
+  [[nodiscard]] virtual bool state_matches(const EngineState& state) const = 0;
 
   /// Drive a primary input at the current time.
   virtual void set_input(NetId net, Logic value) = 0;

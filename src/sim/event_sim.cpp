@@ -42,10 +42,113 @@ void EventSimulator::reset_state() {
   pending_gen_.assign(netlist_.num_nets(), 0);
   has_pending_.assign(netlist_.num_nets(), false);
   ff_q_.assign(netlist_.num_cells(), Logic::X);
-  queue_ = {};
+  // At most one live transition per net (inertial cancelling keeps stale
+  // entries around only briefly): pre-size the heap's backing vector so the
+  // first simulated cycles don't pay repeated growth.
+  std::vector<Event> backing;
+  backing.reserve(netlist_.num_nets() / 4 + 64);
+  queue_ = decltype(queue_)(std::greater<>{}, std::move(backing));
 
   mems_.clear();
   init_constants_and_memories();
+}
+
+struct EventSimulator::State final : EngineState {
+  std::uint64_t now = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t events_processed = 0;
+  std::vector<Logic> driven;
+  std::vector<Logic> forced_val;
+  std::vector<bool> forced;
+  std::vector<std::uint64_t> pending_gen;
+  std::vector<bool> has_pending;
+  std::vector<Logic> ff_q;
+  std::vector<std::vector<std::uint64_t>> mems;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+};
+
+std::unique_ptr<EngineState> EventSimulator::save_state() const {
+  auto state = std::make_unique<State>();
+  state->now = now_;
+  state->seq = seq_;
+  state->events_processed = events_processed_;
+  state->driven = driven_;
+  state->forced_val = forced_val_;
+  state->forced = forced_;
+  state->pending_gen = pending_gen_;
+  state->has_pending = has_pending_;
+  state->ff_q = ff_q_;
+  state->mems = mems_;
+  state->queue = queue_;
+  return state;
+}
+
+namespace {
+
+/// Pending transitions that are still live (not cancelled), in application
+/// order. Two engines with equal state vectors and equal live sequences
+/// evolve identically; absolute seq/gen counters are bookkeeping.
+struct LiveEvent {
+  std::uint64_t time;
+  NetId net;
+  Logic value;
+  bool operator==(const LiveEvent&) const = default;
+};
+
+template <typename Queue>
+std::vector<LiveEvent> live_events(Queue queue,
+                                   const std::vector<bool>& has_pending,
+                                   const std::vector<std::uint64_t>& gen) {
+  std::vector<LiveEvent> out;
+  while (!queue.empty()) {
+    const auto& e = queue.top();
+    if (has_pending[e.net.index()] && e.gen == gen[e.net.index()]) {
+      out.push_back({e.time, e.net, e.value});
+    }
+    queue.pop();
+  }
+  return out;  // (time, seq) ascending: the order events would apply in
+}
+
+}  // namespace
+
+bool EventSimulator::state_matches(const EngineState& state) const {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) return false;
+  if (now_ != s->now || driven_ != s->driven || ff_q_ != s->ff_q ||
+      forced_ != s->forced || has_pending_ != s->has_pending ||
+      mems_ != s->mems) {
+    return false;
+  }
+  // Forced overlay values matter only where a force is active (released
+  // forces leave stale values behind).
+  for (std::size_t n = 0; n < forced_.size(); ++n) {
+    if (forced_[n] && forced_val_[n] != s->forced_val[n]) return false;
+  }
+  return live_events(queue_, has_pending_, pending_gen_) ==
+         live_events(s->queue, s->has_pending, s->pending_gen);
+}
+
+void EventSimulator::restore_state(const EngineState& state) {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) {
+    throw InvalidArgument("restore_state: snapshot is not an event-engine state");
+  }
+  if (s->driven.size() != netlist_.num_nets() ||
+      s->ff_q.size() != netlist_.num_cells()) {
+    throw InvalidArgument("restore_state: snapshot from a different design");
+  }
+  now_ = s->now;
+  seq_ = s->seq;
+  events_processed_ = s->events_processed;
+  driven_ = s->driven;
+  forced_val_ = s->forced_val;
+  forced_ = s->forced;
+  pending_gen_ = s->pending_gen;
+  has_pending_ = s->has_pending;
+  ff_q_ = s->ff_q;
+  mems_ = s->mems;
+  queue_ = s->queue;
 }
 
 void EventSimulator::init_constants_and_memories() {

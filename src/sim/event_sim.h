@@ -26,6 +26,9 @@ class EventSimulator final : public Engine {
 
   [[nodiscard]] const Netlist& design() const override { return netlist_; }
   void reset_state() override;
+  [[nodiscard]] std::unique_ptr<EngineState> save_state() const override;
+  void restore_state(const EngineState& state) override;
+  [[nodiscard]] bool state_matches(const EngineState& state) const override;
   void set_input(NetId net, Logic value) override;
   void advance_to(std::uint64_t time_ps) override;
   [[nodiscard]] std::uint64_t now() const override { return now_; }
@@ -61,6 +64,8 @@ class EventSimulator final : public Engine {
       return time != other.time ? time > other.time : seq > other.seq;
     }
   };
+
+  struct State;
 
   void schedule(NetId net, Logic value, std::uint64_t time);
   void apply_event(const Event& event);

@@ -132,6 +132,60 @@ void LevelizedSimulator::reset_state() {
   settle();
 }
 
+struct LevelizedSimulator::State final : EngineState {
+  std::uint64_t now = 0;
+  std::uint64_t evals = 0;
+  std::vector<Logic> driven;
+  std::vector<Logic> forced_val;
+  std::vector<bool> forced;
+  std::vector<Logic> ff_q;
+  std::vector<std::vector<std::uint64_t>> mems;
+};
+
+std::unique_ptr<EngineState> LevelizedSimulator::save_state() const {
+  auto state = std::make_unique<State>();
+  state->now = now_;
+  state->evals = evals_;
+  state->driven = driven_;
+  state->forced_val = forced_val_;
+  state->forced = forced_;
+  state->ff_q = ff_q_;
+  state->mems = mems_;
+  return state;
+}
+
+void LevelizedSimulator::restore_state(const EngineState& state) {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) {
+    throw InvalidArgument(
+        "restore_state: snapshot is not a levelized-engine state");
+  }
+  if (s->driven.size() != netlist_.num_nets() ||
+      s->ff_q.size() != netlist_.num_cells()) {
+    throw InvalidArgument("restore_state: snapshot from a different design");
+  }
+  now_ = s->now;
+  evals_ = s->evals;
+  driven_ = s->driven;
+  forced_val_ = s->forced_val;
+  forced_ = s->forced;
+  ff_q_ = s->ff_q;
+  mems_ = s->mems;
+}
+
+bool LevelizedSimulator::state_matches(const EngineState& state) const {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) return false;
+  if (now_ != s->now || driven_ != s->driven || ff_q_ != s->ff_q ||
+      forced_ != s->forced || mems_ != s->mems) {
+    return false;
+  }
+  for (std::size_t n = 0; n < forced_.size(); ++n) {
+    if (forced_[n] && forced_val_[n] != s->forced_val[n]) return false;
+  }
+  return true;
+}
+
 Logic LevelizedSimulator::effective(NetId net) const {
   return forced_[net.index()] ? forced_val_[net.index()]
                               : driven_[net.index()];

@@ -23,6 +23,9 @@ class LevelizedSimulator final : public Engine {
 
   [[nodiscard]] const Netlist& design() const override { return netlist_; }
   void reset_state() override;
+  [[nodiscard]] std::unique_ptr<EngineState> save_state() const override;
+  void restore_state(const EngineState& state) override;
+  [[nodiscard]] bool state_matches(const EngineState& state) const override;
   void set_input(NetId net, Logic value) override;
   void advance_to(std::uint64_t time_ps) override;
   [[nodiscard]] std::uint64_t now() const override { return now_; }
@@ -45,6 +48,8 @@ class LevelizedSimulator final : public Engine {
   [[nodiscard]] std::uint64_t evals_performed() const { return evals_; }
 
  private:
+  struct State;
+
   void build_eval_order();
   void settle();
   void clock_edge();

@@ -20,8 +20,34 @@ void Testbench::reset() {
   if (config_.rstn.valid()) engine_.set_input(config_.rstn, Logic::L1);
 }
 
+void Testbench::resume_at(std::uint64_t cycle, OutputTrace prefix) {
+  if (cycles_ != 0 || trace_.num_cycles() != 0) {
+    throw InvalidArgument("resume_at on a testbench that already ran");
+  }
+  if (prefix.num_cycles() != cycle) {
+    throw InvalidArgument("resume_at: prefix length does not match cycle");
+  }
+  if (prefix.nets() != config_.monitored) {
+    throw InvalidArgument("resume_at: prefix monitors different nets");
+  }
+  trace_ = std::move(prefix);
+  cycles_ = cycle;
+}
+
+void Testbench::compare_against(const OutputTrace* golden, int confirm_cycles) {
+  reference_ = golden;
+  confirm_cycles_ = confirm_cycles;
+  divergence_.reset();
+  stop_after_cycle_.reset();
+  stopped_early_ = false;
+}
+
 void Testbench::run_cycles(int n) {
   for (int i = 0; i < n; ++i) {
+    if (stop_after_cycle_ && cycles_ >= *stop_after_cycle_) {
+      stopped_early_ = true;
+      return;
+    }
     const std::uint64_t start = cycles_ * config_.clock_period_ps;
     const std::uint64_t rise = start + config_.clock_period_ps / 2;
     const std::uint64_t end = start + config_.clock_period_ps;
@@ -59,6 +85,18 @@ void Testbench::sample() {
     sample.push_back(engine_.value(net));
   }
   trace_.append_cycle(std::move(sample));
+
+  if (reference_ == nullptr || divergence_.has_value()) return;
+  const std::size_t i = trace_.num_cycles() - 1;
+  if (i >= reference_->num_cycles() ||
+      trace_.cycle(i) != reference_->cycle(i)) {
+    divergence_ = i;
+    if (confirm_cycles_ >= 0) {
+      // Finish the current cycle, then allow the confirmation window.
+      stop_after_cycle_ =
+          cycles_ + 1 + static_cast<std::uint64_t>(confirm_cycles_);
+    }
+  }
 }
 
 }  // namespace ssresf::sim

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 
 #include "sim/engine.h"
 #include "sim/trace.h"
@@ -30,8 +31,34 @@ class Testbench {
   /// Counts towards the trace like normal cycles.
   void reset();
 
-  /// Run `n` full clock cycles, sampling once per cycle.
+  /// Run `n` full clock cycles, sampling once per cycle. Stops early only
+  /// when a reference trace is set (see compare_against) and the divergence
+  /// plus its confirmation window have been observed.
   void run_cycles(int n);
+
+  /// Resume a timeline already simulated up to `cycle` full cycles: the
+  /// engine must hold the matching state (restored from an Engine snapshot
+  /// taken at that point) and `prefix` supplies the samples of the cycles
+  /// already run, so the final trace is indistinguishable from an
+  /// uninterrupted run. The checkpoint fast-path of the fault-injection
+  /// campaign is built on this.
+  void resume_at(std::uint64_t cycle, OutputTrace prefix);
+
+  /// Stream-compare every sampled cycle against `golden` (not owned; must
+  /// outlive the testbench). After the first mismatching cycle, run_cycles
+  /// runs `confirm_cycles` further cycles and then stops — a faulty run is
+  /// abandoned once the soft error is established, instead of simulating to
+  /// the end. Runs that never diverge (masked faults) are unaffected. A
+  /// negative `confirm_cycles` only tracks the divergence without ever
+  /// stopping early (the full-simulation execution mode).
+  void compare_against(const OutputTrace* golden, int confirm_cycles);
+
+  /// First sampled cycle that differed from the reference, if any.
+  [[nodiscard]] std::optional<std::size_t> first_divergence() const {
+    return divergence_;
+  }
+  /// True when run_cycles stopped at the confirmation window's end.
+  [[nodiscard]] bool stopped_early() const { return stopped_early_; }
 
   /// Schedule a callback at an absolute time (ps). Actions scheduled in the
   /// past run at the start of the next run_cycles call.
@@ -57,6 +84,12 @@ class Testbench {
   OutputTrace trace_;
   std::uint64_t cycles_ = 0;
   std::multimap<std::uint64_t, std::function<void(Engine&)>> actions_;
+
+  const OutputTrace* reference_ = nullptr;
+  int confirm_cycles_ = 0;
+  std::optional<std::size_t> divergence_;
+  std::optional<std::uint64_t> stop_after_cycle_;
+  bool stopped_early_ = false;
 };
 
 }  // namespace ssresf::sim

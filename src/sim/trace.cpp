@@ -18,6 +18,14 @@ const std::vector<netlist::Logic>& OutputTrace::cycle(std::size_t i) const {
   return samples_[i];
 }
 
+OutputTrace OutputTrace::prefix(std::size_t n) const {
+  if (n > samples_.size()) throw InvalidArgument("trace prefix out of range");
+  OutputTrace out(nets_);
+  out.samples_.assign(samples_.begin(),
+                      samples_.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
 std::optional<std::size_t> OutputTrace::first_mismatch(const OutputTrace& a,
                                                        const OutputTrace& b) {
   const std::size_t common = std::min(a.num_cycles(), b.num_cycles());

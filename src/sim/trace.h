@@ -26,6 +26,10 @@ class OutputTrace {
   [[nodiscard]] std::size_t num_cycles() const { return samples_.size(); }
   [[nodiscard]] const std::vector<netlist::Logic>& cycle(std::size_t i) const;
 
+  /// Copy of the first `n` cycles (n must not exceed num_cycles). Used to
+  /// seed a resumed testbench with the cycles a checkpoint already covers.
+  [[nodiscard]] OutputTrace prefix(std::size_t n) const;
+
   /// First cycle where the traces differ, if any. Traces of different length
   /// differ at the first cycle beyond the shorter one.
   [[nodiscard]] static std::optional<std::size_t> first_mismatch(

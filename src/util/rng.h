@@ -85,6 +85,20 @@ class Rng {
   /// not perturb another.
   Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
 
+  /// Child stream fully determined by (seed, stream), independent of any
+  /// draw order: stream i yields the same Rng no matter which thread asks,
+  /// or in which order. The campaign derives each injection's randomness
+  /// from (campaign seed, global injection index) this way, which is what
+  /// makes results bit-identical for every thread count.
+  static Rng from_stream(std::uint64_t seed, std::uint64_t stream) {
+    // splitmix64 finalizer over a golden-ratio stride decorrelates
+    // consecutive streams.
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
     return (v << k) | (v >> (64 - k));

@@ -173,12 +173,28 @@ TEST(Svm, DecisionValueSignMatchesMargin) {
   EXPECT_LT(model.decision_value(far_neg), -1.0);
 }
 
-TEST(Svm, RequiresBothClasses) {
+TEST(Svm, SingleClassTrainsConstantClassifier) {
+  // A campaign that observed no soft errors yields a single-class dataset;
+  // training then degenerates to the constant majority classifier instead
+  // of failing the whole pipeline.
   Dataset d({"x"});
   d.add({1}, 1);
   d.add({2}, 1);
   SvmClassifier model;
-  EXPECT_THROW(model.train(d), InvalidArgument);
+  model.train(d);
+  EXPECT_EQ(model.num_support_vectors(), 0u);
+  const double anywhere[] = {-7.0};
+  EXPECT_EQ(model.predict(anywhere), 1);
+
+  Dataset neg({"x"});
+  neg.add({1}, -1);
+  SvmClassifier neg_model;
+  neg_model.train(neg);
+  EXPECT_EQ(neg_model.predict(anywhere), -1);
+
+  Dataset empty({"x"});
+  SvmClassifier empty_model;
+  EXPECT_THROW(empty_model.train(empty), InvalidArgument);
 }
 
 TEST(Metrics, ConfusionMathAndF1) {
