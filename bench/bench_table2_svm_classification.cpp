@@ -17,6 +17,8 @@ int main() {
   const auto db = radiation::SoftErrorDatabase::default_database();
   util::Table table({"Benchmark", "TNR", "TPR", "Precision", "Accuracy",
                      "F1 Score", "Nodes"});
+  ml::Dataset cache_check_data;
+  ml::SvmConfig cache_check_cfg;
   double sum_tnr = 0;
   double sum_tpr = 0;
   double sum_prec = 0;
@@ -53,6 +55,10 @@ int main() {
                      std::string("(") + e.what() + ")"});
       continue;
     }
+    if (result.dataset.size() > cache_check_data.size()) {
+      cache_check_data = result.dataset;
+      cache_check_cfg = cfg.svm;
+    }
     const auto& cm = result.cv.aggregate;
     table.add_row({rows[i].name, util::format("%.2f%%", 100 * cm.tnr()),
                    util::format("%.2f%%", 100 * cm.tpr()),
@@ -78,5 +84,30 @@ int main() {
   std::printf(
       "Paper reference (Table II): average TNR 90.91%%, TPR 83.56%%,\n"
       "precision 87.77%%, accuracy 87.69%%, F1 0.86.\n");
+
+  // Regression guard for the SMO Q-row LRU cache: training a Table-II-sized
+  // dataset must not spend more kernel evaluations than the old triangular
+  // full-matrix precompute, n(n+1)/2 (the cache reaches exactly that bound
+  // when every row fits, and must never exceed it on these sizes).
+  if (cache_check_data.size() >= 2) {
+    ml::SvmClassifier probe(cache_check_cfg);
+    util::Timer train_timer;
+    probe.train(cache_check_data);
+    const double train_s = train_timer.seconds();
+    const std::uint64_t n = cache_check_data.size();
+    const std::uint64_t full_matrix = n * (n + 1) / 2;
+    std::printf(
+        "\nSMO kernel cache: n=%llu, %llu kernel evals (full-matrix "
+        "precompute: %llu), train %.3fs\n",
+        static_cast<unsigned long long>(n),
+        static_cast<unsigned long long>(probe.kernel_evals()),
+        static_cast<unsigned long long>(full_matrix), train_s);
+    if (probe.kernel_evals() > full_matrix) {
+      std::fprintf(stderr,
+                   "FAIL: SMO kernel-row cache regressed past the full-matrix "
+                   "precompute\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -8,10 +8,16 @@
 // paper reports 11.44x / 12.78x average speed-ups at 94.58% accuracy.
 //
 // Also benchmarks the campaign execution engine itself: a throughput matrix
-// over {engine} x {threads 1/2/4/8} x {checkpoint on/off}, in injections
-// per second and speedup against the serial seed path (1 thread, no
-// checkpoint, no early exit). SSRESF_BENCH_SMOKE=1 runs a trimmed matrix
-// and skips the flux/ML table (the CI smoke mode).
+// over {engine: event / levelized / bit-parallel} x {threads 1/2/4/8} x
+// {checkpoint on/off}, in injections per second and speedup against the
+// serial seed path (1 thread, no checkpoint, no early exit). Bit-parallel
+// rows are additionally checked record-identical against the levelized
+// reference (the two engines share the zero-delay timing model). The matrix
+// is emitted as machine-readable BENCH_table3.json for CI artifacts.
+// SSRESF_BENCH_SMOKE=1 runs a trimmed matrix and skips the flux/ML table
+// (the CI smoke mode).
+#include <fstream>
+
 #include "bench_common.h"
 
 using namespace ssresf;
@@ -31,23 +37,88 @@ double campaign_runtime(const soc::SocModel& model, sim::EngineKind engine,
 }
 
 const char* engine_name(sim::EngineKind kind) {
-  return kind == sim::EngineKind::kEvent ? "event" : "levelized";
+  switch (kind) {
+    case sim::EngineKind::kEvent:
+      return "event";
+    case sim::EngineKind::kLevelized:
+      return "levelized";
+    case sim::EngineKind::kBitParallel:
+      return "bit-parallel";
+  }
+  return "?";
 }
 
-void run_throughput_matrix(const soc::SocModel& model,
-                           const radiation::SoftErrorDatabase& db,
-                           bool smoke) {
+struct MatrixCell {
+  const char* engine;
+  int threads;
+  bool checkpoint;
+  std::size_t injections;
+  double sim_seconds;
+  double inj_per_sec;
+  double speedup;
+  bool identical;
+};
+
+bool records_identical(const fi::CampaignResult& a,
+                       const fi::CampaignResult& b) {
+  if (a.records.size() != b.records.size() ||
+      a.chip_ser_percent != b.chip_ser_percent) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i].soft_error != b.records[i].soft_error ||
+        a.records[i].event.time_ps != b.records[i].event.time_ps ||
+        a.records[i].first_mismatch_cycle !=
+            b.records[i].first_mismatch_cycle) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_bench_json(const std::vector<MatrixCell>& cells,
+                      double bitparallel_speedup, bool all_identical) {
+  std::ofstream out("BENCH_table3.json");
+  out << "{\n  \"benchmark\": \"table3_campaign_throughput\",\n"
+      << "  \"bitparallel_vs_levelized_1thread_ckpt\": "
+      << util::format("%.3f", bitparallel_speedup) << ",\n"
+      << "  \"all_identical\": " << (all_identical ? "true" : "false")
+      << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const MatrixCell& c = cells[i];
+    out << "    {\"engine\": \"" << c.engine << "\", \"threads\": " << c.threads
+        << ", \"checkpoint\": " << (c.checkpoint ? "true" : "false")
+        << ", \"injections\": " << c.injections
+        << ", \"sim_seconds\": " << util::format("%.4f", c.sim_seconds)
+        << ", \"inj_per_sec\": " << util::format("%.2f", c.inj_per_sec)
+        << ", \"speedup\": " << util::format("%.3f", c.speedup)
+        << ", \"identical\": " << (c.identical ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run_throughput_matrix(const soc::SocModel& model,
+                          const radiation::SoftErrorDatabase& db, bool smoke) {
   std::printf(
       "campaign throughput matrix (baseline: 1 thread, checkpoint off,\n"
       "early exit off = the serial seed path)\n");
   util::Table table({"Engine", "Threads", "Checkpoint", "Injections",
                      "Sim (s)", "Inj/s", "Speedup", "Identical"});
-  const std::vector<sim::EngineKind> engines =
-      smoke ? std::vector<sim::EngineKind>{sim::EngineKind::kEvent}
-            : std::vector<sim::EngineKind>{sim::EngineKind::kEvent,
-                                           sim::EngineKind::kLevelized};
+  const std::vector<sim::EngineKind> engines = {sim::EngineKind::kEvent,
+                                                sim::EngineKind::kLevelized,
+                                                sim::EngineKind::kBitParallel};
   const std::vector<int> thread_counts =
       smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
+  std::vector<MatrixCell> cells;
+  bool all_identical = true;
+  // Injections/sec at {1 thread, checkpoint on} per engine, for the
+  // bit-parallel acceptance ratio.
+  double level_ckpt_rate = 0.0;
+  double bitpar_ckpt_rate = 0.0;
+  fi::CampaignResult levelized_reference;
+  bool have_levelized_reference = false;
 
   for (const sim::EngineKind engine : engines) {
     double base_rate = 0.0;
@@ -56,6 +127,16 @@ void run_throughput_matrix(const soc::SocModel& model,
     for (const bool checkpoint : {false, true}) {
       for (const int threads : thread_counts) {
         fi::CampaignConfig cfg = bench::row_campaign(0, 90210);
+        // Throughput is a steady-state metric: raise the injection volume
+        // above the quick-scale default so per-campaign fixed costs (golden
+        // run, clustering, checkpoint ladder) do not dominate the rates.
+        cfg.sampling.fraction = std::max(cfg.sampling.fraction, 0.02);
+        cfg.sampling.min_per_cluster =
+            std::max(cfg.sampling.min_per_cluster, 10);
+        cfg.sampling.max_per_cluster =
+            std::max(cfg.sampling.max_per_cluster, 32);
+        cfg.sampling.memory_macro_draws =
+            std::max(cfg.sampling.memory_macro_draws, 32);
         cfg.engine = engine;
         cfg.threads = threads;
         cfg.use_checkpoint = checkpoint;
@@ -65,28 +146,36 @@ void run_throughput_matrix(const soc::SocModel& model,
         cfg.masked_exit = checkpoint;
         const auto result = fi::run_campaign(model, cfg, db);
 
-        // Bit-identical results across every cell of the matrix.
+        // Bit-identical results across every cell of the matrix; the
+        // bit-parallel engine must also match the levelized records.
         bool identical = true;
         if (!have_reference) {
           reference = result;
           have_reference = true;
         } else {
-          identical = result.records.size() == reference.records.size() &&
-                      result.chip_ser_percent == reference.chip_ser_percent;
-          for (std::size_t i = 0; identical && i < result.records.size(); ++i) {
-            identical = result.records[i].soft_error ==
-                            reference.records[i].soft_error &&
-                        result.records[i].event.time_ps ==
-                            reference.records[i].event.time_ps &&
-                        result.records[i].first_mismatch_cycle ==
-                            reference.records[i].first_mismatch_cycle;
-          }
+          identical = records_identical(result, reference);
         }
+        if (engine == sim::EngineKind::kLevelized && !have_levelized_reference) {
+          levelized_reference = result;
+          have_levelized_reference = true;
+        }
+        if (engine == sim::EngineKind::kBitParallel &&
+            have_levelized_reference) {
+          identical = identical && records_identical(result, levelized_reference);
+        }
+        all_identical = all_identical && identical;
 
         const double rate =
             static_cast<double>(result.records.size()) /
             std::max(result.simulation_seconds, 1e-9);
         if (!checkpoint && threads == 1) base_rate = rate;
+        if (checkpoint && threads == 1) {
+          if (engine == sim::EngineKind::kLevelized) level_ckpt_rate = rate;
+          if (engine == sim::EngineKind::kBitParallel) bitpar_ckpt_rate = rate;
+        }
+        cells.push_back({engine_name(engine), threads, checkpoint,
+                         result.records.size(), result.simulation_seconds,
+                         rate, rate / base_rate, identical});
         table.add_row({engine_name(engine), std::to_string(threads),
                        checkpoint ? "on" : "off",
                        std::to_string(result.records.size()),
@@ -99,6 +188,19 @@ void run_throughput_matrix(const soc::SocModel& model,
     }
   }
   std::printf("%s\n", table.render().c_str());
+
+  const double word_speedup =
+      level_ckpt_rate > 0 ? bitpar_ckpt_rate / level_ckpt_rate : 0.0;
+  std::printf(
+      "bit-parallel vs levelized (1 thread, checkpoint on): %.2fx "
+      "injections/sec, records %s\n\n",
+      word_speedup, all_identical ? "identical" : "NOT IDENTICAL");
+  write_bench_json(cells, word_speedup, all_identical);
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: matrix cells disagree on campaign records\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -114,8 +216,8 @@ int main() {
 
   const char* smoke_env = std::getenv("SSRESF_BENCH_SMOKE");
   const bool smoke = smoke_env != nullptr && std::string(smoke_env) == "1";
-  run_throughput_matrix(model, db, smoke);
-  if (smoke) return 0;
+  const int matrix_status = run_throughput_matrix(model, db, smoke);
+  if (smoke || matrix_status != 0) return matrix_status;
 
   util::Table table({"Flux", "Event sim (s)", "Levelized sim (s)",
                      "Model pred (s)", "Speedup(evt)", "Speedup(lvl)",

@@ -1,10 +1,13 @@
 #include "fi/campaign.h"
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <future>
 #include <optional>
 
 #include "netlist/stats.h"
+#include "sim/bit_parallel_sim.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -14,6 +17,7 @@ namespace ssresf::fi {
 
 using netlist::CellId;
 using netlist::CellKind;
+using netlist::Logic;
 using netlist::ModuleClass;
 using radiation::FaultKind;
 
@@ -54,6 +58,32 @@ struct PlannedInjection {
   CellId cell;
 };
 
+/// Fault parameters of plan entry `index`, fully determined by
+/// (seed, index). Both execution paths — scalar shards and bit-parallel
+/// word batches — derive injections through this one function, which is
+/// what keeps their records byte-identical for the same seed.
+struct InjectionParams {
+  radiation::FaultTarget target;
+  radiation::FaultEvent event;
+  std::uint64_t fault_end_ps = 0;  // all actions applied strictly before this
+};
+
+InjectionParams derive_injection(const radiation::Injector& injector,
+                                 CellId cell, std::uint64_t seed,
+                                 std::size_t index, std::uint64_t t0,
+                                 std::uint64_t t1,
+                                 const radiation::Environment& env) {
+  util::Rng rng = util::Rng::from_stream(seed, index);
+  InjectionParams p;
+  p.target = injector.target_for_cell(cell, rng);
+  p.event = injector.random_event(p.target, t0, t1, env, rng);
+  p.fault_end_ps = p.event.time_ps +
+                   (p.target.kind == FaultKind::kSet
+                        ? static_cast<std::uint64_t>(p.event.set_width_ps)
+                        : 0);
+  return p;
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const soc::SocModel& model,
@@ -67,8 +97,18 @@ CampaignResult run_campaign(const soc::SocModel& model,
   result.clock_period_ps = soc::pick_clock_period(model.netlist);
   util::Timer sim_timer;
 
+  // The bit-parallel engine shares the levelized zero-delay timing model, so
+  // all golden (fault-free) work — the reference run, the replay, and the
+  // checkpoint ladder — runs on the scalar levelized engine: identical
+  // trajectory at a fraction of the cost, and scalar snapshots are 64x
+  // smaller than packed ones. Word batches broadcast a scalar checkpoint
+  // into all lanes via BitParallelSimulator::adopt_golden.
+  const bool packed_mode = config.engine == sim::EngineKind::kBitParallel;
+  const sim::EngineKind golden_kind =
+      packed_mode ? sim::EngineKind::kLevelized : config.engine;
+
   // --- golden run -------------------------------------------------------------
-  soc::SocRunner golden(model, config.engine, result.clock_period_ps);
+  soc::SocRunner golden(model, golden_kind, result.clock_period_ps);
   golden.reset();
   int run_cycles = config.run_cycles;
   if (run_cycles == 0) {
@@ -141,7 +181,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
   const int stride = config.checkpoint_stride_cycles > 0
                          ? config.checkpoint_stride_cycles
                          : std::max(8, total_cycles / 32);
-  const auto master = sim::make_engine(config.engine, model.netlist);
+  const auto master = sim::make_engine(golden_kind, model.netlist);
   sim::Testbench golden_tb(*master, tb_config);
   golden_tb.reset();
   int golden_done = tb_config.reset_cycles;
@@ -171,21 +211,20 @@ CampaignResult run_campaign(const soc::SocModel& model,
   }
   const sim::OutputTrace& golden_trace = golden_tb.trace();
 
-  // Fan-out: workers claim global indices from a shared counter; each owns a
-  // private engine replica and writes only its own record slots, so the only
-  // shared mutable state is the counter. Outcomes depend on the index alone
-  // (RNG stream, checkpoint choice, golden comparison), never on which
-  // worker ran them or in what order — that is the determinism guarantee.
+  // Fan-out: workers claim work items (injection indices, or word batches in
+  // bit-parallel mode) from a shared counter; each owns a private engine
+  // replica and writes only its own record slots, so the only shared mutable
+  // state is the counter. Outcomes depend on the index alone (RNG stream,
+  // checkpoint choice, golden comparison), never on which worker ran them or
+  // in what order — that is the determinism guarantee.
   std::atomic<std::size_t> next_index{0};
   const auto run_shard = [&]() {
     const auto engine = sim::make_engine(config.engine, model.netlist);
     for (std::size_t i; (i = next_index.fetch_add(1)) < plan.size();) {
       const PlannedInjection& pi = plan[i];
-      util::Rng inject_rng = util::Rng::from_stream(config.seed, i);
-      const radiation::FaultTarget target =
-          injector.target_for_cell(pi.cell, inject_rng);
-      const radiation::FaultEvent event = injector.random_event(
-          target, t0, t1, config.environment, inject_rng);
+      const InjectionParams inj = derive_injection(
+          injector, pi.cell, config.seed, i, t0, t1, config.environment);
+      const radiation::FaultEvent& event = inj.event;
 
       // Latest checkpoint whose cycle starts at or before the strike.
       const Checkpoint* checkpoint = nullptr;
@@ -217,11 +256,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
       injector.schedule(tb, event);
       if (checkpoint == nullptr) tb.reset();
 
-      // All injection actions have been applied strictly before this time.
-      const std::uint64_t fault_end_ps =
-          event.time_ps + (target.kind == FaultKind::kSet
-                               ? static_cast<std::uint64_t>(event.set_width_ps)
-                               : 0);
+      const std::uint64_t fault_end_ps = inj.fault_end_ps;
       // Run in rung-sized chunks when hunting for reconvergence, else in one
       // go. At a rung whose state matches the golden snapshot, the remaining
       // simulation would replay the golden run exactly — stop there.
@@ -258,19 +293,256 @@ CampaignResult run_campaign(const soc::SocModel& model,
     }
   };
 
+  // --- bit-parallel word batches ---------------------------------------------
+  // The packed engine simulates slot 0 golden + up to 63 faulty runs per
+  // machine word. Injection parameters depend only on (seed, index), so the
+  // whole plan is materialised up front and grouped deterministically into
+  // word batches: injections that resume from the same checkpoint rung (plan
+  // order is cluster order, so batches stay cluster-local and their strike
+  // windows overlap the same ladder segment). Each batch restores the golden
+  // checkpoint once, applies every slot's fault on its own lane, and retires
+  // finished slots (diverged, or reconverged with the golden lane) from a
+  // live-slot mask; the batch ends when the mask drains. Records are
+  // byte-identical to the scalar levelized engine's because every packed
+  // operator is lane-wise identical to its scalar counterpart.
+  std::vector<InjectionParams> packed;
+  struct WordBatch {
+    std::size_t rung = 0;  // 1 + ladder index; 0 = run from power-on reset
+    std::vector<std::size_t> idx;  // global plan indices, slot s = idx[s-1]
+  };
+  std::vector<WordBatch> batches;
+  if (packed_mode) {
+    packed.resize(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      packed[i] = derive_injection(injector, plan[i].cell, config.seed, i, t0,
+                                   t1, config.environment);
+    }
+    // Word batches: injections sorted by strike time and chunked 63 at a
+    // time, so each batch covers a contiguous (overlapping) slice of the
+    // injection window. The batch restores the checkpoint of its earliest
+    // strike once; later slots in the batch simply ride along golden until
+    // their own strike fires in their lane.
+    std::vector<std::size_t> order(plan.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return packed[a].event.time_ps < packed[b].event.time_ps;
+                     });
+    constexpr std::size_t kFaultSlots =
+        static_cast<std::size_t>(sim::BitParallelSimulator::kFaultSlots);
+    for (std::size_t off = 0; off < order.size(); off += kFaultSlots) {
+      const std::size_t end = std::min(off + kFaultSlots, order.size());
+      WordBatch batch;
+      batch.idx.assign(order.begin() + static_cast<std::ptrdiff_t>(off),
+                       order.begin() + static_cast<std::ptrdiff_t>(end));
+      if (config.use_checkpoint) {
+        const std::uint64_t first_strike = packed[batch.idx.front()].event.time_ps;
+        for (std::size_t r = 0; r < ladder.size(); ++r) {
+          if (static_cast<std::uint64_t>(ladder[r].cycle) * period >
+              first_strike) {
+            break;
+          }
+          batch.rung = r + 1;
+        }
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+
+  std::atomic<std::size_t> next_batch{0};
+  const auto run_batches = [&]() {
+    sim::BitParallelSimulator engine(model.netlist);
+    // Scratch scalar engine: receives the (levelized) checkpoint snapshot,
+    // which adopt_golden then broadcasts into all 64 packed lanes.
+    const auto scratch = sim::make_engine(golden_kind, model.netlist);
+    // One scheduled per-slot fault action; merged by time below (stable sort
+    // keeps a SET's force strictly before its same-time release).
+    struct Action {
+      std::uint64_t time_ps;
+      int slot;
+      enum class Kind : std::uint8_t {
+        kSeuFlip,
+        kSetForce,
+        kSetRelease,
+        kMemFlip
+      } kind;
+    };
+    std::vector<Action> actions;
+    for (std::size_t b; (b = next_batch.fetch_add(1)) < batches.size();) {
+      const WordBatch& batch = batches[b];
+      const int nslots = static_cast<int>(batch.idx.size());
+      int cycle = 0;
+      if (batch.rung > 0) {
+        const Checkpoint& c = ladder[batch.rung - 1];
+        scratch->restore_state(*c.state);
+        engine.adopt_golden(*scratch);
+        cycle = c.cycle;
+      } else {
+        engine.reset_state();
+      }
+      // Testbench-constructor equivalent (no-ops when resuming mid-run).
+      engine.set_input(tb_config.clk, Logic::L0);
+      if (tb_config.rstn.valid()) engine.set_input(tb_config.rstn, Logic::L1);
+
+      actions.clear();
+      for (int s = 0; s < nslots; ++s) {
+        const InjectionParams& pj = packed[batch.idx[static_cast<std::size_t>(s)]];
+        const int slot = s + 1;
+        switch (pj.target.kind) {
+          case FaultKind::kSeu:
+            actions.push_back({pj.event.time_ps, slot, Action::Kind::kSeuFlip});
+            break;
+          case FaultKind::kSet:
+            actions.push_back({pj.event.time_ps, slot, Action::Kind::kSetForce});
+            actions.push_back(
+                {pj.event.time_ps +
+                     static_cast<std::uint64_t>(pj.event.set_width_ps),
+                 slot, Action::Kind::kSetRelease});
+            break;
+          case FaultKind::kMemBit:
+            actions.push_back({pj.event.time_ps, slot, Action::Kind::kMemFlip});
+            break;
+        }
+      }
+      std::stable_sort(actions.begin(), actions.end(),
+                       [](const Action& a, const Action& c) {
+                         return a.time_ps < c.time_ps;
+                       });
+      const auto apply = [&](const Action& a) {
+        const InjectionParams& pj =
+            packed[batch.idx[static_cast<std::size_t>(a.slot - 1)]];
+        switch (a.kind) {
+          case Action::Kind::kSeuFlip: {
+            const Logic flipped = netlist::logic_flip(
+                engine.ff_state_slot(pj.target.cell, a.slot));
+            engine.deposit_ff_slot(pj.target.cell, a.slot, flipped);
+            break;
+          }
+          case Action::Kind::kSetForce: {
+            const netlist::NetId victim =
+                model.netlist.cell(pj.target.cell).outputs[0];
+            engine.force_net_slot(
+                victim, a.slot,
+                netlist::logic_flip(engine.value_slot(victim, a.slot)));
+            break;
+          }
+          case Action::Kind::kSetRelease:
+            engine.release_net_slot(
+                model.netlist.cell(pj.target.cell).outputs[0], a.slot);
+            break;
+          case Action::Kind::kMemFlip: {
+            const std::uint64_t old = engine.read_mem_word_slot(
+                pj.target.cell, a.slot, pj.target.word);
+            engine.write_mem_word_slot(
+                pj.target.cell, a.slot, pj.target.word,
+                old ^ (std::uint64_t{1} << pj.target.bit));
+            break;
+          }
+        }
+      };
+
+      const std::uint64_t all_faulty =
+          (nslots >= 63 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << (nslots + 1)) - 1) &
+          ~std::uint64_t{1};
+      std::uint64_t live = all_faulty;
+      std::uint64_t diverged = 0;
+      std::array<std::size_t, 64> mismatch_cycle{};
+      std::size_t ai = 0;
+      for (; cycle < total_cycles && live != 0; ++cycle) {
+        if (batch.rung == 0 && tb_config.rstn.valid()) {
+          if (cycle == 0) engine.set_input(tb_config.rstn, Logic::L0);
+          if (cycle == tb_config.reset_cycles) {
+            engine.set_input(tb_config.rstn, Logic::L1);
+          }
+        }
+        const std::uint64_t start = static_cast<std::uint64_t>(cycle) * period;
+        const std::uint64_t rise = start + period / 2;
+        const std::uint64_t cycle_end = start + period;
+        while (ai < actions.size() && actions[ai].time_ps < rise) {
+          apply(actions[ai++]);
+        }
+        engine.advance_to(rise);
+        // Sample just before the capturing edge and stream-compare every
+        // live slot against the golden trace row.
+        const auto& gold = golden_trace.cycle(static_cast<std::size_t>(cycle));
+        std::uint64_t diff = 0;
+        for (std::size_t j = 0; j < tb_config.monitored.size(); ++j) {
+          const netlist::PackedLogic p =
+              engine.packed_value(tb_config.monitored[j]);
+          const netlist::PackedLogic g = netlist::packed_splat(gold[j]);
+          diff |= (p.val ^ g.val) | (p.unk ^ g.unk);
+        }
+        std::uint64_t newly = diff & live & ~diverged;
+        diverged |= newly;
+        for (; newly != 0; newly &= newly - 1) {
+          mismatch_cycle[static_cast<std::size_t>(std::countr_zero(newly))] =
+              static_cast<std::size_t>(cycle);
+        }
+        // A diverged slot's outcome is fully decided; early exit retires it
+        // immediately (the scalar confirmation window never changes records).
+        if (config.early_exit) live &= ~diverged;
+        engine.set_input(tb_config.clk, Logic::L1);
+        while (ai < actions.size() && actions[ai].time_ps < cycle_end) {
+          apply(actions[ai++]);
+        }
+        engine.advance_to(cycle_end);
+        engine.set_input(tb_config.clk, Logic::L0);
+        if (config.masked_exit && live != 0) {
+          // Slots whose fault has ended and whose lane state provably equals
+          // the golden lane have reconverged: their futures coincide with the
+          // golden run, so they retire (healed SEUs, masked SETs).
+          std::uint64_t cand = 0;
+          for (std::uint64_t rest = live; rest != 0; rest &= rest - 1) {
+            const int s = std::countr_zero(rest);
+            if (cycle_end >
+                packed[batch.idx[static_cast<std::size_t>(s - 1)]].fault_end_ps) {
+              cand |= std::uint64_t{1} << s;
+            }
+          }
+          if (cand != 0) live &= ~(cand & ~engine.state_diff_from_golden());
+        }
+      }
+
+      for (int s = 0; s < nslots; ++s) {
+        const std::size_t i = batch.idx[static_cast<std::size_t>(s)];
+        const int lane = s + 1;
+        InjectionRecord& record = result.records[i];
+        record.event = packed[i].event;
+        record.cluster = plan[i].cluster;
+        record.module_class = model.netlist.cell_class(plan[i].cell);
+        record.soft_error = ((diverged >> lane) & 1) != 0;
+        record.first_mismatch_cycle =
+            record.soft_error ? mismatch_cycle[static_cast<std::size_t>(lane)]
+                              : 0;
+      }
+    }
+  };
+
+  const std::size_t work_items = packed_mode ? batches.size() : plan.size();
   const int requested_threads = config.threads > 0
                                     ? config.threads
                                     : util::ThreadPool::hardware_threads();
   const int workers = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(requested_threads),
-      std::max<std::size_t>(plan.size(), 1)));
+      std::max<std::size_t>(work_items, 1)));
   if (workers <= 1) {
-    run_shard();
+    if (packed_mode) {
+      run_batches();
+    } else {
+      run_shard();
+    }
   } else {
     util::ThreadPool pool(workers);
     std::vector<std::future<void>> shards;
     shards.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) shards.push_back(pool.submit(run_shard));
+    for (int w = 0; w < workers; ++w) {
+      if (packed_mode) {
+        shards.push_back(pool.submit(run_batches));
+      } else {
+        shards.push_back(pool.submit(run_shard));
+      }
+    }
     for (auto& shard : shards) shard.get();
   }
   result.simulation_seconds = sim_timer.seconds();

@@ -11,6 +11,9 @@ namespace ssresf::fi {
 
 /// Configuration of a fault-injection campaign (Sec. III-D of the paper).
 struct CampaignConfig {
+  /// kEvent / kLevelized simulate one injection per run; kBitParallel packs
+  /// up to 63 injections plus a golden slot into each 64-lane word batch
+  /// (records stay byte-identical to kLevelized — same timing model).
   sim::EngineKind engine = sim::EngineKind::kEvent;
   radiation::Environment environment;      // flux + LET
   cluster::ClusteringConfig clustering;    // KN, LN

@@ -2,10 +2,90 @@
 
 #include <algorithm>
 #include <cmath>
+#include <list>
+#include <unordered_map>
 
 #include "util/error.h"
 
 namespace ssresf::ml {
+
+namespace {
+
+/// Memory budget of the Q-matrix row cache. Table-II-sized datasets (a few
+/// hundred to a few thousand samples) fit entirely; larger datasets degrade
+/// to LRU behaviour instead of failing or allocating n^2 doubles.
+constexpr std::size_t kQCacheBytes = std::size_t{64} << 20;
+
+/// LRU cache of Q-matrix rows (row i = K(x_i, x_j) for all j), computed on
+/// demand. Symmetry is exploited on fill: entries whose mirror row is
+/// resident are copied instead of re-evaluated, so a fully resident cache
+/// costs exactly the n(n+1)/2 evaluations of a triangular precompute while
+/// touching rows lazily.
+class QRowCache {
+ public:
+  QRowCache(const Dataset& dataset, const KernelConfig& kernel,
+            std::uint64_t& evals)
+      : dataset_(dataset), kernel_(kernel), evals_(evals) {
+    const std::size_t n = dataset.size();
+    capacity_ = std::clamp<std::size_t>(
+        kQCacheBytes / (n * sizeof(double)), 2, n);
+    resident_.assign(n, nullptr);
+    diag_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      diag_[i] = kernel_eval(kernel_, dataset_.row(i), dataset_.row(i));
+      ++evals_;
+    }
+  }
+
+  [[nodiscard]] double diag(std::size_t i) const { return diag_[i]; }
+
+  /// Reference stays valid until at least one more row() call has completed
+  /// after the next one (capacity >= 2: the two most recent rows coexist).
+  const std::vector<double>& row(std::size_t i) {
+    if (auto it = index_.find(i); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    const std::size_t n = dataset_.size();
+    if (lru_.size() >= capacity_) {
+      // Recycle the least-recently-used row's storage.
+      const std::size_t evicted = lru_.back().first;
+      index_.erase(evicted);
+      resident_[evicted] = nullptr;
+      lru_.splice(lru_.begin(), lru_, std::prev(lru_.end()));
+      lru_.front().first = i;
+    } else {
+      lru_.emplace_front(i, std::vector<double>(n));
+    }
+    std::vector<double>& row = lru_.front().second;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        row[j] = diag_[i];
+      } else if (resident_[j] != nullptr) {
+        row[j] = (*resident_[j])[i];  // K is symmetric
+      } else {
+        row[j] = kernel_eval(kernel_, dataset_.row(i), dataset_.row(j));
+        ++evals_;
+      }
+    }
+    index_[i] = lru_.begin();
+    resident_[i] = &row;
+    return row;
+  }
+
+ private:
+  using RowList = std::list<std::pair<std::size_t, std::vector<double>>>;
+  const Dataset& dataset_;
+  const KernelConfig& kernel_;
+  std::uint64_t& evals_;
+  std::size_t capacity_ = 2;
+  std::vector<double> diag_;
+  std::vector<const std::vector<double>*> resident_;  // null when not cached
+  RowList lru_;
+  std::unordered_map<std::size_t, RowList::iterator> index_;
+};
+
+}  // namespace
 
 double kernel_eval(const KernelConfig& kernel, std::span<const double> a,
                    std::span<const double> b) {
@@ -35,6 +115,7 @@ double kernel_eval(const KernelConfig& kernel, std::span<const double> a,
 
 void SvmClassifier::train(const Dataset& dataset) {
   const std::size_t n = dataset.size();
+  kernel_evals_ = 0;
   if (n == 0) throw InvalidArgument("SVM needs at least one sample");
   if (dataset.count_label(1) == 0 || dataset.count_label(-1) == 0) {
     // Single-class dataset (e.g. a campaign that observed no soft errors):
@@ -47,16 +128,7 @@ void SvmClassifier::train(const Dataset& dataset) {
   }
   if (n < 2) throw InvalidArgument("SVM needs at least two samples");
 
-  // Full kernel matrix cache (n is at most a few thousand in SSRESF).
-  if (n > 8192) throw InvalidArgument("dataset too large for the kernel cache");
-  std::vector<double> k(n * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double v = kernel_eval(config_.kernel, dataset.row(i), dataset.row(j));
-      k[i * n + j] = v;
-      k[j * n + i] = v;
-    }
-  }
+  QRowCache cache(dataset, config_.kernel, kernel_evals_);
   const auto y = [&](std::size_t i) {
     return static_cast<double>(dataset.label(i));
   };
@@ -67,10 +139,11 @@ void SvmClassifier::train(const Dataset& dataset) {
   const double tol = config_.tolerance;
   util::Rng rng(config_.seed);
 
-  auto f = [&](std::size_t i) {
+  // f(i) consumes the whole Q-row i; k_i[j] == K(x_i, x_j) by symmetry.
+  auto f = [&](std::size_t i, const std::vector<double>& k_i) {
     double sum = b;
     for (std::size_t j = 0; j < n; ++j) {
-      if (alpha[j] != 0.0) sum += alpha[j] * y(j) * k[j * n + i];
+      if (alpha[j] != 0.0) sum += alpha[j] * y(j) * k_i[j];
     }
     return sum;
   };
@@ -81,13 +154,16 @@ void SvmClassifier::train(const Dataset& dataset) {
     int changed = 0;
     for (std::size_t i = 0; i < n && iterations < config_.max_iterations; ++i) {
       ++iterations;
-      const double ei = f(i) - y(i);
+      const double ei = f(i, cache.row(i)) - y(i);
       const bool violates = (y(i) * ei < -tol && alpha[i] < c) ||
                             (y(i) * ei > tol && alpha[i] > 0);
       if (!violates) continue;
       std::size_t j = static_cast<std::size_t>(rng.below(n - 1));
       if (j >= i) ++j;
-      const double ej = f(j) - y(j);
+      // Fetch row j first, then re-reference row i: the two most recent
+      // rows are guaranteed resident together (cache capacity >= 2).
+      const double ej = f(j, cache.row(j)) - y(j);
+      const std::vector<double>& k_i = cache.row(i);
       const double ai_old = alpha[i];
       const double aj_old = alpha[j];
       double lo;
@@ -100,7 +176,8 @@ void SvmClassifier::train(const Dataset& dataset) {
         hi = std::min(c, ai_old + aj_old);
       }
       if (lo >= hi) continue;
-      const double eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      const double k_ij = k_i[j];
+      const double eta = 2.0 * k_ij - cache.diag(i) - cache.diag(j);
       if (eta >= 0) continue;
       double aj = aj_old - y(j) * (ei - ej) / eta;
       aj = std::clamp(aj, lo, hi);
@@ -108,10 +185,10 @@ void SvmClassifier::train(const Dataset& dataset) {
       const double ai = ai_old + y(i) * y(j) * (aj_old - aj);
       alpha[i] = ai;
       alpha[j] = aj;
-      const double b1 = b - ei - y(i) * (ai - ai_old) * k[i * n + i] -
-                        y(j) * (aj - aj_old) * k[i * n + j];
-      const double b2 = b - ej - y(i) * (ai - ai_old) * k[i * n + j] -
-                        y(j) * (aj - aj_old) * k[j * n + j];
+      const double b1 = b - ei - y(i) * (ai - ai_old) * cache.diag(i) -
+                        y(j) * (aj - aj_old) * k_ij;
+      const double b2 = b - ej - y(i) * (ai - ai_old) * k_ij -
+                        y(j) * (aj - aj_old) * cache.diag(j);
       if (ai > 0 && ai < c) {
         b = b1;
       } else if (aj > 0 && aj < c) {

@@ -132,4 +132,59 @@ Logic eval_cell(CellKind kind, std::span<const Logic> in) {
   throw InvalidArgument("eval_cell: unknown cell kind");
 }
 
+PackedLogic eval_cell_packed(CellKind kind, std::span<const PackedLogic> in) {
+  switch (kind) {
+    case CellKind::kConst0:
+      return packed_splat(Logic::L0);
+    case CellKind::kConst1:
+      return packed_splat(Logic::L1);
+    case CellKind::kBuf:
+      return packed_not(packed_not(in[0]));
+    case CellKind::kInv:
+      return packed_not(in[0]);
+    case CellKind::kAnd2:
+      return packed_and(in[0], in[1]);
+    case CellKind::kAnd3:
+      return packed_and(packed_and(in[0], in[1]), in[2]);
+    case CellKind::kAnd4:
+      return packed_and(packed_and(in[0], in[1]), packed_and(in[2], in[3]));
+    case CellKind::kNand2:
+      return packed_not(packed_and(in[0], in[1]));
+    case CellKind::kNand3:
+      return packed_not(packed_and(packed_and(in[0], in[1]), in[2]));
+    case CellKind::kNand4:
+      return packed_not(
+          packed_and(packed_and(in[0], in[1]), packed_and(in[2], in[3])));
+    case CellKind::kOr2:
+      return packed_or(in[0], in[1]);
+    case CellKind::kOr3:
+      return packed_or(packed_or(in[0], in[1]), in[2]);
+    case CellKind::kOr4:
+      return packed_or(packed_or(in[0], in[1]), packed_or(in[2], in[3]));
+    case CellKind::kNor2:
+      return packed_not(packed_or(in[0], in[1]));
+    case CellKind::kNor3:
+      return packed_not(packed_or(packed_or(in[0], in[1]), in[2]));
+    case CellKind::kNor4:
+      return packed_not(
+          packed_or(packed_or(in[0], in[1]), packed_or(in[2], in[3])));
+    case CellKind::kXor2:
+      return packed_xor(in[0], in[1]);
+    case CellKind::kXnor2:
+      return packed_not(packed_xor(in[0], in[1]));
+    case CellKind::kMux2:
+      return packed_mux(in[0], in[1], in[2]);
+    case CellKind::kAoi21:
+      return packed_not(packed_or(packed_and(in[0], in[1]), in[2]));
+    case CellKind::kOai21:
+      return packed_not(packed_and(packed_or(in[0], in[1]), in[2]));
+    case CellKind::kDff:
+    case CellKind::kDffR:
+    case CellKind::kDffE:
+    case CellKind::kMemory:
+      throw InvalidArgument("eval_cell_packed called on sequential cell");
+  }
+  throw InvalidArgument("eval_cell_packed: unknown cell kind");
+}
+
 }  // namespace ssresf::netlist

@@ -76,4 +76,10 @@ struct CellSpec {
 /// is combinational and `inputs.size() == spec(kind).num_inputs`.
 [[nodiscard]] Logic eval_cell(CellKind kind, std::span<const Logic> inputs);
 
+/// Word-parallel variant of eval_cell: evaluates all 64 lanes of the packed
+/// inputs at once. Lane-wise identical to eval_cell (the bit-parallel engine
+/// and its equivalence tests rely on this).
+[[nodiscard]] PackedLogic eval_cell_packed(CellKind kind,
+                                           std::span<const PackedLogic> inputs);
+
 }  // namespace ssresf::netlist

@@ -94,4 +94,105 @@ enum class Logic : std::uint8_t { L0 = 0, L1 = 1, X = 2, Z = 3 };
 /// Inverts known values, maps unknowns to X. Used by SEU/SET fault models.
 [[nodiscard]] constexpr Logic logic_flip(Logic v) { return logic_not(v); }
 
+// --- bit-parallel packed logic ------------------------------------------------
+//
+// 64 independent 4-valued lanes in two bit-planes (PROOFS/HOPE-style
+// word-parallel simulation). Lane encoding, chosen so that the value plane of
+// a fully known word is directly usable as a machine word:
+//
+//   L0 = (val 0, unk 0)    L1 = (val 1, unk 0)
+//   X  = (val 0, unk 1)    Z  = (val 1, unk 1)
+//
+// Every packed operator below evaluates all 64 lanes branch-free and agrees
+// lane-wise with its scalar logic_* counterpart (asserted exhaustively in
+// tests/test_bitparallel.cpp). The bit-parallel engine simulates one golden
+// slot plus up to 63 faulty runs per word with these.
+struct PackedLogic {
+  std::uint64_t val = 0;
+  std::uint64_t unk = 0;
+
+  [[nodiscard]] constexpr bool operator==(const PackedLogic&) const = default;
+};
+
+/// Broadcast one scalar value to all 64 lanes.
+[[nodiscard]] constexpr PackedLogic packed_splat(Logic v) {
+  const auto bits = static_cast<std::uint8_t>(v);
+  return {bits & 1 ? ~std::uint64_t{0} : 0, bits & 2 ? ~std::uint64_t{0} : 0};
+}
+
+[[nodiscard]] constexpr Logic packed_get(PackedLogic p, int lane) {
+  return static_cast<Logic>(((p.val >> lane) & 1) | (((p.unk >> lane) & 1) << 1));
+}
+
+constexpr void packed_set(PackedLogic& p, int lane, Logic v) {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  const auto bits = static_cast<std::uint8_t>(v);
+  p.val = (p.val & ~bit) | (bits & 1 ? bit : 0);
+  p.unk = (p.unk & ~bit) | (bits & 2 ? bit : 0);
+}
+
+/// Lanes in `mask` take `b`'s value, the rest keep `a`'s.
+[[nodiscard]] constexpr PackedLogic packed_select(std::uint64_t mask,
+                                                  PackedLogic b, PackedLogic a) {
+  return {(a.val & ~mask) | (b.val & mask), (a.unk & ~mask) | (b.unk & mask)};
+}
+
+/// Mask of lanes where the two words hold the same 4-valued symbol.
+[[nodiscard]] constexpr std::uint64_t packed_eq_mask(PackedLogic a,
+                                                     PackedLogic b) {
+  return ~((a.val ^ b.val) | (a.unk ^ b.unk));
+}
+
+/// Mask of lanes holding a known (0/1) value.
+[[nodiscard]] constexpr std::uint64_t packed_known_mask(PackedLogic a) {
+  return ~a.unk;
+}
+
+/// Z reads as X at a gate input (clears the value bit of unknown lanes).
+[[nodiscard]] constexpr PackedLogic packed_as_input(PackedLogic a) {
+  return {a.val & ~a.unk, a.unk};
+}
+
+[[nodiscard]] constexpr PackedLogic packed_not(PackedLogic a) {
+  const std::uint64_t av = a.val & ~a.unk;
+  return {~av & ~a.unk, a.unk};
+}
+
+[[nodiscard]] constexpr PackedLogic packed_and(PackedLogic a, PackedLogic b) {
+  const std::uint64_t av = a.val & ~a.unk;
+  const std::uint64_t bv = b.val & ~b.unk;
+  // A known 0 on either input dominates any unknown on the other.
+  const std::uint64_t known0 = (~a.val & ~a.unk) | (~b.val & ~b.unk);
+  return {av & bv, (a.unk | b.unk) & ~known0};
+}
+
+[[nodiscard]] constexpr PackedLogic packed_or(PackedLogic a, PackedLogic b) {
+  const std::uint64_t av = a.val & ~a.unk;
+  const std::uint64_t bv = b.val & ~b.unk;
+  const std::uint64_t known1 = av | bv;
+  return {known1, (a.unk | b.unk) & ~known1};
+}
+
+[[nodiscard]] constexpr PackedLogic packed_xor(PackedLogic a, PackedLogic b) {
+  const std::uint64_t unk = a.unk | b.unk;
+  return {((a.val & ~a.unk) ^ (b.val & ~b.unk)) & ~unk, unk};
+}
+
+/// Packed 2:1 mux with the same X-pessimism relaxation as logic_mux.
+[[nodiscard]] constexpr PackedLogic packed_mux(PackedLogic sel, PackedLogic a0,
+                                               PackedLogic a1) {
+  const std::uint64_t s1 = sel.val & ~sel.unk;
+  const std::uint64_t s0 = ~sel.val & ~sel.unk;
+  const std::uint64_t a0v = a0.val & ~a0.unk;
+  const std::uint64_t a1v = a1.val & ~a1.unk;
+  const std::uint64_t agree = ~a0.unk & ~a1.unk & ~(a0v ^ a1v);
+  return {(s0 & a0v) | (s1 & a1v) | (sel.unk & agree & a0v),
+          (s0 & a0.unk) | (s1 & a1.unk) | (sel.unk & ~agree)};
+}
+
+/// Packed SEU/SET flip: inverts known lanes, maps unknown lanes to X.
+[[nodiscard]] constexpr PackedLogic packed_flip(PackedLogic a) {
+  return packed_not(a);
+}
+
 }  // namespace ssresf::netlist

@@ -1,0 +1,613 @@
+#include "sim/bit_parallel_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "sim/levelized_sim.h"
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+using netlist::Cell;
+using netlist::CellKind;
+using netlist::eval_cell_packed;
+using netlist::is_flip_flop;
+using netlist::MemoryInfo;
+using netlist::packed_as_input;
+using netlist::packed_eq_mask;
+using netlist::packed_get;
+using netlist::packed_not;
+using netlist::packed_select;
+using netlist::packed_set;
+using netlist::packed_splat;
+
+namespace {
+
+/// All-ones when bit 0 of x is set (broadcast of the golden lane's bit).
+[[nodiscard]] constexpr std::uint64_t splat_lane0(std::uint64_t x) {
+  return std::uint64_t{0} - (x & 1);
+}
+
+/// Lanes whose symbol differs from lane 0's symbol.
+[[nodiscard]] constexpr std::uint64_t plane_nonuniform(PackedLogic p) {
+  return (p.val ^ splat_lane0(p.val)) | (p.unk ^ splat_lane0(p.unk));
+}
+
+}  // namespace
+
+BitParallelSimulator::BitParallelSimulator(const Netlist& netlist)
+    : netlist_(netlist) {
+  if (!netlist.finalized()) {
+    throw InvalidArgument("BitParallelSimulator requires a finalized netlist");
+  }
+  // Settling in the exact levelized order is what keeps every lane
+  // bit-identical to a scalar levelized run.
+  eval_order_ = levelized_eval_order(netlist_);
+  // Clock nets: primary inputs connected to any CK/CLK pin (same single
+  // clock-domain model as the levelized engine).
+  is_clock_net_.assign(netlist_.num_nets(), 0);
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (is_flip_flop(cell.kind)) {
+      is_clock_net_[cell.inputs[1].index()] = 1;
+      seq_cells_.push_back(id);
+      if (cell.kind != CellKind::kDff) reset_ffs_.push_back(id);
+    } else if (cell.kind == CellKind::kMemory) {
+      is_clock_net_[cell.inputs[0].index()] = 1;
+      seq_cells_.push_back(id);
+    }
+  }
+  ff_next_.resize(netlist_.num_cells());
+  reset_state();
+}
+
+void BitParallelSimulator::reset_state() {
+  now_ = 0;
+  evals_ = 0;
+  driven_.assign(netlist_.num_nets(), packed_splat(Logic::X));
+  forced_val_.assign(netlist_.num_nets(), packed_splat(Logic::X));
+  forced_.assign(netlist_.num_nets(), 0);
+  forced_nets_.clear();
+  ff_q_.assign(netlist_.num_cells(), packed_splat(Logic::X));
+  mems_.clear();
+  mem_dirty_.clear();
+  for (const CellId id : netlist_.all_cells()) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind == CellKind::kMemory) {
+      const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+      const auto m = static_cast<std::size_t>(cell.memory_index);
+      if (mems_.size() <= m) {
+        mems_.resize(m + 1);
+        mem_dirty_.resize(m + 1, 0);
+      }
+      auto& array = mems_[m];
+      array.assign(static_cast<std::size_t>(kSlots) * mi.words, 0);
+      if (!mi.init.empty()) {
+        for (int lane = 0; lane < kSlots; ++lane) {
+          std::copy(mi.init.begin(), mi.init.end(),
+                    array.begin() + static_cast<std::ptrdiff_t>(
+                                        static_cast<std::size_t>(lane) * mi.words));
+        }
+      }
+      mem_dirty_[m] = 0;
+    } else if (cell.kind == CellKind::kConst0) {
+      driven_[cell.outputs[0].index()] = packed_splat(Logic::L0);
+    } else if (cell.kind == CellKind::kConst1) {
+      driven_[cell.outputs[0].index()] = packed_splat(Logic::L1);
+    }
+  }
+  settle();
+}
+
+struct BitParallelSimulator::State final : EngineState {
+  std::uint64_t now = 0;
+  std::uint64_t evals = 0;
+  std::vector<PackedLogic> driven;
+  std::vector<PackedLogic> forced_val;
+  std::vector<std::uint64_t> forced;
+  std::vector<std::uint32_t> forced_nets;
+  std::vector<PackedLogic> ff_q;
+  std::vector<std::vector<std::uint64_t>> mems;
+  std::vector<std::uint64_t> mem_dirty;
+};
+
+std::unique_ptr<EngineState> BitParallelSimulator::save_state() const {
+  auto state = std::make_unique<State>();
+  state->now = now_;
+  state->evals = evals_;
+  state->driven = driven_;
+  state->forced_val = forced_val_;
+  state->forced = forced_;
+  state->forced_nets = forced_nets_;
+  state->ff_q = ff_q_;
+  state->mems = mems_;
+  state->mem_dirty = mem_dirty_;
+  return state;
+}
+
+void BitParallelSimulator::restore_state(const EngineState& state) {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) {
+    throw InvalidArgument(
+        "restore_state: snapshot is not a bit-parallel-engine state");
+  }
+  if (s->driven.size() != netlist_.num_nets() ||
+      s->ff_q.size() != netlist_.num_cells()) {
+    throw InvalidArgument("restore_state: snapshot from a different design");
+  }
+  now_ = s->now;
+  evals_ = s->evals;
+  driven_ = s->driven;
+  forced_val_ = s->forced_val;
+  forced_ = s->forced;
+  forced_nets_ = s->forced_nets;
+  ff_q_ = s->ff_q;
+  mems_ = s->mems;
+  mem_dirty_ = s->mem_dirty;
+}
+
+bool BitParallelSimulator::state_matches(const EngineState& state) const {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) return false;
+  if (now_ != s->now || driven_ != s->driven || ff_q_ != s->ff_q ||
+      forced_ != s->forced || mems_ != s->mems) {
+    return false;
+  }
+  // Forced overlay values matter only on lanes where a force is active.
+  for (std::size_t n = 0; n < forced_.size(); ++n) {
+    const std::uint64_t mask = forced_[n];
+    if (mask == 0) continue;
+    const PackedLogic a = forced_val_[n];
+    const PackedLogic b = s->forced_val[n];
+    if (((a.val ^ b.val) | (a.unk ^ b.unk)) & mask) return false;
+  }
+  return true;
+}
+
+PackedLogic BitParallelSimulator::effective(NetId net) const {
+  const auto n = net.index();
+  const std::uint64_t m = forced_[n];
+  const PackedLogic d = driven_[n];
+  if (m == 0) return d;
+  const PackedLogic f = forced_val_[n];
+  return {(d.val & ~m) | (f.val & m), (d.unk & ~m) | (f.unk & m)};
+}
+
+void BitParallelSimulator::write_net(NetId net, PackedLogic v) {
+  const auto n = net.index();
+  PackedLogic& cur = driven_[n];
+  if (cur == v) return;
+  const bool lane0_changed = (((cur.val ^ v.val) | (cur.unk ^ v.unk)) & 1) != 0;
+  cur = v;
+  // The observer sees the golden slot only (per-slot VCD is meaningless).
+  if (has_observer_ && lane0_changed && (forced_[n] & 1) == 0) {
+    observer_(net, now_, packed_get(v, 0));
+  }
+}
+
+void BitParallelSimulator::note_forced(NetId net) {
+  forced_nets_.push_back(static_cast<std::uint32_t>(net.index()));
+}
+
+void BitParallelSimulator::read_memory(const Cell& cell) {
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  const auto m = static_cast<std::size_t>(cell.memory_index);
+  const std::uint64_t words = mi.words;
+  const auto& array = mems_[m];
+
+  std::array<PackedLogic, 64> addr_planes;
+  std::uint64_t unk_lanes = 0;
+  std::uint64_t nonuni = mem_dirty_[m];
+  for (int i = 0; i < mi.addr_bits; ++i) {
+    const PackedLogic p = packed_as_input(effective(cell.inputs[3u + i]));
+    addr_planes[static_cast<std::size_t>(i)] = p;
+    unk_lanes |= p.unk;
+    nonuni |= plane_nonuniform(p);
+  }
+  auto lane_addr = [&](int l, bool& ok) {
+    std::uint64_t addr = 0;
+    if ((unk_lanes >> l) & 1) {
+      ok = false;
+      return addr;
+    }
+    for (int i = 0; i < mi.addr_bits; ++i) {
+      addr |= ((addr_planes[static_cast<std::size_t>(i)].val >> l) & 1)
+              << i;
+    }
+    ok = addr < words;
+    return addr;
+  };
+
+  // Fast path: decode the golden lane once and broadcast, then patch only
+  // lanes whose address or array contents may differ from lane 0.
+  std::array<std::uint64_t, 64> val_p{};
+  std::array<std::uint64_t, 64> unk_p{};
+  bool ok0 = false;
+  const std::uint64_t addr0 = lane_addr(0, ok0);
+  const std::uint64_t word0 = ok0 ? array[addr0] : 0;
+  for (int b = 0; b < mi.width; ++b) {
+    if (ok0) {
+      val_p[static_cast<std::size_t>(b)] =
+          (word0 >> b) & 1 ? ~std::uint64_t{0} : 0;
+    } else {
+      unk_p[static_cast<std::size_t>(b)] = ~std::uint64_t{0};
+    }
+  }
+  for (std::uint64_t rest = nonuni & ~std::uint64_t{1}; rest != 0;
+       rest &= rest - 1) {
+    const int l = std::countr_zero(rest);
+    bool ok = false;
+    const std::uint64_t addr = lane_addr(l, ok);
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    const std::uint64_t word =
+        ok ? array[static_cast<std::size_t>(l) * words + addr] : 0;
+    for (int b = 0; b < mi.width; ++b) {
+      const auto bi = static_cast<std::size_t>(b);
+      if (ok) {
+        val_p[bi] = (val_p[bi] & ~bit) | ((word >> b) & 1 ? bit : 0);
+        unk_p[bi] &= ~bit;
+      } else {
+        val_p[bi] &= ~bit;
+        unk_p[bi] |= bit;
+      }
+    }
+  }
+  for (int b = 0; b < mi.width; ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    write_net(cell.outputs[bi], {val_p[bi], unk_p[bi]});
+  }
+}
+
+void BitParallelSimulator::settle() {
+  // Asynchronous reset acts level-sensitively, independent of the clock.
+  for (const CellId id : reset_ffs_) {
+    const Cell& cell = netlist_.cell(id);
+    const PackedLogic rn = packed_as_input(effective(cell.inputs[2]));
+    const PackedLogic q = ff_q_[id.index()];
+    const std::uint64_t rn0 = ~rn.val & ~rn.unk;
+    const std::uint64_t q_is0 = ~q.val & ~q.unk;
+    const std::uint64_t q_isx = q.unk & ~q.val;
+    const std::uint64_t to0 = rn0 & ~q_is0;
+    const std::uint64_t tox = rn.unk & ~q_is0 & ~q_isx;
+    if ((to0 | tox) == 0) continue;
+    const PackedLogic nq{q.val & ~(to0 | tox), (q.unk & ~to0) | tox};
+    ff_q_[id.index()] = nq;
+    write_net(cell.outputs[0], nq);
+    write_net(cell.outputs[1], packed_not(nq));
+  }
+  PackedLogic ins[4];
+  for (const CellId id : eval_order_) {
+    const Cell& cell = netlist_.cell(id);
+    ++evals_;
+    if (cell.kind == CellKind::kMemory) {
+      read_memory(cell);
+      continue;
+    }
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      ins[i] = effective(cell.inputs[i]);
+    }
+    write_net(cell.outputs[0],
+              eval_cell_packed(cell.kind, std::span<const PackedLogic>(
+                                              ins, cell.inputs.size())));
+  }
+}
+
+void BitParallelSimulator::clock_edge(std::uint64_t capture_mask) {
+  settle();  // make sure D pins are current
+
+  // Capture phase: compute every flip-flop's next state from the pre-edge
+  // values (nonblocking assignment semantics), lane-wise. Lanes outside
+  // capture_mask (clock forced in that slot) hold their state.
+  for (const CellId id : seq_cells_) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind == CellKind::kMemory) continue;
+    const PackedLogic q = ff_q_[id.index()];
+    const PackedLogic d = packed_as_input(effective(cell.inputs[0]));
+    PackedLogic nq = d;
+    if (cell.kind == CellKind::kDffE) {
+      const PackedLogic en = packed_as_input(effective(cell.inputs[3]));
+      const std::uint64_t en1 = en.val;  // known 1 (val plane is normalized)
+      const std::uint64_t en0 = ~en.val & ~en.unk;
+      const std::uint64_t neq = ~packed_eq_mask(d, q);
+      const std::uint64_t tox = en.unk & neq;
+      const std::uint64_t keep = en0 | (en.unk & ~neq);
+      nq.val = (en1 & d.val) | (keep & q.val);
+      nq.unk = (en1 & d.unk) | (keep & q.unk) | tox;
+    }
+    if (cell.kind != CellKind::kDff) {
+      const PackedLogic rn = packed_as_input(effective(cell.inputs[2]));
+      const std::uint64_t rn1 = rn.val;
+      const std::uint64_t q_is0 = ~q.val & ~q.unk;
+      const std::uint64_t tox = rn.unk & ~q_is0;
+      // rn known-0 lanes and (rn X, q already 0) lanes resolve to L0.
+      nq.val = rn1 & nq.val;
+      nq.unk = (rn1 & nq.unk) | tox;
+    }
+    ff_next_[id.index()] = packed_select(capture_mask, nq, q);
+  }
+
+  // Memory write ports, from pre-edge values. Commit is safe before the FF
+  // commit: arrays are only consumed by the settle below.
+  const std::uint64_t capture_nonuni =
+      capture_mask ^ splat_lane0(capture_mask);
+  for (const CellId id : seq_cells_) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind != CellKind::kMemory) continue;
+    const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+    const auto m = static_cast<std::size_t>(cell.memory_index);
+    const std::uint64_t words = mi.words;
+    auto& array = mems_[m];
+
+    const PackedLogic en = packed_as_input(effective(cell.inputs[1]));
+    const PackedLogic we = packed_as_input(effective(cell.inputs[2]));
+    std::array<PackedLogic, 64> waddr;
+    std::array<PackedLogic, 64> wdata;
+    std::uint64_t nonuni = mem_dirty_[m] | capture_nonuni |
+                           plane_nonuniform(en) | plane_nonuniform(we);
+    for (int i = 0; i < mi.addr_bits; ++i) {
+      const PackedLogic p =
+          packed_as_input(effective(cell.inputs[3u + mi.addr_bits + i]));
+      waddr[static_cast<std::size_t>(i)] = p;
+      nonuni |= plane_nonuniform(p);
+    }
+    for (int i = 0; i < mi.width; ++i) {
+      const PackedLogic p =
+          packed_as_input(effective(cell.inputs[3u + 2u * mi.addr_bits + i]));
+      wdata[static_cast<std::size_t>(i)] = p;
+      nonuni |= plane_nonuniform(p);
+    }
+
+    // Scalar write condition, per lane: EN and WE known 1, address and data
+    // fully known, address in range.
+    auto lane_write = [&](int l, std::uint64_t& addr, std::uint64_t& word) {
+      if (!((capture_mask >> l) & 1)) return false;
+      if (!((en.val >> l) & 1) || !((we.val >> l) & 1)) return false;
+      addr = 0;
+      for (int i = 0; i < mi.addr_bits; ++i) {
+        const PackedLogic p = waddr[static_cast<std::size_t>(i)];
+        if ((p.unk >> l) & 1) return false;
+        addr |= ((p.val >> l) & 1) << i;
+      }
+      if (addr >= words) return false;
+      word = 0;
+      for (int i = 0; i < mi.width; ++i) {
+        const PackedLogic p = wdata[static_cast<std::size_t>(i)];
+        if ((p.unk >> l) & 1) return false;
+        word |= ((p.val >> l) & 1) << i;
+      }
+      return true;
+    };
+
+    std::uint64_t addr0 = 0;
+    std::uint64_t word0 = 0;
+    const bool w0 = lane_write(0, addr0, word0);
+    // Lanes outside nonuni provably behave like lane 0.
+    if (w0) {
+      for (int l = 0; l < kSlots; ++l) {
+        if (!((nonuni >> l) & 1)) {
+          array[static_cast<std::size_t>(l) * words + addr0] = word0;
+        }
+      }
+    }
+    for (std::uint64_t rest = nonuni & ~std::uint64_t{1}; rest != 0;
+         rest &= rest - 1) {
+      const int l = std::countr_zero(rest);
+      std::uint64_t addr = 0;
+      std::uint64_t word = 0;
+      const bool w = lane_write(l, addr, word);
+      if (w) array[static_cast<std::size_t>(l) * words + addr] = word;
+      if (w != w0 || (w && (addr != addr0 || word != word0))) {
+        mem_dirty_[m] |= std::uint64_t{1} << l;
+      }
+    }
+  }
+
+  // Commit flip-flops and propagate Q/QN.
+  for (const CellId id : seq_cells_) {
+    const Cell& cell = netlist_.cell(id);
+    if (cell.kind == CellKind::kMemory) continue;
+    const PackedLogic fin = ff_next_[id.index()];
+    if (fin == ff_q_[id.index()]) continue;
+    ff_q_[id.index()] = fin;
+    write_net(cell.outputs[0], fin);
+    write_net(cell.outputs[1], packed_not(fin));
+  }
+
+  settle();  // propagate the new state
+}
+
+void BitParallelSimulator::set_input(NetId net, Logic v) {
+  if (!netlist_.net(net).is_primary_input) {
+    throw InvalidArgument("set_input on non-primary-input net");
+  }
+  const auto n = net.index();
+  const PackedLogic pv = packed_splat(v);
+  const PackedLogic old = driven_[n];
+  if (old == pv) return;
+  driven_[n] = pv;
+  if (is_clock_net_[n] != 0 && packed_get(old, 0) == Logic::L0 &&
+      v == Logic::L1) {
+    // Lanes forcing the clock net see no edge, exactly like the scalar
+    // engine with a forced clock.
+    const std::uint64_t capture = ~forced_[n];
+    if (capture != 0) {
+      clock_edge(capture);
+      return;
+    }
+  }
+  settle();
+}
+
+void BitParallelSimulator::advance_to(std::uint64_t time_ps) {
+  now_ = std::max(now_, time_ps);
+}
+
+void BitParallelSimulator::force_net(NetId net, Logic v) {
+  const auto n = net.index();
+  if (forced_[n] == 0) note_forced(net);
+  forced_[n] = ~std::uint64_t{0};
+  forced_val_[n] = packed_splat(v);
+  settle();
+}
+
+void BitParallelSimulator::release_net(NetId net) {
+  if (forced_[net.index()] == 0) return;
+  forced_[net.index()] = 0;
+  settle();
+}
+
+void BitParallelSimulator::force_net_slot(NetId net, int slot, Logic v) {
+  const auto n = net.index();
+  if (forced_[n] == 0) note_forced(net);
+  forced_[n] |= std::uint64_t{1} << slot;
+  packed_set(forced_val_[n], slot, v);
+  settle();
+}
+
+void BitParallelSimulator::release_net_slot(NetId net, int slot) {
+  const auto n = net.index();
+  const std::uint64_t bit = std::uint64_t{1} << slot;
+  if ((forced_[n] & bit) == 0) return;
+  forced_[n] &= ~bit;
+  settle();
+}
+
+void BitParallelSimulator::deposit_ff(CellId ff, Logic q) {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("deposit_ff on non-flip-flop cell");
+  }
+  ff_q_[ff.index()] = packed_splat(q);
+  write_net(cell.outputs[0], ff_q_[ff.index()]);
+  write_net(cell.outputs[1], packed_not(ff_q_[ff.index()]));
+  settle();
+}
+
+void BitParallelSimulator::deposit_ff_slot(CellId ff, int slot, Logic q) {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("deposit_ff on non-flip-flop cell");
+  }
+  packed_set(ff_q_[ff.index()], slot, q);
+  write_net(cell.outputs[0], ff_q_[ff.index()]);
+  write_net(cell.outputs[1], packed_not(ff_q_[ff.index()]));
+  settle();
+}
+
+Logic BitParallelSimulator::ff_state(CellId ff) const {
+  return ff_state_slot(ff, 0);
+}
+
+Logic BitParallelSimulator::ff_state_slot(CellId ff, int slot) const {
+  const Cell& cell = netlist_.cell(ff);
+  if (!is_flip_flop(cell.kind)) {
+    throw InvalidArgument("ff_state on non-flip-flop cell");
+  }
+  return packed_get(ff_q_[ff.index()], slot);
+}
+
+void BitParallelSimulator::write_mem_word(CellId mem, std::uint32_t word,
+                                          std::uint64_t v) {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("write_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  auto& array = mems_[static_cast<std::size_t>(cell.memory_index)];
+  for (int lane = 0; lane < kSlots; ++lane) {
+    array[static_cast<std::size_t>(lane) * mi.words + word] = v;
+  }
+  settle();
+}
+
+void BitParallelSimulator::write_mem_word_slot(CellId mem, int slot,
+                                               std::uint32_t word,
+                                               std::uint64_t v) {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("write_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  const auto m = static_cast<std::size_t>(cell.memory_index);
+  mems_[m][static_cast<std::size_t>(slot) * mi.words + word] = v;
+  // A golden-lane write diverges every other lane instead.
+  mem_dirty_[m] |= slot == 0 ? ~std::uint64_t{1} : std::uint64_t{1} << slot;
+  settle();
+}
+
+std::uint64_t BitParallelSimulator::read_mem_word(CellId mem,
+                                                  std::uint32_t word) const {
+  return read_mem_word_slot(mem, 0, word);
+}
+
+std::uint64_t BitParallelSimulator::read_mem_word_slot(
+    CellId mem, int slot, std::uint32_t word) const {
+  const Cell& cell = netlist_.cell(mem);
+  if (cell.kind != CellKind::kMemory) {
+    throw InvalidArgument("read_mem_word on non-memory cell");
+  }
+  const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+  if (word >= mi.words) throw InvalidArgument("memory word out of range");
+  return mems_[static_cast<std::size_t>(cell.memory_index)]
+              [static_cast<std::size_t>(slot) * mi.words + word];
+}
+
+void BitParallelSimulator::adopt_golden(const Engine& golden) {
+  if (&golden.design() != &netlist_) {
+    throw InvalidArgument("adopt_golden: engine built over a different design");
+  }
+  now_ = golden.now();
+  const std::size_t num_nets = netlist_.num_nets();
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    driven_[n] = packed_splat(golden.value(NetId{static_cast<std::uint32_t>(n)}));
+  }
+  std::fill(forced_.begin(), forced_.end(), 0);
+  forced_nets_.clear();
+  std::vector<std::uint64_t> scratch;
+  for (const CellId id : seq_cells_) {
+    const Cell& cell = netlist_.cell(id);
+    if (is_flip_flop(cell.kind)) {
+      ff_q_[id.index()] = packed_splat(golden.ff_state(id));
+      continue;
+    }
+    const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+    const auto m = static_cast<std::size_t>(cell.memory_index);
+    scratch.resize(mi.words);
+    for (std::uint32_t w = 0; w < mi.words; ++w) {
+      scratch[w] = golden.read_mem_word(id, w);
+    }
+    auto& array = mems_[m];
+    for (int lane = 0; lane < kSlots; ++lane) {
+      std::copy(scratch.begin(), scratch.end(),
+                array.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(lane) * mi.words));
+    }
+    mem_dirty_[m] = 0;
+  }
+}
+
+std::uint64_t BitParallelSimulator::state_diff_from_golden() {
+  std::uint64_t diff = 0;
+  for (const CellId id : seq_cells_) {
+    if (netlist_.cell(id).kind == CellKind::kMemory) continue;
+    const PackedLogic q = ff_q_[id.index()];
+    diff |= (q.val ^ splat_lane0(q.val)) | (q.unk ^ splat_lane0(q.unk));
+  }
+  for (const std::uint64_t dirty : mem_dirty_) diff |= dirty;
+  // Compact the forced-net list while folding in active force masks: a lane
+  // holding any force differs from the (never forced) golden lane.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < forced_nets_.size(); ++i) {
+    const std::uint64_t mask = forced_[forced_nets_[i]];
+    if (mask == 0) continue;
+    diff |= mask;
+    forced_nets_[kept++] = forced_nets_[i];
+  }
+  forced_nets_.resize(kept);
+  return diff & ~std::uint64_t{1};
+}
+
+}  // namespace ssresf::sim

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace ssresf::sim {
+
+using netlist::PackedLogic;
+
+/// Bit-parallel packed fault simulator: the third engine. Simulates 64
+/// concurrent runs of the same netlist per machine word — slot 0 is the
+/// golden (fault-free) run, slots 1..63 carry faulty variants — using two
+/// bit-planes per net (value + unknown) so full 4-valued semantics are
+/// preserved (see PackedLogic in netlist/logic.h). Every combinational cell
+/// is evaluated once per settle with branch-free bitwise plane algebra,
+/// which is the classic PROOFS/HOPE word-parallel speedup.
+///
+/// Timing model: identical to LevelizedSimulator (levelized zero-delay
+/// settle, capture on a rising clock-connected primary input), so a slot's
+/// trajectory is bit-identical to a scalar levelized run with the same
+/// stimulus — the campaign's word-batch scheduler relies on this to keep
+/// kBitParallel records byte-identical to kLevelized.
+///
+/// The scalar Engine interface broadcasts writes to all 64 lanes and reads
+/// back slot 0, so the engine is a drop-in levelized simulator when driven
+/// scalar-only (testbench clocking, golden replay, checkpointing). Fault
+/// injection uses the slot-indexed *_slot variants, which touch one lane.
+class BitParallelSimulator final : public Engine {
+ public:
+  /// Number of runs per word: slot 0 golden + kFaultSlots faulty.
+  static constexpr int kSlots = 64;
+  static constexpr int kFaultSlots = kSlots - 1;
+
+  explicit BitParallelSimulator(const Netlist& netlist);
+
+  [[nodiscard]] const Netlist& design() const override { return netlist_; }
+  void reset_state() override;
+  [[nodiscard]] std::unique_ptr<EngineState> save_state() const override;
+  void restore_state(const EngineState& state) override;
+  [[nodiscard]] bool state_matches(const EngineState& state) const override;
+  void set_input(NetId net, Logic value) override;
+  void advance_to(std::uint64_t time_ps) override;
+  [[nodiscard]] std::uint64_t now() const override { return now_; }
+  [[nodiscard]] Logic value(NetId net) const override {
+    return packed_get(effective(net), 0);
+  }
+
+  void force_net(NetId net, Logic value) override;
+  void release_net(NetId net) override;
+  void deposit_ff(CellId ff, Logic q) override;
+  [[nodiscard]] Logic ff_state(CellId ff) const override;
+  void write_mem_word(CellId mem, std::uint32_t word,
+                      std::uint64_t value) override;
+  [[nodiscard]] std::uint64_t read_mem_word(CellId mem,
+                                            std::uint32_t word) const override;
+  void set_observer(ChangeObserver observer) override {
+    observer_ = std::move(observer);
+    has_observer_ = static_cast<bool>(observer_);
+  }
+  [[nodiscard]] std::string_view name() const override { return "bit-parallel"; }
+
+  // --- slot-indexed injection (the per-lane Engine contract) -----------------
+  [[nodiscard]] Logic value_slot(NetId net, int slot) const {
+    return packed_get(effective(net), slot);
+  }
+  [[nodiscard]] PackedLogic packed_value(NetId net) const {
+    return effective(net);
+  }
+  void force_net_slot(NetId net, int slot, Logic value);
+  void release_net_slot(NetId net, int slot);
+  void deposit_ff_slot(CellId ff, int slot, Logic q);
+  [[nodiscard]] Logic ff_state_slot(CellId ff, int slot) const;
+  void write_mem_word_slot(CellId mem, int slot, std::uint32_t word,
+                           std::uint64_t value);
+  [[nodiscard]] std::uint64_t read_mem_word_slot(CellId mem, int slot,
+                                                 std::uint32_t word) const;
+
+  /// Broadcasts a scalar engine's force-free dynamic state (net values,
+  /// flip-flops, memories, time) into all 64 lanes. Used by the campaign to
+  /// seed word batches from the cheap scalar levelized checkpoint ladder —
+  /// the two engines share the zero-delay timing model, so the adopted state
+  /// is exactly what a packed replay would have produced. Precondition: no
+  /// force is active on `golden` (checkpoints are taken on clean replays).
+  void adopt_golden(const Engine& golden);
+
+  /// Mask of lanes whose dynamic state may differ from the golden lane 0:
+  /// flip-flop planes compared exactly, active forces and memory divergence
+  /// tracked conservatively (a set bit may be a false positive, a clear bit
+  /// never is). Combinational nets are a pure function of that state under
+  /// broadcast inputs, so a clear bit proves the slot's future coincides
+  /// with golden — the campaign's per-slot masked exit.
+  [[nodiscard]] std::uint64_t state_diff_from_golden();
+
+  /// Total packed cell evaluations performed (each covers 64 lanes).
+  [[nodiscard]] std::uint64_t evals_performed() const { return evals_; }
+
+ private:
+  struct State;
+
+  void settle();
+  void clock_edge(std::uint64_t capture_mask);
+  [[nodiscard]] PackedLogic effective(NetId net) const;
+  void write_net(NetId net, PackedLogic v);
+  void note_forced(NetId net);
+  void read_memory(const netlist::Cell& cell);
+
+  const Netlist& netlist_;
+  std::uint64_t now_ = 0;
+  std::uint64_t evals_ = 0;
+
+  std::vector<PackedLogic> driven_;
+  std::vector<PackedLogic> forced_val_;
+  std::vector<std::uint64_t> forced_;  // per-net mask of forced lanes
+  std::vector<PackedLogic> ff_q_;
+  // Per memory index: 64 lane-major arrays (lane * words + word).
+  std::vector<std::vector<std::uint64_t>> mems_;
+  // Lanes whose array may differ from lane 0 (conservative, per memory).
+  std::vector<std::uint64_t> mem_dirty_;
+  // Nets that may hold a non-zero forced_ mask (compacted lazily).
+  std::vector<std::uint32_t> forced_nets_;
+
+  std::vector<CellId> eval_order_;  // comb cells + memory reads, topo order
+  std::vector<CellId> seq_cells_;   // FFs + memories, creation order
+  std::vector<CellId> reset_ffs_;   // flip-flops with an async reset pin
+  std::vector<std::uint8_t> is_clock_net_;
+  std::vector<PackedLogic> ff_next_;  // clock_edge scratch (per cell index)
+  ChangeObserver observer_;
+  bool has_observer_ = false;
+};
+
+}  // namespace ssresf::sim

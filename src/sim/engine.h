@@ -26,13 +26,14 @@ class EngineState {
   virtual ~EngineState() = default;
 };
 
-/// Common interface of the two simulation engines.
+/// Common interface of the simulation engines.
 ///
 /// EventSimulator is the timing-accurate reference (the role Synopsys VCS
 /// plays in the paper); LevelizedSimulator is the second, oblivious engine
-/// (the role of OSS-CVC). Both expose the same VPI-style injection
-/// primitives — force/release/deposit — that the paper drives through the
-/// IEEE 1364 VPI.
+/// (the role of OSS-CVC); BitParallelSimulator packs 64 levelized runs into
+/// every machine word for campaign throughput. All expose the same
+/// VPI-style injection primitives — force/release/deposit — that the paper
+/// drives through the IEEE 1364 VPI.
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -97,8 +98,10 @@ class Engine {
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
-/// Which engine to instantiate (the two baselines of Table III).
-enum class EngineKind { kEvent, kLevelized };
+/// Which engine to instantiate: the two baselines of Table III plus the
+/// bit-parallel packed engine (64 runs per word, levelized timing) that the
+/// campaign's word-batch scheduler exploits.
+enum class EngineKind { kEvent, kLevelized, kBitParallel };
 
 [[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind kind,
                                                   const Netlist& netlist);

@@ -1,3 +1,4 @@
+#include "sim/bit_parallel_sim.h"
 #include "sim/engine.h"
 #include "sim/event_sim.h"
 #include "sim/levelized_sim.h"
@@ -11,6 +12,8 @@ std::unique_ptr<Engine> make_engine(EngineKind kind, const Netlist& netlist) {
       return std::make_unique<EventSimulator>(netlist);
     case EngineKind::kLevelized:
       return std::make_unique<LevelizedSimulator>(netlist);
+    case EngineKind::kBitParallel:
+      return std::make_unique<BitParallelSimulator>(netlist);
   }
   throw InvalidArgument("unknown engine kind");
 }

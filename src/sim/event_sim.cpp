@@ -258,7 +258,7 @@ void EventSimulator::apply_event(const Event& event) {
 
 void EventSimulator::propagate_change(NetId net, Logic old_effective,
                                       Logic new_effective) {
-  if (observer_) observer_(net, now_, new_effective);
+  if (has_observer_) observer_(net, now_, new_effective);
   for (const Fanout& fo : netlist_.fanout(net)) {
     const Cell& cell = netlist_.cell(fo.cell);
     switch (cell.kind) {

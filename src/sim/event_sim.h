@@ -44,6 +44,7 @@ class EventSimulator final : public Engine {
                                             std::uint32_t word) const override;
   void set_observer(ChangeObserver observer) override {
     observer_ = std::move(observer);
+    has_observer_ = static_cast<bool>(observer_);
   }
   [[nodiscard]] std::string_view name() const override { return "event"; }
 
@@ -95,6 +96,7 @@ class EventSimulator final : public Engine {
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   ChangeObserver observer_;
+  bool has_observer_ = false;  // hot-path guard: skip the std::function call
 };
 
 }  // namespace ssresf::sim

@@ -22,33 +22,33 @@ LevelizedSimulator::LevelizedSimulator(const Netlist& netlist)
   if (!netlist.finalized()) {
     throw InvalidArgument("LevelizedSimulator requires a finalized netlist");
   }
-  build_eval_order();
+  eval_order_ = levelized_eval_order(netlist_);
   // Clock nets: primary inputs connected to any CK/CLK pin.
-  is_clock_net_.assign(netlist_.num_nets(), false);
+  is_clock_net_.assign(netlist_.num_nets(), 0);
   for (const CellId id : netlist_.all_cells()) {
     const Cell& cell = netlist_.cell(id);
     if (is_flip_flop(cell.kind)) {
-      is_clock_net_[cell.inputs[1].index()] = true;
+      is_clock_net_[cell.inputs[1].index()] = 1;
       if (cell.kind != CellKind::kDff) reset_ffs_.push_back(id);
     } else if (cell.kind == CellKind::kMemory) {
-      is_clock_net_[cell.inputs[0].index()] = true;
+      is_clock_net_[cell.inputs[0].index()] = 1;
     }
   }
   reset_state();
 }
 
-void LevelizedSimulator::build_eval_order() {
+std::vector<CellId> levelized_eval_order(const Netlist& netlist) {
   // Topological order over "evaluation nodes": combinational cells (inputs =
   // all pins) and memory macros (inputs = ADDR pins only; their read output
   // is combinational in a levelized model, everything else is sampled).
-  const std::size_t n = netlist_.num_cells();
+  const std::size_t n = netlist.num_cells();
   std::vector<std::uint32_t> pending(n, 0);
   std::vector<CellId> ready;
 
   auto eval_inputs = [&](const Cell& cell) {
     std::vector<NetId> ins;
     if (cell.kind == CellKind::kMemory) {
-      const MemoryInfo& mi = netlist_.memory(cell.memory_index);
+      const MemoryInfo& mi = netlist.memory(cell.memory_index);
       for (int i = 0; i < mi.addr_bits; ++i) ins.push_back(cell.inputs[3u + i]);
     } else {
       ins = cell.inputs;
@@ -60,14 +60,14 @@ void LevelizedSimulator::build_eval_order() {
   };
   // A net is a "source" if it is a primary input or driven by a flip-flop.
   auto net_is_source = [&](NetId id) {
-    const auto& net = netlist_.net(id);
+    const auto& net = netlist.net(id);
     if (net.is_primary_input) return true;
-    return is_flip_flop(netlist_.cell(net.driver).kind);
+    return is_flip_flop(netlist.cell(net.driver).kind);
   };
 
   std::size_t num_eval_nodes = 0;
   for (std::uint32_t ci = 0; ci < n; ++ci) {
-    const Cell& cell = netlist_.cell(CellId{ci});
+    const Cell& cell = netlist.cell(CellId{ci});
     if (!is_eval_node(cell)) continue;
     ++num_eval_nodes;
     std::uint32_t unresolved = 0;
@@ -78,20 +78,20 @@ void LevelizedSimulator::build_eval_order() {
     if (unresolved == 0) ready.push_back(CellId{ci});
   }
 
-  eval_order_.clear();
-  eval_order_.reserve(num_eval_nodes);
+  std::vector<CellId> order;
+  order.reserve(num_eval_nodes);
   while (!ready.empty()) {
     const CellId id = ready.back();
     ready.pop_back();
-    eval_order_.push_back(id);
-    const Cell& cell = netlist_.cell(id);
+    order.push_back(id);
+    const Cell& cell = netlist.cell(id);
     for (const NetId out : cell.outputs) {
-      for (const netlist::Fanout& fo : netlist_.fanout(out)) {
-        const Cell& sink = netlist_.cell(fo.cell);
+      for (const netlist::Fanout& fo : netlist.fanout(out)) {
+        const Cell& sink = netlist.cell(fo.cell);
         if (!is_eval_node(sink)) continue;
         // Only count edges that the sink's eval-input set contains.
         if (sink.kind == CellKind::kMemory) {
-          const MemoryInfo& mi = netlist_.memory(sink.memory_index);
+          const MemoryInfo& mi = netlist.memory(sink.memory_index);
           if (fo.input_index < 3 || fo.input_index >= 3u + mi.addr_bits) {
             continue;
           }
@@ -100,9 +100,10 @@ void LevelizedSimulator::build_eval_order() {
       }
     }
   }
-  if (eval_order_.size() != num_eval_nodes) {
-    throw Error("levelized engine: combinational cycle in netlist");
+  if (order.size() != num_eval_nodes) {
+    throw Error("levelized eval order: combinational cycle in netlist");
   }
+  return order;
 }
 
 void LevelizedSimulator::reset_state() {
@@ -110,7 +111,7 @@ void LevelizedSimulator::reset_state() {
   evals_ = 0;
   driven_.assign(netlist_.num_nets(), Logic::X);
   forced_val_.assign(netlist_.num_nets(), Logic::X);
-  forced_.assign(netlist_.num_nets(), false);
+  forced_.assign(netlist_.num_nets(), 0);
   ff_q_.assign(netlist_.num_cells(), Logic::X);
   mems_.clear();
   for (const CellId id : netlist_.all_cells()) {
@@ -137,7 +138,7 @@ struct LevelizedSimulator::State final : EngineState {
   std::uint64_t evals = 0;
   std::vector<Logic> driven;
   std::vector<Logic> forced_val;
-  std::vector<bool> forced;
+  std::vector<std::uint8_t> forced;
   std::vector<Logic> ff_q;
   std::vector<std::vector<std::uint64_t>> mems;
 };
@@ -181,14 +182,14 @@ bool LevelizedSimulator::state_matches(const EngineState& state) const {
     return false;
   }
   for (std::size_t n = 0; n < forced_.size(); ++n) {
-    if (forced_[n] && forced_val_[n] != s->forced_val[n]) return false;
+    if (forced_[n] != 0 && forced_val_[n] != s->forced_val[n]) return false;
   }
   return true;
 }
 
 Logic LevelizedSimulator::effective(NetId net) const {
-  return forced_[net.index()] ? forced_val_[net.index()]
-                              : driven_[net.index()];
+  return forced_[net.index()] != 0 ? forced_val_[net.index()]
+                                   : driven_[net.index()];
 }
 
 Logic LevelizedSimulator::value(NetId net) const { return effective(net); }
@@ -197,7 +198,7 @@ void LevelizedSimulator::write_net(NetId net, Logic v) {
   const auto n = net.index();
   if (driven_[n] == v) return;
   driven_[n] = v;
-  if (observer_ && !forced_[n]) observer_(net, now_, v);
+  if (has_observer_ && forced_[n] == 0) observer_(net, now_, v);
 }
 
 bool LevelizedSimulator::mem_addr(const Cell& cell, std::uint64_t& addr) const {
@@ -349,8 +350,8 @@ void LevelizedSimulator::set_input(NetId net, Logic v) {
   const Logic old = driven_[net.index()];
   if (old == v) return;
   driven_[net.index()] = v;
-  if (is_clock_net_[net.index()] && old == Logic::L0 && v == Logic::L1 &&
-      !forced_[net.index()]) {
+  if (is_clock_net_[net.index()] != 0 && old == Logic::L0 && v == Logic::L1 &&
+      forced_[net.index()] == 0) {
     clock_edge();
   } else {
     settle();
@@ -362,14 +363,14 @@ void LevelizedSimulator::advance_to(std::uint64_t time_ps) {
 }
 
 void LevelizedSimulator::force_net(NetId net, Logic v) {
-  forced_[net.index()] = true;
+  forced_[net.index()] = 1;
   forced_val_[net.index()] = v;
   settle();
 }
 
 void LevelizedSimulator::release_net(NetId net) {
-  if (!forced_[net.index()]) return;
-  forced_[net.index()] = false;
+  if (forced_[net.index()] == 0) return;
+  forced_[net.index()] = 0;
   settle();
 }
 

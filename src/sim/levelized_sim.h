@@ -6,6 +6,14 @@
 
 namespace ssresf::sim {
 
+/// Topological evaluation order shared by the zero-delay cycle-based
+/// engines: combinational cells (inputs = all pins) and memory macros
+/// (inputs = RADDR pins only; the read output is combinational, everything
+/// else is sampled). LevelizedSimulator and BitParallelSimulator must settle
+/// in this exact order for their trajectories to stay bit-identical.
+/// Throws Error on a combinational cycle.
+[[nodiscard]] std::vector<CellId> levelized_eval_order(const Netlist& netlist);
+
 /// Oblivious (levelized / compiled-style) cycle-based simulator: the second
 /// baseline engine. Every combinational cell — and every memory-macro
 /// asynchronous read — is evaluated in topological order on each settle; a
@@ -41,6 +49,7 @@ class LevelizedSimulator final : public Engine {
                                             std::uint32_t word) const override;
   void set_observer(ChangeObserver observer) override {
     observer_ = std::move(observer);
+    has_observer_ = static_cast<bool>(observer_);
   }
   [[nodiscard]] std::string_view name() const override { return "levelized"; }
 
@@ -50,7 +59,6 @@ class LevelizedSimulator final : public Engine {
  private:
   struct State;
 
-  void build_eval_order();
   void settle();
   void clock_edge();
   [[nodiscard]] Logic effective(NetId net) const;
@@ -63,14 +71,18 @@ class LevelizedSimulator final : public Engine {
 
   std::vector<Logic> driven_;
   std::vector<Logic> forced_val_;
-  std::vector<bool> forced_;
+  // Byte flags, not std::vector<bool>: effective()/write_net() read these on
+  // every gate input of every settle, and the bit-proxy indexing costs more
+  // than the memory it saves.
+  std::vector<std::uint8_t> forced_;
   std::vector<Logic> ff_q_;
   std::vector<std::vector<std::uint64_t>> mems_;
 
   std::vector<CellId> eval_order_;  // comb cells + memory reads, topo order
   std::vector<CellId> reset_ffs_;   // flip-flops with an async reset pin
-  std::vector<bool> is_clock_net_;
+  std::vector<std::uint8_t> is_clock_net_;
   ChangeObserver observer_;
+  bool has_observer_ = false;  // hot-path guard: skip the std::function call
 };
 
 }  // namespace ssresf::sim
