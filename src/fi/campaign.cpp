@@ -1,11 +1,14 @@
 #include "fi/campaign.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <bit>
 #include <future>
+#include <numeric>
 #include <optional>
 
+#include "fi/campaign_exec.h"
 #include "netlist/stats.h"
 #include "sim/bit_parallel_sim.h"
 #include "util/error.h"
@@ -50,14 +53,6 @@ double cell_xsect(const netlist::Netlist& netlist,
   return db.cell_xsect(cell.kind, let);
 }
 
-/// One entry of the flattened injection plan. The global index i is the
-/// entry's position: it names the RNG stream and the record slot, so the
-/// outcome of entry i is independent of which worker simulates it and when.
-struct PlannedInjection {
-  int cluster = 0;
-  CellId cell;
-};
-
 /// Fault parameters of plan entry `index`, fully determined by
 /// (seed, index). Both execution paths — scalar shards and bit-parallel
 /// word batches — derive injections through this one function, which is
@@ -86,16 +81,18 @@ InjectionParams derive_injection(const radiation::Injector& injector,
 
 }  // namespace
 
-CampaignResult run_campaign(const soc::SocModel& model,
-                            const CampaignConfig& config,
-                            const radiation::SoftErrorDatabase& db) {
+namespace detail {
+
+CampaignPrep prepare_campaign(const soc::SocModel& model,
+                              const CampaignConfig& config,
+                              const radiation::SoftErrorDatabase& db,
+                              bool for_execution) {
   util::Rng rng(config.seed);
   util::Rng cluster_rng = rng.fork();
   util::Rng sample_rng = rng.fork();
 
-  CampaignResult result;
-  result.clock_period_ps = soc::pick_clock_period(model.netlist);
-  util::Timer sim_timer;
+  CampaignPrep prep;
+  prep.clock_period_ps = soc::pick_clock_period(model.netlist);
 
   // The bit-parallel engine shares the levelized zero-delay timing model, so
   // all golden (fault-free) work — the reference run, the replay, and the
@@ -108,7 +105,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
       packed_mode ? sim::EngineKind::kLevelized : config.engine;
 
   // --- golden run -------------------------------------------------------------
-  soc::SocRunner golden(model, golden_kind, result.clock_period_ps);
+  soc::SocRunner golden(model, golden_kind, prep.clock_period_ps);
   golden.reset();
   int run_cycles = config.run_cycles;
   if (run_cycles == 0) {
@@ -120,48 +117,46 @@ CampaignResult run_campaign(const soc::SocModel& model,
     // Fixed total length for every faulty run (a fault may delay the halt).
     run_cycles = static_cast<int>(golden.testbench().cycles_run()) + 8;
   }
-  result.golden_cycles = run_cycles;
+  prep.run_cycles = run_cycles;
 
   // --- clustering + sampling -----------------------------------------------------
-  result.clustering =
+  prep.clustering =
       cluster::cluster_cells(model.netlist, config.clustering, cluster_rng);
   // Per-cell cross-section at the campaign LET, computed once and reused for
-  // strike weighting and the per-cluster / per-class aggregation below.
+  // strike weighting and the per-cluster / per-class aggregation.
   const double let = config.environment.let;
-  std::vector<double> cell_xsects(model.netlist.num_cells(), 0.0);
+  prep.cell_xsects.assign(model.netlist.num_cells(), 0.0);
   for (const CellId id : model.netlist.all_cells()) {
-    cell_xsects[id.index()] = cell_xsect(model.netlist, db, id, let);
+    prep.cell_xsects[id.index()] = cell_xsect(model.netlist, db, id, let);
   }
   const auto samples =
-      cluster::sample_clusters(model.netlist, result.clustering,
-                               config.sampling, sample_rng, cell_xsects);
+      cluster::sample_clusters(model.netlist, prep.clustering, config.sampling,
+                               sample_rng, prep.cell_xsects);
 
-  // --- injections ------------------------------------------------------------------
-  const radiation::Injector injector(model.netlist);
-  const std::uint64_t period = result.clock_period_ps;
-  const std::uint64_t window_ps = static_cast<std::uint64_t>(run_cycles) * period;
+  // --- injection plan ---------------------------------------------------------
+  const std::uint64_t period = prep.clock_period_ps;
+  prep.window_ps = static_cast<std::uint64_t>(run_cycles) * period;
   // Inject after reset has settled and early enough to observe propagation.
-  const std::uint64_t t0 = 5 * period;
-  const std::uint64_t t1 = window_ps * 3 / 4;
+  prep.t0 = 5 * period;
+  prep.t1 = prep.window_ps * 3 / 4;
 
-  std::vector<PlannedInjection> plan;
   {
     std::size_t total = 0;
     for (const cluster::ClusterSample& cs : samples) total += cs.cells.size();
-    plan.reserve(total);
+    prep.plan.reserve(total);
   }
   for (const cluster::ClusterSample& cs : samples) {
-    for (const CellId cell : cs.cells) plan.push_back({cs.cluster, cell});
+    for (const CellId cell : cs.cells) prep.plan.push_back({cs.cluster, cell});
   }
-  result.records.resize(plan.size());
 
-  sim::TestbenchConfig tb_config;
-  tb_config.clk = model.clk;
-  tb_config.rstn = model.rstn;
-  tb_config.monitored = model.monitored;
-  tb_config.clock_period_ps = period;
+  prep.tb_config.clk = model.clk;
+  prep.tb_config.rstn = model.rstn;
+  prep.tb_config.monitored = model.monitored;
+  prep.tb_config.clock_period_ps = period;
   // Every faulty timeline spans reset + run_cycles, like the golden trace.
-  const int total_cycles = tb_config.reset_cycles + run_cycles;
+  prep.total_cycles = prep.tb_config.reset_cycles + run_cycles;
+
+  if (!for_execution) return prep;
 
   // Golden replay with a checkpoint ladder: simulate reset + workload once,
   // snapshotting the engine every `stride` cycles across the injection
@@ -169,33 +164,28 @@ CampaignResult run_campaign(const soc::SocModel& model,
   // its strike time instead of re-simulating from power-on — the restored
   // state and the spliced golden trace prefix are exactly what an
   // uninterrupted run would have produced, so results are unchanged.
-  struct Checkpoint {
-    int cycle = 0;
-    std::unique_ptr<sim::EngineState> state;
-  };
-  std::vector<Checkpoint> ladder;
   // Cycles fully simulated by t0 are fault-free in every run; that is the
   // earliest (and in the single-checkpoint limit, the only) rung.
   const int warm_cycles = static_cast<int>(std::min<std::uint64_t>(
-      t0 / period, static_cast<std::uint64_t>(total_cycles)));
+      prep.t0 / period, static_cast<std::uint64_t>(prep.total_cycles)));
   const int stride = config.checkpoint_stride_cycles > 0
                          ? config.checkpoint_stride_cycles
-                         : std::max(8, total_cycles / 32);
+                         : std::max(8, prep.total_cycles / 32);
   const auto master = sim::make_engine(golden_kind, model.netlist);
-  sim::Testbench golden_tb(*master, tb_config);
+  sim::Testbench golden_tb(*master, prep.tb_config);
   golden_tb.reset();
-  int golden_done = tb_config.reset_cycles;
+  int golden_done = prep.tb_config.reset_cycles;
   const bool ladder_usable =
       (config.use_checkpoint || config.masked_exit) &&
-      warm_cycles >= tb_config.reset_cycles;
+      warm_cycles >= prep.tb_config.reset_cycles;
   // Rungs past t1 are never restore targets (no injection is that late) but
   // still serve masked_exit as reconvergence witnesses.
   const auto maybe_snapshot = [&]() {
     const std::uint64_t cycle_start_ps =
         static_cast<std::uint64_t>(golden_done) * period;
-    if (ladder_usable && golden_done < total_cycles &&
-        (config.masked_exit || cycle_start_ps <= t1)) {
-      ladder.push_back({golden_done, master->save_state()});
+    if (ladder_usable && golden_done < prep.total_cycles &&
+        (config.masked_exit || cycle_start_ps <= prep.t1)) {
+      prep.ladder.push_back({golden_done, master->save_state()});
     }
   };
   if (warm_cycles > golden_done) {
@@ -203,33 +193,56 @@ CampaignResult run_campaign(const soc::SocModel& model,
     golden_done = warm_cycles;
   }
   maybe_snapshot();
-  while (golden_done < total_cycles) {
-    const int step = std::min(stride, total_cycles - golden_done);
+  while (golden_done < prep.total_cycles) {
+    const int step = std::min(stride, prep.total_cycles - golden_done);
     golden_tb.run_cycles(step);
     golden_done += step;
     maybe_snapshot();
   }
-  const sim::OutputTrace& golden_trace = golden_tb.trace();
+  prep.golden_trace = golden_tb.trace();
+  return prep;
+}
 
-  // Fan-out: workers claim work items (injection indices, or word batches in
-  // bit-parallel mode) from a shared counter; each owns a private engine
+void execute_injections(const soc::SocModel& model,
+                        const CampaignConfig& config, const CampaignPrep& prep,
+                        std::span<const std::size_t> owned,
+                        std::vector<InjectionRecord>& records) {
+  if (records.size() != prep.plan.size()) {
+    throw InvalidArgument("execute_injections: record vector size mismatch");
+  }
+  const radiation::Injector injector(model.netlist);
+  const std::uint64_t period = prep.clock_period_ps;
+  const bool packed_mode = config.engine == sim::EngineKind::kBitParallel;
+  const sim::EngineKind golden_kind =
+      packed_mode ? sim::EngineKind::kLevelized : config.engine;
+  const sim::OutputTrace& golden_trace = prep.golden_trace;
+  const auto& ladder = prep.ladder;
+  const auto& plan = prep.plan;
+  const int total_cycles = prep.total_cycles;
+  const sim::TestbenchConfig& tb_config = prep.tb_config;
+
+  // Fan-out: workers claim work items (positions in `owned`, or word batches
+  // in bit-parallel mode) from a shared counter; each owns a private engine
   // replica and writes only its own record slots, so the only shared mutable
-  // state is the counter. Outcomes depend on the index alone (RNG stream,
-  // checkpoint choice, golden comparison), never on which worker ran them or
-  // in what order — that is the determinism guarantee.
+  // state is the counter. Outcomes depend on the global index alone (RNG
+  // stream, checkpoint choice, golden comparison), never on which worker —
+  // thread or process — ran them or in what order: that is the determinism
+  // guarantee the distributed campaign is built on.
   std::atomic<std::size_t> next_index{0};
   const auto run_shard = [&]() {
     const auto engine = sim::make_engine(config.engine, model.netlist);
-    for (std::size_t i; (i = next_index.fetch_add(1)) < plan.size();) {
+    for (std::size_t oi; (oi = next_index.fetch_add(1)) < owned.size();) {
+      const std::size_t i = owned[oi];
       const PlannedInjection& pi = plan[i];
-      const InjectionParams inj = derive_injection(
-          injector, pi.cell, config.seed, i, t0, t1, config.environment);
+      const InjectionParams inj =
+          derive_injection(injector, pi.cell, config.seed, i, prep.t0, prep.t1,
+                           config.environment);
       const radiation::FaultEvent& event = inj.event;
 
       // Latest checkpoint whose cycle starts at or before the strike.
-      const Checkpoint* checkpoint = nullptr;
+      const CampaignPrep::Rung* checkpoint = nullptr;
       if (config.use_checkpoint) {
-        for (const Checkpoint& c : ladder) {
+        for (const CampaignPrep::Rung& c : ladder) {
           if (static_cast<std::uint64_t>(c.cycle) * period > event.time_ps) {
             break;
           }
@@ -263,7 +276,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
       std::size_t rung = 0;
       while (static_cast<int>(tb.cycles_run()) < total_cycles) {
         int run_to = total_cycles;
-        const Checkpoint* witness = nullptr;
+        const CampaignPrep::Rung* witness = nullptr;
         if (config.masked_exit) {
           while (rung < ladder.size() &&
                  (ladder[rung].cycle <= static_cast<int>(tb.cycles_run()) ||
@@ -284,7 +297,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
       }
       const std::optional<std::size_t> mismatch = tb.first_divergence();
 
-      InjectionRecord& record = result.records[i];
+      InjectionRecord& record = records[i];
       record.event = event;
       record.cluster = pi.cluster;
       record.module_class = model.netlist.cell_class(pi.cell);
@@ -296,15 +309,16 @@ CampaignResult run_campaign(const soc::SocModel& model,
   // --- bit-parallel word batches ---------------------------------------------
   // The packed engine simulates slot 0 golden + up to 63 faulty runs per
   // machine word. Injection parameters depend only on (seed, index), so the
-  // whole plan is materialised up front and grouped deterministically into
-  // word batches: injections that resume from the same checkpoint rung (plan
-  // order is cluster order, so batches stay cluster-local and their strike
-  // windows overlap the same ladder segment). Each batch restores the golden
-  // checkpoint once, applies every slot's fault on its own lane, and retires
-  // finished slots (diverged, or reconverged with the golden lane) from a
-  // live-slot mask; the batch ends when the mask drains. Records are
-  // byte-identical to the scalar levelized engine's because every packed
-  // operator is lane-wise identical to its scalar counterpart.
+  // owned subset is materialised up front and grouped deterministically into
+  // word batches: injections sorted by strike time and chunked 63 at a time,
+  // so each batch covers a contiguous (overlapping) slice of the injection
+  // window. Each batch restores the golden checkpoint of its earliest strike
+  // once, applies every slot's fault on its own lane, and retires finished
+  // slots (diverged, or reconverged with the golden lane) from a live-slot
+  // mask; the batch ends when the mask drains. Records are byte-identical to
+  // the scalar levelized engine's — regardless of how the owned subset is
+  // batched — because every packed operator is lane-wise identical to its
+  // scalar counterpart.
   std::vector<InjectionParams> packed;
   struct WordBatch {
     std::size_t rung = 0;  // 1 + ladder index; 0 = run from power-on reset
@@ -313,17 +327,11 @@ CampaignResult run_campaign(const soc::SocModel& model,
   std::vector<WordBatch> batches;
   if (packed_mode) {
     packed.resize(plan.size());
-    for (std::size_t i = 0; i < plan.size(); ++i) {
-      packed[i] = derive_injection(injector, plan[i].cell, config.seed, i, t0,
-                                   t1, config.environment);
+    for (const std::size_t i : owned) {
+      packed[i] = derive_injection(injector, plan[i].cell, config.seed, i,
+                                   prep.t0, prep.t1, config.environment);
     }
-    // Word batches: injections sorted by strike time and chunked 63 at a
-    // time, so each batch covers a contiguous (overlapping) slice of the
-    // injection window. The batch restores the checkpoint of its earliest
-    // strike once; later slots in the batch simply ride along golden until
-    // their own strike fires in their lane.
-    std::vector<std::size_t> order(plan.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<std::size_t> order(owned.begin(), owned.end());
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
                        return packed[a].event.time_ps < packed[b].event.time_ps;
@@ -373,7 +381,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
       const int nslots = static_cast<int>(batch.idx.size());
       int cycle = 0;
       if (batch.rung > 0) {
-        const Checkpoint& c = ladder[batch.rung - 1];
+        const CampaignPrep::Rung& c = ladder[batch.rung - 1];
         scratch->restore_state(*c.state);
         engine.adopt_golden(*scratch);
         cycle = c.cycle;
@@ -507,7 +515,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
       for (int s = 0; s < nslots; ++s) {
         const std::size_t i = batch.idx[static_cast<std::size_t>(s)];
         const int lane = s + 1;
-        InjectionRecord& record = result.records[i];
+        InjectionRecord& record = records[i];
         record.event = packed[i].event;
         record.cluster = plan[i].cluster;
         record.module_class = model.netlist.cell_class(plan[i].cell);
@@ -519,7 +527,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
     }
   };
 
-  const std::size_t work_items = packed_mode ? batches.size() : plan.size();
+  const std::size_t work_items = packed_mode ? batches.size() : owned.size();
   const int requested_threads = config.threads > 0
                                     ? config.threads
                                     : util::ThreadPool::hardware_threads();
@@ -545,15 +553,27 @@ CampaignResult run_campaign(const soc::SocModel& model,
     }
     for (auto& shard : shards) shard.get();
   }
-  result.simulation_seconds = sim_timer.seconds();
+}
 
-  // --- aggregation -------------------------------------------------------------------
+CampaignResult finalize_campaign(const soc::SocModel& model,
+                                 const CampaignConfig& config,
+                                 const radiation::SoftErrorDatabase& db,
+                                 CampaignPrep&& prep,
+                                 std::vector<InjectionRecord>&& records) {
+  CampaignResult result;
+  result.clock_period_ps = prep.clock_period_ps;
+  result.golden_cycles = prep.run_cycles;
+  result.clustering = std::move(prep.clustering);
+  result.records = std::move(records);
+
+  const double let = config.environment.let;
   const auto total = db.netlist_xsect(model.netlist, let);
   result.set_xsect_cm2 = total.set_cm2;
   result.seu_xsect_cm2 = total.seu_cm2;
 
   // Merge per-cluster and per-class counters from the records: index order is
-  // plan order, so the aggregation is identical for every thread count.
+  // plan order, so the aggregation is identical for every thread count, shard
+  // count, and process placement.
   std::vector<std::size_t> cluster_samples(result.clustering.clusters.size(), 0);
   std::vector<std::size_t> cluster_errors(result.clustering.clusters.size(), 0);
   for (const InjectionRecord& r : result.records) {
@@ -579,11 +599,12 @@ CampaignResult run_campaign(const soc::SocModel& model,
             ? static_cast<double>(stats.errors) / static_cast<double>(stats.samples)
             : 0.0;
     for (const CellId id : result.clustering.clusters[k]) {
-      stats.xsect_cm2 += cell_xsects[id.index()];
+      stats.xsect_cm2 += prep.cell_xsects[id.index()];
     }
     stats.ser_percent =
         stats.propagation_ratio *
-        config.environment.upset_probability(stats.xsect_cm2, window_ps) * 100.0;
+        config.environment.upset_probability(stats.xsect_cm2, prep.window_ps) *
+        100.0;
     result.clusters.push_back(stats);
   }
   result.chip_ser_percent = chip_ser_percent(result.clusters);
@@ -592,7 +613,7 @@ CampaignResult run_campaign(const soc::SocModel& model,
   std::array<double, 5> class_xsect{};
   for (const CellId id : model.netlist.all_cells()) {
     class_xsect[static_cast<std::size_t>(model.netlist.cell_class(id))] +=
-        cell_xsects[id.index()];
+        prep.cell_xsects[id.index()];
   }
   for (std::size_t c = 0; c < result.per_class.size(); ++c) {
     auto& cls = result.per_class[c];
@@ -603,8 +624,28 @@ CampaignResult run_campaign(const soc::SocModel& model,
             : 0.0;
     cls.ser_percent =
         ratio *
-        config.environment.upset_probability(cls.xsect_cm2, window_ps) * 100.0;
+        config.environment.upset_probability(cls.xsect_cm2, prep.window_ps) *
+        100.0;
   }
+  return result;
+}
+
+}  // namespace detail
+
+CampaignResult run_campaign(const soc::SocModel& model,
+                            const CampaignConfig& config,
+                            const radiation::SoftErrorDatabase& db) {
+  util::Timer sim_timer;
+  detail::CampaignPrep prep =
+      detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+  std::vector<std::size_t> owned(prep.plan.size());
+  std::iota(owned.begin(), owned.end(), std::size_t{0});
+  std::vector<InjectionRecord> records(prep.plan.size());
+  detail::execute_injections(model, config, prep, owned, records);
+  const double seconds = sim_timer.seconds();
+  CampaignResult result = detail::finalize_campaign(
+      model, config, db, std::move(prep), std::move(records));
+  result.simulation_seconds = seconds;
   return result;
 }
 

@@ -54,6 +54,8 @@ struct InjectionRecord {
   netlist::ModuleClass module_class = netlist::ModuleClass::kOther;
   bool soft_error = false;
   std::size_t first_mismatch_cycle = 0;  // valid when soft_error
+
+  [[nodiscard]] bool operator==(const InjectionRecord&) const = default;
 };
 
 /// Per-cluster soft-error statistics: the propagation ratio measured by

@@ -1,0 +1,294 @@
+#include "fi/shard.h"
+
+#include <bit>
+#include <string_view>
+
+#include "fi/campaign_exec.h"
+#include "util/bytes.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace ssresf::fi {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'S', 'F', 'S'};
+constexpr std::uint8_t kVersion = 1;
+
+/// FNV-1a 64-bit.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+void encode_record(util::ByteWriter& out, const ShardRecord& r,
+                   std::uint64_t prev_index, bool first) {
+  out.varint(first ? r.index : r.index - prev_index - 1);
+  const radiation::FaultEvent& e = r.record.event;
+  out.u8(static_cast<std::uint8_t>(e.target.kind));
+  out.varint(e.target.cell.index());
+  out.varint(e.target.word);
+  out.varint(e.target.bit);
+  out.varint(e.time_ps);
+  out.varint(e.set_width_ps);
+  out.varint(static_cast<std::uint64_t>(r.record.cluster));
+  out.u8(static_cast<std::uint8_t>(r.record.module_class));
+  out.u8(r.record.soft_error ? 1 : 0);
+  out.varint(r.record.first_mismatch_cycle);
+}
+
+}  // namespace
+
+std::uint64_t campaign_config_digest(const soc::SocModel& model,
+                                     const CampaignConfig& config) {
+  Digest d;
+  d.byte(static_cast<std::uint8_t>(config.engine));
+  d.u64(config.seed);
+  d.f64(config.environment.flux);
+  d.f64(config.environment.let);
+  d.u64(static_cast<std::uint64_t>(config.clustering.num_clusters));
+  d.u64(static_cast<std::uint64_t>(config.clustering.layer_depth));
+  d.u64(static_cast<std::uint64_t>(config.clustering.max_iterations));
+  d.byte(config.clustering.expand_memory_weight ? 1 : 0);
+  d.f64(config.sampling.fraction);
+  d.u64(static_cast<std::uint64_t>(config.sampling.min_per_cluster));
+  d.u64(static_cast<std::uint64_t>(config.sampling.max_per_cluster));
+  d.byte(static_cast<std::uint8_t>(config.sampling.weighting));
+  d.u64(static_cast<std::uint64_t>(config.sampling.memory_macro_draws));
+  d.u64(static_cast<std::uint64_t>(config.run_cycles));
+  d.u64(static_cast<std::uint64_t>(config.max_cycles));
+  d.str(model.config.name);
+  d.u64(model.netlist.num_cells());
+  d.u64(model.netlist.num_nets());
+  // Memory shapes and initial contents: the instruction memories carry the
+  // program, so two SoCs that differ only in workload digest differently.
+  d.u64(model.netlist.num_memories());
+  for (std::size_t m = 0; m < model.netlist.num_memories(); ++m) {
+    const netlist::MemoryInfo& mi =
+        model.netlist.memory(static_cast<std::int32_t>(m));
+    d.u64(mi.words);
+    d.byte(mi.width);
+    d.u64(mi.init.size());
+    for (const std::uint64_t word : mi.init) d.u64(word);
+  }
+  return d.h;
+}
+
+ShardRunResult run_campaign_shard(const soc::SocModel& model,
+                                  const CampaignConfig& config,
+                                  const radiation::SoftErrorDatabase& db,
+                                  ShardSpec spec) {
+  if (spec.count < 1 || spec.index < 0 || spec.index >= spec.count) {
+    throw InvalidArgument("run_campaign_shard: shard " +
+                          std::to_string(spec.index) + "/" +
+                          std::to_string(spec.count) + " is out of range");
+  }
+  detail::CampaignPrep prep =
+      detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+  std::vector<std::size_t> owned;
+  owned.reserve(prep.plan.size() / static_cast<std::size_t>(spec.count) + 1);
+  for (std::size_t i = static_cast<std::size_t>(spec.index);
+       i < prep.plan.size(); i += static_cast<std::size_t>(spec.count)) {
+    owned.push_back(i);
+  }
+  std::vector<InjectionRecord> records(prep.plan.size());
+  detail::execute_injections(model, config, prep, owned, records);
+
+  ShardRunResult out;
+  out.total_injections = prep.plan.size();
+  out.records.reserve(owned.size());
+  for (const std::size_t i : owned) out.records.push_back({i, records[i]});
+  return out;
+}
+
+void write_shard_file(const std::string& path, const ShardFileMeta& meta,
+                      std::span<const ShardRecord> records) {
+  if (meta.num_records != records.size()) {
+    throw InvalidArgument("write_shard_file: num_records does not match");
+  }
+  util::ByteWriter out;
+  out.bytes(kMagic, sizeof(kMagic));
+  out.u8(kVersion);
+  out.varint(meta.seed);
+  out.varint(meta.shard_index);
+  out.varint(meta.shard_count);
+  out.varint(meta.total_injections);
+  out.fixed64(meta.config_digest);
+  out.varint(meta.num_records);
+  std::uint64_t prev = 0;
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    if (r > 0 && records[r].index <= prev) {
+      throw InvalidArgument(
+          "write_shard_file: records must be in ascending index order");
+    }
+    encode_record(out, records[r], prev, r == 0);
+    prev = records[r].index;
+  }
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw Error("write_shard_file: cannot open '" + path + "'");
+  const auto& bytes = out.data();
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  file.flush();
+  if (!file) throw Error("write_shard_file: write to '" + path + "' failed");
+}
+
+ShardFileReader::ShardFileReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw Error("shard file: cannot open '" + path + "'");
+  char magic[4];
+  in_.read(magic, sizeof(magic));
+  if (!in_ || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw InvalidArgument("shard file '" + path + "': bad magic");
+  }
+  const std::uint8_t version = read_u8();
+  if (version != kVersion) {
+    throw InvalidArgument("shard file '" + path + "': unsupported version " +
+                          std::to_string(version));
+  }
+  meta_.seed = read_varint();
+  meta_.shard_index = static_cast<std::uint32_t>(read_varint());
+  meta_.shard_count = static_cast<std::uint32_t>(read_varint());
+  meta_.total_injections = read_varint();
+  std::uint8_t digest[8];
+  in_.read(reinterpret_cast<char*>(digest), sizeof(digest));
+  if (!in_) throw InvalidArgument("shard file '" + path + "': truncated header");
+  meta_.config_digest = 0;
+  for (int i = 0; i < 8; ++i) {
+    meta_.config_digest |= static_cast<std::uint64_t>(digest[i]) << (8 * i);
+  }
+  meta_.num_records = read_varint();
+}
+
+std::uint8_t ShardFileReader::read_u8() {
+  const int c = in_.get();
+  if (c == std::char_traits<char>::eof()) {
+    throw InvalidArgument("shard file '" + path_ + "': truncated");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint64_t ShardFileReader::read_varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = read_u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw InvalidArgument("shard file '" + path_ + "': varint overflow");
+}
+
+bool ShardFileReader::next(ShardRecord& out) {
+  if (read_count_ >= meta_.num_records) return false;
+  const std::uint64_t delta = read_varint();
+  out.index = read_count_ == 0 ? delta : prev_index_ + delta + 1;
+  const std::uint8_t kind = read_u8();
+  if (kind > static_cast<std::uint8_t>(radiation::FaultKind::kMemBit)) {
+    throw InvalidArgument("shard file '" + path_ + "': bad fault kind");
+  }
+  radiation::FaultEvent& e = out.record.event;
+  e.target.kind = static_cast<radiation::FaultKind>(kind);
+  e.target.cell = netlist::CellId{static_cast<std::uint32_t>(read_varint())};
+  e.target.word = static_cast<std::uint32_t>(read_varint());
+  e.target.bit = static_cast<std::uint32_t>(read_varint());
+  e.time_ps = read_varint();
+  e.set_width_ps = static_cast<std::uint32_t>(read_varint());
+  out.record.cluster = static_cast<int>(read_varint());
+  const std::uint8_t module_class = read_u8();
+  if (module_class >= 5) {
+    throw InvalidArgument("shard file '" + path_ + "': bad module class");
+  }
+  out.record.module_class = static_cast<netlist::ModuleClass>(module_class);
+  out.record.soft_error = read_u8() != 0;
+  out.record.first_mismatch_cycle = static_cast<std::size_t>(read_varint());
+  prev_index_ = out.index;
+  ++read_count_;
+  return true;
+}
+
+CampaignResult merge_shard_files(const soc::SocModel& model,
+                                 const CampaignConfig& config,
+                                 const radiation::SoftErrorDatabase& db,
+                                 const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw InvalidArgument("merge_shard_files: no shard files given");
+  }
+  util::Timer timer;
+  // The merge coordinator re-derives the plan (golden run, clustering,
+  // sampling) but never simulates an injection, so it skips the golden
+  // replay + checkpoint ladder and holds exactly one record vector — the
+  // result's — while the shard files stream through.
+  detail::CampaignPrep prep =
+      detail::prepare_campaign(model, config, db, /*for_execution=*/false);
+  const std::uint64_t digest = campaign_config_digest(model, config);
+
+  std::vector<InjectionRecord> records(prep.plan.size());
+  std::vector<std::uint8_t> seen(prep.plan.size(), 0);
+  std::uint64_t filled = 0;
+  for (const std::string& path : paths) {
+    ShardFileReader reader(path);
+    const ShardFileMeta& meta = reader.meta();
+    if (meta.config_digest != digest) {
+      throw InvalidArgument("shard file '" + path +
+                            "': campaign configuration digest mismatch "
+                            "(different model, seed, or config)");
+    }
+    if (meta.total_injections != prep.plan.size()) {
+      throw InvalidArgument("shard file '" + path +
+                            "': campaign size mismatch");
+    }
+    ShardRecord r;
+    while (reader.next(r)) {
+      if (r.index >= records.size()) {
+        throw InvalidArgument("shard file '" + path +
+                              "': record index out of range");
+      }
+      if (seen[static_cast<std::size_t>(r.index)] != 0) {
+        throw InvalidArgument("shard file '" + path +
+                              "': duplicate record for injection " +
+                              std::to_string(r.index));
+      }
+      // Cross-check against the re-derived plan: cluster and module class of
+      // entry i are plan facts, not simulation outcomes, so a record that
+      // disagrees is corrupt (and an unchecked cluster would be used as an
+      // aggregation array index downstream).
+      const detail::PlannedInjection& planned =
+          prep.plan[static_cast<std::size_t>(r.index)];
+      if (r.record.cluster != planned.cluster ||
+          r.record.module_class != model.netlist.cell_class(planned.cell)) {
+        throw InvalidArgument("shard file '" + path +
+                              "': record for injection " +
+                              std::to_string(r.index) +
+                              " contradicts the campaign plan");
+      }
+      seen[static_cast<std::size_t>(r.index)] = 1;
+      records[static_cast<std::size_t>(r.index)] = r.record;
+      ++filled;
+    }
+  }
+  if (filled != records.size()) {
+    throw InvalidArgument(
+        "merge_shard_files: shard files cover " + std::to_string(filled) +
+        " of " + std::to_string(records.size()) + " injections");
+  }
+
+  CampaignResult result = detail::finalize_campaign(
+      model, config, db, std::move(prep), std::move(records));
+  result.simulation_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ssresf::fi

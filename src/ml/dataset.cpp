@@ -36,9 +36,15 @@ Dataset Dataset::project(std::span<const int> features) const {
     if (f < 0 || static_cast<std::size_t>(f) >= num_features()) {
       throw InvalidArgument("projected feature out of range");
     }
-    names.push_back(f < static_cast<int>(feature_names_.size())
-                        ? feature_names_[static_cast<std::size_t>(f)]
-                        : "f" + std::to_string(f));
+    if (f < static_cast<int>(feature_names_.size())) {
+      names.push_back(feature_names_[static_cast<std::size_t>(f)]);
+    } else {
+      // Two-step append: gcc 12's -Wrestrict misfires on the fused
+      // "literal" + std::to_string(...) temporary at -O2 (PR 105329).
+      std::string name = "f";
+      name += std::to_string(f);
+      names.push_back(std::move(name));
+    }
   }
   Dataset out(std::move(names));
   for (std::size_t i = 0; i < rows_.size(); ++i) {

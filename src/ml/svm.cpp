@@ -139,8 +139,8 @@ void SvmClassifier::train(const Dataset& dataset) {
   const double tol = config_.tolerance;
   util::Rng rng(config_.seed);
 
-  // f(i) consumes the whole Q-row i; k_i[j] == K(x_i, x_j) by symmetry.
-  auto f = [&](std::size_t i, const std::vector<double>& k_i) {
+  // f consumes a whole Q-row; k_i[j] == K(x_i, x_j) by symmetry.
+  auto f = [&](const std::vector<double>& k_i) {
     double sum = b;
     for (std::size_t j = 0; j < n; ++j) {
       if (alpha[j] != 0.0) sum += alpha[j] * y(j) * k_i[j];
@@ -154,7 +154,7 @@ void SvmClassifier::train(const Dataset& dataset) {
     int changed = 0;
     for (std::size_t i = 0; i < n && iterations < config_.max_iterations; ++i) {
       ++iterations;
-      const double ei = f(i, cache.row(i)) - y(i);
+      const double ei = f(cache.row(i)) - y(i);
       const bool violates = (y(i) * ei < -tol && alpha[i] < c) ||
                             (y(i) * ei > tol && alpha[i] > 0);
       if (!violates) continue;
@@ -162,7 +162,7 @@ void SvmClassifier::train(const Dataset& dataset) {
       if (j >= i) ++j;
       // Fetch row j first, then re-reference row i: the two most recent
       // rows are guaranteed resident together (cache capacity >= 2).
-      const double ej = f(j, cache.row(j)) - y(j);
+      const double ej = f(cache.row(j)) - y(j);
       const std::vector<double>& k_i = cache.row(i);
       const double ai_old = alpha[i];
       const double aj_old = alpha[j];

@@ -122,6 +122,7 @@ class Netlist {
   [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
   [[nodiscard]] std::size_t num_cells() const { return cells_.size(); }
   [[nodiscard]] std::size_t num_scopes() const { return scopes_.size(); }
+  [[nodiscard]] std::size_t num_memories() const { return memories_.size(); }
 
   [[nodiscard]] const Net& net(NetId id) const { return nets_[id.index()]; }
   [[nodiscard]] const Cell& cell(CellId id) const { return cells_[id.index()]; }

@@ -23,6 +23,8 @@ struct FaultTarget {
   netlist::CellId cell;     // FF (kSeu), combinational cell (kSet), or macro
   std::uint32_t word = 0;   // kMemBit only
   std::uint32_t bit = 0;    // kMemBit only
+
+  [[nodiscard]] bool operator==(const FaultTarget&) const = default;
 };
 
 /// A concrete injection: a target plus strike time (and pulse width for
@@ -31,6 +33,8 @@ struct FaultEvent {
   FaultTarget target;
   std::uint64_t time_ps = 0;
   std::uint32_t set_width_ps = 0;
+
+  [[nodiscard]] bool operator==(const FaultEvent&) const = default;
 };
 
 }  // namespace ssresf::radiation

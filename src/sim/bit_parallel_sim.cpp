@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "sim/levelized_sim.h"
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace ssresf::sim {
@@ -145,6 +146,94 @@ void BitParallelSimulator::restore_state(const EngineState& state) {
   ff_q_ = s->ff_q;
   mems_ = s->mems;
   mem_dirty_ = s->mem_dirty;
+}
+
+namespace {
+
+/// Plane-separated layout (all value planes, then all unknown planes): the
+/// unknown planes of a settled design are almost entirely zero, so the
+/// codec's RLE pass collapses them to a handful of bytes.
+void write_packed_vec(util::ByteWriter& out, const std::vector<PackedLogic>& v) {
+  out.varint(v.size());
+  for (const PackedLogic& p : v) out.fixed64(p.val);
+  for (const PackedLogic& p : v) out.fixed64(p.unk);
+}
+
+[[nodiscard]] std::vector<PackedLogic> read_packed_vec(util::ByteReader& in) {
+  const std::size_t n = in.element_count(16);  // two 8-byte planes per entry
+  std::vector<PackedLogic> v(n);
+  for (PackedLogic& p : v) p.val = in.fixed64();
+  for (PackedLogic& p : v) p.unk = in.fixed64();
+  return v;
+}
+
+}  // namespace
+
+void BitParallelSimulator::serialize_state(const EngineState& state,
+                                           util::ByteWriter& out) const {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) {
+    throw InvalidArgument(
+        "serialize_state: snapshot is not a bit-parallel-engine state");
+  }
+  out.varint(s->now);
+  out.varint(s->evals);
+  write_packed_vec(out, s->driven);
+  write_packed_vec(out, s->forced_val);
+  out.u64_vec(s->forced);
+  out.varint(s->forced_nets.size());
+  for (const std::uint32_t n : s->forced_nets) out.varint(n);
+  write_packed_vec(out, s->ff_q);
+  out.varint(s->mems.size());
+  for (const auto& mem : s->mems) out.u64_vec(mem);
+  out.u64_vec(s->mem_dirty);
+}
+
+std::unique_ptr<EngineState> BitParallelSimulator::deserialize_state(
+    util::ByteReader& in) const {
+  auto s = std::make_unique<State>();
+  s->now = in.varint();
+  s->evals = in.varint();
+  s->driven = read_packed_vec(in);
+  s->forced_val = read_packed_vec(in);
+  s->forced = in.u64_vec();
+  // element_count bounds every count by the remaining input (each entry is
+  // at least one byte), so a malformed count cannot drive an oversized
+  // allocation.
+  const std::size_t num_forced_nets = in.element_count(1);
+  s->forced_nets.reserve(num_forced_nets);
+  for (std::size_t i = 0; i < num_forced_nets; ++i) {
+    s->forced_nets.push_back(static_cast<std::uint32_t>(in.varint()));
+  }
+  s->ff_q = read_packed_vec(in);
+  const std::size_t num_mems = in.element_count(1);
+  s->mems.reserve(num_mems);
+  for (std::size_t m = 0; m < num_mems; ++m) s->mems.push_back(in.u64_vec());
+  s->mem_dirty = in.u64_vec();
+  if (s->driven.size() != netlist_.num_nets() ||
+      s->forced_val.size() != netlist_.num_nets() ||
+      s->forced.size() != netlist_.num_nets() ||
+      s->ff_q.size() != netlist_.num_cells()) {
+    throw InvalidArgument("deserialize_state: snapshot from a different design");
+  }
+  // Memory arrays (64 lane-major copies each), the dirty mask, and the
+  // forced-net index list must match this engine's shape exactly: a
+  // truncated array or an out-of-range net index would otherwise become an
+  // out-of-bounds access on the next settle.
+  if (s->mems.size() != mems_.size() || s->mem_dirty.size() != mem_dirty_.size()) {
+    throw InvalidArgument("deserialize_state: memory count mismatch");
+  }
+  for (std::size_t m = 0; m < mems_.size(); ++m) {
+    if (s->mems[m].size() != mems_[m].size()) {
+      throw InvalidArgument("deserialize_state: memory array size mismatch");
+    }
+  }
+  for (const std::uint32_t n : s->forced_nets) {
+    if (n >= netlist_.num_nets()) {
+      throw InvalidArgument("deserialize_state: forced net out of range");
+    }
+  }
+  return s;
 }
 
 bool BitParallelSimulator::state_matches(const EngineState& state) const {

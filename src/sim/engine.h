@@ -6,6 +6,11 @@
 
 #include "netlist/netlist.h"
 
+namespace ssresf::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ssresf::util
+
 namespace ssresf::sim {
 
 using netlist::CellId;
@@ -54,6 +59,22 @@ class Engine {
   /// type or a differently sized design. The observer is not part of the
   /// state and is left untouched.
   virtual void restore_state(const EngineState& state) = 0;
+
+  /// Serializes a snapshot taken by this engine type into a portable byte
+  /// stream (see sim/state_codec.h for the framed, optionally compressed
+  /// container built on top of this). Counters and semantic state round-trip;
+  /// bookkeeping that state_matches ignores (event sequence numbers,
+  /// cancelled queue entries) may be re-normalized. Throws InvalidArgument
+  /// for a foreign snapshot.
+  virtual void serialize_state(const EngineState& state,
+                               util::ByteWriter& out) const = 0;
+
+  /// Rebuilds a snapshot from serialize_state output. The result restores
+  /// into this engine (same concrete type, same design) and satisfies
+  /// state_matches against the original snapshot. Throws InvalidArgument on
+  /// malformed bytes or a design-size mismatch.
+  [[nodiscard]] virtual std::unique_ptr<EngineState> deserialize_state(
+      util::ByteReader& in) const = 0;
 
   /// True when the engine's dynamic state is semantically identical to the
   /// snapshot — same time, net values, forces, sequential state, memories,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netlist/stats.h"
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace ssresf::sim {
@@ -127,6 +128,99 @@ bool EventSimulator::state_matches(const EngineState& state) const {
   }
   return live_events(queue_, has_pending_, pending_gen_) ==
          live_events(s->queue, s->has_pending, s->pending_gen);
+}
+
+void EventSimulator::serialize_state(const EngineState& state,
+                                     util::ByteWriter& out) const {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) {
+    throw InvalidArgument(
+        "serialize_state: snapshot is not an event-engine state");
+  }
+  out.varint(s->now);
+  out.varint(s->events_processed);
+  out.byte_vec(s->driven);
+  out.byte_vec(s->forced_val);
+  std::vector<std::uint8_t> forced(s->forced.size());
+  for (std::size_t n = 0; n < forced.size(); ++n) forced[n] = s->forced[n];
+  out.byte_vec(forced);
+  out.byte_vec(s->ff_q);
+  out.varint(s->mems.size());
+  for (const auto& mem : s->mems) out.u64_vec(mem);
+  // The priority queue is serialized in normalized form: only live (not
+  // cancelled) transitions, in application order. Sequence numbers and
+  // per-net generations are bookkeeping and are re-minted on decode; the
+  // round-tripped snapshot still satisfies state_matches because that
+  // comparison is over the same normalization.
+  const std::vector<LiveEvent> live =
+      live_events(s->queue, s->has_pending, s->pending_gen);
+  out.varint(live.size());
+  for (const LiveEvent& e : live) {
+    out.varint(e.time);
+    out.varint(e.net.index());
+    out.u8(static_cast<std::uint8_t>(e.value));
+  }
+}
+
+std::unique_ptr<EngineState> EventSimulator::deserialize_state(
+    util::ByteReader& in) const {
+  auto s = std::make_unique<State>();
+  s->now = in.varint();
+  s->events_processed = in.varint();
+  s->driven = in.byte_vec<Logic>();
+  s->forced_val = in.byte_vec<Logic>();
+  const auto forced = in.byte_vec<std::uint8_t>();
+  s->forced.assign(forced.size(), false);
+  for (std::size_t n = 0; n < forced.size(); ++n) s->forced[n] = forced[n] != 0;
+  s->ff_q = in.byte_vec<Logic>();
+  // element_count bounds the count by the remaining input (each array is at
+  // least its one-byte length prefix), so a malformed count cannot drive an
+  // oversized allocation.
+  const std::size_t num_mems = in.element_count(1);
+  s->mems.reserve(num_mems);
+  for (std::size_t m = 0; m < num_mems; ++m) s->mems.push_back(in.u64_vec());
+  if (s->driven.size() != netlist_.num_nets() ||
+      s->forced_val.size() != netlist_.num_nets() ||
+      s->forced.size() != netlist_.num_nets() ||
+      s->ff_q.size() != netlist_.num_cells()) {
+    throw InvalidArgument("deserialize_state: snapshot from a different design");
+  }
+  // Memory arrays must match this engine's shape exactly: a truncated array
+  // would otherwise become an out-of-bounds access on the next memory read.
+  if (s->mems.size() != mems_.size()) {
+    throw InvalidArgument("deserialize_state: memory count mismatch");
+  }
+  for (std::size_t m = 0; m < mems_.size(); ++m) {
+    if (s->mems[m].size() != mems_[m].size()) {
+      throw InvalidArgument("deserialize_state: memory array size mismatch");
+    }
+  }
+  // Rebuild the pending-transition machinery from the live list. schedule()
+  // maintains at most one live transition per net, so generation 1 per net
+  // is enough; seq restarts at the live count, preserving the application
+  // order of same-time events.
+  s->pending_gen.assign(netlist_.num_nets(), 0);
+  s->has_pending.assign(netlist_.num_nets(), false);
+  const std::uint64_t num_live = in.varint();
+  for (std::uint64_t i = 0; i < num_live; ++i) {
+    Event e;
+    e.time = in.varint();
+    const std::uint64_t net = in.varint();
+    const std::uint8_t value = in.u8();
+    if (net >= netlist_.num_nets() || value > 3 || e.time < s->now ||
+        s->has_pending[static_cast<std::size_t>(net)]) {
+      throw InvalidArgument("deserialize_state: malformed event list");
+    }
+    e.net = NetId{static_cast<std::uint32_t>(net)};
+    e.value = static_cast<Logic>(value);
+    e.seq = i + 1;
+    e.gen = 1;
+    s->pending_gen[static_cast<std::size_t>(net)] = 1;
+    s->has_pending[static_cast<std::size_t>(net)] = true;
+    s->queue.push(e);
+  }
+  s->seq = num_live;
+  return s;
 }
 
 void EventSimulator::restore_state(const EngineState& state) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace ssresf::sim {
@@ -172,6 +173,57 @@ void LevelizedSimulator::restore_state(const EngineState& state) {
   forced_ = s->forced;
   ff_q_ = s->ff_q;
   mems_ = s->mems;
+}
+
+void LevelizedSimulator::serialize_state(const EngineState& state,
+                                         util::ByteWriter& out) const {
+  const auto* s = dynamic_cast<const State*>(&state);
+  if (s == nullptr) {
+    throw InvalidArgument(
+        "serialize_state: snapshot is not a levelized-engine state");
+  }
+  out.varint(s->now);
+  out.varint(s->evals);
+  out.byte_vec(s->driven);
+  out.byte_vec(s->forced_val);
+  out.byte_vec(s->forced);
+  out.byte_vec(s->ff_q);
+  out.varint(s->mems.size());
+  for (const auto& mem : s->mems) out.u64_vec(mem);
+}
+
+std::unique_ptr<EngineState> LevelizedSimulator::deserialize_state(
+    util::ByteReader& in) const {
+  auto s = std::make_unique<State>();
+  s->now = in.varint();
+  s->evals = in.varint();
+  s->driven = in.byte_vec<Logic>();
+  s->forced_val = in.byte_vec<Logic>();
+  s->forced = in.byte_vec<std::uint8_t>();
+  s->ff_q = in.byte_vec<Logic>();
+  // element_count bounds the count by the remaining input (each array is at
+  // least its one-byte length prefix), so a malformed count cannot drive an
+  // oversized allocation.
+  const std::size_t num_mems = in.element_count(1);
+  s->mems.reserve(num_mems);
+  for (std::size_t m = 0; m < num_mems; ++m) s->mems.push_back(in.u64_vec());
+  if (s->driven.size() != netlist_.num_nets() ||
+      s->forced_val.size() != netlist_.num_nets() ||
+      s->forced.size() != netlist_.num_nets() ||
+      s->ff_q.size() != netlist_.num_cells()) {
+    throw InvalidArgument("deserialize_state: snapshot from a different design");
+  }
+  // Memory arrays must match this engine's shape exactly: a truncated array
+  // would otherwise become an out-of-bounds access on the next memory read.
+  if (s->mems.size() != mems_.size()) {
+    throw InvalidArgument("deserialize_state: memory count mismatch");
+  }
+  for (std::size_t m = 0; m < mems_.size(); ++m) {
+    if (s->mems[m].size() != mems_[m].size()) {
+      throw InvalidArgument("deserialize_state: memory array size mismatch");
+    }
+  }
+  return s;
 }
 
 bool LevelizedSimulator::state_matches(const EngineState& state) const {

@@ -33,6 +33,10 @@ class LevelizedSimulator final : public Engine {
   void reset_state() override;
   [[nodiscard]] std::unique_ptr<EngineState> save_state() const override;
   void restore_state(const EngineState& state) override;
+  void serialize_state(const EngineState& state,
+                       util::ByteWriter& out) const override;
+  [[nodiscard]] std::unique_ptr<EngineState> deserialize_state(
+      util::ByteReader& in) const override;
   [[nodiscard]] bool state_matches(const EngineState& state) const override;
   void set_input(NetId net, Logic value) override;
   void advance_to(std::uint64_t time_ps) override;

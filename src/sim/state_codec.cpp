@@ -1,0 +1,186 @@
+#include "sim/state_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace ssresf::sim {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'S', 'E', 'S'};
+constexpr std::uint8_t kVersion = 1;
+
+// Minimum run worth a (control, byte) pair instead of literals.
+constexpr std::size_t kMinRun = 3;
+constexpr std::size_t kMaxRun = 130;      // 3 + 127
+constexpr std::size_t kMaxLiteral = 128;  // 1 + 127
+
+}  // namespace
+
+std::vector<std::uint8_t> rle_compress(std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t> out;
+  out.reserve(data.size() / 4 + 16);
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+
+  const auto flush_literals = [&](std::size_t end) {
+    while (literal_start < end) {
+      const std::size_t n = std::min(end - literal_start, kMaxLiteral);
+      out.push_back(static_cast<std::uint8_t>(n - 1));
+      out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(literal_start),
+                 data.begin() + static_cast<std::ptrdiff_t>(literal_start + n));
+      literal_start += n;
+    }
+  };
+
+  while (i < data.size()) {
+    std::size_t run = 1;
+    while (i + run < data.size() && data[i + run] == data[i] && run < kMaxRun) {
+      ++run;
+    }
+    if (run >= kMinRun) {
+      flush_literals(i);
+      out.push_back(static_cast<std::uint8_t>(128 + (run - kMinRun)));
+      out.push_back(data[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(data.size());
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decompress(std::span<const std::uint8_t> data,
+                                         std::size_t expected_size) {
+  // A (control, byte) pair expands to at most kMaxRun bytes, so a declared
+  // size beyond that bound is malformed — reject before reserving, keeping
+  // allocation proportional to the actual input.
+  if (expected_size > data.size() * kMaxRun) {
+    throw InvalidArgument("rle_decompress: declared size exceeds input bound");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint8_t control = data[i++];
+    if (control < 128) {
+      const std::size_t n = static_cast<std::size_t>(control) + 1;
+      if (i + n > data.size()) {
+        throw InvalidArgument("rle_decompress: truncated literal run");
+      }
+      out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(i),
+                 data.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      if (i >= data.size()) {
+        throw InvalidArgument("rle_decompress: truncated repeat run");
+      }
+      const std::size_t n = static_cast<std::size_t>(control) - 128 + kMinRun;
+      out.insert(out.end(), n, data[i++]);
+    }
+    if (out.size() > expected_size) {
+      throw InvalidArgument("rle_decompress: output exceeds declared size");
+    }
+  }
+  if (out.size() != expected_size) {
+    throw InvalidArgument("rle_decompress: output shorter than declared size");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_state(const Engine& engine,
+                                       const EngineState& state,
+                                       StateCodec codec) {
+  util::ByteWriter payload;
+  engine.serialize_state(state, payload);
+  const std::vector<std::uint8_t> raw = payload.take();
+
+  std::vector<std::uint8_t> body;
+  if (codec == StateCodec::kRle) {
+    body = rle_compress(raw);
+    // A blob that does not shrink is stored raw — decode cost for nothing.
+    if (body.size() >= raw.size()) {
+      codec = StateCodec::kRaw;
+      body = raw;
+    }
+  } else {
+    body = raw;
+  }
+
+  util::ByteWriter out;
+  out.bytes(kMagic, sizeof(kMagic));
+  out.u8(kVersion);
+  out.u8(static_cast<std::uint8_t>(codec));
+  const std::string_view name = engine.name();
+  out.sized_bytes(name.data(), name.size());
+  out.varint(raw.size());
+  out.sized_bytes(body.data(), body.size());
+  return out.take();
+}
+
+std::unique_ptr<EngineState> decode_state(const Engine& engine,
+                                          std::span<const std::uint8_t> blob) {
+  try {
+    util::ByteReader in(blob);
+    std::uint8_t magic[4];
+    in.bytes(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw InvalidArgument("decode_state: bad magic (not an SSES blob)");
+    }
+    const std::uint8_t version = in.u8();
+    if (version != kVersion) {
+      throw InvalidArgument("decode_state: unsupported version " +
+                            std::to_string(version));
+    }
+    const std::uint8_t codec = in.u8();
+    const auto name = in.byte_vec<char>();
+    if (std::string_view(name.data(), name.size()) != engine.name()) {
+      throw InvalidArgument(
+          "decode_state: snapshot was encoded by engine '" +
+          std::string(name.data(), name.size()) + "', not '" +
+          std::string(engine.name()) + "'");
+    }
+    const std::uint64_t raw_size = in.varint();
+    auto body = in.byte_vec<std::uint8_t>();
+    if (!in.at_end()) {
+      throw InvalidArgument("decode_state: trailing bytes after payload");
+    }
+
+    std::vector<std::uint8_t> raw;
+    switch (static_cast<StateCodec>(codec)) {
+      case StateCodec::kRaw:
+        if (body.size() != raw_size) {
+          throw InvalidArgument("decode_state: raw payload size mismatch");
+        }
+        raw = std::move(body);
+        break;
+      case StateCodec::kRle:
+        raw = rle_decompress(body, static_cast<std::size_t>(raw_size));
+        break;
+      default:
+        throw InvalidArgument("decode_state: unknown codec " +
+                              std::to_string(codec));
+    }
+
+    util::ByteReader payload(raw);
+    auto decoded = engine.deserialize_state(payload);
+    if (!payload.at_end()) {
+      throw InvalidArgument("decode_state: trailing bytes in payload");
+    }
+    return decoded;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const Error& e) {
+    // Truncation errors from ByteReader surface as InvalidArgument: callers
+    // treat any malformed blob uniformly.
+    throw InvalidArgument(std::string("decode_state: ") + e.what());
+  }
+}
+
+}  // namespace ssresf::sim

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace ssresf::sim {
+
+/// Portable engine-checkpoint container: a framed, versioned, optionally
+/// RLE-compressed byte blob around Engine::serialize_state. Snapshots
+/// encoded on one process decode on another (same engine kind, same design)
+/// with full round-trip fidelity — `state_matches` holds between the
+/// original and the decoded snapshot — which is what lets the distributed
+/// campaign ship checkpoints between coordinator and workers, and lets
+/// memory-heavy SoC campaigns keep their golden ladder compressed.
+enum class StateCodec : std::uint8_t {
+  kRaw = 0,  // serialized payload stored verbatim
+  kRle = 1,  // PackBits-style byte RLE (engine states are run-heavy)
+};
+
+/// Serializes `state` (a snapshot taken by `engine`) into a framed blob:
+///   "SSES" magic | format version | codec | engine name | payload sizes |
+///   (raw or RLE) payload.
+/// Throws InvalidArgument when the snapshot does not belong to the engine's
+/// concrete type.
+[[nodiscard]] std::vector<std::uint8_t> encode_state(const Engine& engine,
+                                                     const EngineState& state,
+                                                     StateCodec codec);
+
+/// Inverse of encode_state. Validates the frame (magic, version, engine
+/// name, payload sizes) and rebuilds a snapshot restorable into `engine`.
+/// Throws InvalidArgument on malformed input or an engine/design mismatch.
+[[nodiscard]] std::unique_ptr<EngineState> decode_state(
+    const Engine& engine, std::span<const std::uint8_t> blob);
+
+/// PackBits-style run-length coding over raw bytes (exposed for tests and
+/// for the shard files): control byte c < 128 copies c+1 literal bytes,
+/// c >= 128 repeats the next byte c-125 times (runs of 3..130).
+[[nodiscard]] std::vector<std::uint8_t> rle_compress(
+    std::span<const std::uint8_t> data);
+
+/// Throws InvalidArgument when `data` is not a valid stream or decodes to a
+/// size different from `expected_size`.
+[[nodiscard]] std::vector<std::uint8_t> rle_decompress(
+    std::span<const std::uint8_t> data, std::size_t expected_size);
+
+}  // namespace ssresf::sim

@@ -382,8 +382,9 @@ class Assembler {
         // lui + addi pair; adjust for addi sign extension.
         const auto v = static_cast<std::uint32_t>(imm);
         std::uint32_t hi = (v + 0x800) >> 12;
-        const std::int32_t lo =
-            static_cast<std::int32_t>(v) - static_cast<std::int32_t>(hi << 12);
+        // Unsigned subtraction: v - (hi << 12) wraps to the signed 12-bit
+        // remainder without the signed overflow v = INT32_MAX would hit.
+        const auto lo = static_cast<std::int32_t>(v - (hi << 12));
         emit(u_type(kOpLui, static_cast<std::uint32_t>(rd), hi & 0xFFFFF));
         emit(i_type(kOpImm, static_cast<std::uint32_t>(rd), 0,
                     static_cast<std::uint32_t>(rd), lo));

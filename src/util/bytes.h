@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ssresf::util {
+
+/// Little byte-stream serialization layer shared by the engine state codec
+/// and the campaign shard files: LEB128 varints for counts and mostly-small
+/// integers, fixed little-endian 64-bit words for bit-plane data (which the
+/// RLE pass of the state codec then compresses), and length-prefixed vector
+/// helpers. Readers validate every read and throw util-level Error on
+/// truncated or malformed input — a corrupt shard file must never become a
+/// silent out-of-bounds access.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  /// Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Fixed-width little-endian (endianness-stable across hosts).
+  void fixed64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  /// varint length prefix + raw bytes.
+  void sized_bytes(const void* data, std::size_t n) {
+    varint(n);
+    bytes(data, n);
+  }
+
+  /// Length-prefixed vector of byte-sized elements (Logic, std::uint8_t...).
+  template <typename T>
+    requires(sizeof(T) == 1)
+  void byte_vec(const std::vector<T>& v) {
+    sized_bytes(v.data(), v.size());
+  }
+
+  /// Length-prefixed vector of 64-bit words, each fixed little-endian.
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    varint(v.size());
+    for (const std::uint64_t w : v) fixed64(w);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data)
+      : p_(data.data()), end_(data.data() + data.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  [[nodiscard]] bool at_end() const { return p_ == end_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return *p_++;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = u8();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    throw Error("bytes: varint longer than 64 bits");
+  }
+
+  std::uint64_t fixed64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    }
+    p_ += 8;
+    return v;
+  }
+
+  void bytes(void* out, std::size_t n) {
+    need(n);
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+
+  /// Length prefix for a sequence of `element_size`-byte elements, bounded
+  /// by the bytes actually left in the stream — a malformed count can never
+  /// drive an allocation larger than the input itself.
+  std::size_t element_count(std::size_t element_size) {
+    const std::uint64_t n = varint();
+    if (n > remaining() / element_size) throw Error("bytes: truncated input");
+    return static_cast<std::size_t>(n);
+  }
+
+  template <typename T>
+    requires(sizeof(T) == 1)
+  std::vector<T> byte_vec() {
+    const std::size_t n = element_count(1);
+    std::vector<T> v(n);
+    if (n > 0) bytes(v.data(), n);
+    return v;
+  }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::size_t n = element_count(8);
+    std::vector<std::uint64_t> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(fixed64());
+    return v;
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > remaining()) throw Error("bytes: truncated input");
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace ssresf::util

@@ -1,0 +1,88 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace ssresf::util {
+
+#ifndef _WIN32
+
+Subprocess::Subprocess(std::vector<std::string> argv) {
+  if (argv.empty()) throw InvalidArgument("Subprocess: empty argv");
+  std::vector<char*> c_argv;
+  c_argv.reserve(argv.size() + 1);
+  for (std::string& arg : argv) c_argv.push_back(arg.data());
+  c_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw Error(std::string("Subprocess: fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execvp(c_argv[0], c_argv.data());
+    // Only reached when exec failed; report via the conventional exit code.
+    ::perror("ssresf: execvp");
+    ::_exit(127);
+  }
+  pid_ = pid;
+}
+
+int Subprocess::wait() {
+  if (pid_ > 0) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(static_cast<pid_t>(pid_), &status, 0);
+    } while (r < 0 && errno == EINTR);
+    pid_ = -1;
+    if (r < 0) {
+      exit_code_ = -1;
+    } else if (WIFEXITED(status)) {
+      exit_code_ = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      exit_code_ = 128 + WTERMSIG(status);
+    } else {
+      exit_code_ = -1;
+    }
+  }
+  return exit_code_;
+}
+
+#else  // _WIN32
+
+Subprocess::Subprocess(std::vector<std::string>) {
+  throw Error("Subprocess: not supported on this platform");
+}
+
+int Subprocess::wait() { return exit_code_; }
+
+#endif
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      exit_code_(std::exchange(other.exit_code_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    wait();
+    pid_ = std::exchange(other.pid_, -1);
+    exit_code_ = std::exchange(other.exit_code_, -1);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { wait(); }
+
+int Subprocess::run(std::vector<std::string> argv) {
+  return Subprocess(std::move(argv)).wait();
+}
+
+}  // namespace ssresf::util

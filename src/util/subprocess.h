@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssresf::util {
+
+/// Minimal POSIX subprocess wrapper: spawn an argv vector, wait for exit.
+/// This is the process-level analogue of ThreadPool — the distributed
+/// campaign coordinator uses it to fan shards out to worker processes (one
+/// `ssresf_campaign --shard k/N` child per shard) and join them before
+/// merging their shard files.
+class Subprocess {
+ public:
+  Subprocess() = default;
+
+  /// Spawns `argv` (argv[0] is the executable, resolved via PATH). Throws
+  /// util Error when the process cannot be created.
+  explicit Subprocess(std::vector<std::string> argv);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Waits (if still running) — a spawned child is never left unreaped.
+  ~Subprocess();
+
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+
+  /// Blocks until the child exits. Returns its exit code, or 128 + signal
+  /// number when the child died on a signal (shell convention). Idempotent:
+  /// later calls return the first result.
+  int wait();
+
+  /// Convenience: spawn + wait.
+  static int run(std::vector<std::string> argv);
+
+ private:
+  long pid_ = -1;  // pid_t, kept long to keep <sys/types.h> out of the header
+  int exit_code_ = -1;
+};
+
+}  // namespace ssresf::util

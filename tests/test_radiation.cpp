@@ -175,7 +175,7 @@ TEST(Injector, RandomEventWithinWindow) {
     EXPECT_LT(event.time_ps, 5000u);
     EXPECT_EQ(event.set_width_ps, env.set_pulse_width_ps());
   }
-  EXPECT_THROW(injector.random_event(target, 100, 100, env, rng),
+  EXPECT_THROW((void)injector.random_event(target, 100, 100, env, rng),
                InvalidArgument);
 }
 

@@ -1,0 +1,258 @@
+// The distributed campaign layer: deterministic shard partitioning, the
+// shard file format (write + streaming read), and the merge path. The core
+// guarantee under test is the acceptance criterion of the distribution
+// model: merged records from an N-shard run are byte-identical to the
+// single-process run_campaign output for the same seed, for any N.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fi/shard.h"
+#include "soc/programs.h"
+#include "util/error.h"
+#include "util/subprocess.h"
+
+namespace ssresf {
+namespace {
+
+namespace fs = std::filesystem;
+
+soc::SocModel small_soc() {
+  soc::SocConfig cfg;
+  cfg.name = "shard-soc";
+  cfg.mem_bytes = 8 * 1024;
+  cfg.cpu_isa = "RV32I";
+  cfg.bus = soc::BusProtocol::kAhb;
+  const soc::Workload w = soc::checksum_workload(6);
+  const soc::Program programs[] = {soc::assemble(w.source)};
+  return soc::build_soc(cfg, programs);
+}
+
+fi::CampaignConfig small_campaign(std::uint64_t seed = 17) {
+  fi::CampaignConfig cfg;
+  cfg.engine = sim::EngineKind::kLevelized;
+  cfg.clustering.num_clusters = 5;
+  cfg.sampling.fraction = 0.01;
+  cfg.sampling.min_per_cluster = 4;
+  cfg.sampling.max_per_cluster = 10;
+  cfg.sampling.memory_macro_draws = 8;
+  cfg.seed = seed;
+  cfg.threads = 2;
+  return cfg;
+}
+
+/// Unique scratch path under the gtest temp dir.
+std::string scratch_file(const std::string& name) {
+  return (fs::path(testing::TempDir()) / ("ssresf_" + name)).string();
+}
+
+fi::ShardFileMeta meta_for(const soc::SocModel& model,
+                           const fi::CampaignConfig& config,
+                           const fi::ShardRunResult& run, int index,
+                           int count) {
+  fi::ShardFileMeta meta;
+  meta.seed = config.seed;
+  meta.shard_index = static_cast<std::uint32_t>(index);
+  meta.shard_count = static_cast<std::uint32_t>(count);
+  meta.total_injections = run.total_injections;
+  meta.config_digest = fi::campaign_config_digest(model, config);
+  meta.num_records = run.records.size();
+  return meta;
+}
+
+TEST(Shard, SpecOwnershipPartitionsIndices) {
+  const fi::ShardSpec a{0, 3};
+  const fi::ShardSpec b{1, 3};
+  const fi::ShardSpec c{2, 3};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const int owners = (a.owns(i) ? 1 : 0) + (b.owns(i) ? 1 : 0) +
+                       (c.owns(i) ? 1 : 0);
+    EXPECT_EQ(owners, 1) << "index " << i;
+  }
+  EXPECT_TRUE((fi::ShardSpec{0, 1}.owns(12345)));
+}
+
+TEST(Shard, RejectsOutOfRangeSpecs) {
+  const soc::SocModel model = small_soc();
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignConfig config = small_campaign();
+  EXPECT_THROW((void)fi::run_campaign_shard(model, config, db, {2, 2}),
+               InvalidArgument);
+  EXPECT_THROW((void)fi::run_campaign_shard(model, config, db, {-1, 2}),
+               InvalidArgument);
+  EXPECT_THROW((void)fi::run_campaign_shard(model, config, db, {0, 0}),
+               InvalidArgument);
+}
+
+TEST(Shard, MergedShardsAreByteIdenticalToSingleProcess) {
+  const soc::SocModel model = small_soc();
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignConfig config = small_campaign();
+
+  const fi::CampaignResult baseline = fi::run_campaign(model, config, db);
+  ASSERT_GT(baseline.records.size(), 8u);
+
+  for (const int count : {1, 2, 7}) {
+    std::vector<std::string> paths;
+    for (int k = 0; k < count; ++k) {
+      const fi::ShardRunResult run =
+          fi::run_campaign_shard(model, config, db, {k, count});
+      EXPECT_EQ(run.total_injections, baseline.records.size());
+      for (const fi::ShardRecord& r : run.records) {
+        EXPECT_TRUE((fi::ShardSpec{k, count}.owns(r.index)));
+      }
+      const std::string path = scratch_file("merge_" + std::to_string(count) +
+                                            "_" + std::to_string(k) + ".ssfs");
+      fi::write_shard_file(path, meta_for(model, config, run, k, count),
+                           run.records);
+      paths.push_back(path);
+    }
+    const fi::CampaignResult merged =
+        fi::merge_shard_files(model, config, db, paths);
+
+    // Records byte-identical, and every aggregate derived from them too.
+    ASSERT_EQ(merged.records.size(), baseline.records.size());
+    for (std::size_t i = 0; i < merged.records.size(); ++i) {
+      EXPECT_EQ(merged.records[i], baseline.records[i]) << "record " << i;
+    }
+    ASSERT_EQ(merged.clusters.size(), baseline.clusters.size());
+    for (std::size_t k = 0; k < merged.clusters.size(); ++k) {
+      EXPECT_EQ(merged.clusters[k].samples, baseline.clusters[k].samples);
+      EXPECT_EQ(merged.clusters[k].errors, baseline.clusters[k].errors);
+      EXPECT_EQ(merged.clusters[k].ser_percent, baseline.clusters[k].ser_percent);
+      EXPECT_EQ(merged.clusters[k].xsect_cm2, baseline.clusters[k].xsect_cm2);
+    }
+    EXPECT_EQ(merged.chip_ser_percent, baseline.chip_ser_percent);
+    EXPECT_EQ(merged.set_xsect_cm2, baseline.set_xsect_cm2);
+    EXPECT_EQ(merged.seu_xsect_cm2, baseline.seu_xsect_cm2);
+    EXPECT_EQ(merged.golden_cycles, baseline.golden_cycles);
+    for (const std::string& path : paths) fs::remove(path);
+  }
+}
+
+TEST(Shard, FileReaderStreamsRecordsBack) {
+  const soc::SocModel model = small_soc();
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignConfig config = small_campaign();
+  const fi::ShardRunResult run =
+      fi::run_campaign_shard(model, config, db, {1, 2});
+  ASSERT_FALSE(run.records.empty());
+
+  const std::string path = scratch_file("stream.ssfs");
+  const fi::ShardFileMeta meta = meta_for(model, config, run, 1, 2);
+  fi::write_shard_file(path, meta, run.records);
+
+  fi::ShardFileReader reader(path);
+  EXPECT_EQ(reader.meta().seed, config.seed);
+  EXPECT_EQ(reader.meta().shard_index, 1u);
+  EXPECT_EQ(reader.meta().shard_count, 2u);
+  EXPECT_EQ(reader.meta().total_injections, run.total_injections);
+  EXPECT_EQ(reader.meta().config_digest,
+            fi::campaign_config_digest(model, config));
+  EXPECT_EQ(reader.meta().num_records, run.records.size());
+
+  // One record at a time, in order, then a clean end-of-stream.
+  fi::ShardRecord record;
+  for (const fi::ShardRecord& expected : run.records) {
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record, expected);
+  }
+  EXPECT_FALSE(reader.next(record));
+  fs::remove(path);
+}
+
+TEST(Shard, MergeRejectsMismatchedAndIncompleteFiles) {
+  const soc::SocModel model = small_soc();
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignConfig config = small_campaign(17);
+
+  const fi::ShardRunResult half0 =
+      fi::run_campaign_shard(model, config, db, {0, 2});
+  const std::string path0 = scratch_file("reject_0.ssfs");
+  fi::write_shard_file(path0, meta_for(model, config, half0, 0, 2),
+                       half0.records);
+
+  // Incomplete coverage: one of two shards.
+  EXPECT_THROW((void)fi::merge_shard_files(model, config, db, {path0}),
+               InvalidArgument);
+  // Duplicate coverage: the same shard twice.
+  EXPECT_THROW((void)fi::merge_shard_files(model, config, db, {path0, path0}),
+               InvalidArgument);
+  // Digest mismatch: merging under a different seed must fail loudly.
+  const fi::CampaignConfig other = small_campaign(18);
+  EXPECT_THROW((void)fi::merge_shard_files(model, other, db, {path0}),
+               InvalidArgument);
+  // Malformed file.
+  const std::string garbage = scratch_file("garbage.ssfs");
+  {
+    std::FILE* f = std::fopen(garbage.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a shard file", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)fi::merge_shard_files(model, config, db, {garbage}),
+               InvalidArgument);
+  fs::remove(path0);
+  fs::remove(garbage);
+}
+
+TEST(Shard, DigestBindsProgramContents) {
+  // Two SoCs identical in shape but running different programs must digest
+  // differently — otherwise shards of different workloads would merge
+  // silently into a result matching neither campaign.
+  const fi::CampaignConfig config = small_campaign();
+  soc::SocConfig cfg;
+  cfg.name = "digest-soc";
+  cfg.mem_bytes = 8 * 1024;
+  cfg.cpu_isa = "RV32I";
+  const soc::Program checksum[] = {
+      soc::assemble(soc::checksum_workload(6).source)};
+  const soc::Program fibonacci[] = {
+      soc::assemble(soc::fibonacci_workload(6).source)};
+  const soc::SocModel a = soc::build_soc(cfg, checksum);
+  const soc::SocModel b = soc::build_soc(cfg, fibonacci);
+  EXPECT_NE(fi::campaign_config_digest(a, config),
+            fi::campaign_config_digest(b, config));
+  // And the digest is stable for identical inputs.
+  EXPECT_EQ(fi::campaign_config_digest(a, config),
+            fi::campaign_config_digest(a, config));
+}
+
+TEST(Shard, WriteValidatesRecordOrderAndCounts) {
+  fi::ShardFileMeta meta;
+  meta.num_records = 2;
+  std::vector<fi::ShardRecord> out_of_order(2);
+  out_of_order[0].index = 5;
+  out_of_order[1].index = 3;
+  const std::string path = scratch_file("order.ssfs");
+  EXPECT_THROW(fi::write_shard_file(path, meta, out_of_order), InvalidArgument);
+  meta.num_records = 3;
+  EXPECT_THROW(fi::write_shard_file(path, meta, out_of_order), InvalidArgument);
+  fs::remove(path);
+}
+
+TEST(Subprocess, RunsAndReportsExitCodes) {
+  EXPECT_EQ(util::Subprocess::run({"/bin/sh", "-c", "exit 0"}), 0);
+  EXPECT_EQ(util::Subprocess::run({"/bin/sh", "-c", "exit 7"}), 7);
+  // exec failure surfaces as 127 (shell convention).
+  EXPECT_EQ(util::Subprocess::run({"/nonexistent/ssresf-no-such-binary"}), 127);
+  EXPECT_THROW(util::Subprocess::run({}), InvalidArgument);
+}
+
+TEST(Subprocess, ParallelChildrenJoinIndependently) {
+  std::vector<util::Subprocess> children;
+  for (int i = 0; i < 4; ++i) {
+    children.emplace_back(std::vector<std::string>{
+        "/bin/sh", "-c", "exit " + std::to_string(i)});
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(children[static_cast<std::size_t>(i)].wait(), i);
+    // wait() is idempotent.
+    EXPECT_EQ(children[static_cast<std::size_t>(i)].wait(), i);
+  }
+}
+
+}  // namespace
+}  // namespace ssresf

@@ -435,10 +435,10 @@ TEST(Engines, InjectionApisValidateTargets) {
   auto c = make_inv_chain(1);
   EventSimulator sim(c.netlist);
   EXPECT_THROW(sim.deposit_ff(netlist::CellId{0}, Logic::L1), InvalidArgument);
-  EXPECT_THROW(sim.read_mem_word(netlist::CellId{0}, 0), InvalidArgument);
+  EXPECT_THROW((void)sim.read_mem_word(netlist::CellId{0}, 0), InvalidArgument);
   auto d = make_mem();
   EventSimulator msim(d.netlist);
-  EXPECT_THROW(msim.read_mem_word(d.mem, 100), InvalidArgument);
+  EXPECT_THROW((void)msim.read_mem_word(d.mem, 100), InvalidArgument);
 }
 
 }  // namespace

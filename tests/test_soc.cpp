@@ -90,9 +90,9 @@ TEST(Assembler, RegisterNames) {
   EXPECT_EQ(parse_register("t6"), 31);
   EXPECT_EQ(parse_register("x17"), 17);
   EXPECT_EQ(parse_register("fp"), 8);
-  EXPECT_THROW(parse_register("q7"), ParseError);
+  EXPECT_THROW((void)parse_register("q7"), ParseError);
   EXPECT_EQ(parse_fp_register("f31"), 31);
-  EXPECT_THROW(parse_fp_register("f32"), ParseError);
+  EXPECT_THROW((void)parse_fp_register("f32"), ParseError);
 }
 
 TEST(SocTable, HasTenRowsMatchingPaper) {

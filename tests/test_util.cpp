@@ -206,9 +206,9 @@ TEST(Yaml, RejectsMalformedInput) {
 
 TEST(Yaml, TypeErrors) {
   const auto doc = YamlNode::parse("a: hello\nb: [1, 2]\n");
-  EXPECT_THROW(doc.at("a").as_int(), InvalidArgument);
-  EXPECT_THROW(doc.at("b").as_string(), InvalidArgument);
-  EXPECT_THROW(doc.at("missing"), InvalidArgument);
+  EXPECT_THROW((void)doc.at("a").as_int(), InvalidArgument);
+  EXPECT_THROW((void)doc.at("b").as_string(), InvalidArgument);
+  EXPECT_THROW((void)doc.at("missing"), InvalidArgument);
   EXPECT_FALSE(doc.has("missing"));
   EXPECT_TRUE(doc.has("a"));
 }

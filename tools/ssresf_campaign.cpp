@@ -1,0 +1,441 @@
+// Distributed fault-injection campaign driver.
+//
+// One binary, four roles:
+//   (default)                     single-process campaign (fi::run_campaign)
+//   --shard K/N --emit-shard-file run shard K of N, write its records
+//   --merge FILE...               merge shard files into the full result
+//   --workers N                   coordinator: spawn N `--shard k/N` worker
+//                                 subprocesses of this binary, then merge
+//
+// All roles derive the identical plan from (model flags, campaign flags), so
+// the merged records of any N-way run are byte-identical to the
+// single-process run — the records CSV is diffable across roles, which is
+// exactly what the CI distributed-equivalence smoke step does.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#ifdef _WIN32
+#include <process.h>
+#define SSRESF_GETPID _getpid
+#else
+#include <unistd.h>
+#define SSRESF_GETPID ::getpid
+#endif
+
+#include "fi/shard.h"
+#include "soc/programs.h"
+#include "util/error.h"
+#include "util/subprocess.h"
+
+using namespace ssresf;
+
+namespace {
+
+struct Options {
+  // --- model -----------------------------------------------------------------
+  std::string workload = "benchmark-light";
+  std::string isa = "RV32IM";
+  std::string bus = "ahb";
+  int mem_kb = 16;
+
+  // --- campaign --------------------------------------------------------------
+  std::string engine = "levelized";
+  std::uint64_t seed = 1;
+  int clusters = 8;
+  double fraction = 0.02;
+  int min_per_cluster = 4;
+  int max_per_cluster = 32;
+  double let = 37.0;
+  double flux = 5e8;
+  int threads = 1;
+  int run_cycles = 0;
+  int max_cycles = 4000;
+
+  // --- role ------------------------------------------------------------------
+  int shard_index = -1;
+  int shard_count = 0;
+  std::string emit_shard_file;
+  bool merge = false;
+  int workers = 0;
+  std::string shard_dir;
+  std::vector<std::string> merge_inputs;
+
+  // --- output ----------------------------------------------------------------
+  std::string records_csv;
+  bool summary = false;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: ssresf_campaign [options]\n"
+      "\n"
+      "model:\n"
+      "  --workload NAME     benchmark | benchmark-light | checksum |\n"
+      "                      fibonacci | sort (default benchmark-light)\n"
+      "  --isa STR           core ISA, e.g. RV32I / RV32IM (default RV32IM)\n"
+      "  --bus apb|ahb       bus protocol (default ahb)\n"
+      "  --mem-kb N          data memory KiB (default 16)\n"
+      "\n"
+      "campaign:\n"
+      "  --engine NAME       event | levelized | bit-parallel\n"
+      "  --seed N            campaign seed (default 1)\n"
+      "  --clusters N        clustering KN (default 8)\n"
+      "  --fraction F        sampling fraction (default 0.02)\n"
+      "  --min-per-cluster N / --max-per-cluster N\n"
+      "  --let F / --flux F  radiation environment\n"
+      "  --threads N         worker threads per process (default 1)\n"
+      "  --run-cycles N      0 = golden run length (default 0)\n"
+      "  --max-cycles N      golden run bound (default 4000)\n"
+      "\n"
+      "role (default: single-process campaign):\n"
+      "  --shard K/N         run shard K (0-based) of N\n"
+      "  --emit-shard-file P with --shard: write the shard file to P\n"
+      "  --merge FILE...     merge shard files (positional or after --merge)\n"
+      "  --workers N         spawn N worker subprocesses and merge\n"
+      "  --shard-dir DIR     coordinator scratch dir (default: temp dir)\n"
+      "\n"
+      "output:\n"
+      "  --records-csv PATH  write per-injection records as CSV\n"
+      "  --summary           print cluster/class/SER summary tables\n",
+      out);
+}
+
+[[nodiscard]] sim::EngineKind parse_engine(const std::string& name) {
+  if (name == "event") return sim::EngineKind::kEvent;
+  if (name == "levelized") return sim::EngineKind::kLevelized;
+  if (name == "bit-parallel") return sim::EngineKind::kBitParallel;
+  throw InvalidArgument("unknown engine '" + name + "'");
+}
+
+[[nodiscard]] soc::SocModel build_model(const Options& opt) {
+  soc::SocConfig cfg;
+  cfg.name = "campaign-soc";
+  cfg.mem_bytes = static_cast<std::uint64_t>(opt.mem_kb) * 1024;
+  cfg.mem_tech = netlist::MemTech::kSram;
+  if (opt.bus == "apb") {
+    cfg.bus = soc::BusProtocol::kApb;
+  } else if (opt.bus == "ahb") {
+    cfg.bus = soc::BusProtocol::kAhb;
+  } else {
+    throw InvalidArgument("unknown bus '" + opt.bus + "'");
+  }
+  cfg.cpu_isa = opt.isa;
+
+  const auto core_cfg = soc::CoreConfig::from_isa(cfg.cpu_isa);
+  soc::Workload workload;
+  if (opt.workload == "benchmark") {
+    workload = soc::benchmark_workload(core_cfg, false);
+  } else if (opt.workload == "benchmark-light") {
+    workload = soc::benchmark_workload(core_cfg, true);
+  } else if (opt.workload == "checksum") {
+    workload = soc::checksum_workload();
+  } else if (opt.workload == "fibonacci") {
+    workload = soc::fibonacci_workload();
+  } else if (opt.workload == "sort") {
+    workload = soc::sort_workload();
+  } else {
+    throw InvalidArgument("unknown workload '" + opt.workload + "'");
+  }
+  const soc::Program programs[] = {soc::assemble(workload.source)};
+  return soc::build_soc(cfg, programs);
+}
+
+[[nodiscard]] fi::CampaignConfig build_config(const Options& opt) {
+  fi::CampaignConfig config;
+  config.engine = parse_engine(opt.engine);
+  config.seed = opt.seed;
+  config.clustering.num_clusters = opt.clusters;
+  config.sampling.fraction = opt.fraction;
+  config.sampling.min_per_cluster = opt.min_per_cluster;
+  config.sampling.max_per_cluster = opt.max_per_cluster;
+  config.sampling.weighting = cluster::SampleWeighting::kMixed;
+  config.environment.let = opt.let;
+  config.environment.flux = opt.flux;
+  config.threads = opt.threads;
+  config.run_cycles = opt.run_cycles;
+  config.max_cycles = opt.max_cycles;
+  return config;
+}
+
+/// Round-trip-exact double formatting (std::to_string's fixed six decimals
+/// would corrupt values like 1e-7 on their way to a worker, and the workers
+/// would then compute a different config digest than the coordinator).
+[[nodiscard]] std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The campaign-defining flags, re-serialized for worker subprocesses: a
+/// worker must reconstruct the exact same model and config as the
+/// coordinator (role/output flags are per-process and excluded).
+[[nodiscard]] std::vector<std::string> campaign_args(const Options& opt) {
+  return {
+      "--workload", opt.workload,
+      "--isa", opt.isa,
+      "--bus", opt.bus,
+      "--mem-kb", std::to_string(opt.mem_kb),
+      "--engine", opt.engine,
+      "--seed", std::to_string(opt.seed),
+      "--clusters", std::to_string(opt.clusters),
+      "--fraction", fmt_double(opt.fraction),
+      "--min-per-cluster", std::to_string(opt.min_per_cluster),
+      "--max-per-cluster", std::to_string(opt.max_per_cluster),
+      "--let", fmt_double(opt.let),
+      "--flux", fmt_double(opt.flux),
+      "--threads", std::to_string(opt.threads),
+      "--run-cycles", std::to_string(opt.run_cycles),
+      "--max-cycles", std::to_string(opt.max_cycles),
+  };
+}
+
+void write_records_csv(const std::string& path,
+                       const std::vector<fi::InjectionRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw Error("cannot open '" + path + "' for writing");
+  std::fputs(
+      "index,kind,cell,word,bit,time_ps,set_width_ps,cluster,module_class,"
+      "soft_error,first_mismatch_cycle\n",
+      f);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const fi::InjectionRecord& r = records[i];
+    const auto& e = r.event;
+    std::fprintf(
+        f, "%zu,%s,%u,%u,%u,%llu,%u,%d,%s,%d,%zu\n", i,
+        std::string(radiation::fault_kind_name(e.target.kind)).c_str(),
+        e.target.cell.index(), e.target.word, e.target.bit,
+        static_cast<unsigned long long>(e.time_ps), e.set_width_ps, r.cluster,
+        std::string(netlist::module_class_name(r.module_class)).c_str(),
+        r.soft_error ? 1 : 0, r.first_mismatch_cycle);
+  }
+  std::fclose(f);
+}
+
+void print_summary(const fi::CampaignResult& result) {
+  std::size_t errors = 0;
+  for (const auto& r : result.records) errors += r.soft_error ? 1 : 0;
+  std::printf("golden run: %d cycles @ %llu ps/cycle\n", result.golden_cycles,
+              static_cast<unsigned long long>(result.clock_period_ps));
+  std::printf("injections: %zu (%zu soft errors)\n", result.records.size(),
+              errors);
+  std::printf("cluster  cells(w)  samples  errors  SER\n");
+  for (const auto& c : result.clusters) {
+    std::printf("%7d  %8zu  %7zu  %6zu  %.4f%%\n", c.cluster, c.num_cells,
+                c.samples, c.errors, c.ser_percent);
+  }
+  std::printf("chip SER (Eq. 2): %.4f%%\n", result.chip_ser_percent);
+  std::printf("SET xsect %.3e cm^2, SEU xsect %.3e cm^2\n",
+              result.set_xsect_cm2, result.seu_xsect_cm2);
+  std::printf("simulation: %.2fs\n", result.simulation_seconds);
+}
+
+void emit_result(const Options& opt, const fi::CampaignResult& result) {
+  if (!opt.records_csv.empty()) write_records_csv(opt.records_csv, result.records);
+  if (opt.summary) print_summary(result);
+  if (opt.records_csv.empty() && !opt.summary) {
+    std::printf("%zu injections, chip SER %.4f%%\n", result.records.size(),
+                result.chip_ser_percent);
+  }
+}
+
+[[nodiscard]] Options parse_options(int argc, char** argv) {
+  Options opt;
+  const auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      throw InvalidArgument(std::string(argv[i]) + " requires a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg == "--workload") {
+      opt.workload = need_value(i);
+    } else if (arg == "--isa") {
+      opt.isa = need_value(i);
+    } else if (arg == "--bus") {
+      opt.bus = need_value(i);
+    } else if (arg == "--mem-kb") {
+      opt.mem_kb = std::stoi(need_value(i));
+    } else if (arg == "--engine") {
+      opt.engine = need_value(i);
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(need_value(i));
+    } else if (arg == "--clusters") {
+      opt.clusters = std::stoi(need_value(i));
+    } else if (arg == "--fraction") {
+      opt.fraction = std::stod(need_value(i));
+    } else if (arg == "--min-per-cluster") {
+      opt.min_per_cluster = std::stoi(need_value(i));
+    } else if (arg == "--max-per-cluster") {
+      opt.max_per_cluster = std::stoi(need_value(i));
+    } else if (arg == "--let") {
+      opt.let = std::stod(need_value(i));
+    } else if (arg == "--flux") {
+      opt.flux = std::stod(need_value(i));
+    } else if (arg == "--threads") {
+      opt.threads = std::stoi(need_value(i));
+    } else if (arg == "--run-cycles") {
+      opt.run_cycles = std::stoi(need_value(i));
+    } else if (arg == "--max-cycles") {
+      opt.max_cycles = std::stoi(need_value(i));
+    } else if (arg == "--shard") {
+      const std::string spec = need_value(i);
+      const std::size_t slash = spec.find('/');
+      if (slash == std::string::npos) {
+        throw InvalidArgument("--shard expects K/N, got '" + spec + "'");
+      }
+      opt.shard_index = std::stoi(spec.substr(0, slash));
+      opt.shard_count = std::stoi(spec.substr(slash + 1));
+    } else if (arg == "--emit-shard-file") {
+      opt.emit_shard_file = need_value(i);
+    } else if (arg == "--merge") {
+      opt.merge = true;
+    } else if (arg == "--workers") {
+      opt.workers = std::stoi(need_value(i));
+    } else if (arg == "--shard-dir") {
+      opt.shard_dir = need_value(i);
+    } else if (arg == "--records-csv") {
+      opt.records_csv = need_value(i);
+    } else if (arg == "--summary") {
+      opt.summary = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      opt.merge_inputs.push_back(arg);  // positional: shard files to merge
+    } else {
+      throw InvalidArgument("unknown option '" + arg + "'");
+    }
+  }
+  if (opt.merge && opt.merge_inputs.empty()) {
+    throw InvalidArgument("--merge requires shard files");
+  }
+  if (!opt.merge_inputs.empty() && !opt.merge) {
+    throw InvalidArgument("positional arguments are only valid with --merge");
+  }
+  if (!opt.emit_shard_file.empty() && opt.shard_count <= 0) {
+    throw InvalidArgument("--emit-shard-file requires --shard K/N");
+  }
+  // One role per invocation: conflicting role flags are an error, not a
+  // precedence surprise, and output flags that a role would ignore are too.
+  const int roles = (opt.shard_count > 0 ? 1 : 0) + (opt.merge ? 1 : 0) +
+                    (opt.workers > 0 ? 1 : 0);
+  if (roles > 1) {
+    throw InvalidArgument(
+        "--shard, --merge, and --workers are mutually exclusive");
+  }
+  if (opt.shard_count > 0 && (!opt.records_csv.empty() || opt.summary)) {
+    throw InvalidArgument(
+        "--records-csv/--summary apply to full results; a --shard run only "
+        "emits its shard file (merge it to get records)");
+  }
+  return opt;
+}
+
+int run_shard_role(const Options& opt) {
+  const soc::SocModel model = build_model(opt);
+  const fi::CampaignConfig config = build_config(opt);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::ShardSpec spec{opt.shard_index, opt.shard_count};
+  const fi::ShardRunResult run = fi::run_campaign_shard(model, config, db, spec);
+
+  fi::ShardFileMeta meta;
+  meta.seed = config.seed;
+  meta.shard_index = static_cast<std::uint32_t>(spec.index);
+  meta.shard_count = static_cast<std::uint32_t>(spec.count);
+  meta.total_injections = run.total_injections;
+  meta.config_digest = fi::campaign_config_digest(model, config);
+  meta.num_records = run.records.size();
+  fi::write_shard_file(opt.emit_shard_file, meta, run.records);
+  std::fprintf(stderr, "shard %d/%d: %zu records -> %s\n", spec.index,
+               spec.count, run.records.size(), opt.emit_shard_file.c_str());
+  return 0;
+}
+
+int run_merge_role(const Options& opt, const std::vector<std::string>& files) {
+  const soc::SocModel model = build_model(opt);
+  const fi::CampaignConfig config = build_config(opt);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignResult result =
+      fi::merge_shard_files(model, config, db, files);
+  emit_result(opt, result);
+  return 0;
+}
+
+int run_coordinator_role(const Options& opt, const std::string& self) {
+  namespace fs = std::filesystem;
+  const bool scratch = opt.shard_dir.empty();
+  const fs::path dir =
+      scratch ? fs::temp_directory_path() /
+                    ("ssresf_shards_" + std::to_string(SSRESF_GETPID()))
+              : fs::path(opt.shard_dir);
+  fs::create_directories(dir);
+  // The scratch directory must not outlive the run, worker failures and
+  // merge errors included.
+  struct Cleanup {
+    const fs::path* dir = nullptr;
+    ~Cleanup() {
+      if (dir != nullptr) {
+        std::error_code ignored;
+        fs::remove_all(*dir, ignored);
+      }
+    }
+  } cleanup{scratch ? &dir : nullptr};
+
+  std::vector<std::string> files;
+  std::vector<util::Subprocess> children;
+  children.reserve(static_cast<std::size_t>(opt.workers));
+  for (int k = 0; k < opt.workers; ++k) {
+    const std::string file =
+        (dir / ("shard_" + std::to_string(k) + ".ssfs")).string();
+    files.push_back(file);
+    std::vector<std::string> argv = {self};
+    const std::vector<std::string> campaign = campaign_args(opt);
+    argv.insert(argv.end(), campaign.begin(), campaign.end());
+    argv.push_back("--shard");
+    argv.push_back(std::to_string(k) + "/" + std::to_string(opt.workers));
+    argv.push_back("--emit-shard-file");
+    argv.push_back(file);
+    children.emplace_back(std::move(argv));
+  }
+  int failures = 0;
+  for (int k = 0; k < opt.workers; ++k) {
+    const int code = children[static_cast<std::size_t>(k)].wait();
+    if (code != 0) {
+      std::fprintf(stderr, "worker %d exited with code %d\n", k, code);
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  return run_merge_role(opt, files);
+}
+
+int run_single_role(const Options& opt) {
+  const soc::SocModel model = build_model(opt);
+  const fi::CampaignConfig config = build_config(opt);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignResult result = fi::run_campaign(model, config, db);
+  emit_result(opt, result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_options(argc, argv);
+    if (!opt.emit_shard_file.empty()) return run_shard_role(opt);
+    if (opt.merge) return run_merge_role(opt, opt.merge_inputs);
+    if (opt.workers > 0) return run_coordinator_role(opt, argv[0]);
+    if (opt.shard_count > 0) {
+      throw InvalidArgument("--shard requires --emit-shard-file");
+    }
+    return run_single_role(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ssresf_campaign: %s\n", e.what());
+    return 2;
+  }
+}
