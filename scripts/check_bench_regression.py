@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Gate on campaign-throughput regressions between two BENCH_table3.json files.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.30]
+
+Absolute injections/sec are machine-dependent, so each cell is first
+normalized by the same engine's serial cell (1 thread, checkpoint off) from
+the same file: the compared quantity is "injections/sec relative to this
+engine's seed path on the same machine" — i.e. the speedup the execution
+model (checkpointing, threading, batching) delivers — which is stable across
+runner generations where raw rates are not. A fresh cell slower than
+(1 - threshold) x baseline fails the gate, as does a drop in the headline
+bit-parallel-vs-levelized ratio (the one gated cross-engine number). Cells
+whose baseline measurement is too short to be meaningful (< 0.25 s
+simulated) are reported but not gated — dropped cells are always printed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        data = json.load(f)
+    cells = {}
+    for cell in data["cells"]:
+        key = (cell["engine"], cell["threads"], cell["checkpoint"])
+        cells[key] = cell
+    return data, cells
+
+
+def seed_rate(cells, engine):
+    cell = cells.get((engine, 1, False))
+    if cell is None or cell["inj_per_sec"] <= 0:
+        sys.exit(f"missing or degenerate seed cell ({engine}, 1 thr, ckpt off)")
+    return cell["inj_per_sec"]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max tolerated fractional regression")
+    args = parser.parse_args()
+
+    base_data, base_cells = load_cells(args.baseline)
+    fresh_data, fresh_cells = load_cells(args.fresh)
+
+    failures = []
+    print(f"{'engine':>14} {'thr':>3} {'ckpt':>4} {'base-rel':>9} "
+          f"{'fresh-rel':>9} {'ratio':>6}")
+    for key, base in sorted(base_cells.items()):
+        fresh = fresh_cells.get(key)
+        if fresh is None:
+            failures.append(f"cell {key} missing from fresh results")
+            continue
+        base_rel = base["inj_per_sec"] / seed_rate(base_cells, key[0])
+        fresh_rel = fresh["inj_per_sec"] / seed_rate(fresh_cells, key[0])
+        ratio = fresh_rel / base_rel if base_rel > 0 else float("inf")
+        gated = base["sim_seconds"] >= 0.25
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            if gated:
+                failures.append(
+                    f"cell {key}: {fresh_rel:.3f} vs baseline {base_rel:.3f} "
+                    f"relative inj/s ({ratio:.2f}x)")
+                flag = "  << REGRESSION"
+            else:
+                flag = "  (noisy cell, not gated)"
+        engine, threads, ckpt = key
+        print(f"{engine:>14} {threads:>3} {'on' if ckpt else 'off':>4} "
+              f"{base_rel:9.3f} {fresh_rel:9.3f} {ratio:6.2f}{flag}")
+
+    if not fresh_data.get("all_identical", False):
+        failures.append("fresh matrix cells disagree on campaign records")
+    base_ratio = base_data.get("bitparallel_vs_levelized_1thread_ckpt", 0.0)
+    fresh_ratio = fresh_data.get("bitparallel_vs_levelized_1thread_ckpt", 0.0)
+    print(f"bit-parallel vs levelized: baseline {base_ratio:.2f}x, "
+          f"fresh {fresh_ratio:.2f}x")
+    if base_ratio > 0 and fresh_ratio < base_ratio * (1.0 - args.threshold):
+        failures.append(
+            f"bit-parallel speedup regressed: {fresh_ratio:.2f}x vs "
+            f"baseline {base_ratio:.2f}x")
+
+    if failures:
+        print("\nFAIL: throughput regression gate "
+              f"(threshold {args.threshold:.0%}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: all cells within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,9 +100,7 @@ CampaignPrep prepare_campaign(const soc::SocModel& model,
   // trajectory at a fraction of the cost, and scalar snapshots are 64x
   // smaller than packed ones. Word batches broadcast a scalar checkpoint
   // into all lanes via BitParallelSimulator::adopt_golden.
-  const bool packed_mode = config.engine == sim::EngineKind::kBitParallel;
-  const sim::EngineKind golden_kind =
-      packed_mode ? sim::EngineKind::kLevelized : config.engine;
+  const sim::EngineKind golden_kind = golden_engine_kind(config);
 
   // --- golden run -------------------------------------------------------------
   soc::SocRunner golden(model, golden_kind, prep.clock_period_ps);
@@ -213,8 +211,7 @@ void execute_injections(const soc::SocModel& model,
   const radiation::Injector injector(model.netlist);
   const std::uint64_t period = prep.clock_period_ps;
   const bool packed_mode = config.engine == sim::EngineKind::kBitParallel;
-  const sim::EngineKind golden_kind =
-      packed_mode ? sim::EngineKind::kLevelized : config.engine;
+  const sim::EngineKind golden_kind = golden_engine_kind(config);
   const sim::OutputTrace& golden_trace = prep.golden_trace;
   const auto& ladder = prep.ladder;
   const auto& plan = prep.plan;

@@ -36,6 +36,17 @@ struct PlannedInjection {
   netlist::CellId cell;
 };
 
+/// Engine kind that runs all golden (fault-free) work for `config`: the
+/// scalar levelized engine stands in for the bit-parallel engine (identical
+/// timing model, 64x smaller snapshots); the other engines are their own
+/// golden engine.
+[[nodiscard]] inline sim::EngineKind golden_engine_kind(
+    const CampaignConfig& config) {
+  return config.engine == sim::EngineKind::kBitParallel
+             ? sim::EngineKind::kLevelized
+             : config.engine;
+}
+
 struct CampaignPrep {
   cluster::ClusteringResult clustering;
   std::vector<PlannedInjection> plan;

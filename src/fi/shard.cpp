@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "fi/campaign_exec.h"
+#include "fi/golden_bundle.h"
 #include "util/bytes.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -15,14 +16,11 @@ namespace {
 constexpr char kMagic[4] = {'S', 'S', 'F', 'S'};
 constexpr std::uint8_t kVersion = 1;
 
-/// FNV-1a 64-bit.
+/// Streaming field helpers over the shared util::Fnv1a hasher.
 struct Digest {
-  std::uint64_t h = 0xcbf29ce484222325ull;
+  util::Fnv1a fnv;
 
-  void byte(std::uint8_t b) {
-    h ^= b;
-    h *= 0x100000001b3ull;
-  }
+  void byte(std::uint8_t b) { fnv.byte(b); }
   void u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
   }
@@ -33,23 +31,78 @@ struct Digest {
   }
 };
 
-void encode_record(util::ByteWriter& out, const ShardRecord& r,
-                   std::uint64_t prev_index, bool first) {
-  out.varint(first ? r.index : r.index - prev_index - 1);
-  const radiation::FaultEvent& e = r.record.event;
-  out.u8(static_cast<std::uint8_t>(e.target.kind));
-  out.varint(e.target.cell.index());
-  out.varint(e.target.word);
-  out.varint(e.target.bit);
-  out.varint(e.time_ps);
-  out.varint(e.set_width_ps);
-  out.varint(static_cast<std::uint64_t>(r.record.cluster));
-  out.u8(static_cast<std::uint8_t>(r.record.module_class));
-  out.u8(r.record.soft_error ? 1 : 0);
-  out.varint(r.record.first_mismatch_cycle);
+}  // namespace
+
+void encode_records(util::ByteWriter& out,
+                    std::span<const ShardRecord> records) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const ShardRecord& r = records[i];
+    if (i > 0 && r.index <= prev) {
+      throw InvalidArgument(
+          "encode_records: records must be in ascending index order");
+    }
+    out.varint(i == 0 ? r.index : r.index - prev - 1);
+    const radiation::FaultEvent& e = r.record.event;
+    out.u8(static_cast<std::uint8_t>(e.target.kind));
+    out.varint(e.target.cell.index());
+    out.varint(e.target.word);
+    out.varint(e.target.bit);
+    out.varint(e.time_ps);
+    out.varint(e.set_width_ps);
+    out.varint(static_cast<std::uint64_t>(r.record.cluster));
+    out.u8(static_cast<std::uint8_t>(r.record.module_class));
+    out.u8(r.record.soft_error ? 1 : 0);
+    out.varint(r.record.first_mismatch_cycle);
+    prev = r.index;
+  }
 }
 
-}  // namespace
+std::vector<ShardRecord> decode_records(util::ByteReader& in,
+                                        std::uint64_t count) {
+  // An encoded record is at least 11 bytes, so a count the stream cannot
+  // possibly hold is rejected before the reserve — a corrupt (or hostile)
+  // count must never drive a multi-GiB allocation.
+  if (count > in.remaining() / 11) {
+    throw InvalidArgument("record stream: truncated input");
+  }
+  std::vector<ShardRecord> records;
+  records.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev = 0;
+  try {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ShardRecord r;
+      const std::uint64_t delta = in.varint();
+      r.index = i == 0 ? delta : prev + delta + 1;
+      const std::uint8_t kind = in.u8();
+      if (kind > static_cast<std::uint8_t>(radiation::FaultKind::kMemBit)) {
+        throw InvalidArgument("record stream: bad fault kind");
+      }
+      radiation::FaultEvent& e = r.record.event;
+      e.target.kind = static_cast<radiation::FaultKind>(kind);
+      e.target.cell = netlist::CellId{static_cast<std::uint32_t>(in.varint())};
+      e.target.word = static_cast<std::uint32_t>(in.varint());
+      e.target.bit = static_cast<std::uint32_t>(in.varint());
+      e.time_ps = in.varint();
+      e.set_width_ps = static_cast<std::uint32_t>(in.varint());
+      r.record.cluster = static_cast<int>(in.varint());
+      const std::uint8_t module_class = in.u8();
+      if (module_class >= 5) {
+        throw InvalidArgument("record stream: bad module class");
+      }
+      r.record.module_class = static_cast<netlist::ModuleClass>(module_class);
+      r.record.soft_error = in.u8() != 0;
+      r.record.first_mismatch_cycle = static_cast<std::size_t>(in.varint());
+      prev = r.index;
+      records.push_back(r);
+    }
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const Error& e) {
+    throw InvalidArgument(std::string("record stream: ") + e.what());
+  }
+  return records;
+}
 
 std::uint64_t campaign_config_digest(const soc::SocModel& model,
                                      const CampaignConfig& config) {
@@ -83,20 +136,22 @@ std::uint64_t campaign_config_digest(const soc::SocModel& model,
     d.u64(mi.init.size());
     for (const std::uint64_t word : mi.init) d.u64(word);
   }
-  return d.h;
+  return d.fnv.h;
 }
 
 ShardRunResult run_campaign_shard(const soc::SocModel& model,
                                   const CampaignConfig& config,
                                   const radiation::SoftErrorDatabase& db,
-                                  ShardSpec spec) {
+                                  ShardSpec spec, const GoldenBundle* bundle) {
   if (spec.count < 1 || spec.index < 0 || spec.index >= spec.count) {
     throw InvalidArgument("run_campaign_shard: shard " +
                           std::to_string(spec.index) + "/" +
                           std::to_string(spec.count) + " is out of range");
   }
   detail::CampaignPrep prep =
-      detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+      bundle != nullptr
+          ? prepare_campaign_with_bundle(model, config, db, *bundle)
+          : detail::prepare_campaign(model, config, db, /*for_execution=*/true);
   std::vector<std::size_t> owned;
   owned.reserve(prep.plan.size() / static_cast<std::size_t>(spec.count) + 1);
   for (std::size_t i = static_cast<std::size_t>(spec.index);
@@ -127,15 +182,7 @@ void write_shard_file(const std::string& path, const ShardFileMeta& meta,
   out.varint(meta.total_injections);
   out.fixed64(meta.config_digest);
   out.varint(meta.num_records);
-  std::uint64_t prev = 0;
-  for (std::size_t r = 0; r < records.size(); ++r) {
-    if (r > 0 && records[r].index <= prev) {
-      throw InvalidArgument(
-          "write_shard_file: records must be in ascending index order");
-    }
-    encode_record(out, records[r], prev, r == 0);
-    prev = records[r].index;
-  }
+  encode_records(out, records);
 
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) throw Error("write_shard_file: cannot open '" + path + "'");
@@ -223,16 +270,25 @@ CampaignResult merge_shard_files(const soc::SocModel& model,
                                  const CampaignConfig& config,
                                  const radiation::SoftErrorDatabase& db,
                                  const std::vector<std::string>& paths) {
-  if (paths.empty()) {
-    throw InvalidArgument("merge_shard_files: no shard files given");
-  }
-  util::Timer timer;
   // The merge coordinator re-derives the plan (golden run, clustering,
   // sampling) but never simulates an injection, so it skips the golden
   // replay + checkpoint ladder and holds exactly one record vector — the
   // result's — while the shard files stream through.
-  detail::CampaignPrep prep =
-      detail::prepare_campaign(model, config, db, /*for_execution=*/false);
+  return merge_shard_files(
+      model, config, db,
+      detail::prepare_campaign(model, config, db, /*for_execution=*/false),
+      paths);
+}
+
+CampaignResult merge_shard_files(const soc::SocModel& model,
+                                 const CampaignConfig& config,
+                                 const radiation::SoftErrorDatabase& db,
+                                 detail::CampaignPrep&& prep,
+                                 const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    throw InvalidArgument("merge_shard_files: no shard files given");
+  }
+  util::Timer timer;
   const std::uint64_t digest = campaign_config_digest(model, config);
 
   std::vector<InjectionRecord> records(prep.plan.size());

@@ -8,7 +8,17 @@
 
 #include "fi/campaign.h"
 
+namespace ssresf::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ssresf::util
+
 namespace ssresf::fi {
+
+struct GoldenBundle;
+namespace detail {
+struct CampaignPrep;
+}  // namespace detail
 
 /// Deterministic partition of a campaign into `count` self-contained shards,
 /// keyed by global injection index: shard k owns every planned injection i
@@ -67,10 +77,23 @@ struct ShardRunResult {
 
 /// Runs the injections owned by `spec` (golden run, clustering, and sampling
 /// are recomputed identically in every shard). Honors config.threads within
-/// this process.
+/// this process. When `bundle` is non-null, the golden work (run length,
+/// trace, checkpoint ladder) is installed from the shipped bundle instead of
+/// re-simulated — see fi/golden_bundle.h — without changing a single record.
 [[nodiscard]] ShardRunResult run_campaign_shard(
     const soc::SocModel& model, const CampaignConfig& config,
-    const radiation::SoftErrorDatabase& database, ShardSpec spec);
+    const radiation::SoftErrorDatabase& database, ShardSpec spec,
+    const GoldenBundle* bundle = nullptr);
+
+/// Record-stream codec shared by the shard files and the socket transport's
+/// record frames: ascending global indices delta/varint-coded, followed by
+/// the record fields. `records` must be in ascending index order.
+void encode_records(util::ByteWriter& out, std::span<const ShardRecord> records);
+
+/// Decodes `count` records appended by encode_records. Throws
+/// InvalidArgument on malformed or truncated input.
+[[nodiscard]] std::vector<ShardRecord> decode_records(util::ByteReader& in,
+                                                      std::uint64_t count);
 
 /// Writes a shard file: "SSFS" magic, version, meta, then delta/varint-coded
 /// records. `records` must be in ascending index order.
@@ -109,6 +132,14 @@ class ShardFileReader {
 [[nodiscard]] CampaignResult merge_shard_files(
     const soc::SocModel& model, const CampaignConfig& config,
     const radiation::SoftErrorDatabase& database,
+    const std::vector<std::string>& paths);
+
+/// merge_shard_files over an already-prepared campaign — a coordinator that
+/// prepared once to extract the golden bundle reuses its prep here instead
+/// of re-deriving the plan a second time.
+[[nodiscard]] CampaignResult merge_shard_files(
+    const soc::SocModel& model, const CampaignConfig& config,
+    const radiation::SoftErrorDatabase& database, detail::CampaignPrep&& prep,
     const std::vector<std::string>& paths);
 
 }  // namespace ssresf::fi

@@ -1,0 +1,301 @@
+#include "net/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+
+#include "fi/campaign_exec.h"
+#include "fi/golden_bundle.h"
+#include "fi/shard.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace ssresf::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+enum class ConnState { kAwaitHello, kAwaitReady, kIdle, kWorking };
+
+struct Conn {
+  util::Socket socket;
+  ConnState state = ConnState::kAwaitHello;
+  WorkMsg chunk;  // valid when state == kWorking
+  Clock::time_point deadline;
+  int id = 0;               // stable id for log lines
+  std::uint64_t pid = 0;    // worker-reported, logs only
+};
+
+}  // namespace
+
+Coordinator::Coordinator(const CampaignSpec& spec,
+                         const radiation::SoftErrorDatabase& database,
+                         CoordinatorOptions options)
+    : spec_(spec),
+      db_(database),
+      options_(options),
+      model_(build_model(spec)),
+      listener_(options.port, options.loopback_only) {}
+
+fi::CampaignResult Coordinator::run() {
+  const fi::CampaignConfig& config = spec_.config;
+  const auto log = [&](const char* fmt, auto... args) {
+    if (options_.verbose) {
+      std::fprintf(stderr, "coordinator: ");
+      std::fprintf(stderr, fmt, args...);
+      std::fputc('\n', stderr);
+    }
+  };
+
+  util::Timer timer;
+  // One golden pass for the whole fleet: the prep's trace and ladder are
+  // encoded once and the identical campaign frame is replayed to every
+  // worker that ever connects.
+  fi::detail::CampaignPrep prep =
+      fi::detail::prepare_campaign(model_, config, db_, /*for_execution=*/true);
+  const std::uint64_t plan_size = prep.plan.size();
+
+  CampaignMsg campaign;
+  campaign.spec = spec_;
+  campaign.config_digest = fi::campaign_config_digest(model_, config);
+  campaign.total_injections = plan_size;
+  {
+    util::ByteWriter bundle_bytes;
+    fi::encode_golden_bundle(bundle_bytes,
+                             fi::extract_golden_bundle(model_, config, prep));
+    campaign.bundle = bundle_bytes.take();
+  }
+  const std::vector<std::uint8_t> campaign_payload = encode_payload(campaign);
+  log("serving %llu injections on port %u (golden bundle %zu bytes)",
+      static_cast<unsigned long long>(plan_size),
+      static_cast<unsigned>(listener_.port()), campaign.bundle.size());
+
+  // The work queue: contiguous index chunks, reassigned-first at the front.
+  const std::uint64_t chunk_size =
+      options_.chunk_injections > 0
+          ? options_.chunk_injections
+          : std::max<std::uint64_t>(1, plan_size / 64);
+  std::deque<WorkMsg> queue;
+  for (std::uint64_t start = 0; start < plan_size; start += chunk_size) {
+    queue.push_back({start, std::min(chunk_size, plan_size - start)});
+  }
+
+  std::vector<fi::InjectionRecord> records(plan_size);
+  std::vector<std::uint8_t> seen(plan_size, 0);
+  std::uint64_t filled = 0;
+
+  std::vector<Conn> conns;
+  int next_conn_id = 0;
+  const auto timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.worker_timeout_seconds));
+
+  // Drops conns[k]: its outstanding chunk goes back to the FRONT of the
+  // queue so a lost chunk is the next thing dispatched — a killed worker
+  // delays the campaign by at most one chunk's simulation time.
+  const auto drop = [&](std::size_t k, const char* why) {
+    Conn& c = conns[k];
+    log("worker #%d (pid %llu) dropped: %s", c.id,
+        static_cast<unsigned long long>(c.pid), why);
+    if (c.state == ConnState::kWorking) {
+      log("reassigning injections [%llu, %llu)",
+          static_cast<unsigned long long>(c.chunk.start),
+          static_cast<unsigned long long>(c.chunk.start + c.chunk.count));
+      queue.push_front(c.chunk);
+    }
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(k));
+  };
+
+  const auto fill_records = [&](const RecordsMsg& msg) {
+    for (const fi::ShardRecord& r : msg.records) {
+      if (r.index < msg.start || r.index >= msg.start + msg.count) {
+        throw InvalidArgument("record index outside its chunk");
+      }
+      const fi::detail::PlannedInjection& planned =
+          prep.plan[static_cast<std::size_t>(r.index)];
+      if (r.record.cluster != planned.cluster ||
+          r.record.module_class != model_.netlist.cell_class(planned.cell)) {
+        throw InvalidArgument("record contradicts the campaign plan");
+      }
+      const auto i = static_cast<std::size_t>(r.index);
+      if (seen[i] != 0) {
+        // Duplicates can only be re-runs of a reassigned chunk; determinism
+        // says they must agree. A conflict means a worker (or this process)
+        // simulated wrongly — never paper over that.
+        if (!(records[i] == r.record)) {
+          throw InternalError(
+              "duplicate record for injection " + std::to_string(r.index) +
+              " differs between workers — determinism violation");
+        }
+        continue;
+      }
+      seen[i] = 1;
+      records[i] = r.record;
+      ++filled;
+    }
+  };
+
+  while (filled < plan_size) {
+    // Dispatch to every idle worker (reassigned chunks first).
+    for (std::size_t k = 0; k < conns.size();) {
+      if (conns[k].state != ConnState::kIdle || queue.empty()) {
+        ++k;
+        continue;
+      }
+      Conn& c = conns[k];
+      c.chunk = queue.front();
+      try {
+        send_frame(c.socket, MsgType::kWork, encode_payload(c.chunk));
+      } catch (const Error&) {
+        drop(k, "send failed");
+        continue;
+      }
+      queue.pop_front();
+      c.state = ConnState::kWorking;
+      c.deadline = Clock::now() + timeout;
+      ++k;
+    }
+
+    // Poll the listener and every connection; wake at the nearest deadline
+    // so silent workers are reaped even when no fd stirs. Idle workers have
+    // no deadline — a worker waiting out an empty queue is healthy, only
+    // stalled handshakes and stalled chunks are reapable.
+    std::vector<int> fds;
+    fds.reserve(conns.size() + 1);
+    fds.push_back(listener_.fd());
+    for (const Conn& c : conns) fds.push_back(c.socket.fd());
+    int poll_ms = -1;
+    for (const Conn& c : conns) {
+      if (c.state == ConnState::kIdle) continue;
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          c.deadline - Clock::now());
+      const int ms =
+          static_cast<int>(std::clamp<long long>(wait.count(), 0, 60000));
+      poll_ms = poll_ms < 0 ? ms : std::min(poll_ms, ms);
+    }
+    const std::vector<bool> ready = util::poll_readable(fds, poll_ms);
+
+    if (ready[0]) {
+      Conn c;
+      c.socket = listener_.accept();
+      c.state = ConnState::kAwaitHello;
+      c.deadline = Clock::now() + timeout;
+      c.id = next_conn_id++;
+      log("worker #%d connected", c.id);
+      conns.push_back(std::move(c));
+      // The new conn was not polled this round; it is served next iteration.
+    }
+
+    // `ready` indexes the pre-accept fd list: entry ri corresponds to the
+    // ri-1'th conn of that snapshot (a just-accepted conn is past the polled
+    // range and waits a round). `k` tracks the same conn through erasures:
+    // a drop shifts conns left, so k must NOT advance after one.
+    std::size_t k = 0;
+    for (std::size_t ri = 1; ri < ready.size() && k < conns.size(); ++ri) {
+      if (!ready[ri]) {
+        ++k;
+        continue;
+      }
+      Conn& c = conns[k];
+      Frame frame;
+      bool ok = false;
+      try {
+        ok = recv_frame(c.socket, frame);
+      } catch (const Error& e) {
+        drop(k, e.what());
+        continue;
+      }
+      if (!ok) {
+        drop(k, "disconnected");
+        continue;
+      }
+      c.deadline = Clock::now() + timeout;
+      try {
+        util::ByteReader payload(frame.payload);
+        switch (frame.type) {
+          case MsgType::kHello: {
+            if (c.state != ConnState::kAwaitHello) {
+              // A repeated handshake must not reset a working conn's state —
+              // that would leak its outstanding chunk past drop()'s requeue.
+              throw InvalidArgument("unexpected repeated hello");
+            }
+            const HelloMsg hello = HelloMsg::decode(payload);
+            c.pid = hello.pid;
+            send_frame(c.socket, MsgType::kCampaign, campaign_payload);
+            c.state = ConnState::kAwaitReady;
+            break;
+          }
+          case MsgType::kReady: {
+            if (c.state != ConnState::kAwaitReady) {
+              throw InvalidArgument("unexpected ready message");
+            }
+            const ReadyMsg ready_msg = ReadyMsg::decode(payload);
+            if (ready_msg.plan_size != plan_size) {
+              throw InvalidArgument("worker derived a different plan size");
+            }
+            log("worker #%d (pid %llu) ready", c.id,
+                static_cast<unsigned long long>(c.pid));
+            c.state = ConnState::kIdle;
+            break;
+          }
+          case MsgType::kRecords: {
+            if (c.state != ConnState::kWorking) {
+              throw InvalidArgument("records from a worker without work");
+            }
+            const RecordsMsg msg = RecordsMsg::decode(payload);
+            if (msg.start != c.chunk.start || msg.count != c.chunk.count) {
+              throw InvalidArgument("records do not match the assigned chunk");
+            }
+            fill_records(msg);
+            c.state = ConnState::kIdle;
+            break;
+          }
+          case MsgType::kError: {
+            const ErrorMsg err = ErrorMsg::decode(payload);
+            drop(k, err.message.c_str());
+            continue;
+          }
+          default:
+            throw InvalidArgument("unexpected message type");
+        }
+      } catch (const InternalError&) {
+        throw;  // determinism violations abort the campaign
+      } catch (const Error& e) {
+        drop(k, e.what());
+        continue;
+      }
+      ++k;
+    }
+
+    // Reap workers that have been silent past the timeout (idle workers are
+    // exempt: with an empty queue there is nothing they could be sending).
+    const auto now = Clock::now();
+    for (std::size_t k = 0; k < conns.size();) {
+      if (conns[k].state != ConnState::kIdle && conns[k].deadline <= now) {
+        drop(k, "timed out");
+      } else {
+        ++k;
+      }
+    }
+  }
+
+  log("all %llu injections filled, shutting workers down",
+      static_cast<unsigned long long>(filled));
+  for (Conn& c : conns) {
+    try {
+      send_frame(c.socket, MsgType::kShutdown, {});
+    } catch (const Error&) {
+      // A worker that died between its last records and shutdown is fine.
+    }
+  }
+  conns.clear();
+
+  const double seconds = timer.seconds();
+  fi::CampaignResult result = fi::detail::finalize_campaign(
+      model_, config, db_, std::move(prep), std::move(records));
+  result.simulation_seconds = seconds;
+  return result;
+}
+
+}  // namespace ssresf::net

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/protocol.h"
+#include "radiation/soft_error_db.h"
+#include "util/socket.h"
+
+namespace ssresf::net {
+
+struct CoordinatorOptions {
+  std::uint16_t port = 0;     // 0 = ephemeral; read back via port()
+  bool loopback_only = true;  // bind 127.0.0.1 only (tests, local spawner)
+  /// Injections per work item. 0 picks plan_size/64 (min 1): small enough
+  /// that a pull-based slow worker never straggles the campaign, large
+  /// enough that framing cost stays negligible.
+  std::uint64_t chunk_injections = 0;
+  /// A worker silent for this long has its outstanding work reassigned and
+  /// its connection dropped. Must exceed the worst-case time a worker spends
+  /// simulating one chunk.
+  double worker_timeout_seconds = 120.0;
+  bool verbose = false;
+};
+
+/// Campaign coordinator of the socket transport. Owns the full campaign
+/// lifecycle: prepares once (golden run, clustering, sampling, checkpoint
+/// ladder), encodes the golden bundle a single time, then serves any number
+/// of workers that connect — handshake (config + digest + bundle), dynamic
+/// pull-based chunk dispatch, record collection with plan cross-checks, and
+/// reassignment of chunks lost to worker disconnects or timeouts. The
+/// coordinator never trusts a worker: every record frame is digest-checked
+/// at the protocol layer and cross-checked against the locally derived plan,
+/// and a worker that contradicts either is dropped and its work re-queued.
+///
+/// Determinism: records depend only on (model, config, global index), so the
+/// merged result is byte-identical to single-process fi::run_campaign for
+/// any worker count, any join/leave schedule, and any kill timing.
+class Coordinator {
+ public:
+  /// Builds the campaign model from `spec` and binds the listen socket (so
+  /// port() is valid immediately; workers may start connecting before run()).
+  Coordinator(const CampaignSpec& spec,
+              const radiation::SoftErrorDatabase& database,
+              CoordinatorOptions options);
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Runs the campaign to completion and returns the merged result. Blocks
+  /// until every planned injection has a record; with no workers connected
+  /// it waits for them.
+  [[nodiscard]] fi::CampaignResult run();
+
+ private:
+  CampaignSpec spec_;
+  const radiation::SoftErrorDatabase& db_;
+  CoordinatorOptions options_;
+  soc::SocModel model_;
+  util::ListenSocket listener_;
+};
+
+}  // namespace ssresf::net

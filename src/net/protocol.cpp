@@ -1,0 +1,266 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "soc/programs.h"
+#include "util/error.h"
+
+namespace ssresf::net {
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'S', 'S', 'N', 'P'};
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 4 + 8;
+
+void put_f64(util::ByteWriter& out, double v) {
+  out.fixed64(std::bit_cast<std::uint64_t>(v));
+}
+
+double get_f64(util::ByteReader& in) {
+  return std::bit_cast<double>(in.fixed64());
+}
+
+[[nodiscard]] int get_int(util::ByteReader& in) {
+  return static_cast<int>(in.varint());
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  return util::fnv1a(data);
+}
+
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw InvalidArgument("net: frame payload exceeds the 1 GiB cap");
+  }
+  util::ByteWriter out;
+  out.bytes(kFrameMagic, sizeof(kFrameMagic));
+  out.u8(kProtocolVersion);
+  out.u8(static_cast<std::uint8_t>(type));
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) out.u8(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.fixed64(fnv1a(payload));
+  out.bytes(payload.data(), payload.size());
+  return out.take();
+}
+
+void send_frame(util::Socket& socket, MsgType type,
+                std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  socket.send_all(frame.data(), frame.size());
+}
+
+bool recv_frame(util::Socket& socket, Frame& out) {
+  std::uint8_t header[kHeaderSize];
+  if (!socket.recv_all(header, sizeof(header))) return false;
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw InvalidArgument("net: bad frame magic");
+  }
+  if (header[4] != kProtocolVersion) {
+    throw InvalidArgument("net: protocol version mismatch (got " +
+                          std::to_string(header[4]) + ", expected " +
+                          std::to_string(kProtocolVersion) + ")");
+  }
+  if (header[5] > static_cast<std::uint8_t>(MsgType::kError)) {
+    throw InvalidArgument("net: unknown message type " +
+                          std::to_string(header[5]));
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[6 + i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    throw InvalidArgument("net: frame payload length " + std::to_string(len) +
+                          " exceeds the 1 GiB cap");
+  }
+  std::uint64_t digest = 0;
+  for (int i = 0; i < 8; ++i) {
+    digest |= static_cast<std::uint64_t>(header[10 + i]) << (8 * i);
+  }
+  out.type = static_cast<MsgType>(header[5]);
+  out.payload.resize(len);
+  if (len > 0 && !socket.recv_all(out.payload.data(), len)) {
+    throw Error("net: connection closed inside a frame");
+  }
+  if (fnv1a(out.payload) != digest) {
+    throw InvalidArgument("net: frame payload digest mismatch (corrupt or "
+                          "truncated stream)");
+  }
+  return true;
+}
+
+void CampaignSpec::encode(util::ByteWriter& out) const {
+  out.sized_bytes(workload.data(), workload.size());
+  out.sized_bytes(isa.data(), isa.size());
+  out.sized_bytes(bus.data(), bus.size());
+  out.varint(static_cast<std::uint64_t>(mem_kb));
+  out.u8(static_cast<std::uint8_t>(config.engine));
+  out.fixed64(config.seed);
+  put_f64(out, config.environment.flux);
+  put_f64(out, config.environment.let);
+  out.varint(static_cast<std::uint64_t>(config.clustering.num_clusters));
+  out.varint(static_cast<std::uint64_t>(config.clustering.layer_depth));
+  out.varint(static_cast<std::uint64_t>(config.clustering.max_iterations));
+  out.u8(config.clustering.expand_memory_weight ? 1 : 0);
+  put_f64(out, config.sampling.fraction);
+  out.varint(static_cast<std::uint64_t>(config.sampling.min_per_cluster));
+  out.varint(static_cast<std::uint64_t>(config.sampling.max_per_cluster));
+  out.u8(static_cast<std::uint8_t>(config.sampling.weighting));
+  out.varint(static_cast<std::uint64_t>(config.sampling.memory_macro_draws));
+  out.varint(static_cast<std::uint64_t>(config.run_cycles));
+  out.varint(static_cast<std::uint64_t>(config.max_cycles));
+}
+
+CampaignSpec CampaignSpec::decode(util::ByteReader& in) {
+  CampaignSpec spec;
+  const auto get_string = [&in]() {
+    const std::vector<char> bytes = in.byte_vec<char>();
+    return std::string(bytes.begin(), bytes.end());
+  };
+  spec.workload = get_string();
+  spec.isa = get_string();
+  spec.bus = get_string();
+  spec.mem_kb = get_int(in);
+  const std::uint8_t engine = in.u8();
+  if (engine > static_cast<std::uint8_t>(sim::EngineKind::kBitParallel)) {
+    throw InvalidArgument("campaign spec: bad engine kind");
+  }
+  spec.config.engine = static_cast<sim::EngineKind>(engine);
+  spec.config.seed = in.fixed64();
+  spec.config.environment.flux = get_f64(in);
+  spec.config.environment.let = get_f64(in);
+  spec.config.clustering.num_clusters = get_int(in);
+  spec.config.clustering.layer_depth = get_int(in);
+  spec.config.clustering.max_iterations = get_int(in);
+  spec.config.clustering.expand_memory_weight = in.u8() != 0;
+  spec.config.sampling.fraction = get_f64(in);
+  spec.config.sampling.min_per_cluster = get_int(in);
+  spec.config.sampling.max_per_cluster = get_int(in);
+  const std::uint8_t weighting = in.u8();
+  if (weighting > static_cast<std::uint8_t>(cluster::SampleWeighting::kMixed)) {
+    throw InvalidArgument("campaign spec: bad sample weighting");
+  }
+  spec.config.sampling.weighting =
+      static_cast<cluster::SampleWeighting>(weighting);
+  spec.config.sampling.memory_macro_draws = get_int(in);
+  spec.config.run_cycles = get_int(in);
+  spec.config.max_cycles = get_int(in);
+  return spec;
+}
+
+soc::SocModel build_model(const CampaignSpec& spec) {
+  soc::SocConfig cfg;
+  cfg.name = "campaign-soc";
+  cfg.mem_bytes = static_cast<std::uint64_t>(spec.mem_kb) * 1024;
+  cfg.mem_tech = netlist::MemTech::kSram;
+  if (spec.bus == "apb") {
+    cfg.bus = soc::BusProtocol::kApb;
+  } else if (spec.bus == "ahb") {
+    cfg.bus = soc::BusProtocol::kAhb;
+  } else {
+    throw InvalidArgument("unknown bus '" + spec.bus + "'");
+  }
+  cfg.cpu_isa = spec.isa;
+
+  const auto core_cfg = soc::CoreConfig::from_isa(cfg.cpu_isa);
+  soc::Workload workload;
+  if (spec.workload == "benchmark") {
+    workload = soc::benchmark_workload(core_cfg, false);
+  } else if (spec.workload == "benchmark-light") {
+    workload = soc::benchmark_workload(core_cfg, true);
+  } else if (spec.workload == "checksum") {
+    workload = soc::checksum_workload();
+  } else if (spec.workload == "fibonacci") {
+    workload = soc::fibonacci_workload();
+  } else if (spec.workload == "sort") {
+    workload = soc::sort_workload();
+  } else {
+    throw InvalidArgument("unknown workload '" + spec.workload + "'");
+  }
+  const soc::Program programs[] = {soc::assemble(workload.source)};
+  return soc::build_soc(cfg, programs);
+}
+
+void HelloMsg::encode(util::ByteWriter& out) const {
+  out.varint(pid);
+  out.varint(threads);
+}
+
+HelloMsg HelloMsg::decode(util::ByteReader& in) {
+  HelloMsg msg;
+  msg.pid = in.varint();
+  msg.threads = static_cast<std::uint32_t>(in.varint());
+  return msg;
+}
+
+void CampaignMsg::encode(util::ByteWriter& out) const {
+  spec.encode(out);
+  out.fixed64(config_digest);
+  out.varint(total_injections);
+  out.byte_vec(bundle);
+}
+
+CampaignMsg CampaignMsg::decode(util::ByteReader& in) {
+  CampaignMsg msg;
+  msg.spec = CampaignSpec::decode(in);
+  msg.config_digest = in.fixed64();
+  msg.total_injections = in.varint();
+  msg.bundle = in.byte_vec<std::uint8_t>();
+  return msg;
+}
+
+void ReadyMsg::encode(util::ByteWriter& out) const { out.varint(plan_size); }
+
+ReadyMsg ReadyMsg::decode(util::ByteReader& in) {
+  ReadyMsg msg;
+  msg.plan_size = in.varint();
+  return msg;
+}
+
+void WorkMsg::encode(util::ByteWriter& out) const {
+  out.varint(start);
+  out.varint(count);
+}
+
+WorkMsg WorkMsg::decode(util::ByteReader& in) {
+  WorkMsg msg;
+  msg.start = in.varint();
+  msg.count = in.varint();
+  return msg;
+}
+
+void RecordsMsg::encode(util::ByteWriter& out) const {
+  if (records.size() != count) {
+    throw InvalidArgument("records message: count does not match records");
+  }
+  out.varint(start);
+  out.varint(count);
+  fi::encode_records(out, records);
+}
+
+RecordsMsg RecordsMsg::decode(util::ByteReader& in) {
+  RecordsMsg msg;
+  msg.start = in.varint();
+  msg.count = in.varint();
+  if (msg.count > kMaxFramePayload) {
+    throw InvalidArgument("records message: implausible record count");
+  }
+  msg.records = fi::decode_records(in, msg.count);
+  return msg;
+}
+
+void ErrorMsg::encode(util::ByteWriter& out) const {
+  out.sized_bytes(message.data(), message.size());
+}
+
+ErrorMsg ErrorMsg::decode(util::ByteReader& in) {
+  ErrorMsg msg;
+  const std::vector<char> bytes = in.byte_vec<char>();
+  msg.message.assign(bytes.begin(), bytes.end());
+  return msg;
+}
+
+}  // namespace ssresf::net

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.h"
+#include "fi/shard.h"
+#include "soc/soc.h"
+#include "util/bytes.h"
+#include "util/socket.h"
+
+namespace ssresf::net {
+
+/// Wire protocol of the socket campaign transport. One frame per message:
+///
+///   "SSNP" | version u8 | type u8 | payload length u32 LE |
+///   FNV-1a(payload) u64 LE | payload
+///
+/// Every frame is digest-checked on receipt, so a truncated, corrupted, or
+/// version-skewed stream fails loudly instead of decoding into a silently
+/// wrong campaign. Payloads reuse the util/bytes.h LEB128 codecs, the
+/// fi/shard.h record codec, and the fi/golden_bundle.h golden-work codec —
+/// the same byte formats the .ssfs / .ssgb files use on disk.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Frames over 1 GiB are rejected before allocation: no golden bundle or
+/// record batch comes close, so a larger length is a corrupt or hostile
+/// header.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
+
+enum class MsgType : std::uint8_t {
+  kHello = 0,     // worker -> coordinator: pid + threads, opens the session
+  kCampaign = 1,  // coordinator -> worker: spec + digest + golden bundle
+  kReady = 2,     // worker -> coordinator: plan derived, plan size echoed
+  kWork = 3,      // coordinator -> worker: one chunk of global indices
+  kRecords = 4,   // worker -> coordinator: the chunk's records
+  kShutdown = 5,  // coordinator -> worker: campaign complete, disconnect
+  kError = 6,     // either direction: fatal condition, human-readable
+};
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    MsgType type, std::span<const std::uint8_t> payload);
+
+void send_frame(util::Socket& socket, MsgType type,
+                std::span<const std::uint8_t> payload);
+
+/// Blocking read of one frame. Returns false on a clean end-of-stream before
+/// the first header byte (the peer hung up between messages). Throws
+/// InvalidArgument on bad magic/version/type, an oversized length, or a
+/// payload digest mismatch; util Error on a mid-frame disconnect.
+[[nodiscard]] bool recv_frame(util::Socket& socket, Frame& out);
+
+/// Campaign-defining parameters, sufficient to reconstruct the identical
+/// (model, config) pair on any host: the workload/SoC shape plus the full
+/// CampaignConfig. Execution knobs (threads, checkpoint/exit flags) never
+/// affect records and are NOT transmitted — each worker keeps its own.
+/// The receiver cross-checks fi::campaign_config_digest of the rebuilt pair
+/// against the digest the coordinator sent.
+struct CampaignSpec {
+  std::string workload = "benchmark-light";
+  std::string isa = "RV32IM";
+  std::string bus = "ahb";
+  int mem_kb = 16;
+  fi::CampaignConfig config;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static CampaignSpec decode(util::ByteReader& in);
+};
+
+/// Builds the campaign SoC the spec describes (assembles the named workload,
+/// instantiates the bus and memories). Throws InvalidArgument on an unknown
+/// workload or bus name.
+[[nodiscard]] soc::SocModel build_model(const CampaignSpec& spec);
+
+// --- message payloads ---------------------------------------------------------
+
+struct HelloMsg {
+  std::uint64_t pid = 0;
+  std::uint32_t threads = 1;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static HelloMsg decode(util::ByteReader& in);
+};
+
+struct CampaignMsg {
+  CampaignSpec spec;
+  std::uint64_t config_digest = 0;
+  std::uint64_t total_injections = 0;
+  std::vector<std::uint8_t> bundle;  // encode_golden_bundle bytes
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static CampaignMsg decode(util::ByteReader& in);
+};
+
+struct ReadyMsg {
+  std::uint64_t plan_size = 0;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static ReadyMsg decode(util::ByteReader& in);
+};
+
+struct WorkMsg {
+  std::uint64_t start = 0;
+  std::uint64_t count = 0;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static WorkMsg decode(util::ByteReader& in);
+};
+
+struct RecordsMsg {
+  std::uint64_t start = 0;
+  std::uint64_t count = 0;
+  std::vector<fi::ShardRecord> records;  // ascending index order
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static RecordsMsg decode(util::ByteReader& in);
+};
+
+struct ErrorMsg {
+  std::string message;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static ErrorMsg decode(util::ByteReader& in);
+};
+
+/// encode() into a fresh payload buffer (convenience for send_frame).
+template <typename Msg>
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const Msg& msg) {
+  util::ByteWriter out;
+  msg.encode(out);
+  return out.take();
+}
+
+}  // namespace ssresf::net

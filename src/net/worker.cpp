@@ -1,0 +1,145 @@
+#include "net/worker.h"
+
+#include <cstdio>
+#include <numeric>
+
+#include "fi/campaign_exec.h"
+#include "fi/golden_bundle.h"
+#include "util/error.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace ssresf::net {
+
+Worker::Worker(const radiation::SoftErrorDatabase& database,
+               WorkerOptions options)
+    : db_(database), options_(std::move(options)) {}
+
+std::uint64_t Worker::run() {
+  const auto log = [&](const char* fmt, auto... args) {
+    if (options_.verbose) {
+      std::fprintf(stderr, "worker: ");
+      std::fprintf(stderr, fmt, args...);
+      std::fputc('\n', stderr);
+    }
+  };
+
+  util::Socket socket =
+      util::connect_to(options_.host, options_.port,
+                       options_.connect_timeout_seconds);
+  HelloMsg hello;
+#ifndef _WIN32
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+#endif
+  hello.threads = static_cast<std::uint32_t>(std::max(options_.threads, 1));
+  send_frame(socket, MsgType::kHello, encode_payload(hello));
+
+  Frame frame;
+  if (!recv_frame(socket, frame)) {
+    throw Error("worker: coordinator hung up before the campaign handshake");
+  }
+  if (frame.type == MsgType::kError) {
+    util::ByteReader payload(frame.payload);
+    throw Error("worker: coordinator error: " +
+                ErrorMsg::decode(payload).message);
+  }
+  if (frame.type != MsgType::kCampaign) {
+    throw InvalidArgument("worker: expected the campaign message first");
+  }
+  util::ByteReader payload(frame.payload);
+  const CampaignMsg campaign = CampaignMsg::decode(payload);
+
+  // Rebuild the exact (model, config) the coordinator holds and prove it via
+  // the digest — version skew, a different soft-error database, or any codec
+  // bug fails here, before a single record is produced.
+  const soc::SocModel model = build_model(campaign.spec);
+  fi::CampaignConfig config = campaign.spec.config;
+  config.threads = options_.threads;
+  const std::uint64_t digest = fi::campaign_config_digest(model, config);
+  if (digest != campaign.config_digest) {
+    const ErrorMsg err{"campaign configuration digest mismatch"};
+    try {
+      send_frame(socket, MsgType::kError, encode_payload(err));
+    } catch (const Error&) {
+    }
+    throw InvalidArgument(
+        "worker: campaign configuration digest mismatch (coordinator sent " +
+        std::to_string(campaign.config_digest) + ", derived " +
+        std::to_string(digest) + ")");
+  }
+
+  util::ByteReader bundle_reader(campaign.bundle);
+  const fi::GoldenBundle bundle = fi::decode_golden_bundle(bundle_reader);
+  const fi::detail::CampaignPrep prep =
+      fi::prepare_campaign_with_bundle(model, config, db_, bundle);
+  if (prep.plan.size() != campaign.total_injections) {
+    throw InvalidArgument("worker: derived plan size " +
+                          std::to_string(prep.plan.size()) +
+                          " does not match the coordinator's " +
+                          std::to_string(campaign.total_injections));
+  }
+  log("campaign of %zu injections, %zu-rung ladder shipped (%zu bytes)",
+      prep.plan.size(), prep.ladder.size(), campaign.bundle.size());
+
+  ReadyMsg ready{prep.plan.size()};
+  send_frame(socket, MsgType::kReady, encode_payload(ready));
+
+  std::vector<fi::InjectionRecord> records(prep.plan.size());
+  std::vector<std::size_t> owned;
+  std::uint64_t produced = 0;
+  std::uint64_t chunks_done = 0;
+  for (;;) {
+    if (!recv_frame(socket, frame)) {
+      log("coordinator hung up, exiting");
+      return produced;
+    }
+    if (frame.type == MsgType::kShutdown) {
+      log("shutdown after %llu records",
+          static_cast<unsigned long long>(produced));
+      return produced;
+    }
+    if (frame.type == MsgType::kError) {
+      util::ByteReader err_payload(frame.payload);
+      throw Error("worker: coordinator error: " +
+                  ErrorMsg::decode(err_payload).message);
+    }
+    if (frame.type != MsgType::kWork) {
+      throw InvalidArgument("worker: unexpected message mid-campaign");
+    }
+    util::ByteReader work_payload(frame.payload);
+    const WorkMsg work = WorkMsg::decode(work_payload);
+    if (work.count == 0 || work.start + work.count > prep.plan.size()) {
+      throw InvalidArgument("worker: work item outside the plan");
+    }
+    if (chunks_done >= options_.defect_after_chunks) {
+      log("defecting on injections [%llu, %llu)",
+          static_cast<unsigned long long>(work.start),
+          static_cast<unsigned long long>(work.start + work.count));
+      return produced;  // vanish without replying: the chunk is now lost
+    }
+
+    owned.resize(static_cast<std::size_t>(work.count));
+    std::iota(owned.begin(), owned.end(),
+              static_cast<std::size_t>(work.start));
+    fi::detail::execute_injections(model, config, prep, owned, records);
+
+    RecordsMsg reply;
+    reply.start = work.start;
+    reply.count = work.count;
+    reply.records.reserve(owned.size());
+    for (const std::size_t i : owned) {
+      reply.records.push_back({i, records[i]});
+    }
+    send_frame(socket, MsgType::kRecords, encode_payload(reply));
+    produced += work.count;
+    ++chunks_done;
+    if (options_.max_chunks > 0 && chunks_done >= options_.max_chunks) {
+      log("chunk budget reached, disconnecting cleanly");
+      return produced;
+    }
+  }
+}
+
+}  // namespace ssresf::net

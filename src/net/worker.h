@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "radiation/soft_error_db.h"
+
+namespace ssresf::net {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int threads = 1;  // execution threads inside this worker process
+  /// Retry window for the initial connect (covers the worker-starts-before-
+  /// coordinator race of a parallel launch).
+  double connect_timeout_seconds = 10.0;
+  /// Test hook: disconnect cleanly after completing this many work items
+  /// (0 = unlimited). Exercises the coordinator's late-leaver path.
+  std::uint64_t max_chunks = 0;
+  /// Test hook: after completing this many work items, accept the next one
+  /// and vanish without replying — the deterministic stand-in for a worker
+  /// killed mid-chunk. UINT64_MAX disables.
+  std::uint64_t defect_after_chunks = UINT64_MAX;
+  bool verbose = false;
+};
+
+/// Campaign worker of the socket transport: connects, receives the campaign
+/// spec + golden bundle, rebuilds (model, config) locally and cross-checks
+/// the coordinator's FNV-1a config digest, then pulls work items and streams
+/// records back until shutdown. The shipped bundle means a worker performs
+/// no golden simulation at all — planning is simulation-free and every
+/// checkpoint rung arrives as a sim/state_codec frame.
+class Worker {
+ public:
+  Worker(const radiation::SoftErrorDatabase& database, WorkerOptions options);
+
+  /// Runs one session to completion. Returns the number of injection records
+  /// produced. Throws on connection failure, protocol violations, or a
+  /// campaign digest mismatch.
+  std::uint64_t run();
+
+ private:
+  const radiation::SoftErrorDatabase& db_;
+  WorkerOptions options_;
+};
+
+}  // namespace ssresf::net

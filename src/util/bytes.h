@@ -9,6 +9,26 @@
 
 namespace ssresf::util {
 
+/// FNV-1a 64-bit — the one digest of the distribution layer: shard-file and
+/// golden-bundle campaign binding, and socket frame payload integrity.
+struct Fnv1a {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    for (const std::uint8_t b : data) byte(b);
+  }
+};
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  Fnv1a d;
+  d.bytes(data);
+  return d.h;
+}
+
 /// Little byte-stream serialization layer shared by the engine state codec
 /// and the campaign shard files: LEB128 varints for counts and mostly-small
 /// integers, fixed little-endian 64-bit words for bit-plane data (which the

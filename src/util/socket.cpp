@@ -1,0 +1,280 @@
+#include "util/socket.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/error.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace ssresf::util {
+
+#ifndef _WIN32
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  if (fd_ < 0) throw Error("socket: send on closed socket");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer killed mid-campaign must surface as an error
+    // return, not a process-terminating SIGPIPE.
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket: send failed");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t n) {
+  if (fd_ < 0) throw Error("socket: recv on closed socket");
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("socket: recv failed");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw Error("socket: connection closed mid-message (" +
+                  std::to_string(got) + " of " + std::to_string(n) +
+                  " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool Socket::wait_readable(int timeout_ms) const {
+  struct pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int r;
+  do {
+    r = ::poll(&pfd, 1, timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) throw_errno("socket: poll failed");
+  return r > 0;
+}
+
+std::pair<Socket, Socket> Socket::pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socket: socketpair failed");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+ListenSocket::ListenSocket(std::uint16_t port, bool loopback_only) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket: cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("socket: cannot bind port " + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("socket: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("socket: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ListenSocket::~ListenSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket ListenSocket::accept() {
+  int client;
+  do {
+    client = ::accept(fd_, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR);
+  if (client < 0) throw_errno("socket: accept failed");
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(client);
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  double timeout_seconds) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int gai =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (gai != 0 || res == nullptr) {
+    throw Error("socket: cannot resolve '" + host +
+                "': " + ::gai_strerror(gai));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  int last_errno = 0;
+  for (;;) {
+    for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+        ::freeaddrinfo(res);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return Socket(fd);
+      }
+      last_errno = errno;
+      ::close(fd);
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    // The coordinator may not be listening yet (worker spawned first).
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::freeaddrinfo(res);
+  throw Error("socket: cannot connect to " + host + ":" +
+              std::to_string(port) + " within " +
+              std::to_string(timeout_seconds) +
+              "s: " + std::strerror(last_errno));
+}
+
+std::vector<bool> poll_readable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) {
+    struct pollfd pfd{};
+    pfd.fd = fd;  // poll ignores negative fds, matching "skip" semantics
+    pfd.events = POLLIN;
+    pfds.push_back(pfd);
+  }
+  int r;
+  do {
+    r = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) throw_errno("socket: poll failed");
+  std::vector<bool> ready(fds.size(), false);
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    ready[i] = (pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+  }
+  return ready;
+}
+
+#else  // _WIN32
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket& Socket::operator=(Socket&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+Socket::~Socket() = default;
+void Socket::close() {}
+void Socket::send_all(const void*, std::size_t) {
+  throw Error("socket: not supported on this platform");
+}
+bool Socket::recv_all(void*, std::size_t) {
+  throw Error("socket: not supported on this platform");
+}
+bool Socket::wait_readable(int) const {
+  throw Error("socket: not supported on this platform");
+}
+std::pair<Socket, Socket> Socket::pair() {
+  throw Error("socket: not supported on this platform");
+}
+ListenSocket::ListenSocket(std::uint16_t, bool) {
+  throw Error("socket: not supported on this platform");
+}
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  fd_ = other.fd_;
+  port_ = other.port_;
+  other.fd_ = -1;
+  return *this;
+}
+ListenSocket::~ListenSocket() = default;
+Socket ListenSocket::accept() {
+  throw Error("socket: not supported on this platform");
+}
+Socket connect_to(const std::string&, std::uint16_t, double) {
+  throw Error("socket: not supported on this platform");
+}
+std::vector<bool> poll_readable(const std::vector<int>&, int) {
+  throw Error("socket: not supported on this platform");
+}
+
+#endif
+
+}  // namespace ssresf::util

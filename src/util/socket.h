@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssresf::util {
+
+/// Minimal blocking TCP layer for the distributed campaign's socket
+/// transport: RAII fd ownership, exact-count send/receive (the frame codec in
+/// net/protocol.h never sees a partial read), and poll-based readiness. POSIX
+/// only, like Subprocess — the Windows build throws on construction.
+class Socket {
+ public:
+  Socket() = default;
+  /// Adopts an already-connected fd.
+  explicit Socket(int fd) : fd_(fd) {}
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Sends exactly `n` bytes (loops over partial writes and EINTR; SIGPIPE
+  /// suppressed). Throws Error when the peer is gone.
+  void send_all(const void* data, std::size_t n);
+
+  /// Receives exactly `n` bytes. Returns false on a clean end-of-stream
+  /// before the first byte (the peer closed between messages); throws Error
+  /// on a mid-buffer EOF or a socket error — a connection dropped inside a
+  /// message must never look like a clean shutdown.
+  [[nodiscard]] bool recv_all(void* data, std::size_t n);
+
+  /// Blocks until the socket is readable (data, EOF, or error) or
+  /// `timeout_ms` elapses; negative waits forever. Returns readable.
+  [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+  /// Connected AF_UNIX pair (for in-process protocol tests).
+  [[nodiscard]] static std::pair<Socket, Socket> pair();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket. Port 0 binds an ephemeral port — read the chosen
+/// one back via port(). `loopback_only` binds 127.0.0.1 instead of all
+/// interfaces (the loopback worker spawner and the tests use this).
+class ListenSocket {
+ public:
+  explicit ListenSocket(std::uint16_t port, bool loopback_only = false);
+
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket& operator=(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  ~ListenSocket();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Accepts one pending connection (blocks; poll the fd first to avoid
+  /// blocking when multiplexing).
+  [[nodiscard]] Socket accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port, retrying for up to `timeout_seconds` — a worker
+/// started a moment before its coordinator must not die on the race. Throws
+/// Error when the deadline passes without a connection.
+[[nodiscard]] Socket connect_to(const std::string& host, std::uint16_t port,
+                                double timeout_seconds = 10.0);
+
+/// One poll() pass over `fds` (entries < 0 are skipped). Returns one flag per
+/// fd: true when readable, hung up, or in error — every state where a read
+/// will not block. `timeout_ms` < 0 waits forever.
+[[nodiscard]] std::vector<bool> poll_readable(const std::vector<int>& fds,
+                                              int timeout_ms);
+
+}  // namespace ssresf::util

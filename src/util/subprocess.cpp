@@ -7,6 +7,7 @@
 #include "util/error.h"
 
 #ifndef _WIN32
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
@@ -56,6 +57,10 @@ int Subprocess::wait() {
   return exit_code_;
 }
 
+void Subprocess::terminate() {
+  if (pid_ > 0) ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
 #else  // _WIN32
 
 Subprocess::Subprocess(std::vector<std::string>) {
@@ -63,6 +68,8 @@ Subprocess::Subprocess(std::vector<std::string>) {
 }
 
 int Subprocess::wait() { return exit_code_; }
+
+void Subprocess::terminate() {}
 
 #endif
 

@@ -27,11 +27,17 @@ class Subprocess {
   ~Subprocess();
 
   [[nodiscard]] bool running() const { return pid_ > 0; }
+  [[nodiscard]] long pid() const { return pid_; }
 
   /// Blocks until the child exits. Returns its exit code, or 128 + signal
   /// number when the child died on a signal (shell convention). Idempotent:
   /// later calls return the first result.
   int wait();
+
+  /// Kills the child (SIGKILL) if it is still running; wait() then reports
+  /// 128 + SIGKILL. The campaign chaos tests use this to fell a worker
+  /// mid-run. No-op after the child has been waited for.
+  void terminate();
 
   /// Convenience: spawn + wait.
   static int run(std::vector<std::string> argv);

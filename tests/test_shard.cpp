@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <string>
 
+#include "fi/campaign_exec.h"
+#include "fi/golden_bundle.h"
 #include "fi/shard.h"
 #include "soc/programs.h"
 #include "util/error.h"
@@ -233,12 +235,43 @@ TEST(Shard, WriteValidatesRecordOrderAndCounts) {
   fs::remove(path);
 }
 
+TEST(Shard, GoldenBundleShardsMatchFreshlyPreparedShards) {
+  // The --workers fast path: shards fed a shipped golden bundle must emit
+  // exactly the records of shards that re-derive the golden work locally.
+  const soc::SocModel model = small_soc();
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignConfig config = small_campaign();
+
+  const fi::detail::CampaignPrep prep =
+      fi::detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+  const fi::GoldenBundle bundle =
+      fi::extract_golden_bundle(model, config, prep);
+  for (int k = 0; k < 2; ++k) {
+    const fi::ShardRunResult fresh =
+        fi::run_campaign_shard(model, config, db, {k, 2});
+    const fi::ShardRunResult shipped =
+        fi::run_campaign_shard(model, config, db, {k, 2}, &bundle);
+    ASSERT_EQ(shipped.records.size(), fresh.records.size());
+    for (std::size_t i = 0; i < fresh.records.size(); ++i) {
+      EXPECT_EQ(shipped.records[i], fresh.records[i]) << "record " << i;
+    }
+  }
+}
+
 TEST(Subprocess, RunsAndReportsExitCodes) {
   EXPECT_EQ(util::Subprocess::run({"/bin/sh", "-c", "exit 0"}), 0);
   EXPECT_EQ(util::Subprocess::run({"/bin/sh", "-c", "exit 7"}), 7);
   // exec failure surfaces as 127 (shell convention).
   EXPECT_EQ(util::Subprocess::run({"/nonexistent/ssresf-no-such-binary"}), 127);
   EXPECT_THROW(util::Subprocess::run({}), InvalidArgument);
+}
+
+TEST(Subprocess, TerminateKillsARunningChild) {
+  util::Subprocess child({"/bin/sh", "-c", "sleep 30"});
+  EXPECT_TRUE(child.running());
+  child.terminate();
+  EXPECT_EQ(child.wait(), 128 + 9);  // SIGKILL, shell convention
+  child.terminate();                 // no-op after reaping
 }
 
 TEST(Subprocess, ParallelChildrenJoinIndependently) {

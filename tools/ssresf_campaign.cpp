@@ -1,19 +1,26 @@
 // Distributed fault-injection campaign driver.
 //
-// One binary, four roles:
+// One binary, six roles:
 //   (default)                     single-process campaign (fi::run_campaign)
 //   --shard K/N --emit-shard-file run shard K of N, write its records
 //   --merge FILE...               merge shard files into the full result
-//   --workers N                   coordinator: spawn N `--shard k/N` worker
+//   --workers N                   coordinator: spawn N local worker
 //                                 subprocesses of this binary, then merge
+//                                 (--transport files|socket picks the path)
+//   --serve PORT                  socket coordinator: serve the campaign to
+//                                 any worker that connects (other hosts too)
+//   --connect HOST:PORT           socket worker: pull work from a coordinator
 //
-// All roles derive the identical plan from (model flags, campaign flags), so
-// the merged records of any N-way run are byte-identical to the
-// single-process run — the records CSV is diffable across roles, which is
-// exactly what the CI distributed-equivalence smoke step does.
+// All roles derive the identical plan from (model flags, campaign flags) —
+// socket workers receive them over the wire, digest-checked — so the merged
+// records of any N-way run are byte-identical to the single-process run for
+// any worker count and any worker kill/reconnect schedule. The records CSV
+// is diffable across roles, which is exactly what the CI
+// distributed-equivalence jobs do.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,8 +32,10 @@
 #define SSRESF_GETPID ::getpid
 #endif
 
+#include "fi/golden_bundle.h"
 #include "fi/shard.h"
-#include "soc/programs.h"
+#include "net/coordinator.h"
+#include "net/worker.h"
 #include "util/error.h"
 #include "util/subprocess.h"
 
@@ -35,33 +44,26 @@ using namespace ssresf;
 namespace {
 
 struct Options {
-  // --- model -----------------------------------------------------------------
-  std::string workload = "benchmark-light";
-  std::string isa = "RV32IM";
-  std::string bus = "ahb";
-  int mem_kb = 16;
-
-  // --- campaign --------------------------------------------------------------
-  std::string engine = "levelized";
-  std::uint64_t seed = 1;
-  int clusters = 8;
-  double fraction = 0.02;
-  int min_per_cluster = 4;
-  int max_per_cluster = 32;
-  double let = 37.0;
-  double flux = 5e8;
-  int threads = 1;
-  int run_cycles = 0;
-  int max_cycles = 4000;
+  // --- model + campaign (the record-affecting flags, see net::CampaignSpec) ---
+  net::CampaignSpec spec;
+  int threads = 1;  // per-process execution knob; never affects records
 
   // --- role ------------------------------------------------------------------
   int shard_index = -1;
   int shard_count = 0;
   std::string emit_shard_file;
+  std::string golden_bundle;  // with --shard: skip golden work via this file
   bool merge = false;
   int workers = 0;
+  std::string transport = "files";  // with --workers: files | socket
+  int serve_port = -1;
+  std::string connect;  // host:port
   std::string shard_dir;
   std::vector<std::string> merge_inputs;
+
+  // --- socket transport knobs -------------------------------------------------
+  double worker_timeout = 120.0;
+  std::uint64_t chunk = 0;  // injections per work item; 0 = auto
 
   // --- output ----------------------------------------------------------------
   std::string records_csv;
@@ -93,9 +95,20 @@ void usage(std::FILE* out) {
       "role (default: single-process campaign):\n"
       "  --shard K/N         run shard K (0-based) of N\n"
       "  --emit-shard-file P with --shard: write the shard file to P\n"
+      "  --golden-bundle P   with --shard: load shipped golden work (.ssgb)\n"
       "  --merge FILE...     merge shard files (positional or after --merge)\n"
       "  --workers N         spawn N worker subprocesses and merge\n"
+      "  --transport files|socket\n"
+      "                      with --workers: shard files (default) or a\n"
+      "                      loopback TCP coordinator with ladder shipping\n"
+      "  --serve PORT        socket coordinator; 0 picks a free port\n"
+      "  --connect HOST:PORT socket worker\n"
       "  --shard-dir DIR     coordinator scratch dir (default: temp dir)\n"
+      "\n"
+      "socket transport:\n"
+      "  --worker-timeout S  reassign a silent worker's chunk after S seconds\n"
+      "                      (default 120)\n"
+      "  --chunk N           injections per work item (default: plan/64)\n"
       "\n"
       "output:\n"
       "  --records-csv PATH  write per-injection records as CSV\n"
@@ -110,54 +123,16 @@ void usage(std::FILE* out) {
   throw InvalidArgument("unknown engine '" + name + "'");
 }
 
-[[nodiscard]] soc::SocModel build_model(const Options& opt) {
-  soc::SocConfig cfg;
-  cfg.name = "campaign-soc";
-  cfg.mem_bytes = static_cast<std::uint64_t>(opt.mem_kb) * 1024;
-  cfg.mem_tech = netlist::MemTech::kSram;
-  if (opt.bus == "apb") {
-    cfg.bus = soc::BusProtocol::kApb;
-  } else if (opt.bus == "ahb") {
-    cfg.bus = soc::BusProtocol::kAhb;
-  } else {
-    throw InvalidArgument("unknown bus '" + opt.bus + "'");
+[[nodiscard]] const char* engine_flag(sim::EngineKind kind) {
+  switch (kind) {
+    case sim::EngineKind::kEvent:
+      return "event";
+    case sim::EngineKind::kLevelized:
+      return "levelized";
+    case sim::EngineKind::kBitParallel:
+      return "bit-parallel";
   }
-  cfg.cpu_isa = opt.isa;
-
-  const auto core_cfg = soc::CoreConfig::from_isa(cfg.cpu_isa);
-  soc::Workload workload;
-  if (opt.workload == "benchmark") {
-    workload = soc::benchmark_workload(core_cfg, false);
-  } else if (opt.workload == "benchmark-light") {
-    workload = soc::benchmark_workload(core_cfg, true);
-  } else if (opt.workload == "checksum") {
-    workload = soc::checksum_workload();
-  } else if (opt.workload == "fibonacci") {
-    workload = soc::fibonacci_workload();
-  } else if (opt.workload == "sort") {
-    workload = soc::sort_workload();
-  } else {
-    throw InvalidArgument("unknown workload '" + opt.workload + "'");
-  }
-  const soc::Program programs[] = {soc::assemble(workload.source)};
-  return soc::build_soc(cfg, programs);
-}
-
-[[nodiscard]] fi::CampaignConfig build_config(const Options& opt) {
-  fi::CampaignConfig config;
-  config.engine = parse_engine(opt.engine);
-  config.seed = opt.seed;
-  config.clustering.num_clusters = opt.clusters;
-  config.sampling.fraction = opt.fraction;
-  config.sampling.min_per_cluster = opt.min_per_cluster;
-  config.sampling.max_per_cluster = opt.max_per_cluster;
-  config.sampling.weighting = cluster::SampleWeighting::kMixed;
-  config.environment.let = opt.let;
-  config.environment.flux = opt.flux;
-  config.threads = opt.threads;
-  config.run_cycles = opt.run_cycles;
-  config.max_cycles = opt.max_cycles;
-  return config;
+  return "levelized";
 }
 
 /// Round-trip-exact double formatting (std::to_string's fixed six decimals
@@ -169,27 +144,35 @@ void usage(std::FILE* out) {
   return buf;
 }
 
-/// The campaign-defining flags, re-serialized for worker subprocesses: a
-/// worker must reconstruct the exact same model and config as the
-/// coordinator (role/output flags are per-process and excluded).
+/// The campaign-defining flags, re-serialized for shard worker subprocesses:
+/// a worker must reconstruct the exact same model and config as the
+/// coordinator (role/output flags are per-process and excluded). Socket
+/// workers need none of this — the spec travels over the wire.
 [[nodiscard]] std::vector<std::string> campaign_args(const Options& opt) {
+  const fi::CampaignConfig& c = opt.spec.config;
   return {
-      "--workload", opt.workload,
-      "--isa", opt.isa,
-      "--bus", opt.bus,
-      "--mem-kb", std::to_string(opt.mem_kb),
-      "--engine", opt.engine,
-      "--seed", std::to_string(opt.seed),
-      "--clusters", std::to_string(opt.clusters),
-      "--fraction", fmt_double(opt.fraction),
-      "--min-per-cluster", std::to_string(opt.min_per_cluster),
-      "--max-per-cluster", std::to_string(opt.max_per_cluster),
-      "--let", fmt_double(opt.let),
-      "--flux", fmt_double(opt.flux),
+      "--workload", opt.spec.workload,
+      "--isa", opt.spec.isa,
+      "--bus", opt.spec.bus,
+      "--mem-kb", std::to_string(opt.spec.mem_kb),
+      "--engine", engine_flag(c.engine),
+      "--seed", std::to_string(c.seed),
+      "--clusters", std::to_string(c.clustering.num_clusters),
+      "--fraction", fmt_double(c.sampling.fraction),
+      "--min-per-cluster", std::to_string(c.sampling.min_per_cluster),
+      "--max-per-cluster", std::to_string(c.sampling.max_per_cluster),
+      "--let", fmt_double(c.environment.let),
+      "--flux", fmt_double(c.environment.flux),
       "--threads", std::to_string(opt.threads),
-      "--run-cycles", std::to_string(opt.run_cycles),
-      "--max-cycles", std::to_string(opt.max_cycles),
+      "--run-cycles", std::to_string(c.run_cycles),
+      "--max-cycles", std::to_string(c.max_cycles),
   };
+}
+
+[[nodiscard]] fi::CampaignConfig build_config(const Options& opt) {
+  fi::CampaignConfig config = opt.spec.config;
+  config.threads = opt.threads;
+  return config;
 }
 
 void write_records_csv(const std::string& path,
@@ -243,6 +226,19 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
 
 [[nodiscard]] Options parse_options(int argc, char** argv) {
   Options opt;
+  // The CLI default differs from the library default (broader sampling).
+  opt.spec.config.clustering.num_clusters = 8;
+  opt.spec.config.sampling.fraction = 0.02;
+  opt.spec.config.sampling.min_per_cluster = 4;
+  opt.spec.config.sampling.max_per_cluster = 32;
+  opt.spec.config.sampling.weighting = cluster::SampleWeighting::kMixed;
+  opt.spec.config.environment.let = 37.0;
+  opt.spec.config.environment.flux = 5e8;
+  opt.spec.config.engine = sim::EngineKind::kLevelized;
+  opt.spec.config.seed = 1;
+  opt.spec.config.run_cycles = 0;
+  opt.spec.config.max_cycles = 4000;
+
   const auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) {
       throw InvalidArgument(std::string(argv[i]) + " requires a value");
@@ -255,35 +251,35 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
       usage(stdout);
       std::exit(0);
     } else if (arg == "--workload") {
-      opt.workload = need_value(i);
+      opt.spec.workload = need_value(i);
     } else if (arg == "--isa") {
-      opt.isa = need_value(i);
+      opt.spec.isa = need_value(i);
     } else if (arg == "--bus") {
-      opt.bus = need_value(i);
+      opt.spec.bus = need_value(i);
     } else if (arg == "--mem-kb") {
-      opt.mem_kb = std::stoi(need_value(i));
+      opt.spec.mem_kb = std::stoi(need_value(i));
     } else if (arg == "--engine") {
-      opt.engine = need_value(i);
+      opt.spec.config.engine = parse_engine(need_value(i));
     } else if (arg == "--seed") {
-      opt.seed = std::stoull(need_value(i));
+      opt.spec.config.seed = std::stoull(need_value(i));
     } else if (arg == "--clusters") {
-      opt.clusters = std::stoi(need_value(i));
+      opt.spec.config.clustering.num_clusters = std::stoi(need_value(i));
     } else if (arg == "--fraction") {
-      opt.fraction = std::stod(need_value(i));
+      opt.spec.config.sampling.fraction = std::stod(need_value(i));
     } else if (arg == "--min-per-cluster") {
-      opt.min_per_cluster = std::stoi(need_value(i));
+      opt.spec.config.sampling.min_per_cluster = std::stoi(need_value(i));
     } else if (arg == "--max-per-cluster") {
-      opt.max_per_cluster = std::stoi(need_value(i));
+      opt.spec.config.sampling.max_per_cluster = std::stoi(need_value(i));
     } else if (arg == "--let") {
-      opt.let = std::stod(need_value(i));
+      opt.spec.config.environment.let = std::stod(need_value(i));
     } else if (arg == "--flux") {
-      opt.flux = std::stod(need_value(i));
+      opt.spec.config.environment.flux = std::stod(need_value(i));
     } else if (arg == "--threads") {
       opt.threads = std::stoi(need_value(i));
     } else if (arg == "--run-cycles") {
-      opt.run_cycles = std::stoi(need_value(i));
+      opt.spec.config.run_cycles = std::stoi(need_value(i));
     } else if (arg == "--max-cycles") {
-      opt.max_cycles = std::stoi(need_value(i));
+      opt.spec.config.max_cycles = std::stoi(need_value(i));
     } else if (arg == "--shard") {
       const std::string spec = need_value(i);
       const std::size_t slash = spec.find('/');
@@ -294,10 +290,29 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
       opt.shard_count = std::stoi(spec.substr(slash + 1));
     } else if (arg == "--emit-shard-file") {
       opt.emit_shard_file = need_value(i);
+    } else if (arg == "--golden-bundle") {
+      opt.golden_bundle = need_value(i);
     } else if (arg == "--merge") {
       opt.merge = true;
     } else if (arg == "--workers") {
       opt.workers = std::stoi(need_value(i));
+    } else if (arg == "--transport") {
+      opt.transport = need_value(i);
+      if (opt.transport != "files" && opt.transport != "socket") {
+        throw InvalidArgument("--transport expects files|socket, got '" +
+                              opt.transport + "'");
+      }
+    } else if (arg == "--serve") {
+      opt.serve_port = std::stoi(need_value(i));
+      if (opt.serve_port < 0 || opt.serve_port > 65535) {
+        throw InvalidArgument("--serve expects a port in [0, 65535]");
+      }
+    } else if (arg == "--connect") {
+      opt.connect = need_value(i);
+    } else if (arg == "--worker-timeout") {
+      opt.worker_timeout = std::stod(need_value(i));
+    } else if (arg == "--chunk") {
+      opt.chunk = std::stoull(need_value(i));
     } else if (arg == "--shard-dir") {
       opt.shard_dir = need_value(i);
     } else if (arg == "--records-csv") {
@@ -319,28 +334,45 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
   if (!opt.emit_shard_file.empty() && opt.shard_count <= 0) {
     throw InvalidArgument("--emit-shard-file requires --shard K/N");
   }
+  if (!opt.golden_bundle.empty() && opt.shard_count <= 0) {
+    throw InvalidArgument("--golden-bundle requires --shard K/N");
+  }
   // One role per invocation: conflicting role flags are an error, not a
   // precedence surprise, and output flags that a role would ignore are too.
   const int roles = (opt.shard_count > 0 ? 1 : 0) + (opt.merge ? 1 : 0) +
-                    (opt.workers > 0 ? 1 : 0);
+                    (opt.workers > 0 ? 1 : 0) + (opt.serve_port >= 0 ? 1 : 0) +
+                    (!opt.connect.empty() ? 1 : 0);
   if (roles > 1) {
     throw InvalidArgument(
-        "--shard, --merge, and --workers are mutually exclusive");
+        "--shard, --merge, --workers, --serve, and --connect are mutually "
+        "exclusive");
   }
   if (opt.shard_count > 0 && (!opt.records_csv.empty() || opt.summary)) {
     throw InvalidArgument(
         "--records-csv/--summary apply to full results; a --shard run only "
         "emits its shard file (merge it to get records)");
   }
+  if (!opt.connect.empty() && (!opt.records_csv.empty() || opt.summary)) {
+    throw InvalidArgument(
+        "--records-csv/--summary apply to full results; a --connect worker "
+        "streams its records to the coordinator");
+  }
   return opt;
 }
 
 int run_shard_role(const Options& opt) {
-  const soc::SocModel model = build_model(opt);
+  const soc::SocModel model = net::build_model(opt.spec);
   const fi::CampaignConfig config = build_config(opt);
   const auto db = radiation::SoftErrorDatabase::default_database();
   const fi::ShardSpec spec{opt.shard_index, opt.shard_count};
-  const fi::ShardRunResult run = fi::run_campaign_shard(model, config, db, spec);
+  // A shipped golden bundle spares this worker both golden passes; records
+  // are byte-identical either way.
+  std::optional<fi::GoldenBundle> bundle;
+  if (!opt.golden_bundle.empty()) {
+    bundle = fi::read_golden_bundle_file(opt.golden_bundle, model, config);
+  }
+  const fi::ShardRunResult run = fi::run_campaign_shard(
+      model, config, db, spec, bundle ? &*bundle : nullptr);
 
   fi::ShardFileMeta meta;
   meta.seed = config.seed;
@@ -356,7 +388,7 @@ int run_shard_role(const Options& opt) {
 }
 
 int run_merge_role(const Options& opt, const std::vector<std::string>& files) {
-  const soc::SocModel model = build_model(opt);
+  const soc::SocModel model = net::build_model(opt.spec);
   const fi::CampaignConfig config = build_config(opt);
   const auto db = radiation::SoftErrorDatabase::default_database();
   const fi::CampaignResult result =
@@ -365,32 +397,47 @@ int run_merge_role(const Options& opt, const std::vector<std::string>& files) {
   return 0;
 }
 
-int run_coordinator_role(const Options& opt, const std::string& self) {
-  namespace fs = std::filesystem;
-  const bool scratch = opt.shard_dir.empty();
-  const fs::path dir =
-      scratch ? fs::temp_directory_path() /
-                    ("ssresf_shards_" + std::to_string(SSRESF_GETPID()))
-              : fs::path(opt.shard_dir);
-  fs::create_directories(dir);
-  // The scratch directory must not outlive the run, worker failures and
-  // merge errors included.
-  struct Cleanup {
-    const fs::path* dir = nullptr;
-    ~Cleanup() {
-      if (dir != nullptr) {
-        std::error_code ignored;
-        fs::remove_all(*dir, ignored);
-      }
+/// Coordinator scratch dir helper: a user-supplied dir is kept, a temp one
+/// is removed on every exit path (worker failures and merge errors included).
+struct ScratchDir {
+  std::filesystem::path dir;
+  bool remove = false;
+  explicit ScratchDir(const std::string& requested) {
+    remove = requested.empty();
+    dir = remove ? std::filesystem::temp_directory_path() /
+                       ("ssresf_shards_" + std::to_string(SSRESF_GETPID()))
+                 : std::filesystem::path(requested);
+    std::filesystem::create_directories(dir);
+  }
+  ~ScratchDir() {
+    if (remove) {
+      std::error_code ignored;
+      std::filesystem::remove_all(dir, ignored);
     }
-  } cleanup{scratch ? &dir : nullptr};
+  }
+};
+
+int run_files_coordinator_role(const Options& opt, const std::string& self) {
+  const ScratchDir scratch(opt.shard_dir);
+  const soc::SocModel model = net::build_model(opt.spec);
+  const fi::CampaignConfig config = build_config(opt);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+
+  // One golden pass for the whole fleet: prepare here, write the bundle, and
+  // every shard worker loads it instead of re-deriving golden run + replay +
+  // ladder (the redundancy PR 3 paid per worker).
+  fi::detail::CampaignPrep prep =
+      fi::detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+  const std::string bundle_path = (scratch.dir / "golden.ssgb").string();
+  fi::write_golden_bundle_file(bundle_path, model, config,
+                               fi::extract_golden_bundle(model, config, prep));
 
   std::vector<std::string> files;
   std::vector<util::Subprocess> children;
   children.reserve(static_cast<std::size_t>(opt.workers));
   for (int k = 0; k < opt.workers; ++k) {
     const std::string file =
-        (dir / ("shard_" + std::to_string(k) + ".ssfs")).string();
+        (scratch.dir / ("shard_" + std::to_string(k) + ".ssfs")).string();
     files.push_back(file);
     std::vector<std::string> argv = {self};
     const std::vector<std::string> campaign = campaign_args(opt);
@@ -399,6 +446,8 @@ int run_coordinator_role(const Options& opt, const std::string& self) {
     argv.push_back(std::to_string(k) + "/" + std::to_string(opt.workers));
     argv.push_back("--emit-shard-file");
     argv.push_back(file);
+    argv.push_back("--golden-bundle");
+    argv.push_back(bundle_path);
     children.emplace_back(std::move(argv));
   }
   int failures = 0;
@@ -410,11 +459,87 @@ int run_coordinator_role(const Options& opt, const std::string& self) {
     }
   }
   if (failures > 0) return 1;
-  return run_merge_role(opt, files);
+  const fi::CampaignResult result =
+      fi::merge_shard_files(model, config, db, std::move(prep), files);
+  emit_result(opt, result);
+  return 0;
+}
+
+int run_socket_coordinator_role(const Options& opt, const std::string& self) {
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  net::CoordinatorOptions copts;
+  copts.port = 0;  // ephemeral loopback port, read back below
+  copts.loopback_only = true;
+  copts.chunk_injections = opt.chunk;
+  copts.worker_timeout_seconds = opt.worker_timeout;
+  copts.verbose = true;
+  net::Coordinator coordinator(opt.spec, db, copts);
+
+  std::vector<util::Subprocess> children;
+  children.reserve(static_cast<std::size_t>(opt.workers));
+  for (int k = 0; k < opt.workers; ++k) {
+    children.emplace_back(std::vector<std::string>{
+        self, "--connect", "127.0.0.1:" + std::to_string(coordinator.port()),
+        "--threads", std::to_string(opt.threads)});
+  }
+  const fi::CampaignResult result = coordinator.run();
+  // The campaign is complete and verified; a worker that died (or was
+  // killed) along the way already had its work reassigned, so a non-zero
+  // child is a warning, not a failure.
+  for (int k = 0; k < opt.workers; ++k) {
+    const int code = children[static_cast<std::size_t>(k)].wait();
+    if (code != 0) {
+      std::fprintf(stderr, "note: socket worker %d exited with code %d\n", k,
+                   code);
+    }
+  }
+  emit_result(opt, result);
+  return 0;
+}
+
+int run_serve_role(const Options& opt) {
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  net::CoordinatorOptions copts;
+  copts.port = static_cast<std::uint16_t>(opt.serve_port);
+  copts.loopback_only = false;
+  copts.chunk_injections = opt.chunk;
+  copts.worker_timeout_seconds = opt.worker_timeout;
+  copts.verbose = true;
+  net::Coordinator coordinator(opt.spec, db, copts);
+  std::fprintf(stderr, "serving campaign on port %u\n",
+               static_cast<unsigned>(coordinator.port()));
+  const fi::CampaignResult result = coordinator.run();
+  emit_result(opt, result);
+  return 0;
+}
+
+int run_connect_role(const Options& opt) {
+  const std::size_t colon = opt.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == opt.connect.size()) {
+    throw InvalidArgument("--connect expects HOST:PORT, got '" + opt.connect +
+                          "'");
+  }
+  const int port = std::stoi(opt.connect.substr(colon + 1));
+  if (port < 1 || port > 65535) {
+    throw InvalidArgument("--connect port must be in [1, 65535], got " +
+                          std::to_string(port));
+  }
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  net::WorkerOptions wopts;
+  wopts.host = opt.connect.substr(0, colon);
+  wopts.port = static_cast<std::uint16_t>(port);
+  wopts.threads = opt.threads;
+  wopts.verbose = true;
+  net::Worker worker(db, wopts);
+  const std::uint64_t produced = worker.run();
+  std::fprintf(stderr, "worker done: %llu records\n",
+               static_cast<unsigned long long>(produced));
+  return 0;
 }
 
 int run_single_role(const Options& opt) {
-  const soc::SocModel model = build_model(opt);
+  const soc::SocModel model = net::build_model(opt.spec);
   const fi::CampaignConfig config = build_config(opt);
   const auto db = radiation::SoftErrorDatabase::default_database();
   const fi::CampaignResult result = fi::run_campaign(model, config, db);
@@ -429,7 +554,13 @@ int main(int argc, char** argv) {
     const Options opt = parse_options(argc, argv);
     if (!opt.emit_shard_file.empty()) return run_shard_role(opt);
     if (opt.merge) return run_merge_role(opt, opt.merge_inputs);
-    if (opt.workers > 0) return run_coordinator_role(opt, argv[0]);
+    if (opt.workers > 0) {
+      return opt.transport == "socket"
+                 ? run_socket_coordinator_role(opt, argv[0])
+                 : run_files_coordinator_role(opt, argv[0]);
+    }
+    if (opt.serve_port >= 0) return run_serve_role(opt);
+    if (!opt.connect.empty()) return run_connect_role(opt);
     if (opt.shard_count > 0) {
       throw InvalidArgument("--shard requires --emit-shard-file");
     }
