@@ -23,7 +23,7 @@ int main() {
 
   util::Table table({"Series", "Memory", "Bus", "CPU Logic", "Peripheral"});
   auto add_series = [&](const std::string& name,
-                        const std::array<double, 5>& percents) {
+                        const std::array<double, netlist::kModuleClassCount>& percents) {
     table.add_row(
         {name,
          util::format("%.2f%%", percents[static_cast<int>(netlist::ModuleClass::kMemory)]),

@@ -1,79 +1,115 @@
-// The full SSRESF flow (Fig. 1): dynamic-simulation phase feeding the
-// machine-learning phase. Trains the SVM on campaign data, cross-validates,
-// and uses the trained model as a fast sensitive-node prediction service —
-// then shows the speed-up over re-running simulation.
+// The full SSRESF flow (Fig. 1) on the Pipeline API v2: a staged
+// core::Session runs simulate -> build_dataset -> tune -> train -> predict,
+// persists the digest-bound artifacts (.ssfs / .ssds / .ssmd), and the saved
+// model bundle is then reloaded and transferred to a *modified* netlist —
+// the paper's deployment story: train once, classify any design at a
+// fraction of simulation cost.
+//
+// usage: sensitivity_prediction [scenario.yaml [out_dir [predictions.csv]]]
+//
+// With a scenario file this doubles as the programmatic half of the CI
+// scenario-equivalence check: its predictions CSV must be byte-identical to
+// `ssresf run --scenario <file>` on the same scenario.
+#include <algorithm>
 #include <cstdio>
 
-#include "core/ssresf.h"
-#include "soc/programs.h"
+#include "core/session.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 using namespace ssresf;
 
-int main() {
-  soc::SocConfig cfg;
-  cfg.mem_bytes = 64 * 1024;
-  cfg.cpu_isa = "RV32I";
-  cfg.bus = soc::BusProtocol::kAhb;
-  cfg.bus_width_bits = 64;
-  const soc::Workload workload =
-      soc::benchmark_workload(soc::CoreConfig::from_isa(cfg.cpu_isa));
-  const soc::Program programs[] = {soc::assemble(workload.source)};
-  const soc::SocModel model = soc::build_soc(cfg, programs);
+namespace {
 
-  core::PipelineConfig pipeline;
-  pipeline.campaign.clustering.num_clusters = 6;
-  pipeline.campaign.sampling.fraction = 0.02;
-  pipeline.campaign.sampling.min_per_cluster = 10;
-  pipeline.campaign.sampling.max_per_cluster = 40;
-  pipeline.campaign.seed = 3;
-  pipeline.cv_folds = 10;
-  pipeline.run_grid_search = true;  // optimize (C, gamma) as in Sec. IV-B
+core::ScenarioSpec default_scenario() {
+  core::ScenarioSpec spec;
+  spec.name = "sensitivity-demo";
+  spec.campaign.workload = "benchmark";
+  spec.campaign.isa = "RV32I";
+  spec.campaign.bus = "ahb";
+  spec.campaign.mem_kb = 64;
+  spec.campaign.config.clustering.num_clusters = 6;
+  spec.campaign.config.sampling.fraction = 0.02;
+  spec.campaign.config.sampling.min_per_cluster = 10;
+  spec.campaign.config.sampling.max_per_cluster = 40;
+  spec.campaign.config.seed = 3;
+  spec.cv_folds = 10;
+  spec.run_grid_search = true;  // optimize (C, gamma) as in Sec. IV-B
+  return spec;
+}
 
+}  // namespace
+
+int main(int argc, char** argv) {
   const auto db = radiation::SoftErrorDatabase::default_database();
-  const auto result = core::run_pipeline(model, pipeline, db);
+  core::ScenarioSpec spec = argc > 1
+                                ? core::ScenarioSpec::load_file(argv[1])
+                                : default_scenario();
+  core::SessionOptions options;
+  options.artifact_dir = argc > 2 ? argv[2] : "sensitivity_artifacts";
 
+  core::Session session(spec, db, options);
+  const fi::CampaignResult& campaign = session.simulate();
   std::printf("campaign: %zu injections, %.2fs of simulation\n",
-              result.campaign.records.size(),
-              result.campaign.simulation_seconds);
-  std::printf("grid search chose C=%.2f gamma=%.2f\n", result.chosen_svm.c,
-              result.chosen_svm.kernel.gamma);
-
-  const auto& cm = result.cv.aggregate;
-  util::Table metrics({"metric", "value"});
-  metrics.add_row({"TNR", util::format("%.2f%%", 100 * cm.tnr())});
-  metrics.add_row({"TPR", util::format("%.2f%%", 100 * cm.tpr())});
-  metrics.add_row({"Precision", util::format("%.2f%%", 100 * cm.precision())});
-  metrics.add_row({"Accuracy", util::format("%.2f%%", 100 * cm.accuracy())});
-  metrics.add_row({"F1", util::format("%.2f", cm.f1())});
-  metrics.add_row({"Support vectors",
-                   std::to_string(result.model.num_support_vectors())});
-  std::printf("\n10-fold cross-validation (Table II metrics):\n%s",
-              metrics.render().c_str());
-
-  // The trained model as a prediction service: classify some nodes the
-  // simulation never touched.
-  std::vector<netlist::CellId> probe_nodes;
-  for (const auto id : model.netlist.all_cells()) {
-    const auto kind = model.netlist.cell(id).kind;
-    if (kind == netlist::CellKind::kConst0 || kind == netlist::CellKind::kConst1)
-      continue;
-    if (probe_nodes.size() < 8 && id.index() % 97 == 0) probe_nodes.push_back(id);
-  }
-  const auto predictions =
-      core::predict_nodes(model, result.model, result.scaler, probe_nodes);
-  std::printf("\nprediction service examples:\n");
-  for (std::size_t i = 0; i < probe_nodes.size(); ++i) {
-    std::printf("  %-40s -> %s sensitivity\n",
-                model.netlist.cell_path(probe_nodes[i]).c_str(),
-                predictions[i] == 1 ? "HIGH" : "low");
+              campaign.records.size(), campaign.simulation_seconds);
+  const core::ModelBundle& bundle = session.train();
+  if (spec.run_grid_search && session.has_cv()) {
+    std::printf("grid search chose C=%.2f gamma=%.2f\n", bundle.chosen_svm.c,
+                bundle.chosen_svm.kernel.gamma);
   }
 
-  std::printf("\ntiming: simulation %.2fs vs train+predict %.4fs (%.0fx)\n",
-              result.campaign.simulation_seconds,
-              result.train_seconds + result.predict_seconds,
-              result.campaign.simulation_seconds /
-                  (result.train_seconds + result.predict_seconds));
+  if (session.has_cv()) {
+    const auto& cm = session.cv().aggregate;
+    util::Table metrics({"metric", "value"});
+    metrics.add_row({"TNR", util::format("%.2f%%", 100 * cm.tnr())});
+    metrics.add_row({"TPR", util::format("%.2f%%", 100 * cm.tpr())});
+    metrics.add_row({"Precision", util::format("%.2f%%", 100 * cm.precision())});
+    metrics.add_row({"Accuracy", util::format("%.2f%%", 100 * cm.accuracy())});
+    metrics.add_row({"F1", util::format("%.2f", cm.f1())});
+    metrics.add_row({"Support vectors",
+                     std::to_string(bundle.model.num_support_vectors())});
+    std::printf("\n%d-fold cross-validation (Table II metrics):\n%s",
+                spec.cv_folds, metrics.render().c_str());
+  }
+
+  // The persisted bundle is the deployment artifact: classify every node of
+  // this SoC straight from disk (bit-identical to the in-process model).
+  const core::SessionPrediction& prediction = session.predict();
+  std::printf("\npredicted %zu nodes in %.4fs (simulation: %.2fs, %.0fx)\n",
+              prediction.cells.size(), prediction.predict_seconds,
+              campaign.simulation_seconds,
+              campaign.simulation_seconds /
+                  std::max(prediction.predict_seconds, 1e-9));
+  if (argc > 3) {
+    core::write_predictions_csv(argv[3], session.model(), prediction);
+    std::printf("predictions written to %s\n", argv[3]);
+  }
+
+  // Cross-netlist transfer: reload the saved .ssmd and classify a *modified*
+  // design — same workload, doubled data memory — that the campaign never
+  // simulated. The digest check must be overridden deliberately.
+  core::ScenarioSpec modified = spec;
+  modified.name = spec.name + "-modified";
+  modified.campaign.mem_kb = spec.campaign.mem_kb * 2;
+  core::Session transfer(modified, db);
+  transfer.adopt_model(core::read_model_file(session.model_path()),
+                       /*allow_digest_mismatch=*/true);
+  const core::SessionPrediction& transferred = transfer.predict();
+
+  util::Table classes({"module class", "trained SoC", "modified SoC"});
+  for (std::size_t c = 0; c < netlist::kModuleClassCount; ++c) {
+    classes.add_row(
+        {std::string(
+             netlist::module_class_name(static_cast<netlist::ModuleClass>(c))),
+         util::format("%.2f%%", prediction.class_percent[c]),
+         util::format("%.2f%%", transferred.class_percent[c])});
+  }
+  std::printf("\nhigh-sensitivity share per module class (SVM prediction):\n%s",
+              classes.render().c_str());
+  std::printf(
+      "\nmodel bundle %s transferred to a %d KiB variant: %zu nodes "
+      "classified without a single new simulation\n",
+      session.model_path().c_str(), modified.campaign.mem_kb,
+      transferred.cells.size());
   return 0;
 }

@@ -1,0 +1,178 @@
+#include "core/model_io.h"
+
+#include <fstream>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace ssresf::core {
+
+namespace {
+
+constexpr std::uint8_t kModelVersion = 1;
+constexpr std::uint8_t kDatasetVersion = 1;
+
+void put_string(util::ByteWriter& out, const std::string& s) {
+  out.sized_bytes(s.data(), s.size());
+}
+
+std::string get_string(util::ByteReader& in) {
+  const std::size_t n = in.element_count(1);
+  std::string s(n, '\0');
+  if (n > 0) in.bytes(s.data(), n);
+  return s;
+}
+
+/// magic | version | payload length (varint) | FNV-1a(payload) | payload.
+void write_artifact(const std::string& path, const char magic[4],
+                    std::uint8_t version, util::ByteWriter&& payload) {
+  util::ByteWriter file;
+  file.bytes(magic, 4);
+  file.u8(version);
+  file.varint(payload.size());
+  file.fixed64(util::fnv1a(payload.data()));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  const auto& header = file.data();
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  const auto body = payload.take();
+  out.write(reinterpret_cast<const char*>(body.data()),
+            static_cast<std::streamsize>(body.size()));
+  if (!out) throw Error("short write to '" + path + "'");
+}
+
+/// Reads and integrity-checks an artifact; returns the verified payload.
+std::vector<std::uint8_t> read_artifact(const std::string& path,
+                                        const char magic[4],
+                                        std::uint8_t version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  util::ByteReader reader(raw);
+  char got_magic[4] = {};
+  reader.bytes(got_magic, 4);
+  if (std::string_view(got_magic, 4) != std::string_view(magic, 4)) {
+    throw InvalidArgument("'" + path + "' is not a " +
+                          std::string(magic, 4) + " artifact");
+  }
+  const std::uint8_t got_version = reader.u8();
+  if (got_version != version) {
+    throw InvalidArgument("'" + path + "': unsupported " +
+                          std::string(magic, 4) + " version " +
+                          std::to_string(got_version));
+  }
+  const std::size_t length = reader.element_count(1);
+  const std::uint64_t digest = reader.fixed64();
+  if (length != reader.remaining()) {
+    throw InvalidArgument("'" + path + "': truncated artifact");
+  }
+  std::vector<std::uint8_t> payload(length);
+  if (length > 0) reader.bytes(payload.data(), length);
+  if (util::fnv1a(payload) != digest) {
+    throw InvalidArgument("'" + path + "': payload digest mismatch (corrupt "
+                          "or tampered artifact)");
+  }
+  return payload;
+}
+
+}  // namespace
+
+void write_model_file(const std::string& path, const ModelBundle& bundle) {
+  util::ByteWriter out;
+  out.varint(bundle.config_digest);
+  put_string(out, bundle.scenario_name);
+  bundle.chosen_svm.encode(out);
+  bundle.model.encode(out);
+  bundle.scaler.encode(out);
+  out.varint(bundle.selected_features.size());
+  for (const int f : bundle.selected_features) {
+    out.varint(static_cast<std::uint64_t>(f));
+  }
+  out.varint(bundle.feature_names.size());
+  for (const std::string& n : bundle.feature_names) put_string(out, n);
+  out.f64(bundle.cv_mean_accuracy);
+  write_artifact(path, "SSMD", kModelVersion, std::move(out));
+}
+
+ModelBundle read_model_file(const std::string& path) {
+  const auto payload = read_artifact(path, "SSMD", kModelVersion);
+  util::ByteReader in(payload);
+  try {
+    ModelBundle bundle;
+    bundle.config_digest = in.varint();
+    bundle.scenario_name = get_string(in);
+    bundle.chosen_svm = ml::SvmConfig::decode(in);
+    bundle.model = ml::SvmClassifier::decode(in);
+    bundle.scaler = ml::MinMaxScaler::decode(in);
+    const std::size_t num_selected = in.element_count(1);
+    bundle.selected_features.reserve(num_selected);
+    for (std::size_t i = 0; i < num_selected; ++i) {
+      bundle.selected_features.push_back(static_cast<int>(in.varint()));
+    }
+    const std::size_t num_names = in.element_count(1);
+    bundle.feature_names.reserve(num_names);
+    for (std::size_t i = 0; i < num_names; ++i) {
+      bundle.feature_names.push_back(get_string(in));
+    }
+    bundle.cv_mean_accuracy = in.f64();
+    if (!in.at_end()) {
+      throw InvalidArgument("trailing bytes after model bundle");
+    }
+    return bundle;
+  } catch (const Error& e) {
+    throw InvalidArgument("'" + path + "': malformed model bundle: " +
+                          e.what());
+  }
+}
+
+void write_dataset_file(const std::string& path,
+                        const DatasetArtifact& artifact) {
+  util::ByteWriter out;
+  out.varint(artifact.config_digest);
+  const ml::Dataset& data = artifact.dataset;
+  out.varint(data.feature_names().size());
+  for (const std::string& n : data.feature_names()) put_string(out, n);
+  out.varint(data.size());
+  out.varint(data.num_features());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.u8(data.label(i) > 0 ? 1 : 0);
+    for (const double v : data.row(i)) out.f64(v);
+  }
+  write_artifact(path, "SSDS", kDatasetVersion, std::move(out));
+}
+
+DatasetArtifact read_dataset_file(const std::string& path) {
+  const auto payload = read_artifact(path, "SSDS", kDatasetVersion);
+  util::ByteReader in(payload);
+  try {
+    DatasetArtifact artifact;
+    artifact.config_digest = in.varint();
+    const std::size_t num_names = in.element_count(1);
+    std::vector<std::string> names;
+    names.reserve(num_names);
+    for (std::size_t i = 0; i < num_names; ++i) names.push_back(get_string(in));
+    artifact.dataset = ml::Dataset(std::move(names));
+    const std::size_t rows = in.element_count(1);
+    // Each feature is one 8-byte double: bound the per-row reserve by the
+    // input itself (a crafted count must not drive a huge allocation).
+    const std::size_t features = in.element_count(8);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const int label = in.u8() != 0 ? 1 : -1;
+      std::vector<double> row;
+      row.reserve(features);
+      for (std::size_t f = 0; f < features; ++f) row.push_back(in.f64());
+      artifact.dataset.add(std::move(row), label);
+    }
+    if (!in.at_end()) {
+      throw InvalidArgument("trailing bytes after dataset");
+    }
+    return artifact;
+  } catch (const Error& e) {
+    throw InvalidArgument("'" + path + "': malformed dataset artifact: " +
+                          e.what());
+  }
+}
+
+}  // namespace ssresf::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+
+namespace ssresf::core {
+
+/// On-disk artifacts of the staged Session pipeline. Both files share the
+/// framing of the campaign formats: a 4-byte magic, a version byte, and an
+/// FNV-1a digest of the payload, so truncation or corruption fails loudly on
+/// load instead of decoding into a silently different model. All doubles
+/// travel as raw IEEE-754 words — a reloaded model produces bit-identical
+/// decision values, and a reloaded dataset trains a bit-identical model.
+
+/// The trained-model bundle (`.ssmd`): everything needed to serve
+/// sensitivity predictions without re-running a single simulation — the
+/// paper's "train once, classify any netlist" deployment artifact.
+struct ModelBundle {
+  /// fi::campaign_config_digest of the campaign the model was trained on.
+  /// Binds predictions to their training scenario; Session::adopt_model
+  /// rejects a mismatch unless cross-netlist transfer is explicitly allowed.
+  std::uint64_t config_digest = 0;
+  std::string scenario_name;
+  ml::SvmConfig chosen_svm;  // after the tune stage (grid search)
+  ml::SvmClassifier model;   // trained on the full scaled dataset
+  ml::MinMaxScaler scaler;   // fitted on the selected feature columns
+  /// Feature-column mask applied to raw FeatureExtractor rows before
+  /// scaling/prediction (Fisher-selection order; identity when selection is
+  /// off).
+  std::vector<int> selected_features;
+  std::vector<std::string> feature_names;  // raw extractor column names
+  double cv_mean_accuracy = 0.0;           // tune-stage estimate, for reports
+};
+
+void write_model_file(const std::string& path, const ModelBundle& bundle);
+[[nodiscard]] ModelBundle read_model_file(const std::string& path);
+
+/// The labeled-dataset artifact (`.ssds`): raw (unscaled) node features plus
+/// +1/-1 sensitivity labels, digest-bound to the campaign that produced it.
+/// Sufficient on its own to resume a Session at the tune stage.
+struct DatasetArtifact {
+  std::uint64_t config_digest = 0;
+  ml::Dataset dataset;
+};
+
+void write_dataset_file(const std::string& path, const DatasetArtifact& artifact);
+[[nodiscard]] DatasetArtifact read_dataset_file(const std::string& path);
+
+}  // namespace ssresf::core

@@ -1,0 +1,383 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ssresf::core {
+
+using util::YamlNode;
+
+std::string_view engine_name(sim::EngineKind kind) {
+  switch (kind) {
+    case sim::EngineKind::kEvent:
+      return "event";
+    case sim::EngineKind::kLevelized:
+      return "levelized";
+    case sim::EngineKind::kBitParallel:
+      return "bit-parallel";
+  }
+  return "levelized";
+}
+
+sim::EngineKind parse_engine_name(std::string_view name) {
+  if (name == "event") return sim::EngineKind::kEvent;
+  if (name == "levelized") return sim::EngineKind::kLevelized;
+  if (name == "bit-parallel") return sim::EngineKind::kBitParallel;
+  throw InvalidArgument("unknown engine '" + std::string(name) +
+                        "' (expected event | levelized | bit-parallel)");
+}
+
+std::string_view kernel_name(ml::KernelType type) {
+  switch (type) {
+    case ml::KernelType::kLinear:
+      return "linear";
+    case ml::KernelType::kRbf:
+      return "rbf";
+    case ml::KernelType::kPoly:
+      return "poly";
+  }
+  return "rbf";
+}
+
+ml::KernelType parse_kernel_name(std::string_view name) {
+  if (name == "linear") return ml::KernelType::kLinear;
+  if (name == "rbf") return ml::KernelType::kRbf;
+  if (name == "poly") return ml::KernelType::kPoly;
+  throw InvalidArgument("unknown kernel '" + std::string(name) +
+                        "' (expected linear | rbf | poly)");
+}
+
+std::string_view weighting_name(cluster::SampleWeighting w) {
+  switch (w) {
+    case cluster::SampleWeighting::kUniform:
+      return "uniform";
+    case cluster::SampleWeighting::kXsectWeighted:
+      return "xsect";
+    case cluster::SampleWeighting::kMixed:
+      return "mixed";
+  }
+  return "mixed";
+}
+
+cluster::SampleWeighting parse_weighting_name(std::string_view name) {
+  if (name == "uniform") return cluster::SampleWeighting::kUniform;
+  if (name == "xsect") return cluster::SampleWeighting::kXsectWeighted;
+  if (name == "mixed") return cluster::SampleWeighting::kMixed;
+  throw InvalidArgument("unknown weighting '" + std::string(name) +
+                        "' (expected uniform | xsect | mixed)");
+}
+
+namespace {
+
+/// Shortest round-trip-exact decimal of a double, so dump() -> parse() is a
+/// fixed point (and a seed like 1e-7 survives the trip bit-exactly).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    for (int precision = 1; precision < 17; ++precision) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw InvalidArgument("scenario: " + path + ": " + what);
+}
+
+/// Rejects keys outside `allowed` with the full dotted path — a typo must
+/// never silently fall back to a default and change results.
+void check_keys(const YamlNode& map, const std::string& path,
+                std::initializer_list<std::string_view> allowed) {
+  if (!map.is_map()) fail(path, "expected a map");
+  for (const auto& [key, value] : map.entries()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::string known;
+      for (const auto a : allowed) {
+        known += known.empty() ? std::string(a) : " | " + std::string(a);
+      }
+      fail(path.empty() ? key : path + "." + key,
+           "unknown key (expected " + known + ")");
+    }
+  }
+}
+
+std::string child_path(const std::string& path, std::string_view key) {
+  return path.empty() ? std::string(key) : path + "." + std::string(key);
+}
+
+template <typename T, typename Fn>
+T get_or(const YamlNode& map, const std::string& path, std::string_view key,
+         T fallback, Fn&& convert) {
+  if (!map.has(key)) return fallback;
+  try {
+    return convert(map.at(key));
+  } catch (const Error& e) {
+    // Any library error (yaml conversion included) gains the dotted key
+    // path — the codec's diagnostic promise.
+    fail(child_path(path, key), e.what());
+  }
+}
+
+double get_double(const YamlNode& map, const std::string& path,
+                  std::string_view key, double fallback) {
+  return get_or(map, path, key, fallback,
+                [](const YamlNode& n) { return n.as_double(); });
+}
+
+int get_int(const YamlNode& map, const std::string& path, std::string_view key,
+            int fallback) {
+  return get_or(map, path, key, fallback,
+                [](const YamlNode& n) { return static_cast<int>(n.as_int()); });
+}
+
+std::uint64_t get_u64(const YamlNode& map, const std::string& path,
+                      std::string_view key, std::uint64_t fallback) {
+  return get_or(map, path, key, fallback, [](const YamlNode& n) {
+    const long long v = n.as_int();
+    if (v < 0) throw InvalidArgument("expected a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+  });
+}
+
+std::string get_string(const YamlNode& map, const std::string& path,
+                       std::string_view key, std::string fallback) {
+  return get_or(map, path, key, std::move(fallback),
+                [](const YamlNode& n) { return n.as_string(); });
+}
+
+bool get_bool(const YamlNode& map, const std::string& path,
+              std::string_view key, bool fallback) {
+  return get_or(map, path, key, fallback, [](const YamlNode& n) {
+    const std::string& s = n.as_string();
+    if (s == "true" || s == "yes" || s == "on") return true;
+    if (s == "false" || s == "no" || s == "off") return false;
+    throw InvalidArgument("'" + s + "' is not a boolean");
+  });
+}
+
+std::vector<double> get_double_list(const YamlNode& map,
+                                    const std::string& path,
+                                    std::string_view key,
+                                    std::vector<double> fallback) {
+  return get_or(map, path, key, std::move(fallback), [](const YamlNode& n) {
+    if (!n.is_list()) throw InvalidArgument("expected a list of numbers");
+    std::vector<double> out;
+    out.reserve(n.size());
+    for (std::size_t i = 0; i < n.size(); ++i) out.push_back(n.at(i).as_double());
+    return out;
+  });
+}
+
+YamlNode double_list(const std::vector<double>& values) {
+  YamlNode list = YamlNode::list();
+  for (const double v : values) list.push_back(YamlNode::scalar(fmt_double(v)));
+  return list;
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
+  ScenarioSpec spec;
+  check_keys(root, "", {"scenario", "model", "campaign", "ml"});
+  spec.name = get_string(root, "", "scenario", spec.name);
+  if (spec.name.empty()) fail("scenario", "name must not be empty");
+
+  if (root.has("model")) {
+    const YamlNode& model = root.at("model");
+    check_keys(model, "model", {"workload", "isa", "bus", "mem_kb"});
+    spec.campaign.workload =
+        get_string(model, "model", "workload", spec.campaign.workload);
+    spec.campaign.isa = get_string(model, "model", "isa", spec.campaign.isa);
+    spec.campaign.bus = get_string(model, "model", "bus", spec.campaign.bus);
+    spec.campaign.mem_kb = get_int(model, "model", "mem_kb", spec.campaign.mem_kb);
+    if (spec.campaign.mem_kb <= 0) fail("model.mem_kb", "must be positive");
+  }
+
+  fi::CampaignConfig& config = spec.campaign.config;
+  if (root.has("campaign")) {
+    const YamlNode& c = root.at("campaign");
+    check_keys(c, "campaign",
+               {"engine", "seed", "run_cycles", "max_cycles", "environment",
+                "clustering", "sampling"});
+    config.engine = get_or(c, "campaign", "engine", config.engine,
+                           [](const YamlNode& n) {
+                             return parse_engine_name(n.as_string());
+                           });
+    config.seed = get_u64(c, "campaign", "seed", config.seed);
+    config.run_cycles = get_int(c, "campaign", "run_cycles", config.run_cycles);
+    config.max_cycles = get_int(c, "campaign", "max_cycles", config.max_cycles);
+    if (c.has("environment")) {
+      const YamlNode& env = c.at("environment");
+      check_keys(env, "campaign.environment", {"flux", "let"});
+      config.environment.flux = get_double(env, "campaign.environment", "flux",
+                                           config.environment.flux);
+      config.environment.let = get_double(env, "campaign.environment", "let",
+                                          config.environment.let);
+    }
+    if (c.has("clustering")) {
+      const YamlNode& cl = c.at("clustering");
+      check_keys(cl, "campaign.clustering",
+                 {"clusters", "layer_depth", "max_iterations",
+                  "expand_memory_weight"});
+      config.clustering.num_clusters =
+          get_int(cl, "campaign.clustering", "clusters",
+                  config.clustering.num_clusters);
+      config.clustering.layer_depth = get_int(
+          cl, "campaign.clustering", "layer_depth", config.clustering.layer_depth);
+      config.clustering.max_iterations =
+          get_int(cl, "campaign.clustering", "max_iterations",
+                  config.clustering.max_iterations);
+      config.clustering.expand_memory_weight =
+          get_bool(cl, "campaign.clustering", "expand_memory_weight",
+                   config.clustering.expand_memory_weight);
+    }
+    if (c.has("sampling")) {
+      const YamlNode& s = c.at("sampling");
+      check_keys(s, "campaign.sampling",
+                 {"fraction", "min_per_cluster", "max_per_cluster", "weighting",
+                  "memory_macro_draws"});
+      config.sampling.fraction = get_double(s, "campaign.sampling", "fraction",
+                                            config.sampling.fraction);
+      config.sampling.min_per_cluster =
+          get_int(s, "campaign.sampling", "min_per_cluster",
+                  config.sampling.min_per_cluster);
+      config.sampling.max_per_cluster =
+          get_int(s, "campaign.sampling", "max_per_cluster",
+                  config.sampling.max_per_cluster);
+      config.sampling.weighting =
+          get_or(s, "campaign.sampling", "weighting", config.sampling.weighting,
+                 [](const YamlNode& n) {
+                   return parse_weighting_name(n.as_string());
+                 });
+      config.sampling.memory_macro_draws =
+          get_int(s, "campaign.sampling", "memory_macro_draws",
+                  config.sampling.memory_macro_draws);
+    }
+  }
+
+  if (root.has("ml")) {
+    const YamlNode& ml = root.at("ml");
+    check_keys(ml, "ml",
+               {"kernel", "gamma", "degree", "coef0", "c", "tolerance",
+                "cv_folds", "grid_search", "grid_c", "grid_gamma",
+                "feature_selection", "seed"});
+    spec.svm.kernel.type = get_or(ml, "ml", "kernel", spec.svm.kernel.type,
+                                  [](const YamlNode& n) {
+                                    return parse_kernel_name(n.as_string());
+                                  });
+    spec.svm.kernel.gamma = get_double(ml, "ml", "gamma", spec.svm.kernel.gamma);
+    spec.svm.kernel.degree = get_int(ml, "ml", "degree", spec.svm.kernel.degree);
+    spec.svm.kernel.coef0 = get_double(ml, "ml", "coef0", spec.svm.kernel.coef0);
+    spec.svm.c = get_double(ml, "ml", "c", spec.svm.c);
+    spec.svm.tolerance = get_double(ml, "ml", "tolerance", spec.svm.tolerance);
+    spec.cv_folds = get_int(ml, "ml", "cv_folds", spec.cv_folds);
+    if (spec.cv_folds < 2) fail("ml.cv_folds", "must be at least 2");
+    spec.run_grid_search =
+        get_bool(ml, "ml", "grid_search", spec.run_grid_search);
+    spec.grid_c = get_double_list(ml, "ml", "grid_c", std::move(spec.grid_c));
+    spec.grid_gamma =
+        get_double_list(ml, "ml", "grid_gamma", std::move(spec.grid_gamma));
+    spec.feature_selection =
+        get_bool(ml, "ml", "feature_selection", spec.feature_selection);
+    spec.ml_seed = get_u64(ml, "ml", "seed", spec.ml_seed);
+  }
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::parse(std::string_view text) {
+  return from_yaml(YamlNode::parse(text));
+}
+
+ScenarioSpec ScenarioSpec::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open scenario file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return parse(text.str());
+  } catch (const Error& e) {
+    throw InvalidArgument(path + ": " + e.what());
+  }
+}
+
+YamlNode ScenarioSpec::to_yaml() const {
+  YamlNode root = YamlNode::map();
+  root.set("scenario", YamlNode::scalar(name));
+
+  YamlNode model = YamlNode::map();
+  model.set("workload", YamlNode::scalar(campaign.workload));
+  model.set("isa", YamlNode::scalar(campaign.isa));
+  model.set("bus", YamlNode::scalar(campaign.bus));
+  model.set("mem_kb", YamlNode::scalar(std::to_string(campaign.mem_kb)));
+  root.set("model", std::move(model));
+
+  const fi::CampaignConfig& config = campaign.config;
+  YamlNode c = YamlNode::map();
+  c.set("engine", YamlNode::scalar(std::string(engine_name(config.engine))));
+  c.set("seed", YamlNode::scalar(std::to_string(config.seed)));
+  c.set("run_cycles", YamlNode::scalar(std::to_string(config.run_cycles)));
+  c.set("max_cycles", YamlNode::scalar(std::to_string(config.max_cycles)));
+  YamlNode env = YamlNode::map();
+  env.set("flux", YamlNode::scalar(fmt_double(config.environment.flux)));
+  env.set("let", YamlNode::scalar(fmt_double(config.environment.let)));
+  c.set("environment", std::move(env));
+  YamlNode cl = YamlNode::map();
+  cl.set("clusters",
+         YamlNode::scalar(std::to_string(config.clustering.num_clusters)));
+  cl.set("layer_depth",
+         YamlNode::scalar(std::to_string(config.clustering.layer_depth)));
+  cl.set("max_iterations",
+         YamlNode::scalar(std::to_string(config.clustering.max_iterations)));
+  cl.set("expand_memory_weight",
+         YamlNode::scalar(config.clustering.expand_memory_weight ? "true"
+                                                                 : "false"));
+  c.set("clustering", std::move(cl));
+  YamlNode s = YamlNode::map();
+  s.set("fraction", YamlNode::scalar(fmt_double(config.sampling.fraction)));
+  s.set("min_per_cluster",
+        YamlNode::scalar(std::to_string(config.sampling.min_per_cluster)));
+  s.set("max_per_cluster",
+        YamlNode::scalar(std::to_string(config.sampling.max_per_cluster)));
+  s.set("weighting",
+        YamlNode::scalar(std::string(weighting_name(config.sampling.weighting))));
+  s.set("memory_macro_draws",
+        YamlNode::scalar(std::to_string(config.sampling.memory_macro_draws)));
+  c.set("sampling", std::move(s));
+  root.set("campaign", std::move(c));
+
+  YamlNode ml = YamlNode::map();
+  ml.set("kernel", YamlNode::scalar(std::string(kernel_name(svm.kernel.type))));
+  ml.set("gamma", YamlNode::scalar(fmt_double(svm.kernel.gamma)));
+  ml.set("degree", YamlNode::scalar(std::to_string(svm.kernel.degree)));
+  ml.set("coef0", YamlNode::scalar(fmt_double(svm.kernel.coef0)));
+  ml.set("c", YamlNode::scalar(fmt_double(svm.c)));
+  ml.set("tolerance", YamlNode::scalar(fmt_double(svm.tolerance)));
+  ml.set("cv_folds", YamlNode::scalar(std::to_string(cv_folds)));
+  ml.set("grid_search", YamlNode::scalar(run_grid_search ? "true" : "false"));
+  ml.set("grid_c", double_list(grid_c));
+  ml.set("grid_gamma", double_list(grid_gamma));
+  ml.set("feature_selection",
+         YamlNode::scalar(feature_selection ? "true" : "false"));
+  ml.set("seed", YamlNode::scalar(std::to_string(ml_seed)));
+  root.set("ml", std::move(ml));
+  return root;
+}
+
+std::string ScenarioSpec::dump() const { return to_yaml().dump(); }
+
+soc::SocModel ScenarioSpec::build_model() const {
+  return net::build_model(campaign);
+}
+
+}  // namespace ssresf::core

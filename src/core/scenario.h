@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ml/svm.h"
+#include "net/protocol.h"
+#include "util/yaml_lite.h"
+
+namespace ssresf::core {
+
+/// Declarative description of one end-to-end SSRESF scenario: the SoC model
+/// shape, the record-affecting campaign configuration, and the
+/// machine-learning phase knobs. A scenario file fully determines
+/// (model, CampaignConfig, SvmConfig, grid, seeds), so the same YAML
+/// reproduces byte-identical campaign records, datasets, and trained models
+/// on any host — including through the socket transport, whose
+/// fi::campaign_config_digest the Session layer cross-checks on every
+/// persisted artifact.
+///
+/// YAML schema (util/yaml_lite subset — block maps, flow lists, scalars):
+///
+///   scenario: checksum-demo
+///   model:
+///     workload: checksum          # benchmark | benchmark-light | checksum |
+///     isa: RV32I                  #   fibonacci | sort
+///     bus: ahb                    # apb | ahb
+///     mem_kb: 4
+///   campaign:
+///     engine: levelized           # event | levelized | bit-parallel
+///     seed: 9
+///     run_cycles: 0               # 0 = golden run length + margin
+///     max_cycles: 1500
+///     environment:
+///       flux: 5e8
+///       let: 37
+///     clustering:
+///       clusters: 5               # the paper's KN
+///       layer_depth: 0            # the paper's LN; 0 = netlist depth
+///       max_iterations: 64
+///       expand_memory_weight: true
+///     sampling:
+///       fraction: 0.02
+///       min_per_cluster: 6
+///       max_per_cluster: 24
+///       weighting: mixed          # uniform | xsect | mixed
+///       memory_macro_draws: 12
+///   ml:
+///     kernel: rbf                 # linear | rbf | poly
+///     gamma: 1.0
+///     degree: 3                   # poly only
+///     coef0: 1.0                  # poly only
+///     c: 1.0
+///     tolerance: 1e-3
+///     cv_folds: 5
+///     grid_search: true
+///     grid_c: [0.5, 1, 4, 16]
+///     grid_gamma: [0.05, 0.2, 1, 4]
+///     feature_selection: false
+///     seed: 7
+///
+/// Every section and key is optional (defaults below); unknown keys are
+/// rejected with the full key path, so a typo cannot silently fall back to a
+/// default and change results.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  /// Model shape + record-affecting campaign config (the socket transport's
+  /// handshake unit — a Session can delegate its simulate stage to
+  /// --serve/--connect workers with this spec verbatim).
+  net::CampaignSpec campaign;
+  ml::SvmConfig svm;
+  int cv_folds = 10;
+  bool run_grid_search = false;
+  std::vector<double> grid_c = {0.5, 1, 4, 16};
+  std::vector<double> grid_gamma = {0.05, 0.2, 1.0, 4.0};
+  /// Fisher-score feature selection (Fig. 5) before tuning; the chosen
+  /// column mask is persisted in the model bundle.
+  bool feature_selection = false;
+  std::uint64_t ml_seed = 7;
+
+  /// Parse / serialize. from_yaml throws InvalidArgument naming the exact
+  /// offending key path; parse additionally surfaces yaml_lite ParseErrors
+  /// (with line numbers) unchanged.
+  [[nodiscard]] static ScenarioSpec from_yaml(const util::YamlNode& root);
+  [[nodiscard]] static ScenarioSpec parse(std::string_view text);
+  [[nodiscard]] static ScenarioSpec load_file(const std::string& path);
+  [[nodiscard]] util::YamlNode to_yaml() const;
+  [[nodiscard]] std::string dump() const;
+
+  /// Builds the SoC the scenario describes (net::build_model).
+  [[nodiscard]] soc::SocModel build_model() const;
+};
+
+// --- shared enum <-> name helpers (scenario files and the ssresf CLI) --------
+[[nodiscard]] std::string_view engine_name(sim::EngineKind kind);
+[[nodiscard]] sim::EngineKind parse_engine_name(std::string_view name);
+[[nodiscard]] std::string_view kernel_name(ml::KernelType type);
+[[nodiscard]] ml::KernelType parse_kernel_name(std::string_view name);
+[[nodiscard]] std::string_view weighting_name(cluster::SampleWeighting w);
+[[nodiscard]] cluster::SampleWeighting parse_weighting_name(
+    std::string_view name);
+
+}  // namespace ssresf::core

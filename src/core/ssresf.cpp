@@ -1,75 +1,27 @@
 #include "core/ssresf.h"
 
-#include "util/timer.h"
+#include "core/session.h"
 
 namespace ssresf::core {
 
 using netlist::CellId;
-using netlist::CellKind;
 
 PipelineResult run_pipeline(const soc::SocModel& model,
                             const PipelineConfig& config,
                             const radiation::SoftErrorDatabase& database) {
-  PipelineResult result;
-  result.campaign = fi::run_campaign(model, config.campaign, database);
-  result.dataset = build_dataset(model, result.campaign);
-
-  util::Rng ml_rng(config.ml_seed);
-  result.chosen_svm = config.svm;
-  if (config.run_grid_search) {
-    util::Rng grid_rng = ml_rng.fork();
-    const auto grid =
-        ml::grid_search(result.dataset, config.svm, config.grid_c,
-                        config.grid_gamma, config.cv_folds, grid_rng);
-    result.chosen_svm = grid.best;
-  }
-
-  util::Rng cv_rng = ml_rng.fork();
-  result.cv = ml::cross_validate(result.dataset, result.chosen_svm,
-                                 config.cv_folds, cv_rng);
-
-  util::Timer train_timer;
-  ml::Dataset scaled = result.dataset;
-  result.scaler.fit_transform(scaled);
-  result.model = ml::SvmClassifier(result.chosen_svm);
-  result.model.train(scaled);
-  result.train_seconds = train_timer.seconds();
-
-  // Machine-learning phase output: classify every injectable node (the
-  // timing figure for Table III) ...
-  std::vector<CellId> all_nodes;
-  for (const CellId id : model.netlist.all_cells()) {
-    const CellKind kind = model.netlist.cell(id).kind;
-    if (kind == CellKind::kConst0 || kind == CellKind::kConst1) continue;
-    all_nodes.push_back(id);
-  }
-  util::Timer predict_timer;
-  const auto predictions =
-      predict_nodes(model, result.model, result.scaler, all_nodes);
-  result.predict_seconds = predict_timer.seconds();
-  (void)predictions;
-
-  // ... and the Fig. 7 SVM series: per-class high-sensitivity fraction over
-  // the fault-injection-list nodes (the paper's test dataset), directly
-  // comparable to the simulation columns.
-  const FeatureExtractor extractor(model.netlist);
-  std::array<std::size_t, 5> high{};
-  std::array<std::size_t, 5> total{};
-  for (const fi::InjectionRecord& record : result.campaign.records) {
-    const auto cls = static_cast<std::size_t>(record.module_class);
-    ++total[cls];
-    const auto features = extractor.extract(record.event.target.cell);
-    if (result.model.predict(result.scaler.transform_row(features)) == 1) {
-      ++high[cls];
-    }
-  }
-  for (std::size_t c = 0; c < 5; ++c) {
-    result.predicted_class_percent[c] =
-        total[c] > 0 ? 100.0 * static_cast<double>(high[c]) /
-                           static_cast<double>(total[c])
-                     : 0.0;
-  }
-  return result;
+  // The one-shot pipeline is a purely in-memory Session over an anonymous
+  // scenario: identical stage order, RNG fork sequence, and outputs as the
+  // pre-Session implementation — now with exactly one code path to maintain.
+  ScenarioSpec spec;
+  spec.campaign.config = config.campaign;
+  spec.svm = config.svm;
+  spec.cv_folds = config.cv_folds;
+  spec.run_grid_search = config.run_grid_search;
+  spec.grid_c = config.grid_c;
+  spec.grid_gamma = config.grid_gamma;
+  spec.ml_seed = config.ml_seed;
+  Session session(model, std::move(spec), database);
+  return session.run_all();
 }
 
 std::vector<int> predict_nodes(const soc::SocModel& model,

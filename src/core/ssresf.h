@@ -32,7 +32,7 @@ struct PipelineResult {
   double predict_seconds = 0.0;  // classifying every injectable node
   /// Predicted high-sensitivity percentage per module class (SVM series of
   /// Fig. 7), indexed by ModuleClass.
-  std::array<double, 5> predicted_class_percent{};
+  std::array<double, netlist::kModuleClassCount> predicted_class_percent{};
   /// Fraction of held-out CV predictions agreeing with simulation (the
   /// "Model Accuracy" column of Table III).
   [[nodiscard]] double model_accuracy() const { return cv.aggregate.accuracy(); }
@@ -40,6 +40,12 @@ struct PipelineResult {
 
 /// Runs campaign -> dataset -> (grid search) -> cross-validation -> final
 /// model -> whole-netlist prediction.
+///
+/// Source-compatible one-shot wrapper over the staged core::Session
+/// (core/session.h) — equivalent to Session::run_all() on an in-memory
+/// session. New code that needs resumable stages, persisted artifacts
+/// (.ssfs/.ssds/.ssmd), progress hooks, or socket-delegated simulation
+/// should construct a Session from a ScenarioSpec instead.
 [[nodiscard]] PipelineResult run_pipeline(
     const soc::SocModel& model, const PipelineConfig& config,
     const radiation::SoftErrorDatabase& database);

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cstdio>
 #include <future>
 #include <numeric>
 #include <optional>
@@ -23,6 +24,28 @@ using netlist::CellKind;
 using netlist::Logic;
 using netlist::ModuleClass;
 using radiation::FaultKind;
+
+void write_records_csv(const std::string& path,
+                       const std::vector<InjectionRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw Error("cannot open '" + path + "' for writing");
+  std::fputs(
+      "index,kind,cell,word,bit,time_ps,set_width_ps,cluster,module_class,"
+      "soft_error,first_mismatch_cycle\n",
+      f);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const InjectionRecord& r = records[i];
+    const auto& e = r.event;
+    std::fprintf(
+        f, "%zu,%s,%u,%u,%u,%llu,%u,%d,%s,%d,%zu\n", i,
+        std::string(radiation::fault_kind_name(e.target.kind)).c_str(),
+        e.target.cell.index(), e.target.word, e.target.bit,
+        static_cast<unsigned long long>(e.time_ps), e.set_width_ps, r.cluster,
+        std::string(netlist::module_class_name(r.module_class)).c_str(),
+        r.soft_error ? 1 : 0, r.first_mismatch_cycle);
+  }
+  std::fclose(f);
+}
 
 double chip_ser_percent(const std::vector<ClusterStats>& clusters) {
   double weighted = 0.0;
@@ -226,6 +249,13 @@ void execute_injections(const soc::SocModel& model,
   // thread or process — ran them or in what order: that is the determinism
   // guarantee the distributed campaign is built on.
   std::atomic<std::size_t> next_index{0};
+  std::atomic<std::uint64_t> progress_done{0};
+  const auto report_progress = [&](std::uint64_t completed) {
+    if (config.progress) {
+      config.progress(progress_done.fetch_add(completed) + completed,
+                      owned.size());
+    }
+  };
   const auto run_shard = [&]() {
     const auto engine = sim::make_engine(config.engine, model.netlist);
     for (std::size_t oi; (oi = next_index.fetch_add(1)) < owned.size();) {
@@ -300,6 +330,7 @@ void execute_injections(const soc::SocModel& model,
       record.module_class = model.netlist.cell_class(pi.cell);
       record.soft_error = mismatch.has_value();
       record.first_mismatch_cycle = mismatch.value_or(0);
+      report_progress(1);
     }
   };
 
@@ -521,6 +552,7 @@ void execute_injections(const soc::SocModel& model,
             record.soft_error ? mismatch_cycle[static_cast<std::size_t>(lane)]
                               : 0;
       }
+      report_progress(static_cast<std::uint64_t>(nslots));
     }
   };
 
@@ -607,7 +639,7 @@ CampaignResult finalize_campaign(const soc::SocModel& model,
   result.chip_ser_percent = chip_ser_percent(result.clusters);
 
   // Per-module-class aggregation for Table I / Fig. 7.
-  std::array<double, 5> class_xsect{};
+  std::array<double, netlist::kModuleClassCount> class_xsect{};
   for (const CellId id : model.netlist.all_cells()) {
     class_xsect[static_cast<std::size_t>(model.netlist.cell_class(id))] +=
         prep.cell_xsects[id.index()];

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
 
 #include "cluster/sampling.h"
 #include "radiation/injector.h"
@@ -45,6 +48,12 @@ struct CampaignConfig {
   /// faulty run resumes from the last checkpoint before its strike time.
   /// 0 picks a stride automatically from the run length.
   int checkpoint_stride_cycles = 0;
+  /// Execution-side progress hook: invoked after every completed injection
+  /// with (done, total) over the subset this process executes. Like the
+  /// other execution knobs it never affects records and is excluded from
+  /// campaign_config_digest. May be called concurrently from campaign
+  /// worker threads — the callee must be thread-safe.
+  std::function<void(std::uint64_t done, std::uint64_t total)> progress;
 };
 
 /// One injection and its observed outcome.
@@ -83,7 +92,7 @@ struct CampaignResult {
   cluster::ClusteringResult clustering;
   std::vector<InjectionRecord> records;
   std::vector<ClusterStats> clusters;
-  std::array<ClassStats, 5> per_class;  // indexed by ModuleClass
+  std::array<ClassStats, netlist::kModuleClassCount> per_class;  // indexed by ModuleClass
   double chip_ser_percent = 0.0;        // Eq. 2
   double set_xsect_cm2 = 0.0;           // Table I "SET Xsect"
   double seu_xsect_cm2 = 0.0;           // Table I "SEU Xsect"
@@ -101,5 +110,11 @@ struct CampaignResult {
 
 /// Chip-level SER per Eq. 2: the cell-count-weighted mean of cluster SERs.
 [[nodiscard]] double chip_ser_percent(const std::vector<ClusterStats>& clusters);
+
+/// Writes per-injection records as the canonical CSV the CI equivalence
+/// jobs byte-diff across every execution route (single-process, shards,
+/// socket transport, scenario sessions). One format, one implementation.
+void write_records_csv(const std::string& path,
+                       const std::vector<InjectionRecord>& records);
 
 }  // namespace ssresf::fi

@@ -4,9 +4,9 @@
 
 namespace ssresf::fi {
 
-std::array<double, 5> high_sensitivity_percent_by_class(
-    const CampaignResult& result) {
-  std::array<double, 5> out{};
+std::array<double, netlist::kModuleClassCount>
+high_sensitivity_percent_by_class(const CampaignResult& result) {
+  std::array<double, netlist::kModuleClassCount> out{};
   for (std::size_t c = 0; c < out.size(); ++c) {
     const ClassStats& cls = result.per_class[c];
     out[c] = cls.samples > 0 ? 100.0 * static_cast<double>(cls.errors) /

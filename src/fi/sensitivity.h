@@ -6,7 +6,8 @@ namespace ssresf::fi {
 
 /// Per-module-class percentage of sampled nodes whose injection produced a
 /// soft error (the Fig. 7 series). Indexed by ModuleClass.
-[[nodiscard]] std::array<double, 5> high_sensitivity_percent_by_class(
+[[nodiscard]] std::array<double, netlist::kModuleClassCount>
+high_sensitivity_percent_by_class(
     const CampaignResult& result);
 
 /// Clusters ordered by descending SER (the paper sorts clusters by soft-

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace ssresf::ml {
+
+void MinMaxScaler::encode(util::ByteWriter& out) const {
+  out.f64_vec(min_);
+  out.f64_vec(max_);
+}
+
+MinMaxScaler MinMaxScaler::decode(util::ByteReader& in) {
+  MinMaxScaler scaler;
+  scaler.min_ = in.f64_vec();
+  scaler.max_ = in.f64_vec();
+  if (scaler.min_.size() != scaler.max_.size()) {
+    throw InvalidArgument("scaler: min/max bound count mismatch");
+  }
+  return scaler;
+}
 
 void MinMaxScaler::fit(const Dataset& dataset) {
   if (dataset.size() == 0) throw InvalidArgument("fit on empty dataset");

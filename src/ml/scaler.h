@@ -5,6 +5,11 @@
 
 #include "ml/dataset.h"
 
+namespace ssresf::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ssresf::util
+
 namespace ssresf::ml {
 
 /// Min-max normalization to [0, 1] per feature (the paper's preprocessing
@@ -23,6 +28,11 @@ class MinMaxScaler {
   [[nodiscard]] bool fitted() const { return !min_.empty(); }
   [[nodiscard]] const std::vector<double>& minimums() const { return min_; }
   [[nodiscard]] const std::vector<double>& maximums() const { return max_; }
+
+  /// Bit-exact round trip of the fitted bounds (raw IEEE-754 words): a
+  /// decoded scaler transforms every row identically to the original.
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static MinMaxScaler decode(util::ByteReader& in);
 
  private:
   std::vector<double> min_;

@@ -5,9 +5,70 @@
 #include <list>
 #include <unordered_map>
 
+#include "util/bytes.h"
 #include "util/error.h"
 
 namespace ssresf::ml {
+
+void SvmConfig::encode(util::ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(kernel.type));
+  out.f64(kernel.gamma);
+  out.varint(static_cast<std::uint64_t>(kernel.degree));
+  out.f64(kernel.coef0);
+  out.f64(c);
+  out.f64(tolerance);
+  out.varint(static_cast<std::uint64_t>(max_passes));
+  out.varint(static_cast<std::uint64_t>(max_iterations));
+  out.varint(seed);
+}
+
+SvmConfig SvmConfig::decode(util::ByteReader& in) {
+  SvmConfig config;
+  const std::uint8_t kind = in.u8();
+  if (kind > static_cast<std::uint8_t>(KernelType::kPoly)) {
+    throw InvalidArgument("svm: unknown kernel type " + std::to_string(kind));
+  }
+  config.kernel.type = static_cast<KernelType>(kind);
+  config.kernel.gamma = in.f64();
+  config.kernel.degree = static_cast<int>(in.varint());
+  config.kernel.coef0 = in.f64();
+  config.c = in.f64();
+  config.tolerance = in.f64();
+  config.max_passes = static_cast<int>(in.varint());
+  config.max_iterations = static_cast<int>(in.varint());
+  config.seed = in.varint();
+  return config;
+}
+
+void SvmClassifier::encode(util::ByteWriter& out) const {
+  config_.encode(out);
+  out.f64(bias_);
+  out.varint(support_x_.size());
+  out.varint(support_x_.empty() ? 0 : support_x_.front().size());
+  for (std::size_t i = 0; i < support_x_.size(); ++i) {
+    out.f64(support_alpha_y_[i]);
+    for (const double v : support_x_[i]) out.f64(v);
+  }
+}
+
+SvmClassifier SvmClassifier::decode(util::ByteReader& in) {
+  SvmClassifier model(SvmConfig::decode(in));
+  model.bias_ = in.f64();
+  const std::size_t num_sv = in.element_count(1);
+  // Each dimension is one 8-byte double, so bound the count by the input
+  // itself: a crafted bundle must not drive an arbitrary-size reserve.
+  const std::size_t dims = in.element_count(8);
+  model.support_alpha_y_.reserve(num_sv);
+  model.support_x_.reserve(num_sv);
+  for (std::size_t i = 0; i < num_sv; ++i) {
+    model.support_alpha_y_.push_back(in.f64());
+    std::vector<double> x;
+    x.reserve(dims);
+    for (std::size_t d = 0; d < dims; ++d) x.push_back(in.f64());
+    model.support_x_.push_back(std::move(x));
+  }
+  return model;
+}
 
 namespace {
 

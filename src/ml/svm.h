@@ -5,6 +5,11 @@
 
 #include "ml/dataset.h"
 
+namespace ssresf::util {
+class ByteWriter;
+class ByteReader;
+}  // namespace ssresf::util
+
 namespace ssresf::ml {
 
 enum class KernelType { kLinear, kRbf, kPoly };
@@ -14,6 +19,8 @@ struct KernelConfig {
   double gamma = 1.0;  // RBF / poly scale
   int degree = 3;      // poly only
   double coef0 = 1.0;  // poly only
+
+  [[nodiscard]] bool operator==(const KernelConfig&) const = default;
 };
 
 [[nodiscard]] double kernel_eval(const KernelConfig& kernel,
@@ -27,6 +34,13 @@ struct SvmConfig {
   int max_passes = 8;      // convergence: passes without alpha updates
   int max_iterations = 20000;
   std::uint64_t seed = 42;
+
+  [[nodiscard]] bool operator==(const SvmConfig&) const = default;
+
+  /// Bit-exact serialization (doubles travel as raw IEEE-754 words), used by
+  /// the .ssmd model bundle; decode(encode(x)) == x exactly.
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static SvmConfig decode(util::ByteReader& in);
 };
 
 /// Soft-margin SVM trained with Platt's SMO (simplified heuristics). The SMO
@@ -58,6 +72,12 @@ class SvmClassifier {
   /// metric; the Table II bench asserts it stays at or below the old full
   /// kernel-matrix precompute).
   [[nodiscard]] std::uint64_t kernel_evals() const { return kernel_evals_; }
+
+  /// Bit-exact round trip of the trained model (config, support vectors,
+  /// alpha*y weights, bias): a decoded classifier produces decision values
+  /// identical to the original on every input. The .ssmd transport.
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static SvmClassifier decode(util::ByteReader& in);
 
  private:
   SvmConfig config_;

@@ -21,6 +21,10 @@ enum class ModuleClass : std::uint8_t {
   kPeripheral = 4,
 };
 
+/// Number of ModuleClass values — the size of every per-class aggregation
+/// array (campaign stats, Fig. 7 series, pipeline class percentages).
+inline constexpr std::size_t kModuleClassCount = 5;
+
 [[nodiscard]] std::string_view module_class_name(ModuleClass c);
 
 /// A node in the design hierarchy. Cells reference their scope; the chain of

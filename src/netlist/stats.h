@@ -16,7 +16,7 @@ struct NetlistStats {
   std::size_t num_memory_macros = 0;
   std::uint64_t memory_bits = 0;
   std::array<std::size_t, kNumCellKinds> per_kind{};
-  std::array<std::size_t, 5> per_class{};  // indexed by ModuleClass
+  std::array<std::size_t, kModuleClassCount> per_class{};  // by ModuleClass
   int max_logic_depth = 0;
 };
 

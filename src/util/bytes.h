@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -54,6 +55,17 @@ class ByteWriter {
     for (int i = 0; i < 8; ++i) {
       buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
+  }
+
+  /// Double as its raw IEEE-754 word: bit-exact round trip (the model and
+  /// dataset artifacts depend on it — a reloaded model must predict
+  /// identically).
+  void f64(double v) { fixed64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed vector of bit-exact doubles.
+  void f64_vec(const std::vector<double>& v) {
+    varint(v.size());
+    for (const double x : v) f64(x);
   }
 
   void bytes(const void* data, std::size_t n) {
@@ -152,6 +164,16 @@ class ByteReader {
     std::vector<std::uint64_t> v;
     v.reserve(n);
     for (std::size_t i = 0; i < n; ++i) v.push_back(fixed64());
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(fixed64()); }
+
+  std::vector<double> f64_vec() {
+    const std::size_t n = element_count(8);
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(f64());
     return v;
   }
 

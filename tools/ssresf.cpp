@@ -1,0 +1,431 @@
+// The unified SSRESF pipeline driver (Pipeline API v2).
+//
+// One binary, seven commands over the staged core::Session:
+//   run        simulate -> build_dataset -> tune -> train -> predict
+//   simulate   dynamic-simulation phase only (campaign records artifact)
+//   train      everything up to and including the trained model bundle
+//   predict    classify every node from a saved model bundle (.ssmd)
+//   serve      run with the simulate stage served to socket workers
+//   worker     connect to a serving coordinator and simulate its chunks
+//   merge      merge .ssfs shard files into the scenario's records artifact
+//
+// A scenario YAML fully determines (model, campaign, SVM, grids, seeds), so
+// the same file reproduces byte-identical artifacts and predictions on any
+// host, through any transport — which is what the CI scenario-equivalence
+// job checks. Stages persist digest-bound artifacts into --out-dir and
+// resume from them, so `ssresf simulate` on one machine, `ssresf train` on a
+// second, and `ssresf predict` on a third compose into one pipeline.
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "net/worker.h"
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/subprocess.h"
+#include "util/table.h"
+
+using namespace ssresf;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string scenario_file;
+  std::string out_dir = ".";
+  bool resume = true;
+  bool progress = false;
+  int threads = 1;
+  int workers = 0;           // run/simulate/train: spawned socket workers
+  int port = 0;              // serve
+  std::string connect;       // worker: host:port
+  std::string model_file;    // predict: defaults to <out-dir>/<name>.ssmd
+  bool cross_netlist = false;
+  std::string records_csv;
+  std::string predictions_csv;
+  std::vector<std::string> merge_inputs;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: ssresf <command> --scenario FILE [options]\n"
+      "\n"
+      "commands:\n"
+      "  run        full pipeline: simulate -> build_dataset -> tune ->\n"
+      "             train -> predict\n"
+      "  simulate   dynamic-simulation phase only (writes <name>.ssfs)\n"
+      "  train      through model training (writes <name>.ssmd)\n"
+      "  predict    classify every node from a saved model bundle\n"
+      "  serve      like run, but the simulate stage is served over TCP to\n"
+      "             'ssresf worker' processes (local or remote)\n"
+      "  worker     connect to a serving coordinator (--connect HOST:PORT)\n"
+      "  merge      merge .ssfs shard files into the records artifact\n"
+      "\n"
+      "common options:\n"
+      "  --scenario FILE     scenario YAML (all commands except worker)\n"
+      "  --out-dir DIR       artifact directory (default '.')\n"
+      "  --no-resume         recompute stages even when artifacts exist\n"
+      "  --progress          live stage progress on stderr\n"
+      "  --threads N         simulation threads per process (default 1)\n"
+      "\n"
+      "run / simulate / train / serve:\n"
+      "  --workers N         delegate simulation to N spawned socket workers\n"
+      "  --records-csv PATH  write per-injection campaign records as CSV\n"
+      "run / predict:\n"
+      "  --predictions-csv PATH\n"
+      "                      write per-node classifications as CSV\n"
+      "predict:\n"
+      "  --model FILE        model bundle (default <out-dir>/<name>.ssmd)\n"
+      "  --cross-netlist     allow a model trained on a different campaign\n"
+      "                      digest (the paper's transfer use case)\n"
+      "serve:\n"
+      "  --port P            listen port (default 0 = ephemeral, printed)\n"
+      "worker:\n"
+      "  --connect HOST:PORT coordinator address\n"
+      "merge:\n"
+      "  positional          .ssfs shard files to merge\n",
+      out);
+}
+
+[[nodiscard]] Options parse_options(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) throw InvalidArgument("missing command (see --help)");
+  opt.command = argv[1];
+  if (opt.command == "--help" || opt.command == "-h") {
+    usage(stdout);
+    std::exit(0);
+  }
+  const bool known_command =
+      opt.command == "run" || opt.command == "simulate" ||
+      opt.command == "train" || opt.command == "predict" ||
+      opt.command == "serve" || opt.command == "worker" ||
+      opt.command == "merge";
+  if (!known_command) {
+    throw InvalidArgument("unknown command '" + opt.command + "'");
+  }
+  const auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      throw InvalidArgument(std::string(argv[i]) + " requires a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg == "--scenario") {
+      opt.scenario_file = need_value(i);
+    } else if (arg == "--out-dir") {
+      opt.out_dir = need_value(i);
+    } else if (arg == "--no-resume") {
+      opt.resume = false;
+    } else if (arg == "--progress") {
+      opt.progress = true;
+    } else if (arg == "--threads") {
+      opt.threads = std::stoi(need_value(i));
+    } else if (arg == "--workers") {
+      opt.workers = std::stoi(need_value(i));
+      if (opt.workers < 1) throw InvalidArgument("--workers must be >= 1");
+    } else if (arg == "--port") {
+      opt.port = std::stoi(need_value(i));
+      if (opt.port < 0 || opt.port > 65535) {
+        throw InvalidArgument("--port expects a port in [0, 65535]");
+      }
+    } else if (arg == "--connect") {
+      opt.connect = need_value(i);
+    } else if (arg == "--model") {
+      opt.model_file = need_value(i);
+    } else if (arg == "--cross-netlist") {
+      opt.cross_netlist = true;
+    } else if (arg == "--records-csv") {
+      opt.records_csv = need_value(i);
+    } else if (arg == "--predictions-csv") {
+      opt.predictions_csv = need_value(i);
+    } else if (!arg.empty() && arg[0] != '-') {
+      opt.merge_inputs.push_back(arg);
+    } else {
+      throw InvalidArgument("unknown option '" + arg + "'");
+    }
+  }
+  if (opt.command == "worker") {
+    if (opt.connect.empty()) {
+      throw InvalidArgument("worker requires --connect HOST:PORT");
+    }
+  } else if (opt.scenario_file.empty()) {
+    throw InvalidArgument(opt.command + " requires --scenario FILE");
+  }
+  if (!opt.merge_inputs.empty() && opt.command != "merge") {
+    throw InvalidArgument("positional arguments are only valid with merge");
+  }
+  if (opt.command == "merge" && opt.merge_inputs.empty()) {
+    throw InvalidArgument("merge requires shard files");
+  }
+  return opt;
+}
+
+/// stderr progress renderer: lifecycle messages one per line, counted
+/// progress throttled to whole-percent steps. Thread-safe (the simulate
+/// counter arrives from campaign worker threads).
+class ProgressPrinter {
+ public:
+  void operator()(const core::StageProgress& progress) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!progress.message.empty()) {
+      if (counting_) {
+        std::fputc('\n', stderr);
+        counting_ = false;
+      }
+      std::fprintf(stderr, "[%s] %s\n", progress.stage.c_str(),
+                   progress.message.c_str());
+      return;
+    }
+    if (progress.total == 0) return;
+    const int percent = static_cast<int>(100 * progress.completed /
+                                         progress.total);
+    if (percent == last_percent_ && progress.completed != progress.total) {
+      return;
+    }
+    last_percent_ = percent;
+    counting_ = true;
+    std::fprintf(stderr, "\r[%s] %llu/%llu (%d%%)", progress.stage.c_str(),
+                 static_cast<unsigned long long>(progress.completed),
+                 static_cast<unsigned long long>(progress.total), percent);
+    if (progress.completed == progress.total) {
+      std::fputc('\n', stderr);
+      counting_ = false;
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  int last_percent_ = -1;
+  bool counting_ = false;
+};
+
+void print_campaign_summary(const fi::CampaignResult& campaign) {
+  std::size_t errors = 0;
+  for (const auto& r : campaign.records) errors += r.soft_error ? 1 : 0;
+  std::printf("simulate: %zu injections, %zu soft errors, chip SER %.4f%%\n",
+              campaign.records.size(), errors, campaign.chip_ser_percent);
+}
+
+void print_prediction_summary(const soc::SocModel& model,
+                              const core::SessionPrediction& prediction) {
+  std::size_t high = 0;
+  for (const int label : prediction.labels) high += label == 1 ? 1 : 0;
+  std::printf("predict: %zu nodes, %zu classified highly sensitive\n",
+              prediction.cells.size(), high);
+  util::Table table({"module class", "high-sensitivity %"});
+  for (std::size_t c = 0; c < netlist::kModuleClassCount; ++c) {
+    table.add_row(
+        {std::string(
+             netlist::module_class_name(static_cast<netlist::ModuleClass>(c))),
+         util::format("%.2f%%", prediction.class_percent[c])});
+  }
+  std::printf("%s", table.render().c_str());
+  (void)model;
+}
+
+/// Wires --workers: once the coordinator listens, spawn N `ssresf worker`
+/// subprocesses against it. The session's simulate() then blocks until the
+/// fleet drains the plan.
+struct WorkerFleet {
+  std::vector<util::Subprocess> children;
+  std::string self;
+  int count = 0;
+  int threads = 1;
+
+  void spawn(std::uint16_t port) {
+    children.reserve(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      children.emplace_back(std::vector<std::string>{
+          self, "worker", "--connect", "127.0.0.1:" + std::to_string(port),
+          "--threads", std::to_string(threads)});
+    }
+  }
+
+  void wait() {
+    for (std::size_t k = 0; k < children.size(); ++k) {
+      const int code = children[k].wait();
+      if (code != 0) {
+        // The campaign is complete and digest-verified by the time this
+        // runs; a late worker failure is informational.
+        std::fprintf(stderr, "note: worker %zu exited with code %d\n", k, code);
+      }
+    }
+  }
+};
+
+int run_stage_command(const Options& opt, const std::string& self) {
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  ProgressPrinter printer;
+  WorkerFleet fleet{{}, self, opt.workers, opt.threads};
+
+  // `serve` keeps the requested port and accepts remote workers (with
+  // --workers, spawned local workers join them); the other commands use
+  // --workers as a private ephemeral loopback fleet.
+  int serve_port = -1;
+  bool loopback_only = true;
+  if (opt.command == "serve") {
+    serve_port = opt.port;
+    loopback_only = false;
+  } else if (opt.workers > 0) {
+    serve_port = 0;
+  }
+
+  core::ScenarioSpec spec = core::ScenarioSpec::load_file(opt.scenario_file);
+  core::SessionOptions options;
+  options.artifact_dir = opt.out_dir;
+  options.resume = opt.resume;
+  options.threads = opt.threads;
+  options.serve_port = serve_port;
+  options.serve_loopback_only = loopback_only;
+  if (opt.progress) {
+    options.progress = [&printer](const core::StageProgress& p) { printer(p); };
+  }
+  if (serve_port >= 0) {
+    options.on_serving = [&fleet, &opt](std::uint16_t port) {
+      if (opt.command == "serve") {
+        std::fprintf(stderr, "serving campaign on port %u\n",
+                     static_cast<unsigned>(port));
+      }
+      if (fleet.count > 0) fleet.spawn(port);
+    };
+  }
+  core::Session session(std::move(spec), db, std::move(options));
+
+  if (opt.command == "simulate") {
+    const fi::CampaignResult& campaign = session.simulate();
+    fleet.wait();
+    if (!opt.records_csv.empty()) {
+      fi::write_records_csv(opt.records_csv, campaign.records);
+    }
+    print_campaign_summary(campaign);
+    return 0;
+  }
+  if (opt.command == "train") {
+    if (!opt.records_csv.empty()) {
+      // Forces the simulate stage even when train() alone would resume
+      // straight from a persisted .ssmd.
+      fi::write_records_csv(opt.records_csv, session.simulate().records);
+    }
+    const core::ModelBundle& bundle = session.train();
+    fleet.wait();
+    std::printf("train: %zu support vectors, cv accuracy %.2f%%, model %s\n",
+                bundle.model.num_support_vectors(),
+                100.0 * bundle.cv_mean_accuracy, session.model_path().c_str());
+    return 0;
+  }
+  // run / serve: the full pipeline.
+  const fi::CampaignResult& campaign = session.simulate();
+  fleet.wait();
+  if (!opt.records_csv.empty()) {
+    fi::write_records_csv(opt.records_csv, campaign.records);
+  }
+  const core::SessionPrediction& prediction = session.predict();
+  print_campaign_summary(campaign);
+  if (session.has_cv()) {
+    std::printf("tune: cv accuracy %.2f%% (C=%.3g gamma=%.3g)\n",
+                100.0 * session.cv().mean_accuracy,
+                session.train().chosen_svm.c,
+                session.train().chosen_svm.kernel.gamma);
+  }
+  print_prediction_summary(session.model(), prediction);
+  if (!opt.predictions_csv.empty()) {
+    core::write_predictions_csv(opt.predictions_csv, session.model(),
+                                prediction);
+    std::printf("predictions written to %s\n", opt.predictions_csv.c_str());
+  }
+  return 0;
+}
+
+int run_predict_command(const Options& opt) {
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  ProgressPrinter printer;
+  core::ScenarioSpec spec = core::ScenarioSpec::load_file(opt.scenario_file);
+  core::SessionOptions options;
+  options.artifact_dir = opt.out_dir;
+  options.resume = opt.resume;
+  options.threads = opt.threads;
+  if (opt.progress) {
+    options.progress = [&printer](const core::StageProgress& p) { printer(p); };
+  }
+  core::Session session(std::move(spec), db, std::move(options));
+  const std::string model_file =
+      opt.model_file.empty() ? session.model_path() : opt.model_file;
+  // Loading through adopt_model (not resume) so --model can point anywhere
+  // and --cross-netlist can authorize transfer to a modified netlist.
+  session.adopt_model(core::read_model_file(model_file), opt.cross_netlist);
+  const core::SessionPrediction& prediction = session.predict();
+  print_prediction_summary(session.model(), prediction);
+  if (!opt.predictions_csv.empty()) {
+    core::write_predictions_csv(opt.predictions_csv, session.model(),
+                                prediction);
+    std::printf("predictions written to %s\n", opt.predictions_csv.c_str());
+  }
+  return 0;
+}
+
+int run_worker_command(const Options& opt) {
+  const std::size_t colon = opt.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == opt.connect.size()) {
+    throw InvalidArgument("--connect expects HOST:PORT, got '" + opt.connect +
+                          "'");
+  }
+  const int port = std::stoi(opt.connect.substr(colon + 1));
+  if (port < 1 || port > 65535) {
+    throw InvalidArgument("--connect port must be in [1, 65535]");
+  }
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  net::WorkerOptions wopts;
+  wopts.host = opt.connect.substr(0, colon);
+  wopts.port = static_cast<std::uint16_t>(port);
+  wopts.threads = opt.threads;
+  wopts.verbose = opt.progress;
+  net::Worker worker(db, wopts);
+  const std::uint64_t produced = worker.run();
+  std::fprintf(stderr, "worker done: %llu records\n",
+               static_cast<unsigned long long>(produced));
+  return 0;
+}
+
+int run_merge_command(const Options& opt) {
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  core::ScenarioSpec spec = core::ScenarioSpec::load_file(opt.scenario_file);
+  core::SessionOptions options;
+  options.artifact_dir = opt.out_dir;
+  options.resume = false;
+  core::Session session(std::move(spec), db, std::move(options));
+  fi::CampaignResult result =
+      fi::merge_shard_files(session.model(), session.scenario().campaign.config,
+                            db, opt.merge_inputs);
+  if (!opt.records_csv.empty()) {
+    fi::write_records_csv(opt.records_csv, result.records);
+  }
+  print_campaign_summary(result);
+  // Persist as the scenario's records artifact so the later stages (train /
+  // predict) resume from the merged campaign.
+  session.adopt_campaign(std::move(result));
+  std::printf("records artifact written to %s\n",
+              session.records_path().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse_options(argc, argv);
+    if (opt.command == "worker") return run_worker_command(opt);
+    if (opt.command == "merge") return run_merge_command(opt);
+    if (opt.command == "predict") return run_predict_command(opt);
+    return run_stage_command(opt, argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ssresf: %s\n", e.what());
+    return 2;
+  }
+}

@@ -175,28 +175,6 @@ void usage(std::FILE* out) {
   return config;
 }
 
-void write_records_csv(const std::string& path,
-                       const std::vector<fi::InjectionRecord>& records) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) throw Error("cannot open '" + path + "' for writing");
-  std::fputs(
-      "index,kind,cell,word,bit,time_ps,set_width_ps,cluster,module_class,"
-      "soft_error,first_mismatch_cycle\n",
-      f);
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const fi::InjectionRecord& r = records[i];
-    const auto& e = r.event;
-    std::fprintf(
-        f, "%zu,%s,%u,%u,%u,%llu,%u,%d,%s,%d,%zu\n", i,
-        std::string(radiation::fault_kind_name(e.target.kind)).c_str(),
-        e.target.cell.index(), e.target.word, e.target.bit,
-        static_cast<unsigned long long>(e.time_ps), e.set_width_ps, r.cluster,
-        std::string(netlist::module_class_name(r.module_class)).c_str(),
-        r.soft_error ? 1 : 0, r.first_mismatch_cycle);
-  }
-  std::fclose(f);
-}
-
 void print_summary(const fi::CampaignResult& result) {
   std::size_t errors = 0;
   for (const auto& r : result.records) errors += r.soft_error ? 1 : 0;
@@ -216,7 +194,9 @@ void print_summary(const fi::CampaignResult& result) {
 }
 
 void emit_result(const Options& opt, const fi::CampaignResult& result) {
-  if (!opt.records_csv.empty()) write_records_csv(opt.records_csv, result.records);
+  if (!opt.records_csv.empty()) {
+    fi::write_records_csv(opt.records_csv, result.records);
+  }
   if (opt.summary) print_summary(result);
   if (opt.records_csv.empty() && !opt.summary) {
     std::printf("%zu injections, chip SER %.4f%%\n", result.records.size(),
