@@ -13,6 +13,12 @@ runner generations where raw rates are not. A fresh cell slower than
 bit-parallel-vs-levelized ratio (the one gated cross-engine number). Cells
 whose baseline measurement is too short to be meaningful (< 0.25 s
 simulated) are reported but not gated — dropped cells are always printed.
+
+Cells with no baseline counterpart (the bench matrix grew, or the committed
+baseline predates an engine) are reported as new and not gated: a stale
+baseline must never crash the gate or block a run it cannot judge. A cell
+that disappears from the fresh results, by contrast, still fails — losing
+coverage is a regression.
 """
 
 import argparse
@@ -31,9 +37,12 @@ def load_cells(path):
 
 
 def seed_rate(cells, engine):
+    """Serial rate used to normalize `engine`'s cells, or None when the file
+    has no usable (engine, 1 thread, ckpt off) cell — callers must then skip
+    gating that engine rather than crash on a stale or partial file."""
     cell = cells.get((engine, 1, False))
-    if cell is None or cell["inj_per_sec"] <= 0:
-        sys.exit(f"missing or degenerate seed cell ({engine}, 1 thr, ckpt off)")
+    if cell is None or cell.get("inj_per_sec", 0) <= 0:
+        return None
     return cell["inj_per_sec"]
 
 
@@ -51,13 +60,26 @@ def main():
     failures = []
     print(f"{'engine':>14} {'thr':>3} {'ckpt':>4} {'base-rel':>9} "
           f"{'fresh-rel':>9} {'ratio':>6}")
-    for key, base in sorted(base_cells.items()):
+    for key in sorted(set(base_cells) | set(fresh_cells)):
+        engine, threads, ckpt = key
+        row = (f"{engine:>14} {threads:>3} {'on' if ckpt else 'off':>4}")
+        base = base_cells.get(key)
         fresh = fresh_cells.get(key)
         if fresh is None:
             failures.append(f"cell {key} missing from fresh results")
+            print(f"{row} {'?':>9} {'---':>9} {'':>6}  << MISSING FRESH CELL")
             continue
-        base_rel = base["inj_per_sec"] / seed_rate(base_cells, key[0])
-        fresh_rel = fresh["inj_per_sec"] / seed_rate(fresh_cells, key[0])
+        fresh_seed = seed_rate(fresh_cells, engine)
+        fresh_rel = (fresh["inj_per_sec"] / fresh_seed
+                     if fresh_seed else float("nan"))
+        base_seed = seed_rate(base_cells, engine) if base else None
+        if base is None or base_seed is None:
+            why = ("no baseline cell" if base is None
+                   else "baseline seed cell missing/degenerate")
+            print(f"{row} {'---':>9} {fresh_rel:9.3f} {'':>6}  ({why}, "
+                  "not gated)")
+            continue
+        base_rel = base["inj_per_sec"] / base_seed
         ratio = fresh_rel / base_rel if base_rel > 0 else float("inf")
         gated = base["sim_seconds"] >= 0.25
         flag = ""
@@ -69,9 +91,7 @@ def main():
                 flag = "  << REGRESSION"
             else:
                 flag = "  (noisy cell, not gated)"
-        engine, threads, ckpt = key
-        print(f"{engine:>14} {threads:>3} {'on' if ckpt else 'off':>4} "
-              f"{base_rel:9.3f} {fresh_rel:9.3f} {ratio:6.2f}{flag}")
+        print(f"{row} {base_rel:9.3f} {fresh_rel:9.3f} {ratio:6.2f}{flag}")
 
     if not fresh_data.get("all_identical", False):
         failures.append("fresh matrix cells disagree on campaign records")

@@ -189,7 +189,7 @@ YamlNode double_list(const std::vector<double>& values) {
 
 ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
   ScenarioSpec spec;
-  check_keys(root, "", {"scenario", "model", "campaign", "ml"});
+  check_keys(root, "", {"scenario", "model", "campaign", "ml", "fleet"});
   spec.name = get_string(root, "", "scenario", spec.name);
   if (spec.name.empty()) fail("scenario", "name must not be empty");
 
@@ -292,6 +292,30 @@ ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
         get_bool(ml, "ml", "feature_selection", spec.feature_selection);
     spec.ml_seed = get_u64(ml, "ml", "seed", spec.ml_seed);
   }
+
+  if (root.has("fleet")) {
+    const YamlNode& fleet = root.at("fleet");
+    check_keys(fleet, "fleet",
+               {"secret", "connect_timeout", "worker_timeout",
+                "frame_deadline"});
+    spec.fleet.secret =
+        get_string(fleet, "fleet", "secret", spec.fleet.secret);
+    spec.fleet.connect_timeout = get_double(fleet, "fleet", "connect_timeout",
+                                            spec.fleet.connect_timeout);
+    if (spec.fleet.connect_timeout <= 0) {
+      fail("fleet.connect_timeout", "must be positive");
+    }
+    spec.fleet.worker_timeout = get_double(fleet, "fleet", "worker_timeout",
+                                           spec.fleet.worker_timeout);
+    if (spec.fleet.worker_timeout <= 0) {
+      fail("fleet.worker_timeout", "must be positive");
+    }
+    spec.fleet.frame_deadline = get_double(fleet, "fleet", "frame_deadline",
+                                           spec.fleet.frame_deadline);
+    if (spec.fleet.frame_deadline <= 0) {
+      fail("fleet.frame_deadline", "must be positive");
+    }
+  }
   return spec;
 }
 
@@ -371,6 +395,13 @@ YamlNode ScenarioSpec::to_yaml() const {
          YamlNode::scalar(feature_selection ? "true" : "false"));
   ml.set("seed", YamlNode::scalar(std::to_string(ml_seed)));
   root.set("ml", std::move(ml));
+
+  YamlNode f = YamlNode::map();
+  f.set("secret", YamlNode::scalar(fleet.secret));
+  f.set("connect_timeout", YamlNode::scalar(fmt_double(fleet.connect_timeout)));
+  f.set("worker_timeout", YamlNode::scalar(fmt_double(fleet.worker_timeout)));
+  f.set("frame_deadline", YamlNode::scalar(fmt_double(fleet.frame_deadline)));
+  root.set("fleet", std::move(f));
   return root;
 }
 

@@ -59,10 +59,30 @@ namespace ssresf::core {
 ///     grid_gamma: [0.05, 0.2, 1, 4]
 ///     feature_selection: false
 ///     seed: 7
+///   fleet:
+///     secret: lab-7                # shared handshake secret ("" = open)
+///     connect_timeout: 10          # worker connect retry window, seconds
+///     worker_timeout: 120          # coordinator silence reap threshold
+///     frame_deadline: 30           # per-frame receive deadline (slow-loris)
 ///
 /// Every section and key is optional (defaults below); unknown keys are
 /// rejected with the full key path, so a typo cannot silently fall back to a
 /// default and change results.
+
+/// Fleet execution knobs of the distributed transport. Pure execution
+/// layer: none of these affect records, so they are NOT part of
+/// fi::campaign_config_digest — two fleets with different secrets or
+/// timeouts produce byte-identical results.
+struct FleetSpec {
+  /// Shared secret of the authenticated hello/challenge handshake
+  /// (net/auth.h). Empty = open fleet (the MAC is still exchanged, keyed
+  /// with the empty secret — one uniform code path).
+  std::string secret;
+  double connect_timeout = 10.0;
+  double worker_timeout = 120.0;
+  double frame_deadline = 30.0;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   /// Model shape + record-affecting campaign config (the socket transport's
@@ -78,6 +98,8 @@ struct ScenarioSpec {
   /// column mask is persisted in the model bundle.
   bool feature_selection = false;
   std::uint64_t ml_seed = 7;
+  /// Distributed-fleet execution knobs (never record-affecting).
+  FleetSpec fleet;
 
   /// Parse / serialize. from_yaml throws InvalidArgument naming the exact
   /// offending key path; parse additionally surfaces yaml_lite ParseErrors

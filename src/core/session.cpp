@@ -133,12 +133,23 @@ fi::CampaignResult Session::simulate_served() {
   copts.port = static_cast<std::uint16_t>(options_.serve_port);
   copts.loopback_only = options_.serve_loopback_only;
   copts.chunk_injections = options_.serve_chunk_injections;
-  copts.worker_timeout_seconds = options_.worker_timeout_seconds;
+  // The scenario's fleet section carries the execution knobs; the session
+  // option overrides only when set explicitly.
+  copts.worker_timeout_seconds = options_.worker_timeout_seconds > 0
+                                     ? options_.worker_timeout_seconds
+                                     : spec_.fleet.worker_timeout;
+  copts.frame_deadline_seconds = spec_.fleet.frame_deadline;
+  copts.secret = spec_.fleet.secret;
+  copts.journal_path = options_.serve_journal;
   net::Coordinator coordinator(spec_.campaign, db_, copts);
   note("simulate", "serving campaign on port " +
                        std::to_string(coordinator.port()));
   if (options_.on_serving) options_.on_serving(coordinator.port());
-  return coordinator.run();
+  fi::CampaignResult result = coordinator.run();
+  if (options_.on_fleet_status) {
+    options_.on_fleet_status(coordinator.fleet_status());
+  }
+  return result;
 }
 
 const fi::CampaignResult& Session::simulate() {

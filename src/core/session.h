@@ -50,10 +50,17 @@ struct SessionOptions {
   int serve_port = -1;
   bool serve_loopback_only = true;
   std::uint64_t serve_chunk_injections = 0;  // 0 = plan/64
-  double worker_timeout_seconds = 120.0;
+  /// 0 inherits the scenario's fleet.worker_timeout; > 0 overrides it.
+  double worker_timeout_seconds = 0.0;
+  /// Coordinator dispatch journal (.ssjl) for crash/failover recovery
+  /// ("" = none). See net/journal.h.
+  std::string serve_journal;
   /// Invoked with the bound port once the coordinator is listening (spawn or
   /// announce workers from here; simulate() then blocks until completion).
   std::function<void(std::uint16_t port)> on_serving;
+  /// Invoked with the fleet health table (net::FleetMonitor::status_table)
+  /// when a served campaign finishes — `ssresf serve --fleet-status`.
+  std::function<void(const std::string&)> on_fleet_status;
 };
 
 /// Whole-netlist classification output of the predict stage.

@@ -1,6 +1,7 @@
 #include "fi/golden_bundle.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 #include "fi/campaign.h"
@@ -14,6 +15,13 @@ namespace {
 
 constexpr char kBundleMagic[4] = {'S', 'S', 'G', 'B'};
 constexpr std::uint8_t kBundleVersion = 1;
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
 
 void encode_trace(util::ByteWriter& out, const sim::OutputTrace& trace) {
   out.varint(trace.nets().size());
@@ -182,8 +190,10 @@ GoldenBundle read_golden_bundle_file(const std::string& path,
       (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
   util::ByteReader in(bytes);
   char magic[4];
-  if (in.remaining() < sizeof(magic)) {
-    throw InvalidArgument("golden bundle '" + path + "': truncated");
+  if (in.remaining() < sizeof(magic) + 1 + 8) {
+    throw InvalidArgument("golden bundle '" + path + "': truncated header (" +
+                          std::to_string(bytes.size()) + " bytes, need " +
+                          std::to_string(sizeof(magic) + 1 + 8) + ")");
   }
   in.bytes(magic, sizeof(magic));
   if (std::string_view(magic, 4) != std::string_view(kBundleMagic, 4)) {
@@ -195,12 +205,24 @@ GoldenBundle read_golden_bundle_file(const std::string& path,
                           std::to_string(version));
   }
   const std::uint64_t digest = in.fixed64();
-  if (digest != campaign_config_digest(model, config)) {
+  const std::uint64_t expected = campaign_config_digest(model, config);
+  if (digest != expected) {
     throw InvalidArgument("golden bundle '" + path +
-                          "': campaign configuration digest mismatch "
-                          "(different model, seed, or config)");
+                          "': campaign configuration digest mismatch (file " +
+                          hex64(digest) + ", expected " + hex64(expected) +
+                          " — different model, seed, or config)");
   }
-  return decode_golden_bundle(in);
+  try {
+    return decode_golden_bundle(in);
+  } catch (const Error& e) {
+    // Rethrow with the byte offset of the failure — "corrupt at offset N of
+    // M" narrows a flipped bit or torn write to the spot, which matters when
+    // the bundle crossed a network or a crashed coordinator.
+    throw InvalidArgument(
+        std::string(e.what()) + " (in '" + path + "' at byte offset " +
+        std::to_string(bytes.size() - in.remaining()) + " of " +
+        std::to_string(bytes.size()) + ")");
+  }
 }
 
 }  // namespace ssresf::fi

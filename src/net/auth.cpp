@@ -1,0 +1,82 @@
+#include "net/auth.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/bytes.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace ssresf::net {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;
+
+std::uint64_t fnv_key_block(std::string_view secret, std::uint8_t pad,
+                            util::Fnv1a& digest) {
+  // Derive the padded key block. A key longer than the block is replaced by
+  // its hash (HMAC's rule), then zero-extended.
+  std::uint8_t key[kBlock] = {};
+  if (secret.size() <= kBlock) {
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+      key[i] = static_cast<std::uint8_t>(secret[i]);
+    }
+  } else {
+    util::Fnv1a h;
+    for (const char c : secret) h.byte(static_cast<std::uint8_t>(c));
+    for (int i = 0; i < 8; ++i) {
+      key[i] = static_cast<std::uint8_t>(h.h >> (8 * i));
+    }
+  }
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    digest.byte(static_cast<std::uint8_t>(key[i] ^ pad));
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t hmac64(std::string_view secret,
+                     std::span<const std::uint8_t> message) {
+  util::Fnv1a inner;
+  fnv_key_block(secret, 0x36, inner);
+  inner.bytes(message);
+
+  util::Fnv1a outer;
+  fnv_key_block(secret, 0x5c, outer);
+  for (int i = 0; i < 8; ++i) {
+    outer.byte(static_cast<std::uint8_t>(inner.h >> (8 * i)));
+  }
+  return outer.h;
+}
+
+std::uint64_t handshake_mac(std::string_view secret,
+                            std::uint8_t protocol_version,
+                            std::uint64_t config_digest, std::uint64_t nonce) {
+  util::ByteWriter msg;
+  msg.u8(protocol_version);
+  msg.fixed64(config_digest);
+  msg.fixed64(nonce);
+  return hmac64(secret, msg.data());
+}
+
+std::uint64_t fresh_nonce() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::uint64_t pid = 0;
+#ifndef _WIN32
+  pid = static_cast<std::uint64_t>(::getpid());
+#endif
+  // splitmix64 finalizer over (time, pid, counter) — distinct per call and
+  // per process; unpredictability beyond that is not required (see header).
+  std::uint64_t z = now ^ (pid << 32) ^ (counter.fetch_add(1) * 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ssresf::net

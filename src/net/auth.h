@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ssresf::net {
+
+/// Admission control of the fleet transport: an HMAC-style keyed MAC over
+/// the handshake parameters, built on the same FNV-1a-64 the rest of the
+/// distribution layer uses. The coordinator and every worker share a
+/// scenario secret; the hello/challenge exchange proves — in both
+/// directions — that the peer holds it, bound to the protocol version, the
+/// campaign-config digest, and a per-connection nonce, so a stray worker,
+/// a stale binary, or a replayed handshake can never join and corrupt a
+/// campaign.
+///
+/// This is integrity/admission control, NOT confidentiality: frames travel
+/// in plaintext and FNV-1a is not a cryptographic hash. An attacker who can
+/// read the wire can recover enough to forge; the threat model is
+/// misconfiguration and accidental cross-campaign joins on a trusted
+/// network. TLS stays future work (see README "Fleet fault tolerance").
+
+/// HMAC construction (ipad/opad over a 64-byte block) with FNV-1a-64 as the
+/// underlying hash. Keys longer than the block are pre-hashed, like HMAC.
+[[nodiscard]] std::uint64_t hmac64(std::string_view secret,
+                                   std::span<const std::uint8_t> message);
+
+/// The MAC each side presents: hmac64(secret, version || config_digest ||
+/// nonce), where `nonce` is the challenge the *verifying* side issued. The
+/// worker proves itself over the coordinator's nonce and vice versa, so one
+/// side's proof cannot be replayed as the other's.
+[[nodiscard]] std::uint64_t handshake_mac(std::string_view secret,
+                                          std::uint8_t protocol_version,
+                                          std::uint64_t config_digest,
+                                          std::uint64_t nonce);
+
+/// A fresh per-connection nonce. Not part of any record-affecting path, so
+/// it draws from wall clock + a process-local counter rather than a seeded
+/// stream — two handshakes never see the same nonce.
+[[nodiscard]] std::uint64_t fresh_nonce();
+
+}  // namespace ssresf::net

@@ -1,0 +1,89 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace ssresf::net {
+
+ChaosSchedule ChaosSchedule::from_seed(std::uint64_t seed, std::size_t count,
+                                       std::uint64_t first_op,
+                                       std::uint64_t span) {
+  ChaosSchedule schedule;
+  if (span == 0) span = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng rng = util::Rng::from_stream(seed, static_cast<std::uint64_t>(i));
+    ChaosEvent event;
+    event.op_index = first_op + rng.below(span);
+    event.kind = static_cast<ChaosKind>(rng.below(4));
+    switch (event.kind) {
+      case ChaosKind::kTruncateSend:
+        event.arg = static_cast<std::uint32_t>(1 + rng.below(12));
+        break;
+      case ChaosKind::kDelayMs:
+        event.arg = static_cast<std::uint32_t>(1 + rng.below(20));
+        break;
+      default:
+        event.arg = 0;
+    }
+    schedule.add(event);
+  }
+  return schedule;
+}
+
+std::optional<ChaosEvent> ChaosSchedule::take(std::uint64_t op_index) {
+  const auto it = std::find_if(
+      events_.begin(), events_.end(),
+      [op_index](const ChaosEvent& e) { return e.op_index == op_index; });
+  if (it == events_.end()) return std::nullopt;
+  const ChaosEvent event = *it;
+  events_.erase(it);  // consumed: the same fault never re-fires
+  return event;
+}
+
+bool ChaosSchedule::send_frame(util::Socket& socket, MsgType type,
+                               std::span<const std::uint8_t> payload) {
+  const std::uint64_t op = ops_sent_++;
+  const std::optional<ChaosEvent> event = take(op);
+  if (!event) {
+    net::send_frame(socket, type, payload);
+    return true;
+  }
+  switch (event->kind) {
+    case ChaosKind::kDisconnect:
+      socket.close();
+      return false;
+    case ChaosKind::kGarbleSend: {
+      std::vector<std::uint8_t> frame = encode_frame(type, payload);
+      // Flip one bit inside the payload region (or the digest field when the
+      // payload is empty) — the receiver's FNV check must reject it.
+      const std::size_t header = 4 + 1 + 1 + 4 + 8;
+      const std::size_t victim =
+          frame.size() > header ? header : frame.size() - 1;
+      frame[victim] ^= 0x01;
+      socket.send_all(frame.data(), frame.size());
+      // The receiver drops the connection on the digest mismatch; close our
+      // side too so the next receive surfaces it immediately.
+      socket.close();
+      return false;
+    }
+    case ChaosKind::kTruncateSend: {
+      const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+      // Always short of the full frame: a mid-frame EOF, never a clean close.
+      const std::size_t keep =
+          std::min<std::size_t>(event->arg, frame.size() - 1);
+      socket.send_all(frame.data(), keep);
+      socket.close();
+      return false;
+    }
+    case ChaosKind::kDelayMs:
+      std::this_thread::sleep_for(std::chrono::milliseconds(event->arg));
+      net::send_frame(socket, type, payload);
+      return true;
+  }
+  return true;  // unreachable
+}
+
+}  // namespace ssresf::net

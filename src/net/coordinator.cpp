@@ -4,10 +4,14 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <filesystem>
+#include <optional>
 
 #include "fi/campaign_exec.h"
 #include "fi/golden_bundle.h"
 #include "fi/shard.h"
+#include "net/auth.h"
+#include "net/journal.h"
 #include "util/error.h"
 #include "util/timer.h"
 
@@ -17,16 +21,37 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-enum class ConnState { kAwaitHello, kAwaitReady, kIdle, kWorking };
+enum class ConnState { kAwaitHello, kAwaitAuth, kAwaitReady, kIdle, kWorking };
 
 struct Conn {
   util::Socket socket;
   ConnState state = ConnState::kAwaitHello;
   WorkMsg chunk;  // valid when state == kWorking
   Clock::time_point deadline;
-  int id = 0;               // stable id for log lines
-  std::uint64_t pid = 0;    // worker-reported, logs only
+  int id = 0;                  // stable id for log lines
+  std::uint64_t pid = 0;       // worker-reported, logs only
+  std::uint64_t worker_id = 0; // worker-reported stable identity
+  std::uint64_t nonce = 0;     // our challenge, awaiting the kAuth proof
+  std::uint64_t last_records_digest = 0;  // fnv of the last accepted batch
 };
+
+/// Graceful sender-side close: consume inbound bytes until the peer reads
+/// our half-close FIN plus final frames and closes (or the deadline passes).
+/// The caller must shutdown_write() first. Closing a socket with unread
+/// inbound data (a worker's in-flight records) makes the kernel send RST,
+/// which destroys frames the peer has buffered but not yet read — the
+/// kReconnect redirect or final kShutdown would silently vanish.
+void drain_to_eof(util::Socket& socket, Clock::time_point deadline) {
+  std::uint8_t sink[4096];
+  try {
+    while (Clock::now() < deadline) {
+      if (!socket.wait_readable(100)) continue;
+      if (socket.recv_some(sink, sizeof(sink)) == 0) break;
+    }
+  } catch (const Error&) {
+    // The peer reset first; nothing left to preserve.
+  }
+}
 
 }  // namespace
 
@@ -35,9 +60,24 @@ Coordinator::Coordinator(const CampaignSpec& spec,
                          CoordinatorOptions options)
     : spec_(spec),
       db_(database),
-      options_(options),
+      options_(std::move(options)),
       model_(build_model(spec)),
-      listener_(options.port, options.loopback_only) {}
+      listener_(options_.port, options_.loopback_only),
+      monitor_(options_.health) {
+  if (options_.worker_timeout_seconds <= 0.0) {
+    throw InvalidArgument("coordinator: worker timeout must be positive, got " +
+                          std::to_string(options_.worker_timeout_seconds));
+  }
+  if (options_.frame_deadline_seconds <= 0.0) {
+    throw InvalidArgument("coordinator: frame deadline must be positive, got " +
+                          std::to_string(options_.frame_deadline_seconds));
+  }
+  if (options_.handoff_after_frames > 0 && options_.journal_path.empty()) {
+    throw InvalidArgument(
+        "coordinator: a handoff without a journal would strand the "
+        "campaign's progress — set journal_path");
+  }
+}
 
 fi::CampaignResult Coordinator::run() {
   const fi::CampaignConfig& config = spec_.config;
@@ -56,10 +96,11 @@ fi::CampaignResult Coordinator::run() {
   fi::detail::CampaignPrep prep =
       fi::detail::prepare_campaign(model_, config, db_, /*for_execution=*/true);
   const std::uint64_t plan_size = prep.plan.size();
+  const std::uint64_t digest = fi::campaign_config_digest(model_, config);
 
   CampaignMsg campaign;
   campaign.spec = spec_;
-  campaign.config_digest = fi::campaign_config_digest(model_, config);
+  campaign.config_digest = digest;
   campaign.total_injections = plan_size;
   {
     util::ByteWriter bundle_bytes;
@@ -72,40 +113,9 @@ fi::CampaignResult Coordinator::run() {
       static_cast<unsigned long long>(plan_size),
       static_cast<unsigned>(listener_.port()), campaign.bundle.size());
 
-  // The work queue: contiguous index chunks, reassigned-first at the front.
-  const std::uint64_t chunk_size =
-      options_.chunk_injections > 0
-          ? options_.chunk_injections
-          : std::max<std::uint64_t>(1, plan_size / 64);
-  std::deque<WorkMsg> queue;
-  for (std::uint64_t start = 0; start < plan_size; start += chunk_size) {
-    queue.push_back({start, std::min(chunk_size, plan_size - start)});
-  }
-
   std::vector<fi::InjectionRecord> records(plan_size);
   std::vector<std::uint8_t> seen(plan_size, 0);
   std::uint64_t filled = 0;
-
-  std::vector<Conn> conns;
-  int next_conn_id = 0;
-  const auto timeout = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(options_.worker_timeout_seconds));
-
-  // Drops conns[k]: its outstanding chunk goes back to the FRONT of the
-  // queue so a lost chunk is the next thing dispatched — a killed worker
-  // delays the campaign by at most one chunk's simulation time.
-  const auto drop = [&](std::size_t k, const char* why) {
-    Conn& c = conns[k];
-    log("worker #%d (pid %llu) dropped: %s", c.id,
-        static_cast<unsigned long long>(c.pid), why);
-    if (c.state == ConnState::kWorking) {
-      log("reassigning injections [%llu, %llu)",
-          static_cast<unsigned long long>(c.chunk.start),
-          static_cast<unsigned long long>(c.chunk.start + c.chunk.count));
-      queue.push_front(c.chunk);
-    }
-    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(k));
-  };
 
   const auto fill_records = [&](const RecordsMsg& msg) {
     for (const fi::ShardRecord& r : msg.records) {
@@ -134,6 +144,103 @@ fi::CampaignResult Coordinator::run() {
       records[i] = r.record;
       ++filled;
     }
+  };
+
+  // Dispatch journal: replay what a previous incarnation already collected,
+  // then append every batch we accept ourselves. Everything replayed goes
+  // through the same plan cross-checks as live traffic — a corrupt or
+  // foreign journal fails here, not in the merged result.
+  std::optional<JournalWriter> journal;
+  if (!options_.journal_path.empty()) {
+    if (std::filesystem::exists(options_.journal_path)) {
+      const JournalContents contents =
+          read_journal(options_.journal_path, digest, /*strict=*/false);
+      if (contents.total_injections != plan_size) {
+        throw InvalidArgument(
+            "journal '" + options_.journal_path + "': records " +
+            std::to_string(contents.total_injections) +
+            " total injections, campaign plans " + std::to_string(plan_size));
+      }
+      for (const JournalEntry& entry : contents.entries) {
+        RecordsMsg msg;
+        msg.start = entry.start;
+        msg.count = entry.records.size();
+        msg.records = entry.records;
+        fill_records(msg);
+      }
+      journal.emplace(
+          JournalWriter::resume(options_.journal_path, contents));
+      log("resumed journal '%s': %llu of %llu injections already done",
+          options_.journal_path.c_str(),
+          static_cast<unsigned long long>(filled),
+          static_cast<unsigned long long>(plan_size));
+    } else {
+      journal.emplace(options_.journal_path, digest, plan_size);
+    }
+  }
+
+  // The work queue: contiguous chunks over the UNFILLED indices only
+  // (everything on a fresh start), reassigned-first at the front.
+  const std::uint64_t chunk_size =
+      options_.chunk_injections > 0
+          ? options_.chunk_injections
+          : std::max<std::uint64_t>(1, plan_size / 64);
+  std::deque<WorkMsg> queue;
+  const auto queue_run = [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t start = begin; start < end; start += chunk_size) {
+      queue.push_back({start, std::min(chunk_size, end - start)});
+    }
+  };
+  {
+    std::uint64_t run_start = 0;
+    bool in_run = false;
+    for (std::uint64_t i = 0; i < plan_size; ++i) {
+      if (seen[i] == 0) {
+        if (!in_run) {
+          run_start = i;
+          in_run = true;
+        }
+      } else if (in_run) {
+        queue_run(run_start, i);
+        in_run = false;
+      }
+    }
+    if (in_run) queue_run(run_start, plan_size);
+  }
+
+  std::vector<Conn> conns;
+  int next_conn_id = 0;
+  std::uint64_t frames_seen = 0;
+  const auto timeout = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(options_.worker_timeout_seconds));
+
+  // Drops conns[k]: its outstanding chunk goes back to the FRONT of the
+  // queue so a lost chunk is the next thing dispatched — a killed worker
+  // delays the campaign by at most one chunk's simulation time.
+  const auto drop = [&](std::size_t k, const char* why) {
+    Conn& c = conns[k];
+    log("worker #%d (pid %llu) dropped: %s", c.id,
+        static_cast<unsigned long long>(c.pid), why);
+    // A dead worker must not count toward the monitor's last-healthy guard.
+    if (c.worker_id != 0) monitor_.on_disconnect(c.worker_id);
+    if (c.state == ConnState::kWorking) {
+      log("reassigning injections [%llu, %llu)",
+          static_cast<unsigned long long>(c.chunk.start),
+          static_cast<unsigned long long>(c.chunk.start + c.chunk.count));
+      queue.push_front(c.chunk);
+    }
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(k));
+  };
+
+  // Sends kError (best effort) and drops — the refusal paths: failed auth,
+  // quarantined worker, mid-campaign quarantine.
+  const auto refuse = [&](std::size_t k, const std::string& message) {
+    const ErrorMsg err{message};
+    try {
+      send_frame(conns[k].socket, MsgType::kError, encode_payload(err));
+    } catch (const Error&) {
+    }
+    drop(k, message.c_str());
   };
 
   while (filled < plan_size) {
@@ -201,7 +308,11 @@ fi::CampaignResult Coordinator::run() {
       Frame frame;
       bool ok = false;
       try {
-        ok = recv_frame(c.socket, frame);
+        // The fd is readable, so the frame has started: the deadline-bounded
+        // read is the slow-loris guard — a peer trickling bytes can stall
+        // this loop for at most one frame deadline.
+        ok = recv_frame_deadline(c.socket, frame,
+                                 options_.frame_deadline_seconds);
       } catch (const Error& e) {
         drop(k, e.what());
         continue;
@@ -210,6 +321,7 @@ fi::CampaignResult Coordinator::run() {
         drop(k, "disconnected");
         continue;
       }
+      ++frames_seen;
       c.deadline = Clock::now() + timeout;
       try {
         util::ByteReader payload(frame.payload);
@@ -222,6 +334,46 @@ fi::CampaignResult Coordinator::run() {
             }
             const HelloMsg hello = HelloMsg::decode(payload);
             c.pid = hello.pid;
+            c.worker_id = hello.worker_id;
+            const bool was_quarantined = monitor_.quarantined(hello.worker_id);
+            if (!monitor_.on_connect(hello.worker_id)) {
+              const auto& health = monitor_.workers().at(hello.worker_id);
+              refuse(k, "worker " + std::to_string(hello.worker_id) +
+                            " is quarantined (" + to_string(health.reason) +
+                            ")");
+              continue;
+            }
+            if (was_quarantined) {
+              log("worker %llu paroled: no healthy workers left",
+                  static_cast<unsigned long long>(hello.worker_id));
+            }
+            // Challenge-response before any campaign data: we prove
+            // ourselves over the worker's nonce, it must prove itself over
+            // ours. The digest is the only thing an unauthenticated peer
+            // ever learns.
+            c.nonce = fresh_nonce();
+            ChallengeMsg challenge;
+            challenge.nonce = c.nonce;
+            challenge.config_digest = digest;
+            challenge.mac = handshake_mac(options_.secret, kProtocolVersion,
+                                          digest, hello.nonce);
+            send_frame(c.socket, MsgType::kChallenge,
+                       encode_payload(challenge));
+            c.state = ConnState::kAwaitAuth;
+            break;
+          }
+          case MsgType::kAuth: {
+            if (c.state != ConnState::kAwaitAuth) {
+              throw InvalidArgument("unexpected auth message");
+            }
+            const AuthMsg auth = AuthMsg::decode(payload);
+            const std::uint64_t expect = handshake_mac(
+                options_.secret, kProtocolVersion, digest, c.nonce);
+            if (auth.mac != expect) {
+              refuse(k, "worker authentication failed "
+                        "(wrong scenario secret?)");
+              continue;
+            }
             send_frame(c.socket, MsgType::kCampaign, campaign_payload);
             c.state = ConnState::kAwaitReady;
             break;
@@ -234,8 +386,9 @@ fi::CampaignResult Coordinator::run() {
             if (ready_msg.plan_size != plan_size) {
               throw InvalidArgument("worker derived a different plan size");
             }
-            log("worker #%d (pid %llu) ready", c.id,
-                static_cast<unsigned long long>(c.pid));
+            log("worker #%d (pid %llu, id %llu) ready", c.id,
+                static_cast<unsigned long long>(c.pid),
+                static_cast<unsigned long long>(c.worker_id));
             c.state = ConnState::kIdle;
             break;
           }
@@ -248,8 +401,26 @@ fi::CampaignResult Coordinator::run() {
               throw InvalidArgument("records do not match the assigned chunk");
             }
             fill_records(msg);
+            // Journal BEFORE acknowledging by dispatching more work: after a
+            // crash, anything we acted on is guaranteed on disk.
+            if (journal) journal->append(msg.start, msg.records);
+            c.last_records_digest = fnv1a(frame.payload);
             c.state = ConnState::kIdle;
             break;
+          }
+          case MsgType::kHeartbeat: {
+            const HeartbeatMsg heartbeat = HeartbeatMsg::decode(payload);
+            if (heartbeat.worker_id != c.worker_id) {
+              throw InvalidArgument("heartbeat for a different worker");
+            }
+            const QuarantineReason reason =
+                monitor_.on_heartbeat(heartbeat, c.last_records_digest);
+            if (reason != QuarantineReason::kNone) {
+              refuse(k, "worker " + std::to_string(c.worker_id) +
+                            " quarantined (" + to_string(reason) + ")");
+              continue;
+            }
+            break;  // telemetry only; no state change
           }
           case MsgType::kError: {
             const ErrorMsg err = ErrorMsg::decode(payload);
@@ -271,12 +442,53 @@ fi::CampaignResult Coordinator::run() {
     // Reap workers that have been silent past the timeout (idle workers are
     // exempt: with an empty queue there is nothing they could be sending).
     const auto now = Clock::now();
-    for (std::size_t k = 0; k < conns.size();) {
-      if (conns[k].state != ConnState::kIdle && conns[k].deadline <= now) {
-        drop(k, "timed out");
+    for (std::size_t k2 = 0; k2 < conns.size();) {
+      if (conns[k2].state != ConnState::kIdle && conns[k2].deadline <= now) {
+        drop(k2, "timed out");
       } else {
-        ++k;
+        ++k2;
       }
+    }
+
+    // Failover hook: redirect the fleet to the standby and stop. The journal
+    // (flushed on every accepted batch) is the baton.
+    if (options_.handoff_after_frames > 0 &&
+        frames_seen >= options_.handoff_after_frames && filled < plan_size) {
+      ReconnectMsg redirect;
+      redirect.host = options_.handoff_host;
+      redirect.port = options_.handoff_port;
+      const std::vector<std::uint8_t> redirect_payload =
+          encode_payload(redirect);
+      for (Conn& c : conns) {
+        try {
+          send_frame(c.socket, MsgType::kReconnect, redirect_payload);
+          // Half-close, then drain below. Closing outright while a worker is
+          // mid-send (records from its current chunk) would RST the
+          // connection, and the RST destroys the kReconnect the worker has
+          // buffered but not yet read — it would then retry the dead primary
+          // instead of following the redirect.
+          c.socket.shutdown_write();
+        } catch (const Error&) {
+          // A worker we cannot redirect will find the standby via its own
+          // reconnect path (or die trying); the journal keeps its records.
+        }
+      }
+      // Drain every connection to EOF so no RST is ever generated. Bytes
+      // read here (in-flight record frames) are deliberately discarded, not
+      // journaled: the standby re-queues those chunks and the campaign's
+      // determinism plus the duplicate-record check keep the merge exact.
+      const auto drain_deadline = Clock::now() + timeout;
+      for (Conn& c : conns) drain_to_eof(c.socket, drain_deadline);
+      conns.clear();
+      // Stop listening too: a worker that missed the redirect must get
+      // connection-refused from this dead incarnation, not a handshake
+      // that never comes out of an unserved accept backlog.
+      listener_.close();
+      throw CoordinatorHandoff(
+          "coordinator: handed off after " + std::to_string(frames_seen) +
+          " frames; journal '" + options_.journal_path + "' holds " +
+          std::to_string(filled) + " of " + std::to_string(plan_size) +
+          " injections");
     }
   }
 
@@ -285,10 +497,33 @@ fi::CampaignResult Coordinator::run() {
   for (Conn& c : conns) {
     try {
       send_frame(c.socket, MsgType::kShutdown, {});
+      c.socket.shutdown_write();
     } catch (const Error&) {
       // A worker that died between its last records and shutdown is fine.
     }
   }
+  // A worker that connected just as the last record landed is sitting in
+  // the accept backlog waiting for a handshake that will never start —
+  // accept it, tell it the campaign is over, and stop listening so any
+  // later connect is refused outright instead of queueing forever.
+  try {
+    while (util::poll_readable({listener_.fd()}, 0)[0]) {
+      Conn late;
+      late.socket = listener_.accept();
+      log("late worker connected after completion, sending shutdown");
+      try {
+        send_frame(late.socket, MsgType::kShutdown, {});
+        late.socket.shutdown_write();
+      } catch (const Error&) {
+      }
+      conns.push_back(std::move(late));
+    }
+  } catch (const Error&) {
+    // A raced accept is fine; the listener closes either way.
+  }
+  listener_.close();
+  const auto drain_deadline = Clock::now() + timeout;
+  for (Conn& c : conns) drain_to_eof(c.socket, drain_deadline);
   conns.clear();
 
   const double seconds = timer.seconds();

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "net/health.h"
 #include "net/protocol.h"
 #include "radiation/soft_error_db.h"
+#include "util/error.h"
 #include "util/socket.h"
 
 namespace ssresf::net {
@@ -19,26 +22,67 @@ struct CoordinatorOptions {
   /// its connection dropped. Must exceed the worst-case time a worker spends
   /// simulating one chunk.
   double worker_timeout_seconds = 120.0;
+  /// Per-frame receive deadline (the slow-loris guard): once a frame has
+  /// started arriving, the rest must land within this many seconds or the
+  /// connection is dropped. Waiting for a frame to start stays unbounded.
+  double frame_deadline_seconds = 30.0;
+  /// Shared scenario secret of the authenticated handshake ("" = open
+  /// fleet). A worker that cannot prove knowledge of it is refused before
+  /// any campaign data is sent.
+  std::string secret;
+  /// Dispatch journal path (.ssjl). "" disables. With a journal, a restarted
+  /// coordinator resumes the campaign from the last flushed batch instead of
+  /// starting over — see net/journal.h.
+  std::string journal_path;
+  /// Health/quarantine thresholds — see net/health.h.
+  HealthOptions health;
+  /// Failover test hook: after receiving this many frames, redirect every
+  /// worker to handoff_host:handoff_port via kReconnect, flush the journal,
+  /// and throw CoordinatorHandoff (0 = never). Requires journal_path — a
+  /// handoff without a journal would strand the campaign's progress.
+  std::uint64_t handoff_after_frames = 0;
+  std::string handoff_host = "127.0.0.1";
+  std::uint16_t handoff_port = 0;
   bool verbose = false;
+};
+
+/// Thrown by Coordinator::run() when the handoff hook fires: this
+/// coordinator has redirected its fleet and stopped; a standby running on
+/// the same journal finishes the campaign. Not an error in the fleet sense —
+/// the campaign is alive, just elsewhere.
+class CoordinatorHandoff : public Error {
+ public:
+  using Error::Error;
 };
 
 /// Campaign coordinator of the socket transport. Owns the full campaign
 /// lifecycle: prepares once (golden run, clustering, sampling, checkpoint
 /// ladder), encodes the golden bundle a single time, then serves any number
-/// of workers that connect — handshake (config + digest + bundle), dynamic
+/// of workers that connect — authenticated handshake (hello/challenge/auth,
+/// net/auth.h), campaign shipping (config + digest + bundle), dynamic
 /// pull-based chunk dispatch, record collection with plan cross-checks, and
 /// reassignment of chunks lost to worker disconnects or timeouts. The
-/// coordinator never trusts a worker: every record frame is digest-checked
-/// at the protocol layer and cross-checked against the locally derived plan,
-/// and a worker that contradicts either is dropped and its work re-queued.
+/// coordinator never trusts a worker: admission requires the scenario
+/// secret, every record frame is digest-checked at the protocol layer and
+/// cross-checked against the locally derived plan, heartbeat telemetry
+/// feeds a FleetMonitor that quarantines flapping/slow/inconsistent
+/// workers, and a worker that contradicts any invariant is dropped and its
+/// work re-queued.
+///
+/// Fault tolerance: with a journal (options.journal_path) every accepted
+/// batch is flushed to disk before more work is dispatched, and a restarted
+/// coordinator resumes from the journal — re-dispatching only the gaps.
 ///
 /// Determinism: records depend only on (model, config, global index), so the
 /// merged result is byte-identical to single-process fi::run_campaign for
-/// any worker count, any join/leave schedule, and any kill timing.
+/// any worker count, any join/leave schedule, any kill timing — including a
+/// coordinator death and resume.
 class Coordinator {
  public:
   /// Builds the campaign model from `spec` and binds the listen socket (so
   /// port() is valid immediately; workers may start connecting before run()).
+  /// Throws InvalidArgument on non-positive timeouts/deadlines or a handoff
+  /// hook without a journal.
   Coordinator(const CampaignSpec& spec,
               const radiation::SoftErrorDatabase& database,
               CoordinatorOptions options);
@@ -50,12 +94,20 @@ class Coordinator {
   /// it waits for them.
   [[nodiscard]] fi::CampaignResult run();
 
+  /// Fleet health table (per-worker counters + quarantine state) as of the
+  /// last run() — `ssresf serve --fleet-status` prints this.
+  [[nodiscard]] std::string fleet_status() const {
+    return monitor_.status_table();
+  }
+  [[nodiscard]] const FleetMonitor& monitor() const { return monitor_; }
+
  private:
   CampaignSpec spec_;
   const radiation::SoftErrorDatabase& db_;
   CoordinatorOptions options_;
   soc::SocModel model_;
   util::ListenSocket listener_;
+  FleetMonitor monitor_;
 };
 
 }  // namespace ssresf::net

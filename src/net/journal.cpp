@@ -1,0 +1,200 @@
+#include "net/journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace ssresf::net {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'S', 'S', 'J', 'L'};
+constexpr std::uint8_t kJournalVersion = 1;
+constexpr std::uint8_t kEntryMarker = 0x5A;
+constexpr std::size_t kHeaderBytes = 4 + 1 + 8 + 8;
+constexpr std::size_t kEntryHeaderBytes = 1 + 4 + 8;
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << std::setfill('0') << std::setw(16) << v;
+  return out.str();
+}
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+JournalContents read_journal(const std::string& path,
+                             std::uint64_t expected_config_digest,
+                             bool strict) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw Error("journal: cannot open '" + path + "'");
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+
+  if (bytes.size() < kHeaderBytes) {
+    throw InvalidArgument("journal '" + path + "': truncated header (" +
+                          std::to_string(bytes.size()) + " of " +
+                          std::to_string(kHeaderBytes) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    throw InvalidArgument("journal '" + path + "': bad magic");
+  }
+  if (bytes[4] != kJournalVersion) {
+    throw InvalidArgument("journal '" + path + "': unsupported version " +
+                          std::to_string(bytes[4]));
+  }
+  JournalContents contents;
+  contents.config_digest = get_u64_le(bytes.data() + 5);
+  contents.total_injections = get_u64_le(bytes.data() + 13);
+  if (contents.config_digest != expected_config_digest) {
+    throw InvalidArgument(
+        "journal '" + path + "': campaign configuration digest mismatch (file " +
+        hex(contents.config_digest) + ", campaign " +
+        hex(expected_config_digest) + ") — this journal belongs to a "
+        "different campaign");
+  }
+
+  std::size_t offset = kHeaderBytes;
+  const auto defect = [&](const std::string& what) {
+    if (strict) {
+      throw InvalidArgument("journal '" + path + "': " + what);
+    }
+    // Crash recovery: a torn tail is expected; everything before it stands.
+  };
+  while (offset < bytes.size()) {
+    contents.valid_bytes = offset;
+    if (bytes[offset] != kEntryMarker) {
+      defect("bad entry marker " + hex(bytes[offset]) + " at offset " +
+             std::to_string(offset));
+      return contents;
+    }
+    if (bytes.size() - offset < kEntryHeaderBytes) {
+      defect("truncated entry header at offset " + std::to_string(offset) +
+             " (" + std::to_string(bytes.size() - offset) + " of " +
+             std::to_string(kEntryHeaderBytes) + " bytes)");
+      return contents;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(bytes[offset + 1 + i]) << (8 * i);
+    }
+    const std::uint64_t stored_digest = get_u64_le(bytes.data() + offset + 5);
+    if (bytes.size() - offset - kEntryHeaderBytes < len) {
+      defect("truncated entry payload at offset " + std::to_string(offset) +
+             " (" + std::to_string(bytes.size() - offset - kEntryHeaderBytes) +
+             " of " + std::to_string(len) + " bytes)");
+      return contents;
+    }
+    const std::span<const std::uint8_t> payload(
+        bytes.data() + offset + kEntryHeaderBytes, len);
+    const std::uint64_t computed = util::fnv1a(payload);
+    if (computed != stored_digest) {
+      defect("entry payload digest mismatch at offset " +
+             std::to_string(offset) + " (stored " + hex(stored_digest) +
+             ", computed " + hex(computed) + ")");
+      return contents;
+    }
+    try {
+      util::ByteReader in(payload);
+      JournalEntry entry;
+      entry.start = in.varint();
+      const std::uint64_t count = in.varint();
+      entry.records = fi::decode_records(in, count);
+      contents.entries.push_back(std::move(entry));
+    } catch (const Error& e) {
+      defect("undecodable entry at offset " + std::to_string(offset) + ": " +
+             e.what());
+      return contents;
+    }
+    offset += kEntryHeaderBytes + len;
+  }
+  contents.valid_bytes = offset;
+  return contents;
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             std::uint64_t config_digest,
+                             std::uint64_t total_injections)
+    : path_(path) {
+  file_.open(path, std::ios::binary | std::ios::trunc);
+  if (!file_) throw Error("journal: cannot create '" + path + "'");
+  std::vector<std::uint8_t> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kJournalMagic, kJournalMagic + 4);
+  header.push_back(kJournalVersion);
+  put_u64_le(header, config_digest);
+  put_u64_le(header, total_injections);
+  file_.write(reinterpret_cast<const char*>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+  file_.flush();
+  if (!file_) throw Error("journal: write to '" + path + "' failed");
+}
+
+JournalWriter::JournalWriter(ResumeTag, const std::string& path,
+                             const JournalContents& contents)
+    : path_(path) {
+  // Drop the torn tail, if any, before appending — the file must end at an
+  // entry boundary or replay after the *next* crash would stop early.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) throw Error("journal: cannot stat '" + path + "': " + ec.message());
+  if (contents.valid_bytes > size) {
+    throw InvalidArgument("journal '" + path + "': resume offset " +
+                          std::to_string(contents.valid_bytes) +
+                          " beyond file size " + std::to_string(size));
+  }
+  if (contents.valid_bytes < size) {
+    std::filesystem::resize_file(path, contents.valid_bytes, ec);
+    if (ec) {
+      throw Error("journal: cannot truncate '" + path + "': " + ec.message());
+    }
+  }
+  file_.open(path, std::ios::binary | std::ios::app);
+  if (!file_) throw Error("journal: cannot reopen '" + path + "'");
+}
+
+JournalWriter JournalWriter::resume(const std::string& path,
+                                    const JournalContents& contents) {
+  return JournalWriter(ResumeTag{}, path, contents);
+}
+
+void JournalWriter::append(std::uint64_t start,
+                           const std::vector<fi::ShardRecord>& records) {
+  util::ByteWriter payload;
+  payload.varint(start);
+  payload.varint(records.size());
+  fi::encode_records(payload, records);
+
+  const auto& body = payload.data();
+  std::vector<std::uint8_t> entry;
+  entry.reserve(kEntryHeaderBytes + body.size());
+  entry.push_back(kEntryMarker);
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    entry.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  put_u64_le(entry, util::fnv1a(body));
+  entry.insert(entry.end(), body.begin(), body.end());
+
+  file_.write(reinterpret_cast<const char*>(entry.data()),
+              static_cast<std::streamsize>(entry.size()));
+  file_.flush();
+  if (!file_) throw Error("journal: write to '" + path_ + "' failed");
+}
+
+}  // namespace ssresf::net

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fi/shard.h"
+
+namespace ssresf::net {
+
+/// Coordinator dispatch journal (.ssjl): the write-ahead record of every
+/// accepted result batch, bound to the campaign-config digest. A standby (or
+/// restarted) coordinator replays the journal, marks the recorded injections
+/// as done, and re-dispatches only the gaps — so a coordinator crash costs at
+/// most the batches in flight, never the campaign.
+///
+/// Layout:
+///   "SSJL" | version u8 | config_digest u64 LE | total_injections u64 LE |
+///   entries*
+/// entry:
+///   marker 0x5A | payload len u32 LE | FNV-1a(payload) u64 LE | payload
+/// payload:
+///   start varint | count varint | fi::encode_records bytes
+///
+/// Every append is flushed before the coordinator acknowledges further work,
+/// so the journal never claims records the disk does not hold. A crash can
+/// leave a torn final entry; the tolerant reader cuts it off, the strict
+/// reader (used by tests and tooling) names the offending offset and digest.
+
+struct JournalEntry {
+  std::uint64_t start = 0;
+  std::vector<fi::ShardRecord> records;
+};
+
+struct JournalContents {
+  std::uint64_t config_digest = 0;
+  std::uint64_t total_injections = 0;
+  std::vector<JournalEntry> entries;
+  /// Offset just past the last intact entry — the resume point.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Reads a journal. Header defects (bad magic/version, digest not matching
+/// `expected_config_digest`, truncation) always throw InvalidArgument naming
+/// the path and both digests. Entry defects: with `strict` they throw with
+/// the byte offset and the stored-vs-computed digest; without (crash
+/// recovery) the scan stops at the first defect and `valid_bytes` marks the
+/// cut point — a torn tail is expected after a crash mid-append.
+[[nodiscard]] JournalContents read_journal(const std::string& path,
+                                           std::uint64_t expected_config_digest,
+                                           bool strict);
+
+class JournalWriter {
+ public:
+  /// Creates (truncating) `path` and writes the header.
+  JournalWriter(const std::string& path, std::uint64_t config_digest,
+                std::uint64_t total_injections);
+
+  /// Reopens an existing journal to continue a campaign: cuts the file back
+  /// to `contents.valid_bytes` (dropping a torn tail) and appends from
+  /// there. `contents` must come from read_journal on the same path.
+  [[nodiscard]] static JournalWriter resume(const std::string& path,
+                                            const JournalContents& contents);
+
+  /// Appends one accepted batch and flushes — after return, the entry
+  /// survives a coordinator crash. Throws Error when the write fails.
+  void append(std::uint64_t start,
+              const std::vector<fi::ShardRecord>& records);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct ResumeTag {};
+  JournalWriter(ResumeTag, const std::string& path,
+                const JournalContents& contents);
+
+  std::string path_;
+  std::ofstream file_;
+};
+
+}  // namespace ssresf::net

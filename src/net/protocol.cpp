@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include <bit>
+#include <chrono>
 #include <cstring>
 
 #include "soc/programs.h"
@@ -64,7 +65,7 @@ bool recv_frame(util::Socket& socket, Frame& out) {
                           std::to_string(header[4]) + ", expected " +
                           std::to_string(kProtocolVersion) + ")");
   }
-  if (header[5] > static_cast<std::uint8_t>(MsgType::kError)) {
+  if (header[5] > kMaxMsgType) {
     throw InvalidArgument("net: unknown message type " +
                           std::to_string(header[5]));
   }
@@ -84,6 +85,99 @@ bool recv_frame(util::Socket& socket, Frame& out) {
   out.payload.resize(len);
   if (len > 0 && !socket.recv_all(out.payload.data(), len)) {
     throw Error("net: connection closed inside a frame");
+  }
+  if (fnv1a(out.payload) != digest) {
+    throw InvalidArgument("net: frame payload digest mismatch (corrupt or "
+                          "truncated stream)");
+  }
+  return true;
+}
+
+namespace {
+
+/// Exact-count read bounded by an absolute deadline, built from recv_some +
+/// wait_readable. Returns false on a clean EOF before the first byte (only
+/// when `allow_clean_eof`); throws Error on mid-buffer EOF or when the
+/// deadline passes with the buffer incomplete.
+bool recv_exact_by(util::Socket& socket, std::uint8_t* p, std::size_t n,
+                   std::chrono::steady_clock::time_point deadline,
+                   double deadline_seconds, bool allow_clean_eof) {
+  std::size_t got = 0;
+  while (got < n) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      throw Error("net: frame receive deadline of " +
+                  std::to_string(deadline_seconds) + "s exceeded (" +
+                  std::to_string(got) + " of " + std::to_string(n) +
+                  " bytes; slow or stalled peer)");
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int wait_ms = static_cast<int>(left.count()) + 1;
+    if (!socket.wait_readable(wait_ms)) continue;  // re-check the deadline
+    const std::size_t r = socket.recv_some(p + got, n - got);
+    if (r == 0) {
+      if (got == 0 && allow_clean_eof) return false;
+      throw Error("net: connection closed mid-message (" +
+                  std::to_string(got) + " of " + std::to_string(n) +
+                  " bytes)");
+    }
+    got += r;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool recv_frame_deadline(util::Socket& socket, Frame& out,
+                         double deadline_seconds) {
+  if (deadline_seconds <= 0.0) {
+    throw InvalidArgument("net: frame receive deadline must be positive, got " +
+                          std::to_string(deadline_seconds));
+  }
+  // Waiting for a frame to *start* is unbounded — an idle peer is healthy.
+  if (!socket.wait_readable(-1)) {
+    throw Error("net: wait for frame failed");
+  }
+  // From the first header byte on, the whole frame must land in time.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(deadline_seconds));
+  std::uint8_t header[kHeaderSize];
+  if (!recv_exact_by(socket, header, sizeof(header), deadline,
+                     deadline_seconds, /*allow_clean_eof=*/true)) {
+    return false;
+  }
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw InvalidArgument("net: bad frame magic");
+  }
+  if (header[4] != kProtocolVersion) {
+    throw InvalidArgument("net: protocol version mismatch (got " +
+                          std::to_string(header[4]) + ", expected " +
+                          std::to_string(kProtocolVersion) + ")");
+  }
+  if (header[5] > kMaxMsgType) {
+    throw InvalidArgument("net: unknown message type " +
+                          std::to_string(header[5]));
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[6 + i]) << (8 * i);
+  }
+  if (len > kMaxFramePayload) {
+    throw InvalidArgument("net: frame payload length " + std::to_string(len) +
+                          " exceeds the 1 GiB cap");
+  }
+  std::uint64_t digest = 0;
+  for (int i = 0; i < 8; ++i) {
+    digest |= static_cast<std::uint64_t>(header[10 + i]) << (8 * i);
+  }
+  out.type = static_cast<MsgType>(header[5]);
+  out.payload.resize(len);
+  if (len > 0) {
+    (void)recv_exact_by(socket, out.payload.data(), len, deadline,
+                        deadline_seconds, /*allow_clean_eof=*/false);
   }
   if (fnv1a(out.payload) != digest) {
     throw InvalidArgument("net: frame payload digest mismatch (corrupt or "
@@ -186,13 +280,72 @@ soc::SocModel build_model(const CampaignSpec& spec) {
 
 void HelloMsg::encode(util::ByteWriter& out) const {
   out.varint(pid);
+  out.fixed64(worker_id);
   out.varint(threads);
+  out.fixed64(nonce);
 }
 
 HelloMsg HelloMsg::decode(util::ByteReader& in) {
   HelloMsg msg;
   msg.pid = in.varint();
+  msg.worker_id = in.fixed64();
   msg.threads = static_cast<std::uint32_t>(in.varint());
+  msg.nonce = in.fixed64();
+  return msg;
+}
+
+void ChallengeMsg::encode(util::ByteWriter& out) const {
+  out.fixed64(nonce);
+  out.fixed64(config_digest);
+  out.fixed64(mac);
+}
+
+ChallengeMsg ChallengeMsg::decode(util::ByteReader& in) {
+  ChallengeMsg msg;
+  msg.nonce = in.fixed64();
+  msg.config_digest = in.fixed64();
+  msg.mac = in.fixed64();
+  return msg;
+}
+
+void AuthMsg::encode(util::ByteWriter& out) const { out.fixed64(mac); }
+
+AuthMsg AuthMsg::decode(util::ByteReader& in) {
+  AuthMsg msg;
+  msg.mac = in.fixed64();
+  return msg;
+}
+
+void HeartbeatMsg::encode(util::ByteWriter& out) const {
+  out.fixed64(worker_id);
+  out.varint(chunks_done);
+  out.varint(records_produced);
+  put_f64(out, last_chunk_seconds);
+  put_f64(out, total_seconds);
+  out.fixed64(last_records_digest);
+}
+
+HeartbeatMsg HeartbeatMsg::decode(util::ByteReader& in) {
+  HeartbeatMsg msg;
+  msg.worker_id = in.fixed64();
+  msg.chunks_done = in.varint();
+  msg.records_produced = in.varint();
+  msg.last_chunk_seconds = get_f64(in);
+  msg.total_seconds = get_f64(in);
+  msg.last_records_digest = in.fixed64();
+  return msg;
+}
+
+void ReconnectMsg::encode(util::ByteWriter& out) const {
+  out.sized_bytes(host.data(), host.size());
+  out.varint(port);
+}
+
+ReconnectMsg ReconnectMsg::decode(util::ByteReader& in) {
+  ReconnectMsg msg;
+  const std::vector<char> bytes = in.byte_vec<char>();
+  msg.host.assign(bytes.begin(), bytes.end());
+  msg.port = static_cast<std::uint16_t>(in.varint());
   return msg;
 }
 

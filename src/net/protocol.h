@@ -23,7 +23,10 @@ namespace ssresf::net {
 /// wrong campaign. Payloads reuse the util/bytes.h LEB128 codecs, the
 /// fi/shard.h record codec, and the fi/golden_bundle.h golden-work codec —
 /// the same byte formats the .ssfs / .ssgb files use on disk.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+///
+/// Version 2 added the authenticated hello/challenge handshake (net/auth.h),
+/// worker heartbeat telemetry, and coordinator-failover redirects.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Frames over 1 GiB are rejected before allocation: no golden bundle or
 /// record batch comes close, so a larger length is a corrupt or hostile
@@ -31,14 +34,21 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;
 
 enum class MsgType : std::uint8_t {
-  kHello = 0,     // worker -> coordinator: pid + threads, opens the session
-  kCampaign = 1,  // coordinator -> worker: spec + digest + golden bundle
-  kReady = 2,     // worker -> coordinator: plan derived, plan size echoed
-  kWork = 3,      // coordinator -> worker: one chunk of global indices
-  kRecords = 4,   // worker -> coordinator: the chunk's records
-  kShutdown = 5,  // coordinator -> worker: campaign complete, disconnect
-  kError = 6,     // either direction: fatal condition, human-readable
+  kHello = 0,      // worker -> coordinator: ids + threads + worker nonce
+  kCampaign = 1,   // coordinator -> worker: spec + digest + golden bundle
+  kReady = 2,      // worker -> coordinator: plan derived, plan size echoed
+  kWork = 3,       // coordinator -> worker: one chunk of global indices
+  kRecords = 4,    // worker -> coordinator: the chunk's records
+  kShutdown = 5,   // coordinator -> worker: campaign complete, disconnect
+  kError = 6,      // either direction: fatal condition, human-readable
+  kChallenge = 7,  // coordinator -> worker: nonce + digest + its own proof
+  kAuth = 8,       // worker -> coordinator: proof over the challenge nonce
+  kHeartbeat = 9,  // worker -> coordinator: telemetry after each chunk
+  kReconnect = 10, // coordinator -> worker: campaign continues at host:port
 };
+
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::kReconnect);
 
 struct Frame {
   MsgType type = MsgType::kError;
@@ -58,6 +68,15 @@ void send_frame(util::Socket& socket, MsgType type,
 /// InvalidArgument on bad magic/version/type, an oversized length, or a
 /// payload digest mismatch; util Error on a mid-frame disconnect.
 [[nodiscard]] bool recv_frame(util::Socket& socket, Frame& out);
+
+/// recv_frame with a per-frame receive deadline: waiting for a frame to
+/// *start* still blocks forever (an idle peer is healthy), but once the
+/// first byte has arrived the rest of the frame must land within
+/// `deadline_seconds`, or an Error("frame receive deadline...") is thrown.
+/// This is the slow-loris guard: a stalled or byte-trickling peer can cost
+/// the coordinator's poll loop at most one deadline, never hang it.
+[[nodiscard]] bool recv_frame_deadline(util::Socket& socket, Frame& out,
+                                       double deadline_seconds);
 
 /// Campaign-defining parameters, sufficient to reconstruct the identical
 /// (model, config) pair on any host: the workload/SoC shape plus the full
@@ -85,10 +104,64 @@ struct CampaignSpec {
 
 struct HelloMsg {
   std::uint64_t pid = 0;
+  /// Stable identity of one Worker instance, preserved across reconnects —
+  /// the key of the coordinator's health telemetry and quarantine set (a
+  /// pid is not enough: in-process test fleets share one).
+  std::uint64_t worker_id = 0;
   std::uint32_t threads = 1;
+  /// The worker's challenge to the coordinator (mutual auth): the
+  /// kChallenge reply must carry handshake_mac(secret, ..., nonce).
+  std::uint64_t nonce = 0;
 
   void encode(util::ByteWriter& out) const;
   [[nodiscard]] static HelloMsg decode(util::ByteReader& in);
+};
+
+/// Coordinator -> worker, in reply to kHello: the coordinator's nonce for
+/// the worker to prove itself over, the campaign-config digest the proofs
+/// bind to, and the coordinator's own proof over the worker's hello nonce.
+/// No campaign data beyond the digest crosses the wire until the worker's
+/// kAuth proof has been verified.
+struct ChallengeMsg {
+  std::uint64_t nonce = 0;
+  std::uint64_t config_digest = 0;
+  std::uint64_t mac = 0;  // handshake_mac over the hello's nonce
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static ChallengeMsg decode(util::ByteReader& in);
+};
+
+struct AuthMsg {
+  std::uint64_t mac = 0;  // handshake_mac over the challenge's nonce
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static AuthMsg decode(util::ByteReader& in);
+};
+
+/// Worker -> coordinator after every kRecords frame: cumulative counters
+/// plus the payload digest of the records frame just sent, so the
+/// coordinator can cross-check what it received against what the worker
+/// believes it produced. Feeds the health::FleetMonitor.
+struct HeartbeatMsg {
+  std::uint64_t worker_id = 0;
+  std::uint64_t chunks_done = 0;
+  std::uint64_t records_produced = 0;
+  double last_chunk_seconds = 0.0;  // simulation wall time of the last chunk
+  double total_seconds = 0.0;
+  std::uint64_t last_records_digest = 0;  // fnv1a of the last kRecords payload
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static HeartbeatMsg decode(util::ByteReader& in);
+};
+
+/// Coordinator -> worker: this coordinator is going away; the campaign
+/// continues at host:port (a standby resuming from the dispatch journal).
+struct ReconnectMsg {
+  std::string host;
+  std::uint16_t port = 0;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static ReconnectMsg decode(util::ByteReader& in);
 };
 
 struct CampaignMsg {

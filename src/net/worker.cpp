@@ -1,11 +1,18 @@
 #include "net/worker.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
+#include <optional>
+#include <thread>
 
 #include "fi/campaign_exec.h"
 #include "fi/golden_bundle.h"
+#include "net/auth.h"
 #include "util/error.h"
+#include "util/rng.h"
+#include "util/timer.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -13,9 +20,44 @@
 
 namespace ssresf::net {
 
+double reconnect_backoff_seconds(std::uint64_t worker_id, int attempt,
+                                 double base, double cap) {
+  if (attempt < 1) return 0.0;
+  double delay = base;
+  for (int i = 1; i < attempt && delay < cap; ++i) delay *= 2.0;
+  delay = std::min(delay, cap);
+  util::Rng rng =
+      util::Rng::from_stream(worker_id, static_cast<std::uint64_t>(attempt));
+  return delay * (0.5 + 0.5 * rng.uniform());
+}
+
+/// Everything a session leaves behind for the next one: the campaign prep
+/// cached by config digest (a reconnect costs a handshake, not a golden
+/// rebuild) plus lifetime counters (chunk budgets and heartbeat telemetry
+/// span sessions — the coordinator tracks the worker, not the connection).
+struct Worker::SessionState {
+  bool prepared = false;
+  std::uint64_t digest = 0;
+  std::optional<soc::SocModel> model;
+  fi::CampaignConfig config;
+  std::optional<fi::detail::CampaignPrep> prep;
+  std::vector<fi::InjectionRecord> records;
+
+  std::uint64_t produced = 0;
+  std::uint64_t chunks_done = 0;
+  double total_seconds = 0.0;
+  bool progressed_this_session = false;
+};
+
 Worker::Worker(const radiation::SoftErrorDatabase& database,
                WorkerOptions options)
-    : db_(database), options_(std::move(options)) {}
+    : db_(database), options_(std::move(options)) {
+  if (options_.worker_id == 0) options_.worker_id = fresh_nonce();
+  if (options_.connect_timeout_seconds <= 0.0) {
+    throw InvalidArgument("worker: connect timeout must be positive, got " +
+                          std::to_string(options_.connect_timeout_seconds));
+  }
+}
 
 std::uint64_t Worker::run() {
   const auto log = [&](const char* fmt, auto... args) {
@@ -26,84 +68,226 @@ std::uint64_t Worker::run() {
     }
   };
 
+  SessionState state;
+  std::string host = options_.host;
+  std::uint16_t port = options_.port;
+  int attempt = 0;
+  for (;;) {
+    if (attempt > 0) {
+      if (attempt > options_.max_reconnect_attempts) {
+        throw Error("worker: giving up after " + std::to_string(attempt - 1) +
+                    " consecutive failed sessions against " + host + ":" +
+                    std::to_string(port));
+      }
+      const double delay = reconnect_backoff_seconds(
+          options_.worker_id, attempt, options_.backoff_base_seconds,
+          options_.backoff_cap_seconds);
+      log("reconnect attempt %d in %.3fs", attempt, delay);
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+    state.progressed_this_session = false;
+    try {
+      switch (run_session(state, host, port)) {
+        case SessionEnd::kShutdown:
+        case SessionEnd::kBudget:
+          return state.produced;
+        case SessionEnd::kRedirect:
+          log("redirected to %s:%u", host.c_str(),
+              static_cast<unsigned>(port));
+          attempt = 0;  // a redirect is an instruction, not a failure
+          continue;
+        case SessionEnd::kLost:
+          break;
+      }
+    } catch (const WorkerRejected&) {
+      throw;  // a rejection is final; reconnecting cannot fix it
+    } catch (const InvalidArgument&) {
+      throw;  // protocol violations and digest mismatches are bugs, not luck
+    } catch (const Error& e) {
+      log("session lost: %s", e.what());
+    }
+    // A session that completed work earned a fresh backoff ladder.
+    attempt = state.progressed_this_session ? 1 : attempt + 1;
+  }
+}
+
+Worker::SessionEnd Worker::run_session(SessionState& state, std::string& host,
+                                       std::uint16_t& port) {
+  const auto log = [&](const char* fmt, auto... args) {
+    if (options_.verbose) {
+      std::fprintf(stderr, "worker: ");
+      std::fprintf(stderr, fmt, args...);
+      std::fputc('\n', stderr);
+    }
+  };
+  // All sends go through the chaos seam when a schedule is installed; a
+  // fault that closes the socket surfaces as a lost session, never a crash.
+  const auto send = [&](util::Socket& socket, MsgType type,
+                        std::span<const std::uint8_t> payload) {
+    if (options_.chaos != nullptr) {
+      if (!options_.chaos->send_frame(socket, type, payload)) {
+        throw Error("worker: connection lost to injected fault");
+      }
+      return;
+    }
+    send_frame(socket, type, payload);
+  };
+
   util::Socket socket =
-      util::connect_to(options_.host, options_.port,
-                       options_.connect_timeout_seconds);
+      util::connect_to(host, port, options_.connect_timeout_seconds);
+
+  // --- authenticated handshake (net/auth.h) -------------------------------
   HelloMsg hello;
 #ifndef _WIN32
   hello.pid = static_cast<std::uint64_t>(::getpid());
 #endif
+  hello.worker_id = options_.worker_id;
   hello.threads = static_cast<std::uint32_t>(std::max(options_.threads, 1));
-  send_frame(socket, MsgType::kHello, encode_payload(hello));
+  hello.nonce = fresh_nonce();
+  send(socket, MsgType::kHello, encode_payload(hello));
+
+  // A handoff can fire at any point, including mid-handshake — follow the
+  // redirect instead of treating it as a protocol violation.
+  const auto follow_redirect = [&](const Frame& f) {
+    util::ByteReader redirect_payload(f.payload);
+    const ReconnectMsg redirect = ReconnectMsg::decode(redirect_payload);
+    host = redirect.host.empty() ? host : redirect.host;
+    port = redirect.port;
+  };
 
   Frame frame;
   if (!recv_frame(socket, frame)) {
     throw Error("worker: coordinator hung up before the campaign handshake");
   }
+  if (frame.type == MsgType::kShutdown) {
+    // We raced the campaign's end: connected just as the last record landed.
+    // Nothing to do is a clean outcome, not a protocol violation.
+    log("campaign already complete, nothing to do");
+    return SessionEnd::kShutdown;
+  }
+  if (frame.type == MsgType::kReconnect) {
+    follow_redirect(frame);
+    return SessionEnd::kRedirect;
+  }
   if (frame.type == MsgType::kError) {
     util::ByteReader payload(frame.payload);
-    throw Error("worker: coordinator error: " +
-                ErrorMsg::decode(payload).message);
+    throw WorkerRejected("worker: coordinator rejected us: " +
+                         ErrorMsg::decode(payload).message);
+  }
+  if (frame.type != MsgType::kChallenge) {
+    throw InvalidArgument("worker: expected the auth challenge first");
+  }
+  ChallengeMsg challenge;
+  {
+    util::ByteReader payload(frame.payload);
+    challenge = ChallengeMsg::decode(payload);
+  }
+  // Mutual auth: the coordinator must have proven itself over OUR nonce
+  // before we compute anything for it — a rogue listener learns nothing but
+  // a digest.
+  const std::uint64_t expect_mac =
+      handshake_mac(options_.secret, kProtocolVersion, challenge.config_digest,
+                    hello.nonce);
+  if (challenge.mac != expect_mac) {
+    throw WorkerRejected(
+        "worker: coordinator failed authentication (wrong scenario secret?)");
+  }
+  AuthMsg auth;
+  auth.mac = handshake_mac(options_.secret, kProtocolVersion,
+                           challenge.config_digest, challenge.nonce);
+  send(socket, MsgType::kAuth, encode_payload(auth));
+
+  if (!recv_frame(socket, frame)) {
+    throw Error("worker: coordinator hung up after the auth proof");
+  }
+  if (frame.type == MsgType::kShutdown) {
+    log("campaign completed during our handshake, nothing to do");
+    return SessionEnd::kShutdown;
+  }
+  if (frame.type == MsgType::kReconnect) {
+    follow_redirect(frame);
+    return SessionEnd::kRedirect;
+  }
+  if (frame.type == MsgType::kError) {
+    util::ByteReader payload(frame.payload);
+    throw WorkerRejected("worker: coordinator rejected us: " +
+                         ErrorMsg::decode(payload).message);
   }
   if (frame.type != MsgType::kCampaign) {
-    throw InvalidArgument("worker: expected the campaign message first");
+    throw InvalidArgument("worker: expected the campaign message after auth");
   }
   util::ByteReader payload(frame.payload);
   const CampaignMsg campaign = CampaignMsg::decode(payload);
+  if (campaign.config_digest != challenge.config_digest) {
+    throw InvalidArgument(
+        "worker: campaign digest differs from the challenged one");
+  }
 
   // Rebuild the exact (model, config) the coordinator holds and prove it via
   // the digest — version skew, a different soft-error database, or any codec
-  // bug fails here, before a single record is produced.
-  const soc::SocModel model = build_model(campaign.spec);
-  fi::CampaignConfig config = campaign.spec.config;
-  config.threads = options_.threads;
-  const std::uint64_t digest = fi::campaign_config_digest(model, config);
-  if (digest != campaign.config_digest) {
-    const ErrorMsg err{"campaign configuration digest mismatch"};
-    try {
-      send_frame(socket, MsgType::kError, encode_payload(err));
-    } catch (const Error&) {
+  // bug fails here, before a single record is produced. Cached by digest: a
+  // reconnect to the same campaign (or its standby) skips the rebuild.
+  if (!state.prepared || state.digest != campaign.config_digest) {
+    soc::SocModel model = build_model(campaign.spec);
+    fi::CampaignConfig config = campaign.spec.config;
+    config.threads = options_.threads;
+    const std::uint64_t digest = fi::campaign_config_digest(model, config);
+    if (digest != campaign.config_digest) {
+      const ErrorMsg err{"campaign configuration digest mismatch"};
+      try {
+        send_frame(socket, MsgType::kError, encode_payload(err));
+      } catch (const Error&) {
+      }
+      throw InvalidArgument(
+          "worker: campaign configuration digest mismatch (coordinator sent " +
+          std::to_string(campaign.config_digest) + ", derived " +
+          std::to_string(digest) + ")");
     }
-    throw InvalidArgument(
-        "worker: campaign configuration digest mismatch (coordinator sent " +
-        std::to_string(campaign.config_digest) + ", derived " +
-        std::to_string(digest) + ")");
+    util::ByteReader bundle_reader(campaign.bundle);
+    const fi::GoldenBundle bundle = fi::decode_golden_bundle(bundle_reader);
+    fi::detail::CampaignPrep prep =
+        fi::prepare_campaign_with_bundle(model, config, db_, bundle);
+    if (prep.plan.size() != campaign.total_injections) {
+      throw InvalidArgument("worker: derived plan size " +
+                            std::to_string(prep.plan.size()) +
+                            " does not match the coordinator's " +
+                            std::to_string(campaign.total_injections));
+    }
+    log("campaign of %zu injections, %zu-rung ladder shipped (%zu bytes)",
+        prep.plan.size(), prep.ladder.size(), campaign.bundle.size());
+    state.model = std::move(model);
+    state.config = config;
+    state.records.assign(prep.plan.size(), {});
+    state.prep = std::move(prep);
+    state.digest = campaign.config_digest;
+    state.prepared = true;
+  } else {
+    log("reconnected to campaign %llu, prep cache hit",
+        static_cast<unsigned long long>(state.digest));
   }
-
-  util::ByteReader bundle_reader(campaign.bundle);
-  const fi::GoldenBundle bundle = fi::decode_golden_bundle(bundle_reader);
-  const fi::detail::CampaignPrep prep =
-      fi::prepare_campaign_with_bundle(model, config, db_, bundle);
-  if (prep.plan.size() != campaign.total_injections) {
-    throw InvalidArgument("worker: derived plan size " +
-                          std::to_string(prep.plan.size()) +
-                          " does not match the coordinator's " +
-                          std::to_string(campaign.total_injections));
-  }
-  log("campaign of %zu injections, %zu-rung ladder shipped (%zu bytes)",
-      prep.plan.size(), prep.ladder.size(), campaign.bundle.size());
+  const fi::detail::CampaignPrep& prep = *state.prep;
 
   ReadyMsg ready{prep.plan.size()};
-  send_frame(socket, MsgType::kReady, encode_payload(ready));
+  send(socket, MsgType::kReady, encode_payload(ready));
 
-  std::vector<fi::InjectionRecord> records(prep.plan.size());
   std::vector<std::size_t> owned;
-  std::uint64_t produced = 0;
-  std::uint64_t chunks_done = 0;
   for (;;) {
     if (!recv_frame(socket, frame)) {
-      log("coordinator hung up, exiting");
-      return produced;
+      throw Error("worker: coordinator hung up mid-campaign");
     }
     if (frame.type == MsgType::kShutdown) {
       log("shutdown after %llu records",
-          static_cast<unsigned long long>(produced));
-      return produced;
+          static_cast<unsigned long long>(state.produced));
+      return SessionEnd::kShutdown;
+    }
+    if (frame.type == MsgType::kReconnect) {
+      follow_redirect(frame);
+      return SessionEnd::kRedirect;
     }
     if (frame.type == MsgType::kError) {
       util::ByteReader err_payload(frame.payload);
-      throw Error("worker: coordinator error: " +
-                  ErrorMsg::decode(err_payload).message);
+      throw WorkerRejected("worker: coordinator error: " +
+                           ErrorMsg::decode(err_payload).message);
     }
     if (frame.type != MsgType::kWork) {
       throw InvalidArgument("worker: unexpected message mid-campaign");
@@ -113,31 +297,52 @@ std::uint64_t Worker::run() {
     if (work.count == 0 || work.start + work.count > prep.plan.size()) {
       throw InvalidArgument("worker: work item outside the plan");
     }
-    if (chunks_done >= options_.defect_after_chunks) {
+    if (state.chunks_done >= options_.defect_after_chunks) {
       log("defecting on injections [%llu, %llu)",
           static_cast<unsigned long long>(work.start),
           static_cast<unsigned long long>(work.start + work.count));
-      return produced;  // vanish without replying: the chunk is now lost
+      return SessionEnd::kBudget;  // vanish without replying: chunk is lost
     }
 
     owned.resize(static_cast<std::size_t>(work.count));
     std::iota(owned.begin(), owned.end(),
               static_cast<std::size_t>(work.start));
-    fi::detail::execute_injections(model, config, prep, owned, records);
+    util::Timer chunk_timer;
+    fi::detail::execute_injections(*state.model, state.config, prep, owned,
+                                   state.records);
+    const double chunk_seconds = options_.chunk_seconds_override >= 0.0
+                                     ? options_.chunk_seconds_override
+                                     : chunk_timer.seconds();
+    state.total_seconds += chunk_seconds;
 
     RecordsMsg reply;
     reply.start = work.start;
     reply.count = work.count;
     reply.records.reserve(owned.size());
     for (const std::size_t i : owned) {
-      reply.records.push_back({i, records[i]});
+      reply.records.push_back({i, state.records[i]});
     }
-    send_frame(socket, MsgType::kRecords, encode_payload(reply));
-    produced += work.count;
-    ++chunks_done;
-    if (options_.max_chunks > 0 && chunks_done >= options_.max_chunks) {
+    const std::vector<std::uint8_t> records_payload = encode_payload(reply);
+    send(socket, MsgType::kRecords, records_payload);
+    state.produced += work.count;
+    state.chunks_done += 1;
+    state.progressed_this_session = true;
+
+    HeartbeatMsg heartbeat;
+    heartbeat.worker_id = options_.worker_id;
+    heartbeat.chunks_done = state.chunks_done;
+    heartbeat.records_produced = state.produced;
+    heartbeat.last_chunk_seconds = chunk_seconds;
+    heartbeat.total_seconds = state.total_seconds;
+    heartbeat.last_records_digest = fnv1a(records_payload);
+    if (options_.corrupt_heartbeat_digest) {
+      heartbeat.last_records_digest ^= 1;
+    }
+    send(socket, MsgType::kHeartbeat, encode_payload(heartbeat));
+
+    if (options_.max_chunks > 0 && state.chunks_done >= options_.max_chunks) {
       log("chunk budget reached, disconnecting cleanly");
-      return produced;
+      return SessionEnd::kBudget;
     }
   }
 }

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <string>
 
+#include "net/chaos.h"
 #include "net/protocol.h"
 #include "radiation/soft_error_db.h"
+#include "util/error.h"
 
 namespace ssresf::net {
 
@@ -12,9 +14,23 @@ struct WorkerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   int threads = 1;  // execution threads inside this worker process
-  /// Retry window for the initial connect (covers the worker-starts-before-
-  /// coordinator race of a parallel launch).
+  /// Retry window for each connect (covers the worker-starts-before-
+  /// coordinator race of a parallel launch, and a coordinator restart).
   double connect_timeout_seconds = 10.0;
+  /// Shared scenario secret of the authenticated handshake ("" = open
+  /// fleet; both sides must agree — the MAC covers the secret either way).
+  std::string secret;
+  /// Stable identity across reconnects (the coordinator's health/quarantine
+  /// key). 0 derives a fresh unique id at construction.
+  std::uint64_t worker_id = 0;
+  /// Consecutive failed sessions tolerated before run() gives up. A session
+  /// that makes progress (completes at least one chunk) resets the count.
+  int max_reconnect_attempts = 8;
+  /// Exponential backoff between reconnect attempts: delay =
+  /// min(cap, base * 2^(attempt-1)), scaled by deterministic jitter drawn
+  /// from Rng::from_stream(worker_id, attempt).
+  double backoff_base_seconds = 0.05;
+  double backoff_cap_seconds = 2.0;
   /// Test hook: disconnect cleanly after completing this many work items
   /// (0 = unlimited). Exercises the coordinator's late-leaver path.
   std::uint64_t max_chunks = 0;
@@ -22,25 +38,67 @@ struct WorkerOptions {
   /// and vanish without replying — the deterministic stand-in for a worker
   /// killed mid-chunk. UINT64_MAX disables.
   std::uint64_t defect_after_chunks = UINT64_MAX;
+  /// Test hook: fault-injection schedule applied at this worker's
+  /// frame-send seam (non-owning; see net/chaos.h). Faulted connections go
+  /// through the normal reconnect path.
+  ChaosSchedule* chaos = nullptr;
+  /// Test hook: report this value as every heartbeat's per-chunk seconds
+  /// instead of the measured time (negative = measure). Drives the
+  /// slow-worker detector deterministically.
+  double chunk_seconds_override = -1.0;
+  /// Test hook: corrupt the heartbeat's records digest — the coordinator's
+  /// health monitor must quarantine this worker.
+  bool corrupt_heartbeat_digest = false;
   bool verbose = false;
 };
 
-/// Campaign worker of the socket transport: connects, receives the campaign
+/// A coordinator-issued rejection (kError frame) or an authentication
+/// failure: wrong secret, quarantined worker id, digest mismatch. Final —
+/// the resilience loop never retries these; reconnecting cannot fix them.
+class WorkerRejected : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The deterministic backoff schedule (exposed for tests): delay for the
+/// `attempt`-th consecutive failure (attempt >= 1), jittered into
+/// [0.5, 1.0) x the exponential value via Rng::from_stream(worker_id,
+/// attempt) — every worker backs off differently (no thundering herd), yet
+/// identically across runs.
+[[nodiscard]] double reconnect_backoff_seconds(std::uint64_t worker_id,
+                                               int attempt, double base,
+                                               double cap);
+
+/// Campaign worker of the socket transport: connects, proves itself through
+/// the mutual hello/challenge handshake (net/auth.h), receives the campaign
 /// spec + golden bundle, rebuilds (model, config) locally and cross-checks
 /// the coordinator's FNV-1a config digest, then pulls work items and streams
-/// records back until shutdown. The shipped bundle means a worker performs
-/// no golden simulation at all — planning is simulation-free and every
-/// checkpoint rung arrives as a sim/state_codec frame.
+/// records + heartbeat telemetry back until shutdown.
+///
+/// Resilience: a lost connection (coordinator restart, chaos fault, network
+/// drop) is not fatal — the worker reconnects with bounded exponential
+/// backoff and re-runs the handshake; its campaign prep is cached by config
+/// digest, so resuming costs a handshake, not a rebuild. A kReconnect frame
+/// redirects it to a standby coordinator immediately. Only a protocol-level
+/// rejection (kError frame, auth failure, digest mismatch) is fatal.
 class Worker {
  public:
   Worker(const radiation::SoftErrorDatabase& database, WorkerOptions options);
 
-  /// Runs one session to completion. Returns the number of injection records
-  /// produced. Throws on connection failure, protocol violations, or a
-  /// campaign digest mismatch.
+  [[nodiscard]] std::uint64_t worker_id() const { return options_.worker_id; }
+
+  /// Runs sessions until the campaign shuts down cleanly. Returns the number
+  /// of injection records produced across all sessions. Throws on auth
+  /// failure, protocol violations, a campaign digest mismatch, or when
+  /// max_reconnect_attempts consecutive sessions fail without progress.
   std::uint64_t run();
 
  private:
+  struct SessionState;
+  enum class SessionEnd { kShutdown, kRedirect, kLost, kBudget };
+  SessionEnd run_session(SessionState& state, std::string& host,
+                         std::uint16_t& port);
+
   const radiation::SoftErrorDatabase& db_;
   WorkerOptions options_;
 };

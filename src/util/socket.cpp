@@ -87,6 +87,20 @@ bool Socket::recv_all(void* data, std::size_t n) {
   return true;
 }
 
+std::size_t Socket::recv_some(void* data, std::size_t n) {
+  if (fd_ < 0) throw Error("socket: recv on closed socket");
+  ssize_t r;
+  do {
+    r = ::recv(fd_, data, n, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) throw_errno("socket: recv failed");
+  return static_cast<std::size_t>(r);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
 bool Socket::wait_readable(int timeout_ms) const {
   struct pollfd pfd{};
   pfd.fd = fd_;
@@ -152,8 +166,13 @@ ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
   return *this;
 }
 
-ListenSocket::~ListenSocket() {
-  if (fd_ >= 0) ::close(fd_);
+ListenSocket::~ListenSocket() { close(); }
+
+void ListenSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
 }
 
 Socket ListenSocket::accept() {
@@ -245,9 +264,13 @@ void Socket::send_all(const void*, std::size_t) {
 bool Socket::recv_all(void*, std::size_t) {
   throw Error("socket: not supported on this platform");
 }
+std::size_t Socket::recv_some(void*, std::size_t) {
+  throw Error("socket: not supported on this platform");
+}
 bool Socket::wait_readable(int) const {
   throw Error("socket: not supported on this platform");
 }
+void Socket::shutdown_write() {}
 std::pair<Socket, Socket> Socket::pair() {
   throw Error("socket: not supported on this platform");
 }
@@ -265,6 +288,7 @@ ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
   return *this;
 }
 ListenSocket::~ListenSocket() = default;
+void ListenSocket::close() {}
 Socket ListenSocket::accept() {
   throw Error("socket: not supported on this platform");
 }

@@ -37,9 +37,23 @@ class Socket {
   /// message must never look like a clean shutdown.
   [[nodiscard]] bool recv_all(void* data, std::size_t n);
 
+  /// One recv() call: returns however many bytes arrived (at most `n`),
+  /// 0 on end-of-stream. Throws Error on a socket error. The deadline-bounded
+  /// frame reader in net/protocol builds exact-count reads from this plus
+  /// wait_readable, so a slow-loris peer trickling bytes can never pin a
+  /// blocking recv_all forever.
+  [[nodiscard]] std::size_t recv_some(void* data, std::size_t n);
+
   /// Blocks until the socket is readable (data, EOF, or error) or
   /// `timeout_ms` elapses; negative waits forever. Returns readable.
   [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+  /// Half-closes the sending direction (TCP FIN); the receive side stays
+  /// open. Closing a socket with unread inbound data makes the kernel send
+  /// RST, which destroys data the peer has already buffered but not yet
+  /// read — a graceful sender shuts down writes, then drains to EOF before
+  /// closing, so its last frames reliably reach the peer.
+  void shutdown_write();
 
   /// Connected AF_UNIX pair (for in-process protocol tests).
   [[nodiscard]] static std::pair<Socket, Socket> pair();
@@ -63,6 +77,12 @@ class ListenSocket {
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] int fd() const { return fd_; }
+
+  /// Stops listening (idempotent). A server that has finished its job must
+  /// close — a socket left listening keeps completing TCP handshakes into
+  /// the accept backlog, and a peer "connected" to a backlog nobody will
+  /// ever accept waits forever; refusing outright lets it fail fast.
+  void close();
 
   /// Accepts one pending connection (blocks; poll the fd first to avoid
   /// blocking when multiplexing).

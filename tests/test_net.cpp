@@ -12,6 +12,7 @@
 #include "fi/campaign_exec.h"
 #include "fi/golden_bundle.h"
 #include "fi/shard.h"
+#include "net/auth.h"
 #include "net/coordinator.h"
 #include "net/protocol.h"
 #include "net/worker.h"
@@ -267,6 +268,12 @@ fi::CampaignResult run_loopback(const net::CampaignSpec& spec,
   for (net::WorkerOptions wopts : workers) {
     wopts.host = "127.0.0.1";
     wopts.port = port;
+    // Tight fleet knobs: a worker that loses the race against the campaign's
+    // completion (connects after the listener closed) must give up in
+    // seconds, not ride the production-sized retry ladder past the test
+    // timeout. The equivalence assertions never involve such a straggler.
+    wopts.connect_timeout_seconds = 1.0;
+    wopts.backoff_base_seconds = 0.01;
     threads.emplace_back([&db, wopts] {
       try {
         net::Worker worker(db, wopts);
@@ -336,9 +343,23 @@ TEST(NetCampaign, WorkerRejectsDigestMismatch) {
     net::Frame frame;
     ASSERT_TRUE(net::recv_frame(conn, frame));
     ASSERT_EQ(frame.type, net::MsgType::kHello);
+    util::ByteReader hello_payload(frame.payload);
+    const net::HelloMsg hello = net::HelloMsg::decode(hello_payload);
+
+    // Pass the (open-fleet) handshake honestly; only the digest lies.
+    net::ChallengeMsg challenge;
+    challenge.nonce = net::fresh_nonce();
+    challenge.config_digest = 0xdeadbeef;  // wrong on purpose
+    challenge.mac = net::handshake_mac("", net::kProtocolVersion,
+                                       challenge.config_digest, hello.nonce);
+    net::send_frame(conn, net::MsgType::kChallenge,
+                    net::encode_payload(challenge));
+    ASSERT_TRUE(net::recv_frame(conn, frame));
+    ASSERT_EQ(frame.type, net::MsgType::kAuth);
+
     net::CampaignMsg campaign;
     campaign.spec = small_spec();
-    campaign.config_digest = 0xdeadbeef;  // wrong on purpose
+    campaign.config_digest = 0xdeadbeef;
     campaign.total_injections = 1;
     net::send_frame(conn, net::MsgType::kCampaign,
                     net::encode_payload(campaign));
@@ -359,6 +380,46 @@ TEST(NetCampaign, WorkerRejectsDigestMismatch) {
 TEST(NetSocket, ConnectTimesOutAgainstNoListener) {
   // Port 1 on loopback: nothing listens there in any sane environment.
   EXPECT_THROW((void)util::connect_to("127.0.0.1", 1, 0.2), Error);
+}
+
+// --- per-frame receive deadline (slow-loris guard) ---------------------------
+
+TEST(NetProtocol, FrameDeadlineAcceptsATimelyFrame) {
+  auto [a, b] = util::Socket::pair();
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  net::send_frame(a, net::MsgType::kWork, payload);
+  net::Frame frame;
+  ASSERT_TRUE(net::recv_frame_deadline(b, frame, 5.0));
+  EXPECT_EQ(frame.type, net::MsgType::kWork);
+  EXPECT_EQ(frame.payload, payload);
+  // Clean EOF between frames is still a false, not a deadline error.
+  a.close();
+  EXPECT_FALSE(net::recv_frame_deadline(b, frame, 5.0));
+}
+
+TEST(NetProtocol, FrameDeadlineRejectsASlowLorisPeer) {
+  // The peer trickles a frame header and then stalls forever with the
+  // connection open: a plain blocking read would hang the coordinator's
+  // whole dispatch loop. The deadline read throws with byte progress.
+  auto [a, b] = util::Socket::pair();
+  const std::vector<std::uint8_t> wire =
+      net::encode_frame(net::MsgType::kWork, std::vector<std::uint8_t>(64, 1));
+  a.send_all(wire.data(), 10);  // header + 0 of 64 payload bytes, then silence
+  net::Frame frame;
+  try {
+    (void)net::recv_frame_deadline(b, frame, 0.2);
+    FAIL() << "expected the deadline to fire";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetProtocol, FrameDeadlineRejectsNonPositiveDeadline) {
+  auto [a, b] = util::Socket::pair();
+  net::Frame frame;
+  EXPECT_THROW((void)net::recv_frame_deadline(b, frame, 0.0), InvalidArgument);
+  EXPECT_THROW((void)net::recv_frame_deadline(b, frame, -1.0), InvalidArgument);
 }
 
 }  // namespace

@@ -46,6 +46,13 @@ struct Options {
   std::string records_csv;
   std::string predictions_csv;
   std::vector<std::string> merge_inputs;
+  // --- fleet fault tolerance -------------------------------------------------
+  std::string secret;        // overrides the scenario's fleet.secret
+  bool secret_set = false;
+  double connect_timeout = 0;  // 0 = scenario fleet.connect_timeout
+  double worker_timeout = 0;   // 0 = scenario fleet.worker_timeout
+  std::string journal;         // serve: coordinator dispatch journal (.ssjl)
+  bool fleet_status = false;   // serve: print the fleet health table
 };
 
 void usage(std::FILE* out) {
@@ -82,8 +89,16 @@ void usage(std::FILE* out) {
       "                      digest (the paper's transfer use case)\n"
       "serve:\n"
       "  --port P            listen port (default 0 = ephemeral, printed)\n"
+      "  --journal PATH      dispatch journal (.ssjl); a restarted serve\n"
+      "                      resumes the campaign from it\n"
+      "  --fleet-status      print the fleet health table when serving ends\n"
       "worker:\n"
       "  --connect HOST:PORT coordinator address\n"
+      "  --scenario FILE     optional: read fleet.secret / fleet timeouts\n"
+      "fleet (serve / worker / run with --workers):\n"
+      "  --secret S          handshake secret (overrides fleet.secret)\n"
+      "  --connect-timeout S worker connect retry window, seconds (> 0)\n"
+      "  --worker-timeout S  coordinator silence reap threshold, seconds (> 0)\n"
       "merge:\n"
       "  positional          .ssfs shard files to merge\n",
       out);
@@ -144,6 +159,25 @@ void usage(std::FILE* out) {
       opt.records_csv = need_value(i);
     } else if (arg == "--predictions-csv") {
       opt.predictions_csv = need_value(i);
+    } else if (arg == "--secret") {
+      opt.secret = need_value(i);
+      opt.secret_set = true;
+    } else if (arg == "--connect-timeout") {
+      opt.connect_timeout = std::stod(need_value(i));
+      if (opt.connect_timeout <= 0) {
+        throw InvalidArgument("--connect-timeout must be positive, got " +
+                              std::to_string(opt.connect_timeout));
+      }
+    } else if (arg == "--worker-timeout") {
+      opt.worker_timeout = std::stod(need_value(i));
+      if (opt.worker_timeout <= 0) {
+        throw InvalidArgument("--worker-timeout must be positive, got " +
+                              std::to_string(opt.worker_timeout));
+      }
+    } else if (arg == "--journal") {
+      opt.journal = need_value(i);
+    } else if (arg == "--fleet-status") {
+      opt.fleet_status = true;
     } else if (!arg.empty() && arg[0] != '-') {
       opt.merge_inputs.push_back(arg);
     } else {
@@ -237,13 +271,19 @@ struct WorkerFleet {
   std::string self;
   int count = 0;
   int threads = 1;
+  /// Forwarded fleet flags (--scenario for the secret/timeouts, plus any
+  /// explicit --secret/--connect-timeout overrides) — a spawned worker must
+  /// pass the same authenticated handshake a remote one would.
+  std::vector<std::string> extra_args;
 
   void spawn(std::uint16_t port) {
     children.reserve(static_cast<std::size_t>(count));
     for (int k = 0; k < count; ++k) {
-      children.emplace_back(std::vector<std::string>{
+      std::vector<std::string> args{
           self, "worker", "--connect", "127.0.0.1:" + std::to_string(port),
-          "--threads", std::to_string(threads)});
+          "--threads", std::to_string(threads)};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      children.emplace_back(std::move(args));
     }
   }
 
@@ -262,7 +302,16 @@ struct WorkerFleet {
 int run_stage_command(const Options& opt, const std::string& self) {
   const auto db = radiation::SoftErrorDatabase::default_database();
   ProgressPrinter printer;
-  WorkerFleet fleet{{}, self, opt.workers, opt.threads};
+  WorkerFleet fleet{{}, self, opt.workers, opt.threads, {}};
+  fleet.extra_args = {"--scenario", opt.scenario_file};
+  if (opt.secret_set) {
+    fleet.extra_args.insert(fleet.extra_args.end(), {"--secret", opt.secret});
+  }
+  if (opt.connect_timeout > 0) {
+    fleet.extra_args.insert(
+        fleet.extra_args.end(),
+        {"--connect-timeout", std::to_string(opt.connect_timeout)});
+  }
 
   // `serve` keeps the requested port and accepts remote workers (with
   // --workers, spawned local workers join them); the other commands use
@@ -277,12 +326,20 @@ int run_stage_command(const Options& opt, const std::string& self) {
   }
 
   core::ScenarioSpec spec = core::ScenarioSpec::load_file(opt.scenario_file);
+  if (opt.secret_set) spec.fleet.secret = opt.secret;
   core::SessionOptions options;
   options.artifact_dir = opt.out_dir;
   options.resume = opt.resume;
   options.threads = opt.threads;
   options.serve_port = serve_port;
   options.serve_loopback_only = loopback_only;
+  options.worker_timeout_seconds = opt.worker_timeout;  // 0 = scenario value
+  options.serve_journal = opt.journal;
+  if (opt.fleet_status) {
+    options.on_fleet_status = [](const std::string& table) {
+      std::fprintf(stderr, "fleet status:\n%s", table.c_str());
+    };
+  }
   if (opt.progress) {
     options.progress = [&printer](const core::StageProgress& p) { printer(p); };
   }
@@ -386,6 +443,18 @@ int run_worker_command(const Options& opt) {
   wopts.port = static_cast<std::uint16_t>(port);
   wopts.threads = opt.threads;
   wopts.verbose = opt.progress;
+  // Fleet settings: the scenario file (when given) supplies the defaults,
+  // explicit flags override.
+  if (!opt.scenario_file.empty()) {
+    const core::ScenarioSpec spec =
+        core::ScenarioSpec::load_file(opt.scenario_file);
+    wopts.secret = spec.fleet.secret;
+    wopts.connect_timeout_seconds = spec.fleet.connect_timeout;
+  }
+  if (opt.secret_set) wopts.secret = opt.secret;
+  if (opt.connect_timeout > 0) {
+    wopts.connect_timeout_seconds = opt.connect_timeout;
+  }
   net::Worker worker(db, wopts);
   const std::uint64_t produced = worker.run();
   std::fprintf(stderr, "worker done: %llu records\n",

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <filesystem>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,11 @@ struct Options {
   // --- socket transport knobs -------------------------------------------------
   double worker_timeout = 120.0;
   std::uint64_t chunk = 0;  // injections per work item; 0 = auto
+  std::string secret;       // shared handshake secret ("" = open fleet)
+  double connect_timeout = 10.0;
+  double frame_deadline = 30.0;
+  std::string journal;  // coordinator dispatch journal (.ssjl)
+  std::string chaos;    // worker fault schedule "SEED:COUNT[:FIRST[:SPAN]]"
 
   // --- output ----------------------------------------------------------------
   std::string records_csv;
@@ -109,6 +115,22 @@ void usage(std::FILE* out) {
       "  --worker-timeout S  reassign a silent worker's chunk after S seconds\n"
       "                      (default 120)\n"
       "  --chunk N           injections per work item (default: plan/64)\n"
+      "  --secret S          shared handshake secret; a worker with a\n"
+      "                      different secret is rejected before any\n"
+      "                      campaign data (default: open fleet)\n"
+      "  --connect-timeout S worker connect/reconnect retry window (default\n"
+      "                      10)\n"
+      "  --frame-deadline S  per-frame receive deadline against stalled\n"
+      "                      peers (default 30)\n"
+      "  --journal PATH      coordinator dispatch journal (.ssjl); a\n"
+      "                      restarted coordinator on the same journal\n"
+      "                      resumes instead of redoing finished work\n"
+      "  --chaos SEED:COUNT[:FIRST[:SPAN]]\n"
+      "                      with --connect: seeded fault schedule at this\n"
+      "                      worker's frame-send seam — COUNT faults (drop,\n"
+      "                      garble, truncate, delay) at seed-derived op\n"
+      "                      indices in [FIRST, FIRST+SPAN) (defaults 1, 64).\n"
+      "                      Records must still merge byte-identically\n"
       "\n"
       "output:\n"
       "  --records-csv PATH  write per-injection records as CSV\n"
@@ -291,8 +313,30 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
       opt.connect = need_value(i);
     } else if (arg == "--worker-timeout") {
       opt.worker_timeout = std::stod(need_value(i));
+      if (opt.worker_timeout <= 0) {
+        throw InvalidArgument("--worker-timeout must be positive, got " +
+                              std::to_string(opt.worker_timeout));
+      }
     } else if (arg == "--chunk") {
       opt.chunk = std::stoull(need_value(i));
+    } else if (arg == "--secret") {
+      opt.secret = need_value(i);
+    } else if (arg == "--connect-timeout") {
+      opt.connect_timeout = std::stod(need_value(i));
+      if (opt.connect_timeout <= 0) {
+        throw InvalidArgument("--connect-timeout must be positive, got " +
+                              std::to_string(opt.connect_timeout));
+      }
+    } else if (arg == "--frame-deadline") {
+      opt.frame_deadline = std::stod(need_value(i));
+      if (opt.frame_deadline <= 0) {
+        throw InvalidArgument("--frame-deadline must be positive, got " +
+                              std::to_string(opt.frame_deadline));
+      }
+    } else if (arg == "--journal") {
+      opt.journal = need_value(i);
+    } else if (arg == "--chaos") {
+      opt.chaos = need_value(i);
     } else if (arg == "--shard-dir") {
       opt.shard_dir = need_value(i);
     } else if (arg == "--records-csv") {
@@ -452,15 +496,22 @@ int run_socket_coordinator_role(const Options& opt, const std::string& self) {
   copts.loopback_only = true;
   copts.chunk_injections = opt.chunk;
   copts.worker_timeout_seconds = opt.worker_timeout;
+  copts.frame_deadline_seconds = opt.frame_deadline;
+  copts.secret = opt.secret;
+  copts.journal_path = opt.journal;
   copts.verbose = true;
   net::Coordinator coordinator(opt.spec, db, copts);
 
   std::vector<util::Subprocess> children;
   children.reserve(static_cast<std::size_t>(opt.workers));
   for (int k = 0; k < opt.workers; ++k) {
-    children.emplace_back(std::vector<std::string>{
+    std::vector<std::string> argv = {
         self, "--connect", "127.0.0.1:" + std::to_string(coordinator.port()),
-        "--threads", std::to_string(opt.threads)});
+        "--threads", std::to_string(opt.threads)};
+    if (!opt.secret.empty()) {
+      argv.insert(argv.end(), {"--secret", opt.secret});
+    }
+    children.emplace_back(std::move(argv));
   }
   const fi::CampaignResult result = coordinator.run();
   // The campaign is complete and verified; a worker that died (or was
@@ -484,6 +535,9 @@ int run_serve_role(const Options& opt) {
   copts.loopback_only = false;
   copts.chunk_injections = opt.chunk;
   copts.worker_timeout_seconds = opt.worker_timeout;
+  copts.frame_deadline_seconds = opt.frame_deadline;
+  copts.secret = opt.secret;
+  copts.journal_path = opt.journal;
   copts.verbose = true;
   net::Coordinator coordinator(opt.spec, db, copts);
   std::fprintf(stderr, "serving campaign on port %u\n",
@@ -491,6 +545,38 @@ int run_serve_role(const Options& opt) {
   const fi::CampaignResult result = coordinator.run();
   emit_result(opt, result);
   return 0;
+}
+
+/// "SEED:COUNT[:FIRST[:SPAN]]" -> a seeded ChaosSchedule. Kept in the CLI so
+/// CI can run real multi-process campaigns with chaotic workers and byte-diff
+/// the merged CSV against a clean run.
+net::ChaosSchedule parse_chaos_schedule(const std::string& spec) {
+  std::vector<std::uint64_t> fields;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    const std::string field =
+        spec.substr(pos, colon == std::string::npos ? colon : colon - pos);
+    try {
+      std::size_t used = 0;
+      fields.push_back(std::stoull(field, &used));
+      if (used != field.size()) throw std::invalid_argument(field);
+    } catch (const std::exception&) {
+      throw InvalidArgument("--chaos expects SEED:COUNT[:FIRST[:SPAN]], got '" +
+                            spec + "'");
+    }
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  if (fields.size() < 2 || fields.size() > 4) {
+    throw InvalidArgument("--chaos expects SEED:COUNT[:FIRST[:SPAN]], got '" +
+                          spec + "'");
+  }
+  const std::uint64_t first = fields.size() > 2 ? fields[2] : 1;
+  const std::uint64_t span = fields.size() > 3 ? fields[3] : 64;
+  return net::ChaosSchedule::from_seed(fields[0],
+                                       static_cast<std::size_t>(fields[1]),
+                                       first, span);
 }
 
 int run_connect_role(const Options& opt) {
@@ -510,7 +596,14 @@ int run_connect_role(const Options& opt) {
   wopts.host = opt.connect.substr(0, colon);
   wopts.port = static_cast<std::uint16_t>(port);
   wopts.threads = opt.threads;
+  wopts.secret = opt.secret;
+  wopts.connect_timeout_seconds = opt.connect_timeout;
   wopts.verbose = true;
+  net::ChaosSchedule chaos;
+  if (!opt.chaos.empty()) {
+    chaos = parse_chaos_schedule(opt.chaos);
+    wopts.chaos = &chaos;
+  }
   net::Worker worker(db, wopts);
   const std::uint64_t produced = worker.run();
   std::fprintf(stderr, "worker done: %llu records\n",
