@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "util/atomic_file.h"
 #include "util/bytes.h"
 #include "util/error.h"
 
@@ -31,15 +32,12 @@ void write_artifact(const std::string& path, const char magic[4],
   file.u8(version);
   file.varint(payload.size());
   file.fixed64(util::fnv1a(payload.data()));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
-  const auto& header = file.data();
-  out.write(reinterpret_cast<const char*>(header.data()),
-            static_cast<std::streamsize>(header.size()));
   const auto body = payload.take();
-  out.write(reinterpret_cast<const char*>(body.data()),
-            static_cast<std::streamsize>(body.size()));
-  if (!out) throw Error("short write to '" + path + "'");
+  file.bytes(body.data(), body.size());
+  // Crash-safe: stage resume trusts any .ssmd/.ssds it finds at the final
+  // path, so a killed run must leave the old complete artifact, not a torn
+  // new one.
+  util::atomic_write_file(path, file.data());
 }
 
 /// Reads and integrity-checks an artifact; returns the verified payload.

@@ -297,7 +297,7 @@ ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
     const YamlNode& fleet = root.at("fleet");
     check_keys(fleet, "fleet",
                {"secret", "connect_timeout", "worker_timeout",
-                "frame_deadline"});
+                "frame_deadline", "election_timeout", "peer_port"});
     spec.fleet.secret =
         get_string(fleet, "fleet", "secret", spec.fleet.secret);
     spec.fleet.connect_timeout = get_double(fleet, "fleet", "connect_timeout",
@@ -315,6 +315,18 @@ ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
     if (spec.fleet.frame_deadline <= 0) {
       fail("fleet.frame_deadline", "must be positive");
     }
+    const double election = get_double(fleet, "fleet", "election_timeout",
+                                       spec.fleet.election_timeout);
+    if (election < 0) {
+      fail("fleet.election_timeout", "must be >= 0 (0 disables elections)");
+    }
+    spec.fleet.election_timeout = election;
+    const std::uint64_t peer_port =
+        get_u64(fleet, "fleet", "peer_port", spec.fleet.peer_port);
+    if (peer_port > 65535) {
+      fail("fleet.peer_port", "must be a port number (0..65535)");
+    }
+    spec.fleet.peer_port = static_cast<std::uint16_t>(peer_port);
   }
   return spec;
 }
@@ -401,6 +413,9 @@ YamlNode ScenarioSpec::to_yaml() const {
   f.set("connect_timeout", YamlNode::scalar(fmt_double(fleet.connect_timeout)));
   f.set("worker_timeout", YamlNode::scalar(fmt_double(fleet.worker_timeout)));
   f.set("frame_deadline", YamlNode::scalar(fmt_double(fleet.frame_deadline)));
+  f.set("election_timeout",
+        YamlNode::scalar(fmt_double(fleet.election_timeout)));
+  f.set("peer_port", YamlNode::scalar(std::to_string(fleet.peer_port)));
   root.set("fleet", std::move(f));
   return root;
 }

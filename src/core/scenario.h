@@ -64,6 +64,8 @@ namespace ssresf::core {
 ///     connect_timeout: 10          # worker connect retry window, seconds
 ///     worker_timeout: 120          # coordinator silence reap threshold
 ///     frame_deadline: 30           # per-frame receive deadline (slow-loris)
+///     election_timeout: 0          # seconds before workers self-elect (0 = off)
+///     peer_port: 0                 # worker peer-query listener (0 = ephemeral)
 ///
 /// Every section and key is optional (defaults below); unknown keys are
 /// rejected with the full key path, so a typo cannot silently fall back to a
@@ -81,6 +83,14 @@ struct FleetSpec {
   double connect_timeout = 10.0;
   double worker_timeout = 120.0;
   double frame_deadline = 30.0;
+  /// Seconds workers tolerate a vanished coordinator before electing a
+  /// replacement from among themselves (net/election.h). 0 disables
+  /// elections — losses then end at the reconnect ladder.
+  double election_timeout = 0.0;
+  /// Fixed port of each worker's peer-query listener (0 = ephemeral). Fix it
+  /// when firewalls require known ports; with one worker per host the fleet
+  /// can share the value.
+  std::uint16_t peer_port = 0;
 };
 
 struct ScenarioSpec {

@@ -7,6 +7,7 @@
 #include "fi/campaign.h"
 #include "fi/shard.h"
 #include "sim/state_codec.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 
 namespace ssresf::fi {
@@ -172,13 +173,9 @@ void write_golden_bundle_file(const std::string& path,
   out.fixed64(campaign_config_digest(model, config));
   encode_golden_bundle(out, bundle);
 
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) throw Error("golden bundle: cannot open '" + path + "'");
-  const auto& bytes = out.data();
-  file.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  file.flush();
-  if (!file) throw Error("golden bundle: write to '" + path + "' failed");
+  // Crash-safe: the .ssgb is shared across worker launches — a torn one
+  // would fail every worker, an old-but-complete one is still valid.
+  util::atomic_write_file(path, out.data());
 }
 
 GoldenBundle read_golden_bundle_file(const std::string& path,

@@ -5,6 +5,7 @@
 
 #include "fi/campaign_exec.h"
 #include "fi/golden_bundle.h"
+#include "util/atomic_file.h"
 #include "util/bytes.h"
 #include "util/error.h"
 #include "util/timer.h"
@@ -184,13 +185,9 @@ void write_shard_file(const std::string& path, const ShardFileMeta& meta,
   out.varint(meta.num_records);
   encode_records(out, records);
 
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) throw Error("write_shard_file: cannot open '" + path + "'");
-  const auto& bytes = out.data();
-  file.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  file.flush();
-  if (!file) throw Error("write_shard_file: write to '" + path + "' failed");
+  // Crash-safe: a worker killed mid-write must never leave a torn .ssfs
+  // where the merge step expects a complete shard.
+  util::atomic_write_file(path, out.data());
 }
 
 ShardFileReader::ShardFileReader(const std::string& path)

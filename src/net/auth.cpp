@@ -55,10 +55,12 @@ std::uint64_t hmac64(std::string_view secret,
 
 std::uint64_t handshake_mac(std::string_view secret,
                             std::uint8_t protocol_version,
-                            std::uint64_t config_digest, std::uint64_t nonce) {
+                            std::uint64_t config_digest, std::uint64_t epoch,
+                            std::uint64_t nonce) {
   util::ByteWriter msg;
   msg.u8(protocol_version);
   msg.fixed64(config_digest);
+  msg.fixed64(epoch);
   msg.fixed64(nonce);
   return hmac64(secret, msg.data());
 }

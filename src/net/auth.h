@@ -28,12 +28,17 @@ namespace ssresf::net {
                                    std::span<const std::uint8_t> message);
 
 /// The MAC each side presents: hmac64(secret, version || config_digest ||
-/// nonce), where `nonce` is the challenge the *verifying* side issued. The
-/// worker proves itself over the coordinator's nonce and vice versa, so one
-/// side's proof cannot be replayed as the other's.
+/// epoch || nonce), where `nonce` is the challenge the *verifying* side
+/// issued. The worker proves itself over the coordinator's nonce and vice
+/// versa, so one side's proof cannot be replayed as the other's. `epoch` is
+/// the election epoch (net/election.h): binding it into the MAC is the
+/// split-brain guard — a deposed coordinator resuming at a stale epoch
+/// computes stale MACs, so every surviving worker rejects it at the
+/// handshake and the fleet can never serve two masters.
 [[nodiscard]] std::uint64_t handshake_mac(std::string_view secret,
                                           std::uint8_t protocol_version,
                                           std::uint64_t config_digest,
+                                          std::uint64_t epoch,
                                           std::uint64_t nonce);
 
 /// A fresh per-connection nonce. Not part of any record-affecting path, so

@@ -75,4 +75,41 @@ class ChaosSchedule {
   std::uint64_t ops_sent_ = 0;
 };
 
+/// The coordinator-side counterpart: deterministic coordinator *death*.
+/// Counts the frames the coordinator receives and fires once at a fixed
+/// frame index — the in-process stand-in for `kill -9` on the head node.
+/// When it fires, the coordinator abruptly closes every connection and its
+/// listener (no redirect, no shutdown, no drain — nothing a SIGKILLed
+/// process could send) and throws CoordinatorKilled. Because the trigger is
+/// an op index, an election test replays bit-identically with zero sleeps:
+/// the workers observe a vanished coordinator at exactly the same point in
+/// the dispatch stream every run.
+class CoordinatorDeathSchedule {
+ public:
+  CoordinatorDeathSchedule() = default;
+  /// Dies upon receiving frame number `die_at_frame` (1-based count of
+  /// frames received across the coordinator's lifetime). 0 = never.
+  explicit CoordinatorDeathSchedule(std::uint64_t die_at_frame)
+      : die_at_frame_(die_at_frame) {}
+
+  /// The coordinator's frame-received seam: counts the frame, returns true
+  /// exactly once — when the schedule says this incarnation dies now.
+  [[nodiscard]] bool on_frame() {
+    ++frames_seen_;
+    if (fired_ || die_at_frame_ == 0 || frames_seen_ < die_at_frame_) {
+      return false;
+    }
+    fired_ = true;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+  [[nodiscard]] bool fired() const { return fired_; }
+
+ private:
+  std::uint64_t die_at_frame_ = 0;
+  std::uint64_t frames_seen_ = 0;
+  bool fired_ = false;
+};
+
 }  // namespace ssresf::net

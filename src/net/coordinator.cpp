@@ -33,6 +33,10 @@ struct Conn {
   std::uint64_t worker_id = 0; // worker-reported stable identity
   std::uint64_t nonce = 0;     // our challenge, awaiting the kAuth proof
   std::uint64_t last_records_digest = 0;  // fnv of the last accepted batch
+  std::uint16_t peer_port = 0;  // worker's election listener (0 = none)
+  /// Journal entries this worker's replica holds; kept equal to the mirror
+  /// size by the tail sync at kReady and the per-append broadcast.
+  std::uint64_t replica_entries = 0;
 };
 
 /// Graceful sender-side close: consume inbound bytes until the peer reads
@@ -108,7 +112,6 @@ fi::CampaignResult Coordinator::run() {
                              fi::extract_golden_bundle(model_, config, prep));
     campaign.bundle = bundle_bytes.take();
   }
-  const std::vector<std::uint8_t> campaign_payload = encode_payload(campaign);
   log("serving %llu injections on port %u (golden bundle %zu bytes)",
       static_cast<unsigned long long>(plan_size),
       static_cast<unsigned>(listener_.port()), campaign.bundle.size());
@@ -150,7 +153,14 @@ fi::CampaignResult Coordinator::run() {
   // then append every batch we accept ourselves. Everything replayed goes
   // through the same plan cross-checks as live traffic — a corrupt or
   // foreign journal fails here, not in the merged result.
+  //
+  // `mirror` shadows the on-disk journal entry-for-entry as raw frame bytes:
+  // it is what the kJournalSync replication streams to the fleet, so every
+  // worker's replica is byte-identical to a prefix of this journal. Replayed
+  // entries are re-encoded through the same codec, which reproduces the
+  // exact on-disk bytes.
   std::optional<JournalWriter> journal;
+  std::vector<std::vector<std::uint8_t>> mirror;
   if (!options_.journal_path.empty()) {
     if (std::filesystem::exists(options_.journal_path)) {
       const JournalContents contents =
@@ -167,6 +177,7 @@ fi::CampaignResult Coordinator::run() {
         msg.count = entry.records.size();
         msg.records = entry.records;
         fill_records(msg);
+        mirror.push_back(encode_journal_entry(entry.start, entry.records));
       }
       journal.emplace(
           JournalWriter::resume(options_.journal_path, contents));
@@ -178,6 +189,12 @@ fi::CampaignResult Coordinator::run() {
       journal.emplace(options_.journal_path, digest, plan_size);
     }
   }
+  // Fresh identity per incarnation: entry order can differ between
+  // incarnations (reassignment reorders batches), so a replica mirrored from
+  // a previous coordinator is NOT a prefix of this journal — workers see a
+  // new id and re-sync from entry zero.
+  campaign.journal_id = journal ? fresh_nonce() : 0;
+  const std::vector<std::uint8_t> campaign_payload = encode_payload(campaign);
 
   // The work queue: contiguous chunks over the UNFILLED indices only
   // (everything on a fresh start), reassigned-first at the front.
@@ -241,6 +258,50 @@ fi::CampaignResult Coordinator::run() {
     } catch (const Error&) {
     }
     drop(k, message.c_str());
+  };
+
+  // Election roster: every admitted worker that announced a peer port, by
+  // stable worker id. Additive — a disconnected worker's peer service keeps
+  // running, so it stays electable; an unreachable one is simply skipped
+  // during an election round.
+  std::vector<PeerEntry> roster;
+  const auto broadcast_roster = [&] {
+    const std::vector<std::uint8_t> payload =
+        encode_payload(PeersMsg{roster});
+    for (Conn& c : conns) {
+      if (c.state != ConnState::kIdle && c.state != ConnState::kWorking) {
+        continue;
+      }
+      try {
+        send_frame(c.socket, MsgType::kPeers, payload);
+      } catch (const Error&) {
+        // A dead socket is reaped by its own receive path.
+      }
+    }
+  };
+
+  // Live journal replication: after an entry is on OUR disk, stream it to
+  // every in-sync worker. Failures are deliberately not fatal here — the
+  // worker's receive path reaps dead sockets, and its stale replica just
+  // costs it candidacy weight in a future election, never correctness.
+  const auto broadcast_entry = [&] {
+    const std::uint64_t seq = mirror.size() - 1;
+    JournalSyncMsg sync;
+    sync.journal_id = campaign.journal_id;
+    sync.seq = seq;
+    sync.entry = mirror.back();
+    const std::vector<std::uint8_t> payload = encode_payload(sync);
+    for (Conn& c : conns) {
+      if (c.state != ConnState::kIdle && c.state != ConnState::kWorking) {
+        continue;
+      }
+      if (c.replica_entries != seq) continue;  // fell out of step: stale
+      try {
+        send_frame(c.socket, MsgType::kJournalSync, payload);
+        c.replica_entries = seq + 1;
+      } catch (const Error&) {
+      }
+    }
   };
 
   while (filled < plan_size) {
@@ -322,6 +383,21 @@ fi::CampaignResult Coordinator::run() {
         continue;
       }
       ++frames_seen;
+      if (options_.death != nullptr && options_.death->on_frame()) {
+        // SIGKILL semantics: this incarnation just stops existing. Abrupt
+        // close on every socket (the kernel of a killed process does the
+        // same), no redirect, no shutdown frames, no drain — recovery is
+        // entirely the fleet's problem. The journal keeps whatever was
+        // fsynced; in-flight batches die with us and must be re-queued by
+        // whoever takes over.
+        conns.clear();
+        listener_.close();
+        throw CoordinatorKilled(
+            "coordinator: chaos schedule killed this incarnation after " +
+            std::to_string(frames_seen) + " frames; journal '" +
+            options_.journal_path + "' holds " + std::to_string(filled) +
+            " of " + std::to_string(plan_size) + " injections");
+      }
       c.deadline = Clock::now() + timeout;
       try {
         util::ByteReader payload(frame.payload);
@@ -335,6 +411,7 @@ fi::CampaignResult Coordinator::run() {
             const HelloMsg hello = HelloMsg::decode(payload);
             c.pid = hello.pid;
             c.worker_id = hello.worker_id;
+            c.peer_port = hello.peer_port;
             const bool was_quarantined = monitor_.quarantined(hello.worker_id);
             if (!monitor_.on_connect(hello.worker_id)) {
               const auto& health = monitor_.workers().at(hello.worker_id);
@@ -355,8 +432,9 @@ fi::CampaignResult Coordinator::run() {
             ChallengeMsg challenge;
             challenge.nonce = c.nonce;
             challenge.config_digest = digest;
+            challenge.epoch = options_.epoch;
             challenge.mac = handshake_mac(options_.secret, kProtocolVersion,
-                                          digest, hello.nonce);
+                                          digest, options_.epoch, hello.nonce);
             send_frame(c.socket, MsgType::kChallenge,
                        encode_payload(challenge));
             c.state = ConnState::kAwaitAuth;
@@ -367,8 +445,9 @@ fi::CampaignResult Coordinator::run() {
               throw InvalidArgument("unexpected auth message");
             }
             const AuthMsg auth = AuthMsg::decode(payload);
-            const std::uint64_t expect = handshake_mac(
-                options_.secret, kProtocolVersion, digest, c.nonce);
+            const std::uint64_t expect =
+                handshake_mac(options_.secret, kProtocolVersion, digest,
+                              options_.epoch, c.nonce);
             if (auth.mac != expect) {
               refuse(k, "worker authentication failed "
                         "(wrong scenario secret?)");
@@ -386,10 +465,61 @@ fi::CampaignResult Coordinator::run() {
             if (ready_msg.plan_size != plan_size) {
               throw InvalidArgument("worker derived a different plan size");
             }
-            log("worker #%d (pid %llu, id %llu) ready", c.id,
-                static_cast<unsigned long long>(c.pid),
-                static_cast<unsigned long long>(c.worker_id));
+            if (ready_msg.replica_entries > mirror.size()) {
+              throw InvalidArgument(
+                  "worker claims a journal replica longer than the journal");
+            }
+            c.replica_entries = ready_msg.replica_entries;
             c.state = ConnState::kIdle;
+            // Catch the replica up before any work: a reconnecting worker
+            // holds a prefix from this incarnation and needs only the tail;
+            // a fresh worker streams from entry zero.
+            if (journal) {
+              JournalSyncMsg sync;
+              sync.journal_id = campaign.journal_id;
+              for (std::uint64_t s = c.replica_entries; s < mirror.size();
+                   ++s) {
+                sync.seq = s;
+                sync.entry = mirror[static_cast<std::size_t>(s)];
+                send_frame(c.socket, MsgType::kJournalSync,
+                           encode_payload(sync));
+              }
+              c.replica_entries = mirror.size();
+            }
+            // Roster bookkeeping: an election-capable worker (it announced a
+            // peer port, and we can name its host) becomes visible to the
+            // whole fleet.
+            if (c.peer_port != 0) {
+              const std::string host = c.socket.peer_host();
+              if (!host.empty()) {
+                const PeerEntry entry{c.worker_id, host, c.peer_port};
+                const auto it = std::find_if(
+                    roster.begin(), roster.end(), [&](const PeerEntry& p) {
+                      return p.worker_id == c.worker_id;
+                    });
+                if (it == roster.end()) {
+                  roster.push_back(entry);
+                  broadcast_roster();
+                } else if (it->host != entry.host ||
+                           it->peer_port != entry.peer_port) {
+                  *it = entry;
+                  broadcast_roster();
+                } else {
+                  // Unchanged roster; still (re)send it to the newcomer,
+                  // whose session state was reset by the reconnect.
+                  try {
+                    send_frame(c.socket, MsgType::kPeers,
+                               encode_payload(PeersMsg{roster}));
+                  } catch (const Error&) {
+                  }
+                }
+              }
+            }
+            log("worker #%d (pid %llu, id %llu) ready (replica %llu/%zu)",
+                c.id, static_cast<unsigned long long>(c.pid),
+                static_cast<unsigned long long>(c.worker_id),
+                static_cast<unsigned long long>(c.replica_entries),
+                mirror.size());
             break;
           }
           case MsgType::kRecords: {
@@ -402,8 +532,14 @@ fi::CampaignResult Coordinator::run() {
             }
             fill_records(msg);
             // Journal BEFORE acknowledging by dispatching more work: after a
-            // crash, anything we acted on is guaranteed on disk.
-            if (journal) journal->append(msg.start, msg.records);
+            // crash, anything we acted on is guaranteed on disk. Then mirror
+            // the entry to the fleet — local flush first, replicate second,
+            // so no replica ever runs ahead of our own stable storage.
+            if (journal) {
+              journal->append(msg.start, msg.records);
+              mirror.push_back(encode_journal_entry(msg.start, msg.records));
+              broadcast_entry();
+            }
             c.last_records_digest = fnv1a(frame.payload);
             c.state = ConnState::kIdle;
             break;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/chaos.h"
 #include "net/health.h"
 #include "net/protocol.h"
 #include "radiation/soft_error_db.h"
@@ -43,6 +44,16 @@ struct CoordinatorOptions {
   std::uint64_t handoff_after_frames = 0;
   std::string handoff_host = "127.0.0.1";
   std::uint16_t handoff_port = 0;
+  /// Election epoch this coordinator serves at, bound into both handshake
+  /// MACs (net/auth.h). 0 for a primary; an elected worker promotes itself
+  /// at its last-known epoch + 1, which is exactly what locks a stale
+  /// primary (still at the old epoch) out of the fleet.
+  std::uint64_t epoch = 0;
+  /// Chaos hook (net/chaos.h): deterministic in-process SIGKILL. When the
+  /// schedule fires, every connection and the listener are closed abruptly —
+  /// no redirect, no shutdown frames, no half-close courtesy — and run()
+  /// throws CoordinatorKilled. Non-owning.
+  CoordinatorDeathSchedule* death = nullptr;
   bool verbose = false;
 };
 
@@ -51,6 +62,15 @@ struct CoordinatorOptions {
 /// the same journal finishes the campaign. Not an error in the fleet sense —
 /// the campaign is alive, just elsewhere.
 class CoordinatorHandoff : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by Coordinator::run() when the CoordinatorDeathSchedule fires: the
+/// deterministic stand-in for `kill -9` on the head node. Unlike a handoff,
+/// NOTHING was sent to the fleet — the workers see a vanished peer and must
+/// recover on their own (election, or an operator-started standby).
+class CoordinatorKilled : public Error {
  public:
   using Error::Error;
 };

@@ -1,0 +1,119 @@
+#include "net/election.h"
+
+#include "util/error.h"
+
+namespace ssresf::net {
+
+PeerService::PeerService(std::uint64_t worker_id, std::uint16_t port,
+                         bool loopback_only)
+    : listener_(port, loopback_only) {
+  info_.worker_id = worker_id;
+  info_.phase = PeerPhase::kLost;  // no session yet
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+PeerService::~PeerService() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void PeerService::set_serving(std::uint64_t epoch,
+                              const std::string& coordinator_host,
+                              std::uint16_t coordinator_port) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // A promoted worker sessions against ITSELF (127.0.0.1) — that endpoint
+  // is useless to remote peers, and kPromoted outranks kServing anyway.
+  if (info_.phase == PeerPhase::kPromoted) return;
+  info_.phase = PeerPhase::kServing;
+  info_.epoch = epoch;
+  info_.coordinator_host = coordinator_host;
+  info_.coordinator_port = coordinator_port;
+}
+
+void PeerService::set_lost() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (info_.phase == PeerPhase::kPromoted) return;  // we ARE the coordinator
+  info_.phase = PeerPhase::kLost;
+  info_.coordinator_host.clear();
+  info_.coordinator_port = 0;
+}
+
+void PeerService::set_electing() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (info_.phase == PeerPhase::kPromoted) return;
+  info_.phase = PeerPhase::kElecting;
+}
+
+void PeerService::set_promoted(std::uint64_t epoch,
+                               std::uint16_t coordinator_port) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  info_.phase = PeerPhase::kPromoted;
+  info_.epoch = epoch;
+  info_.coordinator_host.clear();  // "" = the host you reached me at
+  info_.coordinator_port = coordinator_port;
+}
+
+void PeerService::set_candidacy(bool has_bundle,
+                                std::uint64_t replica_entries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  info_.has_bundle = has_bundle;
+  info_.replica_entries = replica_entries;
+}
+
+PeerInfoMsg PeerService::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return info_;
+}
+
+void PeerService::serve_loop() {
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+    }
+    try {
+      // Short poll so a stop request is honored within ~100ms; the cost is
+      // one poll syscall per tick, only while the worker process is alive.
+      if (!util::poll_readable({listener_.fd()}, 100)[0]) continue;
+      util::Socket conn = listener_.accept();
+      Frame frame;
+      // A peer that connects and stalls must not pin the service (it would
+      // be deaf to the whole fleet): bounded wait for the query to start,
+      // bounded read once it has, then move on.
+      if (!conn.wait_readable(5000)) continue;
+      if (!recv_frame_deadline(conn, frame, 5.0)) continue;
+      if (frame.type != MsgType::kPeerQuery) continue;
+      send_frame(conn, MsgType::kPeerInfo, encode_payload(snapshot()));
+      // We read the query and the peer sends nothing more, so close() emits
+      // FIN, not RST — the reply always survives.
+    } catch (const Error&) {
+      // A dropped querier hurts only itself; keep serving.
+    }
+  }
+}
+
+std::optional<PeerInfoMsg> query_peer(const std::string& host,
+                                      std::uint16_t port,
+                                      std::uint64_t asking_worker_id,
+                                      double timeout_seconds) {
+  try {
+    util::Socket socket = util::connect_to(host, port, timeout_seconds);
+    PeerQueryMsg query;
+    query.worker_id = asking_worker_id;
+    send_frame(socket, MsgType::kPeerQuery, encode_payload(query));
+    Frame frame;
+    if (!recv_frame_deadline(socket, frame, timeout_seconds)) {
+      return std::nullopt;
+    }
+    if (frame.type != MsgType::kPeerInfo) return std::nullopt;
+    util::ByteReader payload(frame.payload);
+    return PeerInfoMsg::decode(payload);
+  } catch (const Error&) {
+    return std::nullopt;  // unreachable peer = not a candidate this round
+  }
+}
+
+}  // namespace ssresf::net

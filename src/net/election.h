@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/protocol.h"
+#include "util/socket.h"
+
+namespace ssresf::net {
+
+/// Deterministic coordinator election, run by the workers themselves when
+/// the head node dies and no standby exists.
+///
+/// Ingredients, all exchanged over the normal transport while the
+/// coordinator is still alive:
+///  - every election-capable worker runs a PeerService: a tiny listener
+///    answering kPeerQuery with kPeerInfo (phase, epoch, candidacy);
+///  - its port rides in kHello, and the coordinator broadcasts the roster
+///    of (worker_id, host, peer_port) via kPeers on every membership change;
+///  - the dispatch journal is live-replicated to every worker as
+///    kJournalSync frames, so each holds a replayable prefix of dispatch
+///    state next to the golden bundle it already caches by config digest.
+///
+/// When a worker's session is lost past election_timeout, it queries the
+/// roster. If any peer already follows (or is) a coordinator at a HIGHER
+/// epoch, it defers and reconnects there. Otherwise the winner is the
+/// lowest worker id among the candidates — peers that hold the golden
+/// bundle and an intact journal replica (every reachable candidate computes
+/// the same winner from the same roster, no negotiation round needed). The
+/// winner bumps the epoch, persists its replica as the new journal, replays
+/// it through the tolerant reader (re-queuing only unfilled runs — in
+/// particular the un-mirrored tail batches that died with the primary), and
+/// serves; losers poll the winner's peer port until it reports kPromoted,
+/// then join as ordinary workers via the PR 6 retry ladder.
+///
+/// Split-brain is impossible by construction: the epoch is bound into the
+/// handshake MAC (net/auth.h), so a deposed primary returning from the dead
+/// fails every worker's challenge check and is rejected, not followed.
+
+/// Answers kPeerQuery on a dedicated listener for the lifetime of a Worker.
+/// The worker thread publishes its state through the setters; the service
+/// thread serves snapshots under the same mutex — no shared state is ever
+/// touched unlocked (the election tests run under TSan).
+class PeerService {
+ public:
+  /// Binds the listener (port 0 = ephemeral; read back via port()) and
+  /// starts the service thread.
+  PeerService(std::uint64_t worker_id, std::uint16_t port, bool loopback_only);
+  ~PeerService();
+
+  PeerService(const PeerService&) = delete;
+  PeerService& operator=(const PeerService&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// In a live session with the coordinator at host:port (host "" = not
+  /// shareable, e.g. learned over AF_UNIX). Keeps epoch current so late
+  /// electors can follow this pointer instead of re-electing.
+  void set_serving(std::uint64_t epoch, const std::string& coordinator_host,
+                   std::uint16_t coordinator_port);
+  /// Session lost; the stale coordinator pointer is withdrawn immediately
+  /// so peers cannot chase it mid-election.
+  void set_lost();
+  void set_electing();
+  /// Won the election: serving the campaign ourselves at `port` (host is
+  /// reported empty = "where you reached me").
+  void set_promoted(std::uint64_t epoch, std::uint16_t coordinator_port);
+  /// Candidacy inputs, refreshed as kJournalSync frames land.
+  void set_candidacy(bool has_bundle, std::uint64_t replica_entries);
+
+  [[nodiscard]] PeerInfoMsg snapshot() const;
+
+ private:
+  void serve_loop();
+
+  util::ListenSocket listener_;
+  mutable std::mutex mutex_;
+  PeerInfoMsg info_;
+  bool stop_ = false;  // guarded by mutex_
+  std::thread thread_;
+};
+
+/// One kPeerQuery round trip: connect, ask, decode. Returns nullopt when
+/// the peer is unreachable, times out, or answers garbage — an unreachable
+/// peer is simply not a candidate this round, never an error.
+[[nodiscard]] std::optional<PeerInfoMsg> query_peer(
+    const std::string& host, std::uint16_t port, std::uint64_t asking_worker_id,
+    double timeout_seconds);
+
+}  // namespace ssresf::net

@@ -2,11 +2,17 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "util/atomic_file.h"
 #include "util/bytes.h"
 #include "util/error.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace ssresf::net {
 
@@ -34,6 +40,20 @@ std::uint64_t get_u64_le(const std::uint8_t* p) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   return v;
+}
+
+/// Flush userspace buffers AND the kernel's: after this, the bytes survive
+/// power loss, not just a process kill. No-op fsync on Windows — the fleet
+/// runtime is POSIX-only anyway.
+void flush_to_disk(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) {
+    throw Error("journal: flush of '" + path + "' failed");
+  }
+#ifndef _WIN32
+  if (::fsync(::fileno(file)) != 0) {
+    throw Error("journal: fsync of '" + path + "' failed");
+  }
+#endif
 }
 
 }  // namespace
@@ -127,22 +147,104 @@ JournalContents read_journal(const std::string& path,
   return contents;
 }
 
-JournalWriter::JournalWriter(const std::string& path,
-                             std::uint64_t config_digest,
-                             std::uint64_t total_injections)
-    : path_(path) {
-  file_.open(path, std::ios::binary | std::ios::trunc);
-  if (!file_) throw Error("journal: cannot create '" + path + "'");
+std::vector<std::uint8_t> encode_journal_header(
+    std::uint64_t config_digest, std::uint64_t total_injections) {
   std::vector<std::uint8_t> header;
   header.reserve(kHeaderBytes);
   header.insert(header.end(), kJournalMagic, kJournalMagic + 4);
   header.push_back(kJournalVersion);
   put_u64_le(header, config_digest);
   put_u64_le(header, total_injections);
-  file_.write(reinterpret_cast<const char*>(header.data()),
-              static_cast<std::streamsize>(header.size()));
-  file_.flush();
-  if (!file_) throw Error("journal: write to '" + path + "' failed");
+  return header;
+}
+
+std::vector<std::uint8_t> encode_journal_entry(
+    std::uint64_t start, const std::vector<fi::ShardRecord>& records) {
+  util::ByteWriter payload;
+  payload.varint(start);
+  payload.varint(records.size());
+  fi::encode_records(payload, records);
+
+  const auto& body = payload.data();
+  std::vector<std::uint8_t> entry;
+  entry.reserve(kEntryHeaderBytes + body.size());
+  entry.push_back(kEntryMarker);
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    entry.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  put_u64_le(entry, util::fnv1a(body));
+  entry.insert(entry.end(), body.begin(), body.end());
+  return entry;
+}
+
+JournalEntry decode_journal_entry(std::span<const std::uint8_t> entry_bytes) {
+  if (entry_bytes.size() < kEntryHeaderBytes) {
+    throw InvalidArgument("journal entry: truncated header (" +
+                          std::to_string(entry_bytes.size()) + " of " +
+                          std::to_string(kEntryHeaderBytes) + " bytes)");
+  }
+  if (entry_bytes[0] != kEntryMarker) {
+    throw InvalidArgument("journal entry: bad marker " + hex(entry_bytes[0]));
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(entry_bytes[1 + i]) << (8 * i);
+  }
+  if (entry_bytes.size() - kEntryHeaderBytes != len) {
+    throw InvalidArgument("journal entry: length " + std::to_string(len) +
+                          " does not match the frame (" +
+                          std::to_string(entry_bytes.size() -
+                                         kEntryHeaderBytes) +
+                          " payload bytes)");
+  }
+  const std::uint64_t stored_digest = get_u64_le(entry_bytes.data() + 5);
+  const std::span<const std::uint8_t> payload(
+      entry_bytes.data() + kEntryHeaderBytes, len);
+  const std::uint64_t computed = util::fnv1a(payload);
+  if (computed != stored_digest) {
+    throw InvalidArgument("journal entry: payload digest mismatch (stored " +
+                          hex(stored_digest) + ", computed " + hex(computed) +
+                          ")");
+  }
+  util::ByteReader in(payload);
+  JournalEntry entry;
+  entry.start = in.varint();
+  const std::uint64_t count = in.varint();
+  entry.records = fi::decode_records(in, count);
+  return entry;
+}
+
+void write_replica_journal(
+    const std::string& path, std::uint64_t config_digest,
+    std::uint64_t total_injections,
+    const std::vector<std::vector<std::uint8_t>>& entries) {
+  std::vector<std::uint8_t> bytes =
+      encode_journal_header(config_digest, total_injections);
+  for (const std::vector<std::uint8_t>& entry : entries) {
+    bytes.insert(bytes.end(), entry.begin(), entry.end());
+  }
+  util::atomic_write_file(path, bytes);
+}
+
+void JournalWriter::open_for_append() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw Error("journal: cannot open '" + path_ + "' for append");
+  }
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             std::uint64_t config_digest,
+                             std::uint64_t total_injections)
+    : path_(path) {
+  // Publish the header atomically (tmp + fsync + rename): a kill during
+  // creation leaves either no journal or a complete empty one, never a
+  // torn header a resuming coordinator would choke on.
+  util::atomic_write_file(path,
+                          encode_journal_header(config_digest,
+                                                total_injections));
+  open_for_append();
 }
 
 JournalWriter::JournalWriter(ResumeTag, const std::string& path,
@@ -164,8 +266,7 @@ JournalWriter::JournalWriter(ResumeTag, const std::string& path,
       throw Error("journal: cannot truncate '" + path + "': " + ec.message());
     }
   }
-  file_.open(path, std::ios::binary | std::ios::app);
-  if (!file_) throw Error("journal: cannot reopen '" + path + "'");
+  open_for_append();
 }
 
 JournalWriter JournalWriter::resume(const std::string& path,
@@ -173,28 +274,32 @@ JournalWriter JournalWriter::resume(const std::string& path,
   return JournalWriter(ResumeTag{}, path, contents);
 }
 
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
 void JournalWriter::append(std::uint64_t start,
                            const std::vector<fi::ShardRecord>& records) {
-  util::ByteWriter payload;
-  payload.varint(start);
-  payload.varint(records.size());
-  fi::encode_records(payload, records);
-
-  const auto& body = payload.data();
-  std::vector<std::uint8_t> entry;
-  entry.reserve(kEntryHeaderBytes + body.size());
-  entry.push_back(kEntryMarker);
-  const auto len = static_cast<std::uint32_t>(body.size());
-  for (int i = 0; i < 4; ++i) {
-    entry.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  const std::vector<std::uint8_t> entry = encode_journal_entry(start, records);
+  if (std::fwrite(entry.data(), 1, entry.size(), file_) != entry.size()) {
+    throw Error("journal: write to '" + path_ + "' failed");
   }
-  put_u64_le(entry, util::fnv1a(body));
-  entry.insert(entry.end(), body.begin(), body.end());
-
-  file_.write(reinterpret_cast<const char*>(entry.data()),
-              static_cast<std::streamsize>(entry.size()));
-  file_.flush();
-  if (!file_) throw Error("journal: write to '" + path_ + "' failed");
+  flush_to_disk(file_, path_);
 }
 
 }  // namespace ssresf::net

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,10 +24,16 @@ namespace ssresf::net {
 /// payload:
 ///   start varint | count varint | fi::encode_records bytes
 ///
-/// Every append is flushed before the coordinator acknowledges further work,
-/// so the journal never claims records the disk does not hold. A crash can
-/// leave a torn final entry; the tolerant reader cuts it off, the strict
-/// reader (used by tests and tooling) names the offending offset and digest.
+/// Every append is flushed AND fsynced before the coordinator acknowledges
+/// further work, so the journal never claims records stable storage does not
+/// hold — a power loss behaves like a SIGKILL. A crash can leave a torn
+/// final entry; the tolerant reader cuts it off, the strict reader (used by
+/// tests and tooling) names the offending offset and digest.
+///
+/// The entry frame doubles as the unit of live replication: kJournalSync
+/// carries these exact bytes to every connected worker (see net/protocol.h),
+/// so a worker's replica is byte-for-byte the coordinator's journal tail and
+/// replays through the same readers after an election.
 
 struct JournalEntry {
   std::uint64_t start = 0;
@@ -51,9 +58,37 @@ struct JournalContents {
                                            std::uint64_t expected_config_digest,
                                            bool strict);
 
+/// The 21-byte journal header ("SSJL" | version | digest | total).
+[[nodiscard]] std::vector<std::uint8_t> encode_journal_header(
+    std::uint64_t config_digest, std::uint64_t total_injections);
+
+/// One complete entry frame, exactly as it appears on disk (marker | len |
+/// CRC | payload) — also the kJournalSync replication unit.
+[[nodiscard]] std::vector<std::uint8_t> encode_journal_entry(
+    std::uint64_t start, const std::vector<fi::ShardRecord>& records);
+
+/// Validates and decodes exactly one entry frame: marker, length, payload
+/// digest, and record codec are all checked; trailing bytes are a defect.
+/// Throws InvalidArgument naming what is wrong — a worker applies this to
+/// every kJournalSync frame before admitting it to its replica, so a replica
+/// is intact by construction.
+[[nodiscard]] JournalEntry decode_journal_entry(
+    std::span<const std::uint8_t> entry_bytes);
+
+/// Atomically publishes a complete journal (header + raw entry frames) at
+/// `path` — the promotion step: an elected worker persists its replica
+/// before replaying it as the new coordinator's journal. Uses
+/// util::atomic_write_file, so a crash mid-promotion leaves no torn file.
+void write_replica_journal(const std::string& path,
+                           std::uint64_t config_digest,
+                           std::uint64_t total_injections,
+                           const std::vector<std::vector<std::uint8_t>>& entries);
+
 class JournalWriter {
  public:
-  /// Creates (truncating) `path` and writes the header.
+  /// Creates `path` with the header already on stable storage (atomic
+  /// tmp+rename publication: a crash during creation leaves no file, or the
+  /// previous complete one).
   JournalWriter(const std::string& path, std::uint64_t config_digest,
                 std::uint64_t total_injections);
 
@@ -63,8 +98,15 @@ class JournalWriter {
   [[nodiscard]] static JournalWriter resume(const std::string& path,
                                             const JournalContents& contents);
 
-  /// Appends one accepted batch and flushes — after return, the entry
-  /// survives a coordinator crash. Throws Error when the write fails.
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one accepted batch, flushed and fsynced — after return, the
+  /// entry survives a coordinator kill at any instant (power loss included).
+  /// Throws Error when the write fails.
   void append(std::uint64_t start,
               const std::vector<fi::ShardRecord>& records);
 
@@ -74,9 +116,10 @@ class JournalWriter {
   struct ResumeTag {};
   JournalWriter(ResumeTag, const std::string& path,
                 const JournalContents& contents);
+  void open_for_append();
 
   std::string path_;
-  std::ofstream file_;
+  std::FILE* file_ = nullptr;
 };
 
 }  // namespace ssresf::net

@@ -283,6 +283,7 @@ void HelloMsg::encode(util::ByteWriter& out) const {
   out.fixed64(worker_id);
   out.varint(threads);
   out.fixed64(nonce);
+  out.varint(peer_port);
 }
 
 HelloMsg HelloMsg::decode(util::ByteReader& in) {
@@ -291,12 +292,14 @@ HelloMsg HelloMsg::decode(util::ByteReader& in) {
   msg.worker_id = in.fixed64();
   msg.threads = static_cast<std::uint32_t>(in.varint());
   msg.nonce = in.fixed64();
+  msg.peer_port = static_cast<std::uint16_t>(in.varint());
   return msg;
 }
 
 void ChallengeMsg::encode(util::ByteWriter& out) const {
   out.fixed64(nonce);
   out.fixed64(config_digest);
+  out.varint(epoch);
   out.fixed64(mac);
 }
 
@@ -304,6 +307,7 @@ ChallengeMsg ChallengeMsg::decode(util::ByteReader& in) {
   ChallengeMsg msg;
   msg.nonce = in.fixed64();
   msg.config_digest = in.fixed64();
+  msg.epoch = in.varint();
   msg.mac = in.fixed64();
   return msg;
 }
@@ -353,6 +357,7 @@ void CampaignMsg::encode(util::ByteWriter& out) const {
   spec.encode(out);
   out.fixed64(config_digest);
   out.varint(total_injections);
+  out.fixed64(journal_id);
   out.byte_vec(bundle);
 }
 
@@ -361,15 +366,95 @@ CampaignMsg CampaignMsg::decode(util::ByteReader& in) {
   msg.spec = CampaignSpec::decode(in);
   msg.config_digest = in.fixed64();
   msg.total_injections = in.varint();
+  msg.journal_id = in.fixed64();
   msg.bundle = in.byte_vec<std::uint8_t>();
   return msg;
 }
 
-void ReadyMsg::encode(util::ByteWriter& out) const { out.varint(plan_size); }
+void ReadyMsg::encode(util::ByteWriter& out) const {
+  out.varint(plan_size);
+  out.varint(replica_entries);
+}
 
 ReadyMsg ReadyMsg::decode(util::ByteReader& in) {
   ReadyMsg msg;
   msg.plan_size = in.varint();
+  msg.replica_entries = in.varint();
+  return msg;
+}
+
+void JournalSyncMsg::encode(util::ByteWriter& out) const {
+  out.fixed64(journal_id);
+  out.varint(seq);
+  out.byte_vec(entry);
+}
+
+JournalSyncMsg JournalSyncMsg::decode(util::ByteReader& in) {
+  JournalSyncMsg msg;
+  msg.journal_id = in.fixed64();
+  msg.seq = in.varint();
+  msg.entry = in.byte_vec<std::uint8_t>();
+  return msg;
+}
+
+void PeersMsg::encode(util::ByteWriter& out) const {
+  out.varint(peers.size());
+  for (const PeerEntry& p : peers) {
+    out.fixed64(p.worker_id);
+    out.sized_bytes(p.host.data(), p.host.size());
+    out.varint(p.peer_port);
+  }
+}
+
+PeersMsg PeersMsg::decode(util::ByteReader& in) {
+  PeersMsg msg;
+  const std::uint64_t n = in.varint();
+  msg.peers.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PeerEntry p;
+    p.worker_id = in.fixed64();
+    const std::vector<char> host = in.byte_vec<char>();
+    p.host.assign(host.begin(), host.end());
+    p.peer_port = static_cast<std::uint16_t>(in.varint());
+    msg.peers.push_back(std::move(p));
+  }
+  return msg;
+}
+
+void PeerQueryMsg::encode(util::ByteWriter& out) const {
+  out.fixed64(worker_id);
+}
+
+PeerQueryMsg PeerQueryMsg::decode(util::ByteReader& in) {
+  PeerQueryMsg msg;
+  msg.worker_id = in.fixed64();
+  return msg;
+}
+
+void PeerInfoMsg::encode(util::ByteWriter& out) const {
+  out.fixed64(worker_id);
+  out.varint(epoch);
+  out.u8(static_cast<std::uint8_t>(phase));
+  out.varint(replica_entries);
+  out.u8(has_bundle ? 1 : 0);
+  out.sized_bytes(coordinator_host.data(), coordinator_host.size());
+  out.varint(coordinator_port);
+}
+
+PeerInfoMsg PeerInfoMsg::decode(util::ByteReader& in) {
+  PeerInfoMsg msg;
+  msg.worker_id = in.fixed64();
+  msg.epoch = in.varint();
+  const std::uint8_t phase = in.u8();
+  if (phase > static_cast<std::uint8_t>(PeerPhase::kPromoted)) {
+    throw InvalidArgument("peer info: unknown phase " + std::to_string(phase));
+  }
+  msg.phase = static_cast<PeerPhase>(phase);
+  msg.replica_entries = in.varint();
+  msg.has_bundle = in.u8() != 0;
+  const std::vector<char> host = in.byte_vec<char>();
+  msg.coordinator_host.assign(host.begin(), host.end());
+  msg.coordinator_port = static_cast<std::uint16_t>(in.varint());
   return msg;
 }
 

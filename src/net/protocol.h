@@ -26,7 +26,13 @@ namespace ssresf::net {
 ///
 /// Version 2 added the authenticated hello/challenge handshake (net/auth.h),
 /// worker heartbeat telemetry, and coordinator-failover redirects.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+///
+/// Version 3 added self-healing failover: live journal replication
+/// (kJournalSync), the peer roster (kPeers) + peer query protocol
+/// (kPeerQuery/kPeerInfo) behind automatic coordinator election, the
+/// election epoch in the challenge (and bound into the handshake MAC — the
+/// split-brain guard), and the worker's replica length in kReady.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Frames over 1 GiB are rejected before allocation: no golden bundle or
 /// record batch comes close, so a larger length is a corrupt or hostile
@@ -45,10 +51,14 @@ enum class MsgType : std::uint8_t {
   kAuth = 8,       // worker -> coordinator: proof over the challenge nonce
   kHeartbeat = 9,  // worker -> coordinator: telemetry after each chunk
   kReconnect = 10, // coordinator -> worker: campaign continues at host:port
+  kJournalSync = 11,  // coordinator -> worker: one replicated journal entry
+  kPeers = 12,        // coordinator -> worker: the fleet roster (peer ports)
+  kPeerQuery = 13,    // worker -> worker: election probe on the peer port
+  kPeerInfo = 14,     // worker -> worker: candidacy/leadership answer
 };
 
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kReconnect);
+    static_cast<std::uint8_t>(MsgType::kPeerInfo);
 
 struct Frame {
   MsgType type = MsgType::kError;
@@ -112,6 +122,11 @@ struct HelloMsg {
   /// The worker's challenge to the coordinator (mutual auth): the
   /// kChallenge reply must carry handshake_mac(secret, ..., nonce).
   std::uint64_t nonce = 0;
+  /// Port of the worker's peer-query listener (net/election.h), exchanged
+  /// during the handshake so the coordinator can hand every worker a roster
+  /// of its peers — the contact list a coordinator-less election runs over.
+  /// 0 = this worker does not participate in elections.
+  std::uint16_t peer_port = 0;
 
   void encode(util::ByteWriter& out) const;
   [[nodiscard]] static HelloMsg decode(util::ByteReader& in);
@@ -125,6 +140,12 @@ struct HelloMsg {
 struct ChallengeMsg {
   std::uint64_t nonce = 0;
   std::uint64_t config_digest = 0;
+  /// The coordinator's election epoch, bound into both handshake MACs. A
+  /// worker that has seen an election at epoch E rejects any challenge with
+  /// epoch < E as WorkerRejected — a stale primary coming back from the
+  /// dead cannot pass the handshake, let alone split the fleet, because its
+  /// MAC is computed over the old epoch.
+  std::uint64_t epoch = 0;
   std::uint64_t mac = 0;  // handshake_mac over the hello's nonce
 
   void encode(util::ByteWriter& out) const;
@@ -168,6 +189,12 @@ struct CampaignMsg {
   CampaignSpec spec;
   std::uint64_t config_digest = 0;
   std::uint64_t total_injections = 0;
+  /// Identity of this coordinator incarnation's journal (a fresh nonce per
+  /// incarnation, 0 = journaling/replication off). Entry order can diverge
+  /// across incarnations, so a worker's replica is only a valid prefix of
+  /// the journal it was mirrored from — on a journal_id change the worker
+  /// discards its replica and re-syncs from scratch via kReady/kJournalSync.
+  std::uint64_t journal_id = 0;
   std::vector<std::uint8_t> bundle;  // encode_golden_bundle bytes
 
   void encode(util::ByteWriter& out) const;
@@ -176,9 +203,78 @@ struct CampaignMsg {
 
 struct ReadyMsg {
   std::uint64_t plan_size = 0;
+  /// How many journal entries of the campaign's journal_id this worker's
+  /// replica already holds — the coordinator streams only the missing tail.
+  std::uint64_t replica_entries = 0;
 
   void encode(util::ByteWriter& out) const;
   [[nodiscard]] static ReadyMsg decode(util::ByteReader& in);
+};
+
+/// Coordinator -> worker after every accepted (and locally fsynced) batch:
+/// one journal entry, as the exact on-disk bytes (marker | len | CRC |
+/// payload — see net/journal.h). The worker CRC-checks and decodes the
+/// frame before admitting it to its in-memory replica, so every replica is
+/// a verified byte-for-byte prefix of the coordinator's journal, ready to
+/// be replayed by the tolerant reader after an election.
+struct JournalSyncMsg {
+  std::uint64_t journal_id = 0;
+  std::uint64_t seq = 0;  // index of this entry within the journal
+  std::vector<std::uint8_t> entry;  // one encode_journal_entry frame
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static JournalSyncMsg decode(util::ByteReader& in);
+};
+
+/// One fleet member as seen by the coordinator: its stable worker id plus
+/// the host:port of its peer-query listener.
+struct PeerEntry {
+  std::uint64_t worker_id = 0;
+  std::string host;
+  std::uint16_t peer_port = 0;
+};
+
+/// Coordinator -> worker on every roster change: the election-capable fleet
+/// members. When the coordinator dies, this list is who the survivors ask.
+struct PeersMsg {
+  std::vector<PeerEntry> peers;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static PeersMsg decode(util::ByteReader& in);
+};
+
+/// Worker -> worker on the peer port: who is asking.
+struct PeerQueryMsg {
+  std::uint64_t worker_id = 0;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static PeerQueryMsg decode(util::ByteReader& in);
+};
+
+/// The phase a peer reports during an election round. See net/election.h
+/// for the state machine.
+enum class PeerPhase : std::uint8_t {
+  kServing = 0,   // in a live session with the coordinator below
+  kLost = 1,      // lost its coordinator, not yet electing
+  kElecting = 2,  // running an election round
+  kPromoted = 3,  // won an election; coordinator below is itself
+};
+
+/// Worker -> worker reply to kPeerQuery: everything an elector needs to
+/// pick a leader — candidacy (bundle + replica length), phase, and where
+/// the campaign now lives if this peer already knows. An empty
+/// coordinator_host means "the host you reached me at".
+struct PeerInfoMsg {
+  std::uint64_t worker_id = 0;
+  std::uint64_t epoch = 0;
+  PeerPhase phase = PeerPhase::kLost;
+  std::uint64_t replica_entries = 0;
+  bool has_bundle = false;
+  std::string coordinator_host;
+  std::uint16_t coordinator_port = 0;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static PeerInfoMsg decode(util::ByteReader& in);
 };
 
 struct WorkMsg {

@@ -1,0 +1,91 @@
+#include "util/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ssresf::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw Error("atomic_write_file: " + what + " '" + path +
+              "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+#ifndef _WIN32
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes,
+                       bool crash_before_rename) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write to", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync of", tmp);
+  }
+  if (::close(fd) != 0) fail("close of", tmp);
+  if (crash_before_rename) return;  // test seam: die before publishing
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("rename to", path);
+  // Persist the rename itself: fsync the containing directory, or the
+  // publication can be rolled back by power loss even though the data
+  // survived. Best effort on filesystems that refuse directory fsync.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+#else  // _WIN32
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes,
+                       bool crash_before_rename) {
+  // No fsync-through-rename discipline on the Windows fallback; the net
+  // layer (the only crash-safety consumer) is POSIX-only anyway.
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) fail("cannot create", tmp);
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fclose(f);
+      fail("write to", tmp);
+    }
+    if (std::fclose(f) != 0) fail("close of", tmp);
+  }
+  if (crash_before_rename) return;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) throw Error("atomic_write_file: rename to '" + path +
+                      "': " + ec.message());
+}
+
+#endif
+
+}  // namespace ssresf::util

@@ -113,6 +113,22 @@ bool Socket::wait_readable(int timeout_ms) const {
   return r > 0;
 }
 
+std::string Socket::peer_host() const {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (fd_ < 0 ||
+      ::getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0 ||
+      addr.ss_family != AF_INET) {
+    return "";
+  }
+  char buf[INET_ADDRSTRLEN] = {};
+  const auto* in = reinterpret_cast<const sockaddr_in*>(&addr);
+  if (::inet_ntop(AF_INET, &in->sin_addr, buf, sizeof(buf)) == nullptr) {
+    return "";
+  }
+  return buf;
+}
+
 std::pair<Socket, Socket> Socket::pair() {
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
@@ -271,6 +287,7 @@ bool Socket::wait_readable(int) const {
   throw Error("socket: not supported on this platform");
 }
 void Socket::shutdown_write() {}
+std::string Socket::peer_host() const { return ""; }
 std::pair<Socket, Socket> Socket::pair() {
   throw Error("socket: not supported on this platform");
 }

@@ -55,6 +55,12 @@ class Socket {
   /// closing, so its last frames reliably reach the peer.
   void shutdown_write();
 
+  /// Dotted-quad address of the connected peer (getpeername), or "" when
+  /// the socket has no IPv4 peer (AF_UNIX test pairs). The coordinator uses
+  /// this to build the fleet roster: a worker's peer-query listener lives at
+  /// (peer_host of its connection, the port it announced in kHello).
+  [[nodiscard]] std::string peer_host() const;
+
   /// Connected AF_UNIX pair (for in-process protocol tests).
   [[nodiscard]] static std::pair<Socket, Socket> pair();
 

@@ -14,6 +14,7 @@
 #include <iterator>
 #include <memory>
 #include <thread>
+#include <type_traits>
 
 #include "core/scenario.h"
 #include "fi/campaign_exec.h"
@@ -22,10 +23,12 @@
 #include "net/auth.h"
 #include "net/chaos.h"
 #include "net/coordinator.h"
+#include "net/election.h"
 #include "net/health.h"
 #include "net/journal.h"
 #include "net/protocol.h"
 #include "net/worker.h"
+#include "util/atomic_file.h"
 #include "util/error.h"
 #include "util/socket.h"
 
@@ -153,17 +156,23 @@ TEST(FleetConfig, ScenarioFleetSectionRoundTrips) {
       "  secret: lab-7\n"
       "  connect_timeout: 3\n"
       "  worker_timeout: 9\n"
-      "  frame_deadline: 2\n");
+      "  frame_deadline: 2\n"
+      "  election_timeout: 1.5\n"
+      "  peer_port: 39999\n");
   EXPECT_EQ(spec.fleet.secret, "lab-7");
   EXPECT_EQ(spec.fleet.connect_timeout, 3.0);
   EXPECT_EQ(spec.fleet.worker_timeout, 9.0);
   EXPECT_EQ(spec.fleet.frame_deadline, 2.0);
+  EXPECT_EQ(spec.fleet.election_timeout, 1.5);
+  EXPECT_EQ(spec.fleet.peer_port, 39999);
 
   const core::ScenarioSpec back = core::ScenarioSpec::parse(spec.dump());
   EXPECT_EQ(back.fleet.secret, spec.fleet.secret);
   EXPECT_EQ(back.fleet.connect_timeout, spec.fleet.connect_timeout);
   EXPECT_EQ(back.fleet.worker_timeout, spec.fleet.worker_timeout);
   EXPECT_EQ(back.fleet.frame_deadline, spec.fleet.frame_deadline);
+  EXPECT_EQ(back.fleet.election_timeout, spec.fleet.election_timeout);
+  EXPECT_EQ(back.fleet.peer_port, spec.fleet.peer_port);
 
   // An empty secret survives the round trip too (open fleet stays open).
   const core::ScenarioSpec open = core::ScenarioSpec::parse("scenario: x\n");
@@ -180,22 +189,39 @@ TEST(FleetConfig, ScenarioRejectsNonPositiveFleetTimeouts) {
   EXPECT_THROW((void)core::ScenarioSpec::parse("fleet:\n"
                                                "  frame_deadline: 0\n"),
                InvalidArgument);
+  // Election knobs: the timeout may be 0 (= disabled) but never negative,
+  // and the peer port must actually be a port.
+  EXPECT_THROW((void)core::ScenarioSpec::parse("fleet:\n"
+                                               "  election_timeout: -1\n"),
+               InvalidArgument);
+  EXPECT_THROW((void)core::ScenarioSpec::parse("fleet:\n"
+                                               "  peer_port: 70000\n"),
+               InvalidArgument);
+  EXPECT_EQ(core::ScenarioSpec::parse(
+                "scenario: x\nfleet:\n  election_timeout: 0\n")
+                .fleet.election_timeout,
+            0.0);
 }
 
 // --- authenticated handshake --------------------------------------------------
 
 TEST(FleetAuth, HandshakeMacIsKeyedAndNonceBound) {
-  const std::uint64_t mac =
-      net::handshake_mac("lab-7", net::kProtocolVersion, 0x1234, 0x5678);
-  EXPECT_EQ(mac,
-            net::handshake_mac("lab-7", net::kProtocolVersion, 0x1234, 0x5678));
+  const std::uint64_t mac = net::handshake_mac("lab-7", net::kProtocolVersion,
+                                               0x1234, /*epoch=*/0, 0x5678);
+  EXPECT_EQ(mac, net::handshake_mac("lab-7", net::kProtocolVersion, 0x1234, 0,
+                                    0x5678));
+  EXPECT_NE(mac, net::handshake_mac("lab-8", net::kProtocolVersion, 0x1234, 0,
+                                    0x5678));
+  EXPECT_NE(mac, net::handshake_mac("lab-7", net::kProtocolVersion, 0x1235, 0,
+                                    0x5678));
+  EXPECT_NE(mac, net::handshake_mac("lab-7", net::kProtocolVersion, 0x1234, 0,
+                                    0x5679));
   EXPECT_NE(mac,
-            net::handshake_mac("lab-8", net::kProtocolVersion, 0x1234, 0x5678));
-  EXPECT_NE(mac,
-            net::handshake_mac("lab-7", net::kProtocolVersion, 0x1235, 0x5678));
-  EXPECT_NE(mac,
-            net::handshake_mac("lab-7", net::kProtocolVersion, 0x1234, 0x5679));
-  EXPECT_NE(mac, net::handshake_mac("", net::kProtocolVersion, 0x1234, 0x5678));
+            net::handshake_mac("", net::kProtocolVersion, 0x1234, 0, 0x5678));
+  // The election epoch is bound into the MAC: a deposed primary cannot
+  // reuse its old proofs against a post-election fleet.
+  EXPECT_NE(mac, net::handshake_mac("lab-7", net::kProtocolVersion, 0x1234,
+                                    /*epoch=*/1, 0x5678));
 }
 
 TEST(FleetAuth, WrongSecretIsRejectedBeforeAnyCampaignData) {
@@ -242,8 +268,10 @@ TEST(FleetAuth, WrongSecretIsRejectedBeforeAnyCampaignData) {
     util::ByteReader payload(frame.payload);
     const net::ChallengeMsg challenge = net::ChallengeMsg::decode(payload);
     net::AuthMsg auth;
-    auth.mac = net::handshake_mac("guessed-wrong", net::kProtocolVersion,
-                                  challenge.config_digest, challenge.nonce);
+    auth.mac =
+        net::handshake_mac("guessed-wrong", net::kProtocolVersion,
+                           challenge.config_digest, challenge.epoch,
+                           challenge.nonce);
     net::send_frame(conn, net::MsgType::kAuth, net::encode_payload(auth));
     if (net::recv_frame(conn, frame)) {
       EXPECT_EQ(frame.type, net::MsgType::kError);
@@ -833,6 +861,303 @@ TEST(FleetFailover, RestartedCoordinatorResumesACompletedPrefix) {
   worker_thread.join();
   expect_same_result(result, baseline);
   std::remove(journal.c_str());
+}
+
+// --- torn journal tails at exact frame boundaries -----------------------------
+
+TEST(FleetJournal, TornExactlyAtTheEntryCrcBoundaryIsCutCleanly) {
+  const std::string path = testing::TempDir() + "/ssresf_journal_torn_crc.ssjl";
+  const std::uint64_t digest = 0x2222;
+  {
+    net::JournalWriter writer(path, digest, 8);
+    writer.append(0, some_records(0, 2));
+    writer.append(4, some_records(4, 2));
+  }
+  const std::vector<std::uint8_t> clean = slurp(path);
+
+  // The on-disk entry frame and the kJournalSync replication unit are the
+  // same bytes — the invariant the whole replica design rests on.
+  const std::vector<std::uint8_t> entry1 =
+      net::encode_journal_entry(0, some_records(0, 2));
+  ASSERT_LT(21 + entry1.size(), clean.size());
+  EXPECT_TRUE(std::equal(entry1.begin(), entry1.end(), clean.begin() + 21));
+
+  // Truncation exactly between the second entry's 13-byte header (marker |
+  // len | CRC) and its first payload byte: the nastiest tear, since marker,
+  // length, and CRC all read back plausibly — only the missing payload gives
+  // it away.
+  const std::size_t entry2_offset = 21 + entry1.size();
+  std::vector<std::uint8_t> torn(clean.begin(),
+                                 clean.begin() + static_cast<std::ptrdiff_t>(
+                                                     entry2_offset + 13));
+  spit(path, torn);
+  net::JournalContents cut = net::read_journal(path, digest, /*strict=*/false);
+  ASSERT_EQ(cut.entries.size(), 1u);
+  EXPECT_EQ(cut.valid_bytes, entry2_offset);
+  EXPECT_THROW((void)net::read_journal(path, digest, true), InvalidArgument);
+
+  // A tear inside the CRC field itself cuts at the same point.
+  torn.resize(entry2_offset + 5);
+  spit(path, torn);
+  cut = net::read_journal(path, digest, false);
+  ASSERT_EQ(cut.entries.size(), 1u);
+  EXPECT_EQ(cut.valid_bytes, entry2_offset);
+
+  // Resume truncates the debris and appends cleanly: strict again after.
+  {
+    net::JournalWriter writer = net::JournalWriter::resume(path, cut);
+    writer.append(4, some_records(4, 2));
+  }
+  EXPECT_EQ(net::read_journal(path, digest, true).entries.size(), 2u);
+  std::remove(path.c_str());
+}
+
+// --- crash-safe artifact publication ------------------------------------------
+
+TEST(FleetCrashSafety, AtomicWriteLeavesTheOldFileOrNoFileOnCrash) {
+  const std::string path = testing::TempDir() + "/ssresf_atomic.bin";
+  std::remove(path.c_str());
+  const std::vector<std::uint8_t> v1 = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> v2 = {9, 9, 9, 9, 9};
+
+  // Killed during the very first write: no file at all — never a torn one.
+  util::atomic_write_file(path, v1, /*crash_before_rename=*/true);
+  EXPECT_FALSE(std::ifstream(path).good());
+
+  util::atomic_write_file(path, v1);
+  EXPECT_EQ(slurp(path), v1);
+
+  // Killed during an overwrite: the complete old file survives.
+  util::atomic_write_file(path, v2, /*crash_before_rename=*/true);
+  EXPECT_EQ(slurp(path), v1);
+
+  // The interrupted attempt's tmp debris does not block the next one.
+  util::atomic_write_file(path, v2);
+  EXPECT_EQ(slurp(path), v2);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(FleetCrashSafety, KilledShardOverwriteLeavesTheOldFileReadable) {
+  // Every artifact writer (.ssfs shard, .ssgb bundle, .ssmd model) publishes
+  // through atomic_write_file; drive the seam against a real reader once.
+  const std::string path = testing::TempDir() + "/ssresf_crash.ssfs";
+  std::remove(path.c_str());
+  fi::ShardFileMeta meta;
+  meta.seed = 3;
+  meta.total_injections = 4;
+  meta.config_digest = 0x77;
+  meta.num_records = 4;
+  fi::write_shard_file(path, meta, some_records(0, 4));
+  const std::vector<std::uint8_t> published = slurp(path);
+
+  // "kill -9" between the replacement's flush and its rename: the bytes on
+  // disk are still the old artifact, byte for byte, and still parse.
+  const std::vector<std::uint8_t> junk(37, 0xAB);
+  util::atomic_write_file(path, junk, /*crash_before_rename=*/true);
+  EXPECT_EQ(slurp(path), published);
+  fi::ShardFileReader reader(path);
+  EXPECT_EQ(reader.meta().config_digest, 0x77u);
+  std::size_t n = 0;
+  for (fi::ShardRecord r; reader.next(r);) ++n;
+  EXPECT_EQ(n, 4u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// --- coordinator election -----------------------------------------------------
+
+static_assert(std::is_base_of_v<net::WorkerRejected, net::StaleCoordinator>,
+              "a stale coordinator must be final when elections are off");
+
+TEST(FleetElection, StalePrimaryIsRejectedByTheEpochGuard) {
+  // A coordinator at epoch 0 against a worker that has lived through an
+  // election (epoch 1): the MAC binds the epoch, so the deposed primary is
+  // refused outright — split-brain is impossible, not just unlikely.
+  const net::CampaignSpec spec = small_spec();
+  const soc::SocModel model = net::build_model(spec);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignResult baseline = fi::run_campaign(model, spec.config, db);
+
+  net::CoordinatorOptions copts;
+  copts.port = 0;
+  copts.loopback_only = true;
+  copts.chunk_injections = 2;
+  copts.secret = "epoch-demo";  // the guard works on authenticated fleets too
+  net::Coordinator coordinator(spec, db, copts);
+  const std::uint16_t port = coordinator.port();
+  auto merged = std::async(std::launch::async,
+                           [&coordinator] { return coordinator.run(); });
+
+  std::thread stale([&db, port] {
+    net::WorkerOptions wopts;
+    wopts.host = "127.0.0.1";
+    wopts.port = port;
+    wopts.secret = "epoch-demo";
+    wopts.initial_epoch = 1;  // this worker followed an elected coordinator
+    net::Worker worker(db, wopts);
+    EXPECT_THROW((void)worker.run(), net::StaleCoordinator);
+  });
+  std::thread good([&db, port] {
+    net::WorkerOptions wopts;
+    wopts.host = "127.0.0.1";
+    wopts.port = port;
+    wopts.secret = "epoch-demo";
+    net::Worker worker(db, wopts);
+    (void)worker.run();
+  });
+  expect_same_result(merged.get(), baseline);
+  stale.join();
+  good.join();
+}
+
+TEST(FleetElection, PrefixReplicaPromotionRequeuesTheUnmirroredTail) {
+  // The promotion half in isolation: a replica that is a strict PREFIX of
+  // the dead primary's journal (its final batches were flushed locally but
+  // died before the kJournalSync broadcast). The promoted coordinator must
+  // serve every injection the replica does not cover — and nothing it does.
+  const net::CampaignSpec spec = small_spec();
+  const soc::SocModel model = net::build_model(spec);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignResult baseline = fi::run_campaign(model, spec.config, db);
+  const std::uint64_t digest = fi::campaign_config_digest(model, spec.config);
+  const std::string journal = testing::TempDir() + "/ssresf_replica.ssjl";
+  std::remove(journal.c_str());
+
+  const std::size_t half = baseline.records.size() / 2;
+  ASSERT_GE(half, 2u);
+  std::vector<fi::ShardRecord> first, second;
+  for (std::size_t i = 0; i < half / 2; ++i) {
+    first.push_back({i, baseline.records[i]});
+  }
+  for (std::size_t i = half / 2; i < half; ++i) {
+    second.push_back({i, baseline.records[i]});
+  }
+  std::vector<std::vector<std::uint8_t>> entries;
+  entries.push_back(net::encode_journal_entry(0, first));
+  entries.push_back(net::encode_journal_entry(half / 2, second));
+  net::write_replica_journal(journal, digest, baseline.records.size(), entries);
+
+  // The persisted replica IS a journal: strict-clean and campaign-bound.
+  const net::JournalContents replayed =
+      net::read_journal(journal, digest, /*strict=*/true);
+  ASSERT_EQ(replayed.entries.size(), 2u);
+  EXPECT_EQ(replayed.total_injections, baseline.records.size());
+
+  net::CoordinatorOptions copts;
+  copts.port = 0;
+  copts.loopback_only = true;
+  copts.chunk_injections = 2;
+  copts.journal_path = journal;
+  copts.epoch = 1;  // a promoted worker serves at its known epoch + 1
+  net::Coordinator promoted(spec, db, copts);
+  const std::uint16_t port = promoted.port();
+  auto merged =
+      std::async(std::launch::async, [&promoted] { return promoted.run(); });
+  std::thread worker_thread([&db, port] {
+    net::WorkerOptions wopts;
+    wopts.host = "127.0.0.1";
+    wopts.port = port;
+    net::Worker worker(db, wopts);
+    (void)worker.run();
+  });
+  expect_same_result(merged.get(), baseline);
+  worker_thread.join();
+
+  // The finished journal = the replica prefix + only the re-queued tail:
+  // every injection has exactly one record across all entries.
+  const net::JournalContents finished = net::read_journal(journal, digest,
+                                                          /*strict=*/true);
+  std::size_t journaled = 0;
+  for (const net::JournalEntry& e : finished.entries) {
+    journaled += e.records.size();
+  }
+  EXPECT_EQ(journaled, baseline.records.size());
+  std::remove(journal.c_str());
+}
+
+TEST(FleetElection, WorkersElectAReplacementAfterCoordinatorDeath) {
+  // The tentpole, end to end and fully deterministic: the coordinator is
+  // SIGKILLed (in-process stand-in: connections and listener dropped cold
+  // after a fixed frame count), NO standby exists, and the workers heal the
+  // fleet on their own — the lowest-id survivor promotes itself on its
+  // journal replica, the other follows via a peer query, and the merged
+  // result is byte-identical to the single-process campaign.
+  const net::CampaignSpec spec = small_spec();
+  const soc::SocModel model = net::build_model(spec);
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  const fi::CampaignResult baseline = fi::run_campaign(model, spec.config, db);
+  ASSERT_GT(baseline.records.size(), 8u);
+
+  const std::string journal = testing::TempDir() + "/ssresf_election.ssjl";
+  const std::string promote_journal =
+      testing::TempDir() + "/ssresf_election_promoted.ssjl";
+  std::remove(journal.c_str());
+  std::remove(promote_journal.c_str());
+
+  net::CoordinatorDeathSchedule death(/*die_at_frame=*/12);
+  net::CoordinatorOptions copts;
+  copts.port = 0;
+  copts.loopback_only = true;
+  copts.chunk_injections = 2;
+  copts.secret = "election-demo";
+  copts.journal_path = journal;
+  copts.death = &death;
+  net::Coordinator coordinator(spec, db, copts);
+  const std::uint16_t port = coordinator.port();
+  auto doomed = std::async(std::launch::async, [&coordinator] {
+    try {
+      (void)coordinator.run();
+      return false;  // survived — the schedule never fired
+    } catch (const net::CoordinatorKilled&) {
+      return true;
+    }
+  });
+
+  const auto make_worker = [&](std::uint64_t id) {
+    net::WorkerOptions wopts;
+    wopts.host = "127.0.0.1";
+    wopts.port = port;
+    wopts.worker_id = id;
+    wopts.secret = "election-demo";
+    wopts.connect_timeout_seconds = 0.3;
+    wopts.backoff_base_seconds = 0.01;
+    wopts.backoff_cap_seconds = 0.1;
+    wopts.max_reconnect_attempts = 20;
+    wopts.election_timeout_seconds = 0.05;
+    wopts.promote_journal_path = promote_journal;
+    return std::make_unique<net::Worker>(db, wopts);
+  };
+  const std::unique_ptr<net::Worker> w1 = make_worker(1);
+  const std::unique_ptr<net::Worker> w2 = make_worker(2);
+  std::thread t1([&w1] { (void)w1->run(); });
+  std::thread t2([&w2] { (void)w2->run(); });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(doomed.get()) << "the death schedule must fire mid-campaign";
+
+  // Exactly one winner — the lowest id — and ITS process holds the merged
+  // result the dead primary would have emitted, byte for byte.
+  EXPECT_TRUE(w1->promoted());
+  EXPECT_FALSE(w2->promoted());
+  ASSERT_TRUE(w1->promoted_result().has_value());
+  expect_same_result(*w1->promoted_result(), baseline);
+
+  // The promotion journal is a strict-clean, campaign-bound journal whose
+  // entries cover every injection exactly once (replica prefix + re-queued
+  // tail).
+  const std::uint64_t digest = fi::campaign_config_digest(model, spec.config);
+  const net::JournalContents finished =
+      net::read_journal(promote_journal, digest, /*strict=*/true);
+  EXPECT_EQ(finished.total_injections, baseline.records.size());
+  std::size_t journaled = 0;
+  for (const net::JournalEntry& e : finished.entries) {
+    journaled += e.records.size();
+  }
+  EXPECT_EQ(journaled, baseline.records.size());
+
+  std::remove(journal.c_str());
+  std::remove(promote_journal.c_str());
 }
 
 }  // namespace

@@ -350,8 +350,9 @@ TEST(NetCampaign, WorkerRejectsDigestMismatch) {
     net::ChallengeMsg challenge;
     challenge.nonce = net::fresh_nonce();
     challenge.config_digest = 0xdeadbeef;  // wrong on purpose
-    challenge.mac = net::handshake_mac("", net::kProtocolVersion,
-                                       challenge.config_digest, hello.nonce);
+    challenge.mac =
+        net::handshake_mac("", net::kProtocolVersion, challenge.config_digest,
+                           challenge.epoch, hello.nonce);
     net::send_frame(conn, net::MsgType::kChallenge,
                     net::encode_payload(challenge));
     ASSERT_TRUE(net::recv_frame(conn, frame));

@@ -53,6 +53,11 @@ struct Options {
   double worker_timeout = 0;   // 0 = scenario fleet.worker_timeout
   std::string journal;         // serve: coordinator dispatch journal (.ssjl)
   bool fleet_status = false;   // serve: print the fleet health table
+  // --- self-healing fleet ----------------------------------------------------
+  std::uint64_t worker_id = 0;     // worker: stable identity / election tiebreak
+  double election_timeout = -1;    // worker: -1 = scenario fleet.election_timeout
+  int peer_port = -1;              // worker: -1 = scenario fleet.peer_port
+  std::string promoted_csv;        // worker: final CSV if this worker promotes
 };
 
 void usage(std::FILE* out) {
@@ -95,6 +100,15 @@ void usage(std::FILE* out) {
       "worker:\n"
       "  --connect HOST:PORT coordinator address\n"
       "  --scenario FILE     optional: read fleet.secret / fleet timeouts\n"
+      "  --worker-id N       stable identity; lowest id wins an election\n"
+      "  --election-timeout S\n"
+      "                      self-elect a replacement coordinator after the\n"
+      "                      current one has been gone S seconds (0 = off;\n"
+      "                      default: scenario fleet.election_timeout)\n"
+      "  --peer-port P       peer-query listener port (default: scenario\n"
+      "                      fleet.peer_port; 0 = ephemeral)\n"
+      "  --promoted-csv P    if this worker wins an election, write the\n"
+      "                      campaign's final records CSV here\n"
       "fleet (serve / worker / run with --workers):\n"
       "  --secret S          handshake secret (overrides fleet.secret)\n"
       "  --connect-timeout S worker connect retry window, seconds (> 0)\n"
@@ -178,6 +192,24 @@ void usage(std::FILE* out) {
       opt.journal = need_value(i);
     } else if (arg == "--fleet-status") {
       opt.fleet_status = true;
+    } else if (arg == "--worker-id") {
+      opt.worker_id = std::stoull(need_value(i));
+      if (opt.worker_id == 0) {
+        throw InvalidArgument("--worker-id must be nonzero (0 = auto)");
+      }
+    } else if (arg == "--election-timeout") {
+      opt.election_timeout = std::stod(need_value(i));
+      if (opt.election_timeout < 0) {
+        throw InvalidArgument("--election-timeout must be >= 0, got " +
+                              std::to_string(opt.election_timeout));
+      }
+    } else if (arg == "--peer-port") {
+      opt.peer_port = std::stoi(need_value(i));
+      if (opt.peer_port < 0 || opt.peer_port > 65535) {
+        throw InvalidArgument("--peer-port expects a port in [0, 65535]");
+      }
+    } else if (arg == "--promoted-csv") {
+      opt.promoted_csv = need_value(i);
     } else if (!arg.empty() && arg[0] != '-') {
       opt.merge_inputs.push_back(arg);
     } else {
@@ -450,15 +482,30 @@ int run_worker_command(const Options& opt) {
         core::ScenarioSpec::load_file(opt.scenario_file);
     wopts.secret = spec.fleet.secret;
     wopts.connect_timeout_seconds = spec.fleet.connect_timeout;
+    wopts.election_timeout_seconds = spec.fleet.election_timeout;
+    wopts.peer_port = spec.fleet.peer_port;
   }
   if (opt.secret_set) wopts.secret = opt.secret;
   if (opt.connect_timeout > 0) {
     wopts.connect_timeout_seconds = opt.connect_timeout;
   }
+  wopts.worker_id = opt.worker_id;
+  if (opt.election_timeout >= 0) {
+    wopts.election_timeout_seconds = opt.election_timeout;
+  }
+  if (opt.peer_port >= 0) {
+    wopts.peer_port = static_cast<std::uint16_t>(opt.peer_port);
+  }
   net::Worker worker(db, wopts);
   const std::uint64_t produced = worker.run();
   std::fprintf(stderr, "worker done: %llu records\n",
                static_cast<unsigned long long>(produced));
+  if (worker.promoted() && worker.promoted_result().has_value() &&
+      !opt.promoted_csv.empty()) {
+    fi::write_records_csv(opt.promoted_csv, worker.promoted_result()->records);
+    std::fprintf(stderr, "promoted: merged records -> %s\n",
+                 opt.promoted_csv.c_str());
+  }
   return 0;
 }
 

@@ -71,6 +71,15 @@ struct Options {
   std::string journal;  // coordinator dispatch journal (.ssjl)
   std::string chaos;    // worker fault schedule "SEED:COUNT[:FIRST[:SPAN]]"
 
+  // --- self-healing fleet knobs ----------------------------------------------
+  std::uint64_t worker_id = 0;    // stable identity; election tiebreak
+  double election_timeout = 0.0;  // 0 = elections off
+  int peer_port = 0;              // worker peer-query listener (0 = ephemeral)
+  std::string promote_journal;    // where a promoted worker persists its replica
+  std::string promoted_csv;       // where a promoted worker writes the final CSV
+  std::uint64_t epoch = 0;        // election epoch (serve AND connect roles)
+  std::uint64_t die_after_frames = 0;  // coordinator chaos: SIGKILL stand-in
+
   // --- output ----------------------------------------------------------------
   std::string records_csv;
   bool summary = false;
@@ -131,6 +140,27 @@ void usage(std::FILE* out) {
       "                      garble, truncate, delay) at seed-derived op\n"
       "                      indices in [FIRST, FIRST+SPAN) (defaults 1, 64).\n"
       "                      Records must still merge byte-identically\n"
+      "\n"
+      "self-healing fleet:\n"
+      "  --worker-id N       stable worker identity; the lowest id among\n"
+      "                      bundle-holding survivors wins an election\n"
+      "  --election-timeout S\n"
+      "                      with --connect: seconds a vanished coordinator\n"
+      "                      is tolerated before the workers elect a\n"
+      "                      replacement from among themselves (0 = off)\n"
+      "  --peer-port P       worker peer-query listener port (0 = ephemeral)\n"
+      "  --promote-journal P where a promoted worker persists its journal\n"
+      "                      replica (default: temp dir)\n"
+      "  --promoted-csv P    if this worker wins an election, write the\n"
+      "                      campaign's final records CSV here — the elected\n"
+      "                      worker is the fleet's new exit point\n"
+      "  --epoch N           election epoch: --serve binds it into the\n"
+      "                      handshake MAC; --connect refuses coordinators\n"
+      "                      below it (stale-primary guard)\n"
+      "  --die-after-frames N\n"
+      "                      with --serve: deterministic SIGKILL stand-in —\n"
+      "                      drop every connection and the listener after\n"
+      "                      receiving N frames, then exit (0 = never)\n"
       "\n"
       "output:\n"
       "  --records-csv PATH  write per-injection records as CSV\n"
@@ -337,6 +367,30 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
       opt.journal = need_value(i);
     } else if (arg == "--chaos") {
       opt.chaos = need_value(i);
+    } else if (arg == "--worker-id") {
+      opt.worker_id = std::stoull(need_value(i));
+      if (opt.worker_id == 0) {
+        throw InvalidArgument("--worker-id must be nonzero (0 = auto)");
+      }
+    } else if (arg == "--election-timeout") {
+      opt.election_timeout = std::stod(need_value(i));
+      if (opt.election_timeout < 0) {
+        throw InvalidArgument("--election-timeout must be >= 0, got " +
+                              std::to_string(opt.election_timeout));
+      }
+    } else if (arg == "--peer-port") {
+      opt.peer_port = std::stoi(need_value(i));
+      if (opt.peer_port < 0 || opt.peer_port > 65535) {
+        throw InvalidArgument("--peer-port expects a port in [0, 65535]");
+      }
+    } else if (arg == "--promote-journal") {
+      opt.promote_journal = need_value(i);
+    } else if (arg == "--promoted-csv") {
+      opt.promoted_csv = need_value(i);
+    } else if (arg == "--epoch") {
+      opt.epoch = std::stoull(need_value(i));
+    } else if (arg == "--die-after-frames") {
+      opt.die_after_frames = std::stoull(need_value(i));
     } else if (arg == "--shard-dir") {
       opt.shard_dir = need_value(i);
     } else if (arg == "--records-csv") {
@@ -538,12 +592,21 @@ int run_serve_role(const Options& opt) {
   copts.frame_deadline_seconds = opt.frame_deadline;
   copts.secret = opt.secret;
   copts.journal_path = opt.journal;
+  copts.epoch = opt.epoch;
   copts.verbose = true;
+  net::CoordinatorDeathSchedule death(opt.die_after_frames);
+  if (opt.die_after_frames > 0) copts.death = &death;
   net::Coordinator coordinator(opt.spec, db, copts);
   std::fprintf(stderr, "serving campaign on port %u\n",
                static_cast<unsigned>(coordinator.port()));
-  const fi::CampaignResult result = coordinator.run();
-  emit_result(opt, result);
+  try {
+    const fi::CampaignResult result = coordinator.run();
+    emit_result(opt, result);
+  } catch (const net::CoordinatorKilled& e) {
+    // The scheduled death is the point of the exercise (CI chaos variants):
+    // exit quietly and let the fleet heal itself.
+    std::fprintf(stderr, "%s\n", e.what());
+  }
   return 0;
 }
 
@@ -598,6 +661,11 @@ int run_connect_role(const Options& opt) {
   wopts.threads = opt.threads;
   wopts.secret = opt.secret;
   wopts.connect_timeout_seconds = opt.connect_timeout;
+  wopts.worker_id = opt.worker_id;
+  wopts.election_timeout_seconds = opt.election_timeout;
+  wopts.peer_port = static_cast<std::uint16_t>(opt.peer_port);
+  wopts.promote_journal_path = opt.promote_journal;
+  wopts.initial_epoch = opt.epoch;
   wopts.verbose = true;
   net::ChaosSchedule chaos;
   if (!opt.chaos.empty()) {
@@ -608,6 +676,18 @@ int run_connect_role(const Options& opt) {
   const std::uint64_t produced = worker.run();
   std::fprintf(stderr, "worker done: %llu records\n",
                static_cast<unsigned long long>(produced));
+  if (worker.promoted() && worker.promoted_result().has_value()) {
+    // This worker won an election and finished the campaign as its
+    // coordinator — its process holds the merged result the dead primary
+    // would have emitted.
+    if (!opt.promoted_csv.empty()) {
+      fi::write_records_csv(opt.promoted_csv, worker.promoted_result()->records);
+      std::fprintf(stderr, "promoted: merged records -> %s\n",
+                   opt.promoted_csv.c_str());
+    } else {
+      std::fprintf(stderr, "promoted: campaign finished under this worker\n");
+    }
+  }
   return 0;
 }
 
