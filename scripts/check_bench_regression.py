@@ -18,7 +18,16 @@ Cells with no baseline counterpart (the bench matrix grew, or the committed
 baseline predates an engine) are reported as new and not gated: a stale
 baseline must never crash the gate or block a run it cannot judge. A cell
 that disappears from the fresh results, by contrast, still fails — losing
-coverage is a regression.
+coverage is a regression — with one exception: when the fresh file is a
+smoke run ("smoke": true) gated against a full-matrix baseline, the smoke
+matrix is a deliberate subset, so baseline-only cells are reported and
+skipped rather than failed.
+
+Thread scaling is judged core-aware: the fresh file's packed_4t_over_1t
+(packed-engine 4-thread over 1-thread rate, checkpoint on) must be >= 1.0
+when the fresh run had >= 4 hardware_threads, and >= 0.75 otherwise — on a
+1- or 2-core runner wall-clock speedup is physically impossible, so only
+outright contention collapse fails.
 """
 
 import argparse
@@ -66,8 +75,13 @@ def main():
         base = base_cells.get(key)
         fresh = fresh_cells.get(key)
         if fresh is None:
-            failures.append(f"cell {key} missing from fresh results")
-            print(f"{row} {'?':>9} {'---':>9} {'':>6}  << MISSING FRESH CELL")
+            if fresh_data.get("smoke") and not base_data.get("smoke"):
+                print(f"{row} {'?':>9} {'---':>9} {'':>6}  "
+                      "(full-matrix cell, not in smoke run)")
+            else:
+                failures.append(f"cell {key} missing from fresh results")
+                print(f"{row} {'?':>9} {'---':>9} {'':>6}"
+                      "  << MISSING FRESH CELL")
             continue
         fresh_seed = seed_rate(fresh_cells, engine)
         fresh_rel = (fresh["inj_per_sec"] / fresh_seed
@@ -103,6 +117,17 @@ def main():
         failures.append(
             f"bit-parallel speedup regressed: {fresh_ratio:.2f}x vs "
             f"baseline {base_ratio:.2f}x")
+
+    scaling = fresh_data.get("packed_4t_over_1t", 0.0)
+    hw = fresh_data.get("hardware_threads", 0)
+    if scaling > 0.0:
+        floor = 1.0 if hw >= 4 else 0.75
+        print(f"packed 4T/1T scaling: {scaling:.2f}x on {hw} hardware "
+              f"threads (floor {floor:.2f}x)")
+        if scaling < floor:
+            failures.append(
+                f"packed 4-thread throughput {scaling:.2f}x of 1-thread "
+                f"(floor {floor:.2f}x on {hw} hardware threads)")
 
     if failures:
         print("\nFAIL: throughput regression gate "

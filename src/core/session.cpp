@@ -112,6 +112,7 @@ void Session::count(std::string_view stage, std::uint64_t done,
 fi::CampaignConfig Session::exec_config() const {
   fi::CampaignConfig config = spec_.campaign.config;
   if (options_.threads != 0) config.threads = options_.threads;
+  if (options_.lanes != 0) config.lanes = options_.lanes;
   if (options_.progress) {
     // Forward the campaign's per-injection counter as simulate-stage
     // progress (the campaign may invoke this from its worker threads).

@@ -36,6 +36,10 @@ struct SessionOptions {
   /// Simulate-stage workers. 0 (default) inherits the scenario config's
   /// `threads`; < 0 picks hardware threads; > 0 overrides.
   int threads = 0;
+  /// Packed-engine lane width for the simulate stage: 64 or 256 overrides,
+  /// 0 (default) inherits the scenario config's `lanes`. Execution-only —
+  /// records are byte-identical at every width (fi::CampaignConfig::lanes).
+  int lanes = 0;
   /// Progress hook for all five stages. The simulate stage forwards the
   /// campaign's per-injection counter; hooks may be invoked from campaign
   /// worker threads (thread-safe callee required).

@@ -8,6 +8,7 @@
 #include <future>
 #include <numeric>
 #include <optional>
+#include <type_traits>
 
 #include "fi/campaign_exec.h"
 #include "netlist/stats.h"
@@ -241,24 +242,41 @@ void execute_injections(const soc::SocModel& model,
   const int total_cycles = prep.total_cycles;
   const sim::TestbenchConfig& tb_config = prep.tb_config;
 
+  if (packed_mode && config.lanes != 64 && config.lanes != 256) {
+    throw InvalidArgument("campaign lanes must be 64 or 256");
+  }
+
   // Fan-out: workers claim work items (positions in `owned`, or word batches
   // in bit-parallel mode) from a shared counter; each owns a private engine
-  // replica and writes only its own record slots, so the only shared mutable
-  // state is the counter. Outcomes depend on the global index alone (RNG
-  // stream, checkpoint choice, golden comparison), never on which worker —
-  // thread or process — ran them or in what order: that is the determinism
-  // guarantee the distributed campaign is built on.
-  std::atomic<std::size_t> next_index{0};
-  std::atomic<std::uint64_t> progress_done{0};
+  // replica, a reusable testbench, and a private record arena, so no two
+  // threads ever touch the same cache line of results. Outcomes depend on
+  // the global index alone (RNG stream, checkpoint choice, golden
+  // comparison), never on which worker — thread or process — ran them or in
+  // what order: that is the determinism guarantee the distributed campaign
+  // is built on. Arenas are merged by global index after the join, which is
+  // deterministic because every index is produced exactly once.
+  using RecordArena = std::vector<std::pair<std::size_t, InjectionRecord>>;
+  // The two counters live on separate cache lines: the claim counter is hit
+  // on every work item by every worker, and the progress counter next to it
+  // turned each claim into a false-sharing round trip.
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> v{0};
+  };
+  PaddedCounter next_index;
+  PaddedCounter progress_done;
   const auto report_progress = [&](std::uint64_t completed) {
     if (config.progress) {
-      config.progress(progress_done.fetch_add(completed) + completed,
+      config.progress(progress_done.v.fetch_add(completed) + completed,
                       owned.size());
     }
   };
-  const auto run_shard = [&]() {
+  const auto run_shard = [&](RecordArena& out) {
     const auto engine = sim::make_engine(config.engine, model.netlist);
-    for (std::size_t oi; (oi = next_index.fetch_add(1)) < owned.size();) {
+    // One testbench per worker, restarted per injection: constructing it per
+    // run copied the monitored-net list and the golden trace prefix every
+    // time, which dominated the per-injection cost at scale.
+    sim::Testbench tb(*engine, tb_config);
+    for (std::size_t oi; (oi = next_index.v.fetch_add(1)) < owned.size();) {
       const std::size_t i = owned[oi];
       const PlannedInjection& pi = plan[i];
       const InjectionParams inj =
@@ -282,11 +300,11 @@ void execute_injections(const soc::SocModel& model,
       } else {
         engine->reset_state();
       }
-      sim::Testbench tb(*engine, tb_config);
+      tb.restart();
       if (checkpoint != nullptr) {
-        tb.resume_at(static_cast<std::uint64_t>(checkpoint->cycle),
-                     golden_trace.prefix(
-                         static_cast<std::size_t>(checkpoint->cycle)));
+        // Prefix-free resume: the cycles a checkpoint covers are the golden
+        // trace verbatim, so there is nothing to copy or re-compare.
+        tb.resume_at(static_cast<std::uint64_t>(checkpoint->cycle));
       }
       // Always stream-compare; a negative confirmation window means "track
       // the divergence but simulate to the end" (the full-fidelity mode).
@@ -324,29 +342,32 @@ void execute_injections(const soc::SocModel& model,
       }
       const std::optional<std::size_t> mismatch = tb.first_divergence();
 
-      InjectionRecord& record = records[i];
+      InjectionRecord record;
       record.event = event;
       record.cluster = pi.cluster;
       record.module_class = model.netlist.cell_class(pi.cell);
       record.soft_error = mismatch.has_value();
       record.first_mismatch_cycle = mismatch.value_or(0);
+      out.emplace_back(i, record);
       report_progress(1);
     }
   };
 
   // --- bit-parallel word batches ---------------------------------------------
-  // The packed engine simulates slot 0 golden + up to 63 faulty runs per
-  // machine word. Injection parameters depend only on (seed, index), so the
-  // owned subset is materialised up front and grouped deterministically into
-  // word batches: injections sorted by strike time and chunked 63 at a time,
+  // The packed engine simulates slot 0 golden + up to 64*W-1 faulty runs per
+  // batch (63 at the default 64-lane width, 255 at 256 lanes). Injection
+  // parameters depend only on (seed, index), so the owned subset is
+  // materialised up front and grouped deterministically into word batches:
+  // injections sorted by strike time and chunked one batch-width at a time,
   // so each batch covers a contiguous (overlapping) slice of the injection
   // window. Each batch restores the golden checkpoint of its earliest strike
   // once, applies every slot's fault on its own lane, and retires finished
   // slots (diverged, or reconverged with the golden lane) from a live-slot
   // mask; the batch ends when the mask drains. Records are byte-identical to
   // the scalar levelized engine's — regardless of how the owned subset is
-  // batched — because every packed operator is lane-wise identical to its
-  // scalar counterpart.
+  // batched, and at every lane width — because every packed operator is
+  // lane-wise identical to its scalar counterpart and slot trajectories are
+  // lane-independent.
   std::vector<InjectionParams> packed;
   struct WordBatch {
     std::size_t rung = 0;  // 1 + ladder index; 0 = run from power-on reset
@@ -364,10 +385,9 @@ void execute_injections(const soc::SocModel& model,
                      [&](std::size_t a, std::size_t b) {
                        return packed[a].event.time_ps < packed[b].event.time_ps;
                      });
-    constexpr std::size_t kFaultSlots =
-        static_cast<std::size_t>(sim::BitParallelSimulator::kFaultSlots);
-    for (std::size_t off = 0; off < order.size(); off += kFaultSlots) {
-      const std::size_t end = std::min(off + kFaultSlots, order.size());
+    const auto fault_slots = static_cast<std::size_t>(config.lanes - 1);
+    for (std::size_t off = 0; off < order.size(); off += fault_slots) {
+      const std::size_t end = std::min(off + fault_slots, order.size());
       WordBatch batch;
       batch.idx.assign(order.begin() + static_cast<std::ptrdiff_t>(off),
                        order.begin() + static_cast<std::ptrdiff_t>(end));
@@ -385,11 +405,17 @@ void execute_injections(const soc::SocModel& model,
     }
   }
 
-  std::atomic<std::size_t> next_batch{0};
-  const auto run_batches = [&]() {
-    sim::BitParallelSimulator engine(model.netlist);
+  PaddedCounter next_batch;
+  // Generic over the packed simulator type: SimT is the 64-lane word engine
+  // or the 256-lane AVX2 engine depending on config.lanes. Lane masks and
+  // plane vectors widen with it; the algorithm is lane-count agnostic.
+  const auto run_batches = [&]<typename SimT>(std::type_identity<SimT>,
+                                              RecordArena& out) {
+    using Mask = typename SimT::Mask;
+    constexpr int kWords = SimT::kWords;
+    SimT engine(model.netlist);
     // Scratch scalar engine: receives the (levelized) checkpoint snapshot,
-    // which adopt_golden then broadcasts into all 64 packed lanes.
+    // which adopt_golden then broadcasts into all packed lanes.
     const auto scratch = sim::make_engine(golden_kind, model.netlist);
     // One scheduled per-slot fault action; merged by time below (stable sort
     // keeps a SET's force strictly before its same-time release).
@@ -404,7 +430,7 @@ void execute_injections(const soc::SocModel& model,
       } kind;
     };
     std::vector<Action> actions;
-    for (std::size_t b; (b = next_batch.fetch_add(1)) < batches.size();) {
+    for (std::size_t b; (b = next_batch.v.fetch_add(1)) < batches.size();) {
       const WordBatch& batch = batches[b];
       const int nslots = static_cast<int>(batch.idx.size());
       int cycle = 0;
@@ -477,15 +503,12 @@ void execute_injections(const soc::SocModel& model,
         }
       };
 
-      const std::uint64_t all_faulty =
-          (nslots >= 63 ? ~std::uint64_t{0}
-                        : (std::uint64_t{1} << (nslots + 1)) - 1) &
-          ~std::uint64_t{1};
-      std::uint64_t live = all_faulty;
-      std::uint64_t diverged = 0;
-      std::array<std::size_t, 64> mismatch_cycle{};
+      Mask live = Mask::first_lanes(nslots + 1);
+      live.reset(0);  // lane 0 is golden
+      Mask diverged;
+      std::array<std::size_t, SimT::kSlots> mismatch_cycle{};
       std::size_t ai = 0;
-      for (; cycle < total_cycles && live != 0; ++cycle) {
+      for (; cycle < total_cycles && live.any(); ++cycle) {
         if (batch.rung == 0 && tb_config.rstn.valid()) {
           if (cycle == 0) engine.set_input(tb_config.rstn, Logic::L0);
           if (cycle == tb_config.reset_cycles) {
@@ -502,19 +525,21 @@ void execute_injections(const soc::SocModel& model,
         // Sample just before the capturing edge and stream-compare every
         // live slot against the golden trace row.
         const auto& gold = golden_trace.cycle(static_cast<std::size_t>(cycle));
-        std::uint64_t diff = 0;
+        Mask diff;
         for (std::size_t j = 0; j < tb_config.monitored.size(); ++j) {
-          const netlist::PackedLogic p =
+          const typename SimT::Planes p =
               engine.packed_value(tb_config.monitored[j]);
-          const netlist::PackedLogic g = netlist::packed_splat(gold[j]);
-          diff |= (p.val ^ g.val) | (p.unk ^ g.unk);
+          const auto g = netlist::wide_splat<kWords>(gold[j]);
+          for (int k = 0; k < kWords; ++k) {
+            diff.w[k] |= (p.val[k] ^ g.val[k]) | (p.unk[k] ^ g.unk[k]);
+          }
         }
-        std::uint64_t newly = diff & live & ~diverged;
+        const Mask newly = diff & live & ~diverged;
         diverged |= newly;
-        for (; newly != 0; newly &= newly - 1) {
-          mismatch_cycle[static_cast<std::size_t>(std::countr_zero(newly))] =
+        netlist::for_each_set_lane(newly, [&](int lane) {
+          mismatch_cycle[static_cast<std::size_t>(lane)] =
               static_cast<std::size_t>(cycle);
-        }
+        });
         // A diverged slot's outcome is fully decided; early exit retires it
         // immediately (the scalar confirmation window never changes records).
         if (config.early_exit) live &= ~diverged;
@@ -524,35 +549,45 @@ void execute_injections(const soc::SocModel& model,
         }
         engine.advance_to(cycle_end);
         engine.set_input(tb_config.clk, Logic::L0);
-        if (config.masked_exit && live != 0) {
+        if (config.masked_exit && live.any()) {
           // Slots whose fault has ended and whose lane state provably equals
           // the golden lane have reconverged: their futures coincide with the
           // golden run, so they retire (healed SEUs, masked SETs).
-          std::uint64_t cand = 0;
-          for (std::uint64_t rest = live; rest != 0; rest &= rest - 1) {
-            const int s = std::countr_zero(rest);
+          Mask cand;
+          netlist::for_each_set_lane(live, [&](int s) {
             if (cycle_end >
                 packed[batch.idx[static_cast<std::size_t>(s - 1)]].fault_end_ps) {
-              cand |= std::uint64_t{1} << s;
+              cand.set(s);
             }
-          }
-          if (cand != 0) live &= ~(cand & ~engine.state_diff_from_golden());
+          });
+          if (cand.any()) live &= ~(cand & ~engine.state_diff_from_golden());
         }
       }
 
       for (int s = 0; s < nslots; ++s) {
         const std::size_t i = batch.idx[static_cast<std::size_t>(s)];
         const int lane = s + 1;
-        InjectionRecord& record = records[i];
+        InjectionRecord record;
         record.event = packed[i].event;
         record.cluster = plan[i].cluster;
         record.module_class = model.netlist.cell_class(plan[i].cell);
-        record.soft_error = ((diverged >> lane) & 1) != 0;
+        record.soft_error = diverged.test(lane);
         record.first_mismatch_cycle =
             record.soft_error ? mismatch_cycle[static_cast<std::size_t>(lane)]
                               : 0;
+        out.emplace_back(i, record);
       }
       report_progress(static_cast<std::uint64_t>(nslots));
+    }
+  };
+
+  const auto run_worker = [&](RecordArena& out) {
+    if (!packed_mode) {
+      run_shard(out);
+    } else if (config.lanes == 256) {
+      run_batches(std::type_identity<sim::BitParallelSimulator256>{}, out);
+    } else {
+      run_batches(std::type_identity<sim::BitParallelSimulator>{}, out);
     }
   };
 
@@ -563,24 +598,28 @@ void execute_injections(const soc::SocModel& model,
   const int workers = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(requested_threads),
       std::max<std::size_t>(work_items, 1)));
+  std::vector<RecordArena> arenas(static_cast<std::size_t>(workers));
+  for (RecordArena& a : arenas) {
+    a.reserve(owned.size() / static_cast<std::size_t>(workers) + 1);
+  }
   if (workers <= 1) {
-    if (packed_mode) {
-      run_batches();
-    } else {
-      run_shard();
-    }
+    run_worker(arenas[0]);
   } else {
     util::ThreadPool pool(workers);
     std::vector<std::future<void>> shards;
     shards.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
-      if (packed_mode) {
-        shards.push_back(pool.submit(run_batches));
-      } else {
-        shards.push_back(pool.submit(run_shard));
-      }
+      RecordArena& arena = arenas[static_cast<std::size_t>(w)];
+      shards.push_back(pool.submit([&run_worker, &arena] { run_worker(arena); }));
     }
     for (auto& shard : shards) shard.get();
+  }
+  // Deterministic merge: each global index was produced by exactly one
+  // worker, so scattering the arenas into the shared vector here yields the
+  // same bytes as any single-threaded run — and no worker ever wrote to the
+  // shared vector while others were running.
+  for (const RecordArena& arena : arenas) {
+    for (const auto& [i, record] : arena) records[i] = record;
   }
 }
 

@@ -35,6 +35,12 @@ struct CampaignConfig {
   // checkpoint replays the exact reset + warm-up prefix, and early exit only
   // truncates runs whose outcome is already decided.
   int threads = 1;             // campaign workers; <= 0 picks hardware threads
+  /// Lane width of the packed engine's word batches: 64 (one machine word
+  /// per plane) or 256 (four words, AVX2-accelerated where the CPU has it;
+  /// one golden lane + up to 255 faulty runs per batch). Ignored by the
+  /// scalar engines. Execution-only: records are byte-identical at every
+  /// width, so it is excluded from campaign_config_digest like `threads`.
+  int lanes = 64;
   bool use_checkpoint = true;  // restore golden checkpoints instead of re-running
   bool early_exit = true;      // stop diverged runs after a confirmation window
   int early_exit_confirm_cycles = 8;

@@ -494,6 +494,7 @@ Worker::SessionEnd Worker::run_session(SessionState& state, std::string& host,
     soc::SocModel model = build_model(campaign.spec);
     fi::CampaignConfig config = campaign.spec.config;
     config.threads = options_.threads;
+    config.lanes = options_.lanes;
     const std::uint64_t digest = fi::campaign_config_digest(model, config);
     if (digest != campaign.config_digest) {
       const ErrorMsg err{"campaign configuration digest mismatch"};

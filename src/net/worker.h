@@ -19,6 +19,7 @@ struct WorkerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
   int threads = 1;  // execution threads inside this worker process
+  int lanes = 64;   // packed-engine lane width (64 | 256); execution-only
   /// Retry window for each connect (covers the worker-starts-before-
   /// coordinator race of a parallel launch, and a coordinator restart).
   double connect_timeout_seconds = 10.0;

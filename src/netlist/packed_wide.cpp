@@ -1,0 +1,88 @@
+#include "netlist/packed_wide.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace ssresf::netlist {
+
+template <int W>
+PackedVecT<W> eval_cell_wide(CellKind kind, std::span<const PackedVecT<W>> in) {
+  switch (kind) {
+    case CellKind::kConst0:
+      return wide_splat<W>(Logic::L0);
+    case CellKind::kConst1:
+      return wide_splat<W>(Logic::L1);
+    case CellKind::kBuf:
+      return wide_not(wide_not(in[0]));
+    case CellKind::kInv:
+      return wide_not(in[0]);
+    case CellKind::kAnd2:
+      return wide_and(in[0], in[1]);
+    case CellKind::kAnd3:
+      return wide_and(wide_and(in[0], in[1]), in[2]);
+    case CellKind::kAnd4:
+      return wide_and(wide_and(in[0], in[1]), wide_and(in[2], in[3]));
+    case CellKind::kNand2:
+      return wide_not(wide_and(in[0], in[1]));
+    case CellKind::kNand3:
+      return wide_not(wide_and(wide_and(in[0], in[1]), in[2]));
+    case CellKind::kNand4:
+      return wide_not(wide_and(wide_and(in[0], in[1]), wide_and(in[2], in[3])));
+    case CellKind::kOr2:
+      return wide_or(in[0], in[1]);
+    case CellKind::kOr3:
+      return wide_or(wide_or(in[0], in[1]), in[2]);
+    case CellKind::kOr4:
+      return wide_or(wide_or(in[0], in[1]), wide_or(in[2], in[3]));
+    case CellKind::kNor2:
+      return wide_not(wide_or(in[0], in[1]));
+    case CellKind::kNor3:
+      return wide_not(wide_or(wide_or(in[0], in[1]), in[2]));
+    case CellKind::kNor4:
+      return wide_not(wide_or(wide_or(in[0], in[1]), wide_or(in[2], in[3])));
+    case CellKind::kXor2:
+      return wide_xor(in[0], in[1]);
+    case CellKind::kXnor2:
+      return wide_not(wide_xor(in[0], in[1]));
+    case CellKind::kMux2:
+      return wide_mux(in[0], in[1], in[2]);
+    case CellKind::kAoi21:
+      return wide_not(wide_or(wide_and(in[0], in[1]), in[2]));
+    case CellKind::kOai21:
+      return wide_not(wide_and(wide_or(in[0], in[1]), in[2]));
+    case CellKind::kDff:
+    case CellKind::kDffR:
+    case CellKind::kDffE:
+    case CellKind::kMemory:
+      throw InvalidArgument("eval_cell_wide called on sequential cell");
+  }
+  throw InvalidArgument("eval_cell_wide: unknown cell kind");
+}
+
+template PackedVecT<4> eval_cell_wide<4>(CellKind,
+                                         std::span<const PackedVecT<4>>);
+
+namespace {
+
+PackedVecT<4> eval_w4_generic(CellKind kind, const PackedVecT<4>* in,
+                              std::size_t n) {
+  return eval_cell_wide<4>(kind, std::span<const PackedVecT<4>>(in, n));
+}
+
+}  // namespace
+
+EvalCellW4Fn eval_cell_w4_generic() { return &eval_w4_generic; }
+
+EvalCellW4Fn eval_cell_w4_dispatch() {
+  static const EvalCellW4Fn chosen = [] {
+    if (std::getenv("SSRESF_NO_AVX2") != nullptr) return eval_cell_w4_generic();
+    if (const EvalCellW4Fn avx2 = eval_cell_w4_avx2(); avx2 != nullptr) {
+      return avx2;
+    }
+    return eval_cell_w4_generic();
+  }();
+  return chosen;
+}
+
+}  // namespace ssresf::netlist

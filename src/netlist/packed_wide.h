@@ -1,0 +1,256 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "netlist/cell_library.h"
+#include "netlist/logic.h"
+
+namespace ssresf::netlist {
+
+// --- SIMD-wide packed logic ---------------------------------------------------
+//
+// Generalizes PackedLogic (64 lanes in two 64-bit planes) to W machine words
+// per plane, i.e. 64*W independent 4-valued lanes. W=1 is the classic
+// bit-parallel word; W=4 is the 256-lane AVX2-friendly shape (one golden lane
+// plus up to 255 faulty runs per batch). Every wide operator is defined
+// word-wise in terms of the exhaustively-tested PackedLogic operator, so
+// lane-wise agreement with scalar logic_* is inherited, not re-proven.
+//
+// The layout is struct-of-planes: all W value words, then all W unknown
+// words. A PackedVecT<4> is therefore two contiguous 32-byte blocks, which is
+// exactly what one AVX2 register pair wants (see packed_wide_avx2.cpp).
+
+/// Mask over 64*W lanes, one bit per lane. Word k covers lanes [64k, 64k+64).
+template <int W>
+struct LaneMaskT {
+  static_assert(W >= 1);
+  std::array<std::uint64_t, W> w{};
+
+  [[nodiscard]] constexpr bool operator==(const LaneMaskT&) const = default;
+
+  [[nodiscard]] constexpr bool any() const {
+    std::uint64_t acc = 0;
+    for (int k = 0; k < W; ++k) acc |= w[k];
+    return acc != 0;
+  }
+  [[nodiscard]] constexpr bool none() const { return !any(); }
+
+  [[nodiscard]] constexpr int count() const {
+    int n = 0;
+    for (int k = 0; k < W; ++k) n += std::popcount(w[k]);
+    return n;
+  }
+
+  [[nodiscard]] constexpr bool test(int lane) const {
+    return (w[lane >> 6] >> (lane & 63)) & 1;
+  }
+  constexpr void set(int lane) { w[lane >> 6] |= std::uint64_t{1} << (lane & 63); }
+  constexpr void reset(int lane) {
+    w[lane >> 6] &= ~(std::uint64_t{1} << (lane & 63));
+  }
+
+  /// Index of the lowest set lane; 64*W when empty.
+  [[nodiscard]] constexpr int lowest() const {
+    for (int k = 0; k < W; ++k) {
+      if (w[k] != 0) return k * 64 + std::countr_zero(w[k]);
+    }
+    return W * 64;
+  }
+
+  constexpr LaneMaskT& operator&=(const LaneMaskT& o) {
+    for (int k = 0; k < W; ++k) w[k] &= o.w[k];
+    return *this;
+  }
+  constexpr LaneMaskT& operator|=(const LaneMaskT& o) {
+    for (int k = 0; k < W; ++k) w[k] |= o.w[k];
+    return *this;
+  }
+  [[nodiscard]] friend constexpr LaneMaskT operator&(LaneMaskT a,
+                                                     const LaneMaskT& b) {
+    return a &= b;
+  }
+  [[nodiscard]] friend constexpr LaneMaskT operator|(LaneMaskT a,
+                                                     const LaneMaskT& b) {
+    return a |= b;
+  }
+  [[nodiscard]] friend constexpr LaneMaskT operator~(LaneMaskT a) {
+    for (int k = 0; k < W; ++k) a.w[k] = ~a.w[k];
+    return a;
+  }
+
+  /// Lanes [0, n) set, the rest clear.
+  [[nodiscard]] static constexpr LaneMaskT first_lanes(int n) {
+    LaneMaskT m;
+    for (int k = 0; k < W; ++k) {
+      const int lo = k * 64;
+      if (n >= lo + 64) {
+        m.w[k] = ~std::uint64_t{0};
+      } else if (n > lo) {
+        m.w[k] = (std::uint64_t{1} << (n - lo)) - 1;
+      }
+    }
+    return m;
+  }
+};
+
+/// Invoke fn(lane) for every set lane, in ascending lane order.
+template <int W, typename Fn>
+constexpr void for_each_set_lane(const LaneMaskT<W>& m, Fn&& fn) {
+  for (int k = 0; k < W; ++k) {
+    std::uint64_t rest = m.w[k];
+    while (rest != 0) {
+      fn(k * 64 + std::countr_zero(rest));
+      rest &= rest - 1;
+    }
+  }
+}
+
+/// 64*W four-valued lanes in 2*W bit-plane words (see PackedLogic encoding).
+template <int W>
+struct PackedVecT {
+  static_assert(W >= 1);
+  static constexpr int kLanes = 64 * W;
+
+  std::array<std::uint64_t, W> val{};
+  std::array<std::uint64_t, W> unk{};
+
+  [[nodiscard]] constexpr bool operator==(const PackedVecT&) const = default;
+
+  [[nodiscard]] constexpr PackedLogic word(int k) const {
+    return {val[k], unk[k]};
+  }
+  constexpr void set_word(int k, PackedLogic p) {
+    val[k] = p.val;
+    unk[k] = p.unk;
+  }
+};
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_splat(Logic v) {
+  const PackedLogic p = packed_splat(v);
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) o.set_word(k, p);
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr Logic wide_get(const PackedVecT<W>& p, int lane) {
+  return packed_get(p.word(lane >> 6), lane & 63);
+}
+
+template <int W>
+constexpr void wide_set(PackedVecT<W>& p, int lane, Logic v) {
+  PackedLogic word = p.word(lane >> 6);
+  packed_set(word, lane & 63, v);
+  p.set_word(lane >> 6, word);
+}
+
+/// Lanes in `mask` take `b`'s value, the rest keep `a`'s.
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_select(const LaneMaskT<W>& mask,
+                                                  const PackedVecT<W>& b,
+                                                  const PackedVecT<W>& a) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) {
+    o.set_word(k, packed_select(mask.w[k], b.word(k), a.word(k)));
+  }
+  return o;
+}
+
+/// Mask of lanes where the two vectors hold the same 4-valued symbol.
+template <int W>
+[[nodiscard]] constexpr LaneMaskT<W> wide_eq_mask(const PackedVecT<W>& a,
+                                                  const PackedVecT<W>& b) {
+  LaneMaskT<W> m;
+  for (int k = 0; k < W; ++k) m.w[k] = packed_eq_mask(a.word(k), b.word(k));
+  return m;
+}
+
+/// Z reads as X at a gate input (clears the value bit of unknown lanes).
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_as_input(const PackedVecT<W>& a) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) o.set_word(k, packed_as_input(a.word(k)));
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_not(const PackedVecT<W>& a) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) o.set_word(k, packed_not(a.word(k)));
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_and(const PackedVecT<W>& a,
+                                               const PackedVecT<W>& b) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) o.set_word(k, packed_and(a.word(k), b.word(k)));
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_or(const PackedVecT<W>& a,
+                                              const PackedVecT<W>& b) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) o.set_word(k, packed_or(a.word(k), b.word(k)));
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_xor(const PackedVecT<W>& a,
+                                               const PackedVecT<W>& b) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) o.set_word(k, packed_xor(a.word(k), b.word(k)));
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_mux(const PackedVecT<W>& sel,
+                                               const PackedVecT<W>& a0,
+                                               const PackedVecT<W>& a1) {
+  PackedVecT<W> o;
+  for (int k = 0; k < W; ++k) {
+    o.set_word(k, packed_mux(sel.word(k), a0.word(k), a1.word(k)));
+  }
+  return o;
+}
+
+template <int W>
+[[nodiscard]] constexpr PackedVecT<W> wide_flip(const PackedVecT<W>& a) {
+  return wide_not(a);
+}
+
+/// Wide variant of eval_cell_packed: evaluates all 64*W lanes at once.
+/// Lane-wise identical to eval_cell (asserted in tests/test_bitparallel.cpp).
+template <int W>
+[[nodiscard]] PackedVecT<W> eval_cell_wide(CellKind kind,
+                                           std::span<const PackedVecT<W>> in);
+
+// --- runtime-dispatched W=4 kernel -------------------------------------------
+//
+// The 256-lane engine evaluates every combinational cell through one of these
+// kernels. The generic kernel is plain C++ (the W-word loops above, which the
+// compiler auto-vectorizes as it sees fit); the AVX2 kernel in
+// packed_wide_avx2.cpp handles each 4-word plane as one __m256i and is
+// compiled with target("avx2") function attributes only — no TU-wide ISA
+// flags, so no baseline code can be contaminated by AVX2 emission.
+
+using EvalCellW4Fn = PackedVecT<4> (*)(CellKind kind, const PackedVecT<4>* in,
+                                       std::size_t n);
+
+/// Portable kernel; always available.
+[[nodiscard]] EvalCellW4Fn eval_cell_w4_generic();
+
+/// AVX2 kernel, or nullptr when the CPU (or target) lacks AVX2.
+[[nodiscard]] EvalCellW4Fn eval_cell_w4_avx2();
+
+/// The kernel the wide engine should use: AVX2 when the CPU supports it and
+/// SSRESF_NO_AVX2 is not set in the environment, else the generic kernel.
+/// Resolved once per process.
+[[nodiscard]] EvalCellW4Fn eval_cell_w4_dispatch();
+
+}  // namespace ssresf::netlist

@@ -1,0 +1,175 @@
+// AVX2 kernel for the 256-lane packed engine. Compiled WITHOUT TU-wide ISA
+// flags: every function that touches intrinsics carries
+// __attribute__((target("avx2"))), so the object file stays safe to link into
+// binaries that must also run on pre-AVX2 hosts, and no inline/COMDAT symbol
+// here can be merged with a baseline-compiled emission of the same function
+// (everything with the attribute is file-local). Selection happens at runtime
+// via __builtin_cpu_supports in eval_cell_w4_avx2().
+
+#include "netlist/packed_wide.h"
+
+#include "util/error.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SSRESF_HAVE_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+namespace ssresf::netlist {
+
+#ifdef SSRESF_HAVE_AVX2_KERNEL
+
+namespace {
+
+#define SSRESF_AVX2 __attribute__((target("avx2")))
+
+// One 256-lane packed word: the 4-word value plane and the 4-word unknown
+// plane of a PackedVecT<4>, each in a single ymm register.
+struct V256 {
+  __m256i val;
+  __m256i unk;
+};
+
+SSRESF_AVX2 inline V256 load_v(const PackedVecT<4>& p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p.val.data())),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p.unk.data()))};
+}
+
+SSRESF_AVX2 inline PackedVecT<4> store_v(V256 v) {
+  PackedVecT<4> p;
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p.val.data()), v.val);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p.unk.data()), v.unk);
+  return p;
+}
+
+SSRESF_AVX2 inline __m256i ones() { return _mm256_set1_epi64x(-1); }
+
+// The formulas below are the packed_* operators from netlist/logic.h verbatim,
+// with ~a & b spelled as _mm256_andnot_si256(a, b).
+
+SSRESF_AVX2 inline V256 not_v(V256 a) {
+  const __m256i av = _mm256_andnot_si256(a.unk, a.val);
+  const __m256i nunk = _mm256_xor_si256(a.unk, ones());
+  return {_mm256_andnot_si256(av, nunk), a.unk};
+}
+
+SSRESF_AVX2 inline V256 and_v(V256 a, V256 b) {
+  const __m256i av = _mm256_andnot_si256(a.unk, a.val);
+  const __m256i bv = _mm256_andnot_si256(b.unk, b.val);
+  const __m256i known0 =
+      _mm256_or_si256(_mm256_andnot_si256(_mm256_or_si256(a.val, a.unk), ones()),
+                      _mm256_andnot_si256(_mm256_or_si256(b.val, b.unk), ones()));
+  return {_mm256_and_si256(av, bv),
+          _mm256_andnot_si256(known0, _mm256_or_si256(a.unk, b.unk))};
+}
+
+SSRESF_AVX2 inline V256 or_v(V256 a, V256 b) {
+  const __m256i av = _mm256_andnot_si256(a.unk, a.val);
+  const __m256i bv = _mm256_andnot_si256(b.unk, b.val);
+  const __m256i known1 = _mm256_or_si256(av, bv);
+  return {known1, _mm256_andnot_si256(known1, _mm256_or_si256(a.unk, b.unk))};
+}
+
+SSRESF_AVX2 inline V256 xor_v(V256 a, V256 b) {
+  const __m256i av = _mm256_andnot_si256(a.unk, a.val);
+  const __m256i bv = _mm256_andnot_si256(b.unk, b.val);
+  const __m256i unk = _mm256_or_si256(a.unk, b.unk);
+  return {_mm256_andnot_si256(unk, _mm256_xor_si256(av, bv)), unk};
+}
+
+SSRESF_AVX2 inline V256 mux_v(V256 sel, V256 a0, V256 a1) {
+  const __m256i s1 = _mm256_andnot_si256(sel.unk, sel.val);
+  const __m256i s0 =
+      _mm256_andnot_si256(_mm256_or_si256(sel.val, sel.unk), ones());
+  const __m256i a0v = _mm256_andnot_si256(a0.unk, a0.val);
+  const __m256i a1v = _mm256_andnot_si256(a1.unk, a1.val);
+  const __m256i agree = _mm256_andnot_si256(
+      _mm256_or_si256(_mm256_or_si256(a0.unk, a1.unk), _mm256_xor_si256(a0v, a1v)),
+      ones());
+  const __m256i val = _mm256_or_si256(
+      _mm256_or_si256(_mm256_and_si256(s0, a0v), _mm256_and_si256(s1, a1v)),
+      _mm256_and_si256(_mm256_and_si256(sel.unk, agree), a0v));
+  const __m256i unk = _mm256_or_si256(
+      _mm256_or_si256(_mm256_and_si256(s0, a0.unk), _mm256_and_si256(s1, a1.unk)),
+      _mm256_andnot_si256(agree, sel.unk));
+  return {val, unk};
+}
+
+SSRESF_AVX2 PackedVecT<4> eval_w4_avx2(CellKind kind, const PackedVecT<4>* in,
+                                       std::size_t n) {
+  (void)n;
+  switch (kind) {
+    case CellKind::kConst0:
+      return store_v({_mm256_setzero_si256(), _mm256_setzero_si256()});
+    case CellKind::kConst1:
+      return store_v({ones(), _mm256_setzero_si256()});
+    case CellKind::kBuf:
+      return store_v(not_v(not_v(load_v(in[0]))));
+    case CellKind::kInv:
+      return store_v(not_v(load_v(in[0])));
+    case CellKind::kAnd2:
+      return store_v(and_v(load_v(in[0]), load_v(in[1])));
+    case CellKind::kAnd3:
+      return store_v(and_v(and_v(load_v(in[0]), load_v(in[1])), load_v(in[2])));
+    case CellKind::kAnd4:
+      return store_v(and_v(and_v(load_v(in[0]), load_v(in[1])),
+                           and_v(load_v(in[2]), load_v(in[3]))));
+    case CellKind::kNand2:
+      return store_v(not_v(and_v(load_v(in[0]), load_v(in[1]))));
+    case CellKind::kNand3:
+      return store_v(
+          not_v(and_v(and_v(load_v(in[0]), load_v(in[1])), load_v(in[2]))));
+    case CellKind::kNand4:
+      return store_v(not_v(and_v(and_v(load_v(in[0]), load_v(in[1])),
+                                 and_v(load_v(in[2]), load_v(in[3])))));
+    case CellKind::kOr2:
+      return store_v(or_v(load_v(in[0]), load_v(in[1])));
+    case CellKind::kOr3:
+      return store_v(or_v(or_v(load_v(in[0]), load_v(in[1])), load_v(in[2])));
+    case CellKind::kOr4:
+      return store_v(or_v(or_v(load_v(in[0]), load_v(in[1])),
+                          or_v(load_v(in[2]), load_v(in[3]))));
+    case CellKind::kNor2:
+      return store_v(not_v(or_v(load_v(in[0]), load_v(in[1]))));
+    case CellKind::kNor3:
+      return store_v(
+          not_v(or_v(or_v(load_v(in[0]), load_v(in[1])), load_v(in[2]))));
+    case CellKind::kNor4:
+      return store_v(not_v(or_v(or_v(load_v(in[0]), load_v(in[1])),
+                                or_v(load_v(in[2]), load_v(in[3])))));
+    case CellKind::kXor2:
+      return store_v(xor_v(load_v(in[0]), load_v(in[1])));
+    case CellKind::kXnor2:
+      return store_v(not_v(xor_v(load_v(in[0]), load_v(in[1]))));
+    case CellKind::kMux2:
+      return store_v(mux_v(load_v(in[0]), load_v(in[1]), load_v(in[2])));
+    case CellKind::kAoi21:
+      return store_v(
+          not_v(or_v(and_v(load_v(in[0]), load_v(in[1])), load_v(in[2]))));
+    case CellKind::kOai21:
+      return store_v(
+          not_v(and_v(or_v(load_v(in[0]), load_v(in[1])), load_v(in[2]))));
+    case CellKind::kDff:
+    case CellKind::kDffR:
+    case CellKind::kDffE:
+    case CellKind::kMemory:
+      throw InvalidArgument("eval_cell_w4 called on sequential cell");
+  }
+  throw InvalidArgument("eval_cell_w4: unknown cell kind");
+}
+
+#undef SSRESF_AVX2
+
+}  // namespace
+
+EvalCellW4Fn eval_cell_w4_avx2() {
+  return __builtin_cpu_supports("avx2") ? &eval_w4_avx2 : nullptr;
+}
+
+#else  // !SSRESF_HAVE_AVX2_KERNEL
+
+EvalCellW4Fn eval_cell_w4_avx2() { return nullptr; }
+
+#endif
+
+}  // namespace ssresf::netlist

@@ -2,37 +2,55 @@
 
 #include <vector>
 
+#include "netlist/packed_wide.h"
 #include "sim/engine.h"
 
 namespace ssresf::sim {
 
 using netlist::PackedLogic;
 
-/// Bit-parallel packed fault simulator: the third engine. Simulates 64
-/// concurrent runs of the same netlist per machine word — slot 0 is the
-/// golden (fault-free) run, slots 1..63 carry faulty variants — using two
-/// bit-planes per net (value + unknown) so full 4-valued semantics are
-/// preserved (see PackedLogic in netlist/logic.h). Every combinational cell
-/// is evaluated once per settle with branch-free bitwise plane algebra,
-/// which is the classic PROOFS/HOPE word-parallel speedup.
+/// Bit-parallel packed fault simulator: the third engine, generalized over
+/// lane width. Simulates 64*W concurrent runs of the same netlist — slot 0 is
+/// the golden (fault-free) run, slots 1..64*W-1 carry faulty variants — using
+/// two bit-planes of W machine words per net (value + unknown) so full
+/// 4-valued semantics are preserved (see PackedLogic in netlist/logic.h and
+/// PackedVecT in netlist/packed_wide.h). Every combinational cell is
+/// evaluated once per settle with branch-free bitwise plane algebra, which is
+/// the classic PROOFS/HOPE word-parallel speedup.
+///
+/// Two widths are instantiated:
+///   W=1 (BitParallelSimulator):   the classic 64-lane word engine.
+///   W=4 (BitParallelSimulator256): 256 lanes; plane ops run through a
+///        runtime-dispatched kernel — AVX2 when the CPU has it, a portable
+///        word-loop otherwise (see netlist/packed_wide.h). Both kernels are
+///        lane-wise identical to the scalar operators, so lane width never
+///        changes simulation results, only throughput.
 ///
 /// Timing model: identical to LevelizedSimulator (levelized zero-delay
 /// settle, capture on a rising clock-connected primary input), so a slot's
 /// trajectory is bit-identical to a scalar levelized run with the same
 /// stimulus — the campaign's word-batch scheduler relies on this to keep
-/// kBitParallel records byte-identical to kLevelized.
+/// packed-engine records byte-identical to kLevelized at any lane width.
 ///
-/// The scalar Engine interface broadcasts writes to all 64 lanes and reads
-/// back slot 0, so the engine is a drop-in levelized simulator when driven
+/// The scalar Engine interface broadcasts writes to all lanes and reads back
+/// slot 0, so the engine is a drop-in levelized simulator when driven
 /// scalar-only (testbench clocking, golden replay, checkpointing). Fault
 /// injection uses the slot-indexed *_slot variants, which touch one lane.
-class BitParallelSimulator final : public Engine {
- public:
-  /// Number of runs per word: slot 0 golden + kFaultSlots faulty.
-  static constexpr int kSlots = 64;
-  static constexpr int kFaultSlots = kSlots - 1;
+template <int W>
+class PackedSimulatorT final : public Engine {
+  static_assert(W == 1 || W == 4, "instantiated lane widths: 64 and 256");
 
-  explicit BitParallelSimulator(const Netlist& netlist);
+ public:
+  /// Number of runs per batch: slot 0 golden + kFaultSlots faulty.
+  static constexpr int kSlots = 64 * W;
+  static constexpr int kFaultSlots = kSlots - 1;
+  /// Words per bit-plane (the W template argument, for generic callers).
+  static constexpr int kWords = W;
+
+  using Planes = netlist::PackedVecT<W>;
+  using Mask = netlist::LaneMaskT<W>;
+
+  explicit PackedSimulatorT(const Netlist& netlist);
 
   [[nodiscard]] const Netlist& design() const override { return netlist_; }
   void reset_state() override;
@@ -47,7 +65,7 @@ class BitParallelSimulator final : public Engine {
   void advance_to(std::uint64_t time_ps) override;
   [[nodiscard]] std::uint64_t now() const override { return now_; }
   [[nodiscard]] Logic value(NetId net) const override {
-    return packed_get(effective(net), 0);
+    return netlist::wide_get(effective(net), 0);
   }
 
   void force_net(NetId net, Logic value) override;
@@ -62,15 +80,15 @@ class BitParallelSimulator final : public Engine {
     observer_ = std::move(observer);
     has_observer_ = static_cast<bool>(observer_);
   }
-  [[nodiscard]] std::string_view name() const override { return "bit-parallel"; }
+  [[nodiscard]] std::string_view name() const override {
+    return W == 1 ? "bit-parallel" : "bit-parallel-256";
+  }
 
   // --- slot-indexed injection (the per-lane Engine contract) -----------------
   [[nodiscard]] Logic value_slot(NetId net, int slot) const {
-    return packed_get(effective(net), slot);
+    return netlist::wide_get(effective(net), slot);
   }
-  [[nodiscard]] PackedLogic packed_value(NetId net) const {
-    return effective(net);
-  }
+  [[nodiscard]] Planes packed_value(NetId net) const { return effective(net); }
   void force_net_slot(NetId net, int slot, Logic value);
   void release_net_slot(NetId net, int slot);
   void deposit_ff_slot(CellId ff, int slot, Logic q);
@@ -81,7 +99,7 @@ class BitParallelSimulator final : public Engine {
                                                  std::uint32_t word) const;
 
   /// Broadcasts a scalar engine's force-free dynamic state (net values,
-  /// flip-flops, memories, time) into all 64 lanes. Used by the campaign to
+  /// flip-flops, memories, time) into all lanes. Used by the campaign to
   /// seed word batches from the cheap scalar levelized checkpoint ladder —
   /// the two engines share the zero-delay timing model, so the adopted state
   /// is exactly what a packed replay would have produced. Precondition: no
@@ -94,33 +112,35 @@ class BitParallelSimulator final : public Engine {
   /// never is). Combinational nets are a pure function of that state under
   /// broadcast inputs, so a clear bit proves the slot's future coincides
   /// with golden — the campaign's per-slot masked exit.
-  [[nodiscard]] std::uint64_t state_diff_from_golden();
+  [[nodiscard]] Mask state_diff_from_golden();
 
-  /// Total packed cell evaluations performed (each covers 64 lanes).
+  /// Total packed cell evaluations performed (each covers 64*W lanes).
   [[nodiscard]] std::uint64_t evals_performed() const { return evals_; }
 
  private:
   struct State;
 
   void settle();
-  void clock_edge(std::uint64_t capture_mask);
-  [[nodiscard]] PackedLogic effective(NetId net) const;
-  void write_net(NetId net, PackedLogic v);
+  void clock_edge(const Mask& capture_mask);
+  [[nodiscard]] Planes effective(NetId net) const;
+  void write_net(NetId net, const Planes& v);
   void note_forced(NetId net);
   void read_memory(const netlist::Cell& cell);
+  [[nodiscard]] Planes eval_comb(netlist::CellKind kind, const Planes* ins,
+                                 std::size_t n) const;
 
   const Netlist& netlist_;
   std::uint64_t now_ = 0;
   std::uint64_t evals_ = 0;
 
-  std::vector<PackedLogic> driven_;
-  std::vector<PackedLogic> forced_val_;
-  std::vector<std::uint64_t> forced_;  // per-net mask of forced lanes
-  std::vector<PackedLogic> ff_q_;
-  // Per memory index: 64 lane-major arrays (lane * words + word).
+  std::vector<Planes> driven_;
+  std::vector<Planes> forced_val_;
+  std::vector<Mask> forced_;  // per-net mask of forced lanes
+  std::vector<Planes> ff_q_;
+  // Per memory index: 64*W lane-major arrays (lane * words + word).
   std::vector<std::vector<std::uint64_t>> mems_;
   // Lanes whose array may differ from lane 0 (conservative, per memory).
-  std::vector<std::uint64_t> mem_dirty_;
+  std::vector<Mask> mem_dirty_;
   // Nets that may hold a non-zero forced_ mask (compacted lazily).
   std::vector<std::uint32_t> forced_nets_;
 
@@ -128,9 +148,18 @@ class BitParallelSimulator final : public Engine {
   std::vector<CellId> seq_cells_;   // FFs + memories, creation order
   std::vector<CellId> reset_ffs_;   // flip-flops with an async reset pin
   std::vector<std::uint8_t> is_clock_net_;
-  std::vector<PackedLogic> ff_next_;  // clock_edge scratch (per cell index)
+  std::vector<Planes> ff_next_;  // clock_edge scratch (per cell index)
+  netlist::EvalCellW4Fn eval_w4_ = nullptr;  // W=4 kernel (AVX2 or generic)
   ChangeObserver observer_;
   bool has_observer_ = false;
 };
+
+extern template class PackedSimulatorT<1>;
+extern template class PackedSimulatorT<4>;
+
+/// The classic 64-lane engine (EngineKind::kBitParallel).
+using BitParallelSimulator = PackedSimulatorT<1>;
+/// The 256-lane engine (campaign `lanes = 256`): same results, wider batches.
+using BitParallelSimulator256 = PackedSimulatorT<4>;
 
 }  // namespace ssresf::sim

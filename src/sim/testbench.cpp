@@ -34,6 +34,28 @@ void Testbench::resume_at(std::uint64_t cycle, OutputTrace prefix) {
   cycles_ = cycle;
 }
 
+void Testbench::resume_at(std::uint64_t cycle) {
+  if (cycles_ != 0 || trace_.num_cycles() != 0) {
+    throw InvalidArgument("resume_at on a testbench that already ran");
+  }
+  cycles_ = cycle;
+  trace_offset_ = cycle;
+}
+
+void Testbench::restart() {
+  trace_.clear_cycles();
+  cycles_ = 0;
+  trace_offset_ = 0;
+  actions_.clear();
+  reference_ = nullptr;
+  confirm_cycles_ = 0;
+  divergence_.reset();
+  stop_after_cycle_.reset();
+  stopped_early_ = false;
+  engine_.set_input(config_.clk, Logic::L0);
+  if (config_.rstn.valid()) engine_.set_input(config_.rstn, Logic::L1);
+}
+
 void Testbench::compare_against(const OutputTrace* golden, int confirm_cycles) {
   reference_ = golden;
   confirm_cycles_ = confirm_cycles;
@@ -87,9 +109,10 @@ void Testbench::sample() {
   trace_.append_cycle(std::move(sample));
 
   if (reference_ == nullptr || divergence_.has_value()) return;
-  const std::size_t i = trace_.num_cycles() - 1;
+  const std::size_t local = trace_.num_cycles() - 1;
+  const std::size_t i = static_cast<std::size_t>(trace_offset_) + local;
   if (i >= reference_->num_cycles() ||
-      trace_.cycle(i) != reference_->cycle(i)) {
+      trace_.cycle(local) != reference_->cycle(i)) {
     divergence_ = i;
     if (confirm_cycles_ >= 0) {
       // Finish the current cycle, then allow the confirmation window.

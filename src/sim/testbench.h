@@ -44,6 +44,21 @@ class Testbench {
   /// campaign is built on this.
   void resume_at(std::uint64_t cycle, OutputTrace prefix);
 
+  /// Prefix-free resume: like the overload above but without materialising
+  /// the already-run samples. trace() then holds only the cycles sampled
+  /// after the resume point, while cycle numbering (cycles_run,
+  /// first_divergence, reference comparison) stays absolute. The campaign's
+  /// checkpoint fast-path uses this — the prefix is the golden trace, which
+  /// the reference comparison already holds, so copying it per injection
+  /// bought nothing but allocation churn.
+  void resume_at(std::uint64_t cycle);
+
+  /// Return the testbench to its just-constructed state (empty trace, no
+  /// scheduled actions, no reference, clock low, reset deasserted) so one
+  /// instance can drive many faulty runs. The engine's dynamic state is the
+  /// caller's business — restore or reset it first.
+  void restart();
+
   /// Stream-compare every sampled cycle against `golden` (not owned; must
   /// outlive the testbench). After the first mismatching cycle, run_cycles
   /// runs `confirm_cycles` further cycles and then stops — a faulty run is
@@ -83,6 +98,7 @@ class Testbench {
   TestbenchConfig config_;
   OutputTrace trace_;
   std::uint64_t cycles_ = 0;
+  std::uint64_t trace_offset_ = 0;  // cycles resumed over without samples
   std::multimap<std::uint64_t, std::function<void(Engine&)>> actions_;
 
   const OutputTrace* reference_ = nullptr;

@@ -23,6 +23,10 @@ class OutputTrace {
 
   void append_cycle(std::vector<netlist::Logic> sample);
 
+  /// Drop all recorded cycles, keeping the monitored-net list. Lets a
+  /// testbench be reused across faulty runs without reallocating.
+  void clear_cycles() { samples_.clear(); }
+
   [[nodiscard]] std::size_t num_cycles() const { return samples_.size(); }
   [[nodiscard]] const std::vector<netlist::Logic>& cycle(std::size_t i) const;
 

@@ -38,6 +38,7 @@ struct Options {
   bool resume = true;
   bool progress = false;
   int threads = 1;
+  int lanes = 0;             // packed lane width; 0 = scenario value
   int workers = 0;           // run/simulate/train: spawned socket workers
   int port = 0;              // serve
   std::string connect;       // worker: host:port
@@ -81,6 +82,9 @@ void usage(std::FILE* out) {
       "  --no-resume         recompute stages even when artifacts exist\n"
       "  --progress          live stage progress on stderr\n"
       "  --threads N         simulation threads per process (default 1)\n"
+      "  --lanes N           bit-parallel lane width: 64 or 256 (default:\n"
+      "                      scenario value; 256 uses AVX2 when available;\n"
+      "                      records are byte-identical at every width)\n"
       "\n"
       "run / simulate / train / serve:\n"
       "  --workers N         delegate simulation to N spawned socket workers\n"
@@ -155,6 +159,8 @@ void usage(std::FILE* out) {
       opt.progress = true;
     } else if (arg == "--threads") {
       opt.threads = std::stoi(need_value(i));
+    } else if (arg == "--lanes") {
+      opt.lanes = std::stoi(need_value(i));
     } else if (arg == "--workers") {
       opt.workers = std::stoi(need_value(i));
       if (opt.workers < 1) throw InvalidArgument("--workers must be >= 1");
@@ -303,6 +309,7 @@ struct WorkerFleet {
   std::string self;
   int count = 0;
   int threads = 1;
+  int lanes = 0;  // 0 = worker default (64)
   /// Forwarded fleet flags (--scenario for the secret/timeouts, plus any
   /// explicit --secret/--connect-timeout overrides) — a spawned worker must
   /// pass the same authenticated handshake a remote one would.
@@ -314,6 +321,9 @@ struct WorkerFleet {
       std::vector<std::string> args{
           self, "worker", "--connect", "127.0.0.1:" + std::to_string(port),
           "--threads", std::to_string(threads)};
+      if (lanes != 0) {
+        args.insert(args.end(), {"--lanes", std::to_string(lanes)});
+      }
       args.insert(args.end(), extra_args.begin(), extra_args.end());
       children.emplace_back(std::move(args));
     }
@@ -334,7 +344,7 @@ struct WorkerFleet {
 int run_stage_command(const Options& opt, const std::string& self) {
   const auto db = radiation::SoftErrorDatabase::default_database();
   ProgressPrinter printer;
-  WorkerFleet fleet{{}, self, opt.workers, opt.threads, {}};
+  WorkerFleet fleet{{}, self, opt.workers, opt.threads, opt.lanes, {}};
   fleet.extra_args = {"--scenario", opt.scenario_file};
   if (opt.secret_set) {
     fleet.extra_args.insert(fleet.extra_args.end(), {"--secret", opt.secret});
@@ -363,6 +373,7 @@ int run_stage_command(const Options& opt, const std::string& self) {
   options.artifact_dir = opt.out_dir;
   options.resume = opt.resume;
   options.threads = opt.threads;
+  options.lanes = opt.lanes;
   options.serve_port = serve_port;
   options.serve_loopback_only = loopback_only;
   options.worker_timeout_seconds = opt.worker_timeout;  // 0 = scenario value
@@ -439,6 +450,7 @@ int run_predict_command(const Options& opt) {
   options.artifact_dir = opt.out_dir;
   options.resume = opt.resume;
   options.threads = opt.threads;
+  options.lanes = opt.lanes;
   if (opt.progress) {
     options.progress = [&printer](const core::StageProgress& p) { printer(p); };
   }
@@ -474,6 +486,7 @@ int run_worker_command(const Options& opt) {
   wopts.host = opt.connect.substr(0, colon);
   wopts.port = static_cast<std::uint16_t>(port);
   wopts.threads = opt.threads;
+  if (opt.lanes != 0) wopts.lanes = opt.lanes;
   wopts.verbose = opt.progress;
   // Fleet settings: the scenario file (when given) supplies the defaults,
   // explicit flags override.

@@ -48,6 +48,7 @@ struct Options {
   // --- model + campaign (the record-affecting flags, see net::CampaignSpec) ---
   net::CampaignSpec spec;
   int threads = 1;  // per-process execution knob; never affects records
+  int lanes = 64;   // packed-engine lane width (64 | 256); never affects records
 
   // --- role ------------------------------------------------------------------
   int shard_index = -1;
@@ -104,6 +105,9 @@ void usage(std::FILE* out) {
       "  --min-per-cluster N / --max-per-cluster N\n"
       "  --let F / --flux F  radiation environment\n"
       "  --threads N         worker threads per process (default 1)\n"
+      "  --lanes N           bit-parallel lane width: 64 or 256 (default 64;\n"
+      "                      256 uses AVX2 when available; records are\n"
+      "                      byte-identical at every width)\n"
       "  --run-cycles N      0 = golden run length (default 0)\n"
       "  --max-cycles N      golden run bound (default 4000)\n"
       "\n"
@@ -216,6 +220,7 @@ void usage(std::FILE* out) {
       "--let", fmt_double(c.environment.let),
       "--flux", fmt_double(c.environment.flux),
       "--threads", std::to_string(opt.threads),
+      "--lanes", std::to_string(opt.lanes),
       "--run-cycles", std::to_string(c.run_cycles),
       "--max-cycles", std::to_string(c.max_cycles),
   };
@@ -224,6 +229,7 @@ void usage(std::FILE* out) {
 [[nodiscard]] fi::CampaignConfig build_config(const Options& opt) {
   fi::CampaignConfig config = opt.spec.config;
   config.threads = opt.threads;
+  config.lanes = opt.lanes;
   return config;
 }
 
@@ -308,6 +314,8 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
       opt.spec.config.environment.flux = std::stod(need_value(i));
     } else if (arg == "--threads") {
       opt.threads = std::stoi(need_value(i));
+    } else if (arg == "--lanes") {
+      opt.lanes = std::stoi(need_value(i));
     } else if (arg == "--run-cycles") {
       opt.spec.config.run_cycles = std::stoi(need_value(i));
     } else if (arg == "--max-cycles") {
@@ -561,7 +569,8 @@ int run_socket_coordinator_role(const Options& opt, const std::string& self) {
   for (int k = 0; k < opt.workers; ++k) {
     std::vector<std::string> argv = {
         self, "--connect", "127.0.0.1:" + std::to_string(coordinator.port()),
-        "--threads", std::to_string(opt.threads)};
+        "--threads", std::to_string(opt.threads),
+        "--lanes", std::to_string(opt.lanes)};
     if (!opt.secret.empty()) {
       argv.insert(argv.end(), {"--secret", opt.secret});
     }
@@ -659,6 +668,7 @@ int run_connect_role(const Options& opt) {
   wopts.host = opt.connect.substr(0, colon);
   wopts.port = static_cast<std::uint16_t>(port);
   wopts.threads = opt.threads;
+  wopts.lanes = opt.lanes;
   wopts.secret = opt.secret;
   wopts.connect_timeout_seconds = opt.connect_timeout;
   wopts.worker_id = opt.worker_id;
