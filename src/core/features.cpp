@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <string>
 
 #include "netlist/stats.h"
+#include "util/error.h"
 
 namespace ssresf::core {
 
@@ -127,21 +129,19 @@ std::vector<double> FeatureExtractor::extract(CellId id) const {
   return f;
 }
 
-ml::Dataset build_dataset(const soc::SocModel& model,
-                          const fi::CampaignResult& campaign) {
+std::vector<bool> high_ser_clusters(
+    std::span<const fi::ClusterStats> clusters) {
   // Label rule (Sec. III-D/E): clusters sorted by soft-error probability;
-  // nodes of the high-probability half form the sensitive-node list. A node
-  // whose own injection produced a soft error is sensitive regardless of
-  // its cluster.
+  // nodes of the high-probability half form the sensitive-node list.
   std::vector<const fi::ClusterStats*> sampled;
-  for (const fi::ClusterStats& c : campaign.clusters) {
+  for (const fi::ClusterStats& c : clusters) {
     if (c.samples > 0) sampled.push_back(&c);
   }
   std::sort(sampled.begin(), sampled.end(),
             [](const fi::ClusterStats* a, const fi::ClusterStats* b) {
               return a->ser_percent > b->ser_percent;
             });
-  std::vector<bool> cluster_high(campaign.clusters.size(), false);
+  std::vector<bool> cluster_high(clusters.size(), false);
   const std::size_t high_count = (sampled.size() + 1) / 2;
   for (std::size_t i = 0; i < high_count; ++i) {
     // Clusters with zero SER are never "high", even in the top half.
@@ -149,16 +149,51 @@ ml::Dataset build_dataset(const soc::SocModel& model,
       cluster_high[static_cast<std::size_t>(sampled[i]->cluster)] = true;
     }
   }
+  return cluster_high;
+}
 
-  const FeatureExtractor extractor(model.netlist);
-  ml::Dataset dataset(node_feature_names());
-  for (const fi::InjectionRecord& record : campaign.records) {
-    const bool high =
-        record.soft_error ||
-        cluster_high[static_cast<std::size_t>(record.cluster)];
-    dataset.add(extractor.extract(record.event.target.cell), high ? 1 : -1);
+DatasetAccumulator::DatasetAccumulator(
+    const soc::SocModel& model, std::span<const fi::ClusterStats> clusters)
+    : model_(&model),
+      extractor_(model.netlist),
+      cluster_high_(high_ser_clusters(clusters)),
+      dataset_(node_feature_names()) {}
+
+void DatasetAccumulator::append(const fi::RecordBatch& batch) {
+  for (std::size_t i = 0; i < batch.row_count(); ++i) {
+    const std::size_t cluster = batch.cluster[i];
+    if (cluster >= cluster_high_.size()) {
+      throw Error("record stream: cluster " + std::to_string(cluster) +
+                  " out of range (" + std::to_string(cluster_high_.size()) +
+                  " clusters)");
+    }
+    // A node whose own injection produced a soft error is sensitive
+    // regardless of its cluster.
+    const bool high = batch.soft_error[i] != 0 || cluster_high_[cluster];
+    const std::vector<double> features =
+        extractor_.extract(netlist::CellId(batch.cell[i]));
+    for (int k = 0; k < kNumNodeFeatures; ++k) {
+      moments_[static_cast<std::size_t>(k)].add(
+          features[static_cast<std::size_t>(k)]);
+    }
+    dataset_.add(features, high ? 1 : -1);
+    ++rows_;
   }
-  return dataset;
+}
+
+ml::Dataset build_dataset(const soc::SocModel& model,
+                          fi::RecordSource& source,
+                          std::span<const fi::ClusterStats> clusters) {
+  DatasetAccumulator accumulator(model, clusters);
+  fi::RecordBatch batch;
+  while (source.next_batch(batch)) accumulator.append(batch);
+  return accumulator.take_dataset();
+}
+
+ml::Dataset build_dataset(const soc::SocModel& model,
+                          const fi::CampaignResult& campaign) {
+  fi::VectorSource source(campaign.records);
+  return build_dataset(model, source, campaign.clusters);
 }
 
 }  // namespace ssresf::core

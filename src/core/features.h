@@ -1,7 +1,13 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "cluster/kcluster.h"
 #include "fi/campaign.h"
+#include "fi/record_store.h"
 #include "ml/dataset.h"
 
 namespace ssresf::core {
@@ -33,5 +39,67 @@ class FeatureExtractor {
 /// error (highly sensitive node), -1 otherwise.
 [[nodiscard]] ml::Dataset build_dataset(const soc::SocModel& model,
                                         const fi::CampaignResult& campaign);
+
+/// Running mean/variance of one feature, accumulated one value at a time —
+/// the numerically stable update net/health's WorkerHealth uses.
+struct FeatureMoments {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void add(double x) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+  [[nodiscard]] double variance() const {
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+  }
+};
+
+/// RecordSink that turns a record stream into the labeled dataset one batch
+/// at a time, tracking per-feature Welford moments as it goes — the dataset
+/// side of the streaming record flow. Label rule identical to
+/// build_dataset: +1 when the record's own injection erred OR its cluster
+/// is in the high-SER half (`cluster_high`), -1 otherwise. Dataset row
+/// order follows append order; feed batches in ascending index order (a
+/// RecordSource) to reproduce the canonical artifact byte-for-byte.
+class DatasetAccumulator : public fi::RecordSink {
+ public:
+  DatasetAccumulator(const soc::SocModel& model,
+                     std::span<const fi::ClusterStats> clusters);
+
+  void append(const fi::RecordBatch& batch) override;
+
+  [[nodiscard]] ml::Dataset take_dataset() { return std::move(dataset_); }
+  [[nodiscard]] const std::array<FeatureMoments, kNumNodeFeatures>& moments()
+      const {
+    return moments_;
+  }
+  [[nodiscard]] std::uint64_t rows() const { return rows_; }
+
+ private:
+  const soc::SocModel* model_;
+  FeatureExtractor extractor_;
+  std::vector<bool> cluster_high_;
+  ml::Dataset dataset_;
+  std::array<FeatureMoments, kNumNodeFeatures> moments_{};
+  std::uint64_t rows_ = 0;
+};
+
+/// The sensitive-cluster half of the label rule, shared by build_dataset
+/// and DatasetAccumulator: clusters sorted by SER, the top non-zero half
+/// marked high. Needs only cluster statistics — no records.
+[[nodiscard]] std::vector<bool> high_ser_clusters(
+    std::span<const fi::ClusterStats> clusters);
+
+/// Source-based build_dataset: identical rows to the CampaignResult
+/// overload (which now delegates here through a VectorSource), but consumes
+/// any RecordSource — a v1 shard file, a v2 columnar store, or an
+/// in-memory vector — one batch at a time.
+[[nodiscard]] ml::Dataset build_dataset(
+    const soc::SocModel& model, fi::RecordSource& source,
+    std::span<const fi::ClusterStats> clusters);
 
 }  // namespace ssresf::core

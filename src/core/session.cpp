@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/features.h"
+#include "fi/record_store.h"
 #include "fi/shard.h"
 #include "ml/feature_selection.h"
 #include "net/coordinator.h"
@@ -39,6 +40,13 @@ void ensure_dir(const std::string& dir) {
   }
 }
 
+void check_record_format(int record_format) {
+  if (record_format != 1 && record_format != 2) {
+    throw InvalidArgument("session: record_format must be 1 or 2, got " +
+                          std::to_string(record_format));
+  }
+}
+
 }  // namespace
 
 void write_predictions_csv(const std::string& path, const soc::SocModel& model,
@@ -65,6 +73,7 @@ Session::Session(ScenarioSpec spec, const radiation::SoftErrorDatabase& database
       model_(spec_.build_model()),
       model_from_spec_(true),
       digest_(fi::campaign_config_digest(model_, spec_.campaign.config)) {
+  check_record_format(options_.record_format);
   ensure_dir(options_.artifact_dir);
 }
 
@@ -77,6 +86,7 @@ Session::Session(soc::SocModel model, ScenarioSpec spec,
       model_(std::move(model)),
       model_from_spec_(false),
       digest_(fi::campaign_config_digest(model_, spec_.campaign.config)) {
+  check_record_format(options_.record_format);
   ensure_dir(options_.artifact_dir);
 }
 
@@ -190,7 +200,11 @@ void Session::persist_records() {
   meta.total_injections = records.size();
   meta.config_digest = digest_;
   meta.num_records = records.size();
-  fi::write_shard_file(records_path(), meta, records);
+  if (options_.record_format == 2) {
+    fi::write_columnar_file(records_path(), meta, records);
+  } else {
+    fi::write_shard_file(records_path(), meta, records);
+  }
   note("simulate", "saved campaign records to " + records_path());
 }
 

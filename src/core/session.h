@@ -40,6 +40,11 @@ struct SessionOptions {
   /// 0 (default) inherits the scenario config's `lanes`. Execution-only —
   /// records are byte-identical at every width (fi::CampaignConfig::lanes).
   int lanes = 0;
+  /// On-disk format of the records artifact (<name>.ssfs): 1 = the flat v1
+  /// shard codec, 2 = the chunked columnar v2 store (per-chunk CRC, bounded-
+  /// memory read-back). Read side is version-agnostic — resume accepts
+  /// either, whatever this is set to. Records are identical in both.
+  int record_format = 1;
   /// Progress hook for all five stages. The simulate stage forwards the
   /// campaign's per-injection counter; hooks may be invoked from campaign
   /// worker threads (thread-safe callee required).

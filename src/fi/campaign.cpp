@@ -11,6 +11,7 @@
 #include <type_traits>
 
 #include "fi/campaign_exec.h"
+#include "fi/record_store.h"
 #include "netlist/stats.h"
 #include "sim/bit_parallel_sim.h"
 #include "util/error.h"
@@ -623,6 +624,63 @@ void execute_injections(const soc::SocModel& model,
   }
 }
 
+CampaignStats compute_campaign_stats(const soc::SocModel& model,
+                                     const CampaignConfig& config,
+                                     const radiation::SoftErrorDatabase& db,
+                                     const cluster::ClusteringResult& clustering,
+                                     std::span<const double> cell_xsects,
+                                     std::uint64_t window_ps,
+                                     const StatsCounters& counters) {
+  CampaignStats stats;
+
+  const double let = config.environment.let;
+  const auto total = db.netlist_xsect(model.netlist, let);
+  stats.set_xsect_cm2 = total.set_cm2;
+  stats.seu_xsect_cm2 = total.seu_cm2;
+
+  for (std::size_t k = 0; k < clustering.clusters.size(); ++k) {
+    ClusterStats cs;
+    cs.cluster = static_cast<int>(k);
+    // Weighted count (memory macros expand to words): the CellN of Eq. 2.
+    cs.num_cells = static_cast<std::size_t>(clustering.cluster_weight[k]);
+    cs.samples = counters.cluster_samples[k];
+    cs.errors = counters.cluster_errors[k];
+    cs.propagation_ratio =
+        cs.samples > 0
+            ? static_cast<double>(cs.errors) / static_cast<double>(cs.samples)
+            : 0.0;
+    for (const CellId id : clustering.clusters[k]) {
+      cs.xsect_cm2 += cell_xsects[id.index()];
+    }
+    cs.ser_percent =
+        cs.propagation_ratio *
+        config.environment.upset_probability(cs.xsect_cm2, window_ps) * 100.0;
+    stats.clusters.push_back(cs);
+  }
+  stats.chip_ser_percent = chip_ser_percent(stats.clusters);
+
+  // Per-module-class aggregation for Table I / Fig. 7.
+  std::array<double, netlist::kModuleClassCount> class_xsect{};
+  for (const CellId id : model.netlist.all_cells()) {
+    class_xsect[static_cast<std::size_t>(model.netlist.cell_class(id))] +=
+        cell_xsects[id.index()];
+  }
+  for (std::size_t c = 0; c < stats.per_class.size(); ++c) {
+    auto& cls = stats.per_class[c];
+    cls.samples = counters.class_samples[c];
+    cls.errors = counters.class_errors[c];
+    cls.xsect_cm2 = class_xsect[c];
+    const double ratio =
+        cls.samples > 0
+            ? static_cast<double>(cls.errors) / static_cast<double>(cls.samples)
+            : 0.0;
+    cls.ser_percent =
+        ratio * config.environment.upset_probability(cls.xsect_cm2, window_ps) *
+        100.0;
+  }
+  return stats;
+}
+
 CampaignResult finalize_campaign(const soc::SocModel& model,
                                  const CampaignConfig& config,
                                  const radiation::SoftErrorDatabase& db,
@@ -634,67 +692,31 @@ CampaignResult finalize_campaign(const soc::SocModel& model,
   result.clustering = std::move(prep.clustering);
   result.records = std::move(records);
 
-  const double let = config.environment.let;
-  const auto total = db.netlist_xsect(model.netlist, let);
-  result.set_xsect_cm2 = total.set_cm2;
-  result.seu_xsect_cm2 = total.seu_cm2;
-
-  // Merge per-cluster and per-class counters from the records: index order is
-  // plan order, so the aggregation is identical for every thread count, shard
-  // count, and process placement.
+  // Fold the records into order-independent counters; the shared kernel
+  // below does every floating-point reduction, so this path and the
+  // streaming CampaignAggregator produce bit-identical statistics.
   std::vector<std::size_t> cluster_samples(result.clustering.clusters.size(), 0);
   std::vector<std::size_t> cluster_errors(result.clustering.clusters.size(), 0);
+  std::array<std::size_t, netlist::kModuleClassCount> class_samples{};
+  std::array<std::size_t, netlist::kModuleClassCount> class_errors{};
   for (const InjectionRecord& r : result.records) {
     ++cluster_samples[static_cast<std::size_t>(r.cluster)];
-    auto& cls = result.per_class[static_cast<std::size_t>(r.module_class)];
-    ++cls.samples;
+    ++class_samples[static_cast<std::size_t>(r.module_class)];
     if (r.soft_error) {
       ++cluster_errors[static_cast<std::size_t>(r.cluster)];
-      ++cls.errors;
+      ++class_errors[static_cast<std::size_t>(r.module_class)];
     }
   }
 
-  for (std::size_t k = 0; k < result.clustering.clusters.size(); ++k) {
-    ClusterStats stats;
-    stats.cluster = static_cast<int>(k);
-    // Weighted count (memory macros expand to words): the CellN of Eq. 2.
-    stats.num_cells =
-        static_cast<std::size_t>(result.clustering.cluster_weight[k]);
-    stats.samples = cluster_samples[k];
-    stats.errors = cluster_errors[k];
-    stats.propagation_ratio =
-        stats.samples > 0
-            ? static_cast<double>(stats.errors) / static_cast<double>(stats.samples)
-            : 0.0;
-    for (const CellId id : result.clustering.clusters[k]) {
-      stats.xsect_cm2 += prep.cell_xsects[id.index()];
-    }
-    stats.ser_percent =
-        stats.propagation_ratio *
-        config.environment.upset_probability(stats.xsect_cm2, prep.window_ps) *
-        100.0;
-    result.clusters.push_back(stats);
-  }
-  result.chip_ser_percent = chip_ser_percent(result.clusters);
-
-  // Per-module-class aggregation for Table I / Fig. 7.
-  std::array<double, netlist::kModuleClassCount> class_xsect{};
-  for (const CellId id : model.netlist.all_cells()) {
-    class_xsect[static_cast<std::size_t>(model.netlist.cell_class(id))] +=
-        prep.cell_xsects[id.index()];
-  }
-  for (std::size_t c = 0; c < result.per_class.size(); ++c) {
-    auto& cls = result.per_class[c];
-    cls.xsect_cm2 = class_xsect[c];
-    const double ratio =
-        cls.samples > 0
-            ? static_cast<double>(cls.errors) / static_cast<double>(cls.samples)
-            : 0.0;
-    cls.ser_percent =
-        ratio *
-        config.environment.upset_probability(cls.xsect_cm2, prep.window_ps) *
-        100.0;
-  }
+  CampaignStats stats = compute_campaign_stats(
+      model, config, db, result.clustering, prep.cell_xsects, prep.window_ps,
+      StatsCounters{cluster_samples, cluster_errors, class_samples,
+                    class_errors});
+  result.clusters = std::move(stats.clusters);
+  result.per_class = stats.per_class;
+  result.chip_ser_percent = stats.chip_ser_percent;
+  result.set_xsect_cm2 = stats.set_xsect_cm2;
+  result.seu_xsect_cm2 = stats.seu_xsect_cm2;
   return result;
 }
 
@@ -715,6 +737,45 @@ CampaignResult run_campaign(const soc::SocModel& model,
       model, config, db, std::move(prep), std::move(records));
   result.simulation_seconds = seconds;
   return result;
+}
+
+CampaignStats run_campaign(const soc::SocModel& model,
+                           const CampaignConfig& config,
+                           const radiation::SoftErrorDatabase& db,
+                           RecordSink& sink) {
+  util::Timer sim_timer;
+  detail::CampaignPrep prep =
+      detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+  std::vector<std::size_t> owned(prep.plan.size());
+  std::iota(owned.begin(), owned.end(), std::size_t{0});
+  std::vector<InjectionRecord> records(prep.plan.size());
+  detail::execute_injections(model, config, prep, owned, records);
+  const double seconds = sim_timer.seconds();
+
+  ShardFileMeta meta;
+  meta.seed = config.seed;
+  meta.shard_index = 0;
+  meta.shard_count = 1;
+  meta.total_injections = prep.plan.size();
+  meta.config_digest = campaign_config_digest(model, config);
+  meta.num_records = prep.plan.size();
+  sink.begin(meta);
+
+  CampaignAggregator aggregator(model, config, db, prep);
+  RecordBatch batch;
+  for (std::size_t i = 0; i < records.size();) {
+    const std::size_t n = std::min(ColumnarFileWriter::kDefaultChunkRows,
+                                   records.size() - i);
+    batch.clear();
+    batch.reserve(n);
+    for (std::size_t j = 0; j < n; ++j, ++i) batch.push_back(i, records[i]);
+    aggregator.append(batch);
+    sink.append(batch);
+  }
+  sink.flush();
+  CampaignStats stats = aggregator.finalize();
+  stats.simulation_seconds = seconds;
+  return stats;
 }
 
 }  // namespace ssresf::fi

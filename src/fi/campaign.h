@@ -94,6 +94,50 @@ struct ClassStats {
   double ser_percent = 0.0;
 };
 
+/// Log2-bucketed histogram of soft-error detection latency (cycles from
+/// strike to first architectural mismatch). Bucket b counts records with
+/// bit_width(first_mismatch_cycle) == b, saturating in the last bucket —
+/// integer counters, so accumulation order never changes the result.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 16;
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  void add(std::uint64_t cycles) {
+    std::size_t b = 0;
+    while (cycles != 0 && b + 1 < kBuckets) {
+      cycles >>= 1;
+      ++b;
+    }
+    ++counts[b];
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t c : counts) n += c;
+    return n;
+  }
+  [[nodiscard]] bool operator==(const LatencyHistogram&) const = default;
+};
+
+/// Campaign statistics without the record vector: everything CampaignResult
+/// derives from its records, computed instead by streaming aggregation
+/// (fi::CampaignAggregator) so peak memory is bounded by one record batch.
+/// The double-precision fields are bit-identical to CampaignResult's — both
+/// paths accumulate the same order-independent integer counters and reduce
+/// them through the one shared stats kernel.
+struct CampaignStats {
+  std::vector<ClusterStats> clusters;
+  std::array<ClassStats, netlist::kModuleClassCount> per_class{};
+  std::array<LatencyHistogram, netlist::kModuleClassCount> latency{};
+  double chip_ser_percent = 0.0;
+  double set_xsect_cm2 = 0.0;
+  double seu_xsect_cm2 = 0.0;
+  int golden_cycles = 0;
+  std::uint64_t clock_period_ps = 0;
+  std::uint64_t num_records = 0;
+  std::uint64_t num_soft_errors = 0;
+  double simulation_seconds = 0.0;
+};
+
 struct CampaignResult {
   cluster::ClusteringResult clustering;
   std::vector<InjectionRecord> records;
@@ -107,12 +151,22 @@ struct CampaignResult {
   double simulation_seconds = 0.0;      // wall-clock spent simulating
 };
 
+class RecordSink;
+
 /// Runs the full flow: golden run, clustering, equal-proportion sampling,
 /// one fault injection + re-simulation per sampled cell, golden-vs-faulty
 /// trace comparison, and SER aggregation per Eq. 2.
 [[nodiscard]] CampaignResult run_campaign(
     const soc::SocModel& model, const CampaignConfig& config,
     const radiation::SoftErrorDatabase& database);
+
+/// Streaming variant: records flow into `sink` in ascending global-index
+/// batches instead of being returned, and the statistics come from the
+/// streaming aggregator — byte-identical to run_campaign's (see
+/// fi/record_store.h for the sink API and the equivalence contract).
+[[nodiscard]] CampaignStats run_campaign(
+    const soc::SocModel& model, const CampaignConfig& config,
+    const radiation::SoftErrorDatabase& database, RecordSink& sink);
 
 /// Chip-level SER per Eq. 2: the cell-count-weighted mean of cluster SERs.
 [[nodiscard]] double chip_ser_percent(const std::vector<ClusterStats>& clusters);

@@ -91,4 +91,27 @@ void execute_injections(const soc::SocModel& model,
     const radiation::SoftErrorDatabase& database, CampaignPrep&& prep,
     std::vector<InjectionRecord>&& records);
 
+/// Order-independent integer counters a record stream folds into — the sole
+/// input (besides the prep tables) of the stats kernel below. Integer
+/// accumulation commutes, so any arrival order (threads, shards, socket
+/// workers) produces the same counters and therefore bit-identical doubles.
+struct StatsCounters {
+  std::span<const std::size_t> cluster_samples;  // one per cluster
+  std::span<const std::size_t> cluster_errors;   // one per cluster
+  std::span<const std::size_t> class_samples;    // kModuleClassCount
+  std::span<const std::size_t> class_errors;     // kModuleClassCount
+};
+
+/// The one stats kernel: reduces counters to per-cluster / per-class /
+/// chip-level statistics (Eq. 2, Table I). finalize_campaign and the
+/// streaming fi::CampaignAggregator both call this, which is what makes
+/// "streaming stats == vector stats" structural rather than coincidental.
+/// Fills everything except records/clustering/latency/timing bookkeeping.
+[[nodiscard]] CampaignStats compute_campaign_stats(
+    const soc::SocModel& model, const CampaignConfig& config,
+    const radiation::SoftErrorDatabase& database,
+    const cluster::ClusteringResult& clustering,
+    std::span<const double> cell_xsects, std::uint64_t window_ps,
+    const StatsCounters& counters);
+
 }  // namespace ssresf::fi::detail

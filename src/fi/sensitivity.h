@@ -1,5 +1,8 @@
 #pragma once
 
+#include <span>
+#include <string>
+
 #include "fi/campaign.h"
 
 namespace ssresf::fi {
@@ -10,9 +13,32 @@ namespace ssresf::fi {
 high_sensitivity_percent_by_class(
     const CampaignResult& result);
 
+/// Same series from streaming-aggregated statistics — identical values, no
+/// record vector required.
+[[nodiscard]] std::array<double, netlist::kModuleClassCount>
+high_sensitivity_percent_by_class(const CampaignStats& stats);
+
 /// Clusters ordered by descending SER (the paper sorts clusters by soft-
 /// error probability to form the sensitive-node list).
 [[nodiscard]] std::vector<ClusterStats> clusters_by_ser(
     const CampaignResult& result);
+
+[[nodiscard]] std::vector<ClusterStats> clusters_by_ser(
+    const CampaignStats& stats);
+
+/// Writes the canonical sensitivity-statistics CSV: one `cluster` row per
+/// cluster (plan order), one `class` row per module class, one `chip` row.
+/// All doubles print as %.17g (bit-exact round trip), so the CI equivalence
+/// jobs can byte-diff this file across the v1 vector path, the v2
+/// streaming path, and any worker count or transport.
+void write_sensitivity_csv(
+    const std::string& path, std::span<const ClusterStats> clusters,
+    const std::array<ClassStats, netlist::kModuleClassCount>& per_class,
+    double chip_ser_percent);
+
+void write_sensitivity_csv(const std::string& path,
+                           const CampaignResult& result);
+void write_sensitivity_csv(const std::string& path,
+                           const CampaignStats& stats);
 
 }  // namespace ssresf::fi

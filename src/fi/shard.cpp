@@ -1,10 +1,12 @@
 #include "fi/shard.h"
 
+#include <algorithm>
 #include <bit>
 #include <string_view>
 
 #include "fi/campaign_exec.h"
 #include "fi/golden_bundle.h"
+#include "fi/record_store.h"
 #include "util/atomic_file.h"
 #include "util/bytes.h"
 #include "util/error.h"
@@ -169,6 +171,53 @@ ShardRunResult run_campaign_shard(const soc::SocModel& model,
   return out;
 }
 
+std::uint64_t run_campaign_shard(const soc::SocModel& model,
+                                 const CampaignConfig& config,
+                                 const radiation::SoftErrorDatabase& db,
+                                 ShardSpec spec, RecordSink& sink,
+                                 const GoldenBundle* bundle) {
+  if (spec.count < 1 || spec.index < 0 || spec.index >= spec.count) {
+    throw InvalidArgument("run_campaign_shard: shard " +
+                          std::to_string(spec.index) + "/" +
+                          std::to_string(spec.count) + " is out of range");
+  }
+  detail::CampaignPrep prep =
+      bundle != nullptr
+          ? prepare_campaign_with_bundle(model, config, db, *bundle)
+          : detail::prepare_campaign(model, config, db, /*for_execution=*/true);
+  std::vector<std::size_t> owned;
+  owned.reserve(prep.plan.size() / static_cast<std::size_t>(spec.count) + 1);
+  for (std::size_t i = static_cast<std::size_t>(spec.index);
+       i < prep.plan.size(); i += static_cast<std::size_t>(spec.count)) {
+    owned.push_back(i);
+  }
+  std::vector<InjectionRecord> records(prep.plan.size());
+  detail::execute_injections(model, config, prep, owned, records);
+
+  ShardFileMeta meta;
+  meta.seed = config.seed;
+  meta.shard_index = static_cast<std::uint32_t>(spec.index);
+  meta.shard_count = static_cast<std::uint32_t>(spec.count);
+  meta.total_injections = prep.plan.size();
+  meta.config_digest = campaign_config_digest(model, config);
+  meta.num_records = owned.size();
+  sink.begin(meta);
+
+  RecordBatch batch;
+  for (std::size_t pos = 0; pos < owned.size();) {
+    const std::size_t n =
+        std::min(VectorSource::kDefaultBatchRows, owned.size() - pos);
+    batch.clear();
+    batch.reserve(n);
+    for (std::size_t j = 0; j < n; ++j, ++pos) {
+      batch.push_back(owned[pos], records[owned[pos]]);
+    }
+    sink.append(batch);
+  }
+  sink.flush();
+  return prep.plan.size();
+}
+
 void write_shard_file(const std::string& path, const ShardFileMeta& meta,
                       std::span<const ShardRecord> records) {
   if (meta.num_records != records.size()) {
@@ -282,64 +331,16 @@ CampaignResult merge_shard_files(const soc::SocModel& model,
                                  const radiation::SoftErrorDatabase& db,
                                  detail::CampaignPrep&& prep,
                                  const std::vector<std::string>& paths) {
-  if (paths.empty()) {
-    throw InvalidArgument("merge_shard_files: no shard files given");
-  }
+  // Thin collecting wrapper over the streaming merge core: the K-way merge
+  // in fi/record_store.cpp does every validation (digest, plan cross-check,
+  // duplicates, coverage) and streams records in ascending order into the
+  // plan-sized vector, which then finalizes exactly as before.
   util::Timer timer;
-  const std::uint64_t digest = campaign_config_digest(model, config);
-
-  std::vector<InjectionRecord> records(prep.plan.size());
-  std::vector<std::uint8_t> seen(prep.plan.size(), 0);
-  std::uint64_t filled = 0;
-  for (const std::string& path : paths) {
-    ShardFileReader reader(path);
-    const ShardFileMeta& meta = reader.meta();
-    if (meta.config_digest != digest) {
-      throw InvalidArgument("shard file '" + path +
-                            "': campaign configuration digest mismatch "
-                            "(different model, seed, or config)");
-    }
-    if (meta.total_injections != prep.plan.size()) {
-      throw InvalidArgument("shard file '" + path +
-                            "': campaign size mismatch");
-    }
-    ShardRecord r;
-    while (reader.next(r)) {
-      if (r.index >= records.size()) {
-        throw InvalidArgument("shard file '" + path +
-                              "': record index out of range");
-      }
-      if (seen[static_cast<std::size_t>(r.index)] != 0) {
-        throw InvalidArgument("shard file '" + path +
-                              "': duplicate record for injection " +
-                              std::to_string(r.index));
-      }
-      // Cross-check against the re-derived plan: cluster and module class of
-      // entry i are plan facts, not simulation outcomes, so a record that
-      // disagrees is corrupt (and an unchecked cluster would be used as an
-      // aggregation array index downstream).
-      const detail::PlannedInjection& planned =
-          prep.plan[static_cast<std::size_t>(r.index)];
-      if (r.record.cluster != planned.cluster ||
-          r.record.module_class != model.netlist.cell_class(planned.cell)) {
-        throw InvalidArgument("shard file '" + path +
-                              "': record for injection " +
-                              std::to_string(r.index) +
-                              " contradicts the campaign plan");
-      }
-      seen[static_cast<std::size_t>(r.index)] = 1;
-      records[static_cast<std::size_t>(r.index)] = r.record;
-      ++filled;
-    }
-  }
-  if (filled != records.size()) {
-    throw InvalidArgument(
-        "merge_shard_files: shard files cover " + std::to_string(filled) +
-        " of " + std::to_string(records.size()) + " injections");
-  }
-
-  CampaignResult result = detail::finalize_campaign(
-      model, config, db, std::move(prep), std::move(records));
+  VectorSink sink(prep.plan.size());
+  detail::stream_merged_records(model, config, prep, paths, sink);
+  CampaignResult result = detail::finalize_campaign(model, config, db,
+                                                    std::move(prep),
+                                                    sink.take_records());
   result.simulation_seconds = timer.seconds();
   return result;
 }

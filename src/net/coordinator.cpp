@@ -9,6 +9,7 @@
 
 #include "fi/campaign_exec.h"
 #include "fi/golden_bundle.h"
+#include "fi/record_store.h"
 #include "fi/shard.h"
 #include "net/auth.h"
 #include "net/journal.h"
@@ -84,6 +85,17 @@ Coordinator::Coordinator(const CampaignSpec& spec,
 }
 
 fi::CampaignResult Coordinator::run() {
+  fi::CampaignResult result;
+  (void)run_impl(nullptr, &result);
+  return result;
+}
+
+fi::CampaignStats Coordinator::run(fi::RecordSink& sink) {
+  return run_impl(&sink, nullptr);
+}
+
+fi::CampaignStats Coordinator::run_impl(fi::RecordSink* user_sink,
+                                        fi::CampaignResult* vector_out) {
   const fi::CampaignConfig& config = spec_.config;
   const auto log = [&](const char* fmt, auto... args) {
     if (options_.verbose) {
@@ -116,11 +128,48 @@ fi::CampaignResult Coordinator::run() {
       static_cast<unsigned long long>(plan_size),
       static_cast<unsigned>(listener_.port()), campaign.bundle.size());
 
-  std::vector<fi::InjectionRecord> records(plan_size);
+  // The streaming record flow: instead of a plan-sized record vector, the
+  // coordinator keeps a seen bit plus an 8-byte record digest per injection
+  // (for the cross-worker determinism check) and hands accepted batches
+  // straight to the sinks — the caller's RecordSink plus the streaming
+  // aggregator that computes the final statistics. The legacy run() wraps
+  // this with a VectorSink.
+  std::optional<fi::VectorSink> collect;
+  if (vector_out != nullptr) collect.emplace(plan_size);
+  std::vector<fi::RecordSink*> outs;
+  if (user_sink != nullptr) outs.push_back(user_sink);
+  if (collect) outs.push_back(&*collect);
+  fi::TeeSink tee(std::move(outs));
+  {
+    fi::ShardFileMeta stream_meta;
+    stream_meta.seed = config.seed;
+    stream_meta.shard_index = 0;
+    stream_meta.shard_count = 1;
+    stream_meta.total_injections = plan_size;
+    stream_meta.config_digest = digest;
+    stream_meta.num_records = plan_size;
+    tee.begin(stream_meta);
+  }
+  fi::CampaignAggregator aggregator(model_, config, db_, prep);
+
   std::vector<std::uint8_t> seen(plan_size, 0);
+  std::vector<std::uint64_t> record_digests(plan_size, 0);
   std::uint64_t filled = 0;
 
+  // Digest of one record's canonical encoding (index included): the stand-in
+  // for the old stored-record equality in the duplicate-determinism check.
+  // An FNV collision could mask a violation, but at 2^-64 per duplicate that
+  // is far below any hardware-error floor — and the check is a tripwire for
+  // bugs, not a correctness dependency of the merge itself.
+  const auto record_digest = [](const fi::ShardRecord& r) {
+    util::ByteWriter w;
+    fi::encode_records(w, std::span<const fi::ShardRecord>(&r, 1));
+    return fnv1a(w.data());
+  };
+
+  fi::RecordBatch accepted;
   const auto fill_records = [&](const RecordsMsg& msg) {
+    accepted.clear();
     for (const fi::ShardRecord& r : msg.records) {
       if (r.index < msg.start || r.index >= msg.start + msg.count) {
         throw InvalidArgument("record index outside its chunk");
@@ -136,7 +185,7 @@ fi::CampaignResult Coordinator::run() {
         // Duplicates can only be re-runs of a reassigned chunk; determinism
         // says they must agree. A conflict means a worker (or this process)
         // simulated wrongly — never paper over that.
-        if (!(records[i] == r.record)) {
+        if (record_digests[i] != record_digest(r)) {
           throw InternalError(
               "duplicate record for injection " + std::to_string(r.index) +
               " differs between workers — determinism violation");
@@ -144,8 +193,15 @@ fi::CampaignResult Coordinator::run() {
         continue;
       }
       seen[i] = 1;
-      records[i] = r.record;
+      record_digests[i] = record_digest(r);
+      accepted.push_back(r);
       ++filled;
+    }
+    // One append per accepted frame, in arrival order: record frames are
+    // ascending within a chunk, so the batch honors the sink contract.
+    if (!accepted.empty()) {
+      aggregator.append(accepted);
+      tee.append(accepted);
     }
   };
 
@@ -663,10 +719,26 @@ fi::CampaignResult Coordinator::run() {
   conns.clear();
 
   const double seconds = timer.seconds();
-  fi::CampaignResult result = fi::detail::finalize_campaign(
-      model_, config, db_, std::move(prep), std::move(records));
-  result.simulation_seconds = seconds;
-  return result;
+  tee.flush();
+  fi::CampaignStats stats = aggregator.finalize();
+  stats.simulation_seconds = seconds;
+  if (vector_out != nullptr) {
+    // Reassemble the legacy CampaignResult: the records come from the
+    // collecting sink, the statistics from the aggregator — which runs the
+    // same stats kernel finalize_campaign does, so every double matches the
+    // old in-place aggregation bit for bit.
+    vector_out->records = collect->take_records();
+    vector_out->clustering = std::move(prep.clustering);
+    vector_out->clusters = stats.clusters;
+    vector_out->per_class = stats.per_class;
+    vector_out->chip_ser_percent = stats.chip_ser_percent;
+    vector_out->set_xsect_cm2 = stats.set_xsect_cm2;
+    vector_out->seu_xsect_cm2 = stats.seu_xsect_cm2;
+    vector_out->golden_cycles = stats.golden_cycles;
+    vector_out->clock_period_ps = stats.clock_period_ps;
+    vector_out->simulation_seconds = seconds;
+  }
+  return stats;
 }
 
 }  // namespace ssresf::net

@@ -111,8 +111,17 @@ class Coordinator {
 
   /// Runs the campaign to completion and returns the merged result. Blocks
   /// until every planned injection has a record; with no workers connected
-  /// it waits for them.
+  /// it waits for them. Thin collecting wrapper over the streaming overload.
   [[nodiscard]] fi::CampaignResult run();
+
+  /// Streaming variant: accepted record batches flow into `sink` in worker-
+  /// arrival order (non-overlapping ranges, each batch ascending — exactly
+  /// the RecordSink contract), and the statistics come from a streaming
+  /// aggregator. The coordinator keeps 9 bytes of bookkeeping per planned
+  /// injection (a seen bit + a record digest for the cross-worker
+  /// determinism check) instead of the records themselves, so its record
+  /// memory is bounded by one in-flight frame regardless of campaign size.
+  [[nodiscard]] fi::CampaignStats run(fi::RecordSink& sink);
 
   /// Fleet health table (per-worker counters + quarantine state) as of the
   /// last run() — `ssresf serve --fleet-status` prints this.
@@ -122,6 +131,9 @@ class Coordinator {
   [[nodiscard]] const FleetMonitor& monitor() const { return monitor_; }
 
  private:
+  [[nodiscard]] fi::CampaignStats run_impl(fi::RecordSink* user_sink,
+                                           fi::CampaignResult* vector_out);
+
   CampaignSpec spec_;
   const radiation::SoftErrorDatabase& db_;
   CoordinatorOptions options_;

@@ -39,6 +39,7 @@ struct Options {
   bool progress = false;
   int threads = 1;
   int lanes = 0;             // packed lane width; 0 = scenario value
+  int record_format = 1;     // records artifact codec: 1 = flat, 2 = columnar
   int workers = 0;           // run/simulate/train: spawned socket workers
   int port = 0;              // serve
   std::string connect;       // worker: host:port
@@ -85,6 +86,10 @@ void usage(std::FILE* out) {
       "  --lanes N           bit-parallel lane width: 64 or 256 (default:\n"
       "                      scenario value; 256 uses AVX2 when available;\n"
       "                      records are byte-identical at every width)\n"
+      "  --record-format v1|v2\n"
+      "                      codec of the records artifact (<name>.ssfs):\n"
+      "                      v1 flat shard codec (default) or v2 chunked\n"
+      "                      columnar store; resume reads either\n"
       "\n"
       "run / simulate / train / serve:\n"
       "  --workers N         delegate simulation to N spawned socket workers\n"
@@ -161,6 +166,16 @@ void usage(std::FILE* out) {
       opt.threads = std::stoi(need_value(i));
     } else if (arg == "--lanes") {
       opt.lanes = std::stoi(need_value(i));
+    } else if (arg == "--record-format") {
+      const std::string format = need_value(i);
+      if (format == "v1") {
+        opt.record_format = 1;
+      } else if (format == "v2") {
+        opt.record_format = 2;
+      } else {
+        throw InvalidArgument("--record-format expects v1|v2, got '" + format +
+                              "'");
+      }
     } else if (arg == "--workers") {
       opt.workers = std::stoi(need_value(i));
       if (opt.workers < 1) throw InvalidArgument("--workers must be >= 1");
@@ -374,6 +389,7 @@ int run_stage_command(const Options& opt, const std::string& self) {
   options.resume = opt.resume;
   options.threads = opt.threads;
   options.lanes = opt.lanes;
+  options.record_format = opt.record_format;
   options.serve_port = serve_port;
   options.serve_loopback_only = loopback_only;
   options.worker_timeout_seconds = opt.worker_timeout;  // 0 = scenario value
@@ -451,6 +467,7 @@ int run_predict_command(const Options& opt) {
   options.resume = opt.resume;
   options.threads = opt.threads;
   options.lanes = opt.lanes;
+  options.record_format = opt.record_format;
   if (opt.progress) {
     options.progress = [&printer](const core::StageProgress& p) { printer(p); };
   }
@@ -528,6 +545,7 @@ int run_merge_command(const Options& opt) {
   core::SessionOptions options;
   options.artifact_dir = opt.out_dir;
   options.resume = false;
+  options.record_format = opt.record_format;
   core::Session session(std::move(spec), db, std::move(options));
   fi::CampaignResult result =
       fi::merge_shard_files(session.model(), session.scenario().campaign.config,

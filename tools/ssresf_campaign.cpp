@@ -34,11 +34,14 @@
 #endif
 
 #include "fi/golden_bundle.h"
+#include "fi/record_store.h"
+#include "fi/sensitivity.h"
 #include "fi/shard.h"
 #include "net/coordinator.h"
 #include "net/worker.h"
 #include "util/error.h"
 #include "util/subprocess.h"
+#include "util/timer.h"
 
 using namespace ssresf;
 
@@ -83,6 +86,9 @@ struct Options {
 
   // --- output ----------------------------------------------------------------
   std::string records_csv;
+  std::string stats_csv;     // cluster/class/chip sensitivity statistics CSV
+  std::string records_file;  // full records in --record-format's codec
+  int record_format = 1;     // 1 = flat shard codec, 2 = columnar store
   bool summary = false;
 };
 
@@ -168,6 +174,17 @@ void usage(std::FILE* out) {
       "\n"
       "output:\n"
       "  --records-csv PATH  write per-injection records as CSV\n"
+      "  --stats-csv PATH    write the cluster/class/chip sensitivity\n"
+      "                      statistics CSV (byte-identical across record\n"
+      "                      formats, worker counts, and transports)\n"
+      "  --records-file PATH write the full merged records to a record file\n"
+      "                      in the --record-format codec\n"
+      "  --record-format v1|v2\n"
+      "                      record file codec (default v1): v1 is the flat\n"
+      "                      shard codec, v2 the chunked columnar store.\n"
+      "                      With v2 the full-result roles stream records\n"
+      "                      and statistics instead of buffering the whole\n"
+      "                      campaign in memory; records are identical\n"
       "  --summary           print cluster/class/SER summary tables\n",
       out);
 }
@@ -251,14 +268,110 @@ void print_summary(const fi::CampaignResult& result) {
   std::printf("simulation: %.2fs\n", result.simulation_seconds);
 }
 
+void print_summary(const fi::CampaignStats& stats) {
+  std::printf("golden run: %d cycles @ %llu ps/cycle\n", stats.golden_cycles,
+              static_cast<unsigned long long>(stats.clock_period_ps));
+  std::printf("injections: %llu (%llu soft errors)\n",
+              static_cast<unsigned long long>(stats.num_records),
+              static_cast<unsigned long long>(stats.num_soft_errors));
+  std::printf("cluster  cells(w)  samples  errors  SER\n");
+  for (const auto& c : stats.clusters) {
+    std::printf("%7d  %8zu  %7zu  %6zu  %.4f%%\n", c.cluster, c.num_cells,
+                c.samples, c.errors, c.ser_percent);
+  }
+  std::printf("chip SER (Eq. 2): %.4f%%\n", stats.chip_ser_percent);
+  std::printf("SET xsect %.3e cm^2, SEU xsect %.3e cm^2\n",
+              stats.set_xsect_cm2, stats.seu_xsect_cm2);
+  std::printf("simulation: %.2fs\n", stats.simulation_seconds);
+}
+
 void emit_result(const Options& opt, const fi::CampaignResult& result) {
   if (!opt.records_csv.empty()) {
     fi::write_records_csv(opt.records_csv, result.records);
   }
+  if (!opt.stats_csv.empty()) {
+    fi::write_sensitivity_csv(opt.stats_csv, result);
+  }
+  if (!opt.records_file.empty()) {
+    // The records file carries the campaign digest, so rebuild the model the
+    // same way every other role does (cheap next to the campaign itself).
+    const soc::SocModel model = net::build_model(opt.spec);
+    const fi::CampaignConfig config = build_config(opt);
+    std::vector<fi::ShardRecord> records;
+    records.reserve(result.records.size());
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      records.push_back(fi::ShardRecord{i, result.records[i]});
+    }
+    fi::ShardFileMeta meta;
+    meta.seed = config.seed;
+    meta.shard_index = 0;
+    meta.shard_count = 1;
+    meta.total_injections = records.size();
+    meta.config_digest = fi::campaign_config_digest(model, config);
+    meta.num_records = records.size();
+    if (opt.record_format == 2) {
+      fi::write_columnar_file(opt.records_file, meta, records);
+    } else {
+      fi::write_shard_file(opt.records_file, meta, records);
+    }
+  }
   if (opt.summary) print_summary(result);
-  if (opt.records_csv.empty() && !opt.summary) {
+  if (opt.records_csv.empty() && opt.stats_csv.empty() &&
+      opt.records_file.empty() && !opt.summary) {
     std::printf("%zu injections, chip SER %.4f%%\n", result.records.size(),
                 result.chip_ser_percent);
+  }
+}
+
+/// Sinks of a v2 streaming full-result run. Records flow straight into the
+/// requested outputs — never into a plan-sized vector — except when a
+/// records CSV is requested without a records file: the CSV needs global-
+/// index order, which arrival-order streams don't guarantee, so that one
+/// combination collects (exactly what the v1 path would have held anyway).
+/// With a records file the CSV comes from reading the columnar store back,
+/// one chunk resident at a time.
+struct StreamSinks {
+  explicit StreamSinks(const Options& opt) {
+    std::vector<fi::RecordSink*> outs;
+    if (!opt.records_file.empty()) {
+      file.emplace(opt.records_file);
+      outs.push_back(&*file);
+    }
+    if (!opt.records_csv.empty() && opt.records_file.empty()) {
+      collect.emplace();
+      outs.push_back(&*collect);
+    }
+    tee.emplace(std::move(outs));
+  }
+  // The tee holds pointers into this object — it must never move.
+  StreamSinks(const StreamSinks&) = delete;
+  StreamSinks& operator=(const StreamSinks&) = delete;
+
+  std::optional<fi::ColumnarFileWriter> file;
+  std::optional<fi::VectorSink> collect;
+  std::optional<fi::TeeSink> tee;
+  [[nodiscard]] fi::RecordSink& sink() { return *tee; }
+};
+
+void emit_streamed(const Options& opt, StreamSinks& sinks,
+                   const fi::CampaignStats& stats) {
+  if (!opt.records_csv.empty()) {
+    if (sinks.collect) {
+      fi::write_records_csv(opt.records_csv, sinks.collect->take_records());
+    } else {
+      const auto source = fi::open_record_source(opt.records_file);
+      fi::write_records_csv(opt.records_csv, *source);
+    }
+  }
+  if (!opt.stats_csv.empty()) {
+    fi::write_sensitivity_csv(opt.stats_csv, stats);
+  }
+  if (opt.summary) print_summary(stats);
+  if (opt.records_csv.empty() && opt.stats_csv.empty() &&
+      opt.records_file.empty() && !opt.summary) {
+    std::printf("%llu injections, chip SER %.4f%%\n",
+                static_cast<unsigned long long>(stats.num_records),
+                stats.chip_ser_percent);
   }
 }
 
@@ -403,6 +516,20 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
       opt.shard_dir = need_value(i);
     } else if (arg == "--records-csv") {
       opt.records_csv = need_value(i);
+    } else if (arg == "--stats-csv") {
+      opt.stats_csv = need_value(i);
+    } else if (arg == "--records-file") {
+      opt.records_file = need_value(i);
+    } else if (arg == "--record-format") {
+      const std::string format = need_value(i);
+      if (format == "v1") {
+        opt.record_format = 1;
+      } else if (format == "v2") {
+        opt.record_format = 2;
+      } else {
+        throw InvalidArgument("--record-format expects v1|v2, got '" + format +
+                              "'");
+      }
     } else if (arg == "--summary") {
       opt.summary = true;
     } else if (!arg.empty() && arg[0] != '-') {
@@ -433,15 +560,19 @@ void emit_result(const Options& opt, const fi::CampaignResult& result) {
         "--shard, --merge, --workers, --serve, and --connect are mutually "
         "exclusive");
   }
-  if (opt.shard_count > 0 && (!opt.records_csv.empty() || opt.summary)) {
+  const bool wants_full_output = !opt.records_csv.empty() ||
+                                 !opt.stats_csv.empty() ||
+                                 !opt.records_file.empty() || opt.summary;
+  if (opt.shard_count > 0 && wants_full_output) {
     throw InvalidArgument(
-        "--records-csv/--summary apply to full results; a --shard run only "
-        "emits its shard file (merge it to get records)");
+        "--records-csv/--stats-csv/--records-file/--summary apply to full "
+        "results; a --shard run only emits its shard file (merge it to get "
+        "records)");
   }
-  if (!opt.connect.empty() && (!opt.records_csv.empty() || opt.summary)) {
+  if (!opt.connect.empty() && wants_full_output) {
     throw InvalidArgument(
-        "--records-csv/--summary apply to full results; a --connect worker "
-        "streams its records to the coordinator");
+        "--records-csv/--stats-csv/--records-file/--summary apply to full "
+        "results; a --connect worker streams its records to the coordinator");
   }
   return opt;
 }
@@ -456,6 +587,18 @@ int run_shard_role(const Options& opt) {
   std::optional<fi::GoldenBundle> bundle;
   if (!opt.golden_bundle.empty()) {
     bundle = fi::read_golden_bundle_file(opt.golden_bundle, model, config);
+  }
+  if (opt.record_format == 2) {
+    // Streaming shard run: records flow into the columnar store as they
+    // come; the deferred writer picks up the shard metadata via begin().
+    fi::ColumnarFileWriter writer(opt.emit_shard_file);
+    (void)fi::run_campaign_shard(model, config, db, spec, writer,
+                                 bundle ? &*bundle : nullptr);
+    std::fprintf(stderr, "shard %d/%d: %llu records -> %s\n", spec.index,
+                 spec.count,
+                 static_cast<unsigned long long>(writer.records_written()),
+                 opt.emit_shard_file.c_str());
+    return 0;
   }
   const fi::ShardRunResult run = fi::run_campaign_shard(
       model, config, db, spec, bundle ? &*bundle : nullptr);
@@ -477,6 +620,15 @@ int run_merge_role(const Options& opt, const std::vector<std::string>& files) {
   const soc::SocModel model = net::build_model(opt.spec);
   const fi::CampaignConfig config = build_config(opt);
   const auto db = radiation::SoftErrorDatabase::default_database();
+  if (opt.record_format == 2) {
+    // K-way streaming merge: any mix of v1/v2 inputs, one in-flight batch
+    // per input file, statistics from the streaming aggregator.
+    StreamSinks sinks(opt);
+    const fi::CampaignStats stats =
+        fi::merge_record_files(model, config, db, files, sinks.sink());
+    emit_streamed(opt, sinks, stats);
+    return 0;
+  }
   const fi::CampaignResult result =
       fi::merge_shard_files(model, config, db, files);
   emit_result(opt, result);
@@ -534,6 +686,8 @@ int run_files_coordinator_role(const Options& opt, const std::string& self) {
     argv.push_back(file);
     argv.push_back("--golden-bundle");
     argv.push_back(bundle_path);
+    argv.push_back("--record-format");
+    argv.push_back(opt.record_format == 2 ? "v2" : "v1");
     children.emplace_back(std::move(argv));
   }
   int failures = 0;
@@ -545,6 +699,20 @@ int run_files_coordinator_role(const Options& opt, const std::string& self) {
     }
   }
   if (failures > 0) return 1;
+  if (opt.record_format == 2) {
+    // Stream the columnar shard files through the K-way merge, reusing the
+    // prep this coordinator already paid for (one golden pass total).
+    util::Timer merge_timer;
+    StreamSinks sinks(opt);
+    fi::CampaignAggregator aggregator(model, config, db, prep);
+    fi::TeeSink tee({&aggregator, &sinks.sink()});
+    fi::detail::stream_merged_records(model, config, prep, files, tee);
+    tee.flush();
+    fi::CampaignStats stats = aggregator.finalize();
+    stats.simulation_seconds = merge_timer.seconds();
+    emit_streamed(opt, sinks, stats);
+    return 0;
+  }
   const fi::CampaignResult result =
       fi::merge_shard_files(model, config, db, std::move(prep), files);
   emit_result(opt, result);
@@ -576,17 +744,29 @@ int run_socket_coordinator_role(const Options& opt, const std::string& self) {
     }
     children.emplace_back(std::move(argv));
   }
-  const fi::CampaignResult result = coordinator.run();
-  // The campaign is complete and verified; a worker that died (or was
-  // killed) along the way already had its work reassigned, so a non-zero
-  // child is a warning, not a failure.
-  for (int k = 0; k < opt.workers; ++k) {
-    const int code = children[static_cast<std::size_t>(k)].wait();
-    if (code != 0) {
-      std::fprintf(stderr, "note: socket worker %d exited with code %d\n", k,
-                   code);
+  // The campaign is complete and verified once run() returns; a worker that
+  // died (or was killed) along the way already had its work reassigned, so a
+  // non-zero child is a warning, not a failure.
+  const auto reap_children = [&children, &opt] {
+    for (int k = 0; k < opt.workers; ++k) {
+      const int code = children[static_cast<std::size_t>(k)].wait();
+      if (code != 0) {
+        std::fprintf(stderr, "note: socket worker %d exited with code %d\n", k,
+                     code);
+      }
     }
+  };
+  if (opt.record_format == 2) {
+    // Streaming collection: the coordinator keeps per-injection bookkeeping
+    // only; accepted batches flow straight into the requested outputs.
+    StreamSinks sinks(opt);
+    const fi::CampaignStats stats = coordinator.run(sinks.sink());
+    reap_children();
+    emit_streamed(opt, sinks, stats);
+    return 0;
   }
+  const fi::CampaignResult result = coordinator.run();
+  reap_children();
   emit_result(opt, result);
   return 0;
 }
@@ -609,8 +789,14 @@ int run_serve_role(const Options& opt) {
   std::fprintf(stderr, "serving campaign on port %u\n",
                static_cast<unsigned>(coordinator.port()));
   try {
-    const fi::CampaignResult result = coordinator.run();
-    emit_result(opt, result);
+    if (opt.record_format == 2) {
+      StreamSinks sinks(opt);
+      const fi::CampaignStats stats = coordinator.run(sinks.sink());
+      emit_streamed(opt, sinks, stats);
+    } else {
+      const fi::CampaignResult result = coordinator.run();
+      emit_result(opt, result);
+    }
   } catch (const net::CoordinatorKilled& e) {
     // The scheduled death is the point of the exercise (CI chaos variants):
     // exit quietly and let the fleet heal itself.
@@ -705,6 +891,13 @@ int run_single_role(const Options& opt) {
   const soc::SocModel model = net::build_model(opt.spec);
   const fi::CampaignConfig config = build_config(opt);
   const auto db = radiation::SoftErrorDatabase::default_database();
+  if (opt.record_format == 2) {
+    StreamSinks sinks(opt);
+    const fi::CampaignStats stats =
+        fi::run_campaign(model, config, db, sinks.sink());
+    emit_streamed(opt, sinks, stats);
+    return 0;
+  }
   const fi::CampaignResult result = fi::run_campaign(model, config, db);
   emit_result(opt, result);
   return 0;
