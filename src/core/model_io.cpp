@@ -125,6 +125,27 @@ ModelBundle read_model_file(const std::string& path) {
   }
 }
 
+std::vector<double> bundle_scaled_row(const ModelBundle& bundle,
+                                      std::span<const double> raw_features) {
+  std::vector<double> selected;
+  selected.reserve(bundle.selected_features.size());
+  for (const int f : bundle.selected_features) {
+    if (f < 0 || static_cast<std::size_t>(f) >= raw_features.size()) {
+      throw InvalidArgument(
+          "model bundle: feature mask does not fit this feature vector (mask "
+          "index " + std::to_string(f) + ", row width " +
+          std::to_string(raw_features.size()) + ")");
+    }
+    selected.push_back(raw_features[static_cast<std::size_t>(f)]);
+  }
+  return bundle.scaler.transform_row(selected);
+}
+
+int bundle_classify(const ModelBundle& bundle,
+                    std::span<const double> raw_features) {
+  return bundle.model.predict(bundle_scaled_row(bundle, raw_features));
+}
+
 void write_dataset_file(const std::string& path,
                         const DatasetArtifact& artifact) {
   util::ByteWriter out;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,19 @@ struct ModelBundle {
 
 void write_model_file(const std::string& path, const ModelBundle& bundle);
 [[nodiscard]] ModelBundle read_model_file(const std::string& path);
+
+/// Applies the bundle's feature mask to one raw FeatureExtractor row and
+/// scales it into model space. Throws InvalidArgument when the mask does not
+/// fit the row. This (with bundle_classify below) is THE deployment
+/// arithmetic: Session::predict and the serve/ prediction daemon both call
+/// it, which is what makes a served prediction bit-identical to the offline
+/// one.
+[[nodiscard]] std::vector<double> bundle_scaled_row(
+    const ModelBundle& bundle, std::span<const double> raw_features);
+
+/// Mask + scale + SVM sign for one raw feature row. Returns +1 / -1.
+[[nodiscard]] int bundle_classify(const ModelBundle& bundle,
+                                  std::span<const double> raw_features);
 
 /// The labeled-dataset artifact (`.ssds`): raw (unscaled) node features plus
 /// +1/-1 sensitivity labels, digest-bound to the campaign that produced it.

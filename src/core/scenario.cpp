@@ -297,7 +297,8 @@ ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
     const YamlNode& fleet = root.at("fleet");
     check_keys(fleet, "fleet",
                {"secret", "connect_timeout", "worker_timeout",
-                "frame_deadline", "election_timeout", "peer_port"});
+                "frame_deadline", "election_timeout", "peer_port",
+                "advertise_addr"});
     spec.fleet.secret =
         get_string(fleet, "fleet", "secret", spec.fleet.secret);
     spec.fleet.connect_timeout = get_double(fleet, "fleet", "connect_timeout",
@@ -327,6 +328,8 @@ ScenarioSpec ScenarioSpec::from_yaml(const YamlNode& root) {
       fail("fleet.peer_port", "must be a port number (0..65535)");
     }
     spec.fleet.peer_port = static_cast<std::uint16_t>(peer_port);
+    spec.fleet.advertise_addr =
+        get_string(fleet, "fleet", "advertise_addr", spec.fleet.advertise_addr);
   }
   return spec;
 }
@@ -416,6 +419,7 @@ YamlNode ScenarioSpec::to_yaml() const {
   f.set("election_timeout",
         YamlNode::scalar(fmt_double(fleet.election_timeout)));
   f.set("peer_port", YamlNode::scalar(std::to_string(fleet.peer_port)));
+  f.set("advertise_addr", YamlNode::scalar(fleet.advertise_addr));
   root.set("fleet", std::move(f));
   return root;
 }

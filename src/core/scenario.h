@@ -91,6 +91,12 @@ struct FleetSpec {
   /// when firewalls require known ports; with one worker per host the fleet
   /// can share the value.
   std::uint16_t peer_port = 0;
+  /// Host other fleet members should dial for this worker's peer listener
+  /// (net::WorkerOptions::advertise_host; --advertise-addr overrides).
+  /// Empty = derive from the hello connection (single-host fleets). Setting
+  /// it also widens the peer-listener bind beyond loopback. Execution-only
+  /// and digest-excluded, like every other fleet knob.
+  std::string advertise_addr;
 };
 
 struct ScenarioSpec {

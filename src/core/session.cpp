@@ -329,6 +329,7 @@ const ModelBundle& Session::train() {
     tuned_ = true;
     bundle_ = std::move(bundle);
     note("train", "loaded model bundle from " + path);
+    publish_bundle();
     return *bundle_;
   }
   tune();
@@ -355,10 +356,20 @@ const ModelBundle& Session::train() {
     write_model_file(path, *bundle_);
     note("train", "saved model bundle to " + path);
   }
+  publish_bundle();
   note("train", "done: " +
                     std::to_string(bundle_->model.num_support_vectors()) +
                     " support vectors");
   return *bundle_;
+}
+
+void Session::publish_bundle() {
+  if (options_.publish_dir.empty()) return;
+  ensure_dir(options_.publish_dir);
+  const std::string path =
+      artifact_path(options_.publish_dir, spec_.name, ".ssmd");
+  write_model_file(path, *bundle_);
+  note("train", "published model bundle to " + path);
 }
 
 void Session::adopt_model(ModelBundle bundle, bool allow_digest_mismatch) {
@@ -379,17 +390,9 @@ void Session::adopt_model(ModelBundle bundle, bool allow_digest_mismatch) {
 
 std::vector<double> Session::bundle_row(
     std::span<const double> raw_features) const {
-  std::vector<double> selected;
-  selected.reserve(bundle_->selected_features.size());
-  for (const int f : bundle_->selected_features) {
-    if (f < 0 || static_cast<std::size_t>(f) >= raw_features.size()) {
-      throw InvalidArgument(
-          "session: model feature mask does not fit this netlist's feature "
-          "vector");
-    }
-    selected.push_back(raw_features[static_cast<std::size_t>(f)]);
-  }
-  return bundle_->scaler.transform_row(selected);
+  // Delegates to the shared deployment arithmetic so the serve/ daemon and
+  // the offline predict stage cannot drift apart.
+  return bundle_scaled_row(*bundle_, raw_features);
 }
 
 const SessionPrediction& Session::predict() {

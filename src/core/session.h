@@ -49,6 +49,13 @@ struct SessionOptions {
   /// campaign's per-injection counter; hooks may be invoked from campaign
   /// worker threads (thread-safe callee required).
   std::function<void(const StageProgress&)> progress;
+  /// When nonempty, train() also writes the bundle into this directory as
+  /// <scenario>.ssmd (atomically, so a watching serve/ModelRegistry never
+  /// sees a torn file) — the "publish into the model registry" hand-off of
+  /// `ssresf train --publish DIR`. Applies to freshly trained AND
+  /// resume-loaded bundles: re-running train with --publish is the
+  /// deliberate way to (re)stage an existing model for serving.
+  std::string publish_dir;
 
   // --- simulate-stage delegation (socket transport) -------------------------
   /// >= 0: simulate() does no local injection work — it serves the scenario's
@@ -170,6 +177,7 @@ class Session {
   void count(std::string_view stage, std::uint64_t done, std::uint64_t total);
   [[nodiscard]] fi::CampaignResult simulate_served();
   void persist_records();
+  void publish_bundle();
   [[nodiscard]] std::vector<double> bundle_row(
       std::span<const double> raw_features) const;
 

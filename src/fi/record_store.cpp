@@ -454,6 +454,9 @@ void ColumnarFileWriter::flush() {
     footer.varint(e.offset);
     footer.varint(e.row_count);
     footer.varint(e.first_index);
+    // Delta-coded last index: what ColumnarFileSource::select_range uses to
+    // skip non-intersecting chunks without reading them.
+    footer.varint(e.last_index - e.first_index);
   }
   footer.varint(written_);
   footer.fixed64(util::fnv1a(footer.data()));
@@ -572,7 +575,7 @@ ColumnarFileSource::ColumnarFileSource(const std::string& path)
   util::ByteReader fr({footer.data(), footer.size() - 8});
   try {
     const std::uint64_t num_chunks = fr.varint();
-    if (num_chunks > fr.remaining() / 3) {
+    if (num_chunks > fr.remaining() / 4) {
       throw InvalidArgument(where + ": bad chunk count");
     }
     chunks_.reserve(static_cast<std::size_t>(num_chunks));
@@ -581,8 +584,10 @@ ColumnarFileSource::ColumnarFileSource(const std::string& path)
       e.offset = fr.varint();
       e.row_count = fr.varint();
       e.first_index = fr.varint();
+      e.last_index = e.first_index + fr.varint();
       if (e.offset < header_end || e.offset >= footer_start ||
-          e.row_count == 0) {
+          e.row_count == 0 ||
+          e.last_index - e.first_index < e.row_count - 1) {
         throw InvalidArgument(where + ": bad chunk index entry " +
                               std::to_string(i));
       }
@@ -611,9 +616,56 @@ ColumnarFileSource::ColumnarFileSource(const std::string& path)
             });
 }
 
+void ColumnarFileSource::select_range(std::uint64_t lo, std::uint64_t hi) {
+  if (next_chunk_ != 0 || chunks_decoded_ != 0) {
+    throw InternalError("columnar store: select_range after reading started");
+  }
+  range_lo_ = lo;
+  range_hi_ = hi;
+  std::vector<ChunkIndexEntry> kept;
+  kept.reserve(chunks_.size());
+  for (const ChunkIndexEntry& e : chunks_) {
+    if (lo >= hi || e.last_index < lo || e.first_index >= hi) {
+      ++chunks_skipped_;
+    } else {
+      kept.push_back(e);
+    }
+  }
+  chunks_ = std::move(kept);
+}
+
+namespace {
+
+/// Drops rows [0, from) and [to, n) from every column.
+void trim_batch(RecordBatch& b, std::size_t from, std::size_t to) {
+  const auto cut = [from, to](auto& col) {
+    col.erase(col.begin() + static_cast<std::ptrdiff_t>(to), col.end());
+    col.erase(col.begin(), col.begin() + static_cast<std::ptrdiff_t>(from));
+  };
+  cut(b.index);
+  cut(b.kind);
+  cut(b.cell);
+  cut(b.word);
+  cut(b.bit);
+  cut(b.time_ps);
+  cut(b.set_width_ps);
+  cut(b.cluster);
+  cut(b.module_class);
+  cut(b.soft_error);
+  cut(b.first_mismatch_cycle);
+}
+
+}  // namespace
+
 bool ColumnarFileSource::next_batch(RecordBatch& out) {
   out.clear();
-  if (next_chunk_ == chunks_.size()) return false;
+  while (next_chunk_ != chunks_.size()) {
+    if (decode_chunk(out)) return true;
+  }
+  return false;
+}
+
+bool ColumnarFileSource::decode_chunk(RecordBatch& out) {
   const ChunkIndexEntry& e = chunks_[next_chunk_];
   const std::string where = "columnar store '" + path_ + "': chunk at offset " +
                             std::to_string(e.offset);
@@ -661,14 +713,32 @@ bool ColumnarFileSource::next_batch(RecordBatch& out) {
   }
   util::ByteReader pr(payload);
   decode_columns(pr, rows, out, where);
-  if (out.index.front() != e.first_index) {
-    throw InvalidArgument(where + ": first index contradicts the chunk index");
+  if (out.index.front() != e.first_index || out.index.back() != e.last_index) {
+    throw InvalidArgument(where +
+                          ": index range contradicts the chunk index");
   }
-  if (next_chunk_ > 0 && out.index.front() <= prev_last_index_) {
+  if (chunks_decoded_ > 0 && out.index.front() <= prev_last_index_) {
     throw InvalidArgument(where + ": chunk index ranges overlap");
   }
   prev_last_index_ = out.index.back();
   ++next_chunk_;
+  ++chunks_decoded_;
+  // Row-level trim of the select_range window. A chunk whose span
+  // intersects the window can still hold zero in-range rows (index runs
+  // may have gaps) — the caller then moves on to the next chunk.
+  const auto lo = std::lower_bound(out.index.begin(), out.index.end(),
+                                   range_lo_) -
+                  out.index.begin();
+  const auto hi = std::lower_bound(out.index.begin(), out.index.end(),
+                                   range_hi_) -
+                  out.index.begin();
+  if (lo != 0 || hi != static_cast<std::ptrdiff_t>(out.row_count())) {
+    trim_batch(out, static_cast<std::size_t>(lo), static_cast<std::size_t>(hi));
+  }
+  if (out.empty()) {
+    out.clear();
+    return false;
+  }
   return true;
 }
 

@@ -244,7 +244,7 @@ class ColumnarFileWriter : public RecordSink {
     std::uint64_t offset = 0;       // file offset of the chunk marker byte
     std::uint64_t row_count = 0;
     std::uint64_t first_index = 0;
-    std::uint64_t last_index = 0;   // writer-side overlap check only
+    std::uint64_t last_index = 0;   // overlap check + reader-side pushdown
   };
 
   void open_file();  // opens the temp file and writes the header
@@ -277,12 +277,32 @@ class ColumnarFileSource : public RecordSource {
 
   [[nodiscard]] std::uint64_t total_records() const { return total_records_; }
 
+  /// Predicate pushdown: restricts the stream to records with global index
+  /// in [lo, hi). Chunks whose [first_index, last_index] span (from the
+  /// footer chunk index) does not intersect the range are dropped from the
+  /// replay plan without ever being read or decoded — a corrupt chunk
+  /// outside the range is never even checksummed. Surviving chunks decode
+  /// and verify as usual, then trim row-wise (chunk index runs may have
+  /// gaps, so intersecting a chunk's span does not guarantee rows in
+  /// range). Call before the first next_batch(); may be called once.
+  void select_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Pushdown observability — what the skipped-chunks-never-decoded test
+  /// asserts against.
+  [[nodiscard]] std::uint64_t chunks_decoded() const { return chunks_decoded_; }
+  [[nodiscard]] std::uint64_t chunks_skipped() const { return chunks_skipped_; }
+
  private:
   struct ChunkIndexEntry {
     std::uint64_t offset = 0;
     std::uint64_t row_count = 0;
     std::uint64_t first_index = 0;
+    std::uint64_t last_index = 0;
   };
+
+  /// Reads, verifies, decodes, and range-trims chunks_[next_chunk_] into
+  /// `out`. Returns false when the trim leaves no in-range rows.
+  bool decode_chunk(RecordBatch& out);
 
   std::ifstream in_;
   std::string path_;
@@ -291,6 +311,10 @@ class ColumnarFileSource : public RecordSource {
   std::size_t next_chunk_ = 0;
   std::uint64_t total_records_ = 0;
   std::uint64_t prev_last_index_ = 0;  // cross-chunk ascending check
+  std::uint64_t range_lo_ = 0;         // select_range window [lo, hi)
+  std::uint64_t range_hi_ = UINT64_MAX;
+  std::uint64_t chunks_decoded_ = 0;
+  std::uint64_t chunks_skipped_ = 0;
 };
 
 /// Opens a record file of either version behind the one RecordSource API:

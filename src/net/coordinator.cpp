@@ -35,6 +35,7 @@ struct Conn {
   std::uint64_t nonce = 0;     // our challenge, awaiting the kAuth proof
   std::uint64_t last_records_digest = 0;  // fnv of the last accepted batch
   std::uint16_t peer_port = 0;  // worker's election listener (0 = none)
+  std::string peer_host;        // worker-advertised host ("" = use the socket's)
   /// Journal entries this worker's replica holds; kept equal to the mirror
   /// size by the tail sync at kReady and the per-append broadcast.
   std::uint64_t replica_entries = 0;
@@ -468,6 +469,7 @@ fi::CampaignStats Coordinator::run_impl(fi::RecordSink* user_sink,
             c.pid = hello.pid;
             c.worker_id = hello.worker_id;
             c.peer_port = hello.peer_port;
+            c.peer_host = hello.peer_host;
             const bool was_quarantined = monitor_.quarantined(hello.worker_id);
             if (!monitor_.on_connect(hello.worker_id)) {
               const auto& health = monitor_.workers().at(hello.worker_id);
@@ -546,7 +548,12 @@ fi::CampaignStats Coordinator::run_impl(fi::RecordSink* user_sink,
             // peer port, and we can name its host) becomes visible to the
             // whole fleet.
             if (c.peer_port != 0) {
-              const std::string host = c.socket.peer_host();
+              // An advertised host (--advertise-addr) wins over the address
+              // the hello connection came from: behind NAT the two differ,
+              // and only the advertised one is dialable by peers.
+              const std::string host = !c.peer_host.empty()
+                                           ? c.peer_host
+                                           : c.socket.peer_host();
               if (!host.empty()) {
                 const PeerEntry entry{c.worker_id, host, c.peer_port};
                 const auto it = std::find_if(

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "soc/programs.h"
@@ -284,6 +285,7 @@ void HelloMsg::encode(util::ByteWriter& out) const {
   out.varint(threads);
   out.fixed64(nonce);
   out.varint(peer_port);
+  out.sized_bytes(peer_host.data(), peer_host.size());
 }
 
 HelloMsg HelloMsg::decode(util::ByteReader& in) {
@@ -293,6 +295,8 @@ HelloMsg HelloMsg::decode(util::ByteReader& in) {
   msg.threads = static_cast<std::uint32_t>(in.varint());
   msg.nonce = in.fixed64();
   msg.peer_port = static_cast<std::uint16_t>(in.varint());
+  const std::vector<char> host = in.byte_vec<char>();
+  msg.peer_host.assign(host.begin(), host.end());
   return msg;
 }
 
@@ -498,6 +502,122 @@ ErrorMsg ErrorMsg::decode(util::ByteReader& in) {
   ErrorMsg msg;
   const std::vector<char> bytes = in.byte_vec<char>();
   msg.message.assign(bytes.begin(), bytes.end());
+  return msg;
+}
+
+namespace {
+
+/// True when `v` survives a double -> u64 -> double round trip bit-exactly:
+/// a non-negative integral value below 2^53. -0.0 is excluded (its bit
+/// pattern would come back as +0.0), as are NaN and infinity.
+bool varint_exact(double v) {
+  if (std::signbit(v) || !(v < 9007199254740992.0)) return false;
+  const auto u = static_cast<std::uint64_t>(v);
+  return static_cast<double>(u) == v;
+}
+
+}  // namespace
+
+void PredictRequestMsg::encode(util::ByteWriter& out) const {
+  if (rows.size() != num_rows) {
+    throw InvalidArgument("predict request: row count mismatch");
+  }
+  if (num_rows > kMaxPredictRows || num_features > kMaxPredictFeatures) {
+    throw InvalidArgument("predict request: batch exceeds the size cap");
+  }
+  out.sized_bytes(alias.data(), alias.size());
+  out.fixed64(config_digest);
+  out.varint(num_rows);
+  out.varint(num_features);
+  for (std::uint64_t f = 0; f < num_features; ++f) {
+    bool integral = true;
+    for (const std::vector<double>& row : rows) {
+      if (row.size() != num_features) {
+        throw InvalidArgument("predict request: ragged feature row");
+      }
+      if (!varint_exact(row[f])) {
+        integral = false;
+        break;
+      }
+    }
+    out.u8(integral ? 1 : 0);
+    for (const std::vector<double>& row : rows) {
+      if (integral) {
+        out.varint(static_cast<std::uint64_t>(row[f]));
+      } else {
+        out.fixed64(std::bit_cast<std::uint64_t>(row[f]));
+      }
+    }
+  }
+}
+
+PredictRequestMsg PredictRequestMsg::decode(util::ByteReader& in) {
+  PredictRequestMsg msg;
+  const std::vector<char> alias = in.byte_vec<char>();
+  msg.alias.assign(alias.begin(), alias.end());
+  msg.config_digest = in.fixed64();
+  msg.num_rows = in.varint();
+  msg.num_features = in.varint();
+  if (msg.num_rows > kMaxPredictRows ||
+      msg.num_features > kMaxPredictFeatures) {
+    throw InvalidArgument("predict request: batch exceeds the size cap");
+  }
+  // Every value costs at least one wire byte, so a (rows, features) pair
+  // whose product exceeds the remaining payload cannot be honest — reject
+  // it before the allocation below, not after.
+  if (msg.num_features > 0 && msg.num_rows > in.remaining() / msg.num_features) {
+    throw InvalidArgument("predict request: batch larger than its payload");
+  }
+  msg.rows.assign(static_cast<std::size_t>(msg.num_rows),
+                  std::vector<double>(
+                      static_cast<std::size_t>(msg.num_features), 0.0));
+  for (std::uint64_t f = 0; f < msg.num_features; ++f) {
+    const std::uint8_t tag = in.u8();
+    if (tag > 1) {
+      throw InvalidArgument("predict request: unknown column encoding " +
+                            std::to_string(tag));
+    }
+    for (std::uint64_t r = 0; r < msg.num_rows; ++r) {
+      msg.rows[r][f] = tag == 1
+                           ? static_cast<double>(in.varint())
+                           : std::bit_cast<double>(in.fixed64());
+    }
+  }
+  return msg;
+}
+
+void PredictResponseMsg::encode(util::ByteWriter& out) const {
+  out.sized_bytes(alias.data(), alias.size());
+  out.fixed64(config_digest);
+  out.varint(generation);
+  out.varint(labels.size());
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] > 0) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out.u8(acc);
+      acc = 0;
+    }
+  }
+  if (labels.size() % 8 != 0) out.u8(acc);
+}
+
+PredictResponseMsg PredictResponseMsg::decode(util::ByteReader& in) {
+  PredictResponseMsg msg;
+  const std::vector<char> alias = in.byte_vec<char>();
+  msg.alias.assign(alias.begin(), alias.end());
+  msg.config_digest = in.fixed64();
+  msg.generation = in.varint();
+  const std::uint64_t n = in.varint();
+  if (n > kMaxPredictRows) {
+    throw InvalidArgument("predict response: implausible label count");
+  }
+  msg.labels.reserve(static_cast<std::size_t>(n));
+  std::uint8_t acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) acc = in.u8();
+    msg.labels.push_back((acc >> (i % 8)) & 1u ? 1 : -1);
+  }
   return msg;
 }
 

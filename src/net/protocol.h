@@ -32,7 +32,13 @@ namespace ssresf::net {
 /// (kPeerQuery/kPeerInfo) behind automatic coordinator election, the
 /// election epoch in the challenge (and bound into the handshake MAC — the
 /// split-brain guard), and the worker's replica length in kReady.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+///
+/// Version 4 added the model-serving frames (kPredictRequest /
+/// kPredictResponse — batched classification against a warm .ssmd bundle,
+/// see serve/predict_server.h) and the worker's advertised peer host in
+/// kHello (multi-host fleets behind NAT report the address peers should
+/// dial instead of whatever the accept() socket saw).
+inline constexpr std::uint8_t kProtocolVersion = 4;
 
 /// Frames over 1 GiB are rejected before allocation: no golden bundle or
 /// record batch comes close, so a larger length is a corrupt or hostile
@@ -55,10 +61,12 @@ enum class MsgType : std::uint8_t {
   kPeers = 12,        // coordinator -> worker: the fleet roster (peer ports)
   kPeerQuery = 13,    // worker -> worker: election probe on the peer port
   kPeerInfo = 14,     // worker -> worker: candidacy/leadership answer
+  kPredictRequest = 15,   // client -> model server: one batch of feature rows
+  kPredictResponse = 16,  // model server -> client: one label per row
 };
 
 inline constexpr std::uint8_t kMaxMsgType =
-    static_cast<std::uint8_t>(MsgType::kPeerInfo);
+    static_cast<std::uint8_t>(MsgType::kPredictResponse);
 
 struct Frame {
   MsgType type = MsgType::kError;
@@ -127,6 +135,11 @@ struct HelloMsg {
   /// of its peers — the contact list a coordinator-less election runs over.
   /// 0 = this worker does not participate in elections.
   std::uint16_t peer_port = 0;
+  /// Host peers should dial to reach the peer-query listener. Empty = use
+  /// whatever address this hello's connection came from (the loopback /
+  /// single-host default). Set via --advertise-addr when the worker sits
+  /// behind NAT or binds a non-routable interface.
+  std::string peer_host;
 
   void encode(util::ByteWriter& out) const;
   [[nodiscard]] static HelloMsg decode(util::ByteReader& in);
@@ -299,6 +312,50 @@ struct ErrorMsg {
 
   void encode(util::ByteWriter& out) const;
   [[nodiscard]] static ErrorMsg decode(util::ByteReader& in);
+};
+
+/// Hard caps on one predict batch. Far above any real netlist (the largest
+/// built-in SoC has a few thousand injectable cells, ten features each);
+/// anything bigger is a corrupt or hostile request and is rejected before
+/// allocation.
+inline constexpr std::uint64_t kMaxPredictRows = 1u << 20;
+inline constexpr std::uint64_t kMaxPredictFeatures = 1u << 12;
+
+/// Client -> model server: one batch of raw (unscaled, unmasked) feature
+/// rows to classify with the bundle registered under `alias`. Rows are
+/// stored column-major and each column is varint-coded like the record
+/// columns in .ssfs files: node features are overwhelmingly small
+/// non-negative integers (fan-in counts, depths, type codes), so a column
+/// of exactly-representable integral doubles travels as one tag byte plus
+/// LEB128 varints; any other column falls back to raw IEEE-754 bit
+/// patterns. Both paths are bit-exact, which is what makes the served
+/// predictions byte-diffable against offline `ssresf predict`.
+struct PredictRequestMsg {
+  std::string alias;
+  /// Expected campaign-config digest of the served bundle; the server
+  /// refuses the batch if its bundle disagrees. 0 = accept any (the
+  /// cross-netlist case, mirroring predict --cross-netlist).
+  std::uint64_t config_digest = 0;
+  std::uint64_t num_rows = 0;
+  std::uint64_t num_features = 0;
+  /// Row-major rows.size() == num_rows, each of num_features doubles.
+  std::vector<std::vector<double>> rows;
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static PredictRequestMsg decode(util::ByteReader& in);
+};
+
+/// Model server -> client: one ±1 label per request row (bit-packed, 1 =
+/// sensitive / +1), plus the identity of the bundle that answered so the
+/// client can pin results to a model generation across hot reloads.
+struct PredictResponseMsg {
+  std::string alias;
+  std::uint64_t config_digest = 0;  // digest of the bundle that answered
+  std::uint64_t generation = 0;     // registry generation that answered
+  std::vector<int> labels;          // +1 / -1, one per request row
+
+  void encode(util::ByteWriter& out) const;
+  [[nodiscard]] static PredictResponseMsg decode(util::ByteReader& in);
 };
 
 /// encode() into a fresh payload buffer (convenience for send_frame).

@@ -131,9 +131,10 @@ std::uint64_t Worker::run_inner() {
   state.known_epoch = options_.initial_epoch;
   const bool elections = options_.election_timeout_seconds > 0.0;
   if (elections && peers_ == nullptr) {
+    const bool loopback =
+        options_.peer_loopback_only && options_.advertise_host.empty();
     peers_ = std::make_unique<PeerService>(options_.worker_id,
-                                           options_.peer_port,
-                                           options_.peer_loopback_only);
+                                           options_.peer_port, loopback);
     log("peer service listening on port %u",
         static_cast<unsigned>(peers_->port()));
   }
@@ -387,6 +388,7 @@ Worker::SessionEnd Worker::run_session(SessionState& state, std::string& host,
   hello.threads = static_cast<std::uint32_t>(std::max(options_.threads, 1));
   hello.nonce = fresh_nonce();
   hello.peer_port = peers_ != nullptr ? peers_->port() : 0;
+  hello.peer_host = options_.advertise_host;
   send(socket, MsgType::kHello, encode_payload(hello));
 
   // A handoff can fire at any point, including mid-handshake — follow the

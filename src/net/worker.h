@@ -49,6 +49,13 @@ struct WorkerOptions {
   /// Peer-query listener port (0 = ephemeral) and its bind scope.
   std::uint16_t peer_port = 0;
   bool peer_loopback_only = true;
+  /// Host other fleet members should dial to reach this worker's peer
+  /// listener, announced in kHello (--advertise-addr). Empty (default): the
+  /// coordinator derives the host from the hello connection's peer address,
+  /// which only works when workers are mutually reachable at that address.
+  /// Setting this also widens the peer listener bind from loopback to all
+  /// interfaces — an advertised address must actually be dialable.
+  std::string advertise_host;
   /// Budget of one peer-query round trip during an election round.
   double peer_timeout_seconds = 1.0;
   /// Where a promoted worker persists its replica as the new journal

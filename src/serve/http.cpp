@@ -1,0 +1,423 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ssresf::serve {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view http_status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Error";
+  }
+}
+
+bool HttpConnection::read_request(HttpRequest& out) {
+  out = HttpRequest{};
+  // Accumulate until the header terminator, carrying over any bytes a
+  // previous keep-alive request left behind.
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    if (buf_.size() > kMaxHttpHeaderBytes) {
+      throw HttpError(431, "http: request header block exceeds " +
+                               std::to_string(kMaxHttpHeaderBytes) + " bytes");
+    }
+    char chunk[4096];
+    const std::size_t n = socket_.recv_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      if (buf_.empty()) return false;  // clean close between requests
+      throw HttpError(400, "http: connection closed inside a request head");
+    }
+    buf_.append(chunk, n);
+  }
+  const std::string head = buf_.substr(0, head_end);
+  buf_.erase(0, head_end + 4);
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    throw HttpError(400, "http: malformed request line");
+  }
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (out.method.empty() || out.target.empty() || out.target[0] != '/') {
+    throw HttpError(400, "http: malformed request line");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    throw HttpError(505, "http: unsupported version '" + version + "'");
+  }
+
+  // Header fields, names lowercased.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t next = head.find("\r\n", pos);
+    if (next == std::string::npos) next = head.size();
+    const std::string_view field(head.data() + pos, next - pos);
+    pos = next + 2;
+    if (field.empty()) continue;
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      throw HttpError(400, "http: malformed header field");
+    }
+    out.headers[lower(std::string(trim(field.substr(0, colon))))] =
+        std::string(trim(field.substr(colon + 1)));
+  }
+
+  const bool http11 = version == "HTTP/1.1";
+  out.keep_alive = http11;
+  if (const auto it = out.headers.find("connection");
+      it != out.headers.end()) {
+    const std::string value = lower(it->second);
+    if (value.find("close") != std::string::npos) out.keep_alive = false;
+    if (!http11 && value.find("keep-alive") != std::string::npos) {
+      out.keep_alive = true;
+    }
+  }
+
+  if (out.headers.count("transfer-encoding") != 0) {
+    throw HttpError(501, "http: transfer-encoding is not supported");
+  }
+  std::size_t content_length = 0;
+  if (const auto it = out.headers.find("content-length");
+      it != out.headers.end()) {
+    const std::string& v = it->second;
+    const auto [p, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), content_length);
+    if (ec != std::errc() || p != v.data() + v.size()) {
+      throw HttpError(400, "http: malformed content-length '" + v + "'");
+    }
+  }
+  if (content_length > kMaxHttpBodyBytes) {
+    throw HttpError(413, "http: request body of " +
+                             std::to_string(content_length) +
+                             " bytes exceeds the cap");
+  }
+
+  // Body: drain the carry-over first, then the socket.
+  const std::size_t from_buf = std::min(content_length, buf_.size());
+  out.body.assign(buf_, 0, from_buf);
+  buf_.erase(0, from_buf);
+  while (out.body.size() < content_length) {
+    char chunk[4096];
+    const std::size_t want =
+        std::min(content_length - out.body.size(), sizeof(chunk));
+    const std::size_t n = socket_.recv_some(chunk, want);
+    if (n == 0) {
+      throw HttpError(400, "http: connection closed inside a request body");
+    }
+    out.body.append(chunk, n);
+  }
+  return true;
+}
+
+void HttpConnection::respond(int status, std::string_view content_type,
+                             std::string_view body, bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     std::string(http_status_text(status)) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+  socket_.send_all(head.data(), head.size());
+  if (!body.empty()) socket_.send_all(body.data(), body.size());
+}
+
+// --- JSON --------------------------------------------------------------------
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it != object.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgument("json: " + what + " (at byte " +
+                          std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string_token();
+        skip_ws();
+        expect(':');
+        v.object[std::move(key)] = parse_value(depth + 1);
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.array.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string_token();
+      return v;
+    }
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      v.kind = JsonValue::Kind::kNumber;
+      const char* begin = text_.data() + pos_;
+      const char* end = text_.data() + text_.size();
+      const auto [p, ec] = std::from_chars(begin, end, v.number);
+      if (ec != std::errc()) fail("malformed number");
+      pos_ += static_cast<std::size_t>(p - begin);
+      return v;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("malformed \\u escape");
+      }
+    }
+    return value;
+  }
+
+  std::string parse_string_token() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            expect('\\');
+            expect('u');
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    throw InvalidArgument("json: non-finite numbers are not representable");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace ssresf::serve

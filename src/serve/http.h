@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+#include "util/socket.h"
+
+namespace ssresf::serve {
+
+/// Minimal dependency-free HTTP/1.1 server-side support for the prediction
+/// daemon's JSON front. Deliberately small: request-line + headers +
+/// Content-Length bodies, keep-alive, nothing else (no chunked encoding, no
+/// TLS, no compression) — enough for `curl` and the HttpPredictClient.
+
+/// A malformed or oversized request. `status` is the HTTP status the server
+/// should answer with before dropping the connection.
+class HttpError : public Error {
+ public:
+  HttpError(int status, const std::string& what)
+      : Error(what), status_(status) {}
+  [[nodiscard]] int status() const noexcept { return status_; }
+
+ private:
+  int status_;
+};
+
+struct HttpRequest {
+  std::string method;   // as sent (GET, POST, ...)
+  std::string target;   // origin-form, e.g. /v1/predict
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string body;
+  bool keep_alive = true;
+};
+
+/// Hard caps on one request: a header block or body beyond these is hostile
+/// or lost, not a prediction batch.
+inline constexpr std::size_t kMaxHttpHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxHttpBodyBytes = 64 * 1024 * 1024;
+
+/// One HTTP connection: owns the socket plus the read buffer that carries
+/// pipelined bytes between keep-alive requests.
+class HttpConnection {
+ public:
+  explicit HttpConnection(util::Socket socket) : socket_(std::move(socket)) {}
+
+  [[nodiscard]] util::Socket& socket() { return socket_; }
+
+  /// Reads one full request. Returns false on a clean end-of-stream before
+  /// the first byte (the client hung up between requests). Throws HttpError
+  /// on a malformed or oversized request, util Error on a mid-request
+  /// disconnect.
+  [[nodiscard]] bool read_request(HttpRequest& out);
+
+  /// Writes one response with Content-Length framing.
+  void respond(int status, std::string_view content_type,
+               std::string_view body, bool keep_alive);
+
+ private:
+  util::Socket socket_;
+  std::string buf_;
+};
+
+[[nodiscard]] std::string_view http_status_text(int status);
+
+// --- JSON --------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are doubles (parse/print round-trips them
+/// bit-exactly via %.17g), which is all the predict body needs; 64-bit
+/// digests travel as hex strings, never as JSON numbers.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  /// Object member or nullptr.
+  [[nodiscard]] const JsonValue* get(const std::string& key) const;
+};
+
+/// Parses one JSON document (must consume the whole input). Throws
+/// InvalidArgument on malformed JSON or nesting deeper than 64 levels.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// `s` as a quoted JSON string literal.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest-round-trip rendering of a double as a JSON number token.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace ssresf::serve

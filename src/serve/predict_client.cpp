@@ -1,0 +1,235 @@
+#include "serve/predict_client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/protocol.h"
+#include "serve/http.h"
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace ssresf::serve {
+
+namespace {
+
+net::PredictRequestMsg make_request(
+    const std::string& alias, std::uint64_t expect_digest,
+    const std::vector<std::vector<double>>& rows) {
+  net::PredictRequestMsg request;
+  request.alias = alias;
+  request.config_digest = expect_digest;
+  request.num_rows = rows.size();
+  request.num_features = rows.empty() ? 0 : rows.front().size();
+  request.rows = rows;
+  return request;
+}
+
+void check_labels(const PredictResult& result, std::size_t rows) {
+  if (result.labels.size() != rows) {
+    throw Error("predict client: server answered " +
+                std::to_string(result.labels.size()) + " labels for " +
+                std::to_string(rows) + " rows");
+  }
+}
+
+}  // namespace
+
+PredictClient::PredictClient(const std::string& host, std::uint16_t port,
+                             double connect_timeout_seconds)
+    : socket_(util::connect_to(host, port, connect_timeout_seconds)) {}
+
+PredictResult PredictClient::predict(
+    const std::string& alias, std::uint64_t expect_digest,
+    const std::vector<std::vector<double>>& rows) {
+  const net::PredictRequestMsg request =
+      make_request(alias, expect_digest, rows);
+  net::send_frame(socket_, net::MsgType::kPredictRequest,
+                  net::encode_payload(request));
+  net::Frame frame;
+  if (!net::recv_frame(socket_, frame)) {
+    throw Error("predict client: server closed the connection mid-request");
+  }
+  if (frame.type == net::MsgType::kError) {
+    util::ByteReader reader(frame.payload);
+    throw Error(net::ErrorMsg::decode(reader).message);
+  }
+  if (frame.type != net::MsgType::kPredictResponse) {
+    throw Error("predict client: unexpected frame type " +
+                std::to_string(static_cast<int>(frame.type)));
+  }
+  util::ByteReader reader(frame.payload);
+  const auto response = net::PredictResponseMsg::decode(reader);
+  PredictResult result;
+  result.labels = response.labels;
+  result.alias = response.alias;
+  result.config_digest = response.config_digest;
+  result.generation = response.generation;
+  check_labels(result, rows.size());
+  return result;
+}
+
+HttpPredictClient::HttpPredictClient(const std::string& host,
+                                     std::uint16_t port,
+                                     double connect_timeout_seconds)
+    : host_(host),
+      socket_(util::connect_to(host, port, connect_timeout_seconds)) {}
+
+namespace {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Reads one Content-Length-framed response, carrying pipelined bytes in
+/// `buf` between keep-alive calls.
+HttpResponse read_response(util::Socket& socket, std::string& buf) {
+  std::size_t head_end = std::string::npos;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    if (buf.size() > kMaxHttpHeaderBytes) {
+      throw Error("predict client: oversized response head");
+    }
+    char chunk[4096];
+    const std::size_t n = socket.recv_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      throw Error("predict client: server closed the connection mid-response");
+    }
+    buf.append(chunk, n);
+  }
+  const std::string head = buf.substr(0, head_end);
+  buf.erase(0, head_end + 4);
+
+  HttpResponse response;
+  // Status line: HTTP/1.1 SP code SP reason
+  const std::size_t sp1 = head.find(' ');
+  if (sp1 == std::string::npos || head.size() < sp1 + 4) {
+    throw Error("predict client: malformed response status line");
+  }
+  response.status = std::atoi(head.c_str() + sp1 + 1);
+  std::size_t content_length = 0;
+  std::size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    std::size_t next = head.find("\r\n", pos + 2);
+    const std::string line =
+        head.substr(pos + 2, (next == std::string::npos ? head.size() : next) -
+                                 pos - 2);
+    pos = next;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (name == "content-length") {
+      std::string value = line.substr(colon + 1);
+      const std::size_t start = value.find_first_not_of(" \t");
+      value = start == std::string::npos ? "" : value.substr(start);
+      const auto [p, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), content_length);
+      if (ec != std::errc()) {
+        throw Error("predict client: malformed content-length");
+      }
+    }
+  }
+  if (content_length > kMaxHttpBodyBytes) {
+    throw Error("predict client: oversized response body");
+  }
+  const std::size_t from_buf = std::min(content_length, buf.size());
+  response.body.assign(buf, 0, from_buf);
+  buf.erase(0, from_buf);
+  while (response.body.size() < content_length) {
+    char chunk[4096];
+    const std::size_t want =
+        std::min(content_length - response.body.size(), sizeof(chunk));
+    const std::size_t n = socket.recv_some(chunk, want);
+    if (n == 0) {
+      throw Error("predict client: server closed the connection mid-response");
+    }
+    response.body.append(chunk, n);
+  }
+  return response;
+}
+
+}  // namespace
+
+PredictResult HttpPredictClient::predict(
+    const std::string& alias, std::uint64_t expect_digest,
+    const std::vector<std::vector<double>>& rows) {
+  std::string body = "{";
+  bool first_field = true;
+  if (!alias.empty()) {
+    body += "\"model\":" + json_quote(alias);
+    first_field = false;
+  }
+  if (expect_digest != 0) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "0x%016llx",
+                  static_cast<unsigned long long>(expect_digest));
+    if (!first_field) body += ",";
+    body += "\"digest\":" + json_quote(hex);
+    first_field = false;
+  }
+  if (!first_field) body += ",";
+  body += "\"rows\":[";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) body += ",";
+    body += "[";
+    for (std::size_t f = 0; f < rows[r].size(); ++f) {
+      if (f > 0) body += ",";
+      body += json_number(rows[r][f]);
+    }
+    body += "]";
+  }
+  body += "]}";
+
+  std::string request = "POST /v1/predict HTTP/1.1\r\n";
+  request += "Host: " + host_ + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "\r\n";
+  request += body;
+  socket_.send_all(request.data(), request.size());
+
+  const HttpResponse response = read_response(socket_, buf_);
+  JsonValue doc;
+  try {
+    doc = parse_json(response.body);
+  } catch (const Error&) {
+    doc = JsonValue{};
+  }
+  if (response.status != 200) {
+    const JsonValue* error = doc.get("error");
+    throw Error(error != nullptr && error->is_string()
+                    ? error->string
+                    : "predict client: HTTP " +
+                          std::to_string(response.status));
+  }
+  const JsonValue* labels = doc.get("labels");
+  if (labels == nullptr || !labels->is_array()) {
+    throw Error("predict client: response has no \"labels\" array");
+  }
+  PredictResult result;
+  result.labels.reserve(labels->array.size());
+  for (const JsonValue& v : labels->array) {
+    if (!v.is_number()) {
+      throw Error("predict client: non-numeric label in response");
+    }
+    result.labels.push_back(v.number > 0 ? 1 : -1);
+  }
+  if (const JsonValue* model = doc.get("model"); model && model->is_string()) {
+    result.alias = model->string;
+  }
+  if (const JsonValue* digest = doc.get("digest");
+      digest && digest->is_string()) {
+    result.config_digest = std::strtoull(digest->string.c_str(), nullptr, 16);
+  }
+  if (const JsonValue* gen = doc.get("generation");
+      gen && gen->is_number()) {
+    result.generation = static_cast<std::uint64_t>(gen->number);
+  }
+  check_labels(result, rows.size());
+  return result;
+}
+
+}  // namespace ssresf::serve

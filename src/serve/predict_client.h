@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/socket.h"
+
+namespace ssresf::serve {
+
+/// Outcome of one batched predict round trip, transport-agnostic: the SSNP
+/// and HTTP clients fill the same struct, which is how the CI
+/// serving-equivalence job byte-diffs the two fronts against each other and
+/// against offline `ssresf predict`.
+struct PredictResult {
+  std::vector<int> labels;          // +1 / -1 per request row
+  std::string alias;                // alias of the bundle that answered
+  std::uint64_t config_digest = 0;  // digest of the bundle that answered
+  std::uint64_t generation = 0;     // registry generation that answered
+};
+
+/// Batched prediction over the SSNP front: one kPredictRequest frame per
+/// predict() call on a persistent connection. A kError reply (unknown
+/// alias, digest mismatch, bad shape) throws with the server's message.
+class PredictClient {
+ public:
+  PredictClient(const std::string& host, std::uint16_t port,
+                double connect_timeout_seconds = 10.0);
+
+  /// `expect_digest` 0 skips the digest cross-check (deliberate
+  /// cross-netlist transfer); nonzero makes the server refuse a bundle
+  /// trained on any other campaign. An empty `alias` with a nonzero digest
+  /// resolves the model by digest instead.
+  [[nodiscard]] PredictResult predict(
+      const std::string& alias, std::uint64_t expect_digest,
+      const std::vector<std::vector<double>>& rows);
+
+ private:
+  util::Socket socket_;
+};
+
+/// The same round trip over the HTTP/1.1 JSON front (POST /v1/predict) on a
+/// persistent keep-alive connection. Feature values travel as %.17g JSON
+/// numbers, which round-trip doubles bit-exactly — HTTP predictions are
+/// byte-diffable against the SSNP and offline paths.
+class HttpPredictClient {
+ public:
+  HttpPredictClient(const std::string& host, std::uint16_t port,
+                    double connect_timeout_seconds = 10.0);
+
+  [[nodiscard]] PredictResult predict(
+      const std::string& alias, std::uint64_t expect_digest,
+      const std::vector<std::vector<double>>& rows);
+
+ private:
+  std::string host_;
+  util::Socket socket_;
+  std::string buf_;  // carry-over between keep-alive responses
+};
+
+}  // namespace ssresf::serve

@@ -1,0 +1,424 @@
+#include "serve/predict_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "serve/http.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace ssresf::serve {
+
+namespace {
+
+/// Poll granularity of every blocking loop in the daemon: the longest a
+/// drain can wait for an *idle* connection or listener to notice stop().
+constexpr int kPollMs = 100;
+
+/// Once a frame or request has started arriving, the rest of it must land
+/// within this long — the slow-loris bound that keeps a stalled client from
+/// pinning a drain forever.
+constexpr double kFrameDeadlineSeconds = 30.0;
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+PredictServer::PredictServer(PredictServerOptions options)
+    : options_(std::move(options)), registry_(options_.models_dir) {
+  const std::size_t loaded = registry_.refresh();
+  for (const auto& [path, error] : registry_.load_errors()) {
+    log_line("model-serve: skipping '" + path + "': " + error);
+  }
+  log_line("model-serve: " + std::to_string(loaded) + " model(s) loaded from " +
+           options_.models_dir);
+  if (options_.ssnp_port >= 0) {
+    ssnp_listener_.emplace(static_cast<std::uint16_t>(options_.ssnp_port),
+                           options_.loopback_only);
+  }
+  if (options_.http_port >= 0) {
+    http_listener_.emplace(static_cast<std::uint16_t>(options_.http_port),
+                           options_.loopback_only);
+  }
+  if (!ssnp_listener_ && !http_listener_) {
+    throw InvalidArgument("model-serve: both fronts are disabled");
+  }
+  const int threads = options_.threads > 0
+                          ? options_.threads
+                          : std::max(4, util::ThreadPool::hardware_threads());
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+PredictServer::~PredictServer() { stop(); }
+
+std::uint16_t PredictServer::ssnp_port() const {
+  return ssnp_listener_ ? ssnp_listener_->port() : 0;
+}
+
+std::uint16_t PredictServer::http_port() const {
+  return http_listener_ ? http_listener_->port() : 0;
+}
+
+void PredictServer::log_line(const std::string& line) const {
+  if (options_.log) options_.log(line);
+}
+
+void PredictServer::start() {
+  if (started_) return;
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (options_.reload_interval_seconds > 0.0) {
+    watch_thread_ = std::thread([this] { watch_loop(); });
+  }
+}
+
+void PredictServer::stop() {
+  // Drain order matters: close the doors (listeners) first, then wait for
+  // everyone inside to finish. The pool destructor runs every queued and
+  // in-flight connection handler to completion, and those handlers poll
+  // stop_ between requests — so an in-flight request always gets its
+  // answer, while idle keep-alive connections are released at the next
+  // poll tick.
+  const std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stop_.store(true);
+  watch_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (watch_thread_.joinable()) watch_thread_.join();
+  if (ssnp_listener_) ssnp_listener_->close();
+  if (http_listener_) http_listener_->close();
+  pool_.reset();
+  log_line("model-serve: drained");
+}
+
+void PredictServer::accept_loop() {
+  std::vector<int> fds;
+  if (ssnp_listener_) fds.push_back(ssnp_listener_->fd());
+  if (http_listener_) fds.push_back(http_listener_->fd());
+  while (!stop_.load()) {
+    const std::vector<bool> ready = util::poll_readable(fds, kPollMs);
+    if (stop_.load()) break;
+    std::size_t slot = 0;
+    if (ssnp_listener_) {
+      if (ready[slot++]) {
+        auto socket = std::make_shared<util::Socket>(ssnp_listener_->accept());
+        pool_->submit([this, socket] { serve_ssnp(std::move(*socket)); });
+      }
+    }
+    if (http_listener_) {
+      if (ready[slot]) {
+        auto socket = std::make_shared<util::Socket>(http_listener_->accept());
+        pool_->submit([this, socket] { serve_http(std::move(*socket)); });
+      }
+    }
+  }
+}
+
+void PredictServer::watch_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_.load()) {
+    watch_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.reload_interval_seconds),
+        [this] { return stop_.load(); });
+    if (stop_.load()) break;
+    lock.unlock();
+    try {
+      const std::uint64_t before = registry_.generation();
+      registry_.refresh();
+      if (registry_.generation() != before) {
+        log_line("model-serve: registry now at generation " +
+                 std::to_string(registry_.generation()));
+      }
+      for (const auto& [path, error] : registry_.load_errors()) {
+        log_line("model-serve: skipping '" + path + "': " + error);
+      }
+    } catch (const std::exception& e) {
+      log_line(std::string("model-serve: reload failed: ") + e.what());
+    }
+    lock.lock();
+  }
+}
+
+net::PredictResponseMsg PredictServer::handle_batch(
+    const net::PredictRequestMsg& request) {
+  util::Timer timer;
+  const std::string stats_alias =
+      request.alias.empty() ? hex64(request.config_digest) : request.alias;
+  std::shared_ptr<const ServedModel> entry;
+  try {
+    entry = request.alias.empty()
+                ? registry_.find_by_digest(request.config_digest)
+                : registry_.find(request.alias);
+    if (!entry) {
+      throw RequestError(
+          404, request.alias.empty()
+                   ? "no served model with config digest " +
+                         hex64(request.config_digest)
+                   : "no served model with alias '" + request.alias + "'");
+    }
+    if (request.config_digest != 0 &&
+        entry->bundle->config_digest != request.config_digest) {
+      // The loud digest refusal: answering anyway could silently classify
+      // one netlist with another netlist's model.
+      throw RequestError(
+          409, "config digest mismatch: request expects " +
+                   hex64(request.config_digest) + " but served bundle '" +
+                   entry->alias + "' was trained on " +
+                   hex64(entry->bundle->config_digest) +
+                   " (re-publish the bundle, or send digest 0 for deliberate "
+                   "cross-netlist transfer)");
+    }
+    net::PredictResponseMsg response;
+    response.alias = entry->alias;
+    response.config_digest = entry->bundle->config_digest;
+    response.generation = entry->generation;
+    response.labels.reserve(request.rows.size());
+    for (const std::vector<double>& row : request.rows) {
+      try {
+        response.labels.push_back(core::bundle_classify(*entry->bundle, row));
+      } catch (const Error& e) {
+        throw RequestError(400, e.what());
+      }
+    }
+    registry_.record_request(stats_alias, request.rows.size(),
+                            timer.seconds(), /*ok=*/true);
+    return response;
+  } catch (const RequestError&) {
+    registry_.record_request(stats_alias, 0, timer.seconds(), /*ok=*/false);
+    throw;
+  }
+}
+
+void PredictServer::serve_ssnp(util::Socket socket) {
+  try {
+    while (true) {
+      // Poll-gated read: an idle connection re-checks stop_ every tick, so
+      // a drain never waits on a client that has nothing to say.
+      if (!socket.wait_readable(kPollMs)) {
+        if (stop_.load()) break;
+        continue;
+      }
+      net::Frame frame;
+      if (!net::recv_frame_deadline(socket, frame, kFrameDeadlineSeconds)) {
+        break;  // clean close
+      }
+      if (frame.type != net::MsgType::kPredictRequest) {
+        const net::ErrorMsg err{
+            "model-serve: unexpected frame type " +
+            std::to_string(static_cast<int>(frame.type)) +
+            " (this port only answers kPredictRequest)"};
+        net::send_frame(socket, net::MsgType::kError,
+                        net::encode_payload(err));
+        continue;
+      }
+      try {
+        util::ByteReader reader(frame.payload);
+        const auto request = net::PredictRequestMsg::decode(reader);
+        if (!reader.at_end()) {
+          throw InvalidArgument("predict request: trailing payload bytes");
+        }
+        const net::PredictResponseMsg response = handle_batch(request);
+        net::send_frame(socket, net::MsgType::kPredictResponse,
+                        net::encode_payload(response));
+      } catch (const Error& e) {
+        // A refused or malformed batch is answered in-band; the framing is
+        // still in sync, so the connection survives for the next batch.
+        const net::ErrorMsg err{std::string("model-serve: ") + e.what()};
+        net::send_frame(socket, net::MsgType::kError,
+                        net::encode_payload(err));
+      }
+    }
+  } catch (const std::exception& e) {
+    // Unframeable garbage or a mid-frame disconnect: drop the connection,
+    // never the daemon.
+    log_line(std::string("model-serve: ssnp connection dropped: ") + e.what());
+  }
+}
+
+std::string PredictServer::models_json() const {
+  std::string out = "{\"generation\":" +
+                    std::to_string(registry_.generation()) + ",\"models\":[";
+  bool first = true;
+  for (const auto& entry : registry_.list()) {
+    const ModelStats stats = registry_.stats(entry->alias);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"alias\":" + json_quote(entry->alias);
+    out += ",\"digest\":" + json_quote(hex64(entry->bundle->config_digest));
+    out += ",\"generation\":" + std::to_string(entry->generation);
+    out += ",\"scenario\":" + json_quote(entry->bundle->scenario_name);
+    out += ",\"features\":" +
+           std::to_string(entry->bundle->feature_names.size());
+    out += ",\"selected_features\":" +
+           std::to_string(entry->bundle->selected_features.size());
+    out += ",\"cv_accuracy\":" + json_number(entry->bundle->cv_mean_accuracy);
+    out += ",\"requests\":" + std::to_string(stats.requests);
+    out += ",\"rows\":" + std::to_string(stats.rows);
+    out += ",\"errors\":" + std::to_string(stats.errors);
+    out += ",\"seconds\":" + json_number(stats.total_seconds);
+    out += "}";
+  }
+  out += "],\"load_errors\":[";
+  first = true;
+  for (const auto& [path, error] : registry_.load_errors()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"path\":" + json_quote(path) +
+           ",\"error\":" + json_quote(error) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string PredictServer::handle_http_predict(const std::string& body) {
+  JsonValue doc;
+  try {
+    doc = parse_json(body);
+  } catch (const Error& e) {
+    throw HttpError(400, e.what());
+  }
+  if (!doc.is_object()) {
+    throw HttpError(400, "predict body must be a JSON object");
+  }
+  net::PredictRequestMsg request;
+  if (const JsonValue* model = doc.get("model")) {
+    if (!model->is_string()) {
+      throw HttpError(400, "\"model\" must be a string alias");
+    }
+    request.alias = model->string;
+  }
+  if (const JsonValue* digest = doc.get("digest")) {
+    if (!digest->is_string()) {
+      throw HttpError(400,
+                      "\"digest\" must be a hex string (64-bit digests do "
+                      "not fit JSON numbers)");
+    }
+    const std::string& s = digest->string;
+    char* end = nullptr;
+    request.config_digest = std::strtoull(s.c_str(), &end, 16);
+    if (s.empty() || end != s.c_str() + s.size()) {
+      throw HttpError(400, "\"digest\" is not a hex string: " + s);
+    }
+  }
+  const JsonValue* rows = doc.get("rows");
+  if (rows == nullptr || !rows->is_array()) {
+    throw HttpError(400, "\"rows\" must be an array of feature rows");
+  }
+  if (rows->array.size() > net::kMaxPredictRows) {
+    throw HttpError(413, "predict batch exceeds the row cap");
+  }
+  request.rows.reserve(rows->array.size());
+  for (const JsonValue& row : rows->array) {
+    if (!row.is_array()) {
+      throw HttpError(400, "\"rows\" must contain arrays of numbers");
+    }
+    std::vector<double> values;
+    values.reserve(row.array.size());
+    for (const JsonValue& v : row.array) {
+      if (!v.is_number()) {
+        throw HttpError(400, "feature values must be numbers");
+      }
+      values.push_back(v.number);
+    }
+    if (!request.rows.empty() && values.size() != request.rows.front().size()) {
+      throw HttpError(400, "ragged feature rows");
+    }
+    request.rows.push_back(std::move(values));
+  }
+  request.num_rows = request.rows.size();
+  request.num_features =
+      request.rows.empty() ? 0 : request.rows.front().size();
+
+  net::PredictResponseMsg response;
+  try {
+    response = handle_batch(request);
+  } catch (const RequestError& e) {
+    throw HttpError(e.http_status(), e.what());
+  }
+  std::string out = "{\"model\":" + json_quote(response.alias);
+  out += ",\"digest\":" + json_quote(hex64(response.config_digest));
+  out += ",\"generation\":" + std::to_string(response.generation);
+  out += ",\"labels\":[";
+  for (std::size_t i = 0; i < response.labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(response.labels[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+void PredictServer::serve_http(util::Socket socket) {
+  HttpConnection conn(std::move(socket));
+  try {
+    while (true) {
+      if (!conn.socket().wait_readable(kPollMs)) {
+        if (stop_.load()) break;
+        continue;
+      }
+      HttpRequest request;
+      try {
+        if (!conn.read_request(request)) break;  // clean close
+      } catch (const HttpError& e) {
+        // Malformed head or body: answer if the socket still can, then
+        // drop the connection — its byte stream is beyond recovery.
+        conn.respond(e.status(),
+                     "application/json",
+                     "{\"error\":" + json_quote(e.what()) + "}\n",
+                     /*keep_alive=*/false);
+        break;
+      }
+      // Draining: answer this request, then close.
+      const bool keep_alive = request.keep_alive && !stop_.load();
+      try {
+        if (request.target == "/healthz") {
+          if (request.method != "GET") throw HttpError(405, "GET only");
+          conn.respond(200, "text/plain", "ok\n", keep_alive);
+        } else if (request.target == "/v1/models") {
+          if (request.method != "GET") throw HttpError(405, "GET only");
+          conn.respond(200, "application/json", models_json(), keep_alive);
+        } else if (request.target == "/v1/predict") {
+          if (request.method != "POST") throw HttpError(405, "POST only");
+          conn.respond(200, "application/json",
+                       handle_http_predict(request.body), keep_alive);
+        } else {
+          throw HttpError(404, "unknown endpoint '" + request.target + "'");
+        }
+      } catch (const HttpError& e) {
+        conn.respond(e.status(), "application/json",
+                     "{\"error\":" + json_quote(e.what()) + "}\n", keep_alive);
+      }
+      if (!keep_alive) break;
+    }
+  } catch (const std::exception& e) {
+    log_line(std::string("model-serve: http connection dropped: ") + e.what());
+  }
+}
+
+std::string PredictServer::stats_table() const {
+  util::Table table({"model", "requests", "rows", "errors", "avg ms"});
+  for (const auto& [alias, stats] : registry_.all_stats()) {
+    const double avg_ms =
+        stats.requests > 0
+            ? 1000.0 * stats.total_seconds /
+                  static_cast<double>(stats.requests)
+            : 0.0;
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.3f", avg_ms);
+    table.add_row({alias, std::to_string(stats.requests),
+                   std::to_string(stats.rows), std::to_string(stats.errors),
+                   avg});
+  }
+  return table.render();
+}
+
+}  // namespace ssresf::serve

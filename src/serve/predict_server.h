@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "net/protocol.h"
+#include "serve/registry.h"
+#include "util/socket.h"
+#include "util/thread_pool.h"
+
+namespace ssresf::serve {
+
+/// A refused predict batch (unknown alias, digest mismatch, bad shape).
+/// `http_status` is how the HTTP front reports it; the SSNP front sends the
+/// message in a kError frame. Always loud, never a silent wrong answer.
+class RequestError : public Error {
+ public:
+  RequestError(int http_status, const std::string& what)
+      : Error(what), http_status_(http_status) {}
+  [[nodiscard]] int http_status() const noexcept { return http_status_; }
+
+ private:
+  int http_status_;
+};
+
+struct PredictServerOptions {
+  /// Directory of `.ssmd` bundles the registry serves. Required.
+  std::string models_dir;
+  /// TCP ports of the two fronts: 0 = ephemeral (read back via
+  /// ssnp_port()/http_port()), -1 = front disabled.
+  int ssnp_port = 0;
+  int http_port = 0;
+  bool loopback_only = true;
+  /// Connection-handler pool size; <= 0 picks hardware threads (min 4).
+  int threads = 0;
+  /// Seconds between registry rescans (hot reload); <= 0 disables the
+  /// watcher — tests then drive reloads via registry().refresh().
+  double reload_interval_seconds = 1.0;
+  /// Optional log-line sink (stderr in the CLI, captured in tests).
+  std::function<void(const std::string&)> log;
+};
+
+/// The prediction daemon behind `ssresf model-serve`: one warm request core
+/// (resolve alias -> digest cross-check -> mask+scale+classify through
+/// core::bundle_classify, the exact offline arithmetic) shared by two
+/// fronts — batched kPredictRequest/kPredictResponse frames on the SSNP
+/// protocol, and a minimal HTTP/1.1 JSON endpoint (POST /v1/predict,
+/// GET /healthz, GET /v1/models). Connections are handled on a
+/// util::ThreadPool; a background watcher hot-reloads rewritten bundles
+/// (in-flight requests finish on the generation they resolved). stop() is a
+/// graceful drain: listeners close first, idle connections are released at
+/// their next poll tick, mid-request connections finish and answer.
+class PredictServer {
+ public:
+  explicit PredictServer(PredictServerOptions options);
+  ~PredictServer();
+
+  PredictServer(const PredictServer&) = delete;
+  PredictServer& operator=(const PredictServer&) = delete;
+
+  /// Bound port of a front, 0 when that front is disabled.
+  [[nodiscard]] std::uint16_t ssnp_port() const;
+  [[nodiscard]] std::uint16_t http_port() const;
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+
+  /// Starts the accept loop and reload watcher. Returns immediately.
+  void start();
+  /// Graceful drain; idempotent, implied by the destructor.
+  void stop();
+  [[nodiscard]] bool draining() const { return stop_.load(); }
+
+  /// The shared request core (also what both fronts call): resolves
+  /// `alias` (empty alias + nonzero digest resolves by digest), enforces
+  /// the digest cross-check, classifies every row, and folds the outcome
+  /// into the per-model metrics. Throws RequestError on refusal.
+  [[nodiscard]] net::PredictResponseMsg handle_batch(
+      const net::PredictRequestMsg& request);
+
+  /// Per-model request/latency counters as an ASCII table (--stats).
+  [[nodiscard]] std::string stats_table() const;
+
+ private:
+  void log_line(const std::string& line) const;
+  void accept_loop();
+  void watch_loop();
+  void serve_ssnp(util::Socket socket);
+  void serve_http(util::Socket socket);
+  [[nodiscard]] std::string models_json() const;
+  [[nodiscard]] std::string handle_http_predict(const std::string& body);
+
+  PredictServerOptions options_;
+  ModelRegistry registry_;
+  std::optional<util::ListenSocket> ssnp_listener_;
+  std::optional<util::ListenSocket> http_listener_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::thread watch_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable watch_cv_;  // wakes the watcher early on stop()
+  std::mutex stop_mu_;                // serializes stop() callers
+  bool stopped_ = false;
+};
+
+}  // namespace ssresf::serve

@@ -1,0 +1,221 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <system_error>
+
+#include "util/error.h"
+
+namespace ssresf::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct StatResult {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+};
+
+/// (mtime, size) identity of a regular file; nullopt when it is missing or
+/// not a regular file.
+std::optional<StatResult> stat_file(const fs::path& path) {
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec) || ec) return std::nullopt;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return std::nullopt;
+  StatResult r;
+  r.mtime_ns = static_cast<std::int64_t>(
+      mtime.time_since_epoch().count());
+  r.size = size;
+  return r;
+}
+
+struct CacheEntry {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+  std::shared_ptr<const core::ModelBundle> bundle;
+};
+
+std::mutex& cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, CacheEntry>& cache() {
+  static std::map<std::string, CacheEntry> entries;
+  return entries;
+}
+
+}  // namespace
+
+std::shared_ptr<const core::ModelBundle> ModelRegistry::load_file(
+    const std::string& path) {
+  std::error_code ec;
+  fs::path canonical = fs::weakly_canonical(path, ec);
+  if (ec) canonical = path;
+  const auto sig = stat_file(canonical);
+  if (!sig) throw Error("cannot open model bundle '" + path + "'");
+  const std::string key = canonical.string();
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex());
+    const auto it = cache().find(key);
+    if (it != cache().end() && it->second.mtime_ns == sig->mtime_ns &&
+        it->second.size == sig->size) {
+      return it->second.bundle;
+    }
+  }
+  // Decode outside the cache lock: a slow load must not serialize every
+  // other model behind it.
+  auto bundle =
+      std::make_shared<const core::ModelBundle>(core::read_model_file(key));
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  cache()[key] = CacheEntry{sig->mtime_ns, sig->size, bundle};
+  return bundle;
+}
+
+ModelRegistry::ModelRegistry(std::string models_dir)
+    : dir_(std::move(models_dir)) {
+  if (dir_.empty()) {
+    throw InvalidArgument("model registry: models directory must be set");
+  }
+}
+
+std::size_t ModelRegistry::refresh() {
+  // Scan first, decode outside the registry lock, publish under it — a slow
+  // bundle decode must never block concurrent find() calls.
+  std::vector<std::pair<std::string, fs::path>> present;  // alias, path
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (p.extension() != ".ssmd") continue;
+    present.emplace_back(p.stem().string(), p);
+  }
+  if (ec) {
+    throw Error("model registry: cannot scan '" + dir_ + "': " + ec.message());
+  }
+  std::sort(present.begin(), present.end());
+
+  std::vector<std::pair<std::string, std::string>> errors;
+  std::size_t loaded = 0;
+  std::map<std::string, FileSig> new_sigs;
+  std::map<std::string, std::shared_ptr<ServedModel>> fresh;
+  for (const auto& [alias, path] : present) {
+    const auto sig = stat_file(path);
+    if (!sig) continue;  // vanished between scan and stat
+    const FileSig file_sig{sig->mtime_ns, sig->size};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = sigs_.find(alias);
+      if (it != sigs_.end() && it->second == file_sig) {
+        new_sigs[alias] = file_sig;  // unchanged: keep the served entry
+        continue;
+      }
+    }
+    try {
+      auto bundle = load_file(path.string());
+      auto entry = std::make_shared<ServedModel>();
+      entry->alias = alias;
+      entry->path = path.string();
+      entry->bundle = std::move(bundle);
+      fresh[alias] = std::move(entry);
+      new_sigs[alias] = file_sig;
+      ++loaded;
+    } catch (const std::exception& e) {
+      // A bundle that fails to decode is reported, but an already-serving
+      // generation of the alias keeps answering — a bad publish must not
+      // take a live model down.
+      errors.emplace_back(path.string(), e.what());
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = sigs_.find(alias);
+      if (it != sigs_.end()) new_sigs[alias] = it->second;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [alias, entry] : fresh) {
+    entry->generation = ++generation_;
+    by_alias_[alias] = std::move(entry);
+  }
+  // Retire aliases whose file vanished (present set no longer names them).
+  for (auto it = by_alias_.begin(); it != by_alias_.end();) {
+    if (new_sigs.find(it->first) == new_sigs.end()) {
+      it = by_alias_.erase(it);
+      ++generation_;
+    } else {
+      ++it;
+    }
+  }
+  sigs_ = std::move(new_sigs);
+  errors_ = std::move(errors);
+  return loaded;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::find(
+    const std::string& alias) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_alias_.find(alias);
+  return it != by_alias_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const ServedModel> ModelRegistry::find_by_digest(
+    std::uint64_t config_digest) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const ServedModel> best;
+  for (const auto& [alias, entry] : by_alias_) {
+    if (entry->bundle->config_digest != config_digest) continue;
+    if (!best || entry->generation > best->generation) best = entry;
+  }
+  return best;
+}
+
+std::vector<std::shared_ptr<const ServedModel>> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<const ServedModel>> out;
+  out.reserve(by_alias_.size());
+  for (const auto& [alias, entry] : by_alias_) out.push_back(entry);
+  return out;
+}
+
+std::uint64_t ModelRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void ModelRegistry::record_request(const std::string& alias,
+                                   std::uint64_t rows, double seconds,
+                                   bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ModelStats& s = stats_[alias];
+  if (ok) {
+    ++s.requests;
+    s.rows += rows;
+  } else {
+    ++s.errors;
+  }
+  s.total_seconds += seconds;
+}
+
+ModelStats ModelRegistry::stats(const std::string& alias) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stats_.find(alias);
+  return it != stats_.end() ? it->second : ModelStats{};
+}
+
+std::vector<std::pair<std::string, ModelStats>> ModelRegistry::all_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {stats_.begin(), stats_.end()};
+}
+
+std::vector<std::pair<std::string, std::string>> ModelRegistry::load_errors()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+}  // namespace ssresf::serve

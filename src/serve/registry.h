@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model_io.h"
+
+namespace ssresf::serve {
+
+/// Cumulative serving counters for one model alias. Owned by the registry
+/// and preserved across hot reloads — a model swap must not reset the
+/// alias's traffic history.
+struct ModelStats {
+  std::uint64_t requests = 0;       // accepted predict batches
+  std::uint64_t rows = 0;           // feature rows classified
+  std::uint64_t errors = 0;         // refused batches (digest/shape/alias)
+  double total_seconds = 0.0;       // summed request service time
+};
+
+/// One loaded `.ssmd` bundle, warm and immutable. The registry hands these
+/// out as shared_ptr<const ServedModel>: an in-flight request keeps
+/// classifying against the generation it resolved, even while a hot reload
+/// swaps the alias to a newer bundle — old generations die when the last
+/// request drops its reference, never under it.
+struct ServedModel {
+  std::string alias;                // file stem of the bundle in models/
+  std::string path;
+  std::uint64_t generation = 0;     // registry-global, bumps per (re)load
+  std::shared_ptr<const core::ModelBundle> bundle;
+};
+
+/// Warm, versioned model registry over a directory of `.ssmd` bundles
+/// ("the models/ dir"). Aliases are file stems; each bundle is also
+/// addressable by its campaign-config digest. refresh() rescans the
+/// directory: a new or rewritten file is decoded once (through the same
+/// core/model_io loader the offline CLI uses) and published under a new
+/// generation; a vanished file retires its alias; a file that fails to
+/// decode is recorded in load_errors() and — crucially — leaves any
+/// previously served generation of that alias untouched. All methods are
+/// thread-safe.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string models_dir);
+
+  /// Rescans the directory. Returns how many bundles were (re)loaded.
+  std::size_t refresh();
+
+  [[nodiscard]] std::shared_ptr<const ServedModel> find(
+      const std::string& alias) const;
+  /// Any served bundle with this campaign-config digest (newest generation
+  /// wins when several match); nullptr when none does.
+  [[nodiscard]] std::shared_ptr<const ServedModel> find_by_digest(
+      std::uint64_t config_digest) const;
+  /// All served models, alias order.
+  [[nodiscard]] std::vector<std::shared_ptr<const ServedModel>> list() const;
+
+  /// Monotonic counter, bumped once per (re)loaded bundle. A client that
+  /// saw generation G in a response can detect a hot swap by polling this.
+  [[nodiscard]] std::uint64_t generation() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Folds one request outcome into the alias's counters.
+  void record_request(const std::string& alias, std::uint64_t rows,
+                      double seconds, bool ok);
+  [[nodiscard]] ModelStats stats(const std::string& alias) const;
+  /// (alias, stats) snapshot for every alias ever served, alias order.
+  [[nodiscard]] std::vector<std::pair<std::string, ModelStats>> all_stats()
+      const;
+
+  /// Decode failures from the most recent refresh(), as (path, error).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> load_errors()
+      const;
+
+  /// THE `.ssmd` loader: reads and decodes `path` through core/model_io,
+  /// memoized process-wide by (canonical path, mtime, size) so repeated
+  /// loads of an unchanged file share one warm immutable bundle. Both the
+  /// registry's refresh() and the offline `ssresf predict` path go through
+  /// here — one load implementation, one cache. Throws on a missing or
+  /// malformed file.
+  [[nodiscard]] static std::shared_ptr<const core::ModelBundle> load_file(
+      const std::string& path);
+
+ private:
+  struct FileSig {
+    std::int64_t mtime_ns = 0;
+    std::uint64_t size = 0;
+    bool operator==(const FileSig&) const = default;
+  };
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::uint64_t generation_ = 0;
+  std::map<std::string, std::shared_ptr<const ServedModel>> by_alias_;
+  std::map<std::string, FileSig> sigs_;  // alias -> on-disk identity
+  std::map<std::string, ModelStats> stats_;
+  std::vector<std::pair<std::string, std::string>> errors_;
+};
+
+}  // namespace ssresf::serve

@@ -158,13 +158,15 @@ TEST(FleetConfig, ScenarioFleetSectionRoundTrips) {
       "  worker_timeout: 9\n"
       "  frame_deadline: 2\n"
       "  election_timeout: 1.5\n"
-      "  peer_port: 39999\n");
+      "  peer_port: 39999\n"
+      "  advertise_addr: worker-3.rack2\n");
   EXPECT_EQ(spec.fleet.secret, "lab-7");
   EXPECT_EQ(spec.fleet.connect_timeout, 3.0);
   EXPECT_EQ(spec.fleet.worker_timeout, 9.0);
   EXPECT_EQ(spec.fleet.frame_deadline, 2.0);
   EXPECT_EQ(spec.fleet.election_timeout, 1.5);
   EXPECT_EQ(spec.fleet.peer_port, 39999);
+  EXPECT_EQ(spec.fleet.advertise_addr, "worker-3.rack2");
 
   const core::ScenarioSpec back = core::ScenarioSpec::parse(spec.dump());
   EXPECT_EQ(back.fleet.secret, spec.fleet.secret);
@@ -173,6 +175,14 @@ TEST(FleetConfig, ScenarioFleetSectionRoundTrips) {
   EXPECT_EQ(back.fleet.frame_deadline, spec.fleet.frame_deadline);
   EXPECT_EQ(back.fleet.election_timeout, spec.fleet.election_timeout);
   EXPECT_EQ(back.fleet.peer_port, spec.fleet.peer_port);
+  EXPECT_EQ(back.fleet.advertise_addr, spec.fleet.advertise_addr);
+
+  // advertise_addr is execution-only: it must not move the campaign digest.
+  core::ScenarioSpec plain = spec;
+  plain.fleet.advertise_addr.clear();
+  const soc::SocModel model = plain.build_model();
+  EXPECT_EQ(fi::campaign_config_digest(model, spec.campaign.config),
+            fi::campaign_config_digest(model, plain.campaign.config));
 
   // An empty secret survives the round trip too (open fleet stays open).
   const core::ScenarioSpec open = core::ScenarioSpec::parse("scenario: x\n");

@@ -6,6 +6,7 @@
 // worker defection (the deterministic stand-in for a killed worker).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <future>
 #include <thread>
 
@@ -182,6 +183,93 @@ TEST(NetProtocol, RecordsMessageRoundTrips) {
   for (std::size_t i = 0; i < msg.records.size(); ++i) {
     EXPECT_EQ(back.records[i], msg.records[i]);
   }
+}
+
+TEST(NetProtocol, HelloMessageRoundTripsAdvertisedHost) {
+  net::HelloMsg hello;
+  hello.worker_id = 7;
+  hello.nonce = 3;
+  hello.peer_port = 45123;
+  hello.peer_host = "worker-3.rack2.example";
+  const std::vector<std::uint8_t> payload = net::encode_payload(hello);
+  util::ByteReader in(payload);
+  const net::HelloMsg back = net::HelloMsg::decode(in);
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(back.worker_id, hello.worker_id);
+  EXPECT_EQ(back.nonce, hello.nonce);
+  EXPECT_EQ(back.peer_port, hello.peer_port);
+  EXPECT_EQ(back.peer_host, hello.peer_host);
+
+  net::HelloMsg plain;
+  plain.worker_id = 1;
+  const std::vector<std::uint8_t> p2 = net::encode_payload(plain);
+  util::ByteReader in2(p2);
+  EXPECT_TRUE(net::HelloMsg::decode(in2).peer_host.empty());
+}
+
+TEST(NetProtocol, PredictMessagesRoundTripBitExactly) {
+  net::PredictRequestMsg req;
+  req.alias = "checksum-demo";
+  req.config_digest = 0x0123456789abcdefull;
+  // Mixed columns: small integral doubles (varint-coded), a fractional
+  // column, and awkward values that must NOT take the varint path.
+  req.rows = {{3.0, 0.25, -0.0, 1e300},
+              {7.0, 0.5, 4.0, -2.5},
+              {1048576.0, 0.125, 9.0, 0.1}};
+  req.num_rows = req.rows.size();
+  req.num_features = req.rows[0].size();
+  const std::vector<std::uint8_t> payload = net::encode_payload(req);
+  util::ByteReader in(payload);
+  const net::PredictRequestMsg back = net::PredictRequestMsg::decode(in);
+  EXPECT_TRUE(in.at_end());
+  EXPECT_EQ(back.alias, req.alias);
+  EXPECT_EQ(back.config_digest, req.config_digest);
+  ASSERT_EQ(back.rows.size(), req.rows.size());
+  for (std::size_t r = 0; r < req.rows.size(); ++r) {
+    for (std::size_t c = 0; c < req.rows[r].size(); ++c) {
+      // Bit-exact, including the sign of -0.0.
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(back.rows[r][c]),
+                std::bit_cast<std::uint64_t>(req.rows[r][c]))
+          << "row " << r << " col " << c;
+    }
+  }
+
+  net::PredictResponseMsg resp;
+  resp.alias = "checksum-demo";
+  resp.config_digest = req.config_digest;
+  resp.generation = 12;
+  resp.labels = {1, -1, -1, 1, 1, -1, 1, -1, -1};
+  const std::vector<std::uint8_t> rp = net::encode_payload(resp);
+  util::ByteReader rin(rp);
+  const net::PredictResponseMsg rback = net::PredictResponseMsg::decode(rin);
+  EXPECT_TRUE(rin.at_end());
+  EXPECT_EQ(rback.alias, resp.alias);
+  EXPECT_EQ(rback.generation, resp.generation);
+  EXPECT_EQ(rback.labels, resp.labels);
+}
+
+TEST(NetProtocol, PredictRequestRejectsHostileShapes) {
+  net::PredictRequestMsg req;
+  req.alias = "m";
+  req.rows = {{1.0, 2.0}};
+  req.num_rows = 1;
+  req.num_features = 2;
+  std::vector<std::uint8_t> payload = net::encode_payload(req);
+  // A row count far beyond the payload must refuse before allocating.
+  {
+    util::ByteWriter out;
+    out.sized_bytes("m", 1);
+    out.fixed64(0);
+    out.varint(net::kMaxPredictRows);  // claims 2^20 rows
+    out.varint(1);
+    const std::vector<std::uint8_t> hostile = out.data();
+    util::ByteReader in(hostile);
+    EXPECT_THROW((void)net::PredictRequestMsg::decode(in), Error);
+  }
+  // Truncated mid-columns.
+  util::ByteReader trunc(
+      std::span<const std::uint8_t>(payload.data(), payload.size() - 3));
+  EXPECT_THROW((void)net::PredictRequestMsg::decode(trunc), Error);
 }
 
 // --- golden bundle ------------------------------------------------------------

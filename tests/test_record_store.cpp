@@ -275,6 +275,108 @@ TEST(RecordStore, ChunkCorruptionNamesTheByteOffset) {
   fs::remove(path);
 }
 
+TEST(RecordStore, SelectRangeReadsOnlyIntersectingChunks) {
+  const std::string path = scratch_file("pushdown_range.ssfs");
+  const std::vector<fi::ShardRecord> records = make_records(64);
+  fi::write_columnar_file(path, synthetic_meta(64), records,
+                          /*chunk_rows=*/16);  // chunks [0,15] ... [48,63]
+
+  fi::ColumnarFileSource source(path);
+  source.select_range(20, 40);
+  const std::vector<fi::ShardRecord> back = drain(source);
+  ASSERT_EQ(back.size(), 20u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].index, 20 + i);
+  }
+  // [20, 40) intersects chunks [16,31] and [32,47] only.
+  EXPECT_EQ(source.chunks_decoded(), 2u);
+  EXPECT_EQ(source.chunks_skipped(), 2u);
+
+  // Reading must not start before select_range.
+  fi::ColumnarFileSource late(path);
+  fi::RecordBatch batch;
+  ASSERT_TRUE(late.next_batch(batch));
+  EXPECT_THROW(late.select_range(0, 1), InternalError);
+  fs::remove(path);
+}
+
+TEST(RecordStore, SelectRangeNeverDecodesSkippedChunks) {
+  const std::string path = scratch_file("pushdown_corrupt.ssfs");
+  fi::write_columnar_file(path, synthetic_meta(24), make_records(24),
+                          /*chunk_rows=*/8);  // chunks [0,7] [8,15] [16,23]
+  // Flip a payload byte of the LAST chunk (it sits just before the footer —
+  // same offset math as ChunkCorruptionNamesTheByteOffset).
+  std::string bytes = read_file(path);
+  std::uint64_t footer_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    footer_len |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                      bytes[bytes.size() - 12 + static_cast<std::size_t>(i)]))
+                  << (8 * i);
+  }
+  const std::size_t footer_start = bytes.size() - 12 - footer_len;
+  const std::size_t payload_byte = footer_start - 9;
+  bytes[payload_byte] = static_cast<char>(bytes[payload_byte] ^ 0x40);
+  write_file(path, bytes);
+
+  // A full scan trips over the corruption...
+  fi::ColumnarFileSource full(path);
+  EXPECT_THROW(drain(full), InvalidArgument);
+
+  // ...but a range read that excludes the corrupt chunk never touches it:
+  // the chunk is skipped from the footer index alone, so its checksum is
+  // never even computed.
+  fi::ColumnarFileSource ranged(path);
+  ranged.select_range(0, 16);
+  const std::vector<fi::ShardRecord> back = drain(ranged);
+  ASSERT_EQ(back.size(), 16u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].index, i);
+  }
+  EXPECT_EQ(ranged.chunks_decoded(), 2u);
+  EXPECT_EQ(ranged.chunks_skipped(), 1u);
+  fs::remove(path);
+}
+
+TEST(RecordStore, SelectRangeHandlesIndexGapsAndEmptyWindows) {
+  const std::string path = scratch_file("pushdown_gaps.ssfs");
+  // Indices 0,4,8,...,28 in chunks spanning [0,12] and [16,28].
+  fi::write_columnar_file(path, synthetic_meta(29),
+                          make_records(8, /*first=*/0, /*stride=*/4),
+                          /*chunk_rows=*/4);
+
+  // The window falls into the gap between the chunks: both skipped.
+  fi::ColumnarFileSource gap(path);
+  gap.select_range(13, 16);
+  EXPECT_TRUE(drain(gap).empty());
+  EXPECT_EQ(gap.chunks_decoded(), 0u);
+  EXPECT_EQ(gap.chunks_skipped(), 2u);
+
+  // The window intersects a chunk's span but none of its actual indices:
+  // the chunk decodes, trims to nothing, and the stream ends cleanly.
+  fi::ColumnarFileSource sparse(path);
+  sparse.select_range(1, 4);
+  EXPECT_TRUE(drain(sparse).empty());
+  EXPECT_EQ(sparse.chunks_decoded(), 1u);
+  EXPECT_EQ(sparse.chunks_skipped(), 1u);
+
+  // Degenerate lo >= hi window: everything is skipped up front.
+  fi::ColumnarFileSource empty(path);
+  empty.select_range(8, 8);
+  EXPECT_TRUE(drain(empty).empty());
+  EXPECT_EQ(empty.chunks_decoded(), 0u);
+  EXPECT_EQ(empty.chunks_skipped(), 2u);
+
+  // Row-level trim across a chunk boundary.
+  fi::ColumnarFileSource trim(path);
+  trim.select_range(4, 21);
+  const std::vector<fi::ShardRecord> back = drain(trim);
+  ASSERT_EQ(back.size(), 5u);  // 4, 8, 12, 16, 20
+  EXPECT_EQ(back.front().index, 4u);
+  EXPECT_EQ(back.back().index, 20u);
+  EXPECT_EQ(trim.chunks_decoded(), 2u);
+  fs::remove(path);
+}
+
 TEST(RecordStore, FooterAndTailCorruptionAreRejected) {
   const std::string path = scratch_file("corrupt_footer.ssfs");
   fi::write_columnar_file(path, synthetic_meta(8), make_records(8));

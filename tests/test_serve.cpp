@@ -1,0 +1,581 @@
+// The model-serving subsystem: registry scan/hot-reload semantics (including
+// the failed-reload-keeps-old-generation contract and the memoized bundle
+// loader), the prediction daemon's SSNP and HTTP fronts answering
+// bit-identically to the offline core::bundle_classify arithmetic under
+// concurrent clients and mid-load hot reloads, loud digest-mismatch
+// refusals, malformed-input rejection that never kills the daemon, the
+// graceful drain, and Session's publish_dir hand-off into the registry.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/scenario.h"
+#include "core/session.h"
+#include "net/protocol.h"
+#include "radiation/soft_error_db.h"
+#include "serve/http.h"
+#include "serve/predict_client.h"
+#include "serve/predict_server.h"
+#include "serve/registry.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/socket.h"
+
+namespace ssresf {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path dir;
+  explicit TempDir(const std::string& tag) {
+    dir = fs::temp_directory_path() /
+          ("ssresf_serve_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+  }
+  ~TempDir() {
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+  }
+  [[nodiscard]] std::string path() const { return dir.string(); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir / name).string();
+  }
+};
+
+/// A small trained bundle over two features, separable on x. `invert` flips
+/// every label — two genuinely different models for hot-reload tests.
+core::ModelBundle make_bundle(std::uint64_t digest, bool invert = false) {
+  util::Rng rng(7);
+  ml::Dataset d({"x", "y"});
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.uniform(-2, 2);
+    const int label = ((x > 0) != invert) ? 1 : -1;
+    d.add({x, rng.uniform(-2, 2)}, label);
+  }
+  core::ModelBundle b;
+  b.config_digest = digest;
+  b.scenario_name = "serve-test";
+  b.chosen_svm.kernel.type = ml::KernelType::kLinear;
+  b.chosen_svm.c = 4.0;
+  b.selected_features = {0, 1};
+  b.feature_names = {"x", "y"};
+  b.cv_mean_accuracy = 0.99;
+  b.scaler.fit(d);
+  ml::Dataset scaled = d;
+  b.scaler.transform(scaled);
+  b.model = ml::SvmClassifier(b.chosen_svm);
+  b.model.train(scaled);
+  return b;
+}
+
+std::vector<std::vector<double>> make_rows(std::size_t n) {
+  util::Rng rng(23);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back({rng.uniform(-2, 2), rng.uniform(-2, 2)});
+  }
+  return rows;
+}
+
+std::vector<int> local_labels(const core::ModelBundle& bundle,
+                              const std::vector<std::vector<double>>& rows) {
+  std::vector<int> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    out.push_back(core::bundle_classify(bundle, row));
+  }
+  return out;
+}
+
+/// Rewrites `path` and guarantees its on-disk identity actually changed:
+/// a same-size rewrite inside one filesystem-timestamp tick would be
+/// invisible to the (path, mtime, size) signatures the loader cache and
+/// registry use — exactly the ambiguity this helper spins past.
+void rewrite_bundle(const std::string& path, const core::ModelBundle& bundle) {
+  const auto before = fs::last_write_time(path);
+  core::write_model_file(path, bundle);
+  for (int i = 0; i < 500 && fs::last_write_time(path) == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    core::write_model_file(path, bundle);
+  }
+  ASSERT_NE(fs::last_write_time(path), before);
+}
+
+serve::PredictServerOptions quiet_options(const std::string& models_dir) {
+  serve::PredictServerOptions o;
+  o.models_dir = models_dir;
+  o.threads = 4;
+  o.reload_interval_seconds = 0;  // tests drive reloads deterministically
+  return o;
+}
+
+/// One raw HTTP exchange: send `request` verbatim, read until the headers
+/// plus the Content-Length-framed body have fully arrived (or EOF).
+std::string raw_http(std::uint16_t port, const std::string& request) {
+  util::Socket s = util::connect_to("127.0.0.1", port, 5.0);
+  s.send_all(request.data(), request.size());
+  std::string response;
+  std::size_t want = std::string::npos;
+  char buf[4096];
+  while (s.wait_readable(5000)) {
+    const std::size_t n = s.recv_some(buf, sizeof(buf));
+    if (n == 0) break;
+    response.append(buf, n);
+    if (want == std::string::npos) {
+      const std::size_t header_end = response.find("\r\n\r\n");
+      if (header_end == std::string::npos) continue;
+      std::size_t body_len = 0;
+      const std::size_t at = response.find("Content-Length:");
+      if (at != std::string::npos && at < header_end) {
+        body_len = std::stoul(response.substr(at + 15));
+      }
+      want = header_end + 4 + body_len;
+    }
+    if (response.size() >= want) break;
+  }
+  return response;
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, ScansAliasesByStemAndRetiresVanishedFiles) {
+  TempDir tmp("scan");
+  core::write_model_file(tmp.file("alpha.ssmd"), make_bundle(0x1111));
+  core::write_model_file(tmp.file("beta.ssmd"), make_bundle(0x2222));
+
+  serve::ModelRegistry registry(tmp.path());
+  EXPECT_EQ(registry.refresh(), 2u);
+  ASSERT_EQ(registry.list().size(), 2u);
+
+  const auto alpha = registry.find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->alias, "alpha");
+  EXPECT_EQ(alpha->bundle->config_digest, 0x1111u);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+
+  const auto by_digest = registry.find_by_digest(0x2222);
+  ASSERT_NE(by_digest, nullptr);
+  EXPECT_EQ(by_digest->alias, "beta");
+
+  // Unchanged files do not reload; a vanished file retires its alias.
+  EXPECT_EQ(registry.refresh(), 0u);
+  fs::remove(tmp.file("beta.ssmd"));
+  registry.refresh();
+  EXPECT_EQ(registry.find("beta"), nullptr);
+  EXPECT_EQ(registry.list().size(), 1u);
+}
+
+TEST(Registry, HotReloadBumpsGenerationAndKeepsOldBundlesAlive) {
+  TempDir tmp("reload");
+  core::write_model_file(tmp.file("m.ssmd"), make_bundle(0x1111));
+  serve::ModelRegistry registry(tmp.path());
+  registry.refresh();
+  const auto old_entry = registry.find("m");
+  ASSERT_NE(old_entry, nullptr);
+  const std::uint64_t old_generation = registry.generation();
+
+  const std::vector<std::vector<double>> rows = make_rows(16);
+  const std::vector<int> old_labels = local_labels(*old_entry->bundle, rows);
+
+  rewrite_bundle(tmp.file("m.ssmd"), make_bundle(0x1111, true));
+  EXPECT_EQ(registry.refresh(), 1u);
+  EXPECT_GT(registry.generation(), old_generation);
+  const auto new_entry = registry.find("m");
+  ASSERT_NE(new_entry, nullptr);
+  EXPECT_GT(new_entry->generation, old_entry->generation);
+
+  // The swapped-out generation still answers for whoever holds it — and the
+  // inverted model really is a different model.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(core::bundle_classify(*old_entry->bundle, rows[i]),
+              old_labels[i]);
+    EXPECT_EQ(core::bundle_classify(*new_entry->bundle, rows[i]),
+              -old_labels[i]);
+  }
+}
+
+TEST(Registry, FailedDecodeIsRecordedAndKeepsTheOldGenerationServing) {
+  TempDir tmp("badfile");
+  core::write_model_file(tmp.file("m.ssmd"), make_bundle(0x1111));
+  serve::ModelRegistry registry(tmp.path());
+  registry.refresh();
+  const std::uint64_t generation = registry.generation();
+
+  std::ofstream(tmp.file("m.ssmd"), std::ios::trunc) << "not a model bundle";
+  registry.refresh();
+  ASSERT_EQ(registry.load_errors().size(), 1u);
+  EXPECT_NE(registry.load_errors()[0].first.find("m.ssmd"), std::string::npos);
+  // Crucially: the previously published generation is untouched.
+  EXPECT_EQ(registry.generation(), generation);
+  const auto entry = registry.find("m");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->bundle->config_digest, 0x1111u);
+}
+
+TEST(Registry, LoadFileIsMemoizedPerOnDiskIdentity) {
+  TempDir tmp("memo");
+  const std::string path = tmp.file("m.ssmd");
+  core::write_model_file(path, make_bundle(0x1111));
+  const auto first = serve::ModelRegistry::load_file(path);
+  const auto again = serve::ModelRegistry::load_file(path);
+  EXPECT_EQ(first.get(), again.get());  // one warm copy, process-wide
+
+  rewrite_bundle(path, make_bundle(0x2222, true));
+  const auto reloaded = serve::ModelRegistry::load_file(path);
+  EXPECT_NE(first.get(), reloaded.get());
+  EXPECT_EQ(reloaded->config_digest, 0x2222u);
+  EXPECT_THROW((void)serve::ModelRegistry::load_file(tmp.file("missing.ssmd")),
+               Error);
+}
+
+// --- the daemon's two fronts --------------------------------------------------
+
+TEST(Serve, BothFrontsMatchOfflineArithmeticBitExactly) {
+  TempDir tmp("fronts");
+  const core::ModelBundle bundle = make_bundle(0xd1d1);
+  core::write_model_file(tmp.file("m.ssmd"), bundle);
+  serve::PredictServer server(quiet_options(tmp.path()));
+  server.start();
+
+  const std::vector<std::vector<double>> rows = make_rows(64);
+  const std::vector<int> expected = local_labels(bundle, rows);
+
+  serve::PredictClient ssnp("127.0.0.1", server.ssnp_port());
+  const serve::PredictResult a = ssnp.predict("m", 0xd1d1, rows);
+  EXPECT_EQ(a.labels, expected);
+  EXPECT_EQ(a.alias, "m");
+  EXPECT_EQ(a.config_digest, 0xd1d1u);
+
+  serve::HttpPredictClient http("127.0.0.1", server.http_port());
+  const serve::PredictResult b = http.predict("m", 0xd1d1, rows);
+  EXPECT_EQ(b.labels, expected);
+  EXPECT_EQ(b.config_digest, 0xd1d1u);
+
+  // Resolve-by-digest with an empty alias works too.
+  EXPECT_EQ(ssnp.predict("", 0xd1d1, rows).labels, expected);
+
+  // The metrics saw all three accepted batches: alias-addressed requests
+  // under "m", the by-digest one under its hex digest key.
+  const serve::ModelStats stats = server.registry().stats("m");
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.rows, 2 * rows.size());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(server.registry().stats("0x000000000000d1d1").requests, 1u);
+  EXPECT_NE(server.stats_table().find("m"), std::string::npos);
+}
+
+TEST(Serve, ConcurrentClientsOnBothFrontsAgree) {
+  TempDir tmp("concurrent");
+  const core::ModelBundle bundle = make_bundle(0xc0c0);
+  core::write_model_file(tmp.file("m.ssmd"), bundle);
+  serve::PredictServer server(quiet_options(tmp.path()));
+  server.start();
+
+  const std::vector<std::vector<double>> rows = make_rows(32);
+  const std::vector<int> expected = local_labels(bundle, rows);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        for (int round = 0; round < 8; ++round) {
+          serve::PredictResult result;
+          if (t % 2 == 0) {
+            serve::PredictClient c("127.0.0.1", server.ssnp_port());
+            result = c.predict("m", 0, rows);
+          } else {
+            serve::HttpPredictClient c("127.0.0.1", server.http_port());
+            result = c.predict("m", 0, rows);
+          }
+          if (result.labels != expected) mismatches.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.registry().stats("m").requests, 48u);
+}
+
+TEST(Serve, DigestMismatchAndUnknownAliasAreRefusedLoudly) {
+  TempDir tmp("refuse");
+  core::write_model_file(tmp.file("m.ssmd"), make_bundle(0xaaaa));
+  serve::PredictServer server(quiet_options(tmp.path()));
+  server.start();
+  const std::vector<std::vector<double>> rows = make_rows(4);
+
+  serve::PredictClient client("127.0.0.1", server.ssnp_port());
+  try {
+    (void)client.predict("m", 0xbbbb, rows);
+    FAIL() << "digest mismatch was answered";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("digest mismatch"), std::string::npos) << what;
+    // Both digests are named — the operator can see what went stale.
+    EXPECT_NE(what.find("aaaa"), std::string::npos) << what;
+    EXPECT_NE(what.find("bbbb"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)client.predict("ghost", 0, rows), Error);
+  // Refusals are in-band: the same connection still answers good batches.
+  EXPECT_EQ(client.predict("m", 0xaaaa, rows).alias, "m");
+  EXPECT_EQ(server.registry().stats("m").errors, 1u);
+
+  // The HTTP front refuses with the matching statuses.
+  const std::string conflict = raw_http(
+      server.http_port(),
+      "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 48\r\n\r\n"
+      "{\"model\":\"m\",\"digest\":\"bbbb\",\"rows\":[[0.5,0.5]]}");
+  EXPECT_NE(conflict.find("409"), std::string::npos) << conflict;
+  const std::string missing = raw_http(
+      server.http_port(),
+      "POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 36\r\n\r\n"
+      "{\"model\":\"ghost\",\"rows\":[[0.5,0.5]]}");
+  EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+}
+
+TEST(Serve, HotReloadUnderLoadServesOldOrNewNeverGarbage) {
+  TempDir tmp("hotload");
+  const core::ModelBundle old_bundle = make_bundle(0xe1e1);
+  const core::ModelBundle new_bundle = make_bundle(0xe1e1, true);
+  core::write_model_file(tmp.file("m.ssmd"), old_bundle);
+  serve::PredictServer server(quiet_options(tmp.path()));
+  server.start();
+
+  const std::vector<std::vector<double>> rows = make_rows(16);
+  const std::vector<int> old_labels = local_labels(old_bundle, rows);
+  const std::vector<int> new_labels = local_labels(new_bundle, rows);
+  ASSERT_NE(old_labels, new_labels);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::atomic<int> saw_new{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      serve::PredictClient c("127.0.0.1", server.ssnp_port());
+      while (!stop.load()) {
+        const serve::PredictResult r = c.predict("m", 0xe1e1, rows);
+        // Every answer is one coherent generation: exactly the old model's
+        // labels or exactly the new model's — never a torn mix.
+        if (r.labels == new_labels) {
+          saw_new.fetch_add(1);
+        } else if (r.labels != old_labels) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  rewrite_bundle(tmp.file("m.ssmd"), new_bundle);  // atomic publish
+  server.registry().refresh();  // what the watcher thread does on its tick
+  // Keep hammering until the swap is observed.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  while (saw_new.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(saw_new.load(), 0);
+}
+
+TEST(Serve, MalformedInputsNeverKillTheDaemon) {
+  TempDir tmp("malformed");
+  const core::ModelBundle bundle = make_bundle(0xf00d);
+  core::write_model_file(tmp.file("m.ssmd"), bundle);
+  serve::PredictServer server(quiet_options(tmp.path()));
+  server.start();
+  const std::vector<std::vector<double>> rows = make_rows(4);
+
+  // Unframeable garbage on the SSNP port: the connection is dropped...
+  {
+    util::Socket s = util::connect_to("127.0.0.1", server.ssnp_port(), 5.0);
+    const char garbage[] = "this is definitely not an SSNP frame";
+    s.send_all(garbage, sizeof(garbage));
+    char buf[64];
+    std::size_t n = 1;
+    try {
+      ASSERT_TRUE(s.wait_readable(5000));
+      n = s.recv_some(buf, sizeof(buf));
+    } catch (const Error&) {
+      n = 0;  // an RST (unread bytes at close) is also "dropped", not a crash
+    }
+    EXPECT_EQ(n, 0u);
+  }
+  // ...a wrong-but-well-framed message type is answered in-band...
+  {
+    util::Socket s = util::connect_to("127.0.0.1", server.ssnp_port(), 5.0);
+    net::send_frame(s, net::MsgType::kHello,
+                    net::encode_payload(net::HelloMsg{}));
+    net::Frame reply;
+    ASSERT_TRUE(net::recv_frame(s, reply));
+    EXPECT_EQ(reply.type, net::MsgType::kError);
+  }
+  // ...and HTTP garbage, bad JSON, ragged rows, wrong methods, and unknown
+  // endpoints all get status-coded answers.
+  EXPECT_NE(raw_http(server.http_port(), "WHAT EVEN\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_NE(raw_http(server.http_port(),
+                     "POST /v1/predict HTTP/1.1\r\nHost: x\r\n"
+                     "Content-Length: 9\r\n\r\nnot json!")
+                .find("400"),
+            std::string::npos);
+  EXPECT_NE(raw_http(server.http_port(),
+                     "POST /v1/predict HTTP/1.1\r\nHost: x\r\n"
+                     "Content-Length: 41\r\n\r\n"
+                     "{\"model\":\"m\",\"rows\":[[1.0,2.0],[3.0]]}   ")
+                .find("400"),
+            std::string::npos);
+  EXPECT_NE(raw_http(server.http_port(),
+                     "DELETE /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(raw_http(server.http_port(),
+                     "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("404"),
+            std::string::npos);
+  EXPECT_NE(raw_http(server.http_port(),
+                     "POST /v1/predict HTTP/1.1\r\nHost: x\r\n"
+                     "Transfer-Encoding: chunked\r\n\r\n")
+                .find("501"),
+            std::string::npos);
+
+  // After all of that, the daemon still answers correctly on both fronts.
+  serve::PredictClient client("127.0.0.1", server.ssnp_port());
+  EXPECT_EQ(client.predict("m", 0, rows).labels, local_labels(bundle, rows));
+  EXPECT_NE(raw_http(server.http_port(),
+                     "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("ok"),
+            std::string::npos);
+}
+
+TEST(Serve, ModelsEndpointReportsRegistryAndMetrics) {
+  TempDir tmp("models");
+  core::write_model_file(tmp.file("m.ssmd"), make_bundle(0xbeef));
+  serve::PredictServer server(quiet_options(tmp.path()));
+  server.start();
+
+  serve::PredictClient client("127.0.0.1", server.ssnp_port());
+  (void)client.predict("m", 0, make_rows(8));
+
+  const std::string response = raw_http(
+      server.http_port(), "GET /v1/models HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const serve::JsonValue doc = serve::parse_json(
+      response.substr(body_at + 4));
+  ASSERT_TRUE(doc.is_object());
+  const serve::JsonValue* models = doc.get("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_EQ(models->array.size(), 1u);
+  const serve::JsonValue& m = models->array[0];
+  EXPECT_EQ(m.get("alias")->string, "m");
+  EXPECT_EQ(m.get("digest")->string, "0x000000000000beef");
+  EXPECT_EQ(m.get("requests")->number, 1.0);
+  EXPECT_EQ(m.get("rows")->number, 8.0);
+}
+
+TEST(Serve, DrainReleasesIdleConnectionsAndRefusesNewOnes) {
+  TempDir tmp("drain");
+  core::write_model_file(tmp.file("m.ssmd"), make_bundle(0xdead));
+  auto server = std::make_unique<serve::PredictServer>(
+      quiet_options(tmp.path()));
+  server->start();
+  const std::uint16_t ssnp_port = server->ssnp_port();
+
+  // Leave live keep-alive connections open on both fronts: the drain must
+  // release them at a poll tick, not wait for them to hang up.
+  serve::PredictClient idle_ssnp("127.0.0.1", ssnp_port);
+  serve::HttpPredictClient idle_http("127.0.0.1", server->http_port());
+  (void)idle_ssnp.predict("m", 0, make_rows(2));
+  (void)idle_http.predict("m", 0, make_rows(2));
+
+  const auto begin = std::chrono::steady_clock::now();
+  server->stop();
+  server->stop();  // idempotent
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_LT(seconds, 10.0);
+  server.reset();
+  EXPECT_THROW((void)util::connect_to("127.0.0.1", ssnp_port, 0.5), Error);
+}
+
+// --- Session publish hand-off -------------------------------------------------
+
+TEST(Serve, SessionPublishesTrainedBundleIntoTheRegistry) {
+  TempDir artifacts("publish_artifacts");
+  TempDir models("publish_models");
+
+  core::ScenarioSpec spec;
+  spec.name = "publish-demo";
+  spec.campaign.workload = "checksum";
+  spec.campaign.isa = "RV32I";
+  spec.campaign.mem_kb = 4;
+  spec.campaign.config.engine = sim::EngineKind::kLevelized;
+  spec.campaign.config.seed = 11;
+  spec.campaign.config.max_cycles = 1500;
+  spec.campaign.config.clustering.num_clusters = 5;
+  spec.campaign.config.sampling.fraction = 0.02;
+  spec.campaign.config.sampling.min_per_cluster = 6;
+  spec.campaign.config.sampling.max_per_cluster = 24;
+  spec.campaign.config.sampling.memory_macro_draws = 12;
+  spec.cv_folds = 4;
+  spec.run_grid_search = false;
+
+  const auto db = radiation::SoftErrorDatabase::default_database();
+  core::SessionOptions options;
+  options.artifact_dir = artifacts.path();
+  options.publish_dir = models.path();
+  core::Session session(spec, db, options);
+  const core::ModelBundle& trained = session.train();
+
+  serve::ModelRegistry registry(models.path());
+  EXPECT_EQ(registry.refresh(), 1u);
+  const auto entry = registry.find("publish-demo");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->bundle->config_digest, trained.config_digest);
+  EXPECT_EQ(entry->bundle->scenario_name, "publish-demo");
+
+  // The published copy answers exactly like the in-session model.
+  serve::PredictServerOptions sopts = quiet_options(models.path());
+  serve::PredictServer server(std::move(sopts));
+  server.start();
+  std::vector<std::vector<double>> rows;
+  util::Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    std::vector<double> row;
+    for (std::size_t f = 0; f < trained.feature_names.size(); ++f) {
+      row.push_back(rng.uniform(0, 4));
+    }
+    rows.push_back(std::move(row));
+  }
+  serve::PredictClient client("127.0.0.1", server.ssnp_port());
+  const serve::PredictResult result =
+      client.predict("publish-demo", trained.config_digest, rows);
+  EXPECT_EQ(result.labels, local_labels(trained, rows));
+}
+
+}  // namespace
+}  // namespace ssresf

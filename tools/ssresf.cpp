@@ -1,13 +1,16 @@
 // The unified SSRESF pipeline driver (Pipeline API v2).
 //
-// One binary, seven commands over the staged core::Session:
-//   run        simulate -> build_dataset -> tune -> train -> predict
-//   simulate   dynamic-simulation phase only (campaign records artifact)
-//   train      everything up to and including the trained model bundle
-//   predict    classify every node from a saved model bundle (.ssmd)
-//   serve      run with the simulate stage served to socket workers
-//   worker     connect to a serving coordinator and simulate its chunks
-//   merge      merge .ssfs shard files into the scenario's records artifact
+// One binary, eight commands over the staged core::Session:
+//   run          simulate -> build_dataset -> tune -> train -> predict
+//   simulate     dynamic-simulation phase only (campaign records artifact)
+//   train        everything up to and including the trained model bundle
+//   predict      classify every node from a saved model bundle (.ssmd),
+//                locally or against a model-serve daemon (--connect)
+//   serve        run with the simulate stage served to socket workers
+//   worker       connect to a serving coordinator and simulate its chunks
+//   merge        merge .ssfs shard files into the scenario's records artifact
+//   model-serve  long-lived prediction daemon over a models/ directory of
+//                .ssmd bundles (SSNP + HTTP fronts, hot reload)
 //
 // A scenario YAML fully determines (model, campaign, SVM, grids, seeds), so
 // the same file reproduces byte-identical artifacts and predictions on any
@@ -15,13 +18,23 @@
 // job checks. Stages persist digest-bound artifacts into --out-dir and
 // resume from them, so `ssresf simulate` on one machine, `ssresf train` on a
 // second, and `ssresf predict` on a third compose into one pipeline.
+#include <array>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/features.h"
 #include "core/session.h"
+#include "fi/shard.h"
 #include "net/worker.h"
+#include "serve/predict_client.h"
+#include "serve/predict_server.h"
+#include "serve/registry.h"
 #include "util/error.h"
 #include "util/strings.h"
 #include "util/subprocess.h"
@@ -60,6 +73,17 @@ struct Options {
   double election_timeout = -1;    // worker: -1 = scenario fleet.election_timeout
   int peer_port = -1;              // worker: -1 = scenario fleet.peer_port
   std::string promoted_csv;        // worker: final CSV if this worker promotes
+  std::string advertise_addr;      // worker: host peers dial for the listener
+  bool advertise_set = false;
+  // --- model serving ---------------------------------------------------------
+  std::string models_dir;          // model-serve: registry directory
+  int http_port = 0;               // model-serve: HTTP front port
+  double reload_interval = 1.0;    // model-serve: registry rescan period
+  bool stats = false;              // model-serve: print metrics on exit
+  bool threads_set = false;        // --threads given explicitly
+  std::string model_alias;         // predict --connect: served model alias
+  bool use_http = false;           // predict --connect: HTTP front, not SSNP
+  std::string publish_dir;         // train/run/serve: registry hand-off dir
 };
 
 void usage(std::FILE* out) {
@@ -76,6 +100,9 @@ void usage(std::FILE* out) {
       "             'ssresf worker' processes (local or remote)\n"
       "  worker     connect to a serving coordinator (--connect HOST:PORT)\n"
       "  merge      merge .ssfs shard files into the records artifact\n"
+      "  model-serve\n"
+      "             serve a models/ directory of .ssmd bundles as a warm\n"
+      "             prediction daemon (SSNP batch + HTTP JSON fronts)\n"
       "\n"
       "common options:\n"
       "  --scenario FILE     scenario YAML (all commands except worker)\n"
@@ -94,6 +121,10 @@ void usage(std::FILE* out) {
       "run / simulate / train / serve:\n"
       "  --workers N         delegate simulation to N spawned socket workers\n"
       "  --records-csv PATH  write per-injection campaign records as CSV\n"
+      "run / train / serve:\n"
+      "  --publish DIR       also write the trained bundle into DIR (a\n"
+      "                      model-serve registry picks it up on its next\n"
+      "                      rescan)\n"
       "run / predict:\n"
       "  --predictions-csv PATH\n"
       "                      write per-node classifications as CSV\n"
@@ -101,6 +132,21 @@ void usage(std::FILE* out) {
       "  --model FILE        model bundle (default <out-dir>/<name>.ssmd)\n"
       "  --cross-netlist     allow a model trained on a different campaign\n"
       "                      digest (the paper's transfer use case)\n"
+      "  --connect HOST:PORT classify via a running model-serve daemon\n"
+      "                      instead of loading the bundle locally (the CSV\n"
+      "                      is byte-identical to the local path)\n"
+      "  --http              with --connect: use the daemon's HTTP front\n"
+      "                      instead of the SSNP frame protocol\n"
+      "  --model-alias NAME  served model alias (default: scenario name)\n"
+      "model-serve:\n"
+      "  --models DIR        directory of .ssmd bundles to serve (required);\n"
+      "                      rescanned for hot reload while serving\n"
+      "  --port P            SSNP front port (default 0 = ephemeral, printed)\n"
+      "  --http-port P       HTTP front port (default 0 = ephemeral, printed)\n"
+      "  --reload-interval S rescan --models every S seconds (0 = never;\n"
+      "                      default 1)\n"
+      "  --stats             print per-model request metrics on exit\n"
+      "  --threads N         request-handler threads (default: hardware)\n"
       "serve:\n"
       "  --port P            listen port (default 0 = ephemeral, printed)\n"
       "  --journal PATH      dispatch journal (.ssjl); a restarted serve\n"
@@ -118,6 +164,11 @@ void usage(std::FILE* out) {
       "                      fleet.peer_port; 0 = ephemeral)\n"
       "  --promoted-csv P    if this worker wins an election, write the\n"
       "                      campaign's final records CSV here\n"
+      "  --advertise-addr H  host peers should dial to reach this worker's\n"
+      "                      peer listener (default: scenario\n"
+      "                      fleet.advertise_addr; empty = the address the\n"
+      "                      coordinator saw; setting it widens the peer\n"
+      "                      listener bind beyond loopback)\n"
       "fleet (serve / worker / run with --workers):\n"
       "  --secret S          handshake secret (overrides fleet.secret)\n"
       "  --connect-timeout S worker connect retry window, seconds (> 0)\n"
@@ -139,7 +190,7 @@ void usage(std::FILE* out) {
       opt.command == "run" || opt.command == "simulate" ||
       opt.command == "train" || opt.command == "predict" ||
       opt.command == "serve" || opt.command == "worker" ||
-      opt.command == "merge";
+      opt.command == "merge" || opt.command == "model-serve";
   if (!known_command) {
     throw InvalidArgument("unknown command '" + opt.command + "'");
   }
@@ -164,6 +215,7 @@ void usage(std::FILE* out) {
       opt.progress = true;
     } else if (arg == "--threads") {
       opt.threads = std::stoi(need_value(i));
+      opt.threads_set = true;
     } else if (arg == "--lanes") {
       opt.lanes = std::stoi(need_value(i));
     } else if (arg == "--record-format") {
@@ -231,6 +283,30 @@ void usage(std::FILE* out) {
       }
     } else if (arg == "--promoted-csv") {
       opt.promoted_csv = need_value(i);
+    } else if (arg == "--advertise-addr") {
+      opt.advertise_addr = need_value(i);
+      opt.advertise_set = true;
+    } else if (arg == "--models") {
+      opt.models_dir = need_value(i);
+    } else if (arg == "--http-port") {
+      opt.http_port = std::stoi(need_value(i));
+      if (opt.http_port < 0 || opt.http_port > 65535) {
+        throw InvalidArgument("--http-port expects a port in [0, 65535]");
+      }
+    } else if (arg == "--reload-interval") {
+      opt.reload_interval = std::stod(need_value(i));
+      if (opt.reload_interval < 0) {
+        throw InvalidArgument("--reload-interval must be >= 0, got " +
+                              std::to_string(opt.reload_interval));
+      }
+    } else if (arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--model-alias") {
+      opt.model_alias = need_value(i);
+    } else if (arg == "--http") {
+      opt.use_http = true;
+    } else if (arg == "--publish") {
+      opt.publish_dir = need_value(i);
     } else if (!arg.empty() && arg[0] != '-') {
       opt.merge_inputs.push_back(arg);
     } else {
@@ -240,6 +316,10 @@ void usage(std::FILE* out) {
   if (opt.command == "worker") {
     if (opt.connect.empty()) {
       throw InvalidArgument("worker requires --connect HOST:PORT");
+    }
+  } else if (opt.command == "model-serve") {
+    if (opt.models_dir.empty()) {
+      throw InvalidArgument("model-serve requires --models DIR");
     }
   } else if (opt.scenario_file.empty()) {
     throw InvalidArgument(opt.command + " requires --scenario FILE");
@@ -394,6 +474,7 @@ int run_stage_command(const Options& opt, const std::string& self) {
   options.serve_loopback_only = loopback_only;
   options.worker_timeout_seconds = opt.worker_timeout;  // 0 = scenario value
   options.serve_journal = opt.journal;
+  options.publish_dir = opt.publish_dir;
   if (opt.fleet_status) {
     options.on_fleet_status = [](const std::string& table) {
       std::fprintf(stderr, "fleet status:\n%s", table.c_str());
@@ -475,8 +556,11 @@ int run_predict_command(const Options& opt) {
   const std::string model_file =
       opt.model_file.empty() ? session.model_path() : opt.model_file;
   // Loading through adopt_model (not resume) so --model can point anywhere
-  // and --cross-netlist can authorize transfer to a modified netlist.
-  session.adopt_model(core::read_model_file(model_file), opt.cross_netlist);
+  // and --cross-netlist can authorize transfer to a modified netlist. The
+  // registry loader is the same one model-serve uses, so repeated predicts
+  // against an unchanged bundle share one decoded copy.
+  session.adopt_model(*serve::ModelRegistry::load_file(model_file),
+                      opt.cross_netlist);
   const core::SessionPrediction& prediction = session.predict();
   print_prediction_summary(session.model(), prediction);
   if (!opt.predictions_csv.empty()) {
@@ -514,7 +598,9 @@ int run_worker_command(const Options& opt) {
     wopts.connect_timeout_seconds = spec.fleet.connect_timeout;
     wopts.election_timeout_seconds = spec.fleet.election_timeout;
     wopts.peer_port = spec.fleet.peer_port;
+    wopts.advertise_host = spec.fleet.advertise_addr;
   }
+  if (opt.advertise_set) wopts.advertise_host = opt.advertise_addr;
   if (opt.secret_set) wopts.secret = opt.secret;
   if (opt.connect_timeout > 0) {
     wopts.connect_timeout_seconds = opt.connect_timeout;
@@ -536,6 +622,119 @@ int run_worker_command(const Options& opt) {
     std::fprintf(stderr, "promoted: merged records -> %s\n",
                  opt.promoted_csv.c_str());
   }
+  return 0;
+}
+
+/// Splits "HOST:PORT" (the last ':' wins, so IPv6-ish hosts still parse).
+[[nodiscard]] std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& addr) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    throw InvalidArgument("--connect expects HOST:PORT, got '" + addr + "'");
+  }
+  const int port = std::stoi(addr.substr(colon + 1));
+  if (port < 1 || port > 65535) {
+    throw InvalidArgument("--connect port must be in [1, 65535]");
+  }
+  return {addr.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+/// `predict --connect`: classify the scenario's netlist against a running
+/// model-serve daemon instead of loading the bundle locally. Features are
+/// extracted here, labels come back from the daemon — which runs the same
+/// core::bundle_classify arithmetic, so the CSV is byte-identical to the
+/// offline path.
+int run_remote_predict(const Options& opt) {
+  const auto [host, port] = parse_host_port(opt.connect);
+  const core::ScenarioSpec spec =
+      core::ScenarioSpec::load_file(opt.scenario_file);
+  const soc::SocModel model = spec.build_model();
+  const std::uint64_t digest =
+      fi::campaign_config_digest(model, spec.campaign.config);
+
+  const core::FeatureExtractor extractor(model.netlist);
+  std::vector<std::vector<double>> rows;
+  core::SessionPrediction prediction;
+  for (const netlist::CellId id : model.netlist.all_cells()) {
+    const netlist::CellKind kind = model.netlist.cell(id).kind;
+    if (kind == netlist::CellKind::kConst0 ||
+        kind == netlist::CellKind::kConst1) {
+      continue;
+    }
+    rows.push_back(extractor.extract(id));
+    prediction.cells.push_back(id);
+  }
+
+  const std::string alias =
+      opt.model_alias.empty() ? spec.name : opt.model_alias;
+  const std::uint64_t expect_digest = opt.cross_netlist ? 0 : digest;
+  const double timeout = opt.connect_timeout > 0 ? opt.connect_timeout : 10.0;
+  serve::PredictResult result;
+  if (opt.use_http) {
+    serve::HttpPredictClient client(host, port, timeout);
+    result = client.predict(alias, expect_digest, rows);
+  } else {
+    serve::PredictClient client(host, port, timeout);
+    result = client.predict(alias, expect_digest, rows);
+  }
+  std::fprintf(stderr,
+               "predict: served by '%s' (digest %016llx, generation %llu)\n",
+               result.alias.c_str(),
+               static_cast<unsigned long long>(result.config_digest),
+               static_cast<unsigned long long>(result.generation));
+
+  prediction.labels = std::move(result.labels);
+  std::array<std::size_t, netlist::kModuleClassCount> high{};
+  std::array<std::size_t, netlist::kModuleClassCount> total{};
+  for (std::size_t i = 0; i < prediction.cells.size(); ++i) {
+    const auto cls =
+        static_cast<std::size_t>(model.netlist.cell_class(prediction.cells[i]));
+    ++total[cls];
+    if (prediction.labels[i] == 1) ++high[cls];
+  }
+  for (std::size_t c = 0; c < netlist::kModuleClassCount; ++c) {
+    prediction.class_percent[c] =
+        total[c] > 0 ? 100.0 * static_cast<double>(high[c]) /
+                           static_cast<double>(total[c])
+                     : 0.0;
+  }
+  print_prediction_summary(model, prediction);
+  if (!opt.predictions_csv.empty()) {
+    core::write_predictions_csv(opt.predictions_csv, model, prediction);
+    std::printf("predictions written to %s\n", opt.predictions_csv.c_str());
+  }
+  return 0;
+}
+
+// SIGTERM/SIGINT flip this; the model-serve main loop polls it and drains.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int run_model_serve(const Options& opt) {
+  serve::PredictServerOptions sopts;
+  sopts.models_dir = opt.models_dir;
+  sopts.ssnp_port = opt.port;
+  sopts.http_port = opt.http_port;
+  sopts.loopback_only = false;
+  sopts.threads = opt.threads_set ? opt.threads : 0;
+  sopts.reload_interval_seconds = opt.reload_interval;
+  sopts.log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+  serve::PredictServer server(std::move(sopts));
+  server.start();
+  std::fprintf(stderr, "model-serve: ssnp port %u, http port %u\n",
+               static_cast<unsigned>(server.ssnp_port()),
+               static_cast<unsigned>(server.http_port()));
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "model-serve: shutdown requested, draining\n");
+  server.stop();
+  if (opt.stats) std::fputs(server.stats_table().c_str(), stdout);
   return 0;
 }
 
@@ -569,7 +768,11 @@ int main(int argc, char** argv) {
     const Options opt = parse_options(argc, argv);
     if (opt.command == "worker") return run_worker_command(opt);
     if (opt.command == "merge") return run_merge_command(opt);
-    if (opt.command == "predict") return run_predict_command(opt);
+    if (opt.command == "model-serve") return run_model_serve(opt);
+    if (opt.command == "predict") {
+      return opt.connect.empty() ? run_predict_command(opt)
+                                 : run_remote_predict(opt);
+    }
     return run_stage_command(opt, argv[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ssresf: %s\n", e.what());

@@ -79,6 +79,7 @@ struct Options {
   std::uint64_t worker_id = 0;    // stable identity; election tiebreak
   double election_timeout = 0.0;  // 0 = elections off
   int peer_port = 0;              // worker peer-query listener (0 = ephemeral)
+  std::string advertise_addr;     // host peers dial for that listener
   std::string promote_journal;    // where a promoted worker persists its replica
   std::string promoted_csv;       // where a promoted worker writes the final CSV
   std::uint64_t epoch = 0;        // election epoch (serve AND connect roles)
@@ -159,6 +160,10 @@ void usage(std::FILE* out) {
       "                      is tolerated before the workers elect a\n"
       "                      replacement from among themselves (0 = off)\n"
       "  --peer-port P       worker peer-query listener port (0 = ephemeral)\n"
+      "  --advertise-addr H  host peers should dial to reach this worker's\n"
+      "                      peer listener (empty = the address the\n"
+      "                      coordinator saw; setting it widens the peer\n"
+      "                      listener bind beyond loopback)\n"
       "  --promote-journal P where a promoted worker persists its journal\n"
       "                      replica (default: temp dir)\n"
       "  --promoted-csv P    if this worker wins an election, write the\n"
@@ -504,6 +509,8 @@ void emit_streamed(const Options& opt, StreamSinks& sinks,
       if (opt.peer_port < 0 || opt.peer_port > 65535) {
         throw InvalidArgument("--peer-port expects a port in [0, 65535]");
       }
+    } else if (arg == "--advertise-addr") {
+      opt.advertise_addr = need_value(i);
     } else if (arg == "--promote-journal") {
       opt.promote_journal = need_value(i);
     } else if (arg == "--promoted-csv") {
@@ -860,6 +867,7 @@ int run_connect_role(const Options& opt) {
   wopts.worker_id = opt.worker_id;
   wopts.election_timeout_seconds = opt.election_timeout;
   wopts.peer_port = static_cast<std::uint16_t>(opt.peer_port);
+  wopts.advertise_host = opt.advertise_addr;
   wopts.promote_journal_path = opt.promote_journal;
   wopts.initial_epoch = opt.epoch;
   wopts.verbose = true;
